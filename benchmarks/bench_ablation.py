@@ -1,0 +1,73 @@
+"""Ablation benches (§5, final question): bucketing, baseline, iterations.
+
+Paper: removing degree bucketing inflates bad matches by ~50% (with
+similar good counts); the simple common-neighbors algorithm has much
+worse precision on Wikipedia (27.87% vs 17.31% error).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import ablation
+
+
+def test_bench_ablation_bucketing(benchmark):
+    result = run_once(
+        benchmark, ablation.run_bucketing, n=6000, seed=0
+    )
+    print()
+    print(result.to_table())
+    forced = [
+        r for r in result.rows if r["tie_policy"] == "lowest_id"
+    ]
+    on = next(r for r in forced if r["bucketing"] == "on")
+    off = next(r for r in forced if r["bucketing"] == "off")
+    # The paper's observation: similar good, substantially more bad.
+    assert off["bad"] > 1.2 * on["bad"]
+    assert abs(off["good"] - on["good"]) < 0.15 * on["good"]
+
+
+def test_bench_ablation_wikipedia(benchmark):
+    result = run_once(
+        benchmark,
+        ablation.run_simple_on_wikipedia,
+        n_concepts=8000,
+        seed=0,
+    )
+    print()
+    print(result.to_table())
+    um = next(
+        r for r in result.rows if r["algorithm"] == "user-matching"
+    )
+    forced = next(
+        r
+        for r in result.rows
+        if r["algorithm"] == "common-neighbors (forced ties)"
+    )
+    # The tie-forcing simple algorithm has much worse precision.
+    assert forced["new_error_%"] > um["new_error_%"]
+
+
+def test_bench_ablation_iterations(benchmark):
+    result = run_once(
+        benchmark, ablation.run_iterations, n=5000, ks=(1, 2, 3), seed=0
+    )
+    print()
+    print(result.to_table())
+    goods = [r["good"] for r in result.rows]
+    # Extra iterations never lose links; k=2 captures most of the gain.
+    assert goods[1] >= goods[0]
+    assert goods[2] >= goods[1]
+    assert goods[2] - goods[1] <= max(goods[1] - goods[0], 50)
+
+
+def test_bench_ablation_tie_policy(benchmark):
+    result = run_once(
+        benchmark, ablation.run_tie_policy, n=4000, seed=0
+    )
+    print()
+    print(result.to_table())
+    skip = next(r for r in result.rows if r["tie_policy"] == "skip")
+    forced = next(
+        r for r in result.rows if r["tie_policy"] == "lowest_id"
+    )
+    # Skipping ties trades recall for precision.
+    assert skip["new_error_%"] <= forced["new_error_%"]

@@ -1,0 +1,26 @@
+"""Figure 3 bench — copies grown by the Independent Cascade model.
+
+Paper: zero errors at every threshold and near-total recall of the
+intersection of the two cascades (16,273 / 16,533 = 98.4% at 5% seeds).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig3_cascade
+
+
+def test_bench_fig3_cascade(benchmark):
+    result = run_once(
+        benchmark,
+        fig3_cascade.run,
+        n=6000,
+        p=0.05,
+        seed_probs=(0.05, 0.10),
+        thresholds=(2, 3),
+        iterations=2,
+        seed=0,
+    )
+    print()
+    print(result.to_table())
+    for row in result.rows:
+        assert row["precision"] > 0.97, row
+        assert row["recall"] > 0.95, row

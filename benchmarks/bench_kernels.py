@@ -1,0 +1,86 @@
+"""Micro-benchmarks of the hot kernels (multi-round, timing-stable).
+
+These are the components whose cost the paper's complexity analysis talks
+about: witness counting (the join), mutual-best selection, the MapReduce
+engine, and the graph generators that feed every experiment.
+"""
+
+import pytest
+
+from repro.core.config import MatcherConfig
+from repro.core.matcher import UserMatching
+from repro.core.policy import select_mutual_best
+from repro.core.scoring import count_similarity_witnesses
+from repro.generators.erdos_renyi import gnp_graph
+from repro.generators.preferential_attachment import (
+    preferential_attachment_graph,
+)
+from repro.generators.rmat import rmat_graph
+from repro.mapreduce.engine import LocalMapReduce, MapReduceJob, sum_combiner
+from repro.sampling.edge_sampling import independent_copies
+from repro.seeds.generators import sample_seeds
+
+
+@pytest.fixture(scope="module")
+def workload():
+    graph = preferential_attachment_graph(3000, 10, seed=1)
+    pair = independent_copies(graph, 0.5, seed=2)
+    seeds = sample_seeds(pair, 0.1, seed=3)
+    return pair, seeds
+
+
+def test_bench_witness_counting(benchmark, workload):
+    pair, seeds = workload
+    scores, emitted = benchmark(
+        count_similarity_witnesses, pair.g1, pair.g2, seeds, 2
+    )
+    assert emitted > 0
+
+
+def test_bench_mutual_best_selection(benchmark, workload):
+    pair, seeds = workload
+    scores, _ = count_similarity_witnesses(
+        pair.g1, pair.g2, seeds, min_degree=2
+    )
+    links = benchmark(select_mutual_best, scores, 2)
+    assert links
+
+
+def test_bench_full_matcher(benchmark, workload):
+    pair, seeds = workload
+    matcher = UserMatching(MatcherConfig(threshold=2, iterations=1))
+    result = benchmark(matcher.run, pair.g1, pair.g2, seeds)
+    assert result.num_new_links > 0
+
+
+def test_bench_generator_pa(benchmark):
+    g = benchmark(preferential_attachment_graph, 2000, 10, 7)
+    assert g.num_nodes == 2000
+
+
+def test_bench_generator_gnp(benchmark):
+    g = benchmark(gnp_graph, 2000, 0.01, 7)
+    assert g.num_nodes == 2000
+
+
+def test_bench_generator_rmat(benchmark):
+    g = benchmark(rmat_graph, 11, 16 * (1 << 11), seed=7)
+    assert g.num_nodes > 0
+
+
+def test_bench_mapreduce_engine(benchmark):
+    def map_fn(_k, text):
+        for token in text:
+            yield (token, 1)
+
+    def reduce_fn(token, counts):
+        yield (token, sum(counts))
+
+    job = MapReduceJob("count", map_fn, reduce_fn, sum_combiner)
+    records = [(i, "abcdefg" * 10) for i in range(300)]
+
+    def run():
+        return LocalMapReduce().run(job, records)
+
+    out = benchmark(run)
+    assert dict(out)["a"] == 3000

@@ -1,0 +1,44 @@
+"""Extension benches: the percolation threshold and Theorem 1 validation.
+
+Not figures of the paper itself, but quantitative support for two of its
+claims: the seed model's viability regime (related work [31]) and the
+Section 4.1 witness-gap analysis.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import percolation, theory_validation
+
+
+def test_bench_percolation(benchmark):
+    result = run_once(
+        benchmark,
+        percolation.run,
+        n=6000,
+        seed_counts=(15, 40, 80, 200),
+        seed=0,
+    )
+    print()
+    print(result.to_table())
+    rows = result.rows
+    # Sharp transition: sub-threshold runs fizzle, super-threshold
+    # saturates.
+    assert rows[0]["recall"] < 0.2
+    assert rows[-1]["recall"] > 0.8
+    recalls = [r["recall"] for r in rows]
+    assert recalls == sorted(recalls)
+
+
+def test_bench_theory_validation(benchmark):
+    result = run_once(
+        benchmark, theory_validation.run, n=2000, seed=0
+    )
+    print()
+    print(result.to_table())
+    correct, wrong = result.rows
+    # Theorem 1's separation, measured.
+    assert correct["measured_mean"] > 5 * wrong["measured_mean"]
+    # The formulas predict the means within a modest tolerance.
+    assert (
+        abs(correct["measured_mean"] - correct["predicted_mean"])
+        < 0.25 * correct["predicted_mean"]
+    )

@@ -1,0 +1,84 @@
+"""Extension benches — the §3.1 generalizations and the scale trend.
+
+These go beyond the paper's own evaluation: noise edges, per-copy vertex
+deletion, corrupted seeds, error-vs-scale decay, and a deliberately hard
+small-world substrate.  EXPERIMENTS.md records the measured rows.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import robustness
+
+
+def test_bench_noise_edges(benchmark):
+    result = run_once(
+        benchmark,
+        robustness.run_noise_edges,
+        n=5000,
+        noise_fractions=(0.0, 0.10, 0.20),
+        seed=0,
+    )
+    print()
+    print(result.to_table())
+    clean = result.rows[0]
+    noisiest = result.rows[-1]
+    # Graceful degradation: 20% noise costs little precision or recall.
+    assert noisiest["new_error_%"] < clean["new_error_%"] + 3.0
+    assert noisiest["recall"] > clean["recall"] - 0.05
+
+
+def test_bench_vertex_deletion(benchmark):
+    result = run_once(
+        benchmark,
+        robustness.run_vertex_deletion,
+        n=5000,
+        deletion_probs=(0.0, 0.2),
+        seed=0,
+    )
+    print()
+    print(result.to_table())
+    deleted = result.rows[-1]
+    assert deleted["recall"] > 0.8
+    assert deleted["new_error_%"] < 6.0
+
+
+def test_bench_noisy_seeds(benchmark):
+    result = run_once(
+        benchmark,
+        robustness.run_noisy_seeds,
+        n=5000,
+        error_rates=(0.0, 0.10, 0.25),
+        seed=0,
+    )
+    print()
+    print(result.to_table())
+    # Output error stays an order of magnitude below input error.
+    worst = result.rows[-1]
+    assert worst["new_error_%"] < 0.3 * worst["seed_error_%"]
+    assert worst["recall"] > 0.85
+
+
+def test_bench_scale_trend(benchmark):
+    result = run_once(
+        benchmark,
+        robustness.run_scale_trend,
+        ns=(2000, 5000, 10_000),
+        seed=0,
+    )
+    print()
+    print(result.to_table())
+    errors = [row["error_%"] for row in result.rows]
+    # The error rate decays with n (the paper's 0-error limit).
+    assert errors[-1] < errors[0]
+
+
+def test_bench_small_world(benchmark):
+    result = run_once(
+        benchmark, robustness.run_small_world, n=3000, seed=0
+    )
+    print()
+    print(result.to_table())
+    # The hard case: flat degrees + local neighborhoods. We assert the
+    # honest outcome — markedly worse than every social substrate.
+    on = next(r for r in result.rows if r["bucketing"] == "on")
+    assert on["recall"] < 0.5
+    assert on["new_error_%"] > 5.0

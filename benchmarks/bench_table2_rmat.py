@@ -1,0 +1,58 @@
+"""Table 2 bench — R-MAT scaling ladder, relative running time.
+
+Paper: RMAT24 -> RMAT26 -> RMAT28 relative times 1 / 1.199 / 12.544.  We
+time the matcher on three rungs 4x apart in node count (pytest-benchmark's
+comparison view shows the ladder; the driver records the relative times).
+"""
+
+import pytest
+
+from repro.core.config import MatcherConfig
+from repro.core.matcher import UserMatching
+from repro.experiments import table2_rmat
+from repro.generators.rmat import rmat_graph
+from repro.sampling.edge_sampling import independent_copies
+from repro.seeds.generators import sample_seeds
+
+SCALES = (9, 11, 13)
+
+
+@pytest.fixture(scope="module")
+def ladder():
+    workloads = {}
+    for scale in SCALES:
+        graph = rmat_graph(scale, 16 * (1 << scale), seed=scale)
+        pair = independent_copies(graph, 0.5, seed=scale + 100)
+        seeds = sample_seeds(pair, 0.10, seed=scale + 200)
+        workloads[scale] = (pair, seeds)
+    return workloads
+
+
+@pytest.mark.parametrize("scale", SCALES)
+def test_bench_rmat_rung(benchmark, ladder, scale):
+    pair, seeds = ladder[scale]
+    matcher = UserMatching(MatcherConfig(threshold=2, iterations=1))
+
+    result = benchmark.pedantic(
+        matcher.run,
+        args=(pair.g1, pair.g2, seeds),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.num_links >= len(seeds)
+
+
+def test_bench_table2_driver(benchmark):
+    result = benchmark.pedantic(
+        table2_rmat.run,
+        kwargs=dict(scales=SCALES, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.to_table())
+    times = [row["relative_time"] for row in result.rows]
+    # The ladder must be increasing: bigger graphs cost more.
+    assert times[0] == 1.0
+    assert times[1] >= 1.0
+    assert times[2] >= times[1]

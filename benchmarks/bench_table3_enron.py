@@ -1,0 +1,29 @@
+"""Table 3 (right) bench — Enron-like sparse copies under random deletion.
+
+Paper: the sparse regime (copies at average degree ~10, most shared nodes
+below degree 5) bounds recall; error among newly identified nodes ~4.8%.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table3_fb_enron
+
+
+def test_bench_table3_enron(benchmark):
+    result = run_once(
+        benchmark,
+        table3_fb_enron.run_enron,
+        n=4500,
+        seed_probs=(0.10,),
+        thresholds=(5, 4, 3),
+        iterations=2,
+        seed=0,
+    )
+    print()
+    print(result.to_table())
+    for row in result.rows:
+        # Sparse regime: error stays in the single digits...
+        assert row["new_error_%"] < 8.0, row
+        # ...and recall is bounded by the low-degree mass.
+        assert row["recall"] < 0.7, row
+    by_threshold = {r["threshold"]: r for r in result.rows}
+    assert by_threshold[3]["good"] >= by_threshold[5]["good"]

@@ -1,0 +1,32 @@
+"""Table 3 (left) bench — Facebook-like copies under random deletion.
+
+Paper: error well under 1% at every (seed prob, threshold) cell; recall
+concentrated on nodes of degree above 5.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table3_fb_enron
+
+
+def test_bench_table3_facebook(benchmark):
+    result = run_once(
+        benchmark,
+        table3_fb_enron.run_facebook,
+        n=6000,
+        seed_probs=(0.10, 0.05),
+        thresholds=(5, 4, 2),
+        iterations=2,
+        seed=0,
+    )
+    print()
+    print(result.to_table())
+    for row in result.rows:
+        assert row["new_error_%"] < 1.0, row
+    # Lower thresholds recover more pairs at equal seed probability.
+    for prob in (0.10, 0.05):
+        cells = {
+            r["threshold"]: r["good"]
+            for r in result.rows
+            if r["seed_prob"] == prob
+        }
+        assert cells[2] >= cells[4] >= cells[5]

@@ -1,0 +1,26 @@
+"""Shared benchmark configuration.
+
+Benchmarks regenerate every table and figure of the paper's evaluation at
+laptop scale (see DESIGN.md §4 for the experiment index and EXPERIMENTS.md
+for paper-vs-measured numbers).  Heavy end-to-end benchmarks run with
+``benchmark.pedantic(rounds=1)`` — the quantity of interest is the shape
+of the result, not nanosecond-stable timing; micro-benchmarks of the hot
+kernels use normal rounds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time *fn* exactly once and return its result."""
+    return benchmark.pedantic(
+        fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+    )
+
+
+@pytest.fixture(scope="session")
+def print_tables(pytestconfig):
+    """Whether to print experiment tables (pass ``-s`` to see them)."""
+    return True

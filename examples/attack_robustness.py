@@ -1,0 +1,78 @@
+"""Robustness against a sybil attack (§5).
+
+An attacker clones every user's profile and gets each of the victim's
+friends to accept the fake with probability 1/2 — the strong attack model
+the paper designs specifically against its own algorithm.  The question a
+production system must answer: do real users get linked to fakes?
+
+Run:  python examples/attack_robustness.py
+"""
+
+from repro import (
+    CommonNeighborsMatcher,
+    MatcherConfig,
+    UserMatching,
+    attacked_copies,
+    sample_seeds,
+)
+from repro.datasets.synthetic import facebook_like
+from repro.experiments.attack import real_node_accounting
+from repro.sampling.pair import GraphPair
+
+
+def main() -> None:
+    print("building the social network and mounting the attack...")
+    graph = facebook_like(4000, seed=40)
+    pair = attacked_copies(graph, s=0.75, attach_prob=0.5, seed=41)
+    print(
+        f"  each copy: {pair.g1.num_nodes} profiles "
+        f"({graph.num_nodes} real + {graph.num_nodes} sybils)"
+    )
+
+    real_identity = {
+        v1: v2
+        for v1, v2 in pair.identity.items()
+        if not isinstance(v1, tuple)
+    }
+    real_only = GraphPair(
+        g1=pair.g1, g2=pair.g2, identity=real_identity
+    )
+    seeds = sample_seeds(real_only, 0.10, seed=42)
+    print(f"  {len(seeds)} real users linked their own accounts")
+
+    print("\nUser-Matching under attack:")
+    result = UserMatching(
+        MatcherConfig(threshold=2, iterations=2)
+    ).run(pair.g1, pair.g2, seeds)
+    counts = real_node_accounting(result, pair)
+    print(
+        f"  real users correctly linked : {counts['good']} "
+        f"/ {graph.num_nodes}"
+    )
+    print(f"  wrong links (attack wins)   : {counts['bad']}")
+    print(
+        f"  sybil-to-own-twin links     : {counts['sybil_twins']} "
+        "(harmless: same fake on both sides)"
+    )
+
+    print("\nsimple common-neighbors baseline under the same attack:")
+    baseline = CommonNeighborsMatcher(threshold=1, iterations=2).run(
+        pair.g1, pair.g2, seeds
+    )
+    base_counts = real_node_accounting(baseline, pair)
+    print(
+        f"  real users correctly linked : {base_counts['good']}"
+        f"  (wrong: {base_counts['bad']})"
+    )
+
+    print(
+        "\nwhy the attack fails: a sybil copies its victim's *local* "
+        "profile, but witnesses\nare already-matched neighbors — to win, "
+        "the attacker would need many friends in\ncommon with the victim "
+        "across BOTH networks, which the paper argues is the\nexpensive "
+        "part to fake."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Different-scope networks: personal vs professional (Table 4 scenario).
+
+The paper's motivating example: your Facebook graph holds your personal
+communities, your LinkedIn graph your professional ones.  Whole circles of
+contacts exist on one service and not the other — a *correlated* deletion
+process no independent-edge model captures.
+
+We model the truth as an Affiliation Network (users x communities), build
+the two services by dropping whole communities per copy, and reconcile.
+
+Run:  python examples/cross_network_scopes.py
+"""
+
+from repro import (
+    MatcherConfig,
+    UserMatching,
+    correlated_community_copies,
+    evaluate,
+    sample_seeds,
+)
+from repro.generators.affiliation import affiliation_graph
+
+
+def main() -> None:
+    print("growing the affiliation network (users x communities)...")
+    network = affiliation_graph(
+        n_users=1500,
+        n_interests=1500,
+        memberships_per_user=10,
+        uniform_mix=0.9,
+        founding_prob=0.4,
+        copy_factor=0.3,
+        seed=20,
+    )
+    fold = network.graph
+    print(
+        f"  {network.bipartite.num_users} users, "
+        f"{network.bipartite.num_affiliations} communities, "
+        f"folded graph has {fold.num_edges} edges"
+    )
+
+    print(
+        "\nderiving the two services (each community survives on each "
+        "service w.p. 0.75)..."
+    )
+    pair = correlated_community_copies(network, keep_prob=0.75, seed=21)
+    print(f"  service A: {pair.g1.num_edges} edges")
+    print(f"  service B: {pair.g2.num_edges} edges")
+
+    seeds = sample_seeds(pair, 0.10, seed=22)
+    print(f"  {len(seeds)} users linked their accounts themselves")
+
+    print("\nreconciling (threshold=3, k=3)...")
+    matcher = UserMatching(MatcherConfig(threshold=3, iterations=3))
+    result = matcher.run(pair.g1, pair.g2, seeds)
+    report = evaluate(result, pair)
+    print(
+        f"  matched {report.good} users correctly, "
+        f"{report.bad} wrongly "
+        f"(recall {report.recall:.1%}, precision {report.precision:.2%})"
+    )
+    print(
+        "\neven though each user's two neighborhoods share only the "
+        "communities kept on\nboth services, the witness counts over the "
+        "shared communities carry the day —\nthe paper's Table 4 reports "
+        "the same outcome with zero errors at 60K users."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""De-anonymization scenario (the Narayanan–Shmatikov setting, §2).
+
+A provider releases an "anonymized" copy of its social graph: node ids
+replaced by random numbers, 25% of edges removed.  An attacker holds a
+crawl of an overlapping public network and a handful of identified
+accounts (the seeds — e.g. users who posted their profile link publicly).
+
+The example shows (a) how much of the anonymized graph User-Matching
+re-identifies from a tiny seed set, and (b) the comparison with the
+Narayanan–Shmatikov propagation baseline on the same instance.
+
+Run:  python examples/deanonymize_network.py
+"""
+
+from repro import (
+    NarayananShmatikovMatcher,
+    evaluate,
+    independent_copies,
+    preferential_attachment_graph,
+    reconcile,
+    top_degree_seeds,
+)
+from repro.graphs.ops import relabel
+from repro.sampling.pair import GraphPair
+from repro.utils.rng import ensure_rng
+from repro.utils.timing import Timer
+
+
+def main() -> None:
+    print("building the provider's graph and the attacker's crawl...")
+    true_graph = preferential_attachment_graph(n=4000, m=12, seed=10)
+    pair = independent_copies(true_graph, s1=0.75, seed=11)
+
+    # Anonymize the released copy: shuffle ids into a fresh space.
+    rng = ensure_rng(12)
+    permutation = list(range(pair.g2.num_nodes))
+    rng.shuffle(permutation)
+    mapping = {
+        node: f"anon{permutation[i]}"
+        for i, node in enumerate(pair.g2.nodes())
+    }
+    anonymized = relabel(pair.g2, mapping)
+    identity = {v1: mapping[v2] for v1, v2 in pair.identity.items()}
+    attack_pair = GraphPair(
+        g1=pair.g1, g2=anonymized, identity=identity
+    )
+
+    # The attacker identified the 40 most prominent accounts by hand
+    # (as in the real-world experiments of [23]).
+    seeds = top_degree_seeds(attack_pair, 40)
+    print(f"seeds: {len(seeds)} manually identified accounts")
+
+    print("\nrunning User-Matching...")
+    with Timer() as t_um:
+        result = reconcile(
+            attack_pair.g1, attack_pair.g2, seeds,
+            threshold=2, iterations=2,
+        )
+    report = evaluate(result, attack_pair)
+    print(
+        f"  re-identified {report.good} accounts "
+        f"({report.recall:.1%} of the graph) with "
+        f"{report.error_rate:.2%} error in {t_um.elapsed:.1f}s"
+    )
+
+    print("\nrunning the Narayanan–Shmatikov propagation baseline...")
+    with Timer() as t_ns:
+        ns_result = NarayananShmatikovMatcher(max_sweeps=3).run(
+            attack_pair.g1, attack_pair.g2, seeds
+        )
+    ns_report = evaluate(ns_result, attack_pair)
+    print(
+        f"  re-identified {ns_report.good} accounts "
+        f"({ns_report.recall:.1%}) with "
+        f"{ns_report.error_rate:.2%} error in {t_ns.elapsed:.1f}s"
+    )
+
+    print(
+        "\nthe paper's point: the simple degree-bucketed witness count "
+        "matches or beats\nthe expensive propagation scoring, at a "
+        "fraction of the cost per round."
+    )
+
+
+if __name__ == "__main__":
+    main()

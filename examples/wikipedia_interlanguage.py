@@ -1,0 +1,63 @@
+"""Cross-language article matching (Table 5's hardest scenario).
+
+Two Wikipedia language editions are *not* copies of anything: they share
+only an underlying conceptual universe.  Interlanguage links cover a
+fraction of the shared articles and contain human errors.  Starting from
+10% of those noisy links, User-Matching recovers a multiple of the input
+links using pure graph structure — no titles, no text, no translation.
+
+Run:  python examples/wikipedia_interlanguage.py
+"""
+
+from repro import MatcherConfig, UserMatching, evaluate
+from repro.datasets.wikipedia import synthetic_wikipedia_pair
+from repro.utils.rng import ensure_rng
+
+
+def main() -> None:
+    print("simulating two language editions over one concept universe...")
+    wiki = synthetic_wikipedia_pair(n_concepts=8000, seed=30)
+    pair = wiki.pair
+    print(f"  'French'  edition: {pair.g1}")
+    print(f"  'German'  edition: {pair.g2}")
+    print(
+        f"  truly shared concepts: {len(pair.identity)} — "
+        f"interlanguage links cover {len(wiki.interlanguage_links)} "
+        "of them (with human errors)"
+    )
+
+    rng = ensure_rng(31)
+    seeds = {
+        fr: de
+        for fr, de in wiki.interlanguage_links.items()
+        if rng.random() < 0.10
+    }
+    wrong_seeds = sum(
+        1 for fr, de in seeds.items() if pair.identity.get(fr) != de
+    )
+    print(
+        f"\nseeding from 10% of the links: {len(seeds)} seeds, "
+        f"{wrong_seeds} of them wrong (human errors propagate!)"
+    )
+
+    for threshold in (3, 5):
+        matcher = UserMatching(
+            MatcherConfig(threshold=threshold, iterations=2)
+        )
+        result = matcher.run(pair.g1, pair.g2, seeds)
+        report = evaluate(result, pair)
+        growth = result.num_links / max(len(seeds), 1)
+        print(
+            f"\n  threshold={threshold}: {result.num_links} links "
+            f"({growth:.1f}x the seeds), new-link error "
+            f"{report.new_error_rate:.1%}"
+        )
+    print(
+        "\nas in the paper: structure alone roughly triples the link "
+        "set, at an error rate\nfar below the baseline's — and some "
+        "'errors' are the input links' own mistakes."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The project is configured in pyproject.toml; this file exists only so that
+``pip install -e .`` works in offline environments lacking the ``wheel``
+package (pip falls back to ``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

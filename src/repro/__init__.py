@@ -1,0 +1,124 @@
+"""repro — reproduction of Korula & Lattanzi (VLDB 2014),
+*An efficient reconciliation algorithm for social networks*.
+
+Quickstart::
+
+    from repro import (
+        preferential_attachment_graph, independent_copies, sample_seeds,
+        reconcile, evaluate,
+    )
+
+    g = preferential_attachment_graph(n=5000, m=10, seed=1)
+    pair = independent_copies(g, s1=0.5, seed=2)
+    seeds = sample_seeds(pair, link_probability=0.1, seed=3)
+    result = reconcile(pair.g1, pair.g2, seeds, threshold=2, iterations=2)
+    report = evaluate(result, pair)
+    print(report.precision, report.recall)
+"""
+
+from repro.baselines import (
+    CommonNeighborsMatcher,
+    DegreeSequenceMatcher,
+    NarayananShmatikovMatcher,
+)
+from repro.core import (
+    MatcherConfig,
+    MatchingResult,
+    PhaseRecord,
+    TiePolicy,
+    UserMatching,
+    reconcile,
+)
+from repro.evaluation import (
+    MatchingReport,
+    degree_stratified_report,
+    evaluate,
+    format_table,
+    run_trial,
+)
+from repro.generators import (
+    affiliation_graph,
+    chung_lu_graph,
+    gnm_graph,
+    gnp_graph,
+    power_law_weights,
+    powerlaw_cluster_graph,
+    preferential_attachment_graph,
+    rmat_graph,
+    watts_strogatz_graph,
+)
+from repro.graphs import BipartiteGraph, CSRGraph, Graph, TemporalGraph
+from repro.mapreduce import LocalMapReduce, MapReduceUserMatching
+from repro.sampling import (
+    GraphPair,
+    attacked_copies,
+    cascade_copies,
+    cascade_copy,
+    correlated_community_copies,
+    independent_copies,
+    inject_sybils,
+    sample_edges,
+    split_by_parity,
+)
+from repro.seeds import (
+    degree_biased_seeds,
+    noisy_seeds,
+    sample_seeds,
+    top_degree_seeds,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # graphs
+    "Graph",
+    "TemporalGraph",
+    "BipartiteGraph",
+    "CSRGraph",
+    # generators
+    "gnp_graph",
+    "gnm_graph",
+    "preferential_attachment_graph",
+    "affiliation_graph",
+    "rmat_graph",
+    "chung_lu_graph",
+    "power_law_weights",
+    "watts_strogatz_graph",
+    "powerlaw_cluster_graph",
+    # sampling / copy models
+    "GraphPair",
+    "independent_copies",
+    "sample_edges",
+    "cascade_copy",
+    "cascade_copies",
+    "correlated_community_copies",
+    "inject_sybils",
+    "attacked_copies",
+    "split_by_parity",
+    # seeds
+    "sample_seeds",
+    "degree_biased_seeds",
+    "top_degree_seeds",
+    "noisy_seeds",
+    # core algorithm
+    "MatcherConfig",
+    "TiePolicy",
+    "UserMatching",
+    "MatchingResult",
+    "PhaseRecord",
+    "reconcile",
+    # baselines
+    "CommonNeighborsMatcher",
+    "NarayananShmatikovMatcher",
+    "DegreeSequenceMatcher",
+    # mapreduce
+    "LocalMapReduce",
+    "MapReduceUserMatching",
+    # evaluation
+    "MatchingReport",
+    "evaluate",
+    "degree_stratified_report",
+    "format_table",
+    "run_trial",
+    "__version__",
+]

@@ -1,0 +1,25 @@
+"""Baseline matchers the paper compares against.
+
+- :class:`~repro.baselines.common_neighbors.CommonNeighborsMatcher` — the
+  "straightforward algorithm that just counts the number of common
+  neighbors" from the paper's ablation study (§5, last question).
+- :class:`~repro.baselines.narayanan_shmatikov.NarayananShmatikovMatcher` —
+  the propagation algorithm of [23], with degree-normalized scores,
+  eccentricity filtering and a reverse-match check.
+- :class:`~repro.baselines.degree_matcher.DegreeSequenceMatcher` — a naive
+  degree-rank matcher used as a sanity floor.
+- :class:`~repro.baselines.structural_features.StructuralFeatureMatcher`
+  — recursive structural features after Henderson et al. [14] (§2).
+"""
+
+from repro.baselines.common_neighbors import CommonNeighborsMatcher
+from repro.baselines.degree_matcher import DegreeSequenceMatcher
+from repro.baselines.narayanan_shmatikov import NarayananShmatikovMatcher
+from repro.baselines.structural_features import StructuralFeatureMatcher
+
+__all__ = [
+    "CommonNeighborsMatcher",
+    "NarayananShmatikovMatcher",
+    "DegreeSequenceMatcher",
+    "StructuralFeatureMatcher",
+]

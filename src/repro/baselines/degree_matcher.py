@@ -1,0 +1,44 @@
+"""Naive degree-sequence matcher — a sanity-floor baseline.
+
+Matches the i-th highest-degree unmatched node of ``G1`` to the i-th
+highest-degree unmatched node of ``G2``.  It ignores structure entirely, so
+it only works when degrees are globally distinctive; tests use it to show
+User-Matching's advantage is structural, not just degree-based.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.core.result import MatchingResult
+from repro.graphs.graph import Graph
+
+Node = Hashable
+
+
+class DegreeSequenceMatcher:
+    """Match nodes purely by degree rank."""
+
+    def __init__(self, max_matches: int | None = None) -> None:
+        self.max_matches = max_matches
+
+    def run(
+        self, g1: Graph, g2: Graph, seeds: dict[Node, Node]
+    ) -> MatchingResult:
+        """Pair unmatched nodes by descending degree (stable by id repr)."""
+        linked_right = set(seeds.values())
+        left = sorted(
+            (n for n in g1.nodes() if n not in seeds),
+            key=lambda n: (-g1.degree(n), repr(n)),
+        )
+        right = sorted(
+            (n for n in g2.nodes() if n not in linked_right),
+            key=lambda n: (-g2.degree(n), repr(n)),
+        )
+        links = dict(seeds)
+        pairs = zip(left, right)
+        if self.max_matches is not None:
+            pairs = list(pairs)[: self.max_matches]
+        for v1, v2 in pairs:
+            links[v1] = v2
+        return MatchingResult(links=links, seeds=dict(seeds), phases=[])

@@ -1,0 +1,239 @@
+"""Command-line interface: run any paper experiment and print its table.
+
+Examples::
+
+    repro list
+    repro run fig2 --seed 7
+    repro run table3-facebook
+    repro run all
+    repro datasets
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.datasets.registry import DATASETS
+from repro.evaluation.tables import format_table
+from repro.experiments import (
+    ablation,
+    attack,
+    fig2_pa,
+    fig3_cascade,
+    fig4_degree,
+    percolation,
+    robustness,
+    table2_rmat,
+    table3_fb_enron,
+    table4_affiliation,
+    table5_realworld,
+    theory_validation,
+)
+from repro.experiments.common import ExperimentResult
+
+#: experiment id -> (driver, one-line description)
+EXPERIMENTS: dict[str, tuple[Callable[..., ExperimentResult], str]] = {
+    "fig2": (fig2_pa.run, "PA + random deletion recall sweep"),
+    "table2": (table2_rmat.run, "R-MAT scaling ladder"),
+    "table3-facebook": (
+        table3_fb_enron.run_facebook,
+        "Facebook-like random deletion grid",
+    ),
+    "table3-enron": (
+        table3_fb_enron.run_enron,
+        "Enron-like sparse random deletion",
+    ),
+    "fig3": (fig3_cascade.run, "Independent cascade copies"),
+    "table4": (
+        table4_affiliation.run,
+        "Affiliation networks, correlated interest deletion",
+    ),
+    "table5-dblp": (
+        table5_realworld.run_dblp,
+        "DBLP-like even/odd years",
+    ),
+    "table5-gowalla": (
+        table5_realworld.run_gowalla,
+        "Gowalla-like odd/even month co-location",
+    ),
+    "table5-wikipedia": (
+        table5_realworld.run_wikipedia,
+        "Wikipedia-like interlanguage pair",
+    ),
+    "fig4-dblp": (
+        lambda **kw: fig4_degree.run(dataset="dblp", **kw),
+        "precision/recall vs degree (DBLP-like)",
+    ),
+    "fig4-gowalla": (
+        lambda **kw: fig4_degree.run(dataset="gowalla", **kw),
+        "precision/recall vs degree (Gowalla-like)",
+    ),
+    "attack": (attack.run, "sybil attack robustness"),
+    "ablation-bucketing": (
+        ablation.run_bucketing,
+        "degree bucketing on/off",
+    ),
+    "ablation-wikipedia": (
+        ablation.run_simple_on_wikipedia,
+        "simple baseline vs full algorithm on Wikipedia-like",
+    ),
+    "ablation-iterations": (
+        ablation.run_iterations,
+        "outer iteration count sweep",
+    ),
+    "ablation-tie-policy": (
+        ablation.run_tie_policy,
+        "tie policy SKIP vs LOWEST_ID",
+    ),
+    "robustness-noise": (
+        robustness.run_noise_edges,
+        "spurious noise edges per copy (§3.1 generalization)",
+    ),
+    "robustness-vertex-deletion": (
+        robustness.run_vertex_deletion,
+        "per-copy vertex deletion (§3.1 generalization)",
+    ),
+    "robustness-noisy-seeds": (
+        robustness.run_noisy_seeds,
+        "corrupted seed links",
+    ),
+    "robustness-scale": (
+        robustness.run_scale_trend,
+        "error rate vs graph size (0-error claim is asymptotic)",
+    ),
+    "robustness-small-world": (
+        robustness.run_small_world,
+        "Watts–Strogatz substrate (flat degrees)",
+    ),
+    "percolation": (
+        percolation.run,
+        "recall vs absolute seed count (the [31] phase transition)",
+    ),
+    "theory-validation": (
+        theory_validation.run,
+        "Theorem 1's witness-count gap, measured vs predicted",
+    ),
+}
+
+
+def _cmd_list() -> int:
+    rows = [[name, desc] for name, (_fn, desc) in EXPERIMENTS.items()]
+    print(format_table(["experiment", "description"], rows))
+    return 0
+
+
+def _cmd_datasets() -> int:
+    rows = [
+        [
+            spec.name,
+            spec.kind,
+            f"{spec.paper_nodes:,}",
+            f"{spec.paper_edges:,}",
+            spec.notes,
+        ]
+        for spec in DATASETS.values()
+    ]
+    print(
+        format_table(
+            ["dataset", "kind", "paper nodes", "paper edges", "stand-in"],
+            rows,
+            title="Table 1 analog: paper datasets vs reproduction stand-ins",
+        )
+    )
+    return 0
+
+
+def _cmd_run(name: str, seed: int, chart: bool) -> int:
+    if name == "all":
+        names = list(EXPERIMENTS)
+    elif name in EXPERIMENTS:
+        names = [name]
+    else:
+        print(
+            f"unknown experiment {name!r}; try: {', '.join(EXPERIMENTS)}",
+            file=sys.stderr,
+        )
+        return 2
+    for exp_name in names:
+        fn, _desc = EXPERIMENTS[exp_name]
+        result = fn(seed=seed)
+        print(result.to_table())
+        if chart and result.rows:
+            rendered = _chart_for(result)
+            if rendered:
+                print()
+                print(rendered)
+        print()
+    return 0
+
+
+def _chart_for(result: ExperimentResult) -> str | None:
+    """Pick a sensible bar-chart rendering for an experiment's rows."""
+    from repro.evaluation.charts import horizontal_bar_chart, series_chart
+
+    columns = result.columns()
+    if "recall" not in columns:
+        return None
+    if "seed_prob" in columns and "threshold" in columns:
+        return series_chart(
+            result.rows,
+            "seed_prob",
+            "recall",
+            group_key="threshold",
+            title="recall by seed probability",
+        )
+    if "degree" in columns:
+        return horizontal_bar_chart(
+            [str(r["degree"]) for r in result.rows],
+            [float(r["recall"]) for r in result.rows],
+            title="recall by degree bucket",
+        )
+    first = columns[0]
+    return horizontal_bar_chart(
+        [str(r[first]) for r in result.rows],
+        [float(r["recall"]) for r in result.rows],
+        title=f"recall by {first}",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argparse CLI (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of Korula & Lattanzi, 'An efficient "
+            "reconciliation algorithm for social networks' (VLDB 2014)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    sub.add_parser("datasets", help="show the Table 1 analog")
+    run_p = sub.add_parser("run", help="run an experiment (or 'all')")
+    run_p.add_argument("experiment", help="experiment id from 'list'")
+    run_p.add_argument(
+        "--seed", type=int, default=0, help="base RNG seed (default 0)"
+    )
+    run_p.add_argument(
+        "--chart",
+        action="store_true",
+        help="also render an ASCII chart of the result",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "datasets":
+        return _cmd_datasets()
+    if args.command == "run":
+        return _cmd_run(args.experiment, args.seed, args.chart)
+    return 2  # unreachable: argparse enforces the sub-command set
+
+
+if __name__ == "__main__":
+    sys.exit(main())

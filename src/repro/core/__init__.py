@@ -1,0 +1,31 @@
+"""The paper's primary contribution: the **User-Matching** algorithm.
+
+Public surface:
+
+- :class:`~repro.core.config.MatcherConfig` — tuning knobs (threshold ``T``,
+  iterations ``k``, degree bucketing on/off, tie policy).
+- :class:`~repro.core.matcher.UserMatching` — the algorithm itself.
+- :class:`~repro.core.result.MatchingResult` — links plus per-phase history.
+- :func:`~repro.core.pipeline.reconcile` — one-call convenience wrapper.
+"""
+
+from repro.core.config import MatcherConfig, TiePolicy
+from repro.core.diagnostics import explain_pair, margin, rank_candidates
+from repro.core.links_io import read_links, write_links
+from repro.core.matcher import UserMatching
+from repro.core.pipeline import reconcile
+from repro.core.result import MatchingResult, PhaseRecord
+
+__all__ = [
+    "MatcherConfig",
+    "TiePolicy",
+    "UserMatching",
+    "MatchingResult",
+    "PhaseRecord",
+    "reconcile",
+    "explain_pair",
+    "rank_candidates",
+    "margin",
+    "read_links",
+    "write_links",
+]

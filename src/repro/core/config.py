@@ -1,0 +1,81 @@
+"""Configuration for the User-Matching algorithm.
+
+Mirrors the inputs of the paper's pseudocode: the minimum matching score
+``T``, the number of outer iterations ``k``, and the maximum degree ``D``
+controlling the bucket schedule — plus two implementation knobs the paper
+leaves open (tie handling and disabling bucketing for the ablation study).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import MatcherConfigError
+
+
+class TiePolicy(enum.Enum):
+    """What to do when a node's top similarity score is not unique.
+
+    The paper's pseudocode adds "the pair with highest score"; with a tie
+    there is no such pair.  ``SKIP`` refuses to match the node this round
+    (it usually resolves in a later round once more neighbors are linked)
+    — this favors precision and is the default.  ``LOWEST_ID`` breaks ties
+    deterministically by id order, trading precision for recall.
+    """
+
+    SKIP = "skip"
+    LOWEST_ID = "lowest_id"
+
+
+@dataclass(frozen=True)
+class MatcherConfig:
+    """Tuning parameters of :class:`~repro.core.matcher.UserMatching`.
+
+    Attributes:
+        threshold: minimum matching score ``T``; pairs scoring below it are
+            never linked.  The paper uses 2–3 for high precision on dense
+            graphs, 9 for the PA theory, 3 for the ER theory.
+        iterations: outer iteration count ``k``; the paper notes ``k`` of
+            1 or 2 already gives "very interesting results".
+        max_degree: the ``D`` parameter; ``None`` (default) uses the max
+            degree observed across both input graphs.
+        use_degree_buckets: sweep degree buckets ``2^j`` from high to low
+            (the paper's algorithm).  ``False`` reproduces the ablation:
+            all degrees matched at once.
+        min_bucket_exponent: smallest ``j`` of the sweep.  The paper stops
+            at ``j = 1`` (degree >= 2), the default; set 0 to let
+            degree-1 nodes participate (only useful with ``threshold=1``,
+            since a degree-1 node can never have 2 witnesses).
+        tie_policy: see :class:`TiePolicy`.
+    """
+
+    threshold: int = 2
+    iterations: int = 1
+    max_degree: int | None = None
+    use_degree_buckets: bool = True
+    min_bucket_exponent: int = 1
+    tie_policy: TiePolicy = TiePolicy.SKIP
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.threshold, int) or self.threshold < 1:
+            raise MatcherConfigError(
+                f"threshold must be an integer >= 1, got {self.threshold!r}"
+            )
+        if not isinstance(self.iterations, int) or self.iterations < 1:
+            raise MatcherConfigError(
+                f"iterations must be an integer >= 1, got {self.iterations!r}"
+            )
+        if self.max_degree is not None and self.max_degree < 1:
+            raise MatcherConfigError(
+                f"max_degree must be >= 1 or None, got {self.max_degree!r}"
+            )
+        if self.min_bucket_exponent < 0:
+            raise MatcherConfigError(
+                "min_bucket_exponent must be >= 0, "
+                f"got {self.min_bucket_exponent!r}"
+            )
+        if not isinstance(self.tie_policy, TiePolicy):
+            raise MatcherConfigError(
+                f"tie_policy must be a TiePolicy, got {self.tie_policy!r}"
+            )

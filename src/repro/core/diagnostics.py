@@ -1,0 +1,119 @@
+"""Match diagnostics: explain *why* a link was (or wasn't) made.
+
+A production reconciliation system needs to answer "why did you link
+these two accounts?" — both for debugging and for abuse review (the
+paper's §1 argues robustness reviews are underrated).  The helpers here
+enumerate a pair's similarity witnesses and rank a node's candidates,
+straight from Definition 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.graphs.graph import Graph
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class MatchExplanation:
+    """Evidence for one candidate pair.
+
+    Attributes:
+        left: the g1 node.
+        right: the g2 node.
+        witnesses: the linked pairs ``(u1, u2)`` supporting the match —
+            ``u1`` adjacent to *left* in g1, ``u2`` adjacent to *right*
+            in g2 (Definition 1 of the paper).
+        score: ``len(witnesses)``, the matching score.
+    """
+
+    left: Node
+    right: Node
+    witnesses: tuple[tuple[Node, Node], ...]
+
+    @property
+    def score(self) -> int:
+        """The pair's similarity-witness count."""
+        return len(self.witnesses)
+
+    def __str__(self) -> str:
+        listing = ", ".join(
+            f"{u1!r}~{u2!r}" for u1, u2 in self.witnesses[:10]
+        )
+        suffix = "..." if len(self.witnesses) > 10 else ""
+        return (
+            f"({self.left!r} -> {self.right!r}) score={self.score}: "
+            f"witnesses [{listing}{suffix}]"
+        )
+
+
+def explain_pair(
+    g1: Graph,
+    g2: Graph,
+    links: dict[Node, Node],
+    v1: Node,
+    v2: Node,
+) -> MatchExplanation:
+    """Enumerate the similarity witnesses of the pair ``(v1, v2)``."""
+    n2 = g2.neighbors(v2)
+    witnesses = []
+    for u1 in sorted(g1.neighbors(v1), key=repr):
+        u2 = links.get(u1)
+        if u2 is not None and u2 in n2:
+            witnesses.append((u1, u2))
+    return MatchExplanation(
+        left=v1, right=v2, witnesses=tuple(witnesses)
+    )
+
+
+def rank_candidates(
+    g1: Graph,
+    g2: Graph,
+    links: dict[Node, Node],
+    v1: Node,
+    limit: int = 10,
+) -> list[MatchExplanation]:
+    """Rank ``v1``'s candidates in g2 by witness count, best first.
+
+    Only candidates with at least one witness appear (any other node has
+    score zero by definition).  Already-linked right nodes are excluded,
+    mirroring the matcher's candidate rule.
+    """
+    linked_right = set(links.values())
+    counts: dict[Node, int] = {}
+    for u1 in g1.neighbors(v1):
+        u2 = links.get(u1)
+        if u2 is None or not g2.has_node(u2):
+            continue
+        for cand in g2.neighbors(u2):
+            if cand not in linked_right:
+                counts[cand] = counts.get(cand, 0) + 1
+    ranked = sorted(
+        counts, key=lambda c: (-counts[c], repr(c))
+    )[:limit]
+    return [
+        explain_pair(g1, g2, links, v1, cand) for cand in ranked
+    ]
+
+
+def margin(
+    g1: Graph,
+    g2: Graph,
+    links: dict[Node, Node],
+    v1: Node,
+) -> int:
+    """Best-minus-second-best witness count among ``v1``'s candidates.
+
+    A large margin means the match is unambiguous; zero means a tie (the
+    SKIP policy would refuse it).  Returns 0 when there are no
+    candidates, and the top score itself when there is exactly one.
+    """
+    ranked = rank_candidates(g1, g2, links, v1, limit=2)
+    if not ranked:
+        return 0
+    if len(ranked) == 1:
+        return ranked[0].score
+    return ranked[0].score - ranked[1].score

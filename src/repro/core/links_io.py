@@ -1,0 +1,72 @@
+"""Persistence for identification links.
+
+A reconciliation system's output is the link set; these helpers persist
+it as TSV (``g1_node<TAB>g2_node``, ``#``-comments, ``.gz`` transparent)
+and reload it for seeding later runs — the incremental-deployment loop
+the paper envisions ("use the newly generated set of links as input to
+the next phase").
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+from typing import IO, Hashable
+
+from repro.errors import ReproError
+
+Node = Hashable
+
+
+def _open(path: Path, mode: str) -> IO[str]:
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
+def _parse_node(token: str) -> object:
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def write_links(
+    links: dict[Node, Node], path: str | Path, header: str = ""
+) -> None:
+    """Write a link mapping as TSV (ids rendered with ``str``)."""
+    path = Path(path)
+    with _open(path, "w") as fh:
+        fh.write(f"# links={len(links)}\n")
+        if header:
+            for line in header.splitlines():
+                fh.write(f"# {line}\n")
+        for v1, v2 in links.items():
+            fh.write(f"{v1}\t{v2}\n")
+
+
+def read_links(path: str | Path) -> dict[Node, Node]:
+    """Read a TSV link mapping written by :func:`write_links`.
+
+    Int-like tokens come back as ints, everything else as strings.
+    Raises :class:`ReproError` on malformed lines or duplicate sources.
+    """
+    path = Path(path)
+    links: dict[Node, Node] = {}
+    with _open(path, "r") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.rstrip("\n")
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split("\t")
+            if len(parts) != 2:
+                raise ReproError(
+                    f"{path}:{lineno}: expected 'v1<TAB>v2', got {line!r}"
+                )
+            v1 = _parse_node(parts[0])
+            if v1 in links:
+                raise ReproError(
+                    f"{path}:{lineno}: duplicate source node {v1!r}"
+                )
+            links[v1] = _parse_node(parts[1])
+    return links

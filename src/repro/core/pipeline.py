@@ -1,0 +1,46 @@
+"""One-call convenience wrapper around the full reconciliation pipeline."""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.core.config import MatcherConfig
+from repro.core.matcher import UserMatching
+from repro.core.result import MatchingResult
+from repro.graphs.graph import Graph
+
+Node = Hashable
+
+
+def reconcile(
+    g1: Graph,
+    g2: Graph,
+    seeds: dict[Node, Node],
+    threshold: int = 2,
+    iterations: int = 1,
+    use_degree_buckets: bool = True,
+) -> MatchingResult:
+    """Reconcile two networks with User-Matching using common defaults.
+
+    This is the quickstart entry point::
+
+        from repro import reconcile
+        result = reconcile(g1, g2, seeds, threshold=2, iterations=2)
+
+    Args:
+        g1: first network.
+        g2: second network.
+        seeds: initial identification links (``g1-node -> g2-node``).
+        threshold: minimum matching score ``T``.
+        iterations: outer iteration count ``k``.
+        use_degree_buckets: keep the paper's high-degree-first schedule.
+
+    Returns:
+        :class:`~repro.core.result.MatchingResult`.
+    """
+    config = MatcherConfig(
+        threshold=threshold,
+        iterations=iterations,
+        use_degree_buckets=use_degree_buckets,
+    )
+    return UserMatching(config).run(g1, g2, seeds)

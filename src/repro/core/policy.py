@@ -1,0 +1,92 @@
+"""Mutual-best link selection (the paper's matching rule).
+
+From the pseudocode: *"If (u, v) is the pair with highest score in which
+either u or v appear and the score is above T, add (u, v) to L."*  A pair
+is therefore emitted iff it is simultaneously the best candidate for its
+left node and for its right node, and scores at least ``T``.  This makes
+the per-round output automatically one-to-one: two emitted pairs can never
+share an endpoint, because each endpoint's best is unique (under the SKIP
+tie policy) or deterministic (LOWEST_ID).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.core.config import TiePolicy
+
+Node = Hashable
+
+#: Sentinel meaning "this node's best score was tied" under SKIP.
+_TIED = object()
+
+
+def _best_per_left(
+    scores: dict[Node, dict[Node, int]],
+    threshold: int,
+    tie_policy: TiePolicy,
+) -> dict[Node, Node]:
+    """For each left node, its unique best right candidate above threshold."""
+    best: dict[Node, Node] = {}
+    for v1, row in scores.items():
+        top = max(row.values())
+        if top < threshold:
+            continue
+        winners = [v2 for v2, sc in row.items() if sc == top]
+        if len(winners) == 1:
+            best[v1] = winners[0]
+        elif tie_policy is TiePolicy.LOWEST_ID:
+            best[v1] = min(winners, key=repr)
+        # SKIP: drop v1 this round.
+    return best
+
+
+def _best_per_right(
+    scores: dict[Node, dict[Node, int]],
+    threshold: int,
+    tie_policy: TiePolicy,
+) -> dict[Node, Node]:
+    """For each right node, its unique best left candidate above threshold."""
+    best_score: dict[Node, int] = {}
+    best_left: dict[Node, object] = {}
+    for v1, row in scores.items():
+        for v2, sc in row.items():
+            if sc < threshold:
+                continue
+            prev = best_score.get(v2)
+            if prev is None or sc > prev:
+                best_score[v2] = sc
+                best_left[v2] = v1
+            elif sc == prev:
+                if tie_policy is TiePolicy.LOWEST_ID:
+                    if repr(v1) < repr(best_left[v2]):
+                        best_left[v2] = v1
+                else:
+                    best_left[v2] = _TIED
+    return {
+        v2: v1 for v2, v1 in best_left.items() if v1 is not _TIED
+    }
+
+
+def select_mutual_best(
+    scores: dict[Node, dict[Node, int]],
+    threshold: int,
+    tie_policy: TiePolicy = TiePolicy.SKIP,
+) -> dict[Node, Node]:
+    """Apply the mutual-best rule to a witness-score table.
+
+    Args:
+        scores: ``scores[v1][v2]`` = witness count (nonzero entries only).
+        threshold: minimum matching score ``T``.
+        tie_policy: tie handling, see :class:`TiePolicy`.
+
+    Returns:
+        New links ``v1 -> v2``; guaranteed one-to-one.
+    """
+    left_best = _best_per_left(scores, threshold, tie_policy)
+    right_best = _best_per_right(scores, threshold, tie_policy)
+    out: dict[Node, Node] = {}
+    for v1, v2 in left_best.items():
+        if right_best.get(v2) == v1:
+            out[v1] = v2
+    return out

@@ -1,0 +1,77 @@
+"""Result types for the User-Matching algorithm."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class PhaseRecord:
+    """Bookkeeping for one (iteration, bucket) matching round.
+
+    Attributes:
+        iteration: outer iteration index (1-based, the paper's ``i``).
+        bucket_exponent: the ``j`` of the degree bucket ``2^j`` (``None``
+            when bucketing is disabled).
+        min_degree: the degree floor ``2^j`` applied in this round.
+        candidates: number of candidate pairs that received a nonzero
+            similarity score.
+        witnesses_emitted: total similarity-witness pairs counted (the
+            size of the paper's second MapReduce round output).
+        links_added: new identification links produced by this round.
+    """
+
+    iteration: int
+    bucket_exponent: int | None
+    min_degree: int
+    candidates: int
+    witnesses_emitted: int
+    links_added: int
+
+
+@dataclass
+class MatchingResult:
+    """Output of a matcher run.
+
+    Attributes:
+        links: the full identification mapping ``g1-node -> g2-node``,
+            including the input seeds.
+        seeds: the seed links the run started from.
+        phases: per-round history (in execution order).
+    """
+
+    links: dict[Node, Node]
+    seeds: dict[Node, Node]
+    phases: list[PhaseRecord] = field(default_factory=list)
+
+    @property
+    def new_links(self) -> dict[Node, Node]:
+        """Links discovered by the algorithm (excludes seeds)."""
+        return {
+            v1: v2 for v1, v2 in self.links.items() if v1 not in self.seeds
+        }
+
+    @property
+    def num_links(self) -> int:
+        """Total links, seeds included."""
+        return len(self.links)
+
+    @property
+    def num_new_links(self) -> int:
+        """Links discovered beyond the seeds."""
+        return len(self.links) - len(self.seeds)
+
+    @property
+    def total_witnesses(self) -> int:
+        """Sum of witness pairs emitted across every round (cost proxy)."""
+        return sum(p.witnesses_emitted for p in self.phases)
+
+    def __repr__(self) -> str:
+        return (
+            f"MatchingResult(num_links={self.num_links}, "
+            f"num_new_links={self.num_new_links}, "
+            f"phases={len(self.phases)})"
+        )

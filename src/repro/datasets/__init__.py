@@ -1,0 +1,28 @@
+"""Dataset stand-ins for the paper's evaluation corpora.
+
+The paper evaluates on six public datasets (Table 1): Facebook/WOSN-09,
+Enron, DBLP, Gowalla, and French/German Wikipedia, plus synthetic PA, RMAT
+and Affiliation-Network graphs.  The real downloads are unavailable in this
+offline reproduction, so each is replaced by a generator producing a graph
+with the structural properties the corresponding experiment depends on
+(documented per-generator and in DESIGN.md §3).  All are deterministic
+given a seed and scale down to laptop sizes.
+"""
+
+from repro.datasets.dblp import synthetic_dblp
+from repro.datasets.gowalla import synthetic_gowalla
+from repro.datasets.registry import DATASETS, DatasetSpec, load_dataset
+from repro.datasets.synthetic import enron_like, facebook_like
+from repro.datasets.wikipedia import WikipediaPair, synthetic_wikipedia_pair
+
+__all__ = [
+    "facebook_like",
+    "enron_like",
+    "synthetic_dblp",
+    "synthetic_gowalla",
+    "synthetic_wikipedia_pair",
+    "WikipediaPair",
+    "DatasetSpec",
+    "DATASETS",
+    "load_dataset",
+]

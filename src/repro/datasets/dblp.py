@@ -1,0 +1,101 @@
+"""Synthetic DBLP-style co-authorship stream with publication years.
+
+The Table 5 experiment splits DBLP into even-year and odd-year
+co-authorship graphs.  What makes that split informative is that research
+collaborations *recur*: the same team publishes across many years, so the
+two slices of a productive group overlap strongly, while one-shot
+collaborations appear in only one slice — producing the huge low-degree
+mass (310K of 380K shared nodes under degree 5) the paper reports.
+
+This simulator reproduces those mechanics: authors arrive over time; papers
+are written either by a recurring team (with light membership churn) or by
+a fresh team assembled around a preferentially-chosen lead; every paper
+stamps co-authorship events with its year.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DatasetError
+from repro.graphs.temporal import TemporalGraph
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_positive, check_probability
+
+
+def synthetic_dblp(
+    n_authors: int = 6000,
+    years: int = 30,
+    papers_per_year: int = 400,
+    team_reuse_prob: float = 0.55,
+    max_team_size: int = 5,
+    seed=None,
+) -> TemporalGraph:
+    """Generate a co-authorship event stream ``(author, author, year)``.
+
+    Args:
+        n_authors: total author population (arrives linearly over time).
+        years: number of publication years (timestamps ``0..years-1``;
+            even years form one Table 5 copy, odd years the other).
+        papers_per_year: papers written per year.
+        team_reuse_prob: probability a paper comes from an existing team
+            (with one member possibly swapped) rather than a fresh team.
+        max_team_size: maximum authors per paper (>= 2).
+        seed: RNG seed.
+    """
+    check_positive("n_authors", n_authors)
+    check_positive("years", years)
+    check_positive("papers_per_year", papers_per_year)
+    check_probability("team_reuse_prob", team_reuse_prob)
+    if max_team_size < 2:
+        raise DatasetError(
+            f"max_team_size must be >= 2, got {max_team_size}"
+        )
+    rng = ensure_rng(seed)
+    tg = TemporalGraph()
+    teams: list[list[int]] = []
+    paper_counts: list[int] = [0] * n_authors
+    # Repeated-author list: uniform draws = preferential by paper count.
+    weighted_authors: list[int] = []
+    randrange = rng.randrange
+    random_ = rng.random
+    randint = rng.randint
+
+    def active_pool(year: int) -> int:
+        """Authors that have arrived by *year* (at least a small core)."""
+        arrived = max(10, (year + 1) * n_authors // years)
+        return min(arrived, n_authors)
+
+    def pick_author(pool: int) -> int:
+        """Preferential by publication count, uniform fallback."""
+        if weighted_authors and random_() < 0.8:
+            a = weighted_authors[randrange(len(weighted_authors))]
+            if a < pool:
+                return a
+        return randrange(pool)
+
+    for year in range(years):
+        pool = active_pool(year)
+        for _ in range(papers_per_year):
+            if teams and random_() < team_reuse_prob:
+                team = list(teams[randrange(len(teams))])
+                if len(team) > 2 and random_() < 0.3:
+                    # Membership churn: swap one member.
+                    team[randrange(len(team))] = pick_author(pool)
+            else:
+                size = randint(2, max_team_size)
+                lead = pick_author(pool)
+                team = [lead]
+                while len(team) < size:
+                    member = pick_author(pool)
+                    if member not in team:
+                        team.append(member)
+                teams.append(team)
+            seen = set()
+            clean_team = [
+                a for a in team if not (a in seen or seen.add(a))
+            ]
+            for i, u in enumerate(clean_team):
+                paper_counts[u] += 1
+                weighted_authors.append(u)
+                for v in clean_team[i + 1 :]:
+                    tg.add_event(u, v, year)
+    return tg

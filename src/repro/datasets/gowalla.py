@@ -1,0 +1,91 @@
+"""Synthetic Gowalla-style friendships plus monthly co-location events.
+
+The Table 5 Gowalla experiment links two users in copy 1 iff they are
+friends *and* checked in at approximately the same location in an odd
+month, and in copy 2 likewise for even months.  The defining property is
+that a friendship edge appears in a copy only when an exogenous mobility
+process happens to co-locate the two friends during that copy's months.
+
+The simulator gives every user a home cell on a grid; friendships form
+preferentially and are homophilous (most friends share a home cell);
+each month an active user checks in either at home or at a travel cell.
+Friends co-locating in a month produce an event ``(u, v, month)``.
+"""
+
+from __future__ import annotations
+
+from repro.generators.powerlaw_cluster import powerlaw_cluster_graph
+from repro.graphs.graph import Graph
+from repro.graphs.temporal import TemporalGraph
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_positive, check_probability
+
+
+def synthetic_gowalla(
+    n_users: int = 5000,
+    months: int = 24,
+    n_cells: int = 40,
+    friend_m: int = 5,
+    same_cell_prob: float = 0.65,
+    active_prob: float = 0.75,
+    travel_prob: float = 0.15,
+    seed=None,
+) -> tuple[TemporalGraph, Graph]:
+    """Generate ``(co_location_events, friendship_graph)``.
+
+    Args:
+        n_users: number of users.
+        months: number of months (timestamps ``0..months-1``; odd months
+            form one Table 5 copy, even months the other).
+        n_cells: number of location cells.
+        friend_m: friendship edges per arriving user (powerlaw-cluster).
+        same_cell_prob: probability a new friend shares the home cell.
+        active_prob: probability a user checks in at all in a month.
+        travel_prob: probability an active user's check-in that month is
+            at a random travel cell instead of home.
+        seed: RNG seed.
+
+    Returns:
+        The temporal co-location graph (feed to
+        :func:`repro.sampling.split_by_parity`) and the underlying
+        friendship graph.
+    """
+    check_positive("n_users", n_users)
+    check_positive("months", months)
+    check_positive("n_cells", n_cells)
+    check_probability("same_cell_prob", same_cell_prob)
+    check_probability("active_prob", active_prob)
+    check_probability("travel_prob", travel_prob)
+    rng = ensure_rng(seed)
+    friends = powerlaw_cluster_graph(
+        n_users, friend_m, triangle_prob=0.5, seed=rng
+    )
+    randrange = rng.randrange
+    random_ = rng.random
+    # Home cells with friend homophily: propagate a friend's home cell.
+    home: dict[int, int] = {}
+    for user in range(n_users):
+        placed = False
+        nbrs = [v for v in friends.neighbors(user) if v in home]
+        if nbrs and random_() < same_cell_prob:
+            home[user] = home[nbrs[randrange(len(nbrs))]]
+            placed = True
+        if not placed:
+            home[user] = randrange(n_cells)
+    tg = TemporalGraph()
+    for user in range(n_users):
+        tg.add_node(user)
+    for month in range(months):
+        # Cell of each user this month (None = inactive).
+        cell: dict[int, int] = {}
+        for user in range(n_users):
+            if random_() < active_prob:
+                if random_() < travel_prob:
+                    cell[user] = randrange(n_cells)
+                else:
+                    cell[user] = home[user]
+        for u, v in friends.edges():
+            cu = cell.get(u)
+            if cu is not None and cu == cell.get(v):
+                tg.add_event(u, v, month)
+    return tg, friends

@@ -1,0 +1,19 @@
+"""Evaluation: precision/recall accounting, degree breakdowns, tables."""
+
+from repro.evaluation.degree_stratified import (
+    DegreeBucketStats,
+    degree_stratified_report,
+)
+from repro.evaluation.harness import TrialResult, run_trial
+from repro.evaluation.metrics import MatchingReport, evaluate
+from repro.evaluation.tables import format_table
+
+__all__ = [
+    "MatchingReport",
+    "evaluate",
+    "DegreeBucketStats",
+    "degree_stratified_report",
+    "format_table",
+    "TrialResult",
+    "run_trial",
+]

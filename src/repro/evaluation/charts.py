@@ -1,0 +1,98 @@
+"""ASCII chart rendering for the paper's figures.
+
+The reproduction is CLI-first (no plotting dependencies), so Figure 2's
+recall-vs-seed-probability curves and Figure 4's precision/recall-vs-
+degree series are rendered as aligned ASCII charts.  ``repro run fig2``
+prints the table; these helpers turn its rows into something eyeballable.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+BAR_CHARS = "▏▎▍▌▋▊▉█"
+
+
+def horizontal_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    max_value: float | None = None,
+    title: str | None = None,
+    value_format: str = "{:.3f}",
+) -> str:
+    """Render labeled horizontal bars.
+
+    Args:
+        labels: one label per bar.
+        values: one non-negative value per bar.
+        width: bar width in characters at ``max_value``.
+        max_value: scale maximum (defaults to ``max(values)``).
+        title: optional heading line.
+        value_format: format spec for the numeric suffix.
+    """
+    if len(labels) != len(values):
+        raise ValueError(
+            f"{len(labels)} labels vs {len(values)} values"
+        )
+    if any(v < 0 for v in values):
+        raise ValueError("bar values must be non-negative")
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    if not values:
+        return "\n".join(lines + ["(no data)"])
+    top = max_value if max_value is not None else max(values)
+    top = top or 1.0
+    label_width = max(len(str(lab)) for lab in labels)
+    for label, value in zip(labels, values):
+        filled = min(value / top, 1.0) * width
+        whole = int(filled)
+        frac = filled - whole
+        bar = "█" * whole
+        if whole < width and frac > 0:
+            bar += BAR_CHARS[int(frac * len(BAR_CHARS))]
+        lines.append(
+            f"{str(label).rjust(label_width)} |{bar.ljust(width)}| "
+            + value_format.format(value)
+        )
+    return "\n".join(lines)
+
+
+def series_chart(
+    rows: Sequence[dict],
+    x_key: str,
+    y_key: str,
+    group_key: str | None = None,
+    width: int = 40,
+    title: str | None = None,
+) -> str:
+    """Render one bar chart per group from experiment rows.
+
+    E.g. Figure 2: ``series_chart(rows, "seed_prob", "recall",
+    group_key="threshold")`` draws one recall-vs-seed-probability block
+    per threshold.
+    """
+    if group_key is None:
+        groups: dict[object, list[dict]] = {None: list(rows)}
+    else:
+        groups = {}
+        for row in rows:
+            groups.setdefault(row[group_key], []).append(row)
+    top = max((row[y_key] for row in rows), default=1.0)
+    blocks: list[str] = []
+    if title:
+        blocks.append(title)
+    for group, group_rows in groups.items():
+        heading = (
+            f"-- {group_key} = {group} --" if group is not None else None
+        )
+        chart = horizontal_bar_chart(
+            [str(row[x_key]) for row in group_rows],
+            [float(row[y_key]) for row in group_rows],
+            width=width,
+            max_value=top,
+            title=heading,
+        )
+        blocks.append(chart)
+    return "\n".join(blocks)

@@ -1,0 +1,76 @@
+"""Experiment harness: one trial = copies + seeds + matcher + evaluation.
+
+Experiments compose a :class:`~repro.sampling.pair.GraphPair`, a seed set
+and a matcher configuration, then call :func:`run_trial` to obtain a
+:class:`TrialResult` bundling the matching result, its quality report and
+the wall-clock cost — the unit every table/figure driver is built from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from repro.core.config import MatcherConfig
+from repro.core.matcher import UserMatching
+from repro.core.result import MatchingResult
+from repro.evaluation.metrics import MatchingReport, evaluate
+from repro.sampling.pair import GraphPair
+from repro.utils.timing import Timer
+
+Node = Hashable
+
+
+@dataclass
+class TrialResult:
+    """Everything produced by one matcher trial.
+
+    Attributes:
+        result: the matcher output (links + phase history).
+        report: quality accounting against ground truth.
+        elapsed: matcher wall-clock seconds.
+        params: free-form experiment parameters for tabulation.
+    """
+
+    result: MatchingResult
+    report: MatchingReport
+    elapsed: float
+    params: dict[str, object] = field(default_factory=dict)
+
+    def row(self) -> dict[str, object]:
+        """Flatten into one table row: params + quality + cost."""
+        out: dict[str, object] = dict(self.params)
+        out.update(self.report.as_dict())
+        out["elapsed_s"] = round(self.elapsed, 4)
+        return out
+
+
+def run_trial(
+    pair: GraphPair,
+    seeds: dict[Node, Node],
+    config: MatcherConfig | None = None,
+    matcher=None,
+    params: dict[str, object] | None = None,
+) -> TrialResult:
+    """Run one matcher trial and evaluate it.
+
+    Args:
+        pair: the two copies plus ground truth.
+        seeds: initial identification links.
+        config: matcher configuration (ignored when *matcher* is given).
+        matcher: any object with ``run(g1, g2, seeds)`` — defaults to
+            :class:`UserMatching` with *config*; pass a baseline matcher
+            to reuse the same harness.
+        params: extra key/values recorded in the result row.
+    """
+    if matcher is None:
+        matcher = UserMatching(config or MatcherConfig())
+    with Timer() as timer:
+        result = matcher.run(pair.g1, pair.g2, seeds)
+    report = evaluate(result, pair)
+    return TrialResult(
+        result=result,
+        report=report,
+        elapsed=timer.elapsed,
+        params=dict(params or {}),
+    )

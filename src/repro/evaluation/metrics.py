@@ -1,0 +1,135 @@
+"""Matching quality metrics, with the paper's Good/Bad accounting.
+
+The paper's tables report **Good** (correctly identified pairs) and **Bad**
+(wrong pairs) — over *newly found* links, i.e. excluding the seeds the run
+started from.  Recall denominators are the "identifiable" nodes: ground-
+truth pairs with degree >= 1 in both copies ("note that we can only detect
+nodes which have at least degree 1 in both networks").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.core.result import MatchingResult
+from repro.errors import EvaluationError
+from repro.sampling.pair import GraphPair
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class MatchingReport:
+    """Quality accounting of one matcher run against ground truth.
+
+    Attributes:
+        good: correct links, seeds included.
+        bad: wrong links, seeds included (a link is wrong when the left
+            node's true counterpart exists and differs, or when either
+            endpoint has no true counterpart — e.g. a sybil).
+        new_good: correct links among those *discovered* (non-seed).
+        new_bad: wrong links among those discovered.
+        num_seeds: number of seed links the run started from.
+        identifiable: ground-truth pairs with degree >= 1 in both copies.
+    """
+
+    good: int
+    bad: int
+    new_good: int
+    new_bad: int
+    num_seeds: int
+    identifiable: int
+
+    @property
+    def precision(self) -> float:
+        """Correct fraction of all output links (1.0 when no links)."""
+        total = self.good + self.bad
+        return self.good / total if total else 1.0
+
+    @property
+    def new_precision(self) -> float:
+        """Correct fraction of newly discovered links (1.0 when none)."""
+        total = self.new_good + self.new_bad
+        return self.new_good / total if total else 1.0
+
+    @property
+    def error_rate(self) -> float:
+        """1 − precision over all links."""
+        return 1.0 - self.precision
+
+    @property
+    def new_error_rate(self) -> float:
+        """1 − precision over newly discovered links (the paper's 'error
+        rate among newly identified nodes')."""
+        return 1.0 - self.new_precision
+
+    @property
+    def recall(self) -> float:
+        """Good links over identifiable ground-truth pairs."""
+        return self.good / self.identifiable if self.identifiable else 0.0
+
+    @property
+    def new_recall(self) -> float:
+        """Newly-found good links over identifiable non-seed pairs."""
+        denom = self.identifiable - self.num_seeds
+        return self.new_good / denom if denom > 0 else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """Flatten counters and derived rates for tabulation."""
+        return {
+            "good": self.good,
+            "bad": self.bad,
+            "new_good": self.new_good,
+            "new_bad": self.new_bad,
+            "num_seeds": self.num_seeds,
+            "identifiable": self.identifiable,
+            "precision": self.precision,
+            "recall": self.recall,
+            "new_error_rate": self.new_error_rate,
+        }
+
+
+def evaluate(
+    result: MatchingResult,
+    pair: GraphPair,
+) -> MatchingReport:
+    """Score *result* against the ground truth of *pair*.
+
+    Links whose left endpoint has a true counterpart are good iff they hit
+    it.  Links involving nodes with no true counterpart (sybils,
+    single-language concepts) are counted bad: in a user-facing system any
+    such suggestion is an error.
+    """
+    identity = pair.identity
+    reverse = pair.reverse_identity
+    if not identity:
+        raise EvaluationError("ground truth identity mapping is empty")
+    good = bad = new_good = new_bad = 0
+    seeds = result.seeds
+    for v1, v2 in result.links.items():
+        truth = identity.get(v1)
+        if truth is not None:
+            correct = truth == v2
+        else:
+            # v1 has no true counterpart; matching it to anything is an
+            # error, and so is consuming a v2 that belongs to someone else.
+            correct = False
+        if v2 not in reverse and truth is None:
+            correct = False
+        if correct:
+            good += 1
+            if v1 not in seeds:
+                new_good += 1
+        else:
+            bad += 1
+            if v1 not in seeds:
+                new_bad += 1
+    return MatchingReport(
+        good=good,
+        bad=bad,
+        new_good=new_good,
+        new_bad=new_bad,
+        num_seeds=len(seeds),
+        identifiable=len(pair.identifiable_nodes()),
+    )

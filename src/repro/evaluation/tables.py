@@ -1,0 +1,62 @@
+"""Plain-text table rendering for experiment output.
+
+Experiments print tables shaped like the paper's (e.g. Table 3's
+``Pr × Threshold`` grid of Good/Bad counts); this module renders aligned
+ASCII without external dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table.
+
+    Floats are shown with 4 significant digits; everything else with
+    ``str``.  Column widths adapt to content.
+    """
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    str_rows = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for i, text in enumerate(row):
+            widths[i] = max(widths[i], len(text))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(
+            " | ".join(text.rjust(w) for text, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def format_report_rows(
+    rows: Iterable[dict[str, object]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render dict-rows (e.g. ``MatchingReport.as_dict()``) as a table."""
+    rows = list(rows)
+    if not rows:
+        return title or "(no rows)"
+    if columns is None:
+        columns = list(rows[0])
+    body = [[row.get(col, "") for col in columns] for row in rows]
+    return format_table(columns, body, title=title)

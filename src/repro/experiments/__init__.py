@@ -1,0 +1,40 @@
+"""Experiment drivers — one module per table/figure of the paper's §5.
+
+Every driver exposes a ``run(...)`` function with laptop-scale defaults
+returning an :class:`~repro.experiments.common.ExperimentResult` whose rows
+mirror the corresponding paper table/figure series.  The benchmarks in
+``benchmarks/`` and the CLI both call these drivers; EXPERIMENTS.md records
+paper-vs-measured values.
+"""
+
+from repro.experiments import (
+    ablation,
+    attack,
+    fig2_pa,
+    fig3_cascade,
+    fig4_degree,
+    percolation,
+    robustness,
+    table2_rmat,
+    table3_fb_enron,
+    table4_affiliation,
+    table5_realworld,
+    theory_validation,
+)
+from repro.experiments.common import ExperimentResult
+
+__all__ = [
+    "ExperimentResult",
+    "fig2_pa",
+    "table2_rmat",
+    "table3_fb_enron",
+    "fig3_cascade",
+    "table4_affiliation",
+    "table5_realworld",
+    "fig4_degree",
+    "attack",
+    "ablation",
+    "robustness",
+    "percolation",
+    "theory_validation",
+]

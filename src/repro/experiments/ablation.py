@@ -1,0 +1,238 @@
+"""§5 ablations — what the design choices buy.
+
+The paper's final experiments isolate the ingredients of User-Matching:
+
+- **Degree bucketing**: on Facebook (s = 0.5, seeds 5%), re-running
+  without bucketing at threshold 1 increases bad matches by ~50% with no
+  significant gain in good ones.
+- **The simple common-neighbors algorithm**: under attack it recovers
+  less than half the matches (22,346 vs 46,955); on Wikipedia its error
+  rate is 27.87% vs 17.31% with recall under 13.52%.
+
+Extra ablations beyond the paper (same harness): the effect of the
+iteration count ``k`` and of the tie policy.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.common_neighbors import CommonNeighborsMatcher
+from repro.core.config import MatcherConfig, TiePolicy
+from repro.datasets.synthetic import facebook_like
+from repro.datasets.wikipedia import synthetic_wikipedia_pair
+from repro.evaluation.harness import run_trial
+from repro.experiments.common import ExperimentResult
+from repro.sampling.edge_sampling import independent_copies
+from repro.seeds.generators import sample_seeds
+from repro.utils.rng import ensure_rng, spawn_rngs
+
+
+def run_bucketing(
+    n: int = 8000,
+    s: float = 0.5,
+    link_prob: float = 0.05,
+    threshold: int = 1,
+    iterations: int = 2,
+    seed=0,
+) -> ExperimentResult:
+    """Degree bucketing on vs off (paper: off → ~50% more bad matches).
+
+    The no-bucketing runs get as many matching waves as the bucketed run
+    has (iteration, bucket) rounds, so the comparison isolates the degree
+    *schedule* rather than the amount of propagation.  Both tie policies
+    are shown: with forced ties (LOWEST_ID) removing bucketing inflates
+    errors as the paper reports; with SKIP it mostly costs recall.
+    """
+    rng_graph, rng_copies, rng_seeds = spawn_rngs(seed, 3)
+    graph = facebook_like(n, seed=rng_graph)
+    pair = independent_copies(graph, s1=s, seed=rng_copies)
+    seeds = sample_seeds(pair, link_prob, seed=rng_seeds)
+    result = ExperimentResult(
+        name="ablation-bucketing",
+        description=(
+            "degree bucketing on/off at equal threshold and wave budget "
+            "(paper: no bucketing inflates bad matches ~50%)"
+        ),
+        notes=f"facebook-like n={n}, s={s}, seeds={len(seeds)}",
+    )
+    # Match the wave count: a bucketed run performs k * len(buckets)
+    # selection rounds.
+    from repro.core.matcher import UserMatching
+
+    probe = UserMatching(
+        MatcherConfig(threshold=threshold, min_bucket_exponent=0)
+    )
+    waves = iterations * len(probe.bucket_exponents(pair.g1, pair.g2))
+    for tie_policy in (TiePolicy.LOWEST_ID, TiePolicy.SKIP):
+        for bucketing in (True, False):
+            config = MatcherConfig(
+                threshold=threshold,
+                iterations=iterations if bucketing else waves,
+                use_degree_buckets=bucketing,
+                min_bucket_exponent=0 if threshold == 1 else 1,
+                tie_policy=tie_policy,
+            )
+            trial = run_trial(pair, seeds, config=config)
+            report = trial.report
+            result.rows.append(
+                {
+                    "tie_policy": tie_policy.value,
+                    "bucketing": "on" if bucketing else "off",
+                    "threshold": threshold,
+                    "good": report.new_good,
+                    "bad": report.new_bad,
+                    "new_error_%": round(
+                        100 * report.new_error_rate, 2
+                    ),
+                    "recall": round(report.recall, 4),
+                    "elapsed_s": round(trial.elapsed, 3),
+                }
+            )
+    return result
+
+
+def run_simple_on_wikipedia(
+    n_concepts: int = 6000,
+    link_fraction: float = 0.10,
+    iterations: int = 2,
+    seed=0,
+) -> ExperimentResult:
+    """Full algorithm vs simple baseline on the Wikipedia-like pair.
+
+    Paper: simple algorithm error 27.87% vs 17.31%, recall < 13.52%.
+    """
+    rng_data, rng_seeds = spawn_rngs(seed, 2)
+    wiki = synthetic_wikipedia_pair(n_concepts=n_concepts, seed=rng_data)
+    pair = wiki.pair
+    rng = ensure_rng(rng_seeds)
+    seeds = {
+        v1: v2
+        for v1, v2 in wiki.interlanguage_links.items()
+        if rng.random() < link_fraction
+    }
+    result = ExperimentResult(
+        name="ablation-wikipedia",
+        description=(
+            "User-Matching vs simple common-neighbors on the "
+            "Wikipedia-like pair (paper: 17.31% vs 27.87% error)"
+        ),
+        notes=f"seeds={len(seeds)} (noisy interlanguage links)",
+    )
+    matchers = [
+        (
+            "user-matching",
+            None,
+            MatcherConfig(threshold=3, iterations=iterations),
+        ),
+        (
+            "common-neighbors (skip ties)",
+            CommonNeighborsMatcher(
+                threshold=1,
+                iterations=iterations,
+                tie_policy=TiePolicy.SKIP,
+            ),
+            None,
+        ),
+        (
+            "common-neighbors (forced ties)",
+            CommonNeighborsMatcher(
+                threshold=1,
+                iterations=iterations,
+                tie_policy=TiePolicy.LOWEST_ID,
+            ),
+            None,
+        ),
+    ]
+    for name, matcher, config in matchers:
+        trial = run_trial(pair, seeds, config=config, matcher=matcher)
+        report = trial.report
+        result.rows.append(
+            {
+                "algorithm": name,
+                "good": report.new_good,
+                "bad": report.new_bad,
+                "new_error_%": round(100 * report.new_error_rate, 2),
+                "recall": round(report.recall, 4),
+                "elapsed_s": round(trial.elapsed, 3),
+            }
+        )
+    return result
+
+
+def run_iterations(
+    n: int = 8000,
+    s: float = 0.5,
+    link_prob: float = 0.05,
+    threshold: int = 3,
+    ks: tuple[int, ...] = (1, 2, 3),
+    seed=0,
+) -> ExperimentResult:
+    """Extension ablation: the value of extra outer iterations ``k``."""
+    rng_graph, rng_copies, rng_seeds = spawn_rngs(seed, 3)
+    graph = facebook_like(n, seed=rng_graph)
+    pair = independent_copies(graph, s1=s, seed=rng_copies)
+    seeds = sample_seeds(pair, link_prob, seed=rng_seeds)
+    result = ExperimentResult(
+        name="ablation-iterations",
+        description="effect of the outer iteration count k",
+        notes=f"facebook-like n={n}, s={s}, threshold={threshold}",
+    )
+    for k in ks:
+        trial = run_trial(
+            pair,
+            seeds,
+            config=MatcherConfig(threshold=threshold, iterations=k),
+        )
+        report = trial.report
+        result.rows.append(
+            {
+                "iterations": k,
+                "good": report.new_good,
+                "bad": report.new_bad,
+                "recall": round(report.recall, 4),
+                "elapsed_s": round(trial.elapsed, 3),
+            }
+        )
+    return result
+
+
+def run_tie_policy(
+    n: int = 6000,
+    s: float = 0.5,
+    link_prob: float = 0.05,
+    threshold: int = 2,
+    iterations: int = 2,
+    seed=0,
+) -> ExperimentResult:
+    """Extension ablation: SKIP vs LOWEST_ID tie handling."""
+    rng_graph, rng_copies, rng_seeds = spawn_rngs(seed, 3)
+    graph = facebook_like(n, seed=rng_graph)
+    pair = independent_copies(graph, s1=s, seed=rng_copies)
+    seeds = sample_seeds(pair, link_prob, seed=rng_seeds)
+    result = ExperimentResult(
+        name="ablation-tie-policy",
+        description=(
+            "SKIP (refuse ambiguous matches) vs LOWEST_ID (force them)"
+        ),
+        notes=f"facebook-like n={n}, s={s}, threshold={threshold}",
+    )
+    for policy in (TiePolicy.SKIP, TiePolicy.LOWEST_ID):
+        trial = run_trial(
+            pair,
+            seeds,
+            config=MatcherConfig(
+                threshold=threshold,
+                iterations=iterations,
+                tie_policy=policy,
+            ),
+        )
+        report = trial.report
+        result.rows.append(
+            {
+                "tie_policy": policy.value,
+                "good": report.new_good,
+                "bad": report.new_bad,
+                "new_error_%": round(100 * report.new_error_rate, 2),
+                "recall": round(report.recall, 4),
+            }
+        )
+    return result

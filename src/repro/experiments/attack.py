@@ -1,0 +1,138 @@
+"""§5 "Robustness to attack" — matching under a sybil attack.
+
+Paper setup: Facebook copies with s = 0.75; in each copy, every node v
+gets a malicious clone w that each neighbor of v befriends with
+probability 0.5 — "a very strong attack model ... designed to circumvent
+our matching algorithm".  With seed probability 0.1 and threshold 2,
+User-Matching still aligns 46,955 of 63,731 nodes with only 114 errors.
+The simple common-neighbors algorithm keeps perfect precision but finds
+less than half as many matches (22,346).
+
+Accounting note: a sybil cloning ``v`` exists in *both* copies (the same
+fake profile), so sybil-to-own-twin alignments are not attack successes;
+the attack wins only when a real account is linked to a fake or wrong
+one.  The driver reports real-node good/bad (the paper's numbers) and
+sybil-twin alignments separately.
+
+Reproduction: identical protocol on the Facebook-like stand-in, running
+both User-Matching and the simple baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.baselines.common_neighbors import CommonNeighborsMatcher
+from repro.core.config import MatcherConfig
+from repro.core.matcher import UserMatching
+from repro.core.result import MatchingResult
+from repro.datasets.synthetic import facebook_like
+from repro.experiments.common import ExperimentResult
+from repro.sampling.attack import attacked_copies
+from repro.sampling.pair import GraphPair
+from repro.seeds.generators import sample_seeds
+from repro.utils.rng import spawn_rngs
+from repro.utils.timing import Timer
+
+Node = Hashable
+
+
+def real_node_accounting(
+    result: MatchingResult, pair: GraphPair
+) -> dict[str, int]:
+    """Split links into the paper's categories.
+
+    Returns counts of: ``good`` (real node correctly aligned), ``bad``
+    (real node aligned to a wrong/fake account, or a fake aligned to a
+    real account), and ``sybil_twins`` (a fake aligned to its own twin —
+    harmless).
+    """
+    identity = pair.identity
+    good = bad = twins = 0
+    for v1, v2 in result.links.items():
+        is_sybil = isinstance(v1, tuple) and v1 and v1[0] == "sybil"
+        if identity.get(v1) == v2:
+            if is_sybil:
+                twins += 1
+            else:
+                good += 1
+        else:
+            bad += 1
+    return {"good": good, "bad": bad, "sybil_twins": twins}
+
+
+def run(
+    n: int = 6000,
+    s: float = 0.75,
+    attach_prob: float = 0.5,
+    link_prob: float = 0.10,
+    threshold: int = 2,
+    iterations: int = 2,
+    include_baseline: bool = True,
+    seed=0,
+) -> ExperimentResult:
+    """Reproduce the sybil-attack experiment at reduced scale."""
+    rng_graph, rng_attack, rng_seeds = spawn_rngs(seed, 3)
+    graph = facebook_like(n, seed=rng_graph)
+    pair = attacked_copies(
+        graph, s=s, attach_prob=attach_prob, seed=rng_attack
+    )
+    # Seeds come from real accounts only — users link their own profiles.
+    real_pair_identity = {
+        v1: v2
+        for v1, v2 in pair.identity.items()
+        if not (isinstance(v1, tuple) and v1 and v1[0] == "sybil")
+    }
+    real_only = GraphPair(
+        g1=pair.g1, g2=pair.g2, identity=real_pair_identity
+    )
+    seeds = sample_seeds(real_only, link_prob, seed=rng_seeds)
+    result = ExperimentResult(
+        name="attack",
+        description=(
+            "sybil attack (clone every node, attach p=0.5): paper gets "
+            "46,955 good / 114 bad; simple baseline < half the matches"
+        ),
+        notes=(
+            f"n={n} real nodes + {n} sybils per copy, s={s}, "
+            f"seeds={len(seeds)}"
+        ),
+    )
+    matchers: list[tuple[str, object]] = [
+        (
+            "user-matching",
+            UserMatching(
+                MatcherConfig(threshold=threshold, iterations=iterations)
+            ),
+        ),
+    ]
+    if include_baseline:
+        matchers.append(
+            (
+                "common-neighbors",
+                CommonNeighborsMatcher(
+                    threshold=1, iterations=iterations
+                ),
+            )
+        )
+    for name, matcher in matchers:
+        with Timer() as timer:
+            match = matcher.run(pair.g1, pair.g2, seeds)
+        counts = real_node_accounting(match, pair)
+        denominator = counts["good"] + counts["bad"]
+        result.rows.append(
+            {
+                "algorithm": name,
+                "good": counts["good"],
+                "bad": counts["bad"],
+                "sybil_twins": counts["sybil_twins"],
+                "possible": n,
+                "precision": round(
+                    counts["good"] / denominator if denominator else 1.0,
+                    5,
+                ),
+                "recall": round(counts["good"] / n, 4),
+                "elapsed_s": round(timer.elapsed, 3),
+            }
+        )
+    return result

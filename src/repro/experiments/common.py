@@ -1,0 +1,46 @@
+"""Shared result container for experiment drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.evaluation.tables import format_table
+
+
+@dataclass
+class ExperimentResult:
+    """Rows produced by one experiment driver.
+
+    Attributes:
+        name: experiment id, e.g. ``"fig2"`` or ``"table3-facebook"``.
+        description: what the paper result being reproduced shows.
+        rows: list of dict rows (one per parameter combination / series
+            point).
+        notes: caveats (scale substitutions etc.).
+    """
+
+    name: str
+    description: str
+    rows: list[dict] = field(default_factory=list)
+    notes: str = ""
+
+    def columns(self) -> list[str]:
+        """Union of row keys, in first-appearance order."""
+        cols: list[str] = []
+        for row in self.rows:
+            for key in row:
+                if key not in cols:
+                    cols.append(key)
+        return cols
+
+    def to_table(self) -> str:
+        """Render rows as an aligned ASCII table with a title."""
+        if not self.rows:
+            return f"{self.name}: (no rows)"
+        cols = self.columns()
+        body = [[row.get(c, "") for c in cols] for row in self.rows]
+        title = f"== {self.name} — {self.description} =="
+        table = format_table(cols, body, title=title)
+        if self.notes:
+            table += f"\n   note: {self.notes}"
+        return table

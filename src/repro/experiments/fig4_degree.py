@@ -1,0 +1,68 @@
+"""Figure 4 — precision and recall vs node degree (DBLP, Gowalla).
+
+Paper result: on both temporal-split datasets, recall rises steeply with
+degree (low-degree nodes lack witness support) while precision stays
+uniformly high across degree buckets.
+
+Reproduction: run the Table 5 DBLP/Gowalla protocols once each and emit
+the per-degree-bucket precision/recall series.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import MatcherConfig
+from repro.datasets.dblp import synthetic_dblp
+from repro.datasets.gowalla import synthetic_gowalla
+from repro.evaluation.degree_stratified import degree_stratified_report
+from repro.evaluation.harness import run_trial
+from repro.experiments.common import ExperimentResult
+from repro.sampling.temporal_split import split_by_parity
+from repro.seeds.generators import sample_seeds
+from repro.utils.rng import spawn_rngs
+
+
+def run(
+    dataset: str = "dblp",
+    link_prob: float = 0.10,
+    threshold: int = 2,
+    iterations: int = 2,
+    seed=0,
+) -> ExperimentResult:
+    """Reproduce one Figure 4 panel (``dataset`` in {"dblp", "gowalla"})."""
+    rng_data, rng_seeds = spawn_rngs(seed, 2)
+    if dataset == "dblp":
+        temporal = synthetic_dblp(seed=rng_data)
+    elif dataset == "gowalla":
+        temporal, _ = synthetic_gowalla(seed=rng_data)
+    else:
+        raise ValueError(
+            f"dataset must be 'dblp' or 'gowalla', got {dataset!r}"
+        )
+    pair = split_by_parity(temporal)
+    seeds = sample_seeds(pair, link_prob, seed=rng_seeds)
+    trial = run_trial(
+        pair,
+        seeds,
+        config=MatcherConfig(threshold=threshold, iterations=iterations),
+    )
+    buckets = degree_stratified_report(trial.result, pair)
+    result = ExperimentResult(
+        name=f"fig4-{dataset}",
+        description=(
+            "precision & recall per degree bucket (paper: recall climbs "
+            "with degree, precision stays high)"
+        ),
+        notes=f"threshold={threshold}, seeds={len(seeds)}",
+    )
+    for b in buckets:
+        result.rows.append(
+            {
+                "degree": b.label,
+                "identifiable": b.identifiable,
+                "matched_good": b.matched_good,
+                "matched_bad": b.matched_bad,
+                "precision": round(b.precision, 4),
+                "recall": round(b.recall, 4),
+            }
+        )
+    return result

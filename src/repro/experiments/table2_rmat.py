@@ -1,0 +1,75 @@
+"""Table 2 — scalability: relative running time on an R-MAT ladder.
+
+Paper setup: RMAT24 (8.9M nodes), RMAT26 (32.8M), RMAT28 (121.2M); copies
+with s = 0.5 and seed probability 0.10.  Reported: running time *relative
+to the smallest graph* — 1, 1.199, 12.544 — i.e. gentle growth for one 4x
+step, steeper for the next.
+
+Reproduction: the same ladder at laptop scale (three R-MAT graphs, scale
+step 2 → 4x node count per rung, Graph500-style fixed edge factor).  We
+report measured relative wall-clock of the matcher per rung.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import MatcherConfig
+from repro.evaluation.harness import run_trial
+from repro.experiments.common import ExperimentResult
+from repro.generators.rmat import rmat_graph
+from repro.sampling.edge_sampling import independent_copies
+from repro.seeds.generators import sample_seeds
+from repro.utils.rng import spawn_rngs
+
+
+def run(
+    scales: tuple[int, ...] = (11, 13, 15),
+    edge_factor: int = 16,
+    s: float = 0.5,
+    link_prob: float = 0.10,
+    threshold: int = 2,
+    iterations: int = 1,
+    seed=0,
+) -> ExperimentResult:
+    """Reproduce the Table 2 relative-running-time ladder at reduced scale."""
+    result = ExperimentResult(
+        name="table2",
+        description=(
+            "R-MAT ladder: matcher running time relative to the smallest "
+            "graph (paper: 1 / 1.199 / 12.544)"
+        ),
+        notes=(
+            f"scales={scales} edge_factor={edge_factor} "
+            "(paper: RMAT24/26/28 on MapReduce)"
+        ),
+    )
+    rngs = spawn_rngs(seed, 3 * len(scales))
+    base_elapsed: float | None = None
+    for idx, scale in enumerate(scales):
+        graph = rmat_graph(
+            scale, edge_factor * (1 << scale), seed=rngs[3 * idx]
+        )
+        pair = independent_copies(graph, s1=s, seed=rngs[3 * idx + 1])
+        seeds = sample_seeds(pair, link_prob, seed=rngs[3 * idx + 2])
+        trial = run_trial(
+            pair,
+            seeds,
+            config=MatcherConfig(
+                threshold=threshold, iterations=iterations
+            ),
+            params={"scale": scale},
+        )
+        if base_elapsed is None:
+            base_elapsed = max(trial.elapsed, 1e-9)
+        result.rows.append(
+            {
+                "scale": scale,
+                "nodes": graph.num_nodes,
+                "edges": graph.num_edges,
+                "seeds": len(seeds),
+                "correct_pairs": trial.report.good,
+                "wrong_pairs": trial.report.bad,
+                "elapsed_s": round(trial.elapsed, 3),
+                "relative_time": round(trial.elapsed / base_elapsed, 3),
+            }
+        )
+    return result

@@ -1,0 +1,110 @@
+"""Table 3 — Facebook and Enron under the random-deletion model.
+
+Paper setup (left): the WOSN-09 Facebook snapshot, copies with s = 0.5,
+seed probability ∈ {5, 10, 20}%, thresholds {5, 4, 2}; reported Good/Bad
+counts of identified pairs, with error "well under 1%", recall
+concentrated on the ~45,250 nodes of degree above 5.
+
+Paper setup (right): the Enron email network (avg degree ≈ 20, copies
+≈ 10), s = 0.5, seed probability 10%, thresholds {5, 4, 3}; error among
+newly identified nodes 4.8%.
+
+Reproduction: Facebook-like (powerlaw-cluster) and Enron-like (sparse
+Chung–Lu) stand-ins at reduced scale; same parameter grids.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import MatcherConfig
+from repro.datasets.synthetic import enron_like, facebook_like
+from repro.evaluation.harness import run_trial
+from repro.experiments.common import ExperimentResult
+from repro.sampling.edge_sampling import independent_copies
+from repro.sampling.pair import GraphPair
+from repro.seeds.generators import sample_seeds
+from repro.utils.rng import spawn_rngs
+
+
+def _grid(
+    pair: GraphPair,
+    seed_probs: tuple[float, ...],
+    thresholds: tuple[int, ...],
+    iterations: int,
+    result: ExperimentResult,
+    rng_seeds,
+) -> ExperimentResult:
+    """Fill *result* with the Good/Bad grid the paper tabulates."""
+    for link_prob in seed_probs:
+        seeds = sample_seeds(pair, link_prob, seed=rng_seeds)
+        for threshold in thresholds:
+            trial = run_trial(
+                pair,
+                seeds,
+                config=MatcherConfig(
+                    threshold=threshold, iterations=iterations
+                ),
+            )
+            report = trial.report
+            result.rows.append(
+                {
+                    "seed_prob": link_prob,
+                    "threshold": threshold,
+                    "good": report.new_good,
+                    "bad": report.new_bad,
+                    "new_error_%": round(100 * report.new_error_rate, 2),
+                    "recall": round(report.recall, 4),
+                    "identifiable": report.identifiable,
+                    "elapsed_s": round(trial.elapsed, 3),
+                }
+            )
+    return result
+
+
+def run_facebook(
+    n: int = 8000,
+    s: float = 0.5,
+    seed_probs: tuple[float, ...] = (0.20, 0.10, 0.05),
+    thresholds: tuple[int, ...] = (5, 4, 2),
+    iterations: int = 2,
+    seed=0,
+) -> ExperimentResult:
+    """Table 3 (left): Facebook-like copies under random deletion."""
+    rng_graph, rng_copies, rng_seeds = spawn_rngs(seed, 3)
+    graph = facebook_like(n, seed=rng_graph)
+    pair = independent_copies(graph, s1=s, seed=rng_copies)
+    result = ExperimentResult(
+        name="table3-facebook",
+        description=(
+            "Facebook-like, random deletion: Good/Bad newly identified "
+            "pairs per (seed prob, threshold); paper error < 1%"
+        ),
+        notes=f"stand-in: powerlaw-cluster n={n} (paper: WOSN-09 63,731)",
+    )
+    return _grid(
+        pair, seed_probs, thresholds, iterations, result, rng_seeds
+    )
+
+
+def run_enron(
+    n: int = 4500,
+    s: float = 0.5,
+    seed_probs: tuple[float, ...] = (0.10,),
+    thresholds: tuple[int, ...] = (5, 4, 3),
+    iterations: int = 2,
+    seed=0,
+) -> ExperimentResult:
+    """Table 3 (right): Enron-like sparse copies under random deletion."""
+    rng_graph, rng_copies, rng_seeds = spawn_rngs(seed, 3)
+    graph = enron_like(n, seed=rng_graph)
+    pair = independent_copies(graph, s1=s, seed=rng_copies)
+    result = ExperimentResult(
+        name="table3-enron",
+        description=(
+            "Enron-like (sparse), random deletion: Good/Bad newly "
+            "identified pairs; paper error ~4.8% at threshold 5"
+        ),
+        notes=f"stand-in: Chung–Lu avg-deg 20, n={n} (paper: 36,692)",
+    )
+    return _grid(
+        pair, seed_probs, thresholds, iterations, result, rng_seeds
+    )

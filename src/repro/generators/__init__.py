@@ -1,0 +1,30 @@
+"""Random-graph generators used as the "true" underlying social network.
+
+The paper's theory covers Erdős–Rényi and Preferential Attachment; its
+experiments additionally use Affiliation Networks and R-MAT.  Chung–Lu,
+Watts–Strogatz and powerlaw-cluster generators are provided as substrates
+for the synthetic dataset stand-ins and robustness extensions.
+"""
+
+from repro.generators.affiliation import AffiliationNetwork, affiliation_graph
+from repro.generators.chung_lu import chung_lu_graph, power_law_weights
+from repro.generators.erdos_renyi import gnm_graph, gnp_graph
+from repro.generators.powerlaw_cluster import powerlaw_cluster_graph
+from repro.generators.preferential_attachment import (
+    preferential_attachment_graph,
+)
+from repro.generators.rmat import rmat_graph
+from repro.generators.small_world import watts_strogatz_graph
+
+__all__ = [
+    "gnp_graph",
+    "gnm_graph",
+    "preferential_attachment_graph",
+    "affiliation_graph",
+    "AffiliationNetwork",
+    "rmat_graph",
+    "chung_lu_graph",
+    "power_law_weights",
+    "watts_strogatz_graph",
+    "powerlaw_cluster_graph",
+]

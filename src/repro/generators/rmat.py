@@ -1,0 +1,86 @@
+"""R-MAT recursive matrix graphs (Chakrabarti–Zhan–Faloutsos, SDM 2004).
+
+The paper's scalability study (Table 2) runs on RMAT24/26/28.  R-MAT drops
+each edge into the adjacency matrix by recursively descending into one of
+four quadrants with probabilities ``(a, b, c, d)``; ``scale`` recursion
+levels address ``2^scale`` nodes.  The sampler is fully vectorized with
+numpy: one ``(n_edges, scale)`` quadrant draw builds all edges at once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GeneratorParameterError
+from repro.graphs.graph import Graph
+from repro.utils.rng import ensure_numpy_rng
+from repro.utils.validation import check_non_negative, check_positive
+
+#: Canonical R-MAT quadrant probabilities from the original paper.
+DEFAULT_QUADRANTS = (0.57, 0.19, 0.19, 0.05)
+
+
+def rmat_graph(
+    scale: int,
+    n_edges: int,
+    quadrants: tuple[float, float, float, float] = DEFAULT_QUADRANTS,
+    seed=None,
+) -> Graph:
+    """Sample an undirected R-MAT graph with ``2^scale`` addressable nodes.
+
+    Self-loops and duplicate edges are discarded (no resampling), so the
+    returned edge count is somewhat below *n_edges* — the standard
+    behaviour for R-MAT kernels (Graph500 does the same).  Nodes that
+    receive no edge do not appear in the graph.
+
+    Args:
+        scale: recursion depth; addresses ``2^scale`` node ids.
+        n_edges: number of edge insertions attempted.
+        quadrants: ``(a, b, c, d)`` probabilities, must sum to 1.
+        seed: RNG seed.
+    """
+    check_positive("scale", scale)
+    check_non_negative("n_edges", n_edges)
+    a, b, c, d = quadrants
+    if any(q < 0 for q in quadrants) or abs(a + b + c + d - 1.0) > 1e-9:
+        raise GeneratorParameterError(
+            f"quadrant probabilities must be non-negative and sum to 1, "
+            f"got {quadrants}"
+        )
+    rng = ensure_numpy_rng(seed)
+    g = Graph()
+    if n_edges == 0:
+        return g
+    # One multinomial draw per (edge, level): quadrant 0..3.
+    choices = rng.choice(
+        4, size=(n_edges, scale), p=[a, b, c, d]
+    ).astype(np.int64)
+    row_bits = choices >> 1  # quadrants 2,3 pick the lower row half
+    col_bits = choices & 1  # quadrants 1,3 pick the right column half
+    weights = (1 << np.arange(scale - 1, -1, -1)).astype(np.int64)
+    u = row_bits @ weights
+    v = col_bits @ weights
+    mask = u != v
+    u, v = u[mask], v[mask]
+    lo = np.minimum(u, v)
+    hi = np.maximum(u, v)
+    pairs = np.unique(np.stack([lo, hi], axis=1), axis=0)
+    for x, y in pairs:
+        g.add_edge(int(x), int(y))
+    return g
+
+
+def rmat_scale_series(
+    scales: tuple[int, ...],
+    edge_factor: int = 16,
+    seed=None,
+) -> list[Graph]:
+    """Generate a doubling series of R-MAT graphs (Table 2 workload).
+
+    Each graph attempts ``edge_factor * 2^scale`` edge insertions, matching
+    the Graph500 convention of a fixed edge/node ratio across scales.
+    """
+    rng = ensure_numpy_rng(seed)
+    return [
+        rmat_graph(s, edge_factor * (1 << s), seed=rng) for s in scales
+    ]

@@ -1,0 +1,22 @@
+"""Graph substrates: simple, temporal and bipartite graphs plus I/O,
+stats, paths and core decomposition."""
+
+from repro.graphs.bipartite import BipartiteGraph
+from repro.graphs.csr import CSRGraph
+from repro.graphs.graph import Graph
+from repro.graphs.kcore import core_numbers, degeneracy, k_core
+from repro.graphs.paths import bfs_distances, estimate_diameter, shortest_path
+from repro.graphs.temporal import TemporalGraph
+
+__all__ = [
+    "Graph",
+    "TemporalGraph",
+    "BipartiteGraph",
+    "CSRGraph",
+    "core_numbers",
+    "k_core",
+    "degeneracy",
+    "bfs_distances",
+    "shortest_path",
+    "estimate_diameter",
+]

@@ -1,0 +1,98 @@
+"""Frozen CSR (compressed sparse row) view of a :class:`~repro.graphs.graph.Graph`.
+
+The CSR view is read-only and numpy-backed: node ids are densified to
+``0..n-1`` and each node's neighbor ids live in a contiguous slice of one
+array.  It exists for vectorized statistics and cache-friendly traversal in
+benchmarks; the mutable :class:`Graph` remains the canonical representation.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from repro.errors import NodeNotFoundError
+from repro.graphs.graph import Graph
+
+Node = Hashable
+
+
+class CSRGraph:
+    """Immutable CSR adjacency built from a :class:`Graph`.
+
+    Attributes:
+        indptr: ``int64[n + 1]`` — neighbor-slice offsets per dense node id.
+        indices: ``int64[2m]`` — concatenated, per-node-sorted neighbor ids
+            (dense).
+        node_ids: the original node id for each dense id.
+    """
+
+    __slots__ = ("indptr", "indices", "node_ids", "_dense_of")
+
+    def __init__(self, graph: Graph, order: Sequence[Node] | None = None):
+        nodes = list(order) if order is not None else list(graph.nodes())
+        if order is not None:
+            node_set = set(nodes)
+            if len(node_set) != len(nodes):
+                raise ValueError("order contains duplicate nodes")
+            for node in nodes:
+                if not graph.has_node(node):
+                    raise NodeNotFoundError(node)
+            if len(nodes) != graph.num_nodes:
+                raise ValueError("order must cover every node exactly once")
+        self.node_ids: list[Node] = nodes
+        self._dense_of: dict[Node, int] = {
+            node: i for i, node in enumerate(nodes)
+        }
+        dense_of = self._dense_of
+        indptr = np.zeros(len(nodes) + 1, dtype=np.int64)
+        for i, node in enumerate(nodes):
+            indptr[i + 1] = indptr[i] + graph.degree(node)
+        indices = np.empty(int(indptr[-1]), dtype=np.int64)
+        for i, node in enumerate(nodes):
+            nbrs = sorted(dense_of[v] for v in graph.neighbors(node))
+            indices[int(indptr[i]) : int(indptr[i + 1])] = nbrs
+        self.indptr = indptr
+        self.indices = indices
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes."""
+        return len(self.node_ids)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges."""
+        return int(self.indptr[-1]) // 2
+
+    def dense_id(self, node: Node) -> int:
+        """Map an original node id to its dense ``0..n-1`` id."""
+        try:
+            return self._dense_of[node]
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def neighbors(self, dense: int) -> np.ndarray:
+        """Neighbor dense-ids of dense node *dense* (sorted, read-only view)."""
+        return self.indices[self.indptr[dense] : self.indptr[dense + 1]]
+
+    def degree(self, dense: int) -> int:
+        """Degree of dense node *dense*."""
+        return int(self.indptr[dense + 1] - self.indptr[dense])
+
+    def degree_array(self) -> np.ndarray:
+        """All degrees as ``int64[n]`` indexed by dense id."""
+        return np.diff(self.indptr)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Edge test between dense ids via binary search (O(log deg))."""
+        nbrs = self.neighbors(u)
+        pos = int(np.searchsorted(nbrs, v))
+        return pos < len(nbrs) and int(nbrs[pos]) == v
+
+    def __repr__(self) -> str:
+        return (
+            f"CSRGraph(num_nodes={self.num_nodes}, num_edges={self.num_edges})"
+        )

@@ -1,0 +1,221 @@
+"""Undirected simple graph backed by adjacency sets.
+
+This is the workhorse substrate of the reproduction.  It is deliberately
+minimal and fast: integer (or any hashable) node ids, adjacency stored as
+``dict[node, set[node]]``, O(1) edge membership, O(deg) neighbor iteration.
+No self-loops and no parallel edges — the reconciliation algorithm (and the
+models in the paper) operate on simple graphs; generators that naturally
+produce multi-edges (preferential attachment) deduplicate on insertion.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator
+
+from repro.errors import EdgeNotFoundError, GraphError, NodeNotFoundError
+
+Node = Hashable
+Edge = tuple[Node, Node]
+
+
+class Graph:
+    """An undirected simple graph.
+
+    Example::
+
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        g.degree(1)            # 2
+        sorted(g.neighbors(1)) # [0, 2]
+    """
+
+    __slots__ = ("_adj", "_num_edges")
+
+    def __init__(self) -> None:
+        self._adj: dict[Node, set[Node]] = {}
+        self._num_edges: int = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls, edges: Iterable[Edge], nodes: Iterable[Node] = ()
+    ) -> "Graph":
+        """Build a graph from an iterable of edges (plus optional isolated
+        *nodes*).  Duplicate edges and reversed duplicates are collapsed;
+        self-loops are rejected."""
+        g = cls()
+        for node in nodes:
+            g.add_node(node)
+        for u, v in edges:
+            g.add_edge(u, v)
+        return g
+
+    def copy(self) -> "Graph":
+        """Return a deep structural copy (nodes and edges; sets are fresh)."""
+        g = Graph()
+        g._adj = {node: set(nbrs) for node, nbrs in self._adj.items()}
+        g._num_edges = self._num_edges
+        return g
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_node(self, node: Node) -> None:
+        """Add *node* (no-op if already present)."""
+        if node not in self._adj:
+            self._adj[node] = set()
+
+    def add_edge(self, u: Node, v: Node) -> bool:
+        """Add undirected edge ``{u, v}``, creating endpoints as needed.
+
+        Returns ``True`` if the edge was new, ``False`` if it already
+        existed.  Self-loops are rejected with :class:`GraphError` because
+        the matching algorithm's similarity-witness semantics assume simple
+        graphs.
+        """
+        if u == v:
+            raise GraphError(f"self-loops are not allowed (node {u!r})")
+        adj = self._adj
+        if u not in adj:
+            adj[u] = set()
+        if v not in adj:
+            adj[v] = set()
+        if v in adj[u]:
+            return False
+        adj[u].add(v)
+        adj[v].add(u)
+        self._num_edges += 1
+        return True
+
+    def add_edges(self, edges: Iterable[Edge]) -> int:
+        """Add many edges; return the number of edges that were new."""
+        added = 0
+        for u, v in edges:
+            if self.add_edge(u, v):
+                added += 1
+        return added
+
+    def remove_edge(self, u: Node, v: Node) -> None:
+        """Remove edge ``{u, v}``; raise :class:`EdgeNotFoundError` if absent."""
+        adj = self._adj
+        if u not in adj or v not in adj[u]:
+            raise EdgeNotFoundError(u, v)
+        adj[u].discard(v)
+        adj[v].discard(u)
+        self._num_edges -= 1
+
+    def remove_node(self, node: Node) -> None:
+        """Remove *node* and all incident edges."""
+        adj = self._adj
+        if node not in adj:
+            raise NodeNotFoundError(node)
+        nbrs = adj.pop(node)
+        for other in nbrs:
+            adj[other].discard(node)
+        self._num_edges -= len(nbrs)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def has_node(self, node: Node) -> bool:
+        """Return whether *node* is in the graph."""
+        return node in self._adj
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        """Return whether edge ``{u, v}`` is in the graph."""
+        nbrs = self._adj.get(u)
+        return nbrs is not None and v in nbrs
+
+    def neighbors(self, node: Node) -> set[Node]:
+        """Return the neighbor set of *node*.
+
+        The returned set is the live internal set for speed; callers must
+        treat it as read-only (copy before mutating).
+        """
+        try:
+            return self._adj[node]
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def degree(self, node: Node) -> int:
+        """Return the degree of *node*."""
+        try:
+            return len(self._adj[node])
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def degrees(self) -> dict[Node, int]:
+        """Return a fresh ``{node: degree}`` mapping."""
+        return {node: len(nbrs) for node, nbrs in self._adj.items()}
+
+    def max_degree(self) -> int:
+        """Return the maximum degree (0 for an empty graph)."""
+        if not self._adj:
+            return 0
+        return max(len(nbrs) for nbrs in self._adj.values())
+
+    def common_neighbors(self, u: Node, v: Node) -> set[Node]:
+        """Return the set of common neighbors of *u* and *v*."""
+        nu = self.neighbors(u)
+        nv = self.neighbors(v)
+        if len(nu) > len(nv):
+            nu, nv = nv, nu
+        return {w for w in nu if w in nv}
+
+    # ------------------------------------------------------------------
+    # Iteration / sizing
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes."""
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of (undirected) edges."""
+        return self._num_edges
+
+    def nodes(self) -> Iterator[Node]:
+        """Iterate over nodes in insertion order."""
+        return iter(self._adj)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over edges, each reported once as ``(u, v)``.
+
+        For orderable node ids each edge is reported with ``u <= v``;
+        for non-orderable ids an arbitrary but consistent endpoint order
+        is used.
+        """
+        seen: set[Node] = set()
+        for u, nbrs in self._adj.items():
+            for v in nbrs:
+                if v not in seen:
+                    yield (u, v)
+            seen.add(u)
+
+    def adjacency(self) -> dict[Node, set[Node]]:
+        """Return the live adjacency mapping (read-only by convention)."""
+        return self._adj
+
+    # ------------------------------------------------------------------
+    # Dunder conveniences
+    # ------------------------------------------------------------------
+    def __contains__(self, node: Node) -> bool:
+        return node in self._adj
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._adj)
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._adj == other._adj
+
+    def __repr__(self) -> str:
+        return (
+            f"Graph(num_nodes={self.num_nodes}, num_edges={self.num_edges})"
+        )

@@ -1,0 +1,68 @@
+"""k-core decomposition (Matula–Beck peeling, O(n + m)).
+
+Used to characterize the dataset stand-ins (core structure is one of the
+properties separating social graphs from random ones) and available as an
+analysis tool; the reconciliation algorithm itself does not need it.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.graphs.graph import Graph
+from repro.graphs.ops import induced_subgraph
+
+Node = Hashable
+
+
+def core_numbers(graph: Graph) -> dict[Node, int]:
+    """Return the core number of every node.
+
+    The core number of ``v`` is the largest k such that v belongs to the
+    k-core (the maximal subgraph of minimum degree k).  Classic bucket
+    peeling: repeatedly remove a node of minimum remaining degree.
+    """
+    degrees = {n: graph.degree(n) for n in graph.nodes()}
+    if not degrees:
+        return {}
+    max_degree = max(degrees.values())
+    buckets: list[list[Node]] = [[] for _ in range(max_degree + 1)]
+    for node, d in degrees.items():
+        buckets[d].append(node)
+    core: dict[Node, int] = {}
+    remaining = dict(degrees)
+    current_k = 0
+    processed: set[Node] = set()
+    d = 0
+    while len(processed) < len(degrees):
+        while d <= max_degree and not buckets[d]:
+            d += 1
+        node = buckets[d].pop()
+        if node in processed or remaining[node] != d:
+            # Stale bucket entry: the node moved to a lower bucket.
+            continue
+        current_k = max(current_k, d)
+        core[node] = current_k
+        processed.add(node)
+        for nbr in graph.neighbors(node):
+            if nbr in processed:
+                continue
+            r = remaining[nbr]
+            if r > d:
+                remaining[nbr] = r - 1
+                buckets[r - 1].append(nbr)
+        d = 0 if d == 0 else d - 1
+    return core
+
+
+def k_core(graph: Graph, k: int) -> Graph:
+    """Return the k-core subgraph (possibly empty)."""
+    core = core_numbers(graph)
+    nodes = [n for n, c in core.items() if c >= k]
+    return induced_subgraph(graph, nodes)
+
+
+def degeneracy(graph: Graph) -> int:
+    """The graph's degeneracy = the largest k with a non-empty k-core."""
+    core = core_numbers(graph)
+    return max(core.values()) if core else 0

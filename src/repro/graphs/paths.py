@@ -1,0 +1,112 @@
+"""Path and distance utilities (BFS-based).
+
+Used by dataset characterization (small-world checks on stand-ins) and by
+tests; the reconciliation algorithm itself never needs shortest paths —
+one of the paper's selling points is that it is purely local.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable
+
+from repro.errors import NodeNotFoundError
+from repro.graphs.graph import Graph
+from repro.utils.rng import ensure_rng
+
+Node = Hashable
+
+
+def bfs_distances(graph: Graph, source: Node) -> dict[Node, int]:
+    """Hop distances from *source* to every reachable node."""
+    if not graph.has_node(source):
+        raise NodeNotFoundError(source)
+    dist = {source: 0}
+    queue: deque[Node] = deque([source])
+    while queue:
+        node = queue.popleft()
+        d = dist[node] + 1
+        for nbr in graph.neighbors(node):
+            if nbr not in dist:
+                dist[nbr] = d
+                queue.append(nbr)
+    return dist
+
+
+def shortest_path(graph: Graph, source: Node, target: Node):
+    """One shortest path from *source* to *target* (or ``None``)."""
+    if not graph.has_node(target):
+        raise NodeNotFoundError(target)
+    if source == target:
+        return [source]
+    parent: dict[Node, Node] = {source: source}
+    queue: deque[Node] = deque([source])
+    if not graph.has_node(source):
+        raise NodeNotFoundError(source)
+    while queue:
+        node = queue.popleft()
+        for nbr in graph.neighbors(node):
+            if nbr in parent:
+                continue
+            parent[nbr] = node
+            if nbr == target:
+                path = [target]
+                while path[-1] != source:
+                    path.append(parent[path[-1]])
+                path.reverse()
+                return path
+            queue.append(nbr)
+    return None
+
+
+def eccentricity(graph: Graph, node: Node) -> int:
+    """Largest hop distance from *node* to any reachable node."""
+    dist = bfs_distances(graph, node)
+    return max(dist.values())
+
+
+def estimate_diameter(
+    graph: Graph, samples: int = 10, seed=None
+) -> int:
+    """Lower-bound the diameter by double-sweep BFS from random starts.
+
+    The classic heuristic: BFS from a random node, then BFS again from
+    the farthest node found; repeated a few times.  Exact on trees,
+    typically tight on social graphs.
+    """
+    if graph.num_nodes == 0:
+        return 0
+    rng = ensure_rng(seed)
+    nodes = list(graph.nodes())
+    best = 0
+    for _ in range(max(1, samples)):
+        start = nodes[rng.randrange(len(nodes))]
+        dist = bfs_distances(graph, start)
+        far = max(dist, key=dist.get)
+        second = bfs_distances(graph, far)
+        best = max(best, max(second.values()))
+    return best
+
+
+def average_shortest_path_length(
+    graph: Graph, samples: int = 50, seed=None
+) -> float:
+    """Estimate the mean hop distance over sampled sources.
+
+    Only pairs in the source's connected component contribute (the usual
+    convention for disconnected graphs).
+    """
+    if graph.num_nodes < 2:
+        return 0.0
+    rng = ensure_rng(seed)
+    nodes = list(graph.nodes())
+    total = 0
+    count = 0
+    for _ in range(max(1, samples)):
+        start = nodes[rng.randrange(len(nodes))]
+        dist = bfs_distances(graph, start)
+        if len(dist) < 2:
+            continue
+        total += sum(dist.values())
+        count += len(dist) - 1
+    return total / count if count else 0.0

@@ -1,0 +1,16 @@
+"""A local MapReduce engine plus the MR formulation of User-Matching.
+
+The paper claims the inner loop of User-Matching "can be implemented
+efficiently with 4 consecutive rounds of MapReduce, so the total running
+time would consist of O(k log D) MapReductions".  This subpackage makes the
+claim executable: a small but real map/combine/shuffle/reduce engine
+(:class:`~repro.mapreduce.engine.LocalMapReduce`) and a matcher
+(:class:`~repro.mapreduce.matcher_mr.MapReduceUserMatching`) whose every
+bucket round is literally four engine jobs.  Tests assert it produces
+exactly the same links as the sequential implementation.
+"""
+
+from repro.mapreduce.engine import LocalMapReduce, MapReduceJob
+from repro.mapreduce.matcher_mr import MapReduceUserMatching
+
+__all__ = ["LocalMapReduce", "MapReduceJob", "MapReduceUserMatching"]

@@ -1,0 +1,35 @@
+"""Copy models: how the two observed networks arise from the true one.
+
+The paper's model generates ``G1``, ``G2`` from the underlying graph ``G``
+by independent edge deletion; the experiments add an independent-cascade
+model, correlated community deletion, temporal splits, and a sybil attack.
+Every sampler returns a :class:`~repro.sampling.pair.GraphPair` carrying the
+ground-truth node correspondence used for evaluation.
+"""
+
+from repro.sampling.attack import attacked_copies, inject_sybils
+from repro.sampling.cascade import cascade_copies, cascade_copy
+from repro.sampling.community import correlated_community_copies
+from repro.sampling.edge_sampling import (
+    add_noise_edges,
+    delete_vertices,
+    independent_copies,
+    sample_edges,
+)
+from repro.sampling.pair import GraphPair
+from repro.sampling.temporal_split import split_by_parity, split_by_predicates
+
+__all__ = [
+    "GraphPair",
+    "independent_copies",
+    "sample_edges",
+    "add_noise_edges",
+    "delete_vertices",
+    "cascade_copy",
+    "cascade_copies",
+    "correlated_community_copies",
+    "inject_sybils",
+    "attacked_copies",
+    "split_by_parity",
+    "split_by_predicates",
+]

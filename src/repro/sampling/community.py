@@ -1,0 +1,45 @@
+"""Correlated community deletion (paper §5, Table 4).
+
+The hardest synthetic scenario in the paper: the two copies are folds of an
+affiliation network in which whole interests (communities) are deleted per
+copy — "all or none of the edges in a community".  A user's work community
+may survive only in copy 1 and her personal community only in copy 2, so
+the same node can have almost disjoint neighborhoods across copies.
+"""
+
+from __future__ import annotations
+
+from repro.generators.affiliation import AffiliationNetwork
+from repro.sampling.pair import GraphPair
+from repro.utils.rng import spawn_rngs
+from repro.utils.validation import check_probability
+
+
+def correlated_community_copies(
+    network: AffiliationNetwork,
+    keep_prob: float = 0.75,
+    seed=None,
+) -> GraphPair:
+    """Generate two folds of *network* with independently-deleted interests.
+
+    Args:
+        network: an affiliation network (bipartite graph + fold).
+        keep_prob: per-copy survival probability of each interest; the
+            paper deletes interests with probability 0.25, i.e. keeps with
+            0.75.
+        seed: RNG seed.
+
+    Returns:
+        :class:`GraphPair` over the full user set (identity ground truth);
+        users may be isolated in a copy if all their interests were
+        deleted there.
+    """
+    check_probability("keep_prob", keep_prob)
+    rng1, rng2 = spawn_rngs(seed, 2)
+    interests = list(network.bipartite.affiliations())
+    keep1 = [a for a in interests if rng1.random() < keep_prob]
+    keep2 = [a for a in interests if rng2.random() < keep_prob]
+    g1 = network.fold_with_interests(keep1)
+    g2 = network.fold_with_interests(keep2)
+    identity = {u: u for u in g1.nodes() if g2.has_node(u)}
+    return GraphPair(g1=g1, g2=g2, identity=identity)

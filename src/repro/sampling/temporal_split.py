@@ -1,0 +1,58 @@
+"""Temporal splits (paper §5, Table 5: DBLP and Gowalla).
+
+For datasets with timestamped interactions the paper builds the two copies
+from *disjoint time slices* of the same temporal graph: DBLP papers from
+even vs odd years, Gowalla co-located check-ins from odd vs even months.
+The copies share node identity but their edge processes are correlated in a
+way no independent-deletion model captures.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable
+
+from repro.graphs.temporal import TemporalGraph
+from repro.sampling.pair import GraphPair
+
+Node = Hashable
+
+
+def split_by_predicates(
+    temporal: TemporalGraph,
+    pred1: Callable[[int], bool],
+    pred2: Callable[[int], bool],
+    drop_isolated: bool = True,
+) -> GraphPair:
+    """Build a :class:`GraphPair` from two timestamp predicates.
+
+    Args:
+        temporal: the timestamped interaction graph.
+        pred1: timestamp filter for the first copy.
+        pred2: timestamp filter for the second copy.
+        drop_isolated: drop nodes with no edges in a slice (default; the
+            paper's node counts are of nodes present in each slice).
+
+    Returns:
+        :class:`GraphPair` with identity ground truth over nodes present
+        in both slices.
+    """
+    g1 = temporal.slice(pred1, keep_all_nodes=not drop_isolated)
+    g2 = temporal.slice(pred2, keep_all_nodes=not drop_isolated)
+    identity = {node: node for node in g1.nodes() if g2.has_node(node)}
+    return GraphPair(g1=g1, g2=g2, identity=identity)
+
+
+def split_by_parity(
+    temporal: TemporalGraph, drop_isolated: bool = True
+) -> GraphPair:
+    """Split into even-timestamp and odd-timestamp copies.
+
+    This is exactly the DBLP construction (even years vs odd years) and
+    the Gowalla construction (odd vs even months) of Table 5.
+    """
+    return split_by_predicates(
+        temporal,
+        lambda t: t % 2 == 0,
+        lambda t: t % 2 == 1,
+        drop_isolated=drop_isolated,
+    )

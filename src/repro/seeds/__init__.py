@@ -1,0 +1,15 @@
+"""Seed-link generation: the initial trusted cross-network links ``L``."""
+
+from repro.seeds.generators import (
+    degree_biased_seeds,
+    noisy_seeds,
+    sample_seeds,
+    top_degree_seeds,
+)
+
+__all__ = [
+    "sample_seeds",
+    "degree_biased_seeds",
+    "top_degree_seeds",
+    "noisy_seeds",
+]

@@ -1,0 +1,27 @@
+"""Theoretical predictions from Section 4 of the paper, made executable."""
+
+from repro.theory.bounds import (
+    chernoff_lower_tail,
+    chernoff_upper_tail,
+    union_bound,
+)
+from repro.theory.predictions import (
+    er_expected_witnesses_correct,
+    er_expected_witnesses_wrong,
+    er_gap_regime,
+    er_large_p_threshold,
+    pa_identification_threshold_degree,
+    recommended_threshold,
+)
+
+__all__ = [
+    "chernoff_lower_tail",
+    "chernoff_upper_tail",
+    "union_bound",
+    "er_expected_witnesses_correct",
+    "er_expected_witnesses_wrong",
+    "er_large_p_threshold",
+    "er_gap_regime",
+    "pa_identification_threshold_degree",
+    "recommended_threshold",
+]

@@ -1,0 +1,39 @@
+"""Concentration bounds used in the paper's proofs (Chernoff, union).
+
+Tests use these to verify empirically that witness counts concentrate the
+way Theorem 1 and Lemmas 11–12 claim, at the parameter scales the library
+actually runs.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def chernoff_lower_tail(mean: float, delta: float) -> float:
+    """P[X < (1 − δ)·E[X]] <= exp(−E[X]·δ²/2) for sums of independent
+    Bernoullis (the form used in Theorem 1)."""
+    if mean < 0:
+        raise ValueError(f"mean must be >= 0, got {mean}")
+    if not 0.0 <= delta <= 1.0:
+        raise ValueError(f"delta must be in [0, 1], got {delta}")
+    return math.exp(-mean * delta * delta / 2.0)
+
+
+def chernoff_upper_tail(mean: float, delta: float) -> float:
+    """P[X > (1 + δ)·E[X]] <= exp(−E[X]·δ²/4) for δ in (0, 2e−1]
+    (the form used in Theorem 1's second part)."""
+    if mean < 0:
+        raise ValueError(f"mean must be >= 0, got {mean}")
+    if delta < 0:
+        raise ValueError(f"delta must be >= 0, got {delta}")
+    return math.exp(-mean * delta * delta / 4.0)
+
+
+def union_bound(single_event: float, count: int) -> float:
+    """P[any of *count* events] <= count · P[single event], capped at 1."""
+    if single_event < 0:
+        raise ValueError(f"probability must be >= 0, got {single_event}")
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    return min(1.0, single_event * count)

@@ -1,0 +1,64 @@
+"""Closed-form predictions from the paper's analysis (Section 4).
+
+These formulas quantify *why* User-Matching works: correct pairs expect a
+factor ``1/p`` (ER) or a degree-driven factor (PA) more similarity
+witnesses than wrong pairs.  Tests compare empirical witness counts to
+these values; docs cite them when explaining parameter choices.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def er_expected_witnesses_correct(n: int, p: float, s: float, l: float):
+    """E[first-phase witnesses for a true pair (u_i, v_i)] in G(n, p):
+    ``(n − 1)·p·s²·l`` (Section 4.1)."""
+    return (n - 1) * p * s * s * l
+
+
+def er_expected_witnesses_wrong(n: int, p: float, s: float, l: float):
+    """E[first-phase witnesses for a wrong pair (u_i, v_j)], i ≠ j:
+    ``(n − 2)·p²·s²·l`` — a factor ``p`` below the correct pair."""
+    return (n - 2) * p * p * s * s * l
+
+
+def er_large_p_threshold(n: int, s: float, l: float) -> float:
+    """The ``p`` above which Theorem 1's concentration argument applies:
+    ``p > 24·log n / (s²·l·(n − 2))``."""
+    if n <= 2:
+        return 1.0
+    return 24.0 * math.log(n) / (s * s * l * (n - 2))
+
+
+def er_gap_regime(n: int, p: float, s: float, l: float) -> str:
+    """Which of the paper's two ER argument regimes (p, n) falls in.
+
+    ``"concentration"``: Theorem 1 (large p — witness counts separate
+    w.h.p.).  ``"sparse"``: Lemma 3 (small p — wrong pairs almost never
+    reach 3 witnesses, so threshold T = 3 makes no mistakes).
+    """
+    return (
+        "concentration"
+        if p > er_large_p_threshold(n, s, l)
+        else "sparse"
+    )
+
+
+def pa_identification_threshold_degree(n: int, s: float, l: float) -> float:
+    """Lemma 11's degree floor: nodes of degree >= ``4·log²n/(s²·l)`` are
+    identified w.h.p. in the first phase on PA graphs."""
+    return 4.0 * math.log(n) ** 2 / (s * s * l)
+
+
+def recommended_threshold(model: str) -> int:
+    """The matching threshold the paper's analysis uses per model:
+    3 for Erdős–Rényi (Lemma 3), 9 for preferential attachment
+    (Lemma 10 allows at most 8 shared neighbors between low-degree
+    impostors)."""
+    model = model.lower()
+    if model in ("er", "erdos-renyi", "gnp"):
+        return 3
+    if model in ("pa", "preferential-attachment"):
+        return 9
+    raise ValueError(f"unknown model {model!r}; use 'er' or 'pa'")

@@ -1,0 +1,21 @@
+"""Shared utilities: random-number handling, validation, timing."""
+
+from repro.utils.rng import ensure_numpy_rng, ensure_rng, spawn_rngs
+from repro.utils.timing import Timer
+from repro.utils.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "ensure_rng",
+    "ensure_numpy_rng",
+    "spawn_rngs",
+    "Timer",
+    "check_probability",
+    "check_positive",
+    "check_non_negative",
+    "check_fraction",
+]

@@ -1,0 +1,71 @@
+"""Random-number-generator plumbing.
+
+Every stochastic entry point of the library takes a ``seed`` argument that may
+be ``None`` (fresh entropy), an ``int`` (reproducible), a
+:class:`random.Random` instance, or a :class:`numpy.random.Generator`.  The
+helpers here normalize those inputs so modules never construct generators ad
+hoc.  Scalar-heavy code (graph generators with per-edge branching) prefers
+:class:`random.Random`, which is faster for single draws; vectorizable code
+(R-MAT) prefers numpy generators.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+SeedLike = "int | None | random.Random | np.random.Generator"
+
+#: Upper bound (exclusive) for derived integer seeds.
+_SEED_SPACE = 2**63
+
+
+def ensure_rng(seed: object = None) -> random.Random:
+    """Return a :class:`random.Random` derived from *seed*.
+
+    Accepts ``None``, an integer seed, an existing :class:`random.Random`
+    (returned as is), or a :class:`numpy.random.Generator` (a new
+    :class:`random.Random` is derived from it deterministically).
+    """
+    if seed is None:
+        return random.Random()
+    if isinstance(seed, random.Random):
+        return seed
+    if isinstance(seed, np.random.Generator):
+        derived = int(seed.integers(_SEED_SPACE))
+        return random.Random(derived)
+    if isinstance(seed, (int, np.integer)):
+        return random.Random(int(seed))
+    raise TypeError(f"cannot build a random.Random from {type(seed).__name__}")
+
+
+def ensure_numpy_rng(seed: object = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` derived from *seed*.
+
+    Accepts the same inputs as :func:`ensure_rng`.
+    """
+    if seed is None:
+        return np.random.default_rng()
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, random.Random):
+        derived = seed.randrange(_SEED_SPACE)
+        return np.random.default_rng(derived)
+    if isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(int(seed))
+    raise TypeError(
+        f"cannot build a numpy Generator from {type(seed).__name__}"
+    )
+
+
+def spawn_rngs(seed: object, count: int) -> list[random.Random]:
+    """Derive *count* independent :class:`random.Random` streams from *seed*.
+
+    Used when one experiment needs several decorrelated randomness sources
+    (e.g. one per graph copy) that must each be individually reproducible.
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    root = ensure_rng(seed)
+    return [random.Random(root.randrange(_SEED_SPACE)) for _ in range(count)]

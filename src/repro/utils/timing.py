@@ -1,0 +1,33 @@
+"""Lightweight wall-clock timing used by the experiment harness."""
+
+from __future__ import annotations
+
+import time
+
+
+class Timer:
+    """Context manager measuring elapsed wall-clock seconds.
+
+    Example::
+
+        with Timer() as t:
+            expensive_call()
+        print(t.elapsed)
+    """
+
+    def __init__(self) -> None:
+        self.start: float | None = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self.start is not None:
+            self.elapsed = time.perf_counter() - self.start
+
+    def restart(self) -> None:
+        """Reset the timer and start measuring again."""
+        self.start = time.perf_counter()
+        self.elapsed = 0.0

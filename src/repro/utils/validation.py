@@ -1,0 +1,47 @@
+"""Tiny argument-validation helpers shared across the package.
+
+Each helper raises :class:`ValueError` with a message naming the offending
+parameter, so generator and sampler constructors stay flat and readable.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def check_probability(name: str, value: float) -> float:
+    """Validate that *value* is a probability in ``[0, 1]`` and return it."""
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise ValueError(f"{name} must be a number in [0, 1], got {value!r}")
+    if math.isnan(value) or not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return float(value)
+
+
+def check_positive(name: str, value: int) -> int:
+    """Validate that *value* is a positive integer and return it."""
+    if not isinstance(value, (int,)) or isinstance(value, bool):
+        raise ValueError(f"{name} must be a positive integer, got {value!r}")
+    if value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    return value
+
+
+def check_non_negative(name: str, value: int) -> int:
+    """Validate that *value* is a non-negative integer and return it."""
+    if not isinstance(value, (int,)) or isinstance(value, bool):
+        raise ValueError(
+            f"{name} must be a non-negative integer, got {value!r}"
+        )
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_fraction(name: str, value: float) -> float:
+    """Validate that *value* is a finite number in ``(0, 1]`` and return it."""
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise ValueError(f"{name} must be a number in (0, 1], got {value!r}")
+    if math.isnan(value) or not 0.0 < value <= 1.0:
+        raise ValueError(f"{name} must be in (0, 1], got {value!r}")
+    return float(value)

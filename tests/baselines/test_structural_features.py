@@ -1,0 +1,107 @@
+"""Unit tests for the structural-feature (ReFeX-style) baseline."""
+
+import pytest
+
+from repro.baselines.structural_features import (
+    StructuralFeatureMatcher,
+    recursive_features,
+)
+from repro.evaluation.metrics import evaluate
+from repro.graphs.graph import Graph
+
+
+class TestRecursiveFeatures:
+    def test_feature_count(self, small_pa):
+        feats = recursive_features(small_pa, levels=2)
+        assert all(len(v) == 5 for v in feats.values())  # 1 + 2*2
+
+    def test_level_zero_is_degree(self, star):
+        feats = recursive_features(star, levels=1)
+        assert feats[0][0] == 5.0
+        assert feats[1][0] == 1.0
+
+    def test_level_one_aggregates(self, star):
+        feats = recursive_features(star, levels=1)
+        # leaf's only neighbor is the hub of degree 5
+        assert feats[1][1] == 5.0  # mean
+        assert feats[1][2] == 5.0  # max
+
+    def test_isolated_node_zeros(self):
+        g = Graph()
+        g.add_node(7)
+        feats = recursive_features(g, levels=2)
+        assert feats[7] == [0.0, 0.0, 0.0, 0.0, 0.0]
+
+    def test_negative_levels_raises(self, star):
+        with pytest.raises(Exception):
+            recursive_features(star, levels=-1)
+
+
+class TestStructuralFeatureMatcher:
+    def test_includes_seeds(self, pa_pair, pa_seeds):
+        result = StructuralFeatureMatcher().run(
+            pa_pair.g1, pa_pair.g2, pa_seeds
+        )
+        for v1, v2 in pa_seeds.items():
+            assert result.links[v1] == v2
+
+    def test_one_to_one(self, pa_pair, pa_seeds):
+        result = StructuralFeatureMatcher().run(
+            pa_pair.g1, pa_pair.g2, pa_seeds
+        )
+        assert len(set(result.links.values())) == len(result.links)
+
+    def test_hub_behaviour(self, pa_pair, pa_seeds):
+        """Feature matching finds *some* hubs but confuses similar ones.
+
+        This is the weakness the paper's §2 points at: degree-profile
+        features cannot distinguish structurally similar high-degree
+        nodes, while witness counting can.
+        """
+        result = StructuralFeatureMatcher(quantile=0.4).run(
+            pa_pair.g1, pa_pair.g2, pa_seeds
+        )
+        hubs = sorted(
+            pa_pair.identity,
+            key=lambda v: -pa_pair.g1.degree(v),
+        )[:5]
+        correct_hubs = sum(
+            1 for h in hubs if result.links.get(h) == h
+        )
+        assert correct_hubs >= 1
+        # Mistaken hubs are assigned to other *high-degree* nodes —
+        # feature-similar impostors.
+        for h in hubs:
+            image = result.links.get(h)
+            if image is not None and image != h:
+                assert pa_pair.g2.degree(image) > 4 * (
+                    2 * pa_pair.g2.num_edges / pa_pair.g2.num_nodes
+                )
+
+    def test_no_seeds_matches_nothing(self, pa_pair):
+        result = StructuralFeatureMatcher().run(
+            pa_pair.g1, pa_pair.g2, {}
+        )
+        assert result.links == {}
+
+    def test_weaker_than_user_matching(self, pa_pair, pa_seeds):
+        """The paper's §2 argument: features alone are less precise
+        than witness counting."""
+        from repro.core.config import MatcherConfig
+        from repro.core.matcher import UserMatching
+
+        witness = UserMatching(
+            MatcherConfig(threshold=2, iterations=2)
+        ).run(pa_pair.g1, pa_pair.g2, pa_seeds)
+        features = StructuralFeatureMatcher().run(
+            pa_pair.g1, pa_pair.g2, pa_seeds
+        )
+        rep_w = evaluate(witness, pa_pair)
+        rep_f = evaluate(features, pa_pair)
+        assert rep_w.precision > rep_f.precision
+
+    def test_invalid_params(self):
+        with pytest.raises(Exception):
+            StructuralFeatureMatcher(quantile=0.0)
+        with pytest.raises(Exception):
+            StructuralFeatureMatcher(max_candidates=0)

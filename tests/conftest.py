@@ -1,0 +1,61 @@
+"""Shared fixtures for the test suite.
+
+Fixtures produce small, seeded, deterministic workloads so tests are fast
+and reproducible.  networkx is used in some tests as an *oracle* to
+cross-validate our graph algorithms — it is never imported by the library
+itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.generators.erdos_renyi import gnp_graph
+from repro.generators.preferential_attachment import (
+    preferential_attachment_graph,
+)
+from repro.graphs.graph import Graph
+from repro.sampling.edge_sampling import independent_copies
+from repro.seeds.generators import sample_seeds
+
+
+@pytest.fixture
+def triangle() -> Graph:
+    """The 3-cycle."""
+    return Graph.from_edges([(0, 1), (1, 2), (0, 2)])
+
+
+@pytest.fixture
+def path4() -> Graph:
+    """The path 0-1-2-3."""
+    return Graph.from_edges([(0, 1), (1, 2), (2, 3)])
+
+
+@pytest.fixture
+def star() -> Graph:
+    """A star with center 0 and 5 leaves."""
+    return Graph.from_edges([(0, i) for i in range(1, 6)])
+
+
+@pytest.fixture
+def small_pa() -> Graph:
+    """A small PA graph (600 nodes, m=5), deterministic."""
+    return preferential_attachment_graph(600, 5, seed=42)
+
+
+@pytest.fixture
+def small_er() -> Graph:
+    """A small G(n, p) graph, deterministic."""
+    return gnp_graph(300, 0.05, seed=42)
+
+
+@pytest.fixture
+def pa_pair(small_pa):
+    """Copies of the small PA graph (s = 0.6) with identity ground truth."""
+    return independent_copies(small_pa, s1=0.6, seed=7)
+
+
+@pytest.fixture
+def pa_seeds(pa_pair):
+    """10% seed links for the PA pair."""
+    return sample_seeds(pa_pair, 0.10, seed=11)

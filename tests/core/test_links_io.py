@@ -1,0 +1,70 @@
+"""Unit tests for link persistence."""
+
+import pytest
+
+from repro.core.links_io import read_links, write_links
+from repro.errors import ReproError
+
+
+class TestLinksRoundTrip:
+    def test_int_ids(self, tmp_path):
+        links = {1: 10, 2: 20}
+        path = tmp_path / "links.tsv"
+        write_links(links, path)
+        assert read_links(path) == links
+
+    def test_string_ids(self, tmp_path):
+        links = {"fr:42": "de:42", "fr:7": "de:9"}
+        path = tmp_path / "links.tsv"
+        write_links(links, path)
+        assert read_links(path) == links
+
+    def test_gzip(self, tmp_path):
+        links = {i: i + 100 for i in range(50)}
+        path = tmp_path / "links.tsv.gz"
+        write_links(links, path)
+        assert read_links(path) == links
+
+    def test_header_comment(self, tmp_path):
+        path = tmp_path / "links.tsv"
+        write_links({1: 2}, path, header="threshold=2\niterations=2")
+        text = path.read_text()
+        assert "# threshold=2" in text
+        assert read_links(path) == {1: 2}
+
+    def test_malformed_raises(self, tmp_path):
+        path = tmp_path / "links.tsv"
+        path.write_text("only-one-column\n")
+        with pytest.raises(ReproError):
+            read_links(path)
+
+    def test_duplicate_source_raises(self, tmp_path):
+        path = tmp_path / "links.tsv"
+        path.write_text("1\t2\n1\t3\n")
+        with pytest.raises(ReproError):
+            read_links(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "links.tsv"
+        write_links({}, path)
+        assert read_links(path) == {}
+
+
+class TestSeedingLoop:
+    def test_saved_links_seed_a_second_run(self, tmp_path, pa_pair, pa_seeds):
+        """The incremental-deployment loop: run, persist, reload, rerun."""
+        from repro.core.config import MatcherConfig
+        from repro.core.matcher import UserMatching
+
+        first = UserMatching(
+            MatcherConfig(threshold=3, iterations=1)
+        ).run(pa_pair.g1, pa_pair.g2, pa_seeds)
+        path = tmp_path / "links.tsv"
+        write_links(first.links, path)
+        reloaded = read_links(path)
+        second = UserMatching(
+            MatcherConfig(threshold=3, iterations=1)
+        ).run(pa_pair.g1, pa_pair.g2, reloaded)
+        assert len(second.links) >= len(first.links)
+        for v1, v2 in first.links.items():
+            assert second.links[v1] == v2

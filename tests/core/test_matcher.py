@@ -1,0 +1,210 @@
+"""Unit tests for the User-Matching algorithm."""
+
+import pytest
+
+from repro.core.config import MatcherConfig, TiePolicy
+from repro.core.matcher import UserMatching
+from repro.core.pipeline import reconcile
+from repro.errors import MatcherConfigError
+from repro.graphs.graph import Graph
+from repro.sampling.edge_sampling import independent_copies
+from repro.seeds.generators import sample_seeds
+
+
+def identical_pair(graph):
+    """A pair with s = 1 copies (both copies equal the graph)."""
+    return independent_copies(graph, 1.0, seed=0)
+
+
+class TestBasicBehaviour:
+    def test_links_include_seeds(self, pa_pair, pa_seeds):
+        result = UserMatching().run(pa_pair.g1, pa_pair.g2, pa_seeds)
+        for v1, v2 in pa_seeds.items():
+            assert result.links[v1] == v2
+
+    def test_expands_beyond_seeds(self, pa_pair, pa_seeds):
+        result = UserMatching(
+            MatcherConfig(threshold=2, iterations=2)
+        ).run(pa_pair.g1, pa_pair.g2, pa_seeds)
+        assert result.num_new_links > len(pa_seeds)
+
+    def test_output_one_to_one(self, pa_pair, pa_seeds):
+        result = UserMatching(
+            MatcherConfig(threshold=2, iterations=2)
+        ).run(pa_pair.g1, pa_pair.g2, pa_seeds)
+        assert len(set(result.links.values())) == len(result.links)
+
+    def test_no_seeds_no_links(self, pa_pair):
+        result = UserMatching().run(pa_pair.g1, pa_pair.g2, {})
+        assert result.links == {}
+
+    def test_deterministic(self, pa_pair, pa_seeds):
+        cfg = MatcherConfig(threshold=2, iterations=2)
+        a = UserMatching(cfg).run(pa_pair.g1, pa_pair.g2, pa_seeds)
+        b = UserMatching(cfg).run(pa_pair.g1, pa_pair.g2, pa_seeds)
+        assert a.links == b.links
+
+    def test_perfect_copies_high_accuracy(self, small_pa):
+        pair = identical_pair(small_pa)
+        seeds = sample_seeds(pair, 0.1, seed=1)
+        result = UserMatching(
+            MatcherConfig(threshold=2, iterations=2)
+        ).run(pair.g1, pair.g2, seeds)
+        correct = sum(
+            1 for v1, v2 in result.links.items() if v1 == v2
+        )
+        assert correct / len(result.links) > 0.95
+
+
+class TestSeedValidation:
+    def test_non_injective_seeds_rejected(self, pa_pair):
+        with pytest.raises(MatcherConfigError):
+            UserMatching().run(pa_pair.g1, pa_pair.g2, {1: 5, 2: 5})
+
+    def test_seed_missing_from_g1(self, pa_pair):
+        with pytest.raises(MatcherConfigError):
+            UserMatching().run(
+                pa_pair.g1, pa_pair.g2, {"ghost": 0}
+            )
+
+    def test_seed_missing_from_g2(self, pa_pair):
+        with pytest.raises(MatcherConfigError):
+            UserMatching().run(
+                pa_pair.g1, pa_pair.g2, {0: "ghost"}
+            )
+
+
+class TestBucketSchedule:
+    def test_bucket_exponents_descend(self, pa_pair):
+        matcher = UserMatching(MatcherConfig())
+        exps = matcher.bucket_exponents(pa_pair.g1, pa_pair.g2)
+        assert exps == sorted(exps, reverse=True)
+        assert exps[-1] == 1
+
+    def test_bucket_exponents_honour_floor(self, pa_pair):
+        matcher = UserMatching(MatcherConfig(min_bucket_exponent=3))
+        exps = matcher.bucket_exponents(pa_pair.g1, pa_pair.g2)
+        assert exps[-1] == 3
+
+    def test_bucket_exponents_from_max_degree(self, pa_pair):
+        matcher = UserMatching(MatcherConfig(max_degree=64))
+        exps = matcher.bucket_exponents(pa_pair.g1, pa_pair.g2)
+        assert exps[0] == 6
+
+    def test_no_buckets_single_round(self, pa_pair):
+        matcher = UserMatching(
+            MatcherConfig(use_degree_buckets=False, min_bucket_exponent=0)
+        )
+        assert matcher.bucket_exponents(pa_pair.g1, pa_pair.g2) == [0]
+
+    def test_empty_graph_bucket(self):
+        matcher = UserMatching(MatcherConfig())
+        assert matcher.bucket_exponents(Graph(), Graph()) == [1]
+
+
+class TestPhases:
+    def test_phase_records_cover_buckets(self, pa_pair, pa_seeds):
+        cfg = MatcherConfig(threshold=2, iterations=1)
+        matcher = UserMatching(cfg)
+        result = matcher.run(pa_pair.g1, pa_pair.g2, pa_seeds)
+        exps = matcher.bucket_exponents(pa_pair.g1, pa_pair.g2)
+        assert len(result.phases) == len(exps)
+        assert [p.bucket_exponent for p in result.phases] == exps
+
+    def test_phase_min_degree_matches_exponent(
+        self, pa_pair, pa_seeds
+    ):
+        result = UserMatching(MatcherConfig(iterations=1)).run(
+            pa_pair.g1, pa_pair.g2, pa_seeds
+        )
+        for phase in result.phases:
+            assert phase.min_degree == 1 << phase.bucket_exponent
+
+    def test_links_added_sums_to_new_links(self, pa_pair, pa_seeds):
+        result = UserMatching(
+            MatcherConfig(threshold=2, iterations=2)
+        ).run(pa_pair.g1, pa_pair.g2, pa_seeds)
+        assert (
+            sum(p.links_added for p in result.phases)
+            == result.num_new_links
+        )
+
+    def test_early_termination(self, pa_pair):
+        # With an impossible threshold nothing matches: one sweep only.
+        cfg = MatcherConfig(threshold=10 ** 6, iterations=5)
+        matcher = UserMatching(cfg)
+        result = matcher.run(pa_pair.g1, pa_pair.g2, {0: 0})
+        exps = matcher.bucket_exponents(pa_pair.g1, pa_pair.g2)
+        assert len(result.phases) == len(exps)
+
+
+class TestConfigEffects:
+    def test_threshold_monotone_precision(self, pa_pair, pa_seeds):
+        from repro.evaluation.metrics import evaluate
+
+        low = UserMatching(
+            MatcherConfig(threshold=2, iterations=2)
+        ).run(pa_pair.g1, pa_pair.g2, pa_seeds)
+        high = UserMatching(
+            MatcherConfig(threshold=4, iterations=2)
+        ).run(pa_pair.g1, pa_pair.g2, pa_seeds)
+        assert len(high.links) <= len(low.links)
+        rep_low = evaluate(low, pa_pair)
+        rep_high = evaluate(high, pa_pair)
+        assert rep_high.precision >= rep_low.precision - 0.02
+
+    def test_more_iterations_more_links(self, pa_pair, pa_seeds):
+        one = UserMatching(
+            MatcherConfig(threshold=3, iterations=1)
+        ).run(pa_pair.g1, pa_pair.g2, pa_seeds)
+        three = UserMatching(
+            MatcherConfig(threshold=3, iterations=3)
+        ).run(pa_pair.g1, pa_pair.g2, pa_seeds)
+        assert len(three.links) >= len(one.links)
+
+    def test_lowest_id_matches_at_least_skip(self, pa_pair, pa_seeds):
+        skip = UserMatching(
+            MatcherConfig(threshold=2, tie_policy=TiePolicy.SKIP)
+        ).run(pa_pair.g1, pa_pair.g2, pa_seeds)
+        forced = UserMatching(
+            MatcherConfig(threshold=2, tie_policy=TiePolicy.LOWEST_ID)
+        ).run(pa_pair.g1, pa_pair.g2, pa_seeds)
+        assert len(forced.links) >= len(skip.links)
+
+
+class TestReconcileWrapper:
+    def test_reconcile_equals_matcher(self, pa_pair, pa_seeds):
+        direct = UserMatching(
+            MatcherConfig(threshold=2, iterations=2)
+        ).run(pa_pair.g1, pa_pair.g2, pa_seeds)
+        wrapped = reconcile(
+            pa_pair.g1, pa_pair.g2, pa_seeds, threshold=2, iterations=2
+        )
+        assert direct.links == wrapped.links
+
+    def test_reconcile_no_buckets(self, pa_pair, pa_seeds):
+        result = reconcile(
+            pa_pair.g1,
+            pa_pair.g2,
+            pa_seeds,
+            threshold=2,
+            use_degree_buckets=False,
+        )
+        assert result.num_links >= len(pa_seeds)
+
+
+class TestResultType:
+    def test_new_links_excludes_seeds(self, pa_pair, pa_seeds):
+        result = UserMatching(
+            MatcherConfig(threshold=2, iterations=2)
+        ).run(pa_pair.g1, pa_pair.g2, pa_seeds)
+        for v1 in result.new_links:
+            assert v1 not in pa_seeds
+
+    def test_total_witnesses_positive(self, pa_pair, pa_seeds):
+        result = UserMatching().run(pa_pair.g1, pa_pair.g2, pa_seeds)
+        assert result.total_witnesses > 0
+
+    def test_repr(self, pa_pair, pa_seeds):
+        result = UserMatching().run(pa_pair.g1, pa_pair.g2, pa_seeds)
+        assert "MatchingResult" in repr(result)

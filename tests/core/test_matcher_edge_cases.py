@@ -1,0 +1,109 @@
+"""Failure-injection and edge-case tests for the matcher."""
+
+import pytest
+
+from repro.core.config import MatcherConfig
+from repro.core.matcher import UserMatching
+from repro.graphs.graph import Graph
+from repro.sampling.pair import GraphPair
+
+
+class TestDegenerateGraphs:
+    def test_empty_graphs(self):
+        result = UserMatching().run(Graph(), Graph(), {})
+        assert result.links == {}
+
+    def test_seeds_only_no_structure(self):
+        g1 = Graph.from_edges([], nodes=[0, 1])
+        g2 = Graph.from_edges([], nodes=[0, 1])
+        result = UserMatching().run(g1, g2, {0: 0})
+        assert result.links == {0: 0}
+
+    def test_disjoint_components_do_not_cross(self):
+        # Two components; seeds only in the first. The second gets no
+        # witnesses, hence no links.
+        g = Graph.from_edges([(0, 1), (1, 2), (10, 11), (11, 12)])
+        result = UserMatching(MatcherConfig(threshold=1)).run(
+            g, g.copy(), {0: 0, 1: 1}
+        )
+        for v in (10, 11, 12):
+            assert v not in result.links
+
+    def test_isolated_nodes_never_matched(self):
+        g1 = Graph.from_edges([(0, 1), (1, 2)], nodes=[9])
+        g2 = Graph.from_edges([(0, 1), (1, 2)], nodes=[9])
+        result = UserMatching(
+            MatcherConfig(threshold=1, min_bucket_exponent=0)
+        ).run(g1, g2, {1: 1})
+        assert 9 not in result.links
+
+    def test_star_leaves_all_tie(self, star):
+        # All leaves of a star are automorphic: with SKIP, none match.
+        result = UserMatching(
+            MatcherConfig(threshold=1, min_bucket_exponent=0)
+        ).run(star, star.copy(), {0: 0})
+        assert result.links == {0: 0}
+
+    def test_asymmetric_graph_sizes(self):
+        g1 = Graph.from_edges([(0, 1)])
+        g2 = Graph.from_edges([(0, 1), (1, 2), (2, 3), (3, 4)])
+        result = UserMatching(MatcherConfig(threshold=1)).run(
+            g1, g2, {0: 0}
+        )
+        assert set(result.links) <= {0, 1}
+
+    def test_all_nodes_seeded(self, pa_pair):
+        seeds = dict(pa_pair.identity)
+        result = UserMatching().run(pa_pair.g1, pa_pair.g2, seeds)
+        assert result.links == seeds
+        assert result.num_new_links == 0
+
+
+class TestCrossIdSpaces:
+    def test_string_vs_int_ids(self):
+        g1 = Graph.from_edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+        g2 = Graph.from_edges(
+            [("a", "b"), ("b", "c"), ("a", "c"), ("c", "d")]
+        )
+        identity = {0: "a", 1: "b", 2: "c", 3: "d"}
+        pair = GraphPair(g1=g1, g2=g2, identity=identity)
+        result = UserMatching(
+            MatcherConfig(threshold=1, min_bucket_exponent=0)
+        ).run(g1, g2, {0: "a", 1: "b"})
+        # node 2 has two witnesses (0->a, 1->b): must be found.
+        assert result.links.get(2) == "c"
+        assert pair.identity[2] == result.links[2]
+
+
+class TestMaxDegreeOverride:
+    def test_small_max_degree_still_correct(self, pa_pair, pa_seeds):
+        full = UserMatching(
+            MatcherConfig(threshold=2, iterations=2)
+        ).run(pa_pair.g1, pa_pair.g2, pa_seeds)
+        capped = UserMatching(
+            MatcherConfig(threshold=2, iterations=2, max_degree=4)
+        ).run(pa_pair.g1, pa_pair.g2, pa_seeds)
+        # A single low bucket behaves like no bucketing: still one-to-one
+        # and seed-preserving.
+        assert len(set(capped.links.values())) == len(capped.links)
+        for v1, v2 in pa_seeds.items():
+            assert capped.links[v1] == v2
+        # Both find a substantial portion of the graph.
+        assert len(capped.links) > 0.3 * len(full.links)
+
+
+class TestWitnessAccountingAcrossIterations:
+    def test_second_iteration_absorbs_last_buckets_links(self, pa_pair):
+        """Links created in the floor bucket of iteration 1 must become
+        witnesses in iteration 2 (regression test for the deferred
+        absorption logic)."""
+        from repro.seeds.generators import sample_seeds
+
+        seeds = sample_seeds(pa_pair, 0.05, seed=3)
+        one = UserMatching(
+            MatcherConfig(threshold=2, iterations=1)
+        ).run(pa_pair.g1, pa_pair.g2, seeds)
+        two = UserMatching(
+            MatcherConfig(threshold=2, iterations=2)
+        ).run(pa_pair.g1, pa_pair.g2, seeds)
+        assert len(two.links) > len(one.links)

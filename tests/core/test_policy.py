@@ -1,0 +1,75 @@
+"""Unit tests for the mutual-best selection rule."""
+
+from repro.core.config import TiePolicy
+from repro.core.policy import select_mutual_best
+
+
+class TestSelectMutualBest:
+    def test_simple_mutual_best(self):
+        scores = {1: {10: 5, 11: 2}, 2: {11: 4}}
+        out = select_mutual_best(scores, threshold=2)
+        assert out == {1: 10, 2: 11}
+
+    def test_threshold_filters(self):
+        scores = {1: {10: 1}}
+        assert select_mutual_best(scores, threshold=2) == {}
+
+    def test_left_tie_skipped(self):
+        scores = {1: {10: 3, 11: 3}}
+        assert select_mutual_best(scores, threshold=2) == {}
+
+    def test_left_tie_lowest_id(self):
+        scores = {1: {10: 3, 11: 3}}
+        out = select_mutual_best(
+            scores, threshold=2, tie_policy=TiePolicy.LOWEST_ID
+        )
+        assert out == {1: 10}
+
+    def test_right_contention_resolved_by_score(self):
+        # Both 1 and 2 prefer 10, but 1 scores higher: 10 goes to 1.
+        # Node 2 gets nothing this round (no fallback to its runner-up —
+        # the paper's rule only links a node to its own best pair).
+        scores = {1: {10: 5}, 2: {10: 3, 11: 2}}
+        out = select_mutual_best(scores, threshold=2)
+        assert out[1] == 10
+        assert 2 not in out
+
+    def test_right_tie_skipped(self):
+        scores = {1: {10: 3}, 2: {10: 3}}
+        assert select_mutual_best(scores, threshold=2) == {}
+
+    def test_right_tie_lowest_id(self):
+        scores = {1: {10: 3}, 2: {10: 3}}
+        out = select_mutual_best(
+            scores, threshold=2, tie_policy=TiePolicy.LOWEST_ID
+        )
+        assert out == {1: 10}
+
+    def test_output_one_to_one(self):
+        scores = {
+            1: {10: 5, 11: 4},
+            2: {10: 4, 11: 5},
+            3: {10: 3, 11: 3, 12: 6},
+        }
+        out = select_mutual_best(scores, threshold=1)
+        assert len(set(out.values())) == len(out)
+
+    def test_empty_scores(self):
+        assert select_mutual_best({}, threshold=1) == {}
+
+    def test_non_mutual_pair_rejected(self):
+        # 1's best is 10; but 10's best is 2 -> no link for 1
+        scores = {1: {10: 3}, 2: {10: 7, 11: 1}}
+        out = select_mutual_best(scores, threshold=1)
+        assert 1 not in out
+        assert out[2] == 10
+
+    def test_higher_threshold_subset(self):
+        scores = {
+            1: {10: 5, 11: 2},
+            2: {11: 3},
+            3: {12: 2},
+        }
+        low = select_mutual_best(scores, threshold=2)
+        high = select_mutual_best(scores, threshold=4)
+        assert set(high.items()) <= set(low.items())

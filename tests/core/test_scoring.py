@@ -1,0 +1,92 @@
+"""Unit tests for similarity-witness scoring (Definition 1)."""
+
+from repro.core.scoring import count_similarity_witnesses, witness_score
+from repro.graphs.graph import Graph
+
+
+def two_triangles():
+    """Two identical triangles with an extra pendant, same ids."""
+    g1 = Graph.from_edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+    g2 = Graph.from_edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+    return g1, g2
+
+
+class TestWitnessScore:
+    def test_definition_one(self):
+        g1, g2 = two_triangles()
+        links = {0: 0}
+        # (1, 1): u1=0 is a neighbor of 1 in g1, u2=0 neighbor of 1 in g2.
+        assert witness_score(g1, g2, links, 1, 1) == 1
+        assert witness_score(g1, g2, links, 1, 2) == 1
+        assert witness_score(g1, g2, links, 3, 3) == 0
+
+    def test_score_counts_multiple_witnesses(self):
+        g1, g2 = two_triangles()
+        links = {0: 0, 1: 1}
+        assert witness_score(g1, g2, links, 2, 2) == 2
+
+    def test_directionality(self):
+        g1 = Graph.from_edges([(0, 1)])
+        g2 = Graph.from_edges([(0, 1), (1, 2)])
+        links = {0: 0}
+        assert witness_score(g1, g2, links, 1, 1) == 1
+        assert witness_score(g1, g2, links, 1, 2) == 0
+
+
+class TestCountSimilarityWitnesses:
+    def test_matches_pairwise_scores(self):
+        g1, g2 = two_triangles()
+        links = {0: 0}
+        scores, emitted = count_similarity_witnesses(g1, g2, links)
+        assert scores[1][1] == 1
+        assert scores[1][2] == 1
+        assert scores[2][1] == 1
+        assert scores[2][2] == 1
+        assert emitted == 4
+
+    def test_linked_nodes_excluded_as_candidates(self):
+        g1, g2 = two_triangles()
+        links = {0: 0, 2: 2}
+        scores, _ = count_similarity_witnesses(g1, g2, links)
+        assert 0 not in scores
+        assert 2 not in scores
+        for row in scores.values():
+            assert 0 not in row
+            assert 2 not in row
+
+    def test_min_degree_filter(self):
+        g1, g2 = two_triangles()
+        links = {2: 2}
+        scores, _ = count_similarity_witnesses(
+            g1, g2, links, min_degree=2
+        )
+        # node 3 has degree 1: filtered out on both sides.
+        assert 3 not in scores
+        for row in scores.values():
+            assert 3 not in row
+
+    def test_empty_links(self):
+        g1, g2 = two_triangles()
+        scores, emitted = count_similarity_witnesses(g1, g2, {})
+        assert scores == {}
+        assert emitted == 0
+
+    def test_cross_check_with_witness_score(self, pa_pair, pa_seeds):
+        scores, _ = count_similarity_witnesses(
+            pa_pair.g1, pa_pair.g2, pa_seeds
+        )
+        checked = 0
+        for v1, row in list(scores.items())[:20]:
+            for v2, sc in list(row.items())[:5]:
+                assert sc == witness_score(
+                    pa_pair.g1, pa_pair.g2, pa_seeds, v1, v2
+                )
+                checked += 1
+        assert checked > 0
+
+    def test_emitted_equals_total_score_mass(self):
+        g1, g2 = two_triangles()
+        links = {0: 0, 1: 1}
+        scores, emitted = count_similarity_witnesses(g1, g2, links)
+        mass = sum(sum(row.values()) for row in scores.values())
+        assert emitted == mass

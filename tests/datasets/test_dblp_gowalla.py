@@ -1,0 +1,89 @@
+"""Unit tests for the DBLP and Gowalla simulators."""
+
+import pytest
+
+from repro.datasets.dblp import synthetic_dblp
+from repro.datasets.gowalla import synthetic_gowalla
+from repro.sampling.temporal_split import split_by_parity
+
+
+@pytest.fixture(scope="module")
+def dblp():
+    return synthetic_dblp(
+        n_authors=1500, years=12, papers_per_year=150, seed=1
+    )
+
+
+@pytest.fixture(scope="module")
+def gowalla():
+    return synthetic_gowalla(n_users=800, months=12, seed=1)
+
+
+class TestDblp:
+    def test_years_range(self, dblp):
+        assert all(0 <= t < 12 for t in dblp.timestamps())
+
+    def test_authors_bounded(self, dblp):
+        assert dblp.num_nodes <= 1500
+
+    def test_parity_split_overlaps(self, dblp):
+        pair = split_by_parity(dblp)
+        # recurring teams must create an overlap between the slices
+        assert len(pair.identity) > 0.05 * dblp.num_nodes
+
+    def test_event_volume(self, dblp):
+        # >= one co-authorship pair per paper on average
+        assert dblp.num_events >= 12 * 150
+
+    def test_reproducible(self):
+        a = synthetic_dblp(
+            n_authors=200, years=4, papers_per_year=30, seed=5
+        )
+        b = synthetic_dblp(
+            n_authors=200, years=4, papers_per_year=30, seed=5
+        )
+        assert sorted(a.events()) == sorted(b.events())
+
+    def test_heavy_tailed_productivity(self, dblp):
+        pair = split_by_parity(dblp)
+        degs = sorted(
+            (pair.g1.degree(u) for u in pair.g1.nodes()), reverse=True
+        )
+        assert degs[0] > 5 * (sum(degs) / len(degs))
+
+    def test_invalid_team_size(self):
+        with pytest.raises(Exception):
+            synthetic_dblp(max_team_size=1)
+
+
+class TestGowalla:
+    def test_returns_events_and_friends(self, gowalla):
+        temporal, friends = gowalla
+        assert temporal.num_events > 0
+        assert friends.num_nodes == 800
+
+    def test_events_only_between_friends(self, gowalla):
+        temporal, friends = gowalla
+        for u, v, _t in list(temporal.events())[:500]:
+            assert friends.has_edge(u, v)
+
+    def test_months_range(self, gowalla):
+        temporal, _ = gowalla
+        assert all(0 <= t < 12 for t in temporal.timestamps())
+
+    def test_parity_split_produces_pair(self, gowalla):
+        temporal, _ = gowalla
+        pair = split_by_parity(temporal)
+        assert len(pair.identity) > 100
+
+    def test_reproducible(self):
+        t1, f1 = synthetic_gowalla(n_users=200, months=6, seed=9)
+        t2, f2 = synthetic_gowalla(n_users=200, months=6, seed=9)
+        assert f1 == f2
+        assert sorted(t1.events()) == sorted(t2.events())
+
+    def test_homophily_same_cell_friends_colocate_more(self, gowalla):
+        temporal, friends = gowalla
+        pair = split_by_parity(temporal)
+        # co-location slices must be sparser than the friendship graph
+        assert pair.g1.num_edges < friends.num_edges

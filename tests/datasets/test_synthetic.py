@@ -1,0 +1,63 @@
+"""Unit tests for the Facebook-like and Enron-like stand-ins."""
+
+import pytest
+
+from repro.datasets.synthetic import enron_like, facebook_like
+from repro.graphs.stats import (
+    average_clustering,
+    average_degree,
+    degree_array,
+    gini_coefficient,
+)
+
+
+@pytest.fixture(scope="module")
+def fb():
+    return facebook_like(2500, seed=1)
+
+
+@pytest.fixture(scope="module")
+def enron():
+    return enron_like(2500, seed=1)
+
+
+class TestFacebookLike:
+    def test_average_degree_near_wosn(self, fb):
+        # WOSN-09 has 48.5; accept a generous band at reduced scale.
+        assert 30 < average_degree(fb) < 70
+
+    def test_low_degree_mass_exists(self, fb):
+        degs = degree_array(fb)
+        assert 0.10 < float((degs <= 5).mean()) < 0.45
+
+    def test_heavy_tail(self, fb):
+        assert fb.max_degree() > 10 * average_degree(fb)
+
+    def test_clustering_nontrivial(self, fb):
+        assert average_clustering(fb, sample=300, seed=2) > 0.05
+
+    def test_reproducible(self):
+        assert facebook_like(500, seed=3) == facebook_like(500, seed=3)
+
+    def test_skewed(self, fb):
+        assert gini_coefficient(fb) > 0.4
+
+
+class TestEnronLike:
+    def test_average_degree_near_enron(self, enron):
+        # Enron has ~20.
+        assert 10 < average_degree(enron) < 32
+
+    def test_sparse_with_hubs(self, enron):
+        assert enron.max_degree() > 5 * average_degree(enron)
+
+    def test_most_nodes_low_degree(self, enron):
+        degs = degree_array(enron)
+        assert float((degs <= 10).mean()) > 0.4
+
+    def test_reproducible(self):
+        assert enron_like(500, seed=4) == enron_like(500, seed=4)
+
+    def test_invalid_average_degree(self):
+        with pytest.raises(ValueError):
+            enron_like(100, average_degree=0)

@@ -1,0 +1,93 @@
+"""Unit tests for the Wikipedia simulator and the dataset registry."""
+
+import pytest
+
+from repro.datasets.registry import DATASETS, load_dataset
+from repro.datasets.wikipedia import synthetic_wikipedia_pair
+from repro.errors import DatasetError
+
+
+@pytest.fixture(scope="module")
+def wiki():
+    return synthetic_wikipedia_pair(n_concepts=1500, seed=1)
+
+
+class TestWikipedia:
+    def test_disjoint_id_spaces(self, wiki):
+        for node in wiki.pair.g2.nodes():
+            assert str(node).startswith("de:")
+        for node in wiki.pair.g1.nodes():
+            assert not str(node).startswith("de:")
+
+    def test_identity_maps_concepts(self, wiki):
+        for v1, v2 in wiki.pair.identity.items():
+            assert v2 == f"de:{v1}"
+
+    def test_language_a_larger(self, wiki):
+        assert wiki.pair.g1.num_nodes > wiki.pair.g2.num_nodes
+
+    def test_interlanguage_links_incomplete(self, wiki):
+        assert (
+            0
+            < len(wiki.interlanguage_links)
+            < len(wiki.pair.identity)
+        )
+
+    def test_interlanguage_links_have_errors(self, wiki):
+        wrong = sum(
+            1
+            for v1, v2 in wiki.interlanguage_links.items()
+            if wiki.pair.identity.get(v1) != v2
+        )
+        assert wrong > 0
+
+    def test_links_remain_injective(self, wiki):
+        values = list(wiki.interlanguage_links.values())
+        assert len(set(values)) == len(values)
+
+    def test_partial_overlap(self, wiki):
+        shared = len(wiki.pair.identity)
+        assert shared < wiki.pair.g1.num_nodes
+
+    def test_reproducible(self):
+        a = synthetic_wikipedia_pair(n_concepts=400, seed=3)
+        b = synthetic_wikipedia_pair(n_concepts=400, seed=3)
+        assert a.pair.g1 == b.pair.g1
+        assert a.interlanguage_links == b.interlanguage_links
+
+    def test_invalid_noise(self):
+        with pytest.raises(DatasetError):
+            synthetic_wikipedia_pair(n_concepts=100, noise_fraction=-1)
+
+
+class TestRegistry:
+    def test_catalog_has_all_paper_datasets(self):
+        for name in (
+            "pa",
+            "rmat24",
+            "rmat26",
+            "rmat28",
+            "affiliation",
+            "facebook",
+            "enron",
+            "dblp",
+            "gowalla",
+            "wikipedia",
+        ):
+            assert name in DATASETS
+
+    def test_paper_sizes_recorded(self):
+        assert DATASETS["facebook"].paper_nodes == 63_731
+        assert DATASETS["enron"].paper_edges == 367_662
+
+    def test_load_unknown_raises(self):
+        with pytest.raises(DatasetError):
+            load_dataset("nope")
+
+    def test_load_enron(self):
+        g = load_dataset("enron", seed=1)
+        assert g.num_nodes > 0
+
+    def test_kinds_are_known(self):
+        kinds = {spec.kind for spec in DATASETS.values()}
+        assert kinds <= {"graph", "temporal", "affiliation", "wikipedia"}

@@ -1,0 +1,73 @@
+"""Unit tests for ASCII chart rendering."""
+
+import pytest
+
+from repro.evaluation.charts import horizontal_bar_chart, series_chart
+
+
+class TestHorizontalBarChart:
+    def test_basic_render(self):
+        text = horizontal_bar_chart(["a", "bb"], [1.0, 0.5], width=10)
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith(" a |")
+        assert "1.000" in lines[0]
+
+    def test_full_bar_at_max(self):
+        text = horizontal_bar_chart(["x"], [2.0], width=8)
+        assert "████████" in text
+
+    def test_zero_values(self):
+        text = horizontal_bar_chart(["x"], [0.0], width=8)
+        assert "█" not in text
+
+    def test_title(self):
+        text = horizontal_bar_chart(["x"], [1.0], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            horizontal_bar_chart(["a"], [1.0, 2.0])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            horizontal_bar_chart(["a"], [-1.0])
+
+    def test_empty(self):
+        assert "(no data)" in horizontal_bar_chart([], [])
+
+    def test_custom_max_scales_down(self):
+        half = horizontal_bar_chart(["x"], [1.0], width=10, max_value=2.0)
+        bar = half.split("|")[1]
+        assert bar.count("█") == 5
+
+
+class TestSeriesChart:
+    def test_grouped_series(self):
+        rows = [
+            {"seed_prob": 0.01, "threshold": 1, "recall": 0.5},
+            {"seed_prob": 0.05, "threshold": 1, "recall": 0.9},
+            {"seed_prob": 0.01, "threshold": 2, "recall": 0.4},
+        ]
+        text = series_chart(
+            rows, "seed_prob", "recall", group_key="threshold"
+        )
+        assert "threshold = 1" in text
+        assert "threshold = 2" in text
+        assert "0.900" in text
+
+    def test_ungrouped(self):
+        rows = [{"x": "a", "y": 1.0}, {"x": "b", "y": 2.0}]
+        text = series_chart(rows, "x", "y", title="chart")
+        assert text.splitlines()[0] == "chart"
+
+    def test_fig2_rows_render(self):
+        from repro.experiments import fig2_pa
+
+        result = fig2_pa.run(
+            n=600, m=8, seed_probs=(0.1,), thresholds=(2,), seed=1
+        )
+        text = series_chart(
+            result.rows, "seed_prob", "recall", group_key="threshold"
+        )
+        assert "|" in text

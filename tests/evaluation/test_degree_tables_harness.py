@@ -1,0 +1,130 @@
+"""Unit tests for degree-stratified evaluation, tables and the harness."""
+
+import pytest
+
+from repro.core.config import MatcherConfig
+from repro.core.result import MatchingResult
+from repro.evaluation.degree_stratified import (
+    DegreeBucketStats,
+    degree_stratified_report,
+)
+from repro.evaluation.harness import run_trial
+from repro.evaluation.tables import format_report_rows, format_table
+from repro.graphs.graph import Graph
+from repro.sampling.pair import GraphPair
+
+
+class TestDegreeStratified:
+    @pytest.fixture
+    def pair(self):
+        # node 0: degree 3 hub; nodes 1-3: degree >= 1
+        g1 = Graph.from_edges([(0, 1), (0, 2), (0, 3)])
+        g2 = Graph.from_edges([(0, 1), (0, 2), (0, 3)])
+        return GraphPair(
+            g1=g1, g2=g2, identity={i: i for i in range(4)}
+        )
+
+    def test_bucket_assignment(self, pair):
+        result = MatchingResult(
+            links={0: 0, 1: 1, 2: 3}, seeds={}, phases=[]
+        )
+        buckets = degree_stratified_report(
+            result, pair, bucket_edges=(1, 2)
+        )
+        low, high = buckets
+        assert low.lo == 1 and low.hi == 2
+        assert high.lo == 2 and high.hi is None
+        assert low.identifiable == 3  # nodes 1,2,3 (degree 1)
+        assert high.identifiable == 1  # hub
+        assert low.matched_good == 1  # node 1
+        assert low.matched_bad == 1  # node 2 -> 3
+        assert high.matched_good == 1
+
+    def test_recall_precision_per_bucket(self, pair):
+        result = MatchingResult(links={1: 1}, seeds={}, phases=[])
+        buckets = degree_stratified_report(
+            result, pair, bucket_edges=(1, 2)
+        )
+        assert buckets[0].recall == pytest.approx(1 / 3)
+        assert buckets[0].precision == 1.0
+        assert buckets[1].recall == 0.0
+        assert buckets[1].precision == 1.0  # vacuous
+
+    def test_labels(self):
+        b = DegreeBucketStats(
+            lo=5, hi=8, identifiable=0, matched_good=0, matched_bad=0
+        )
+        assert b.label == "5-7"
+        top = DegreeBucketStats(
+            lo=89, hi=None, identifiable=0, matched_good=0, matched_bad=0
+        )
+        assert top.label == "89+"
+        single = DegreeBucketStats(
+            lo=2, hi=3, identifiable=0, matched_good=0, matched_bad=0
+        )
+        assert single.label == "2"
+
+    def test_empty_edges_raises(self, pair):
+        result = MatchingResult(links={}, seeds={}, phases=[])
+        with pytest.raises(ValueError):
+            degree_stratified_report(result, pair, bucket_edges=())
+
+    def test_recall_rises_with_degree_on_real_workload(
+        self, pa_pair, pa_seeds
+    ):
+        from repro.core.matcher import UserMatching
+
+        result = UserMatching(
+            MatcherConfig(threshold=2, iterations=2)
+        ).run(pa_pair.g1, pa_pair.g2, pa_seeds)
+        buckets = degree_stratified_report(result, pa_pair)
+        populated = [b for b in buckets if b.identifiable >= 10]
+        assert populated[-1].recall >= populated[0].recall
+
+
+class TestTables:
+    def test_format_basic(self):
+        text = format_table(["a", "b"], [[1, 2], [30, 4.5678]])
+        lines = text.splitlines()
+        assert "a" in lines[0] and "b" in lines[0]
+        assert "4.568" in text  # 4 significant digits
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_format_report_rows(self):
+        rows = [{"x": 1, "y": 2}, {"x": 3, "y": 4}]
+        text = format_report_rows(rows)
+        assert "x" in text and "3" in text
+
+    def test_format_report_rows_empty(self):
+        assert format_report_rows([], title="t") == "t"
+
+
+class TestHarness:
+    def test_run_trial(self, pa_pair, pa_seeds):
+        trial = run_trial(
+            pa_pair,
+            pa_seeds,
+            config=MatcherConfig(threshold=2, iterations=1),
+            params={"exp": "unit"},
+        )
+        assert trial.elapsed > 0
+        assert trial.report.good > 0
+        row = trial.row()
+        assert row["exp"] == "unit"
+        assert "precision" in row
+        assert "elapsed_s" in row
+
+    def test_run_trial_with_custom_matcher(self, pa_pair, pa_seeds):
+        from repro.baselines.degree_matcher import DegreeSequenceMatcher
+
+        trial = run_trial(
+            pa_pair, pa_seeds, matcher=DegreeSequenceMatcher()
+        )
+        assert trial.report.good >= 0

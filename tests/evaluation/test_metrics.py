@@ -1,0 +1,124 @@
+"""Unit tests for matching-quality metrics."""
+
+import pytest
+
+from repro.core.result import MatchingResult
+from repro.errors import EvaluationError
+from repro.evaluation.metrics import MatchingReport, evaluate
+from repro.graphs.graph import Graph
+from repro.sampling.pair import GraphPair
+
+
+@pytest.fixture
+def simple_pair():
+    g1 = Graph.from_edges([(0, 1), (1, 2), (2, 3)])
+    g2 = Graph.from_edges([("a", "b"), ("b", "c"), ("c", "d")])
+    identity = {0: "a", 1: "b", 2: "c", 3: "d"}
+    return GraphPair(g1=g1, g2=g2, identity=identity)
+
+
+def result_with(links, seeds):
+    return MatchingResult(links=links, seeds=seeds, phases=[])
+
+
+class TestEvaluate:
+    def test_all_correct(self, simple_pair):
+        result = result_with(
+            {0: "a", 1: "b", 2: "c"}, seeds={0: "a"}
+        )
+        report = evaluate(result, simple_pair)
+        assert report.good == 3
+        assert report.bad == 0
+        assert report.new_good == 2
+        assert report.precision == 1.0
+
+    def test_wrong_link_counted_bad(self, simple_pair):
+        result = result_with({0: "a", 1: "c"}, seeds={})
+        report = evaluate(result, simple_pair)
+        assert report.good == 1
+        assert report.bad == 1
+        assert report.new_bad == 1
+
+    def test_link_with_no_truth_is_bad(self, simple_pair):
+        g1 = simple_pair.g1.copy()
+        g1.add_node("ghost")
+        pair = GraphPair(
+            g1=g1, g2=simple_pair.g2, identity=simple_pair.identity
+        )
+        result = result_with({"ghost": "d"}, seeds={})
+        report = evaluate(result, pair)
+        assert report.bad == 1
+
+    def test_seed_errors_counted_in_totals_not_new(self, simple_pair):
+        result = result_with({0: "b"}, seeds={0: "b"})
+        report = evaluate(result, simple_pair)
+        assert report.bad == 1
+        assert report.new_bad == 0
+
+    def test_identifiable_counts_degree_one_plus(self, simple_pair):
+        report = evaluate(result_with({}, {}), simple_pair)
+        assert report.identifiable == 4
+
+    def test_empty_identity_raises(self):
+        pair_graphs = Graph.from_edges([(0, 1)])
+        pair = GraphPair(
+            g1=pair_graphs, g2=pair_graphs.copy(), identity={}
+        )
+        with pytest.raises(EvaluationError):
+            evaluate(result_with({}, {}), pair)
+
+
+class TestReportProperties:
+    def test_rates(self):
+        report = MatchingReport(
+            good=90,
+            bad=10,
+            new_good=45,
+            new_bad=5,
+            num_seeds=50,
+            identifiable=200,
+        )
+        assert report.precision == pytest.approx(0.9)
+        assert report.error_rate == pytest.approx(0.1)
+        assert report.new_precision == pytest.approx(0.9)
+        assert report.new_error_rate == pytest.approx(0.1)
+        assert report.recall == pytest.approx(0.45)
+        assert report.new_recall == pytest.approx(45 / 150)
+
+    def test_no_links_perfect_precision(self):
+        report = MatchingReport(
+            good=0,
+            bad=0,
+            new_good=0,
+            new_bad=0,
+            num_seeds=0,
+            identifiable=10,
+        )
+        assert report.precision == 1.0
+        assert report.recall == 0.0
+
+    def test_zero_identifiable(self):
+        report = MatchingReport(
+            good=0,
+            bad=0,
+            new_good=0,
+            new_bad=0,
+            num_seeds=0,
+            identifiable=0,
+        )
+        assert report.recall == 0.0
+        assert report.new_recall == 0.0
+
+    def test_as_dict_round_trip(self):
+        report = MatchingReport(
+            good=1,
+            bad=2,
+            new_good=3,
+            new_bad=4,
+            num_seeds=5,
+            identifiable=6,
+        )
+        d = report.as_dict()
+        assert d["good"] == 1
+        assert d["identifiable"] == 6
+        assert "precision" in d

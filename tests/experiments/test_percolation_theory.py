@@ -1,0 +1,57 @@
+"""Tests for the percolation and theory-validation experiments."""
+
+import pytest
+
+from repro.experiments import percolation, theory_validation
+
+
+class TestPercolation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return percolation.run(
+            n=2000, m=12, seed_counts=(5, 60, 150), seed=1
+        )
+
+    def test_recall_monotone_in_seed_count(self, result):
+        recalls = [r["recall"] for r in result.rows]
+        assert recalls == sorted(recalls)
+
+    def test_transition_exists(self, result):
+        """Few seeds fizzle; enough seeds saturate."""
+        assert result.rows[0]["recall"] < 0.2
+        assert result.rows[-1]["recall"] > 0.6
+
+    def test_seed_counts_respected(self, result):
+        assert [r["seed_count"] for r in result.rows] == [5, 60, 150]
+
+    def test_count_capped_at_population(self):
+        result = percolation.run(
+            n=300, m=8, seed_counts=(10 ** 6,), seed=1
+        )
+        assert result.rows[0]["seed_count"] <= 300
+
+
+class TestTheoryValidation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return theory_validation.run(seed=1)
+
+    def test_two_rows(self, result):
+        assert len(result.rows) == 2
+
+    def test_measured_close_to_predicted(self, result):
+        for row in result.rows:
+            measured = row["measured_mean"]
+            predicted = row["predicted_mean"]
+            assert measured == pytest.approx(
+                predicted, rel=0.35, abs=0.2
+            )
+
+    def test_gap_between_correct_and_wrong(self, result):
+        correct, wrong = result.rows
+        assert correct["measured_mean"] > 5 * wrong["measured_mean"]
+
+    def test_wrong_pairs_rarely_reach_threshold(self, result):
+        wrong = result.rows[1]
+        frac_key = next(k for k in wrong if k.startswith("frac"))
+        assert wrong[frac_key] < 0.02

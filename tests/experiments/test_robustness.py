@@ -1,0 +1,68 @@
+"""Tests for the extension robustness experiments (tiny scale)."""
+
+import pytest
+
+from repro.experiments import robustness
+
+
+class TestNoiseEdges:
+    def test_rows_and_graceful_degradation(self):
+        result = robustness.run_noise_edges(
+            n=1200, noise_fractions=(0.0, 0.2), seed=1
+        )
+        assert len(result.rows) == 2
+        clean, noisy = result.rows
+        # Tiny instances are noise-sensitive (few witnesses per node);
+        # the bench at n=5000 asserts the tight bound.
+        assert noisy["recall"] > 0.5
+        assert noisy["good"] > 0
+
+
+class TestVertexDeletion:
+    def test_identifiable_shrinks(self):
+        result = robustness.run_vertex_deletion(
+            n=1200, deletion_probs=(0.0, 0.3), seed=1
+        )
+        full, deleted = result.rows
+        assert deleted["identifiable"] < full["identifiable"]
+
+
+class TestNoisySeeds:
+    def test_output_error_bounded(self):
+        result = robustness.run_noisy_seeds(
+            n=1500, error_rates=(0.0, 0.2), seed=1
+        )
+        clean, noisy = result.rows
+        # Output error rises but stays well under the input error.
+        assert noisy["new_error_%"] < 20.0
+        assert noisy["good"] > 0.8 * clean["good"]
+
+
+class TestScaleTrend:
+    def test_error_decays(self):
+        result = robustness.run_scale_trend(ns=(1000, 4000), seed=1)
+        small, large = result.rows
+        assert large["error_%"] <= small["error_%"] + 0.1
+        assert large["recall"] >= small["recall"] - 0.05
+
+
+class TestSmallWorld:
+    def test_hard_substrate_reported_honestly(self):
+        result = robustness.run_small_world(n=1000, seed=1)
+        assert {r["bucketing"] for r in result.rows} == {"on", "off"}
+        for row in result.rows:
+            assert row["recall"] < 0.8  # genuinely hard case
+
+
+class TestCliIntegration:
+    def test_robustness_experiments_registered(self):
+        from repro.cli import EXPERIMENTS
+
+        for name in (
+            "robustness-noise",
+            "robustness-vertex-deletion",
+            "robustness-noisy-seeds",
+            "robustness-scale",
+            "robustness-small-world",
+        ):
+            assert name in EXPERIMENTS

@@ -1,0 +1,83 @@
+"""Unit tests for the Affiliation Networks generator."""
+
+from collections import defaultdict
+
+import pytest
+
+from repro.generators.affiliation import AffiliationNetwork, affiliation_graph
+
+
+@pytest.fixture(scope="module")
+def net() -> AffiliationNetwork:
+    return affiliation_graph(
+        400,
+        400,
+        memberships_per_user=6,
+        uniform_mix=0.9,
+        founding_prob=0.4,
+        copy_factor=0.3,
+        seed=1,
+    )
+
+
+class TestAffiliationStructure:
+    def test_user_count(self, net):
+        assert net.bipartite.num_users == 400
+
+    def test_interest_count_at_least_target(self, net):
+        assert net.bipartite.num_affiliations >= 400
+
+    def test_fold_matches_bipartite(self, net):
+        g = net.graph
+        for aff, members in net.communities.items():
+            members = sorted(members)
+            for i, u in enumerate(members):
+                for v in members[i + 1 :]:
+                    assert g.has_edge(u, v)
+
+    def test_fold_has_all_users(self, net):
+        assert net.graph.num_nodes == 400
+
+    def test_users_distinguishable(self, net):
+        """Most users must have unique interest portfolios; duplicate
+        portfolios are automorphic and unmatchable by any structural
+        algorithm."""
+        groups = defaultdict(list)
+        for u in net.bipartite.users():
+            groups[frozenset(net.bipartite.affiliations_of(u))].append(u)
+        dups = sum(len(v) for v in groups.values() if len(v) > 1)
+        assert dups < 0.05 * net.bipartite.num_users
+
+    def test_not_complete_graph(self, net):
+        g = net.graph
+        max_edges = g.num_nodes * (g.num_nodes - 1) / 2
+        assert g.num_edges < 0.5 * max_edges
+
+    def test_fold_with_interests_subset(self, net):
+        some = list(net.bipartite.affiliations())[:10]
+        sub = net.fold_with_interests(some)
+        assert sub.num_edges <= net.graph.num_edges
+        assert sub.num_nodes == net.graph.num_nodes
+
+    def test_reproducible(self):
+        a = affiliation_graph(100, 80, seed=3)
+        b = affiliation_graph(100, 80, seed=3)
+        assert a.graph == b.graph
+
+    def test_memberships_close_to_target(self, net):
+        avg = net.bipartite.num_memberships / net.bipartite.num_users
+        assert 4 <= avg <= 8  # target 6, founding/stall variance allowed
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            affiliation_graph(0, 10)
+        with pytest.raises(ValueError):
+            affiliation_graph(10, 0)
+        with pytest.raises(ValueError):
+            affiliation_graph(10, 10, memberships_per_user=0)
+
+    def test_communities_property(self, net):
+        comm = net.communities
+        assert len(comm) == net.bipartite.num_affiliations
+        total = sum(len(m) for m in comm.values())
+        assert total == net.bipartite.num_memberships

@@ -1,0 +1,84 @@
+"""Unit tests for the Chung–Lu generator."""
+
+import pytest
+
+from repro.generators.chung_lu import (
+    chung_lu_graph,
+    expected_chung_lu_edges,
+    power_law_weights,
+)
+
+
+class TestPowerLawWeights:
+    def test_count_and_floor(self):
+        w = power_law_weights(500, exponent=2.5, min_weight=2.0, seed=1)
+        assert len(w) == 500
+        assert min(w) >= 2.0
+
+    def test_cap_applied(self):
+        w = power_law_weights(
+            500, exponent=2.0, min_weight=1.0, max_weight=50.0, seed=1
+        )
+        assert max(w) <= 50.0
+
+    def test_heavy_tail_exists(self):
+        w = power_law_weights(3000, exponent=2.2, min_weight=1.0, seed=2)
+        assert max(w) > 20 * (sum(w) / len(w))
+
+    def test_invalid_exponent(self):
+        with pytest.raises(Exception):
+            power_law_weights(10, exponent=1.0)
+
+    def test_invalid_min_weight(self):
+        with pytest.raises(Exception):
+            power_law_weights(10, min_weight=0.0)
+
+    def test_reproducible(self):
+        assert power_law_weights(50, seed=9) == power_law_weights(
+            50, seed=9
+        )
+
+
+class TestChungLu:
+    def test_all_nodes_present(self):
+        g = chung_lu_graph([1.0] * 100, seed=1)
+        assert g.num_nodes == 100
+
+    def test_edge_count_near_expectation(self):
+        weights = [10.0] * 200
+        g = chung_lu_graph(weights, seed=3)
+        expected = expected_chung_lu_edges(weights)
+        assert abs(g.num_edges - expected) < 0.3 * expected
+
+    def test_high_weight_gets_high_degree(self):
+        weights = [1.0] * 300 + [100.0]
+        g = chung_lu_graph(weights, seed=4)
+        hub_degree = g.degree(300)
+        rest = [g.degree(i) for i in range(300)]
+        assert hub_degree > 10 * (sum(rest) / len(rest) + 0.01)
+
+    def test_zero_weights(self):
+        g = chung_lu_graph([0.0] * 50, seed=1)
+        assert g.num_edges == 0
+
+    def test_negative_weight_raises(self):
+        with pytest.raises(Exception):
+            chung_lu_graph([1.0, -2.0])
+
+    def test_empty(self):
+        g = chung_lu_graph([], seed=1)
+        assert g.num_nodes == 0
+
+    def test_single_node(self):
+        g = chung_lu_graph([5.0], seed=1)
+        assert g.num_nodes == 1
+        assert g.num_edges == 0
+
+    def test_reproducible(self):
+        w = power_law_weights(200, seed=5)
+        assert chung_lu_graph(w, seed=6) == chung_lu_graph(w, seed=6)
+
+    def test_no_self_loops(self):
+        g = chung_lu_graph([5.0] * 100, seed=7)
+        for u, v in g.edges():
+            assert u != v

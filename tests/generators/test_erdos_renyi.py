@@ -1,0 +1,109 @@
+"""Unit tests for the Erdős–Rényi generators."""
+
+import math
+
+import pytest
+
+from repro.errors import GeneratorParameterError
+from repro.generators.erdos_renyi import (
+    connectivity_threshold,
+    expected_gnp_edges,
+    gnm_graph,
+    gnp_graph,
+)
+from repro.graphs.ops import connected_components
+
+
+class TestGnp:
+    def test_node_count(self):
+        g = gnp_graph(100, 0.1, seed=1)
+        assert g.num_nodes == 100
+
+    def test_reproducible(self):
+        a = gnp_graph(200, 0.05, seed=3)
+        b = gnp_graph(200, 0.05, seed=3)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = gnp_graph(200, 0.05, seed=3)
+        b = gnp_graph(200, 0.05, seed=4)
+        assert a != b
+
+    def test_p_zero(self):
+        g = gnp_graph(50, 0.0, seed=1)
+        assert g.num_edges == 0
+
+    def test_p_one_is_complete(self):
+        g = gnp_graph(10, 1.0, seed=1)
+        assert g.num_edges == 45
+
+    def test_edge_count_concentrates(self):
+        n, p = 400, 0.05
+        g = gnp_graph(n, p, seed=5)
+        mean = expected_gnp_edges(n, p)
+        std = math.sqrt(mean * (1 - p))
+        assert abs(g.num_edges - mean) < 6 * std
+
+    def test_above_connectivity_threshold_connected(self):
+        n = 300
+        p = 3 * connectivity_threshold(n)
+        g = gnp_graph(n, p, seed=7)
+        assert len(connected_components(g)) == 1
+
+    def test_no_self_loops(self):
+        g = gnp_graph(100, 0.2, seed=2)
+        for u, v in g.edges():
+            assert u != v
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            gnp_graph(10, 1.5)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            gnp_graph(-1, 0.5)
+
+    def test_single_node(self):
+        g = gnp_graph(1, 0.9, seed=1)
+        assert g.num_nodes == 1
+        assert g.num_edges == 0
+
+    def test_degree_distribution_roughly_binomial(self):
+        n, p = 500, 0.04
+        g = gnp_graph(n, p, seed=11)
+        degrees = [g.degree(u) for u in g.nodes()]
+        mean = sum(degrees) / n
+        assert abs(mean - (n - 1) * p) < 2.0
+
+
+class TestGnm:
+    def test_exact_edge_count(self):
+        g = gnm_graph(50, 100, seed=1)
+        assert g.num_edges == 100
+
+    def test_max_edges(self):
+        g = gnm_graph(6, 15, seed=1)
+        assert g.num_edges == 15  # complete K6
+
+    def test_too_many_edges_raises(self):
+        with pytest.raises(GeneratorParameterError):
+            gnm_graph(5, 11)
+
+    def test_zero_edges(self):
+        g = gnm_graph(5, 0, seed=1)
+        assert g.num_edges == 0
+        assert g.num_nodes == 5
+
+    def test_reproducible(self):
+        assert gnm_graph(40, 60, seed=9) == gnm_graph(40, 60, seed=9)
+
+
+class TestHelpers:
+    def test_expected_edges(self):
+        assert expected_gnp_edges(10, 0.5) == pytest.approx(22.5)
+
+    def test_connectivity_threshold_small_n(self):
+        assert connectivity_threshold(1) == 1.0
+
+    def test_connectivity_threshold_decreasing(self):
+        assert connectivity_threshold(100) > connectivity_threshold(1000)

@@ -1,0 +1,80 @@
+"""Unit tests for the Bollobás–Riordan PA generator."""
+
+import pytest
+
+from repro.generators.preferential_attachment import (
+    pa_expected_min_m,
+    preferential_attachment_graph,
+)
+from repro.graphs.ops import connected_components
+from repro.graphs.stats import degree_array, gini_coefficient
+
+
+class TestPAStructure:
+    def test_node_count(self):
+        g = preferential_attachment_graph(500, 3, seed=1)
+        assert g.num_nodes == 500
+
+    def test_edge_count_at_most_nm(self):
+        n, m = 500, 4
+        g = preferential_attachment_graph(n, m, seed=1)
+        assert g.num_edges <= n * m
+        # collapses drop only a small fraction
+        assert g.num_edges > 0.8 * n * m
+
+    def test_reproducible(self):
+        a = preferential_attachment_graph(300, 3, seed=5)
+        b = preferential_attachment_graph(300, 3, seed=5)
+        assert a == b
+
+    def test_no_self_loops(self):
+        g = preferential_attachment_graph(400, 2, seed=2)
+        for u, v in g.edges():
+            assert u != v
+
+    def test_connected_for_m_at_least_two(self):
+        g = preferential_attachment_graph(500, 2, seed=3)
+        comps = connected_components(g)
+        assert len(comps[0]) > 0.95 * g.num_nodes
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            preferential_attachment_graph(0, 3)
+        with pytest.raises(ValueError):
+            preferential_attachment_graph(10, 0)
+
+
+class TestPADegrees:
+    def test_skewed_degree_distribution(self):
+        g = preferential_attachment_graph(2000, 4, seed=7)
+        assert gini_coefficient(g) > 0.25
+
+    def test_early_birds_have_high_degree(self):
+        """Lemma 5/7 empirically: early nodes accumulate degree."""
+        g = preferential_attachment_graph(3000, 5, seed=9)
+        early = [g.degree(u) for u in range(10)]
+        late = [g.degree(u) for u in range(2900, 3000)]
+        assert min(early) > max(late) / 2
+        assert sum(early) / len(early) > 5 * sum(late) / len(late)
+
+    def test_max_degree_grows_with_n(self):
+        small = preferential_attachment_graph(500, 3, seed=4)
+        large = preferential_attachment_graph(4000, 3, seed=4)
+        assert large.max_degree() > small.max_degree()
+
+    def test_most_nodes_have_low_degree(self):
+        g = preferential_attachment_graph(2000, 3, seed=6)
+        degs = degree_array(g)
+        assert (degs <= 2 * 3).mean() > 0.5
+
+
+class TestHelper:
+    def test_pa_expected_min_m_exact(self):
+        assert pa_expected_min_m(1.0) == 22
+
+    def test_pa_expected_min_m_half(self):
+        assert pa_expected_min_m(0.5) == 88
+
+    def test_pa_expected_min_m_invalid(self):
+        with pytest.raises(Exception):
+            pa_expected_min_m(0.0)

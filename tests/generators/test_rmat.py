@@ -1,0 +1,66 @@
+"""Unit tests for the R-MAT generator."""
+
+import pytest
+
+from repro.errors import GeneratorParameterError
+from repro.generators.rmat import rmat_graph, rmat_scale_series
+from repro.graphs.stats import gini_coefficient
+
+
+class TestRmat:
+    def test_nodes_within_address_space(self):
+        g = rmat_graph(8, 1000, seed=1)
+        for node in g.nodes():
+            assert 0 <= node < 256
+
+    def test_edges_bounded_by_attempts(self):
+        g = rmat_graph(10, 5000, seed=1)
+        assert 0 < g.num_edges <= 5000
+
+    def test_reproducible(self):
+        assert rmat_graph(9, 2000, seed=5) == rmat_graph(9, 2000, seed=5)
+
+    def test_different_seeds_differ(self):
+        assert rmat_graph(9, 2000, seed=5) != rmat_graph(9, 2000, seed=6)
+
+    def test_skewed_degrees_with_default_quadrants(self):
+        g = rmat_graph(11, 16 * (1 << 11), seed=2)
+        assert gini_coefficient(g) > 0.4
+
+    def test_uniform_quadrants_are_not_skewed(self):
+        g = rmat_graph(
+            11, 16 * (1 << 11), quadrants=(0.25, 0.25, 0.25, 0.25), seed=2
+        )
+        assert gini_coefficient(g) < 0.35
+
+    def test_no_self_loops(self):
+        g = rmat_graph(8, 2000, seed=3)
+        for u, v in g.edges():
+            assert u != v
+
+    def test_zero_edges(self):
+        g = rmat_graph(5, 0, seed=1)
+        assert g.num_edges == 0
+
+    def test_invalid_quadrants_sum(self):
+        with pytest.raises(GeneratorParameterError):
+            rmat_graph(5, 10, quadrants=(0.5, 0.5, 0.5, 0.5))
+
+    def test_negative_quadrant(self):
+        with pytest.raises(GeneratorParameterError):
+            rmat_graph(5, 10, quadrants=(1.2, -0.1, 0.0, -0.1))
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            rmat_graph(0, 10)
+
+
+class TestScaleSeries:
+    def test_series_lengths(self):
+        graphs = rmat_scale_series((6, 8), edge_factor=8, seed=1)
+        assert len(graphs) == 2
+        assert graphs[0].num_nodes < graphs[1].num_nodes
+
+    def test_series_edge_growth(self):
+        graphs = rmat_scale_series((6, 8, 10), edge_factor=8, seed=1)
+        assert graphs[0].num_edges < graphs[1].num_edges < graphs[2].num_edges

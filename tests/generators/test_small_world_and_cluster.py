@@ -1,0 +1,80 @@
+"""Unit tests for Watts–Strogatz and powerlaw-cluster generators."""
+
+import pytest
+
+from repro.errors import GeneratorParameterError
+from repro.generators.powerlaw_cluster import powerlaw_cluster_graph
+from repro.generators.small_world import watts_strogatz_graph
+from repro.graphs.stats import average_clustering, average_degree
+
+
+class TestWattsStrogatz:
+    def test_ring_no_rewiring(self):
+        g = watts_strogatz_graph(20, 4, 0.0, seed=1)
+        assert g.num_edges == 40  # n*k/2
+        for u in range(20):
+            assert g.degree(u) == 4
+
+    def test_rewiring_preserves_edge_count_roughly(self):
+        g = watts_strogatz_graph(100, 6, 0.3, seed=2)
+        assert abs(g.num_edges - 300) <= 10
+
+    def test_high_clustering_low_rewire(self):
+        low = watts_strogatz_graph(300, 8, 0.01, seed=3)
+        high = watts_strogatz_graph(300, 8, 0.9, seed=3)
+        assert average_clustering(low) > average_clustering(high)
+
+    def test_odd_k_raises(self):
+        with pytest.raises(GeneratorParameterError):
+            watts_strogatz_graph(10, 3, 0.1)
+
+    def test_k_too_large_raises(self):
+        with pytest.raises(GeneratorParameterError):
+            watts_strogatz_graph(10, 10, 0.1)
+
+    def test_reproducible(self):
+        a = watts_strogatz_graph(50, 4, 0.2, seed=5)
+        b = watts_strogatz_graph(50, 4, 0.2, seed=5)
+        assert a == b
+
+
+class TestPowerlawCluster:
+    def test_node_count(self):
+        g = powerlaw_cluster_graph(300, 4, 0.5, seed=1)
+        assert g.num_nodes == 300
+
+    def test_clustering_higher_with_triads(self):
+        no_triads = powerlaw_cluster_graph(400, 4, 0.0, seed=2)
+        triads = powerlaw_cluster_graph(400, 4, 0.9, seed=2)
+        assert average_clustering(triads) > average_clustering(no_triads)
+
+    def test_m_too_large_raises(self):
+        with pytest.raises(GeneratorParameterError):
+            powerlaw_cluster_graph(5, 5, 0.5)
+
+    def test_reproducible(self):
+        a = powerlaw_cluster_graph(200, 3, 0.4, seed=7)
+        b = powerlaw_cluster_graph(200, 3, 0.4, seed=7)
+        assert a == b
+
+    def test_m_per_node_low_degree_mass(self):
+        m_list = [2] * 500
+        g = powerlaw_cluster_graph(
+            500, 10, 0.0, seed=3, m_per_node=m_list
+        )
+        assert average_degree(g) < 8
+
+    def test_m_per_node_too_short_raises(self):
+        with pytest.raises(GeneratorParameterError):
+            powerlaw_cluster_graph(100, 5, 0.5, m_per_node=[3] * 10)
+
+    def test_m_per_node_heterogeneous(self):
+        m_list = [1] * 250 + [20] * 250
+        g = powerlaw_cluster_graph(
+            500, 20, 0.0, seed=4, m_per_node=m_list
+        )
+        late_small = [g.degree(u) for u in range(100, 250)]
+        late_big = [g.degree(u) for u in range(350, 500)]
+        assert sum(late_big) / len(late_big) > 3 * (
+            sum(late_small) / len(late_small)
+        )

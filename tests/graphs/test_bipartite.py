@@ -1,0 +1,86 @@
+"""Unit tests for the bipartite (affiliation) substrate."""
+
+import pytest
+
+from repro.errors import NodeNotFoundError
+from repro.graphs.bipartite import BipartiteGraph
+
+
+@pytest.fixture
+def bip():
+    b = BipartiteGraph()
+    b.add_membership(0, "music")
+    b.add_membership(1, "music")
+    b.add_membership(1, "chess")
+    b.add_membership(2, "chess")
+    b.add_membership(3, "hiking")
+    return b
+
+
+class TestBipartiteBasics:
+    def test_counts(self, bip):
+        assert bip.num_users == 4
+        assert bip.num_affiliations == 3
+        assert bip.num_memberships == 5
+
+    def test_duplicate_membership(self, bip):
+        assert bip.add_membership(0, "music") is False
+        assert bip.num_memberships == 5
+
+    def test_affiliations_of(self, bip):
+        assert bip.affiliations_of(1) == {"music", "chess"}
+
+    def test_members_of(self, bip):
+        assert bip.members_of("chess") == {1, 2}
+
+    def test_missing_user_raises(self, bip):
+        with pytest.raises(NodeNotFoundError):
+            bip.affiliations_of(99)
+
+    def test_missing_affiliation_raises(self, bip):
+        with pytest.raises(NodeNotFoundError):
+            bip.members_of("surfing")
+
+    def test_isolated_user(self, bip):
+        bip.add_user(9)
+        assert bip.affiliations_of(9) == set()
+        assert bip.num_users == 5
+
+    def test_repr(self, bip):
+        assert "num_users=4" in repr(bip)
+
+
+class TestFold:
+    def test_full_fold(self, bip):
+        g = bip.fold()
+        assert g.has_edge(0, 1)  # music
+        assert g.has_edge(1, 2)  # chess
+        assert not g.has_edge(0, 2)
+        assert g.num_nodes == 4  # user 3 isolated but present
+        assert g.degree(3) == 0
+
+    def test_fold_subset(self, bip):
+        g = bip.fold(["chess"])
+        assert g.has_edge(1, 2)
+        assert not g.has_edge(0, 1)
+        assert g.num_nodes == 4
+
+    def test_fold_empty_subset(self, bip):
+        g = bip.fold([])
+        assert g.num_edges == 0
+        assert g.num_nodes == 4
+
+    def test_fold_unknown_affiliation_raises(self, bip):
+        with pytest.raises(NodeNotFoundError):
+            bip.fold(["surfing"])
+
+    def test_fold_single_member_community_no_edges(self, bip):
+        g = bip.fold(["hiking"])
+        assert g.num_edges == 0
+
+    def test_fold_triangle_community(self):
+        b = BipartiteGraph()
+        for u in (0, 1, 2):
+            b.add_membership(u, "club")
+        g = b.fold()
+        assert g.num_edges == 3  # a 3-clique

@@ -1,0 +1,81 @@
+"""Unit tests for the frozen CSR view."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NodeNotFoundError
+from repro.graphs.csr import CSRGraph
+from repro.graphs.graph import Graph
+
+
+@pytest.fixture
+def csr(small_pa):
+    return CSRGraph(small_pa)
+
+
+class TestCSRConstruction:
+    def test_sizes_match(self, small_pa, csr):
+        assert csr.num_nodes == small_pa.num_nodes
+        assert csr.num_edges == small_pa.num_edges
+
+    def test_indptr_monotone(self, csr):
+        assert np.all(np.diff(csr.indptr) >= 0)
+
+    def test_neighbors_sorted(self, csr):
+        for i in range(min(50, csr.num_nodes)):
+            nbrs = csr.neighbors(i)
+            assert np.all(np.diff(nbrs) > 0)
+
+    def test_degrees_match(self, small_pa, csr):
+        for node in list(small_pa.nodes())[:100]:
+            dense = csr.dense_id(node)
+            assert csr.degree(dense) == small_pa.degree(node)
+
+    def test_degree_array(self, small_pa, csr):
+        degs = csr.degree_array()
+        assert int(degs.sum()) == 2 * small_pa.num_edges
+
+    def test_custom_order(self):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        csr = CSRGraph(g, order=[2, 1, 0])
+        assert csr.node_ids == [2, 1, 0]
+        assert csr.degree(0) == g.degree(2)
+
+    def test_order_must_cover_all_nodes(self):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        with pytest.raises(ValueError):
+            CSRGraph(g, order=[0, 1])
+
+    def test_order_rejects_duplicates(self):
+        g = Graph.from_edges([(0, 1)])
+        with pytest.raises(ValueError):
+            CSRGraph(g, order=[0, 0])
+
+    def test_order_rejects_unknown_nodes(self):
+        g = Graph.from_edges([(0, 1)])
+        with pytest.raises(NodeNotFoundError):
+            CSRGraph(g, order=[0, 7])
+
+
+class TestCSRQueries:
+    def test_has_edge_agrees_with_graph(self, small_pa, csr):
+        nodes = list(small_pa.nodes())[:40]
+        for u in nodes:
+            for v in nodes:
+                if u == v:
+                    continue
+                assert csr.has_edge(
+                    csr.dense_id(u), csr.dense_id(v)
+                ) == small_pa.has_edge(u, v)
+
+    def test_dense_id_missing_raises(self, csr):
+        with pytest.raises(NodeNotFoundError):
+            csr.dense_id("nope")
+
+    def test_empty_graph(self):
+        csr = CSRGraph(Graph())
+        assert csr.num_nodes == 0
+        assert csr.num_edges == 0
+
+    def test_repr(self, csr):
+        assert "CSRGraph" in repr(csr)

@@ -1,0 +1,82 @@
+"""Unit tests for edge-list I/O."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+from repro.graphs.io import (
+    iter_edge_list,
+    read_edge_list,
+    read_temporal_edge_list,
+    write_edge_list,
+    write_temporal_edge_list,
+)
+from repro.graphs.temporal import TemporalGraph
+
+
+class TestEdgeListRoundTrip:
+    def test_round_trip(self, tmp_path, small_pa):
+        path = tmp_path / "g.tsv"
+        write_edge_list(small_pa, path)
+        back = read_edge_list(path)
+        assert back == small_pa
+
+    def test_round_trip_gzip(self, tmp_path, triangle):
+        path = tmp_path / "g.tsv.gz"
+        write_edge_list(triangle, path)
+        assert read_edge_list(path) == triangle
+
+    def test_isolated_nodes_survive(self, tmp_path):
+        g = Graph.from_edges([(0, 1)], nodes=[7, 8])
+        path = tmp_path / "g.tsv"
+        write_edge_list(g, path)
+        back = read_edge_list(path)
+        assert back.has_node(7)
+        assert back.degree(8) == 0
+
+    def test_string_ids_round_trip(self, tmp_path):
+        g = Graph.from_edges([("alice", "bob")])
+        path = tmp_path / "g.tsv"
+        write_edge_list(g, path)
+        back = read_edge_list(path)
+        assert back.has_edge("alice", "bob")
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "g.tsv"
+        path.write_text("# a comment\n\n0\t1\n# another\n1\t2\n")
+        g = read_edge_list(path)
+        assert g.num_edges == 2
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "g.tsv"
+        path.write_text("0\n")
+        with pytest.raises(GraphError):
+            read_edge_list(path)
+
+    def test_iter_edge_list(self, tmp_path, triangle):
+        path = tmp_path / "g.tsv"
+        write_edge_list(triangle, path)
+        pairs = list(iter_edge_list(path))
+        assert len(pairs) == 3
+
+
+class TestTemporalRoundTrip:
+    def test_round_trip(self, tmp_path):
+        tg = TemporalGraph.from_events([(0, 1, 5), (1, 2, 6), (0, 1, 5)])
+        path = tmp_path / "t.tsv"
+        write_temporal_edge_list(tg, path)
+        back = read_temporal_edge_list(path)
+        assert back.num_events == 3
+        assert sorted(back.events()) == sorted(tg.events())
+
+    def test_malformed_temporal_raises(self, tmp_path):
+        path = tmp_path / "t.tsv"
+        path.write_text("0\t1\n")
+        with pytest.raises(GraphError):
+            read_temporal_edge_list(path)
+
+    def test_temporal_gzip(self, tmp_path):
+        tg = TemporalGraph.from_events([(0, 1, 5)])
+        path = tmp_path / "t.tsv.gz"
+        write_temporal_edge_list(tg, path)
+        assert read_temporal_edge_list(path).num_events == 1

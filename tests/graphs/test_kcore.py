@@ -1,0 +1,68 @@
+"""Unit tests for k-core decomposition, cross-checked against networkx."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs.graph import Graph
+from repro.graphs.kcore import core_numbers, degeneracy, k_core
+
+
+class TestCoreNumbers:
+    def test_triangle_core_two(self, triangle):
+        assert core_numbers(triangle) == {0: 2, 1: 2, 2: 2}
+
+    def test_path_core_one(self, path4):
+        assert set(core_numbers(path4).values()) == {1}
+
+    def test_star_core_one(self, star):
+        cores = core_numbers(star)
+        assert cores[0] == 1
+        assert all(cores[i] == 1 for i in range(1, 6))
+
+    def test_isolated_node_core_zero(self):
+        g = Graph.from_edges([(0, 1)], nodes=[9])
+        assert core_numbers(g)[9] == 0
+
+    def test_empty_graph(self):
+        assert core_numbers(Graph()) == {}
+
+    def test_matches_networkx(self, small_pa):
+        ours = core_numbers(small_pa)
+        nxg = nx.Graph(list(small_pa.edges()))
+        nxg.add_nodes_from(small_pa.nodes())
+        theirs = nx.core_number(nxg)
+        assert ours == theirs
+
+    def test_matches_networkx_er(self, small_er):
+        ours = core_numbers(small_er)
+        nxg = nx.Graph(list(small_er.edges()))
+        nxg.add_nodes_from(small_er.nodes())
+        assert ours == nx.core_number(nxg)
+
+
+class TestKCore:
+    def test_k_core_min_degree(self, small_pa):
+        sub = k_core(small_pa, 4)
+        if sub.num_nodes:
+            assert min(sub.degree(n) for n in sub.nodes()) >= 4
+
+    def test_k_core_too_large_empty(self, path4):
+        assert k_core(path4, 5).num_nodes == 0
+
+    def test_degeneracy_clique(self):
+        clique = Graph.from_edges(
+            [(i, j) for i in range(5) for j in range(i + 1, 5)]
+        )
+        assert degeneracy(clique) == 4
+
+    def test_degeneracy_empty(self):
+        assert degeneracy(Graph()) == 0
+
+    def test_pa_core_at_least_m(self):
+        from repro.generators.preferential_attachment import (
+            preferential_attachment_graph,
+        )
+
+        g = preferential_attachment_graph(800, 5, seed=1)
+        # PA graphs have degeneracy close to m.
+        assert degeneracy(g) >= 3

@@ -1,0 +1,151 @@
+"""Unit tests for structural graph operations."""
+
+import pytest
+
+from repro.errors import GraphError, NodeNotFoundError
+from repro.graphs.graph import Graph
+from repro.graphs.ops import (
+    compose_disjoint,
+    connected_components,
+    edge_subgraph,
+    induced_subgraph,
+    intersection,
+    largest_component,
+    relabel,
+    union,
+)
+
+
+class TestInducedSubgraph:
+    def test_induced(self, triangle):
+        sub = induced_subgraph(triangle, [0, 1])
+        assert sub.num_nodes == 2
+        assert sub.has_edge(0, 1)
+
+    def test_induced_missing_node_raises(self, triangle):
+        with pytest.raises(NodeNotFoundError):
+            induced_subgraph(triangle, [0, 42])
+
+    def test_induced_keeps_isolated(self, path4):
+        sub = induced_subgraph(path4, [0, 2])
+        assert sub.num_nodes == 2
+        assert sub.num_edges == 0
+
+
+class TestEdgeSubgraph:
+    def test_keep_all_nodes(self, triangle):
+        sub = edge_subgraph(triangle, lambda u, v: False)
+        assert sub.num_nodes == 3
+        assert sub.num_edges == 0
+
+    def test_predicate_filtering(self, path4):
+        sub = edge_subgraph(path4, lambda u, v: u + v > 2)
+        assert not sub.has_edge(0, 1)
+        assert sub.has_edge(2, 3)
+
+    def test_drop_isolated(self, path4):
+        sub = edge_subgraph(
+            path4, lambda u, v: u == 0, keep_all_nodes=False
+        )
+        assert sorted(sub.nodes()) == [0, 1]
+
+
+class TestIntersectionUnion:
+    def test_intersection_edges(self):
+        a = Graph.from_edges([(0, 1), (1, 2), (2, 3)])
+        b = Graph.from_edges([(0, 1), (2, 3), (1, 3)])
+        inter = intersection(a, b)
+        assert inter.has_edge(0, 1)
+        assert inter.has_edge(2, 3)
+        assert not inter.has_edge(1, 2)
+        assert not inter.has_edge(1, 3)
+
+    def test_intersection_nodes(self):
+        a = Graph.from_edges([(0, 1)], nodes=[5])
+        b = Graph.from_edges([(0, 1)], nodes=[6])
+        inter = intersection(a, b)
+        assert not inter.has_node(5)
+        assert not inter.has_node(6)
+
+    def test_union(self):
+        a = Graph.from_edges([(0, 1)])
+        b = Graph.from_edges([(1, 2)])
+        u = union(a, b)
+        assert u.num_edges == 2
+        assert u.num_nodes == 3
+
+    def test_union_does_not_mutate(self):
+        a = Graph.from_edges([(0, 1)])
+        b = Graph.from_edges([(1, 2)])
+        union(a, b)
+        assert a.num_edges == 1
+
+    def test_intersection_subset_of_both(self, small_pa, pa_pair):
+        inter = intersection(pa_pair.g1, pa_pair.g2)
+        for u, v in inter.edges():
+            assert pa_pair.g1.has_edge(u, v)
+            assert pa_pair.g2.has_edge(u, v)
+
+
+class TestRelabel:
+    def test_relabel_isomorphic(self, triangle):
+        mapping = {0: "a", 1: "b", 2: "c"}
+        out = relabel(triangle, mapping)
+        assert out.has_edge("a", "b")
+        assert out.num_edges == triangle.num_edges
+
+    def test_relabel_missing_key_raises(self, triangle):
+        with pytest.raises(NodeNotFoundError):
+            relabel(triangle, {0: "a", 1: "b"})
+
+    def test_relabel_non_injective_raises(self, triangle):
+        with pytest.raises(GraphError):
+            relabel(triangle, {0: "a", 1: "a", 2: "c"})
+
+    def test_relabel_preserves_degrees(self, small_pa):
+        mapping = {n: n + 10_000 for n in small_pa.nodes()}
+        out = relabel(small_pa, mapping)
+        for node in small_pa.nodes():
+            assert out.degree(node + 10_000) == small_pa.degree(node)
+
+
+class TestComposeDisjoint:
+    def test_compose(self):
+        a = Graph.from_edges([(0, 1)])
+        b = Graph.from_edges([(10, 11)])
+        c = compose_disjoint(a, b)
+        assert c.num_edges == 2
+        assert c.num_nodes == 4
+
+    def test_overlap_raises(self):
+        a = Graph.from_edges([(0, 1)])
+        b = Graph.from_edges([(1, 2)])
+        with pytest.raises(GraphError):
+            compose_disjoint(a, b)
+
+
+class TestComponents:
+    def test_components_sorted_by_size(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (10, 11)])
+        comps = connected_components(g)
+        assert len(comps) == 2
+        assert comps[0] == {0, 1, 2}
+        assert comps[1] == {10, 11}
+
+    def test_isolated_nodes_are_components(self):
+        g = Graph.from_edges([(0, 1)], nodes=[9])
+        comps = connected_components(g)
+        assert {9} in comps
+
+    def test_largest_component(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (10, 11)])
+        big = largest_component(g)
+        assert sorted(big.nodes()) == [0, 1, 2]
+
+    def test_largest_component_empty_graph(self):
+        assert largest_component(Graph()).num_nodes == 0
+
+    def test_components_cover_all_nodes(self, small_pa):
+        comps = connected_components(small_pa)
+        covered = set().union(*comps)
+        assert covered == set(small_pa.nodes())

@@ -1,0 +1,89 @@
+"""Unit tests for BFS/path utilities, cross-checked against networkx."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import NodeNotFoundError
+from repro.graphs.graph import Graph
+from repro.graphs.paths import (
+    average_shortest_path_length,
+    bfs_distances,
+    eccentricity,
+    estimate_diameter,
+    shortest_path,
+)
+
+
+class TestBfsDistances:
+    def test_path_graph(self, path4):
+        assert bfs_distances(path4, 0) == {0: 0, 1: 1, 2: 2, 3: 3}
+
+    def test_unreachable_excluded(self):
+        g = Graph.from_edges([(0, 1), (5, 6)])
+        dist = bfs_distances(g, 0)
+        assert 5 not in dist
+
+    def test_missing_source_raises(self, path4):
+        with pytest.raises(NodeNotFoundError):
+            bfs_distances(path4, 99)
+
+    def test_matches_networkx(self, small_pa):
+        ours = bfs_distances(small_pa, 0)
+        nxg = nx.Graph(list(small_pa.edges()))
+        theirs = nx.single_source_shortest_path_length(nxg, 0)
+        assert ours == dict(theirs)
+
+
+class TestShortestPath:
+    def test_trivial(self, path4):
+        assert shortest_path(path4, 2, 2) == [2]
+
+    def test_path_endpoints(self, path4):
+        path = shortest_path(path4, 0, 3)
+        assert path == [0, 1, 2, 3]
+
+    def test_disconnected_none(self):
+        g = Graph.from_edges([(0, 1), (5, 6)])
+        assert shortest_path(g, 0, 5) is None
+
+    def test_path_is_valid_walk(self, small_pa):
+        path = shortest_path(small_pa, 0, 500)
+        assert path is not None
+        for a, b in zip(path, path[1:]):
+            assert small_pa.has_edge(a, b)
+
+    def test_length_matches_networkx(self, small_pa):
+        path = shortest_path(small_pa, 0, 500)
+        nxg = nx.Graph(list(small_pa.edges()))
+        assert len(path) - 1 == nx.shortest_path_length(nxg, 0, 500)
+
+    def test_missing_nodes_raise(self, path4):
+        with pytest.raises(NodeNotFoundError):
+            shortest_path(path4, 0, 99)
+
+
+class TestDiameterAndAverages:
+    def test_eccentricity_path(self, path4):
+        assert eccentricity(path4, 0) == 3
+        assert eccentricity(path4, 1) == 2
+
+    def test_estimate_diameter_path(self, path4):
+        assert estimate_diameter(path4, samples=5, seed=1) == 3
+
+    def test_estimate_diameter_empty(self):
+        assert estimate_diameter(Graph()) == 0
+
+    def test_estimated_diameter_lower_bounds_true(self, small_er):
+        nxg = nx.Graph(list(small_er.edges()))
+        giant = max(nx.connected_components(nxg), key=len)
+        true_diam = nx.diameter(nxg.subgraph(giant))
+        est = estimate_diameter(small_er, samples=8, seed=2)
+        assert est <= true_diam
+        assert est >= true_diam - 2  # double sweep is near-tight here
+
+    def test_average_path_length_positive(self, small_pa):
+        avg = average_shortest_path_length(small_pa, samples=10, seed=3)
+        assert 1.0 < avg < 10.0
+
+    def test_average_path_length_tiny(self):
+        assert average_shortest_path_length(Graph()) == 0.0

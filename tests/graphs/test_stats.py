@@ -1,0 +1,122 @@
+"""Unit tests for graph statistics, cross-validated against networkx."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.graphs.graph import Graph
+from repro.graphs.stats import (
+    average_clustering,
+    average_degree,
+    degree_array,
+    degree_assortativity,
+    degree_ccdf,
+    degree_histogram,
+    entropy_of_degrees,
+    gini_coefficient,
+    local_clustering,
+    power_law_alpha_hill,
+    summarize,
+)
+
+
+def to_nx(g: Graph) -> nx.Graph:
+    out = nx.Graph()
+    out.add_nodes_from(g.nodes())
+    out.add_edges_from(g.edges())
+    return out
+
+
+class TestDegreeStats:
+    def test_histogram(self, star):
+        assert degree_histogram(star) == {5: 1, 1: 5}
+
+    def test_degree_array_sum(self, small_pa):
+        assert degree_array(small_pa).sum() == 2 * small_pa.num_edges
+
+    def test_average_degree(self, triangle):
+        assert average_degree(triangle) == 2.0
+
+    def test_average_degree_empty(self):
+        assert average_degree(Graph()) == 0.0
+
+    def test_ccdf_starts_at_one(self, small_pa):
+        ccdf = degree_ccdf(small_pa)
+        assert ccdf[0][1] == pytest.approx(1.0)
+
+    def test_ccdf_monotone_decreasing(self, small_pa):
+        values = [p for _, p in degree_ccdf(small_pa)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_ccdf_empty(self):
+        assert degree_ccdf(Graph()) == []
+
+
+class TestClustering:
+    def test_triangle_clustering(self, triangle):
+        assert local_clustering(triangle, 0) == 1.0
+
+    def test_path_clustering(self, path4):
+        assert local_clustering(path4, 1) == 0.0
+
+    def test_degree_below_two_is_zero(self, star):
+        assert local_clustering(star, 1) == 0.0
+
+    def test_average_clustering_matches_networkx(self, small_pa):
+        ours = average_clustering(small_pa)
+        theirs = nx.average_clustering(to_nx(small_pa))
+        assert ours == pytest.approx(theirs, abs=1e-9)
+
+    def test_sampled_clustering_close(self, small_pa):
+        full = average_clustering(small_pa)
+        sampled = average_clustering(small_pa, sample=300, seed=1)
+        assert sampled == pytest.approx(full, abs=0.1)
+
+
+class TestAssortativityAndGini:
+    def test_assortativity_matches_networkx(self, small_pa):
+        ours = degree_assortativity(small_pa)
+        theirs = nx.degree_assortativity_coefficient(to_nx(small_pa))
+        assert ours == pytest.approx(theirs, abs=1e-6)
+
+    def test_assortativity_empty_is_nan(self):
+        assert math.isnan(degree_assortativity(Graph()))
+
+    def test_gini_regular_graph_zero(self, triangle):
+        assert gini_coefficient(triangle) == pytest.approx(0.0, abs=1e-9)
+
+    def test_gini_star_is_skewed(self, star):
+        assert gini_coefficient(star) > 0.3
+
+    def test_gini_within_unit_interval(self, small_pa):
+        assert 0.0 <= gini_coefficient(small_pa) <= 1.0
+
+
+class TestPowerLawAndSummary:
+    def test_pa_alpha_near_three(self):
+        from repro.generators.preferential_attachment import (
+            preferential_attachment_graph,
+        )
+
+        g = preferential_attachment_graph(5000, 4, seed=3)
+        alpha = power_law_alpha_hill(g, dmin=8)
+        assert 2.0 < alpha < 4.5
+
+    def test_alpha_nan_for_tiny_graph(self, triangle):
+        assert math.isnan(power_law_alpha_hill(triangle, dmin=10))
+
+    def test_summarize_keys(self, small_pa):
+        s = summarize(small_pa)
+        assert s["nodes"] == small_pa.num_nodes
+        assert s["edges"] == small_pa.num_edges
+        assert s["max_degree"] >= s["median_degree"]
+
+    def test_entropy_regular_graph_zero(self, triangle):
+        assert entropy_of_degrees(triangle) == pytest.approx(0.0)
+
+    def test_entropy_positive_for_mixed(self, star):
+        assert entropy_of_degrees(star) > 0.0
+
+    def test_entropy_empty(self):
+        assert entropy_of_degrees(Graph()) == 0.0

@@ -1,0 +1,81 @@
+"""Unit tests for the temporal graph substrate."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.temporal import TemporalGraph
+
+
+@pytest.fixture
+def tg():
+    return TemporalGraph.from_events(
+        [(0, 1, 2000), (1, 2, 2001), (0, 1, 2002), (2, 3, 2001)]
+    )
+
+
+class TestTemporalBasics:
+    def test_counts(self, tg):
+        assert tg.num_nodes == 4
+        assert tg.num_events == 4
+
+    def test_multiplicity_preserved(self):
+        tg = TemporalGraph.from_events([(0, 1, 5), (0, 1, 5)])
+        assert tg.num_events == 2
+
+    def test_self_event_rejected(self):
+        tg = TemporalGraph()
+        with pytest.raises(GraphError):
+            tg.add_event(1, 1, 2000)
+
+    def test_add_node_isolated(self):
+        tg = TemporalGraph()
+        tg.add_node(7)
+        assert tg.num_nodes == 1
+        assert tg.num_events == 0
+
+    def test_timestamps_sorted_unique(self, tg):
+        assert tg.timestamps() == [2000, 2001, 2002]
+
+    def test_events_iteration_order(self, tg):
+        assert list(tg.events())[0] == (0, 1, 2000)
+
+    def test_repr(self, tg):
+        assert "num_events=4" in repr(tg)
+
+
+class TestSlicing:
+    def test_slice_even(self, tg):
+        g = tg.slice(lambda t: t % 2 == 0)
+        assert g.has_edge(0, 1)
+        assert not g.has_node(3)
+        assert g.num_edges == 1  # the two (0,1) events collapse
+
+    def test_slice_odd(self, tg):
+        g = tg.slice(lambda t: t % 2 == 1)
+        assert g.has_edge(1, 2)
+        assert g.has_edge(2, 3)
+        assert not g.has_edge(0, 1)
+
+    def test_slice_keep_all_nodes(self, tg):
+        g = tg.slice(lambda t: False, keep_all_nodes=True)
+        assert g.num_nodes == 4
+        assert g.num_edges == 0
+
+    def test_slice_drops_isolated_by_default(self, tg):
+        g = tg.slice(lambda t: t == 2000)
+        assert sorted(g.nodes()) == [0, 1]
+
+    def test_slice_range(self, tg):
+        g = tg.slice_range(2000, 2002)
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 2)
+        assert g.num_edges == 3
+
+    def test_slice_range_empty(self, tg):
+        g = tg.slice_range(1990, 1991)
+        assert g.num_nodes == 0
+
+    def test_repeated_event_is_one_edge(self):
+        tg = TemporalGraph.from_events([(0, 1, 0), (0, 1, 2), (1, 0, 4)])
+        g = tg.slice(lambda t: True)
+        assert g.num_edges == 1

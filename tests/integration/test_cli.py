@@ -1,0 +1,62 @@
+"""CLI smoke tests."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig2" in out
+        assert "attack" in out
+
+    def test_datasets_command(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "facebook" in out
+        assert "63,731" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["run", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiment_catalog_complete(self):
+        for required in (
+            "fig2",
+            "table2",
+            "table3-facebook",
+            "table3-enron",
+            "fig3",
+            "table4",
+            "table5-dblp",
+            "table5-gowalla",
+            "table5-wikipedia",
+            "fig4-dblp",
+            "fig4-gowalla",
+            "attack",
+            "ablation-bucketing",
+        ):
+            assert required in EXPERIMENTS
+
+    def test_run_small_experiment(self, capsys, monkeypatch):
+        """Run one real (tiny) experiment through the CLI path."""
+        from repro.experiments import table2_rmat
+
+        monkeypatch.setitem(
+            EXPERIMENTS,
+            "table2",
+            (
+                lambda seed=0: table2_rmat.run(scales=(6, 7), seed=seed),
+                "tiny",
+            ),
+        )
+        assert main(["run", "table2", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "relative_time" in out

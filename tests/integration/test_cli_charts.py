@@ -1,0 +1,52 @@
+"""CLI chart-rendering integration tests."""
+
+from repro.cli import EXPERIMENTS, _chart_for, main
+from repro.experiments.common import ExperimentResult
+
+
+class TestChartSelection:
+    def test_seed_prob_threshold_series(self):
+        result = ExperimentResult(name="x", description="d")
+        result.rows = [
+            {"seed_prob": 0.05, "threshold": 2, "recall": 0.9},
+            {"seed_prob": 0.10, "threshold": 2, "recall": 0.95},
+        ]
+        chart = _chart_for(result)
+        assert chart is not None
+        assert "threshold = 2" in chart
+
+    def test_degree_series(self):
+        result = ExperimentResult(name="x", description="d")
+        result.rows = [
+            {"degree": "1", "recall": 0.1},
+            {"degree": "2+", "recall": 0.8},
+        ]
+        chart = _chart_for(result)
+        assert "degree" in chart
+
+    def test_generic_first_column(self):
+        result = ExperimentResult(name="x", description="d")
+        result.rows = [{"bucketing": "on", "recall": 0.8}]
+        chart = _chart_for(result)
+        assert "bucketing" in chart
+
+    def test_no_recall_no_chart(self):
+        result = ExperimentResult(name="x", description="d")
+        result.rows = [{"scale": 11, "relative_time": 1.0}]
+        assert _chart_for(result) is None
+
+
+class TestCliChartFlag:
+    def test_run_with_chart(self, capsys, monkeypatch):
+        def tiny(seed=0):
+            result = ExperimentResult(name="tiny", description="d")
+            result.rows = [
+                {"seed_prob": 0.1, "threshold": 2, "recall": 0.5}
+            ]
+            return result
+
+        monkeypatch.setitem(EXPERIMENTS, "tiny", (tiny, "tiny"))
+        assert main(["run", "tiny", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "recall by seed probability" in out
+        assert "|" in out

@@ -1,0 +1,133 @@
+"""Integration tests: full pipelines through the public API."""
+
+import pytest
+
+from repro import (
+    CommonNeighborsMatcher,
+    MatcherConfig,
+    UserMatching,
+    attacked_copies,
+    cascade_copies,
+    correlated_community_copies,
+    evaluate,
+    gnp_graph,
+    independent_copies,
+    preferential_attachment_graph,
+    reconcile,
+    sample_seeds,
+)
+from repro.generators.affiliation import affiliation_graph
+from repro.theory.predictions import recommended_threshold
+
+
+class TestPaperPipelines:
+    def test_er_pipeline_with_theory_threshold(self):
+        """Section 4.1 end-to-end: ER graph, threshold 3, high precision."""
+        g = gnp_graph(400, 0.07, seed=1)
+        pair = independent_copies(g, 0.7, seed=2)
+        seeds = sample_seeds(pair, 0.15, seed=3)
+        result = reconcile(
+            pair.g1,
+            pair.g2,
+            seeds,
+            threshold=recommended_threshold("er"),
+            iterations=2,
+        )
+        report = evaluate(result, pair)
+        assert report.precision > 0.95
+        assert report.recall > 0.5
+
+    def test_pa_pipeline(self):
+        """Section 4.2 end-to-end: PA graph reconciliation."""
+        g = preferential_attachment_graph(1500, 10, seed=4)
+        pair = independent_copies(g, 0.6, seed=5)
+        seeds = sample_seeds(pair, 0.08, seed=6)
+        result = reconcile(
+            pair.g1, pair.g2, seeds, threshold=2, iterations=2
+        )
+        report = evaluate(result, pair)
+        assert report.precision > 0.9
+        assert report.recall > 0.6
+
+    def test_cascade_pipeline(self):
+        g = preferential_attachment_graph(1200, 12, seed=7)
+        pair = cascade_copies(g, 0.15, seed=8)
+        seeds = sample_seeds(pair, 0.1, seed=9)
+        result = reconcile(pair.g1, pair.g2, seeds, threshold=2)
+        report = evaluate(result, pair)
+        assert report.good > len(seeds)
+
+    def test_affiliation_pipeline(self):
+        net = affiliation_graph(
+            400,
+            400,
+            memberships_per_user=8,
+            uniform_mix=0.9,
+            founding_prob=0.4,
+            copy_factor=0.3,
+            seed=10,
+        )
+        pair = correlated_community_copies(net, 0.75, seed=11)
+        seeds = sample_seeds(pair, 0.1, seed=12)
+        result = UserMatching(
+            MatcherConfig(threshold=3, iterations=3)
+        ).run(pair.g1, pair.g2, seeds)
+        report = evaluate(result, pair)
+        assert report.new_error_rate < 0.1
+
+    def test_attack_pipeline(self):
+        g = preferential_attachment_graph(800, 12, seed=13)
+        pair = attacked_copies(g, s=0.75, seed=14)
+        seeds = {
+            v1: v2
+            for v1, v2 in sample_seeds(pair, 0.1, seed=15).items()
+            if not isinstance(v1, tuple)
+        }
+        result = reconcile(
+            pair.g1, pair.g2, seeds, threshold=2, iterations=2
+        )
+        report = evaluate(result, pair)
+        # Under attack, precision holds up (twins count as correct).
+        assert report.precision > 0.9
+
+    def test_baseline_vs_full_integration(self):
+        g = preferential_attachment_graph(1000, 8, seed=16)
+        pair = independent_copies(g, 0.5, seed=17)
+        seeds = sample_seeds(pair, 0.1, seed=18)
+        full = UserMatching(
+            MatcherConfig(threshold=2, iterations=2)
+        ).run(pair.g1, pair.g2, seeds)
+        base = CommonNeighborsMatcher(iterations=2).run(
+            pair.g1, pair.g2, seeds
+        )
+        rep_full = evaluate(full, pair)
+        rep_base = evaluate(base, pair)
+        assert rep_full.recall >= rep_base.recall - 0.05
+        assert rep_full.precision >= 0.85
+
+
+class TestIoIntegration:
+    def test_save_load_match(self, tmp_path):
+        from repro.graphs.io import read_edge_list, write_edge_list
+
+        g = preferential_attachment_graph(500, 6, seed=19)
+        pair = independent_copies(g, 0.6, seed=20)
+        p1, p2 = tmp_path / "g1.tsv", tmp_path / "g2.tsv"
+        write_edge_list(pair.g1, p1)
+        write_edge_list(pair.g2, p2)
+        g1, g2 = read_edge_list(p1), read_edge_list(p2)
+        seeds = sample_seeds(pair, 0.1, seed=21)
+        a = reconcile(g1, g2, seeds, threshold=2)
+        b = reconcile(pair.g1, pair.g2, seeds, threshold=2)
+        assert a.links == b.links
+
+
+class TestVersionExports:
+    def test_version(self):
+        import repro
+
+        assert repro.__version__
+        for name in repro.__all__:
+            if name == "__version__":
+                continue
+            assert hasattr(repro, name), name

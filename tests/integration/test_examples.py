@@ -1,0 +1,61 @@
+"""Smoke tests: every example script runs and reports sensible results.
+
+Examples are executed in-process (importing their ``main``) with their
+default parameters, capturing stdout.  These are the slowest tests in the
+suite (~1 min total) but they guarantee the documented entry points work.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def load_example(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        load_example("quickstart").main()
+        out = capsys.readouterr().out
+        assert "precision" in out
+        assert "recall" in out
+
+    def test_deanonymize(self, capsys):
+        load_example("deanonymize_network").main()
+        out = capsys.readouterr().out
+        assert "re-identified" in out
+
+    def test_cross_network_scopes(self, capsys):
+        load_example("cross_network_scopes").main()
+        out = capsys.readouterr().out
+        assert "matched" in out
+
+    def test_wikipedia(self, capsys):
+        load_example("wikipedia_interlanguage").main()
+        out = capsys.readouterr().out
+        assert "links" in out
+
+    def test_attack(self, capsys):
+        load_example("attack_robustness").main()
+        out = capsys.readouterr().out
+        assert "correctly linked" in out
+
+    def test_all_examples_present(self):
+        names = {p.stem for p in EXAMPLES_DIR.glob("*.py")}
+        assert {
+            "quickstart",
+            "deanonymize_network",
+            "cross_network_scopes",
+            "wikipedia_interlanguage",
+            "attack_robustness",
+        } <= names

@@ -1,0 +1,109 @@
+"""Repo-level consistency checks: docs, registry, benches stay in sync."""
+
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+class TestExperimentCoverage:
+    def test_every_paper_result_has_a_cli_experiment(self):
+        """Each table/figure of the paper's §5 maps to an experiment id."""
+        from repro.cli import EXPERIMENTS
+
+        paper_results = {
+            "fig2": "Figure 2",
+            "table2": "Table 2",
+            "table3-facebook": "Table 3 left",
+            "table3-enron": "Table 3 right",
+            "fig3": "Figure 3",
+            "table4": "Table 4",
+            "table5-dblp": "Table 5 top-left",
+            "table5-gowalla": "Table 5 top-right",
+            "table5-wikipedia": "Table 5 bottom",
+            "fig4-dblp": "Figure 4 left",
+            "fig4-gowalla": "Figure 4 right",
+            "attack": "§5 attack",
+            "ablation-bucketing": "§5 ablation",
+            "ablation-wikipedia": "§5 ablation",
+        }
+        for exp_id, label in paper_results.items():
+            assert exp_id in EXPERIMENTS, f"{label} missing ({exp_id})"
+
+    def test_every_paper_result_has_a_bench(self):
+        bench_dir = REPO / "benchmarks"
+        benches = {p.stem for p in bench_dir.glob("bench_*.py")}
+        for required in (
+            "bench_fig2_pa",
+            "bench_table2_rmat",
+            "bench_table3_facebook",
+            "bench_table3_enron",
+            "bench_fig3_cascade",
+            "bench_table4_affiliation",
+            "bench_table5_dblp",
+            "bench_table5_gowalla",
+            "bench_table5_wikipedia",
+            "bench_fig4_degree",
+            "bench_attack",
+            "bench_ablation",
+        ):
+            assert required in benches
+
+    def test_design_md_references_every_experiment_module(self):
+        design = (REPO / "DESIGN.md").read_text(encoding="utf-8")
+        import repro.experiments as experiments_pkg
+
+        for name in experiments_pkg.__all__:
+            if name == "ExperimentResult":
+                continue
+            assert name in design, f"DESIGN.md missing {name}"
+
+    def test_experiments_md_covers_every_table_and_figure(self):
+        text = (REPO / "EXPERIMENTS.md").read_text(encoding="utf-8")
+        for heading in (
+            "Figure 2",
+            "Table 2",
+            "Table 3",
+            "Figure 3",
+            "Table 4",
+            "Table 5",
+            "Figure 4",
+            "attack",
+            "bucketing",
+        ):
+            assert heading.lower() in text.lower()
+
+
+class TestDocsPresence:
+    @pytest.mark.parametrize(
+        "filename", ["README.md", "DESIGN.md", "EXPERIMENTS.md"]
+    )
+    def test_doc_exists_and_substantial(self, filename):
+        path = REPO / filename
+        assert path.exists()
+        assert len(path.read_text(encoding="utf-8")) > 2000
+
+    def test_examples_exist(self):
+        examples = list((REPO / "examples").glob("*.py"))
+        assert len(examples) >= 5
+
+
+class TestPublicApiDocumented:
+    def test_all_public_callables_have_docstrings(self):
+        import repro
+
+        for name in repro.__all__:
+            if name == "__version__":
+                continue
+            obj = getattr(repro, name)
+            assert getattr(obj, "__doc__", None), f"{name} undocumented"
+
+    def test_experiment_drivers_have_docstrings(self):
+        from repro.cli import EXPERIMENTS
+
+        for name, (fn, _desc) in EXPERIMENTS.items():
+            target = getattr(fn, "__wrapped__", fn)
+            if target.__name__ == "<lambda>":
+                continue
+            assert target.__doc__, f"driver {name} undocumented"

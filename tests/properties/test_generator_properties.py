@@ -1,0 +1,60 @@
+"""Property-based tests for generator invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.generators.erdos_renyi import gnm_graph, gnp_graph
+from repro.generators.preferential_attachment import (
+    preferential_attachment_graph,
+)
+from repro.generators.rmat import rmat_graph
+
+
+class TestGeneratorProperties:
+    @given(
+        st.integers(1, 150),
+        st.floats(0.0, 0.3),
+        st.integers(0, 9999),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_gnp_simple_graph(self, n, p, seed):
+        g = gnp_graph(n, p, seed=seed)
+        assert g.num_nodes == n
+        for u, v in g.edges():
+            assert u != v
+            assert 0 <= u < n and 0 <= v < n
+
+    @given(st.integers(2, 60), st.integers(0, 9999))
+    @settings(max_examples=50, deadline=None)
+    def test_gnm_exact(self, n, seed):
+        max_m = n * (n - 1) // 2
+        m = min(max_m, 3 * n)
+        g = gnm_graph(n, m, seed=seed)
+        assert g.num_edges == m
+
+    @given(
+        st.integers(2, 120),
+        st.integers(1, 6),
+        st.integers(0, 9999),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_pa_bounds(self, n, m, seed):
+        g = preferential_attachment_graph(n, m, seed=seed)
+        assert g.num_nodes == n
+        assert g.num_edges <= n * m
+        for u, v in g.edges():
+            assert u != v
+
+    @given(st.integers(2, 10), st.integers(0, 400), st.integers(0, 9999))
+    @settings(max_examples=40, deadline=None)
+    def test_rmat_address_space(self, scale, edges, seed):
+        g = rmat_graph(scale, edges, seed=seed)
+        limit = 1 << scale
+        for node in g.nodes():
+            assert 0 <= node < limit
+        assert g.num_edges <= edges
+
+    @given(st.integers(1, 100), st.floats(0.0, 1.0), st.integers(0, 999))
+    @settings(max_examples=40, deadline=None)
+    def test_gnp_seed_determinism(self, n, p, seed):
+        assert gnp_graph(n, p, seed=seed) == gnp_graph(n, p, seed=seed)

@@ -1,0 +1,99 @@
+"""Property-based tests (hypothesis) for graph invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.graph import Graph
+from repro.graphs.ops import induced_subgraph, intersection, relabel, union
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 30), st.integers(0, 30)).filter(
+        lambda e: e[0] != e[1]
+    ),
+    max_size=120,
+)
+
+
+def build(edges) -> Graph:
+    return Graph.from_edges(edges)
+
+
+class TestGraphInvariants:
+    @given(edge_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_handshake_lemma(self, edges):
+        g = build(edges)
+        assert sum(g.degree(n) for n in g.nodes()) == 2 * g.num_edges
+
+    @given(edge_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_edges_iteration_consistent(self, edges):
+        g = build(edges)
+        listed = list(g.edges())
+        assert len(listed) == g.num_edges
+        for u, v in listed:
+            assert g.has_edge(u, v)
+            assert g.has_edge(v, u)
+
+    @given(edge_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_copy_equals_original(self, edges):
+        g = build(edges)
+        assert g.copy() == g
+
+    @given(edge_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_remove_all_edges_leaves_nodes(self, edges):
+        g = build(edges)
+        nodes = g.num_nodes
+        for u, v in list(g.edges()):
+            g.remove_edge(u, v)
+        assert g.num_edges == 0
+        assert g.num_nodes == nodes
+
+
+class TestOpsInvariants:
+    @given(edge_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_induced_subgraph_monotone(self, edges):
+        g = build(edges)
+        nodes = [n for n in g.nodes() if isinstance(n, int) and n < 15]
+        sub = induced_subgraph(g, nodes)
+        assert sub.num_edges <= g.num_edges
+        for u, v in sub.edges():
+            assert g.has_edge(u, v)
+
+    @given(edge_lists, edge_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_intersection_commutative(self, e1, e2):
+        a, b = build(e1), build(e2)
+        assert intersection(a, b) == intersection(b, a)
+
+    @given(edge_lists, edge_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_intersection_subset_of_union(self, e1, e2):
+        a, b = build(e1), build(e2)
+        inter = intersection(a, b)
+        uni = union(a, b)
+        for u, v in inter.edges():
+            assert uni.has_edge(u, v)
+
+    @given(edge_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_self_intersection_identity(self, edges):
+        g = build(edges)
+        assert intersection(g, g) == g
+
+    @given(edge_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_relabel_round_trip(self, edges):
+        g = build(edges)
+        fwd = {n: ("x", n) for n in g.nodes()}
+        back = {("x", n): n for n in g.nodes()}
+        assert relabel(relabel(g, fwd), back) == g
+
+    @given(edge_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_union_contains_both(self, edges):
+        g = build(edges)
+        assert union(g, Graph()) == g

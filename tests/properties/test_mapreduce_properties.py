@@ -1,0 +1,74 @@
+"""Property-based tests for the MapReduce engine."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mapreduce.engine import LocalMapReduce, MapReduceJob, sum_combiner
+
+records_strategy = st.lists(
+    st.tuples(st.integers(0, 50), st.text("abcde", max_size=6)),
+    max_size=60,
+)
+
+
+def char_count_job(with_combiner: bool) -> MapReduceJob:
+    def map_fn(_key, text):
+        for ch in text:
+            yield (ch, 1)
+
+    def reduce_fn(ch, counts):
+        yield (ch, sum(counts))
+
+    return MapReduceJob(
+        "chars",
+        map_fn,
+        reduce_fn,
+        sum_combiner if with_combiner else None,
+    )
+
+
+class TestEngineProperties:
+    @given(records_strategy, st.integers(1, 16))
+    @settings(max_examples=50, deadline=None)
+    def test_partition_invariance(self, records, partitions):
+        """Results never depend on the partition count."""
+        baseline = sorted(
+            LocalMapReduce(partitions=1).run(
+                char_count_job(True), records
+            )
+        )
+        other = sorted(
+            LocalMapReduce(partitions=partitions).run(
+                char_count_job(True), records
+            )
+        )
+        assert baseline == other
+
+    @given(records_strategy, st.integers(1, 8))
+    @settings(max_examples=50, deadline=None)
+    def test_combiner_invariance(self, records, partitions):
+        """The combiner changes shuffle volume, never results."""
+        with_comb = sorted(
+            LocalMapReduce(partitions=partitions).run(
+                char_count_job(True), records
+            )
+        )
+        without = sorted(
+            LocalMapReduce(partitions=partitions).run(
+                char_count_job(False), records
+            )
+        )
+        assert with_comb == without
+
+    @given(records_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_counts_match_direct_computation(self, records):
+        from collections import Counter
+
+        expected = Counter()
+        for _key, text in records:
+            expected.update(text)
+        out = dict(
+            LocalMapReduce().run(char_count_job(True), records)
+        )
+        assert out == dict(expected)

@@ -1,0 +1,102 @@
+"""Property-based tests for matcher and sampler invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import MatcherConfig
+from repro.core.matcher import UserMatching
+from repro.generators.erdos_renyi import gnp_graph
+from repro.sampling.edge_sampling import independent_copies, sample_edges
+from repro.seeds.generators import sample_seeds
+
+
+@st.composite
+def matching_workload(draw):
+    n = draw(st.integers(30, 120))
+    p = draw(st.floats(0.03, 0.15))
+    s = draw(st.floats(0.4, 0.9))
+    l = draw(st.floats(0.05, 0.3))
+    seed = draw(st.integers(0, 10_000))
+    g = gnp_graph(n, p, seed=seed)
+    pair = independent_copies(g, s, seed=seed + 1)
+    seeds = sample_seeds(pair, l, seed=seed + 2)
+    return pair, seeds
+
+
+class TestSamplerProperties:
+    @given(
+        st.integers(20, 120),
+        st.floats(0.0, 0.3),
+        st.floats(0.0, 1.0),
+        st.integers(0, 9999),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_sampled_edges_subset(self, n, p, s, seed):
+        g = gnp_graph(n, p, seed=seed)
+        sampled = sample_edges(g, s, seed=seed + 1)
+        assert sampled.num_nodes == g.num_nodes
+        assert sampled.num_edges <= g.num_edges
+        for u, v in sampled.edges():
+            assert g.has_edge(u, v)
+
+    @given(matching_workload())
+    @settings(max_examples=25, deadline=None)
+    def test_identity_consistency(self, workload):
+        pair, _seeds = workload
+        for v1, v2 in pair.identity.items():
+            assert pair.g1.has_node(v1)
+            assert pair.g2.has_node(v2)
+        values = list(pair.identity.values())
+        assert len(set(values)) == len(values)
+
+
+class TestMatcherProperties:
+    @given(matching_workload(), st.integers(1, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_links_superset_of_seeds_and_injective(
+        self, workload, threshold
+    ):
+        pair, seeds = workload
+        result = UserMatching(
+            MatcherConfig(threshold=threshold, iterations=2)
+        ).run(pair.g1, pair.g2, seeds)
+        for v1, v2 in seeds.items():
+            assert result.links[v1] == v2
+        values = list(result.links.values())
+        assert len(set(values)) == len(values)
+
+    @given(matching_workload())
+    @settings(max_examples=20, deadline=None)
+    def test_links_reference_existing_nodes(self, workload):
+        pair, seeds = workload
+        result = UserMatching(MatcherConfig(iterations=2)).run(
+            pair.g1, pair.g2, seeds
+        )
+        for v1, v2 in result.links.items():
+            assert pair.g1.has_node(v1)
+            assert pair.g2.has_node(v2)
+
+    @given(matching_workload())
+    @settings(max_examples=15, deadline=None)
+    def test_threshold_monotone_link_count(self, workload):
+        pair, seeds = workload
+        low = UserMatching(
+            MatcherConfig(threshold=2, iterations=1)
+        ).run(pair.g1, pair.g2, seeds)
+        high = UserMatching(
+            MatcherConfig(threshold=5, iterations=1)
+        ).run(pair.g1, pair.g2, seeds)
+        assert len(high.links) <= len(low.links)
+
+    @given(matching_workload())
+    @settings(max_examples=15, deadline=None)
+    def test_phase_accounting_consistent(self, workload):
+        pair, seeds = workload
+        result = UserMatching(MatcherConfig(iterations=2)).run(
+            pair.g1, pair.g2, seeds
+        )
+        assert (
+            sum(p.links_added for p in result.phases)
+            == result.num_new_links
+        )
+        assert all(p.witnesses_emitted >= 0 for p in result.phases)

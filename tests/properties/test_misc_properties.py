@@ -1,0 +1,78 @@
+"""Property-based tests for k-core, links I/O and diagnostics invariants."""
+
+import tempfile
+from pathlib import Path
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.links_io import read_links, write_links
+from repro.graphs.graph import Graph
+from repro.graphs.kcore import core_numbers, k_core
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 25), st.integers(0, 25)).filter(
+        lambda e: e[0] != e[1]
+    ),
+    max_size=80,
+)
+
+
+class TestKCoreProperties:
+    @given(edge_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_core_number_at_most_degree(self, edges):
+        g = Graph.from_edges(edges)
+        cores = core_numbers(g)
+        for node, core in cores.items():
+            assert 0 <= core <= g.degree(node)
+
+    @given(edge_lists, st.integers(1, 5))
+    @settings(max_examples=60, deadline=None)
+    def test_k_core_min_degree(self, edges, k):
+        g = Graph.from_edges(edges)
+        sub = k_core(g, k)
+        for node in sub.nodes():
+            assert sub.degree(node) >= k
+
+    @given(edge_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_cores_nested(self, edges):
+        g = Graph.from_edges(edges)
+        two = set(k_core(g, 2).nodes())
+        three = set(k_core(g, 3).nodes())
+        assert three <= two
+
+
+class TestLinksIoProperties:
+    @given(
+        st.dictionaries(
+            st.integers(0, 10_000),
+            st.integers(0, 10_000),
+            max_size=50,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_int_round_trip(self, links):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "links.tsv"
+            write_links(links, path)
+            assert read_links(path) == links
+
+    @given(
+        st.dictionaries(
+            st.text(
+                alphabet="abcdefgh:_-", min_size=1, max_size=10
+            ).filter(lambda s: not s.isdigit()),
+            st.text(
+                alphabet="ijklmnop:_-", min_size=1, max_size=10
+            ).filter(lambda s: not s.isdigit()),
+            max_size=30,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_string_round_trip(self, links):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "links.tsv"
+            write_links(links, path)
+            assert read_links(path) == links

@@ -1,0 +1,69 @@
+"""Unit tests for the independent-cascade copy model."""
+
+import pytest
+
+from repro.errors import SamplingError
+from repro.graphs.graph import Graph
+from repro.sampling.cascade import cascade_copies, cascade_copy
+
+
+class TestCascadeCopy:
+    def test_p_zero_only_start(self, small_pa):
+        out = cascade_copy(small_pa, 0.0, seed=1, start=0)
+        assert out.num_nodes == 1
+
+    def test_p_one_covers_component(self, small_pa):
+        out = cascade_copy(small_pa, 1.0, seed=1, start=0)
+        # node 0 is in the giant component of a PA graph
+        assert out.num_nodes > 0.9 * small_pa.num_nodes
+
+    def test_induced_subgraph_property(self, small_pa):
+        out = cascade_copy(small_pa, 0.3, seed=2)
+        for u in out.nodes():
+            for v in small_pa.neighbors(u):
+                if out.has_node(v):
+                    assert out.has_edge(u, v)
+
+    def test_default_start_is_max_degree(self, star):
+        out = cascade_copy(star, 0.0, seed=1)
+        assert out.has_node(0)  # the hub
+
+    def test_unknown_start_raises(self, triangle):
+        with pytest.raises(SamplingError):
+            cascade_copy(triangle, 0.5, start=99)
+
+    def test_empty_graph_raises(self):
+        with pytest.raises(SamplingError):
+            cascade_copy(Graph(), 0.5)
+
+    def test_reproducible(self, small_pa):
+        a = cascade_copy(small_pa, 0.2, seed=3)
+        b = cascade_copy(small_pa, 0.2, seed=3)
+        assert a == b
+
+    def test_adoption_monotone_in_p(self, small_pa):
+        small = cascade_copy(small_pa, 0.05, seed=4).num_nodes
+        large = cascade_copy(small_pa, 0.5, seed=4).num_nodes
+        assert large >= small
+
+
+class TestCascadeCopies:
+    def test_identity_is_intersection(self, small_pa):
+        pair = cascade_copies(small_pa, 0.3, seed=5)
+        for v in pair.identity:
+            assert pair.g1.has_node(v)
+            assert pair.g2.has_node(v)
+
+    def test_copies_differ(self, small_pa):
+        pair = cascade_copies(small_pa, 0.3, seed=6)
+        assert pair.g1 != pair.g2
+
+    def test_same_start_node(self, small_pa):
+        pair = cascade_copies(small_pa, 0.2, seed=7, start=0)
+        assert pair.g1.has_node(0)
+        assert pair.g2.has_node(0)
+
+    def test_reproducible(self, small_pa):
+        a = cascade_copies(small_pa, 0.3, seed=8)
+        b = cascade_copies(small_pa, 0.3, seed=8)
+        assert a.g1 == b.g1 and a.g2 == b.g2

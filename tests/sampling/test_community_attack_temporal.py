@@ -1,0 +1,137 @@
+"""Unit tests for correlated community deletion, sybil attack, temporal split."""
+
+import pytest
+
+from repro.generators.affiliation import affiliation_graph
+from repro.graphs.graph import Graph
+from repro.graphs.temporal import TemporalGraph
+from repro.sampling.attack import attacked_copies, inject_sybils
+from repro.sampling.community import correlated_community_copies
+from repro.sampling.temporal_split import split_by_parity, split_by_predicates
+
+
+@pytest.fixture(scope="module")
+def net():
+    return affiliation_graph(150, 150, memberships_per_user=5, seed=1)
+
+
+class TestCorrelatedCommunity:
+    def test_all_users_in_both_copies(self, net):
+        pair = correlated_community_copies(net, 0.75, seed=2)
+        assert pair.g1.num_nodes == net.graph.num_nodes
+        assert pair.g2.num_nodes == net.graph.num_nodes
+
+    def test_keep_one_is_identity(self, net):
+        pair = correlated_community_copies(net, 1.0, seed=2)
+        assert pair.g1 == net.graph
+        assert pair.g2 == net.graph
+
+    def test_keep_zero_is_empty(self, net):
+        pair = correlated_community_copies(net, 0.0, seed=2)
+        assert pair.g1.num_edges == 0
+
+    def test_copies_edges_from_fold(self, net):
+        pair = correlated_community_copies(net, 0.6, seed=3)
+        for u, v in pair.g1.edges():
+            assert net.graph.has_edge(u, v)
+
+    def test_copies_decorrelated(self, net):
+        pair = correlated_community_copies(net, 0.5, seed=4)
+        assert pair.g1 != pair.g2
+
+    def test_reproducible(self, net):
+        a = correlated_community_copies(net, 0.75, seed=5)
+        b = correlated_community_copies(net, 0.75, seed=5)
+        assert a.g1 == b.g1 and a.g2 == b.g2
+
+
+class TestInjectSybils:
+    def test_doubles_node_count(self, small_pa):
+        result = inject_sybils(small_pa, 0.5, seed=1)
+        assert result.graph.num_nodes == 2 * small_pa.num_nodes
+
+    def test_victim_mapping(self, small_pa):
+        result = inject_sybils(small_pa, 0.5, seed=1)
+        assert len(result.victim_of) == small_pa.num_nodes
+        for sybil, victim in result.victim_of.items():
+            assert sybil == ("sybil", victim)
+
+    def test_sybil_edges_subset_of_victim_neighbors(self, small_pa):
+        result = inject_sybils(small_pa, 0.5, seed=2)
+        for sybil, victim in list(result.victim_of.items())[:50]:
+            for nbr in result.graph.neighbors(sybil):
+                assert small_pa.has_edge(victim, nbr) or nbr == victim
+
+    def test_attach_zero_gives_isolated_sybils(self, triangle):
+        result = inject_sybils(triangle, 0.0, seed=1)
+        for sybil in result.sybils:
+            assert result.graph.degree(sybil) == 0
+
+    def test_attach_one_clones_neighborhood(self, star):
+        result = inject_sybils(star, 1.0, seed=1)
+        hub_sybil = ("sybil", 0)
+        assert result.graph.degree(hub_sybil) == star.degree(0)
+
+    def test_original_untouched(self, small_pa):
+        before = small_pa.copy()
+        inject_sybils(small_pa, 0.5, seed=3)
+        assert small_pa == before
+
+    def test_attach_rate(self, small_pa):
+        result = inject_sybils(small_pa, 0.5, seed=4)
+        total_sybil_degree = sum(
+            result.graph.degree(s) for s in result.sybils
+        )
+        expected = small_pa.num_edges  # half of 2m
+        assert 0.9 * expected < total_sybil_degree < 1.1 * expected
+
+
+class TestAttackedCopies:
+    def test_identity_covers_sybil_twins_by_default(self, small_pa):
+        pair = attacked_copies(small_pa, s=0.8, seed=5)
+        assert len(pair.identity) == 2 * small_pa.num_nodes
+
+    def test_identity_without_twins(self, small_pa):
+        pair = attacked_copies(
+            small_pa, s=0.8, link_sybil_twins=False, seed=5
+        )
+        assert len(pair.identity) == small_pa.num_nodes
+
+    def test_copies_contain_sybils(self, small_pa):
+        pair = attacked_copies(small_pa, s=0.8, seed=6)
+        assert pair.g1.num_nodes == 2 * small_pa.num_nodes
+        assert pair.g2.num_nodes == 2 * small_pa.num_nodes
+
+
+class TestTemporalSplit:
+    @pytest.fixture
+    def tg(self):
+        return TemporalGraph.from_events(
+            [(0, 1, 0), (1, 2, 1), (0, 1, 2), (2, 3, 3), (0, 2, 0)]
+        )
+
+    def test_parity_split(self, tg):
+        pair = split_by_parity(tg)
+        assert pair.g1.has_edge(0, 1)  # t=0 and t=2
+        assert pair.g2.has_edge(1, 2)  # t=1
+        assert pair.g2.has_edge(2, 3)  # t=3
+
+    def test_identity_on_shared_nodes(self, tg):
+        pair = split_by_parity(tg)
+        for v in pair.identity:
+            assert pair.g1.has_node(v) and pair.g2.has_node(v)
+
+    def test_predicates_split(self, tg):
+        pair = split_by_predicates(tg, lambda t: t < 2, lambda t: t >= 2)
+        assert pair.g1.has_edge(1, 2)
+        assert pair.g2.has_edge(2, 3)
+
+    def test_keep_isolated(self, tg):
+        pair = split_by_predicates(
+            tg,
+            lambda t: t == 0,
+            lambda t: t == 1,
+            drop_isolated=False,
+        )
+        assert pair.g1.num_nodes == 4
+        assert pair.g2.num_nodes == 4

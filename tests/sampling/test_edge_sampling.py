@@ -1,0 +1,118 @@
+"""Unit tests for the independent edge deletion copy model."""
+
+import pytest
+
+from repro.sampling.edge_sampling import (
+    add_noise_edges,
+    delete_vertices,
+    independent_copies,
+    sample_edges,
+)
+
+
+class TestSampleEdges:
+    def test_all_nodes_preserved(self, small_pa):
+        out = sample_edges(small_pa, 0.5, seed=1)
+        assert out.num_nodes == small_pa.num_nodes
+
+    def test_edges_subset_of_original(self, small_pa):
+        out = sample_edges(small_pa, 0.5, seed=1)
+        for u, v in out.edges():
+            assert small_pa.has_edge(u, v)
+
+    def test_s_zero_empty(self, small_pa):
+        assert sample_edges(small_pa, 0.0, seed=1).num_edges == 0
+
+    def test_s_one_identity(self, small_pa):
+        assert sample_edges(small_pa, 1.0, seed=1) == small_pa
+
+    def test_survival_rate_concentrates(self, small_pa):
+        out = sample_edges(small_pa, 0.5, seed=2)
+        ratio = out.num_edges / small_pa.num_edges
+        assert 0.45 < ratio < 0.55
+
+    def test_reproducible(self, small_pa):
+        a = sample_edges(small_pa, 0.5, seed=3)
+        b = sample_edges(small_pa, 0.5, seed=3)
+        assert a == b
+
+    def test_invalid_probability(self, small_pa):
+        with pytest.raises(ValueError):
+            sample_edges(small_pa, 1.5)
+
+
+class TestNoiseAndVertexDeletion:
+    def test_noise_edges_added(self, small_pa):
+        out = add_noise_edges(small_pa, 50, seed=1)
+        assert out.num_edges == small_pa.num_edges + 50
+
+    def test_noise_edges_are_new(self, small_pa):
+        out = add_noise_edges(small_pa, 50, seed=1)
+        new = [
+            (u, v)
+            for u, v in out.edges()
+            if not small_pa.has_edge(u, v)
+        ]
+        assert len(new) == 50
+
+    def test_noise_zero(self, small_pa):
+        assert add_noise_edges(small_pa, 0, seed=1) == small_pa
+
+    def test_noise_tiny_graph(self, triangle):
+        out = add_noise_edges(triangle, 5, seed=1)
+        # K3 is complete: no room for noise.
+        assert out.num_edges == 3
+
+    def test_delete_vertices_rate(self, small_pa):
+        out = delete_vertices(small_pa, 0.3, seed=2)
+        ratio = out.num_nodes / small_pa.num_nodes
+        assert 0.6 < ratio < 0.8
+
+    def test_delete_vertices_zero(self, small_pa):
+        assert delete_vertices(small_pa, 0.0, seed=1) == small_pa
+
+    def test_delete_vertices_edges_consistent(self, small_pa):
+        out = delete_vertices(small_pa, 0.4, seed=3)
+        for u, v in out.edges():
+            assert out.has_node(u) and out.has_node(v)
+            assert small_pa.has_edge(u, v)
+
+
+class TestIndependentCopies:
+    def test_identity_is_full_vertex_set(self, small_pa):
+        pair = independent_copies(small_pa, 0.5, seed=1)
+        assert len(pair.identity) == small_pa.num_nodes
+
+    def test_identity_maps_to_self(self, small_pa):
+        pair = independent_copies(small_pa, 0.5, seed=1)
+        assert all(v1 == v2 for v1, v2 in pair.identity.items())
+
+    def test_asymmetric_survival(self, small_pa):
+        pair = independent_copies(small_pa, 0.9, s2=0.1, seed=2)
+        assert pair.g1.num_edges > 3 * pair.g2.num_edges
+
+    def test_copies_are_independent(self, small_pa):
+        pair = independent_copies(small_pa, 0.5, seed=3)
+        assert pair.g1 != pair.g2
+
+    def test_with_vertex_deletion(self, small_pa):
+        pair = independent_copies(
+            small_pa, 0.8, vertex_deletion=0.2, seed=4
+        )
+        assert pair.g1.num_nodes < small_pa.num_nodes
+        # identity only covers nodes in both copies
+        for v1 in pair.identity:
+            assert pair.g1.has_node(v1)
+            assert pair.g2.has_node(v1)
+
+    def test_with_noise(self, small_pa):
+        pair = independent_copies(small_pa, 0.5, noise_edges=30, seed=5)
+        extra = [
+            e for e in pair.g1.edges() if not small_pa.has_edge(*e)
+        ]
+        assert len(extra) == 30
+
+    def test_reproducible(self, small_pa):
+        a = independent_copies(small_pa, 0.5, seed=6)
+        b = independent_copies(small_pa, 0.5, seed=6)
+        assert a.g1 == b.g1 and a.g2 == b.g2

@@ -1,0 +1,52 @@
+"""Unit tests for the GraphPair abstraction."""
+
+import pytest
+
+from repro.errors import SamplingError
+from repro.graphs.graph import Graph
+from repro.sampling.pair import GraphPair
+
+
+@pytest.fixture
+def pair():
+    g1 = Graph.from_edges([(0, 1), (1, 2)], nodes=[3])
+    g2 = Graph.from_edges([("a", "b"), ("b", "c")], nodes=["d"])
+    identity = {0: "a", 1: "b", 2: "c", 3: "d"}
+    return GraphPair(g1=g1, g2=g2, identity=identity)
+
+
+class TestGraphPair:
+    def test_reverse_identity(self, pair):
+        assert pair.reverse_identity == {"a": 0, "b": 1, "c": 2, "d": 3}
+
+    def test_identifiable_excludes_isolated(self, pair):
+        # node 3 / "d" are isolated -> not identifiable
+        assert sorted(pair.identifiable_nodes()) == [0, 1, 2]
+
+    def test_identifiable_above_degree(self, pair):
+        assert pair.identifiable_above_degree(1) == [1]
+
+    def test_non_injective_identity_rejected(self):
+        g1 = Graph.from_edges([(0, 1)])
+        g2 = Graph.from_edges([("a", "b")])
+        with pytest.raises(SamplingError):
+            GraphPair(g1=g1, g2=g2, identity={0: "a", 1: "a"})
+
+    def test_identity_key_must_exist(self):
+        g1 = Graph.from_edges([(0, 1)])
+        g2 = Graph.from_edges([("a", "b")])
+        with pytest.raises(SamplingError):
+            GraphPair(g1=g1, g2=g2, identity={9: "a"})
+
+    def test_identity_value_must_exist(self):
+        g1 = Graph.from_edges([(0, 1)])
+        g2 = Graph.from_edges([("a", "b")])
+        with pytest.raises(SamplingError):
+            GraphPair(g1=g1, g2=g2, identity={0: "zzz"})
+
+    def test_empty_identity_allowed(self):
+        pair = GraphPair(g1=Graph(), g2=Graph(), identity={})
+        assert pair.identifiable_nodes() == []
+
+    def test_repr(self, pair):
+        assert "identity_size=4" in repr(pair)

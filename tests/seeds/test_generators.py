@@ -1,0 +1,119 @@
+"""Unit tests for seed-link generation."""
+
+import pytest
+
+from repro.seeds.generators import (
+    degree_biased_seeds,
+    noisy_seeds,
+    sample_seeds,
+    top_degree_seeds,
+)
+
+
+class TestSampleSeeds:
+    def test_rate(self, pa_pair):
+        seeds = sample_seeds(pa_pair, 0.2, seed=1)
+        n = len(pa_pair.identity)
+        assert 0.12 * n < len(seeds) < 0.28 * n
+
+    def test_zero_probability(self, pa_pair):
+        assert sample_seeds(pa_pair, 0.0, seed=1) == {}
+
+    def test_full_probability(self, pa_pair):
+        assert sample_seeds(pa_pair, 1.0, seed=1) == pa_pair.identity
+
+    def test_subset_of_identity(self, pa_pair):
+        seeds = sample_seeds(pa_pair, 0.3, seed=2)
+        for v1, v2 in seeds.items():
+            assert pa_pair.identity[v1] == v2
+
+    def test_reproducible(self, pa_pair):
+        assert sample_seeds(pa_pair, 0.1, seed=3) == sample_seeds(
+            pa_pair, 0.1, seed=3
+        )
+
+    def test_invalid_probability(self, pa_pair):
+        with pytest.raises(ValueError):
+            sample_seeds(pa_pair, -0.1)
+
+
+class TestDegreeBiasedSeeds:
+    def test_bias_toward_high_degree(self, pa_pair):
+        seeds = degree_biased_seeds(pa_pair, 0.15, seed=4)
+        uniform = sample_seeds(pa_pair, 0.15, seed=4)
+        deg = lambda s: (
+            sum(pa_pair.g1.degree(v) for v in s) / len(s) if s else 0
+        )
+        assert deg(seeds) > deg(uniform)
+
+    def test_expected_count_close(self, pa_pair):
+        seeds = degree_biased_seeds(pa_pair, 0.15, seed=5)
+        target = 0.15 * len(pa_pair.identity)
+        assert 0.4 * target < len(seeds) < 2.2 * target
+
+    def test_empty_identity(self):
+        from repro.graphs.graph import Graph
+        from repro.sampling.pair import GraphPair
+
+        pair = GraphPair(g1=Graph(), g2=Graph(), identity={})
+        assert degree_biased_seeds(pair, 0.5, seed=1) == {}
+
+
+class TestTopDegreeSeeds:
+    def test_exact_count(self, pa_pair):
+        assert len(top_degree_seeds(pa_pair, 25)) == 25
+
+    def test_selects_highest(self, pa_pair):
+        seeds = top_degree_seeds(pa_pair, 10)
+        min_seed_deg = min(
+            min(pa_pair.g1.degree(v1), pa_pair.g2.degree(v2))
+            for v1, v2 in seeds.items()
+        )
+        others = [
+            min(pa_pair.g1.degree(v1), pa_pair.g2.degree(v2))
+            for v1, v2 in pa_pair.identity.items()
+            if v1 not in seeds
+        ]
+        assert min_seed_deg >= max(others)
+
+    def test_count_beyond_population(self, pa_pair):
+        seeds = top_degree_seeds(pa_pair, 10 ** 9)
+        assert len(seeds) == len(pa_pair.identity)
+
+    def test_negative_raises(self, pa_pair):
+        with pytest.raises(Exception):
+            top_degree_seeds(pa_pair, -1)
+
+    def test_deterministic(self, pa_pair):
+        assert top_degree_seeds(pa_pair, 20) == top_degree_seeds(
+            pa_pair, 20
+        )
+
+
+class TestNoisySeeds:
+    def test_error_rate_applied(self, pa_pair):
+        clean = sample_seeds(pa_pair, 0.3, seed=6)
+        noisy = noisy_seeds(pa_pair, 0.3, 0.2, seed=6)
+        assert len(noisy) == len(clean)
+        wrong = sum(
+            1
+            for v1, v2 in noisy.items()
+            if pa_pair.identity[v1] != v2
+        )
+        expected = int(len(noisy) * 0.2)
+        assert abs(wrong - expected) <= 2
+
+    def test_zero_error_rate_is_clean(self, pa_pair):
+        noisy = noisy_seeds(pa_pair, 0.3, 0.0, seed=7)
+        assert all(
+            pa_pair.identity[v1] == v2 for v1, v2 in noisy.items()
+        )
+
+    def test_remains_injective(self, pa_pair):
+        noisy = noisy_seeds(pa_pair, 0.3, 0.3, seed=8)
+        assert len(set(noisy.values())) == len(noisy)
+
+    def test_corrupted_seeds_point_to_real_nodes(self, pa_pair):
+        noisy = noisy_seeds(pa_pair, 0.3, 0.3, seed=9)
+        for v2 in noisy.values():
+            assert pa_pair.g2.has_node(v2)

@@ -1,0 +1,80 @@
+"""Unit tests for RNG plumbing."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_numpy_rng, ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_none_gives_fresh(self):
+        assert isinstance(ensure_rng(None), random.Random)
+
+    def test_int_reproducible(self):
+        assert ensure_rng(7).random() == ensure_rng(7).random()
+
+    def test_different_seeds_differ(self):
+        assert ensure_rng(1).random() != ensure_rng(2).random()
+
+    def test_passthrough(self):
+        rng = random.Random(3)
+        assert ensure_rng(rng) is rng
+
+    def test_from_numpy_generator_deterministic(self):
+        a = ensure_rng(np.random.default_rng(5)).random()
+        b = ensure_rng(np.random.default_rng(5)).random()
+        assert a == b
+
+    def test_rejects_bad_type(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+
+class TestEnsureNumpyRng:
+    def test_none_gives_fresh(self):
+        assert isinstance(ensure_numpy_rng(None), np.random.Generator)
+
+    def test_int_reproducible(self):
+        a = ensure_numpy_rng(7).random()
+        b = ensure_numpy_rng(7).random()
+        assert a == b
+
+    def test_passthrough(self):
+        rng = np.random.default_rng(3)
+        assert ensure_numpy_rng(rng) is rng
+
+    def test_from_python_random(self):
+        a = ensure_numpy_rng(random.Random(5)).random()
+        b = ensure_numpy_rng(random.Random(5)).random()
+        assert a == b
+
+    def test_rejects_bad_type(self):
+        with pytest.raises(TypeError):
+            ensure_numpy_rng(3.5)
+
+    def test_numpy_integer_accepted(self):
+        rng = ensure_numpy_rng(np.int64(4))
+        assert isinstance(rng, np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(1, 5)) == 5
+
+    def test_reproducible(self):
+        a = [r.random() for r in spawn_rngs(9, 3)]
+        b = [r.random() for r in spawn_rngs(9, 3)]
+        assert a == b
+
+    def test_streams_decorrelated(self):
+        r1, r2 = spawn_rngs(9, 2)
+        assert r1.random() != r2.random()
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(1, -1)
+
+    def test_zero_count(self):
+        assert spawn_rngs(1, 0) == []

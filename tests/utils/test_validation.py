@@ -1,0 +1,68 @@
+"""Unit tests for validation helpers."""
+
+import pytest
+
+from repro.utils.timing import Timer
+from repro.utils.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0, 1])
+    def test_valid(self, value):
+        assert check_probability("p", value) == float(value)
+
+    @pytest.mark.parametrize("value", [-0.1, 1.1, float("nan"), "x", True])
+    def test_invalid(self, value):
+        with pytest.raises(ValueError, match="p"):
+            check_probability("p", value)
+
+
+class TestCheckPositive:
+    def test_valid(self):
+        assert check_positive("n", 3) == 3
+
+    @pytest.mark.parametrize("value", [0, -1, 1.5, True, None])
+    def test_invalid(self, value):
+        with pytest.raises(ValueError, match="n"):
+            check_positive("n", value)
+
+
+class TestCheckNonNegative:
+    def test_valid_zero(self):
+        assert check_non_negative("m", 0) == 0
+
+    @pytest.mark.parametrize("value", [-1, 0.5, False])
+    def test_invalid(self, value):
+        with pytest.raises(ValueError, match="m"):
+            check_non_negative("m", value)
+
+
+class TestCheckFraction:
+    def test_valid(self):
+        assert check_fraction("f", 0.3) == 0.3
+
+    @pytest.mark.parametrize("value", [0.0, -0.5, 1.5, float("nan")])
+    def test_invalid(self, value):
+        with pytest.raises(ValueError, match="f"):
+            check_fraction("f", value)
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as t:
+            sum(range(1000))
+        assert t.elapsed > 0
+
+    def test_restart(self):
+        t = Timer()
+        with t:
+            pass
+        first = t.elapsed
+        t.restart()
+        assert t.elapsed == 0.0
+        assert first >= 0.0
