@@ -1,36 +1,70 @@
 """repro — reproduction of Korula & Lattanzi (VLDB 2014),
 *An efficient reconciliation algorithm for social networks*.
 
-Quickstart::
+Every matcher — the paper's **User-Matching**, its MapReduce
+formulation, four baselines, and the composable **Reconciler** pipeline
+— implements one protocol (``run(g1, g2, seeds, *, progress=None)``) and
+is resolvable by name from the registry, so experiments swap algorithms
+by changing a string.
+
+Primary API — the registry plus the pipeline::
 
     from repro import (
         preferential_attachment_graph, independent_copies, sample_seeds,
-        reconcile, evaluate,
+        get_matcher, reconcile, evaluate,
     )
 
     g = preferential_attachment_graph(n=5000, m=10, seed=1)
     pair = independent_copies(g, s1=0.5, seed=2)
     seeds = sample_seeds(pair, link_probability=0.1, seed=3)
-    result = reconcile(pair.g1, pair.g2, seeds, threshold=2, iterations=2)
+
+    # Any registered matcher, by name (see available_matchers()):
+    matcher = get_matcher("user-matching", threshold=2, iterations=2)
+    result = matcher.run(pair.g1, pair.g2, seeds)
     report = evaluate(result, pair)
     print(report.precision, report.recall)
+
+    # Or compose a pipeline stage-by-stage:
+    from repro import Reconciler, degree_ratio_validator
+    pipeline = Reconciler(threshold=2, rounds=3, selector="gale-shapley",
+                          validators=[degree_ratio_validator(4.0)])
+    result = pipeline.run(pair.g1, pair.g2, seeds)
+    result.timings                      # per-stage wall-clock records
+
+Shortcut — the legacy one-call path runs User-Matching directly and is
+still the quickest way to the paper's algorithm::
+
+    result = reconcile(pair.g1, pair.g2, seeds, threshold=2, iterations=2)
+
+``reconcile`` also accepts a registry name or any constructed matcher:
+``reconcile(g1, g2, seeds, "common-neighbors")``.
 """
 
 from repro.baselines import (
     CommonNeighborsMatcher,
     DegreeSequenceMatcher,
     NarayananShmatikovMatcher,
+    StructuralFeatureMatcher,
 )
 from repro.core import (
+    Matcher,
     MatcherConfig,
     MatchingResult,
     PhaseRecord,
+    ProgressEvent,
+    Reconciler,
+    StageTiming,
     TiePolicy,
     UserMatching,
+    degree_ratio_validator,
     reconcile,
+    select_gale_shapley,
+    select_greedy_top_score,
+    select_mutual_best,
 )
 from repro.evaluation import (
     MatchingReport,
+    compare_matchers,
     degree_stratified_report,
     evaluate,
     format_table,
@@ -49,6 +83,12 @@ from repro.generators import (
 )
 from repro.graphs import BipartiteGraph, CSRGraph, Graph, TemporalGraph
 from repro.mapreduce import LocalMapReduce, MapReduceUserMatching
+from repro.registry import (
+    available_matchers,
+    get_matcher,
+    matcher_names,
+    register_matcher,
+)
 from repro.sampling import (
     GraphPair,
     attacked_copies,
@@ -67,7 +107,7 @@ from repro.seeds import (
     top_degree_seeds,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     # graphs
@@ -100,17 +140,32 @@ __all__ = [
     "degree_biased_seeds",
     "top_degree_seeds",
     "noisy_seeds",
+    # matcher protocol + registry
+    "Matcher",
+    "ProgressEvent",
+    "register_matcher",
+    "get_matcher",
+    "matcher_names",
+    "available_matchers",
     # core algorithm
     "MatcherConfig",
     "TiePolicy",
     "UserMatching",
     "MatchingResult",
     "PhaseRecord",
+    "StageTiming",
     "reconcile",
+    # composable pipeline
+    "Reconciler",
+    "degree_ratio_validator",
+    "select_mutual_best",
+    "select_greedy_top_score",
+    "select_gale_shapley",
     # baselines
     "CommonNeighborsMatcher",
     "NarayananShmatikovMatcher",
     "DegreeSequenceMatcher",
+    "StructuralFeatureMatcher",
     # mapreduce
     "LocalMapReduce",
     "MapReduceUserMatching",
@@ -120,5 +175,6 @@ __all__ = [
     "degree_stratified_report",
     "format_table",
     "run_trial",
+    "compare_matchers",
     "__version__",
 ]

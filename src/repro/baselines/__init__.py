@@ -10,6 +10,11 @@
   degree-rank matcher used as a sanity floor.
 - :class:`~repro.baselines.structural_features.StructuralFeatureMatcher`
   — recursive structural features after Henderson et al. [14] (§2).
+
+All four conform to the :class:`~repro.core.protocol.Matcher` protocol
+and are registered (``common-neighbors``, ``narayanan-shmatikov``,
+``degree-sequence``, ``structural-features``), so
+``get_matcher(name)`` resolves them without importing this package.
 """
 
 from repro.baselines.common_neighbors import CommonNeighborsMatcher

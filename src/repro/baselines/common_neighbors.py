@@ -13,12 +13,18 @@ from typing import Hashable
 
 from repro.core.config import MatcherConfig, TiePolicy
 from repro.core.matcher import UserMatching
+from repro.core.protocol import ProgressCallback
 from repro.core.result import MatchingResult
 from repro.graphs.graph import Graph
+from repro.registry import register_matcher
 
 Node = Hashable
 
 
+@register_matcher(
+    "common-neighbors",
+    description="the paper's 'straightforward algorithm' ablation baseline",
+)
 class CommonNeighborsMatcher:
     """Plain mutual-best common-neighbor matching without bucketing.
 
@@ -44,7 +50,12 @@ class CommonNeighborsMatcher:
         self._matcher = UserMatching(self.config)
 
     def run(
-        self, g1: Graph, g2: Graph, seeds: dict[Node, Node]
+        self,
+        g1: Graph,
+        g2: Graph,
+        seeds: dict[Node, Node],
+        *,
+        progress: ProgressCallback | None = None,
     ) -> MatchingResult:
         """Expand *seeds* by iterated mutual-best common-neighbor counts."""
-        return self._matcher.run(g1, g2, seeds)
+        return self._matcher.run(g1, g2, seeds, progress=progress)

@@ -10,12 +10,19 @@ from __future__ import annotations
 
 from typing import Hashable
 
+from repro.core.ordering import node_sort_key
+from repro.core.protocol import ProgressCallback, ProgressReporter
 from repro.core.result import MatchingResult
 from repro.graphs.graph import Graph
+from repro.registry import register_matcher
 
 Node = Hashable
 
 
+@register_matcher(
+    "degree-sequence",
+    description="naive degree-rank pairing (sanity-floor baseline)",
+)
 class DegreeSequenceMatcher:
     """Match nodes purely by degree rank."""
 
@@ -23,17 +30,23 @@ class DegreeSequenceMatcher:
         self.max_matches = max_matches
 
     def run(
-        self, g1: Graph, g2: Graph, seeds: dict[Node, Node]
+        self,
+        g1: Graph,
+        g2: Graph,
+        seeds: dict[Node, Node],
+        *,
+        progress: ProgressCallback | None = None,
     ) -> MatchingResult:
-        """Pair unmatched nodes by descending degree (stable by id repr)."""
+        """Pair unmatched nodes by descending degree (stable by id order)."""
+        reporter = ProgressReporter("degree-sequence", progress)
         linked_right = set(seeds.values())
         left = sorted(
             (n for n in g1.nodes() if n not in seeds),
-            key=lambda n: (-g1.degree(n), repr(n)),
+            key=lambda n: (-g1.degree(n), node_sort_key(n)),
         )
         right = sorted(
             (n for n in g2.nodes() if n not in linked_right),
-            key=lambda n: (-g2.degree(n), repr(n)),
+            key=lambda n: (-g2.degree(n), node_sort_key(n)),
         )
         links = dict(seeds)
         pairs = zip(left, right)
@@ -41,4 +54,9 @@ class DegreeSequenceMatcher:
             pairs = list(pairs)[: self.max_matches]
         for v1, v2 in pairs:
             links[v1] = v2
+        reporter.emit(
+            "rank-pair",
+            links_total=len(links),
+            links_added=len(links) - len(seeds),
+        )
         return MatchingResult(links=links, seeds=dict(seeds), phases=[])

@@ -18,13 +18,19 @@ from __future__ import annotations
 import math
 from typing import Hashable
 
+from repro.core.protocol import ProgressCallback, ProgressReporter
 from repro.core.result import MatchingResult
 from repro.errors import MatcherConfigError
 from repro.graphs.graph import Graph
+from repro.registry import register_matcher
 
 Node = Hashable
 
 
+@register_matcher(
+    "narayanan-shmatikov",
+    description="propagation with eccentricity filter, after [23]",
+)
 class NarayananShmatikovMatcher:
     """De-anonymization by score propagation with eccentricity filtering.
 
@@ -99,9 +105,15 @@ class NarayananShmatikovMatcher:
 
     # ------------------------------------------------------------------
     def run(
-        self, g1: Graph, g2: Graph, seeds: dict[Node, Node]
+        self,
+        g1: Graph,
+        g2: Graph,
+        seeds: dict[Node, Node],
+        *,
+        progress: ProgressCallback | None = None,
     ) -> MatchingResult:
         """Propagate *seeds* into a full mapping, [23]-style."""
+        reporter = ProgressReporter("narayanan-shmatikov", progress)
         links: dict[Node, Node] = dict(seeds)
         reverse: dict[Node, Node] = {v2: v1 for v1, v2 in links.items()}
         for _ in range(self.max_sweeps):
@@ -146,6 +158,9 @@ class NarayananShmatikovMatcher:
                     links[v1] = best
                     reverse[best] = v1
                     changed += 1
+            reporter.emit(
+                "sweep", links_total=len(links), links_added=changed
+            )
             if changed == 0:
                 break
         return MatchingResult(links=links, seeds=dict(seeds), phases=[])

@@ -21,9 +21,11 @@ from __future__ import annotations
 import math
 from typing import Hashable
 
+from repro.core.protocol import ProgressCallback, ProgressReporter
 from repro.core.result import MatchingResult
 from repro.errors import MatcherConfigError
 from repro.graphs.graph import Graph
+from repro.registry import register_matcher
 
 Node = Hashable
 
@@ -91,6 +93,10 @@ def _distance(a: list[float], b: list[float]) -> float:
     return math.sqrt(sum((x - y) ** 2 for x, y in zip(a, b)))
 
 
+@register_matcher(
+    "structural-features",
+    description="recursive structural features after Henderson et al. [14]",
+)
 class StructuralFeatureMatcher:
     """Match nodes by mutual-nearest recursive structural features.
 
@@ -125,9 +131,15 @@ class StructuralFeatureMatcher:
         self.max_candidates = max_candidates
 
     def run(
-        self, g1: Graph, g2: Graph, seeds: dict[Node, Node]
+        self,
+        g1: Graph,
+        g2: Graph,
+        seeds: dict[Node, Node],
+        *,
+        progress: ProgressCallback | None = None,
     ) -> MatchingResult:
         """Match by feature proximity; returns seeds + feature matches."""
+        reporter = ProgressReporter("structural-features", progress)
         f1 = _normalize(recursive_features(g1, self.levels))
         f2 = _normalize(recursive_features(g2, self.levels))
         # Calibrate the acceptance radius on the seed pairs.
@@ -179,4 +191,9 @@ class StructuralFeatureMatcher:
                     best_left[best] = (best_d, v1)
         for v2, (_d, v1) in best_left.items():
             links[v1] = v2
+        reporter.emit(
+            "feature-match",
+            links_total=len(links),
+            links_added=len(links) - len(seeds),
+        )
         return MatchingResult(links=links, seeds=dict(seeds), phases=[])

@@ -3,8 +3,10 @@
 Examples::
 
     repro list
+    repro matchers
     repro run fig2 --seed 7
     repro run table3-facebook
+    repro run ablation-wikipedia --matcher common-neighbors
     repro run all
     repro datasets
 """
@@ -12,6 +14,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 from typing import Callable
 
@@ -124,6 +127,22 @@ def _cmd_list() -> int:
     return 0
 
 
+def _cmd_matchers() -> int:
+    from repro.registry import available_matchers
+
+    rows = [
+        [name, desc] for name, desc in available_matchers().items()
+    ]
+    print(
+        format_table(
+            ["matcher", "description"],
+            rows,
+            title="registered matchers (get_matcher(name) / --matcher)",
+        )
+    )
+    return 0
+
+
 def _cmd_datasets() -> int:
     rows = [
         [
@@ -145,7 +164,9 @@ def _cmd_datasets() -> int:
     return 0
 
 
-def _cmd_run(name: str, seed: int, chart: bool) -> int:
+def _cmd_run(
+    name: str, seed: int, chart: bool, matcher: str | None = None
+) -> int:
     if name == "all":
         names = list(EXPERIMENTS)
     elif name in EXPERIMENTS:
@@ -156,9 +177,35 @@ def _cmd_run(name: str, seed: int, chart: bool) -> int:
             file=sys.stderr,
         )
         return 2
+    if matcher is not None:
+        from repro.registry import matcher_names
+
+        if matcher not in matcher_names():
+            print(
+                f"unknown matcher {matcher!r}; "
+                f"try: {', '.join(matcher_names())}",
+                file=sys.stderr,
+            )
+            return 2
+        unsupported = [
+            exp_name
+            for exp_name in names
+            if "matcher"
+            not in inspect.signature(EXPERIMENTS[exp_name][0]).parameters
+        ]
+        if unsupported:
+            print(
+                "--matcher is not supported by: "
+                + ", ".join(unsupported),
+                file=sys.stderr,
+            )
+            return 2
     for exp_name in names:
         fn, _desc = EXPERIMENTS[exp_name]
-        result = fn(seed=seed)
+        kwargs: dict[str, object] = {"seed": seed}
+        if matcher is not None:
+            kwargs["matcher"] = matcher
+        result = fn(**kwargs)
         print(result.to_table())
         if chart and result.rows:
             rendered = _chart_for(result)
@@ -209,11 +256,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list available experiments")
+    sub.add_parser("matchers", help="list registered matchers")
     sub.add_parser("datasets", help="show the Table 1 analog")
     run_p = sub.add_parser("run", help="run an experiment (or 'all')")
     run_p.add_argument("experiment", help="experiment id from 'list'")
     run_p.add_argument(
         "--seed", type=int, default=0, help="base RNG seed (default 0)"
+    )
+    run_p.add_argument(
+        "--matcher",
+        default=None,
+        help=(
+            "registered matcher name (see 'repro matchers'); only for "
+            "experiments that support matcher substitution"
+        ),
     )
     run_p.add_argument(
         "--chart",
@@ -228,10 +284,14 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
         return _cmd_list()
+    if args.command == "matchers":
+        return _cmd_matchers()
     if args.command == "datasets":
         return _cmd_datasets()
     if args.command == "run":
-        return _cmd_run(args.experiment, args.seed, args.chart)
+        return _cmd_run(
+            args.experiment, args.seed, args.chart, args.matcher
+        )
     return 2  # unreachable: argparse enforces the sub-command set
 
 

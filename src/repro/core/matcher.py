@@ -35,9 +35,12 @@ from __future__ import annotations
 from typing import Hashable
 
 from repro.core.config import MatcherConfig, TiePolicy
+from repro.core.ordering import node_sort_key
+from repro.core.protocol import ProgressCallback, ProgressReporter
 from repro.core.result import MatchingResult, PhaseRecord
 from repro.errors import MatcherConfigError
 from repro.graphs.graph import Graph
+from repro.registry import register_matcher
 
 Node = Hashable
 
@@ -129,6 +132,10 @@ class _LinkRecord:
         return not self.left_by_exp and not self.right_by_exp
 
 
+@register_matcher(
+    "user-matching",
+    description="the paper's User-Matching algorithm (§3.2)",
+)
 class UserMatching:
     """The paper's reconciliation algorithm.
 
@@ -142,6 +149,17 @@ class UserMatching:
 
     def __init__(self, config: MatcherConfig | None = None) -> None:
         self.config = config or MatcherConfig()
+
+    @classmethod
+    def from_params(
+        cls, config: MatcherConfig | None = None, **params: object
+    ) -> "UserMatching":
+        """Registry hook: build from raw :class:`MatcherConfig` kwargs."""
+        if config is not None and params:
+            raise MatcherConfigError(
+                "pass either config= or raw MatcherConfig kwargs, not both"
+            )
+        return cls(config or MatcherConfig(**params))
 
     # ------------------------------------------------------------------
     def bucket_exponents(self, g1: Graph, g2: Graph) -> list[int]:
@@ -166,6 +184,8 @@ class UserMatching:
         g1: Graph,
         g2: Graph,
         seeds: dict[Node, Node],
+        *,
+        progress: ProgressCallback | None = None,
     ) -> MatchingResult:
         """Run User-Matching and return the expanded link set.
 
@@ -174,12 +194,15 @@ class UserMatching:
             g2: second network.
             seeds: initial identification links ``L`` (g1-node -> g2-node);
                 must be one-to-one and reference existing nodes.
+            progress: optional callback invoked once per
+                (iteration, bucket) round.
 
         Returns:
             :class:`MatchingResult` whose ``links`` extend (and include)
             the seeds.
         """
         self._validate_seeds(g1, g2, seeds)
+        reporter = ProgressReporter("user-matching", progress)
         cfg = self.config
         adj1 = g1.adjacency()
         adj2 = g2.adjacency()
@@ -238,6 +261,11 @@ class UserMatching:
                         witnesses_emitted=emitted,
                         links_added=len(new_links),
                     )
+                )
+                reporter.emit(
+                    "bucket",
+                    links_total=len(links),
+                    links_added=len(new_links),
                 )
             if added_this_iteration == 0:
                 break  # a full sweep found nothing; more sweeps won't.
@@ -326,7 +354,7 @@ class UserMatching:
                     best_v2, best_sc, tied = v2, sc, False
                 elif sc == best_sc:
                     if lowest_id:
-                        if repr(v2) < repr(best_v2):
+                        if node_sort_key(v2) < node_sort_key(best_v2):
                             best_v2 = v2
                     else:
                         tied = True
@@ -337,7 +365,9 @@ class UserMatching:
                     right_left[v2] = v1
                 elif sc == prev and right_left[v2] != v1:
                     if lowest_id:
-                        if repr(v1) < repr(right_left[v2]):
+                        if node_sort_key(v1) < node_sort_key(
+                            right_left[v2]
+                        ):
                             right_left[v2] = v1
                     else:
                         right_left[v2] = _TIED

@@ -1,0 +1,31 @@
+"""Canonical node ordering shared by every selection path.
+
+Node ids are arbitrary hashables (ints, strings, tuples), so there is no
+natural total order across them.  Every deterministic tie-break in the
+package — the ``LOWEST_ID`` tie policy in the incremental matcher, the
+stand-alone selection policies, the MapReduce rounds, the degree-rank
+baseline — must order nodes the *same* way, or the paths drift apart and
+the link-for-link equivalence tests break.
+
+This module is that single definition: nodes are ordered by their
+``repr``.  ``repr`` is total over mixed types, stable within a process,
+and independent of hash seeds (unlike ``hash``); the cost is that the
+order is lexicographic, so ``10`` sorts before ``2``.  That quirk is
+acceptable because the key is only ever used to break *exact score ties*
+deterministically, never to express a preference.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+Node = Hashable
+
+
+def node_sort_key(node: Node) -> str:
+    """The canonical tie-break key: the node's ``repr``.
+
+    Use this — never a bare ``repr`` or ``str`` — wherever two nodes with
+    equal scores must be ordered, so all selection paths agree.
+    """
+    return repr(node)

@@ -1,4 +1,13 @@
-"""One-call convenience wrapper around the full reconciliation pipeline."""
+"""One-call entry point over the matcher protocol and registry.
+
+:func:`reconcile` resolves *any* way of naming a matcher — nothing, a
+:class:`~repro.core.config.MatcherConfig`, a registry name, or a ready
+:class:`~repro.core.protocol.Matcher` instance — runs it, and returns the
+:class:`~repro.core.result.MatchingResult`.  The original keyword
+signature (``threshold=``, ``iterations=``, ``use_degree_buckets=``)
+keeps working as a thin compatibility layer over the default
+User-Matching path.
+"""
 
 from __future__ import annotations
 
@@ -6,8 +15,11 @@ from typing import Hashable
 
 from repro.core.config import MatcherConfig
 from repro.core.matcher import UserMatching
+from repro.core.protocol import Matcher, ProgressCallback
 from repro.core.result import MatchingResult
+from repro.errors import MatcherConfigError
 from repro.graphs.graph import Graph
+from repro.registry import get_matcher
 
 Node = Hashable
 
@@ -16,31 +28,79 @@ def reconcile(
     g1: Graph,
     g2: Graph,
     seeds: dict[Node, Node],
-    threshold: int = 2,
-    iterations: int = 1,
-    use_degree_buckets: bool = True,
+    matcher: "MatcherConfig | str | Matcher | None" = None,
+    *,
+    threshold: int | None = None,
+    iterations: int | None = None,
+    use_degree_buckets: bool | None = None,
+    progress: ProgressCallback | None = None,
+    **matcher_config: object,
 ) -> MatchingResult:
-    """Reconcile two networks with User-Matching using common defaults.
+    """Reconcile two networks with any matcher, by value or by name.
 
-    This is the quickstart entry point::
+    The quickstart call runs the paper's User-Matching::
 
         from repro import reconcile
         result = reconcile(g1, g2, seeds, threshold=2, iterations=2)
+
+    and *matcher* generalizes it:
+
+    - ``None`` (default) — User-Matching configured by the legacy
+      keywords (``threshold`` 2, ``iterations`` 1, buckets on).
+    - a :class:`MatcherConfig` — User-Matching with exactly that config.
+    - a registry name (``"common-neighbors"``, ``"reconciler"``, ... —
+      see :func:`repro.registry.available_matchers`); extra keyword
+      arguments are forwarded to the registered class.
+    - a ready matcher instance — used as-is.
 
     Args:
         g1: first network.
         g2: second network.
         seeds: initial identification links (``g1-node -> g2-node``).
-        threshold: minimum matching score ``T``.
-        iterations: outer iteration count ``k``.
-        use_degree_buckets: keep the paper's high-degree-first schedule.
+        matcher: which matcher to run (see above).
+        threshold: minimum matching score ``T`` (legacy keyword; also
+            forwarded to named matchers that accept it).
+        iterations: outer iteration count ``k`` (likewise).
+        use_degree_buckets: keep the paper's high-degree-first schedule
+            (likewise).
+        progress: optional per-phase callback, forwarded to the matcher.
+        **matcher_config: extra configuration for a *named* matcher.
 
     Returns:
         :class:`~repro.core.result.MatchingResult`.
     """
-    config = MatcherConfig(
-        threshold=threshold,
-        iterations=iterations,
-        use_degree_buckets=use_degree_buckets,
-    )
-    return UserMatching(config).run(g1, g2, seeds)
+    legacy = {
+        key: value
+        for key, value in (
+            ("threshold", threshold),
+            ("iterations", iterations),
+            ("use_degree_buckets", use_degree_buckets),
+        )
+        if value is not None
+    }
+    if isinstance(matcher, str):
+        resolved = get_matcher(matcher, **legacy, **matcher_config)
+    elif isinstance(matcher, MatcherConfig):
+        if legacy or matcher_config:
+            raise MatcherConfigError(
+                "matcher is already a MatcherConfig; extra keyword "
+                f"configuration {sorted({**legacy, **matcher_config})} "
+                "is ambiguous"
+            )
+        resolved = UserMatching(matcher)
+    elif matcher is None:
+        resolved = UserMatching(MatcherConfig(**legacy))
+    elif hasattr(matcher, "run"):
+        if legacy or matcher_config:
+            raise MatcherConfigError(
+                "matcher is already constructed; extra keyword "
+                f"configuration {sorted({**legacy, **matcher_config})} "
+                "would be ignored"
+            )
+        resolved = matcher
+    else:
+        raise MatcherConfigError(
+            "matcher must be None, a MatcherConfig, a registry name, or "
+            f"an object with run(); got {matcher!r}"
+        )
+    return resolved.run(g1, g2, seeds, progress=progress)

@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Hashable
 
 from repro.core.config import TiePolicy
+from repro.core.ordering import node_sort_key
 
 Node = Hashable
 
@@ -36,7 +37,7 @@ def _best_per_left(
         if len(winners) == 1:
             best[v1] = winners[0]
         elif tie_policy is TiePolicy.LOWEST_ID:
-            best[v1] = min(winners, key=repr)
+            best[v1] = min(winners, key=node_sort_key)
         # SKIP: drop v1 this round.
     return best
 
@@ -59,7 +60,7 @@ def _best_per_right(
                 best_left[v2] = v1
             elif sc == prev:
                 if tie_policy is TiePolicy.LOWEST_ID:
-                    if repr(v1) < repr(best_left[v2]):
+                    if node_sort_key(v1) < node_sort_key(best_left[v2]):
                         best_left[v2] = v1
                 else:
                     best_left[v2] = _TIED

@@ -1,0 +1,124 @@
+"""The :class:`Matcher` protocol — the one interface every matcher obeys.
+
+The package ships a family of seed-propagation matchers: the paper's
+:class:`~repro.core.matcher.UserMatching`, its MapReduce formulation, four
+baselines, and the composable :class:`~repro.core.reconciler.Reconciler`
+pipeline.  They all implement the same call::
+
+    result = matcher.run(g1, g2, seeds, progress=callback)
+
+so experiments, the evaluation harness, the registry
+(:mod:`repro.registry`) and the CLI can treat any of them
+interchangeably.  ``progress`` is an optional callback receiving
+:class:`ProgressEvent` records at each matcher-defined phase boundary
+(a degree bucket for User-Matching, a sweep for propagation baselines,
+a pipeline stage for the Reconciler).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Hashable, Protocol, runtime_checkable
+
+from repro.core.result import MatchingResult
+from repro.graphs.graph import Graph
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One phase-boundary notification from a running matcher.
+
+    Attributes:
+        matcher: registry name (or class name) of the emitting matcher.
+        stage: matcher-defined phase label, e.g. ``"bucket"`` for a
+            degree-bucket round, ``"sweep"`` for a propagation pass,
+            ``"select"``/``"validate"`` for Reconciler stages.
+        step: 1-based sequence number of the event within the run.
+        links_total: identification links held after this phase.
+        links_added: links added by this phase.
+        elapsed: seconds since the run started.
+    """
+
+    matcher: str
+    stage: str
+    step: int
+    links_total: int
+    links_added: int
+    elapsed: float
+
+
+#: Signature of the ``progress=`` callback accepted by every matcher.
+ProgressCallback = Callable[[ProgressEvent], None]
+
+
+@runtime_checkable
+class Matcher(Protocol):
+    """Anything that expands seed links into an identification mapping.
+
+    Implementations must accept two graphs and a one-to-one seed mapping
+    and return a :class:`~repro.core.result.MatchingResult` whose
+    ``links`` extend (and include) the seeds.  ``progress`` must be
+    accepted as a keyword argument and may be ignored.
+    """
+
+    def run(
+        self,
+        g1: Graph,
+        g2: Graph,
+        seeds: dict[Node, Node],
+        *,
+        progress: ProgressCallback | None = None,
+    ) -> MatchingResult:
+        """Expand *seeds* across ``g1``/``g2`` into a full mapping."""
+        ...
+
+
+class ProgressReporter:
+    """Small helper matchers use to emit :class:`ProgressEvent` records.
+
+    Tracks the run's start time and the event counter so emitting a
+    phase boundary is one call::
+
+        reporter = ProgressReporter("user-matching", progress)
+        ...
+        reporter.emit("bucket", links_total=len(links), links_added=n)
+
+    A ``None`` callback makes every ``emit`` a no-op, so matchers never
+    need to branch on whether progress reporting is enabled.
+    """
+
+    __slots__ = ("matcher", "callback", "step", "_start")
+
+    def __init__(
+        self, matcher: str, callback: ProgressCallback | None
+    ) -> None:
+        self.matcher = matcher
+        self.callback = callback
+        self.step = 0
+        self._start = time.perf_counter()
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds since the reporter (i.e. the run) started."""
+        return time.perf_counter() - self._start
+
+    def emit(
+        self, stage: str, *, links_total: int, links_added: int
+    ) -> None:
+        """Send one event to the callback (no-op without a callback)."""
+        self.step += 1
+        if self.callback is None:
+            return
+        self.callback(
+            ProgressEvent(
+                matcher=self.matcher,
+                stage=stage,
+                step=self.step,
+                links_total=links_total,
+                links_added=links_added,
+                elapsed=self.elapsed,
+            )
+        )

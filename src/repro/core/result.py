@@ -32,6 +32,22 @@ class PhaseRecord:
     links_added: int
 
 
+@dataclass(frozen=True)
+class StageTiming:
+    """Wall-clock cost of one pipeline stage execution.
+
+    Attributes:
+        stage: stage label (``"seeds"``, ``"candidates"``, ``"score"``,
+            ``"select"``, ``"validate"``, ...).
+        round: 1-based round the stage ran in (0 for one-off stages).
+        elapsed: wall-clock seconds spent in the stage.
+    """
+
+    stage: str
+    round: int
+    elapsed: float
+
+
 @dataclass
 class MatchingResult:
     """Output of a matcher run.
@@ -41,11 +57,14 @@ class MatchingResult:
             including the input seeds.
         seeds: the seed links the run started from.
         phases: per-round history (in execution order).
+        timings: per-stage wall-clock records (populated by matchers with
+            instrumented pipelines, e.g. the Reconciler; empty otherwise).
     """
 
     links: dict[Node, Node]
     seeds: dict[Node, Node]
     phases: list[PhaseRecord] = field(default_factory=list)
+    timings: list[StageTiming] = field(default_factory=list)
 
     @property
     def new_links(self) -> dict[Node, Node]:

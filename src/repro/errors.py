@@ -49,6 +49,10 @@ class MatcherConfigError(ReproError, ValueError):
     """Raised when :class:`repro.core.config.MatcherConfig` is invalid."""
 
 
+class MatcherRegistryError(ReproError):
+    """Raised by the matcher registry: unknown name or duplicate entry."""
+
+
 class EvaluationError(ReproError, ValueError):
     """Raised when evaluation inputs are inconsistent (e.g. no ground truth)."""
 

@@ -4,7 +4,11 @@ from repro.evaluation.degree_stratified import (
     DegreeBucketStats,
     degree_stratified_report,
 )
-from repro.evaluation.harness import TrialResult, run_trial
+from repro.evaluation.harness import (
+    TrialResult,
+    compare_matchers,
+    run_trial,
+)
 from repro.evaluation.metrics import MatchingReport, evaluate
 from repro.evaluation.tables import format_table
 
@@ -16,4 +20,5 @@ __all__ = [
     "format_table",
     "TrialResult",
     "run_trial",
+    "compare_matchers",
 ]

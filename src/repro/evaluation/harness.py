@@ -1,20 +1,25 @@
 """Experiment harness: one trial = copies + seeds + matcher + evaluation.
 
 Experiments compose a :class:`~repro.sampling.pair.GraphPair`, a seed set
-and a matcher configuration, then call :func:`run_trial` to obtain a
+and a matcher, then call :func:`run_trial` to obtain a
 :class:`TrialResult` bundling the matching result, its quality report and
 the wall-clock cost — the unit every table/figure driver is built from.
+Matchers can be passed as instances or resolved by registry name, and
+:func:`compare_matchers` runs several registered matchers head-to-head on
+the same workload in one call.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Hashable
+from typing import Hashable, Sequence
 
 from repro.core.config import MatcherConfig
 from repro.core.matcher import UserMatching
+from repro.core.protocol import Matcher
 from repro.core.result import MatchingResult
 from repro.evaluation.metrics import MatchingReport, evaluate
+from repro.registry import get_matcher
 from repro.sampling.pair import GraphPair
 from repro.utils.timing import Timer
 
@@ -49,8 +54,9 @@ def run_trial(
     pair: GraphPair,
     seeds: dict[Node, Node],
     config: MatcherConfig | None = None,
-    matcher=None,
+    matcher: "Matcher | str | None" = None,
     params: dict[str, object] | None = None,
+    **matcher_config: object,
 ) -> TrialResult:
     """Run one matcher trial and evaluate it.
 
@@ -58,13 +64,16 @@ def run_trial(
         pair: the two copies plus ground truth.
         seeds: initial identification links.
         config: matcher configuration (ignored when *matcher* is given).
-        matcher: any object with ``run(g1, g2, seeds)`` — defaults to
-            :class:`UserMatching` with *config*; pass a baseline matcher
-            to reuse the same harness.
+        matcher: a :class:`~repro.core.protocol.Matcher` instance or a
+            registry name (``"common-neighbors"``, ...) — defaults to
+            :class:`UserMatching` with *config*.
         params: extra key/values recorded in the result row.
+        **matcher_config: configuration for a *named* matcher.
     """
     if matcher is None:
         matcher = UserMatching(config or MatcherConfig())
+    elif isinstance(matcher, str):
+        matcher = get_matcher(matcher, **matcher_config)
     with Timer() as timer:
         result = matcher.run(pair.g1, pair.g2, seeds)
     report = evaluate(result, pair)
@@ -74,3 +83,47 @@ def run_trial(
         elapsed=timer.elapsed,
         params=dict(params or {}),
     )
+
+
+def compare_matchers(
+    pair: GraphPair,
+    seeds: dict[Node, Node],
+    matchers: Sequence["Matcher | str"],
+    params: dict[str, object] | None = None,
+) -> list[TrialResult]:
+    """Run several matchers on the same workload, one trial each.
+
+    Each entry of *matchers* is a registry name or a ready matcher
+    instance; every trial's ``params["matcher"]`` records which one ran,
+    so ``[t.row() for t in trials]`` tabulates the comparison directly::
+
+        trials = compare_matchers(
+            pair, seeds, ["user-matching", "common-neighbors"])
+
+    Args:
+        pair: the two copies plus ground truth.
+        seeds: initial identification links (shared by every trial).
+        matchers: registry names and/or matcher instances.
+        params: extra key/values recorded in every result row.
+
+    Returns:
+        One :class:`TrialResult` per matcher, in input order.
+    """
+    trials: list[TrialResult] = []
+    for entry in matchers:
+        if isinstance(entry, str):
+            label = entry
+        else:
+            label = getattr(
+                entry, "matcher_name", type(entry).__name__
+            )
+        trials.append(
+            run_trial(
+                pair,
+                seeds,
+                matcher=entry,
+                # label last: it must win over any caller-supplied key.
+                params={**(params or {}), "matcher": label},
+            )
+        )
+    return trials

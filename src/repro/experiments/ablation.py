@@ -94,11 +94,15 @@ def run_simple_on_wikipedia(
     n_concepts: int = 6000,
     link_fraction: float = 0.10,
     iterations: int = 2,
+    matcher: str | None = None,
     seed=0,
 ) -> ExperimentResult:
     """Full algorithm vs simple baseline on the Wikipedia-like pair.
 
     Paper: simple algorithm error 27.87% vs 17.31%, recall < 13.52%.
+
+    When *matcher* names a registered matcher (``repro matchers``), it
+    replaces the common-neighbors baselines as User-Matching's opponent.
     """
     rng_data, rng_seeds = spawn_rngs(seed, 2)
     wiki = synthetic_wikipedia_pair(n_concepts=n_concepts, seed=rng_data)
@@ -123,25 +127,40 @@ def run_simple_on_wikipedia(
             None,
             MatcherConfig(threshold=3, iterations=iterations),
         ),
-        (
-            "common-neighbors (skip ties)",
-            CommonNeighborsMatcher(
-                threshold=1,
-                iterations=iterations,
-                tie_policy=TiePolicy.SKIP,
-            ),
-            None,
-        ),
-        (
-            "common-neighbors (forced ties)",
-            CommonNeighborsMatcher(
-                threshold=1,
-                iterations=iterations,
-                tie_policy=TiePolicy.LOWEST_ID,
-            ),
-            None,
-        ),
     ]
+    if matcher is not None:
+        from repro.experiments.common import resolve_opponent
+
+        matchers.append(
+            (
+                matcher,
+                resolve_opponent(matcher, iterations=iterations),
+                None,
+            )
+        )
+    else:
+        matchers.extend(
+            [
+                (
+                    "common-neighbors (skip ties)",
+                    CommonNeighborsMatcher(
+                        threshold=1,
+                        iterations=iterations,
+                        tie_policy=TiePolicy.SKIP,
+                    ),
+                    None,
+                ),
+                (
+                    "common-neighbors (forced ties)",
+                    CommonNeighborsMatcher(
+                        threshold=1,
+                        iterations=iterations,
+                        tie_policy=TiePolicy.LOWEST_ID,
+                    ),
+                    None,
+                ),
+            ]
+        )
     for name, matcher, config in matchers:
         trial = run_trial(pair, seeds, config=config, matcher=matcher)
         report = trial.report

@@ -69,9 +69,14 @@ def run(
     threshold: int = 2,
     iterations: int = 2,
     include_baseline: bool = True,
+    matcher: str | None = None,
     seed=0,
 ) -> ExperimentResult:
-    """Reproduce the sybil-attack experiment at reduced scale."""
+    """Reproduce the sybil-attack experiment at reduced scale.
+
+    When *matcher* names a registered matcher, it replaces the
+    common-neighbors baseline as User-Matching's opponent under attack.
+    """
     rng_graph, rng_attack, rng_seeds = spawn_rngs(seed, 3)
     graph = facebook_like(n, seed=rng_graph)
     pair = attacked_copies(
@@ -106,7 +111,13 @@ def run(
             ),
         ),
     ]
-    if include_baseline:
+    if matcher is not None:
+        from repro.experiments.common import resolve_opponent
+
+        matchers.append(
+            (matcher, resolve_opponent(matcher, iterations=iterations))
+        )
+    elif include_baseline:
         matchers.append(
             (
                 "common-neighbors",

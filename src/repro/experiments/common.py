@@ -1,10 +1,28 @@
-"""Shared result container for experiment drivers."""
+"""Shared result container + helpers for experiment drivers."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
 from repro.evaluation.tables import format_table
+
+
+def resolve_opponent(name: str, **preferred: object):
+    """Build a named matcher, forwarding the experiment's knobs if it can.
+
+    Drivers that support ``--matcher`` substitution call this so the
+    substituted opponent runs with the experiment's settings (e.g. the
+    same ``iterations`` as the matcher it replaces) whenever the
+    registered class accepts them; matchers with a different
+    configuration surface fall back to their registry defaults rather
+    than erroring out.
+    """
+    from repro.registry import get_matcher
+
+    try:
+        return get_matcher(name, **preferred)
+    except TypeError:
+        return get_matcher(name)
 
 
 @dataclass

@@ -26,13 +26,21 @@ from typing import Hashable, Iterator
 
 from repro.core.config import MatcherConfig, TiePolicy
 from repro.core.matcher import UserMatching
+from repro.core.ordering import node_sort_key
+from repro.core.protocol import ProgressCallback, ProgressReporter
 from repro.core.result import MatchingResult, PhaseRecord
+from repro.errors import MatcherConfigError
 from repro.graphs.graph import Graph
 from repro.mapreduce.engine import LocalMapReduce, MapReduceJob, sum_combiner
+from repro.registry import register_matcher
 
 Node = Hashable
 
 
+@register_matcher(
+    "mapreduce-user-matching",
+    description="User-Matching as 4 MapReduce rounds per bucket (§3.2)",
+)
 class MapReduceUserMatching:
     """User-Matching on top of :class:`LocalMapReduce`.
 
@@ -51,6 +59,20 @@ class MapReduceUserMatching:
         self.engine = engine or LocalMapReduce()
         # Reuse the sequential matcher for seed validation + bucket plan.
         self._reference = UserMatching(self.config)
+
+    @classmethod
+    def from_params(
+        cls,
+        config: MatcherConfig | None = None,
+        engine: LocalMapReduce | None = None,
+        **params: object,
+    ) -> "MapReduceUserMatching":
+        """Registry hook: build from raw :class:`MatcherConfig` kwargs."""
+        if config is not None and params:
+            raise MatcherConfigError(
+                "pass either config= or raw MatcherConfig kwargs, not both"
+            )
+        return cls(config or MatcherConfig(**params), engine=engine)
 
     # ------------------------------------------------------------------
     def _match_round(
@@ -113,7 +135,7 @@ class MapReduceUserMatching:
             if len(winners) == 1:
                 yield ((v1, winners[0]), top)
             elif cfg.tie_policy is TiePolicy.LOWEST_ID:
-                yield ((v1, min(winners, key=repr)), top)
+                yield ((v1, min(winners, key=node_sort_key)), top)
 
         r3 = self.engine.run(
             MapReduceJob("left-best", map_by_left, reduce_left_best),
@@ -138,7 +160,9 @@ class MapReduceUserMatching:
             if len(winners) == 1:
                 v1, flagged = winners[0]
             elif cfg.tie_policy is TiePolicy.LOWEST_ID:
-                v1, flagged = min(winners, key=lambda w: repr(w[0]))
+                v1, flagged = min(
+                    winners, key=lambda w: node_sort_key(w[0])
+                )
             else:
                 return
             if flagged:
@@ -152,10 +176,16 @@ class MapReduceUserMatching:
 
     # ------------------------------------------------------------------
     def run(
-        self, g1: Graph, g2: Graph, seeds: dict[Node, Node]
+        self,
+        g1: Graph,
+        g2: Graph,
+        seeds: dict[Node, Node],
+        *,
+        progress: ProgressCallback | None = None,
     ) -> MatchingResult:
         """Run the MR formulation; link-identical to the sequential one."""
         UserMatching._validate_seeds(g1, g2, seeds)
+        reporter = ProgressReporter("mapreduce-user-matching", progress)
         cfg = self.config
         links: dict[Node, Node] = dict(seeds)
         phases: list[PhaseRecord] = []
@@ -179,6 +209,11 @@ class MapReduceUserMatching:
                         witnesses_emitted=witnesses,
                         links_added=len(new_links),
                     )
+                )
+                reporter.emit(
+                    "bucket",
+                    links_total=len(links),
+                    links_added=len(new_links),
                 )
             if added_this_iteration == 0:
                 break

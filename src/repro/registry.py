@@ -1,0 +1,129 @@
+"""String-keyed registry of every matcher implementation.
+
+Experiments, the evaluation harness, and the CLI resolve matchers by name
+instead of importing each class::
+
+    from repro.registry import get_matcher
+
+    matcher = get_matcher("user-matching", threshold=3, iterations=2)
+    result = matcher.run(g1, g2, seeds)
+
+Implementations self-register at import time with the class decorator::
+
+    @register_matcher("my-matcher")
+    class MyMatcher:
+        def run(self, g1, g2, seeds, *, progress=None): ...
+
+``get_matcher(name, **config)`` instantiates the registered class with
+*config*.  A class that prefers structured configuration (e.g. a
+:class:`~repro.core.config.MatcherConfig`) can expose a ``from_params``
+classmethod; the registry uses it instead of the constructor, so raw
+kwargs like ``threshold=3`` keep working for every entry.
+
+Importing :mod:`repro` (or any submodule) populates the registry, because
+the package ``__init__`` imports every matcher module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+from repro.errors import MatcherRegistryError
+
+C = TypeVar("C", bound=type)
+
+
+@dataclass(frozen=True)
+class MatcherEntry:
+    """One registry row: the class plus its human-readable description."""
+
+    name: str
+    cls: type
+    description: str
+
+    def build(self, **config: object):
+        """Instantiate the matcher, honoring a ``from_params`` hook."""
+        factory = getattr(self.cls, "from_params", None)
+        if factory is not None:
+            return factory(**config)
+        return self.cls(**config)
+
+
+_REGISTRY: dict[str, MatcherEntry] = {}
+
+
+def register_matcher(
+    name: str, *, description: str | None = None
+) -> Callable[[C], C]:
+    """Class decorator adding a matcher to the registry under *name*.
+
+    Args:
+        name: registry key, e.g. ``"user-matching"``.  Must be unique.
+        description: one-line summary shown by ``repro matchers``;
+            defaults to the first line of the class docstring.
+
+    Raises:
+        MatcherRegistryError: if *name* is already registered.
+    """
+
+    def decorator(cls: C) -> C:
+        if name in _REGISTRY:
+            raise MatcherRegistryError(
+                f"matcher {name!r} is already registered "
+                f"(by {_REGISTRY[name].cls.__qualname__})"
+            )
+        desc = description
+        if desc is None:
+            doc = (cls.__doc__ or "").strip()
+            desc = doc.splitlines()[0] if doc else cls.__name__
+        _REGISTRY[name] = MatcherEntry(
+            name=name, cls=cls, description=desc
+        )
+        cls.matcher_name = name
+        return cls
+
+    return decorator
+
+
+def get_matcher(name: str, **config: object):
+    """Instantiate the matcher registered under *name*.
+
+    Args:
+        name: a key from :func:`matcher_names`.
+        **config: forwarded to the class (via ``from_params`` when the
+            class defines it, e.g. ``threshold=3`` for User-Matching).
+
+    Raises:
+        MatcherRegistryError: if *name* is not registered.
+    """
+    try:
+        entry = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "(none)"
+        raise MatcherRegistryError(
+            f"unknown matcher {name!r}; registered: {known}"
+        ) from None
+    return entry.build(**config)
+
+
+def matcher_names() -> list[str]:
+    """Sorted registry keys."""
+    return sorted(_REGISTRY)
+
+
+def available_matchers() -> dict[str, str]:
+    """Mapping of registry key -> one-line description (sorted by key)."""
+    return {
+        name: _REGISTRY[name].description for name in sorted(_REGISTRY)
+    }
+
+
+def get_entry(name: str) -> MatcherEntry:
+    """The full :class:`MatcherEntry` for *name* (raises like get_matcher)."""
+    if name not in _REGISTRY:
+        known = ", ".join(sorted(_REGISTRY)) or "(none)"
+        raise MatcherRegistryError(
+            f"unknown matcher {name!r}; registered: {known}"
+        )
+    return _REGISTRY[name]

@@ -1,0 +1,118 @@
+"""Unit tests for the greedy and Gale–Shapley selection policies."""
+
+import pytest
+
+from repro.core.config import TiePolicy
+from repro.core.selectors import (
+    SELECTORS,
+    get_selector,
+    select_gale_shapley,
+    select_greedy_top_score,
+)
+from repro.errors import MatcherRegistryError
+
+
+class TestGreedyTopScore:
+    def test_highest_score_wins_contention(self):
+        scores = {1: {10: 5}, 2: {10: 3, 11: 2}}
+        out = select_greedy_top_score(scores, threshold=2)
+        assert out == {1: 10, 2: 11}
+
+    def test_threshold_filters(self):
+        scores = {1: {10: 1}}
+        assert select_greedy_top_score(scores, threshold=2) == {}
+
+    def test_never_reuses_endpoints(self):
+        scores = {1: {10: 5, 11: 4}, 2: {10: 4, 11: 5}}
+        out = select_greedy_top_score(scores, threshold=1)
+        assert out == {1: 10, 2: 11}
+        assert len(set(out.values())) == len(out)
+
+    def test_matches_where_mutual_best_abstains(self):
+        # 1 and 2 tie on 10: mutual-best (SKIP) refuses both, greedy
+        # still links the canonically-first one.
+        scores = {1: {10: 3}, 2: {10: 3}}
+        out = select_greedy_top_score(scores, threshold=2)
+        assert out == {1: 10}
+
+    def test_deterministic_under_ties(self):
+        scores = {2: {11: 3, 10: 3}, 1: {10: 3, 11: 3}}
+        a = select_greedy_top_score(scores, threshold=1)
+        b = select_greedy_top_score(dict(reversed(scores.items())), 1)
+        assert a == b == {1: 10, 2: 11}
+
+    def test_empty(self):
+        assert select_greedy_top_score({}, threshold=1) == {}
+
+
+class TestGaleShapley:
+    def test_simple_assignment(self):
+        scores = {1: {10: 5, 11: 2}, 2: {11: 4}}
+        out = select_gale_shapley(scores, threshold=2)
+        assert out == {1: 10, 2: 11}
+
+    def test_right_side_trades_up(self):
+        # Both want 10; 1 scores higher, so 2 falls back to 11.
+        scores = {1: {10: 5, 11: 1}, 2: {10: 3, 11: 2}}
+        out = select_gale_shapley(scores, threshold=1)
+        assert out == {1: 10, 2: 11}
+
+    def test_no_blocking_pair(self):
+        scores = {
+            1: {10: 5, 11: 4, 12: 1},
+            2: {10: 4, 11: 5, 12: 2},
+            3: {10: 3, 11: 3, 12: 6},
+        }
+        out = select_gale_shapley(scores, threshold=1)
+        assert len(set(out.values())) == len(out)
+        # Stability: no (v1, v2) where both strictly prefer each other
+        # over their assigned partners.
+        matched_right = {v2: v1 for v1, v2 in out.items()}
+        for v1, row in scores.items():
+            own = row.get(out.get(v1), 0)
+            for v2, sc in row.items():
+                if sc <= own:
+                    continue
+                holder = matched_right.get(v2)
+                held = scores[holder][v2] if holder else 0
+                assert held >= sc, f"blocking pair ({v1}, {v2})"
+
+    def test_threshold_filters(self):
+        scores = {1: {10: 1}}
+        assert select_gale_shapley(scores, threshold=2) == {}
+
+    def test_displaced_proposer_continues(self):
+        # 2 takes 10 from 1; 1 must then win 11.
+        scores = {1: {10: 3, 11: 2}, 2: {10: 5}}
+        out = select_gale_shapley(scores, threshold=1)
+        assert out == {2: 10, 1: 11}
+
+    def test_empty(self):
+        assert select_gale_shapley({}, threshold=1) == {}
+
+    def test_deterministic_under_ties(self):
+        scores = {1: {10: 3}, 2: {10: 3}}
+        out = select_gale_shapley(scores, threshold=1)
+        assert out == {1: 10}
+
+
+class TestSelectorLookup:
+    def test_three_policies_registered(self):
+        assert set(SELECTORS) == {
+            "mutual-best",
+            "greedy",
+            "gale-shapley",
+        }
+
+    def test_get_selector_resolves(self):
+        assert get_selector("greedy") is select_greedy_top_score
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(MatcherRegistryError, match="mutual-best"):
+            get_selector("optimal")
+
+    def test_uniform_signature(self):
+        scores = {1: {10: 5}}
+        for name, selector in SELECTORS.items():
+            out = selector(scores, 2, TiePolicy.SKIP)
+            assert out == {1: 10}, name

@@ -60,3 +60,92 @@ class TestParser:
         assert main(["run", "table2", "--seed", "3"]) == 0
         out = capsys.readouterr().out
         assert "relative_time" in out
+
+
+class TestMatchersCommand:
+    def test_matchers_lists_the_registry(self, capsys):
+        assert main(["matchers"]) == 0
+        out = capsys.readouterr().out
+        for name in (
+            "user-matching",
+            "mapreduce-user-matching",
+            "common-neighbors",
+            "narayanan-shmatikov",
+            "degree-sequence",
+            "structural-features",
+            "reconciler",
+        ):
+            assert name in out
+
+    def test_matchers_shows_descriptions(self, capsys):
+        from repro.registry import available_matchers
+
+        main(["matchers"])
+        out = capsys.readouterr().out
+        assert available_matchers()["user-matching"] in out
+
+
+class TestMatcherFlag:
+    def _tiny_wikipedia(self, monkeypatch):
+        from repro.experiments import ablation
+
+        def tiny(seed=0, matcher=None):
+            return ablation.run_simple_on_wikipedia(
+                n_concepts=600,
+                link_fraction=0.2,
+                matcher=matcher,
+                seed=seed,
+            )
+
+        monkeypatch.setitem(
+            EXPERIMENTS, "ablation-wikipedia", (tiny, "tiny")
+        )
+
+    def test_matcher_resolution_produces_table(
+        self, capsys, monkeypatch
+    ):
+        self._tiny_wikipedia(monkeypatch)
+        assert (
+            main(
+                [
+                    "run",
+                    "ablation-wikipedia",
+                    "--matcher",
+                    "common-neighbors",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "user-matching" in out
+        assert "common-neighbors" in out
+        assert "recall" in out
+
+    def test_unknown_matcher_rejected(self, capsys, monkeypatch):
+        self._tiny_wikipedia(monkeypatch)
+        assert (
+            main(["run", "ablation-wikipedia", "--matcher", "bogus"])
+            == 2
+        )
+        err = capsys.readouterr().err
+        assert "unknown matcher" in err
+
+    def test_matcher_on_unsupported_experiment(
+        self, capsys, monkeypatch
+    ):
+        from repro.experiments import table2_rmat
+
+        monkeypatch.setitem(
+            EXPERIMENTS,
+            "table2",
+            (
+                lambda seed=0: table2_rmat.run(scales=(6,), seed=seed),
+                "tiny",
+            ),
+        )
+        assert (
+            main(["run", "table2", "--matcher", "common-neighbors"])
+            == 2
+        )
+        err = capsys.readouterr().err
+        assert "not supported" in err
