@@ -2,20 +2,33 @@
 
 These are the components whose cost the paper's complexity analysis talks
 about: witness counting (the join), mutual-best selection, the MapReduce
-engine, and the graph generators that feed every experiment.
+engine, and the graph generators that feed every experiment.  Every
+dict-backend kernel is benchmarked next to its ``backend="csr"`` array
+twin on the same 3000-node preferential-attachment workload, so the JSON
+emitted by ``--benchmark-json`` (committed as ``BENCH_kernels.json``)
+records the dict-vs-csr trajectory over time; the acceptance floor is a
+3x witness-counting speedup, and both the sparse-matmul and pure-numpy
+joins clear it.
 """
 
+import numpy as np
 import pytest
 
+from repro.core import kernels
 from repro.core.config import MatcherConfig
 from repro.core.matcher import UserMatching
 from repro.core.policy import select_mutual_best
-from repro.core.scoring import count_similarity_witnesses
+from repro.core.scoring import (
+    count_similarity_witnesses,
+    count_similarity_witnesses_arrays,
+)
 from repro.generators.erdos_renyi import gnp_graph
 from repro.generators.preferential_attachment import (
     preferential_attachment_graph,
 )
 from repro.generators.rmat import rmat_graph
+from repro.graphs.csr import CSRGraph
+from repro.graphs.pair_index import GraphPairIndex
 from repro.mapreduce.engine import LocalMapReduce, MapReduceJob, sum_combiner
 from repro.sampling.edge_sampling import independent_copies
 from repro.seeds.generators import sample_seeds
@@ -29,11 +42,47 @@ def workload():
     return pair, seeds
 
 
+@pytest.fixture(scope="module")
+def pair_index(workload):
+    """Interned view of the workload (built once, as in a real run)."""
+    pair, seeds = workload
+    index = GraphPairIndex(pair.g1, pair.g2)
+    link_l, link_r = index.intern_links(seeds)
+    linked1 = np.zeros(index.n1, dtype=bool)
+    linked2 = np.zeros(index.n2, dtype=bool)
+    linked1[link_l] = True
+    linked2[link_r] = True
+    floor1, floor2 = index.eligibility(2)
+    return index, link_l, link_r, ~linked1 & floor1, ~linked2 & floor2
+
+
 def test_bench_witness_counting(benchmark, workload):
     pair, seeds = workload
     scores, emitted = benchmark(
         count_similarity_witnesses, pair.g1, pair.g2, seeds, 2
     )
+    assert emitted > 0
+
+
+def test_bench_witness_counting_csr(benchmark, pair_index):
+    """The csr join, auto path (sparse matmul when scipy is present)."""
+    index, link_l, link_r, elig1, elig2 = pair_index
+    scores, emitted = benchmark(
+        kernels.count_witnesses, index, link_l, link_r, elig1, elig2
+    )
+    assert emitted > 0
+
+
+def test_bench_witness_counting_csr_numpy(benchmark, pair_index):
+    """The csr join, pure-numpy fallback (no scipy)."""
+    index, link_l, link_r, elig1, elig2 = pair_index
+
+    def run():
+        return kernels.count_witnesses(
+            index, link_l, link_r, elig1, elig2, use_sparse=False
+        )
+
+    scores, emitted = benchmark(run)
     assert emitted > 0
 
 
@@ -46,11 +95,47 @@ def test_bench_mutual_best_selection(benchmark, workload):
     assert links
 
 
+def test_bench_mutual_best_selection_csr(benchmark, workload):
+    pair, seeds = workload
+    index = GraphPairIndex(pair.g1, pair.g2)
+    scores, _ = count_similarity_witnesses_arrays(
+        index, seeds, min_degree=2
+    )
+    left, right, _cands = benchmark(
+        kernels.select_mutual_best_arrays, scores, 2
+    )
+    assert len(left)
+
+
 def test_bench_full_matcher(benchmark, workload):
     pair, seeds = workload
     matcher = UserMatching(MatcherConfig(threshold=2, iterations=1))
     result = benchmark(matcher.run, pair.g1, pair.g2, seeds)
     assert result.num_new_links > 0
+
+
+def test_bench_full_matcher_csr(benchmark, workload):
+    """End-to-end csr backend, interning included (the honest number)."""
+    pair, seeds = workload
+    matcher = UserMatching(
+        MatcherConfig(threshold=2, iterations=1, backend="csr")
+    )
+    result = benchmark(matcher.run, pair.g1, pair.g2, seeds)
+    assert result.num_new_links > 0
+
+
+def test_bench_csr_construction(benchmark, workload):
+    """CSRGraph build (one np.lexsort, no per-node Python sorts)."""
+    pair, _seeds = workload
+    csr = benchmark(CSRGraph, pair.g1)
+    assert csr.num_nodes == pair.g1.num_nodes
+
+
+def test_bench_pair_index_build(benchmark, workload):
+    """Full interning cost — what backend="csr" pays once per run."""
+    pair, _seeds = workload
+    index = benchmark(GraphPairIndex, pair.g1, pair.g2)
+    assert index.n1 == pair.g1.num_nodes
 
 
 def test_bench_generator_pa(benchmark):

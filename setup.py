@@ -1,10 +1,42 @@
-"""Legacy setup shim.
+"""Package configuration.
 
-The project is configured in pyproject.toml; this file exists only so that
+Kept as a plain ``setup.py`` (not pyproject.toml) so that
 ``pip install -e .`` works in offline environments lacking the ``wheel``
 package (pip falls back to ``setup.py develop``).
+
+numpy is the only hard runtime dependency — the array substrate of
+``graphs/csr.py`` and ``core/kernels.py``.  scipy is an optional
+accelerator for the sparse-matmul witness join (``[accel]`` extra); the
+package falls back to a pure-numpy kernel without it.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    version="1.2.0",
+    description=(
+        "Reproduction of Korula & Lattanzi, 'An efficient "
+        "reconciliation algorithm for social networks' (PVLDB 2014)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    # Matches the CI test matrix (3.11/3.12) — don't advertise untested
+    # floors.
+    python_requires=">=3.11",
+    install_requires=[
+        "numpy>=1.22",
+    ],
+    extras_require={
+        "accel": ["scipy>=1.8"],
+        "test": [
+            "pytest",
+            "pytest-benchmark",
+            "hypothesis",
+            "networkx",
+        ],
+    },
+    entry_points={
+        "console_scripts": ["repro = repro.cli:main"],
+    },
+)

@@ -38,6 +38,14 @@ still the quickest way to the paper's algorithm::
 
 ``reconcile`` also accepts a registry name or any constructed matcher:
 ``reconcile(g1, g2, seeds, "common-neighbors")``.
+
+Every matcher also takes a ``backend`` — ``"dict"`` (reference, Python
+dicts over original node ids) or ``"csr"`` (dense interning + numpy
+kernels, link-identical output, several times faster on the hot join)::
+
+    result = reconcile(pair.g1, pair.g2, seeds, threshold=2, backend="csr")
+
+See DESIGN.md §"Backends" for when interning pays off.
 """
 
 from repro.baselines import (
@@ -47,6 +55,8 @@ from repro.baselines import (
     StructuralFeatureMatcher,
 )
 from repro.core import (
+    BACKENDS,
+    ArrayScores,
     Matcher,
     MatcherConfig,
     MatchingResult,
@@ -81,7 +91,13 @@ from repro.generators import (
     rmat_graph,
     watts_strogatz_graph,
 )
-from repro.graphs import BipartiteGraph, CSRGraph, Graph, TemporalGraph
+from repro.graphs import (
+    BipartiteGraph,
+    CSRGraph,
+    Graph,
+    GraphPairIndex,
+    TemporalGraph,
+)
 from repro.mapreduce import LocalMapReduce, MapReduceUserMatching
 from repro.registry import (
     available_matchers,
@@ -107,7 +123,7 @@ from repro.seeds import (
     top_degree_seeds,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     # graphs
@@ -115,6 +131,7 @@ __all__ = [
     "TemporalGraph",
     "BipartiteGraph",
     "CSRGraph",
+    "GraphPairIndex",
     # generators
     "gnp_graph",
     "gnm_graph",
@@ -150,6 +167,8 @@ __all__ = [
     # core algorithm
     "MatcherConfig",
     "TiePolicy",
+    "BACKENDS",
+    "ArrayScores",
     "UserMatching",
     "MatchingResult",
     "PhaseRecord",

@@ -39,6 +39,7 @@ class CommonNeighborsMatcher:
         threshold: int = 1,
         iterations: int = 1,
         tie_policy: TiePolicy = TiePolicy.SKIP,
+        backend: str = "dict",
     ) -> None:
         self.config = MatcherConfig(
             threshold=threshold,
@@ -46,6 +47,7 @@ class CommonNeighborsMatcher:
             use_degree_buckets=False,
             min_bucket_exponent=0,
             tie_policy=tie_policy,
+            backend=backend,
         )
         self._matcher = UserMatching(self.config)
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Hashable
 
+from repro.core.config import validate_backend
 from repro.core.ordering import node_sort_key
 from repro.core.protocol import ProgressCallback, ProgressReporter
 from repro.core.result import MatchingResult
@@ -24,10 +25,21 @@ Node = Hashable
     description="naive degree-rank pairing (sanity-floor baseline)",
 )
 class DegreeSequenceMatcher:
-    """Match nodes purely by degree rank."""
+    """Match nodes purely by degree rank.
 
-    def __init__(self, max_matches: int | None = None) -> None:
+    With ``backend="csr"`` the two degree rankings are computed as one
+    ``np.lexsort`` each over canonical-order degree arrays (position in
+    canonical order is the tie key, so ties break identically to the
+    dict path).
+    """
+
+    def __init__(
+        self,
+        max_matches: int | None = None,
+        backend: str = "dict",
+    ) -> None:
         self.max_matches = max_matches
+        self.backend = validate_backend(backend)
 
     def run(
         self,
@@ -39,15 +51,18 @@ class DegreeSequenceMatcher:
     ) -> MatchingResult:
         """Pair unmatched nodes by descending degree (stable by id order)."""
         reporter = ProgressReporter("degree-sequence", progress)
-        linked_right = set(seeds.values())
-        left = sorted(
-            (n for n in g1.nodes() if n not in seeds),
-            key=lambda n: (-g1.degree(n), node_sort_key(n)),
-        )
-        right = sorted(
-            (n for n in g2.nodes() if n not in linked_right),
-            key=lambda n: (-g2.degree(n), node_sort_key(n)),
-        )
+        if self.backend == "csr":
+            left, right = self._ranked_csr(g1, g2, seeds)
+        else:
+            linked_right = set(seeds.values())
+            left = sorted(
+                (n for n in g1.nodes() if n not in seeds),
+                key=lambda n: (-g1.degree(n), node_sort_key(n)),
+            )
+            right = sorted(
+                (n for n in g2.nodes() if n not in linked_right),
+                key=lambda n: (-g2.degree(n), node_sort_key(n)),
+            )
         links = dict(seeds)
         pairs = zip(left, right)
         if self.max_matches is not None:
@@ -60,3 +75,38 @@ class DegreeSequenceMatcher:
             links_added=len(links) - len(seeds),
         )
         return MatchingResult(links=links, seeds=dict(seeds), phases=[])
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _ranked_csr(
+        g1: Graph, g2: Graph, seeds: dict[Node, Node]
+    ) -> tuple[list[Node], list[Node]]:
+        """Both degree rankings as one vectorized lexsort per side.
+
+        Only per-node degrees are needed, so the arrays are built
+        directly over the canonical node order — no CSR adjacency
+        construction, which would be dead weight here.
+        """
+        import numpy as np
+
+        from repro.core.ordering import node_sort_key
+
+        def rank(graph: Graph, taken: set) -> list[Node]:
+            free = [
+                n
+                for n in sorted(graph.nodes(), key=node_sort_key)
+                if n not in taken
+            ]
+            deg = np.fromiter(
+                (graph.degree(n) for n in free),
+                dtype=np.int64,
+                count=len(free),
+            )
+            positions = np.arange(len(free), dtype=np.int64)
+            order = np.lexsort((positions, -deg))
+            return [free[i] for i in order.tolist()]
+
+        return (
+            rank(g1, set(seeds)),
+            rank(g2, set(seeds.values())),
+        )

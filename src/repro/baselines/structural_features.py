@@ -14,13 +14,22 @@ then mean/max neighbor aggregates per recursion level), z-normalizes per
 graph, and matches mutually-nearest feature vectors within a distance
 threshold.  Seeds are used only to calibrate the distance threshold (the
 method itself needs no seeds — its selling point and its weakness).
+
+Float reductions use :func:`math.fsum` (correctly rounded, so the result
+is independent of iteration order) and every scan runs in the canonical
+node order — which makes the matcher deterministic under graph
+construction order and lets ``backend="csr"`` compute the identical
+feature table from dense CSR arrays.
 """
 
 from __future__ import annotations
 
+import bisect
 import math
 from typing import Hashable
 
+from repro.core.config import validate_backend
+from repro.core.ordering import node_sort_key
 from repro.core.protocol import ProgressCallback, ProgressReporter
 from repro.core.result import MatchingResult
 from repro.errors import MatcherConfigError
@@ -54,7 +63,7 @@ def recursive_features(
             nbrs = graph.neighbors(node)
             if nbrs:
                 values = [current[v] for v in nbrs]
-                mean = sum(values) / len(values)
+                mean = math.fsum(values) / len(values)
                 top = max(values)
             else:
                 mean = top = 0.0
@@ -73,16 +82,17 @@ def _normalize(
         return {}
     dims = len(next(iter(features.values())))
     n = len(features)
-    means = [0.0] * dims
-    for vec in features.values():
-        for i, x in enumerate(vec):
-            means[i] += x
-    means = [m / n for m in means]
-    variances = [0.0] * dims
-    for vec in features.values():
-        for i, x in enumerate(vec):
-            variances[i] += (x - means[i]) ** 2
-    stds = [math.sqrt(v / n) or 1.0 for v in variances]
+    vectors = list(features.values())
+    means = [
+        math.fsum(vec[i] for vec in vectors) / n for i in range(dims)
+    ]
+    stds = [
+        math.sqrt(
+            math.fsum((vec[i] - means[i]) ** 2 for vec in vectors) / n
+        )
+        or 1.0
+        for i in range(dims)
+    ]
     return {
         node: [(x - means[i]) / stds[i] for i, x in enumerate(vec)]
         for node, vec in features.items()
@@ -110,6 +120,10 @@ class StructuralFeatureMatcher:
             taken among the ``max_candidates`` right nodes closest in
             degree (a blocking step that keeps the quadratic scan
             tractable, standard in feature-matching systems).
+        backend: ``"dict"`` (default) or ``"csr"`` — the csr backend
+            computes the identical feature table from dense CSR arrays
+            (reductions are correctly rounded, so the table is bit-equal
+            and the links match exactly).
     """
 
     def __init__(
@@ -117,6 +131,7 @@ class StructuralFeatureMatcher:
         levels: int = 2,
         quantile: float = 0.5,
         max_candidates: int = 50,
+        backend: str = "dict",
     ) -> None:
         if not 0.0 < quantile <= 1.0:
             raise MatcherConfigError(
@@ -129,6 +144,7 @@ class StructuralFeatureMatcher:
         self.levels = levels
         self.quantile = quantile
         self.max_candidates = max_candidates
+        self.backend = validate_backend(backend)
 
     def run(
         self,
@@ -140,8 +156,11 @@ class StructuralFeatureMatcher:
     ) -> MatchingResult:
         """Match by feature proximity; returns seeds + feature matches."""
         reporter = ProgressReporter("structural-features", progress)
-        f1 = _normalize(recursive_features(g1, self.levels))
-        f2 = _normalize(recursive_features(g2, self.levels))
+        if self.backend == "csr":
+            f1, f2 = self._normalized_features_csr(g1, g2)
+        else:
+            f1 = _normalize(recursive_features(g1, self.levels))
+            f2 = _normalize(recursive_features(g2, self.levels))
         # Calibrate the acceptance radius on the seed pairs.
         seed_distances = sorted(
             _distance(f1[v1], f2[v2])
@@ -156,18 +175,19 @@ class StructuralFeatureMatcher:
             radius = seed_distances[idx]
         else:
             radius = 0.0  # nothing to calibrate on: match nothing
-        # Blocking by degree rank keeps the scan near-linear.
+        # Blocking by degree rank keeps the scan near-linear; ties in
+        # degree follow the canonical order so the scan is independent
+        # of graph construction order (and of the backend).
         right = sorted(
             (n for n in g2.nodes() if n not in set(seeds.values())),
-            key=lambda n: -g2.degree(n),
+            key=lambda n: (-g2.degree(n), node_sort_key(n)),
         )
         right_degrees = [g2.degree(n) for n in right]
         links: dict[Node, Node] = dict(seeds)
         taken = set(seeds.values())
         best_left: dict[Node, tuple[float, Node]] = {}
-        import bisect
 
-        for v1 in g1.nodes():
+        for v1 in sorted(g1.nodes(), key=node_sort_key):
             if v1 in links:
                 continue
             deg = g1.degree(v1)
@@ -197,3 +217,63 @@ class StructuralFeatureMatcher:
             links_added=len(links) - len(seeds),
         )
         return MatchingResult(links=links, seeds=dict(seeds), phases=[])
+
+    # ------------------------------------------------------------------
+    def _normalized_features_csr(
+        self, g1: Graph, g2: Graph
+    ) -> tuple[dict[Node, list[float]], dict[Node, list[float]]]:
+        """Both normalized feature tables from dense CSR arrays.
+
+        Level 0 is the (exact) degree column; each recursion level
+        gathers the previous column over the CSR neighbor slices and
+        reduces with correctly-rounded sums, so the resulting table is
+        bit-equal to the dict backend's.
+        """
+        import numpy as np
+
+        from repro.graphs.pair_index import GraphPairIndex
+
+        index = GraphPairIndex(g1, g2)
+
+        def features(csr, degrees) -> dict[Node, list[float]]:
+            n = csr.num_nodes
+            if n == 0:
+                return {}
+            columns = [degrees.astype(np.float64)]
+            current = columns[0]
+            indptr, indices = csr.indptr, csr.indices
+            for _level in range(self.levels):
+                means = np.zeros(n, dtype=np.float64)
+                tops = np.zeros(n, dtype=np.float64)
+                for i in range(n):
+                    sl = current[indices[indptr[i] : indptr[i + 1]]]
+                    if len(sl):
+                        means[i] = math.fsum(sl.tolist()) / len(sl)
+                        tops[i] = sl.max()
+                columns.append(means)
+                columns.append(tops)
+                current = means
+            mu = [math.fsum(col.tolist()) / n for col in columns]
+            sd = [
+                math.sqrt(
+                    math.fsum(((col - m) ** 2).tolist()) / n
+                )
+                or 1.0
+                for col, m in zip(columns, mu)
+            ]
+            normalized = np.stack(
+                [
+                    (col - m) / s
+                    for col, m, s in zip(columns, mu, sd)
+                ],
+                axis=1,
+            )
+            ids = csr.node_ids
+            return {
+                ids[i]: row for i, row in enumerate(normalized.tolist())
+            }
+
+        return (
+            features(index.csr1, index.deg1),
+            features(index.csr2, index.deg2),
+        )

@@ -5,6 +5,7 @@ Examples::
     repro list
     repro matchers
     repro run fig2 --seed 7
+    repro run table2 --backend csr
     repro run table3-facebook
     repro run ablation-wikipedia --matcher common-neighbors
     repro run all
@@ -165,7 +166,11 @@ def _cmd_datasets() -> int:
 
 
 def _cmd_run(
-    name: str, seed: int, chart: bool, matcher: str | None = None
+    name: str,
+    seed: int,
+    chart: bool,
+    matcher: str | None = None,
+    backend: str | None = None,
 ) -> int:
     if name == "all":
         names = list(EXPERIMENTS)
@@ -187,15 +192,18 @@ def _cmd_run(
                 file=sys.stderr,
             )
             return 2
+    for option, value in (("matcher", matcher), ("backend", backend)):
+        if value is None:
+            continue
         unsupported = [
             exp_name
             for exp_name in names
-            if "matcher"
+            if option
             not in inspect.signature(EXPERIMENTS[exp_name][0]).parameters
         ]
         if unsupported:
             print(
-                "--matcher is not supported by: "
+                f"--{option} is not supported by: "
                 + ", ".join(unsupported),
                 file=sys.stderr,
             )
@@ -205,6 +213,8 @@ def _cmd_run(
         kwargs: dict[str, object] = {"seed": seed}
         if matcher is not None:
             kwargs["matcher"] = matcher
+        if backend is not None:
+            kwargs["backend"] = backend
         result = fn(**kwargs)
         print(result.to_table())
         if chart and result.rows:
@@ -272,6 +282,15 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     run_p.add_argument(
+        "--backend",
+        default=None,
+        choices=["dict", "csr"],
+        help=(
+            "matcher execution backend (dense interning + numpy kernels "
+            "with 'csr'); only for experiments that support it"
+        ),
+    )
+    run_p.add_argument(
         "--chart",
         action="store_true",
         help="also render an ASCII chart of the result",
@@ -290,7 +309,11 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_datasets()
     if args.command == "run":
         return _cmd_run(
-            args.experiment, args.seed, args.chart, args.matcher
+            args.experiment,
+            args.seed,
+            args.chart,
+            args.matcher,
+            args.backend,
         )
     return 2  # unreachable: argparse enforces the sub-command set
 

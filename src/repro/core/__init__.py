@@ -13,10 +13,18 @@ Public surface:
   Gale–Shapley).
 - :class:`~repro.core.result.MatchingResult` — links plus per-phase history.
 - :func:`~repro.core.pipeline.reconcile` — one-call convenience wrapper.
+- :mod:`~repro.core.kernels` — numpy array kernels behind
+  ``backend="csr"`` (CSR-join witness counting, vectorized selection).
 """
 
-from repro.core.config import MatcherConfig, TiePolicy
+from repro.core.config import BACKENDS, MatcherConfig, TiePolicy
 from repro.core.diagnostics import explain_pair, margin, rank_candidates
+from repro.core.kernels import (
+    ArrayScores,
+    count_witnesses,
+    select_greedy_arrays,
+    select_mutual_best_arrays,
+)
 from repro.core.links_io import read_links, write_links
 from repro.core.matcher import UserMatching
 from repro.core.ordering import node_sort_key
@@ -45,6 +53,11 @@ __all__ = [
     "ProgressEvent",
     "MatcherConfig",
     "TiePolicy",
+    "BACKENDS",
+    "ArrayScores",
+    "count_witnesses",
+    "select_mutual_best_arrays",
+    "select_greedy_arrays",
     "UserMatching",
     "Reconciler",
     "MatchingResult",

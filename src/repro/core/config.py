@@ -28,6 +28,22 @@ class TiePolicy(enum.Enum):
     LOWEST_ID = "lowest_id"
 
 
+#: Execution backends every matcher accepts: ``"dict"`` runs over Python
+#: dict/set structures keyed by original node ids; ``"csr"`` interns both
+#: graphs to dense ids once and runs the numpy kernels in
+#: :mod:`repro.core.kernels`.  Output is link-identical either way.
+BACKENDS: tuple[str, ...] = ("dict", "csr")
+
+
+def validate_backend(backend: str) -> str:
+    """Validate a backend name; shared by matchers without a config."""
+    if backend not in BACKENDS:
+        raise MatcherConfigError(
+            f"backend must be one of {BACKENDS}, got {backend!r}"
+        )
+    return backend
+
+
 @dataclass(frozen=True)
 class MatcherConfig:
     """Tuning parameters of :class:`~repro.core.matcher.UserMatching`.
@@ -48,6 +64,8 @@ class MatcherConfig:
             degree-1 nodes participate (only useful with ``threshold=1``,
             since a degree-1 node can never have 2 witnesses).
         tie_policy: see :class:`TiePolicy`.
+        backend: execution substrate, ``"dict"`` (default) or ``"csr"``
+            (dense interning + numpy kernels; link-identical output).
     """
 
     threshold: int = 2
@@ -56,6 +74,7 @@ class MatcherConfig:
     use_degree_buckets: bool = True
     min_bucket_exponent: int = 1
     tie_policy: TiePolicy = TiePolicy.SKIP
+    backend: str = "dict"
 
     def __post_init__(self) -> None:
         if not isinstance(self.threshold, int) or self.threshold < 1:
@@ -78,4 +97,8 @@ class MatcherConfig:
         if not isinstance(self.tie_policy, TiePolicy):
             raise MatcherConfigError(
                 f"tie_policy must be a TiePolicy, got {self.tie_policy!r}"
+            )
+        if self.backend not in BACKENDS:
+            raise MatcherConfigError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}"
             )

@@ -64,7 +64,9 @@ def reconcile(
         use_degree_buckets: keep the paper's high-degree-first schedule
             (likewise).
         progress: optional per-phase callback, forwarded to the matcher.
-        **matcher_config: extra configuration for a *named* matcher.
+        **matcher_config: extra configuration for a *named* matcher, or
+            extra :class:`MatcherConfig` fields (e.g. ``backend="csr"``)
+            for the default User-Matching path.
 
     Returns:
         :class:`~repro.core.result.MatchingResult`.
@@ -89,7 +91,9 @@ def reconcile(
             )
         resolved = UserMatching(matcher)
     elif matcher is None:
-        resolved = UserMatching(MatcherConfig(**legacy))
+        # Extra keywords (e.g. backend="csr") configure the default
+        # User-Matching path instead of being silently dropped.
+        resolved = UserMatching(MatcherConfig(**legacy, **matcher_config))
     elif hasattr(matcher, "run"):
         if legacy or matcher_config:
             raise MatcherConfigError(

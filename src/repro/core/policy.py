@@ -7,6 +7,12 @@ left node and for its right node, and scores at least ``T``.  This makes
 the per-round output automatically one-to-one: two emitted pairs can never
 share an endpoint, because each endpoint's best is unique (under the SKIP
 tie policy) or deterministic (LOWEST_ID).
+
+:func:`select_mutual_best` accepts either representation of the score
+table: the dict-of-dict ``rows`` form, or the flat
+:class:`~repro.core.kernels.ArrayScores` form produced by the csr
+backend — the latter is routed to the vectorized kernel and converted
+back to original node ids, so callers see identical links either way.
 """
 
 from __future__ import annotations
@@ -84,6 +90,13 @@ def select_mutual_best(
     Returns:
         New links ``v1 -> v2``; guaranteed one-to-one.
     """
+    from repro.core.kernels import ArrayScores, select_mutual_best_arrays
+
+    if isinstance(scores, ArrayScores):
+        left, right, _candidates = select_mutual_best_arrays(
+            scores, threshold, tie_policy
+        )
+        return scores.index.export_links(left, right)
     left_best = _best_per_left(scores, threshold, tie_policy)
     right_best = _best_per_right(scores, threshold, tie_policy)
     out: dict[Node, Node] = {}

@@ -43,12 +43,16 @@ import math
 import time
 from typing import Callable, Hashable
 
-from repro.core.config import TiePolicy
+from repro.core.config import TiePolicy, validate_backend
+from repro.core.kernels import ArrayScores
 from repro.core.matcher import UserMatching
 from repro.core.protocol import ProgressCallback, ProgressReporter
 from repro.core.result import MatchingResult, PhaseRecord, StageTiming
-from repro.core.scoring import count_similarity_witnesses
-from repro.core.selectors import Selector, get_selector
+from repro.core.scoring import (
+    count_similarity_witnesses,
+    count_similarity_witnesses_arrays,
+)
+from repro.core.selectors import SELECTORS, Selector, get_selector
 from repro.errors import MatcherConfigError
 from repro.graphs.graph import Graph
 from repro.registry import register_matcher
@@ -129,6 +133,47 @@ def witness_count_kernel(
         if kept:
             out[v1] = kept
     return out
+
+
+def _csr_witness_scorer(g1: Graph, g2: Graph) -> ScoringKernel:
+    """Per-run witness scorer over one shared dense interning.
+
+    Builds the :class:`~repro.graphs.pair_index.GraphPairIndex` lazily on
+    the first scoring round and reuses it for every subsequent round —
+    interning is paid once per reconciliation, as the complexity argument
+    assumes.  Without a candidate stage the flat
+    :class:`~repro.core.kernels.ArrayScores` table flows straight into
+    the selectors; with one, the scores are restricted through the dict
+    view exactly like :func:`witness_count_kernel`.
+    """
+    from repro.graphs.pair_index import GraphPairIndex
+
+    state: dict[str, GraphPairIndex] = {}
+
+    def score(
+        graph1: Graph,
+        graph2: Graph,
+        links: dict[Node, Node],
+        candidates: "dict[Node, set[Node]] | None" = None,
+    ) -> object:
+        index = state.get("index")
+        if index is None:
+            index = state["index"] = GraphPairIndex(g1, g2)
+        scores, _emitted = count_similarity_witnesses_arrays(index, links)
+        if candidates is None:
+            return scores
+        out: dict[Node, dict[Node, float]] = {}
+        for v1, row in scores.to_dict().items():
+            cset = candidates.get(v1)
+            if not cset:
+                continue
+            kept = {v2: sc for v2, sc in row.items() if v2 in cset}
+            if kept:
+                out[v1] = kept
+        return out
+
+    score.__name__ = "csr_witness_scorer"
+    return score
 
 
 def normalized_witness_kernel(
@@ -239,6 +284,14 @@ class Reconciler:
         validators: stage 5 — post-match hooks, applied in order; each
             receives ``(g1, g2, links, seeds)`` and returns the links to
             keep (seeds must be preserved).
+        backend: ``"dict"`` (default) or ``"csr"``.  With ``"csr"`` the
+            *default* scoring stage interns both graphs once per run and
+            produces the flat :class:`~repro.core.kernels.ArrayScores`
+            table; the named selectors dispatch to the vectorized
+            kernels on it.  Links are identical to the dict backend.  A
+            custom ``scorer`` takes precedence over the backend choice;
+            a custom ``candidates`` stage keeps its dict-level filtering
+            semantics on either backend.
     """
 
     def __init__(
@@ -252,6 +305,7 @@ class Reconciler:
         scorer: ScoringKernel | None = None,
         selector: str | Selector = "mutual-best",
         validators: "tuple[Validator, ...] | list[Validator]" = (),
+        backend: str = "dict",
     ) -> None:
         if threshold <= 0:
             raise MatcherConfigError(
@@ -268,8 +322,10 @@ class Reconciler:
         self.threshold = threshold
         self.rounds = rounds
         self.tie_policy = tie_policy
+        self.backend = validate_backend(backend)
         self.seed_strategy = seed_strategy or validated_seeds
         self.candidates = candidates
+        self._default_scorer = scorer is None
         self.scorer = scorer or witness_count_kernel
         self.selector = (
             get_selector(selector)
@@ -307,6 +363,10 @@ class Reconciler:
         links: dict[Node, Node] = dict(start_links)
         reporter.emit("seeds", links_total=len(links), links_added=0)
 
+        scorer = self.scorer
+        if self.backend == "csr" and self._default_scorer:
+            scorer = _csr_witness_scorer(g1, g2)
+
         phases: list[PhaseRecord] = []
         for rnd in range(1, self.rounds + 1):
             if self.candidates is not None:
@@ -319,9 +379,15 @@ class Reconciler:
             else:
                 cands = None  # fused: the kernel enumerates its own join
             scores = timed(
-                "score", rnd, self.scorer, g1, g2, links, cands
+                "score", rnd, scorer, g1, g2, links, cands
             )
             reporter.emit("score", links_total=len(links), links_added=0)
+            if isinstance(scores, ArrayScores) and (
+                self.selector not in SELECTORS.values()
+            ):
+                # Only the named selectors dispatch on the flat table; a
+                # custom selector callable gets the documented dict shape.
+                scores = scores.to_dict()
             new_links = timed(
                 "select",
                 rnd,
@@ -341,20 +407,25 @@ class Reconciler:
                 accepted[v1] = v2
                 linked_right.add(v2)
             links.update(accepted)
-            scored_pairs = sum(len(row) for row in scores.values())
+            if isinstance(scores, ArrayScores):
+                scored_pairs = scores.num_pairs
+                witnesses = scores.total_score()
+            else:
+                scored_pairs = sum(len(row) for row in scores.values())
+                witnesses = int(
+                    sum(
+                        sc
+                        for row in scores.values()
+                        for sc in row.values()
+                    )
+                )
             phases.append(
                 PhaseRecord(
                     iteration=rnd,
                     bucket_exponent=None,
                     min_degree=1,
                     candidates=scored_pairs,
-                    witnesses_emitted=int(
-                        sum(
-                            sc
-                            for row in scores.values()
-                            for sc in row.values()
-                        )
-                    ),
+                    witnesses_emitted=witnesses,
                     links_added=len(accepted),
                 )
             )

@@ -11,13 +11,24 @@ Cost: ``Σ_{(u1,u2) ∈ L} |N1(u1) ∩ bucket| · |N2(u2) ∩ bucket|`` — the
 degree floor is what keeps early rounds cheap and precise, and overall the
 work matches the paper's
 ``O((E1+E2)·min(Δ1,Δ2)·log max(Δ1,Δ2))`` sequential bound.
+
+Two representations of the same kernel live here:
+:func:`count_similarity_witnesses` is the dict-of-dict reference
+(``backend="dict"``), and :func:`count_similarity_witnesses_arrays`
+bridges to the vectorized CSR join in :mod:`repro.core.kernels`
+(``backend="csr"``) given a prebuilt
+:class:`~repro.graphs.pair_index.GraphPairIndex`.  Counts are identical.
 """
 
 from __future__ import annotations
 
-from typing import Hashable
+from typing import TYPE_CHECKING, Hashable
 
 from repro.graphs.graph import Graph
+
+if TYPE_CHECKING:
+    from repro.core.kernels import ArrayScores
+    from repro.graphs.pair_index import GraphPairIndex
 
 Node = Hashable
 
@@ -75,6 +86,46 @@ def count_similarity_witnesses(
             for v2 in right:
                 row[v2] = row.get(v2, 0) + 1
     return scores, emitted
+
+
+def count_similarity_witnesses_arrays(
+    index: "GraphPairIndex",
+    links: dict[Node, Node],
+    min_degree: int = 1,
+) -> tuple["ArrayScores", int]:
+    """Array-backend twin of :func:`count_similarity_witnesses`.
+
+    Interns *links* once and runs the CSR-join kernel with the same
+    eligibility rule (unlinked on both sides, at least *min_degree* in
+    the own copy).  Returns the flat score table and the witness-pair
+    count; ``scores.to_dict()`` equals the dict kernel's table exactly —
+    including the dict kernel's tolerance for links whose right endpoint
+    is not in ``g2`` (they contribute no witnesses).
+    """
+    import numpy as np
+
+    from repro.core.kernels import count_witnesses
+
+    linked1 = np.zeros(index.n1, dtype=bool)
+    linked2 = np.zeros(index.n2, dtype=bool)
+    if any(not index.g2.has_node(v2) for v2 in links.values()):
+        # A link whose image is missing from g2 contributes no witnesses
+        # but still blocks its left endpoint, exactly like the dict
+        # kernel's `if not g2_has(u2): continue`.
+        for v1 in links:
+            linked1[index.dense1(v1)] = True
+        links = {
+            v1: v2
+            for v1, v2 in links.items()
+            if index.g2.has_node(v2)
+        }
+    link_l, link_r = index.intern_links(links)
+    linked1[link_l] = True
+    linked2[link_r] = True
+    floor1, floor2 = index.eligibility(min_degree)
+    return count_witnesses(
+        index, link_l, link_r, ~linked1 & floor1, ~linked2 & floor2
+    )
 
 
 def witness_score(

@@ -24,6 +24,11 @@ Exact score ties are broken by the canonical
 :func:`~repro.core.ordering.node_sort_key` in the greedy and stable
 selectors (their sequential nature needs *some* deterministic order, so
 ``TiePolicy.SKIP`` only affects ``"mutual-best"``).
+
+Every selector also accepts the flat
+:class:`~repro.core.kernels.ArrayScores` table produced by the csr
+backend; mutual-best and greedy route to the vectorized kernels, and all
+three return links over original node ids either way.
 """
 
 from __future__ import annotations
@@ -55,6 +60,11 @@ def select_greedy_top_score(
     order already resolves ties deterministically.
     """
     del tie_policy  # greedy order is already deterministic under ties
+    from repro.core.kernels import ArrayScores, select_greedy_arrays
+
+    if isinstance(scores, ArrayScores):
+        left, right = select_greedy_arrays(scores, threshold)
+        return scores.index.export_links(left, right)
     ranked = sorted(
         (
             (v1, v2, sc)
@@ -90,6 +100,12 @@ def select_gale_shapley(
     acceptances break exact ties by the canonical node order.
     """
     del tie_policy  # deferred acceptance resolves ties deterministically
+    from repro.core.kernels import ArrayScores
+
+    if isinstance(scores, ArrayScores):
+        # Deferred acceptance is proposal-sequential; run it over the
+        # dict view (scores are identical, so the links are too).
+        scores = scores.to_dict()
     # Preference lists: descending score, canonical order within a tie.
     prefs: dict[Node, list[tuple[int, Node]]] = {}
     for v1, row in scores.items():

@@ -11,10 +11,12 @@ the same workload in one call.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Hashable, Sequence
 
-from repro.core.config import MatcherConfig
+from repro.core.config import MatcherConfig, validate_backend
+from repro.errors import MatcherConfigError
 from repro.core.matcher import UserMatching
 from repro.core.protocol import Matcher
 from repro.core.result import MatchingResult
@@ -56,6 +58,7 @@ def run_trial(
     config: MatcherConfig | None = None,
     matcher: "Matcher | str | None" = None,
     params: dict[str, object] | None = None,
+    backend: str | None = None,
     **matcher_config: object,
 ) -> TrialResult:
     """Run one matcher trial and evaluate it.
@@ -68,8 +71,24 @@ def run_trial(
             registry name (``"common-neighbors"``, ...) — defaults to
             :class:`UserMatching` with *config*.
         params: extra key/values recorded in the result row.
+        backend: execution backend (``"dict"``/``"csr"``) applied to the
+            default matcher, a given *config*, or a *named* matcher;
+            cannot reconfigure an already-constructed instance.
         **matcher_config: configuration for a *named* matcher.
     """
+    if backend is not None:
+        validate_backend(backend)
+        if matcher is None:
+            config = dataclasses.replace(
+                config or MatcherConfig(), backend=backend
+            )
+        elif isinstance(matcher, str):
+            matcher_config.setdefault("backend", backend)
+        else:
+            raise MatcherConfigError(
+                "backend= cannot reconfigure an already-constructed "
+                "matcher instance; pass a registry name or a config"
+            )
     if matcher is None:
         matcher = UserMatching(config or MatcherConfig())
     elif isinstance(matcher, str):
@@ -90,6 +109,7 @@ def compare_matchers(
     seeds: dict[Node, Node],
     matchers: Sequence["Matcher | str"],
     params: dict[str, object] | None = None,
+    backend: str | None = None,
 ) -> list[TrialResult]:
     """Run several matchers on the same workload, one trial each.
 
@@ -105,6 +125,11 @@ def compare_matchers(
         seeds: initial identification links (shared by every trial).
         matchers: registry names and/or matcher instances.
         params: extra key/values recorded in every result row.
+        backend: run every *named* matcher on this execution backend
+            (``"dict"``/``"csr"``) and record it in the ``backend``
+            column of its row.  Pre-constructed instances keep whatever
+            backend they were built with and get no ``backend`` column
+            (the harness cannot reconfigure them).
 
     Returns:
         One :class:`TrialResult` per matcher, in input order.
@@ -117,13 +142,17 @@ def compare_matchers(
             label = getattr(
                 entry, "matcher_name", type(entry).__name__
             )
+        extra: dict[str, object] = {"matcher": label}
+        if backend is not None and isinstance(entry, str):
+            extra["backend"] = backend
         trials.append(
             run_trial(
                 pair,
                 seeds,
                 matcher=entry,
+                backend=backend if isinstance(entry, str) else None,
                 # label last: it must win over any caller-supplied key.
-                params={**(params or {}), "matcher": label},
+                params={**(params or {}), **extra},
             )
         )
     return trials

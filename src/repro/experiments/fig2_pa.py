@@ -33,6 +33,7 @@ def run(
     thresholds: tuple[int, ...] = (1, 2, 3),
     iterations: int = 2,
     seed=0,
+    backend: str = "dict",
 ) -> ExperimentResult:
     """Reproduce the Figure 2 series at reduced scale."""
     rng_graph, rng_copies, rng_seeds = spawn_rngs(seed, 3)
@@ -54,6 +55,7 @@ def run(
                 iterations=iterations,
                 # T=1 can identify degree-1 nodes; let it try them.
                 min_bucket_exponent=0 if threshold == 1 else 1,
+                backend=backend,
             )
             trial = run_trial(
                 pair,

@@ -29,6 +29,7 @@ def run(
     threshold: int = 2,
     iterations: int = 1,
     seed=0,
+    backend: str = "dict",
 ) -> ExperimentResult:
     """Reproduce the Table 2 relative-running-time ladder at reduced scale."""
     result = ExperimentResult(
@@ -39,7 +40,7 @@ def run(
         ),
         notes=(
             f"scales={scales} edge_factor={edge_factor} "
-            "(paper: RMAT24/26/28 on MapReduce)"
+            f"backend={backend} (paper: RMAT24/26/28 on MapReduce)"
         ),
     )
     rngs = spawn_rngs(seed, 3 * len(scales))
@@ -54,7 +55,9 @@ def run(
             pair,
             seeds,
             config=MatcherConfig(
-                threshold=threshold, iterations=iterations
+                threshold=threshold,
+                iterations=iterations,
+                backend=backend,
             ),
             params={"scale": scale},
         )

@@ -5,6 +5,7 @@ from repro.graphs.bipartite import BipartiteGraph
 from repro.graphs.csr import CSRGraph
 from repro.graphs.graph import Graph
 from repro.graphs.kcore import core_numbers, degeneracy, k_core
+from repro.graphs.pair_index import GraphPairIndex
 from repro.graphs.paths import bfs_distances, estimate_diameter, shortest_path
 from repro.graphs.temporal import TemporalGraph
 
@@ -13,6 +14,7 @@ __all__ = [
     "TemporalGraph",
     "BipartiteGraph",
     "CSRGraph",
+    "GraphPairIndex",
     "core_numbers",
     "k_core",
     "degeneracy",

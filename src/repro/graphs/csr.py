@@ -46,15 +46,31 @@ class CSRGraph:
             node: i for i, node in enumerate(nodes)
         }
         dense_of = self._dense_of
-        indptr = np.zeros(len(nodes) + 1, dtype=np.int64)
-        for i, node in enumerate(nodes):
-            indptr[i + 1] = indptr[i] + graph.degree(node)
-        indices = np.empty(int(indptr[-1]), dtype=np.int64)
-        for i, node in enumerate(nodes):
-            nbrs = sorted(dense_of[v] for v in graph.neighbors(node))
-            indices[int(indptr[i]) : int(indptr[i + 1])] = nbrs
+        n = len(nodes)
+        degrees = np.fromiter(
+            (graph.degree(node) for node in nodes),
+            dtype=np.int64,
+            count=n,
+        )
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(degrees, out=indptr[1:])
+        total = int(indptr[-1])
+        dst = np.fromiter(
+            (
+                dense_of[v]
+                for node in nodes
+                for v in graph.neighbors(node)
+            ),
+            dtype=np.int64,
+            count=total,
+        )
+        # One global lexsort replaces the per-node sorted() loop: the
+        # source column is already non-decreasing (rows are emitted in
+        # dense order), so sorting by (src, dst) orders each row's
+        # neighbor slice in place.
+        src = np.repeat(np.arange(n, dtype=np.int64), degrees)
         self.indptr = indptr
-        self.indices = indices
+        self.indices = dst[np.lexsort((dst, src))]
 
     # ------------------------------------------------------------------
     @property

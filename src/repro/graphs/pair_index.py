@@ -1,0 +1,145 @@
+"""Dense interning of a reconciliation pair — the array execution substrate.
+
+Every ``backend="csr"`` execution path starts by building one
+:class:`GraphPairIndex`: both graphs' node ids are interned to dense
+``0..n-1`` integers exactly once per reconciliation, and everything
+downstream — witness counting, eligibility filtering, selection, the
+MapReduce shuffle — operates on flat numpy arrays keyed by those dense
+ids.  The index bundles:
+
+- a shared :class:`~repro.graphs.csr.CSRGraph` adjacency per side,
+- per-side degree arrays and precomputed degree-*exponent* arrays
+  (``floor(log2 deg)``, the paper's bucket coordinate) so a bucket's
+  eligibility mask is a single vectorized comparison,
+- link interning/export helpers mapping ``dict[Node, Node]`` link sets
+  to parallel ``int64`` arrays and back.
+
+Interning order is *canonical* (:func:`~repro.core.ordering.node_sort_key`),
+so comparing dense ids is exactly comparing original ids under the
+package-wide canonical order — tie-breaks in array kernels reduce to
+integer ``min``/argsort and stay link-identical to the dict backend.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph
+from repro.graphs.graph import Graph
+
+Node = Hashable
+
+
+def degree_exponents(degrees: np.ndarray) -> np.ndarray:
+    """``floor(log2 deg)`` per node as ``int64`` (-1 for degree 0).
+
+    Uses :func:`numpy.frexp` (exact for any int64 degree below 2**53)
+    instead of float ``log2``, which can round across a power of two.
+    """
+    _mantissa, exponents = np.frexp(degrees.astype(np.float64))
+    return exponents.astype(np.int64) - 1
+
+
+class GraphPairIndex:
+    """Shared dense-id view of a ``(g1, g2)`` reconciliation pair.
+
+    Attributes:
+        g1: first network (original, dict-backed).
+        g2: second network.
+        csr1: CSR adjacency of ``g1`` in canonical interning order.
+        csr2: CSR adjacency of ``g2``.
+        deg1: ``int64[n1]`` degrees indexed by dense id.
+        deg2: ``int64[n2]`` degrees.
+        exp1: ``int64[n1]`` degree exponents (``floor(log2 deg)``, -1
+            for isolated nodes) — the degree-bucket coordinate.
+        exp2: ``int64[n2]`` degree exponents.
+    """
+
+    __slots__ = (
+        "g1", "g2", "csr1", "csr2", "deg1", "deg2", "exp1", "exp2",
+    )
+
+    def __init__(self, g1: Graph, g2: Graph) -> None:
+        # Imported here, not at module level: graphs/__init__ loads this
+        # module while repro.core may still be initializing (core modules
+        # import repro.graphs.graph), and the canonical-order key is only
+        # needed at construction time.
+        from repro.core.ordering import node_sort_key
+
+        order1 = sorted(g1.nodes(), key=node_sort_key)
+        order2 = sorted(g2.nodes(), key=node_sort_key)
+        self.g1 = g1
+        self.g2 = g2
+        self.csr1 = CSRGraph(g1, order=order1)
+        self.csr2 = CSRGraph(g2, order=order2)
+        self.deg1 = self.csr1.degree_array()
+        self.deg2 = self.csr2.degree_array()
+        self.exp1 = degree_exponents(self.deg1)
+        self.exp2 = degree_exponents(self.deg2)
+
+    # ------------------------------------------------------------------
+    @property
+    def n1(self) -> int:
+        """Number of nodes in ``g1``."""
+        return self.csr1.num_nodes
+
+    @property
+    def n2(self) -> int:
+        """Number of nodes in ``g2``."""
+        return self.csr2.num_nodes
+
+    def dense1(self, node: Node) -> int:
+        """Dense id of a ``g1`` node."""
+        return self.csr1.dense_id(node)
+
+    def dense2(self, node: Node) -> int:
+        """Dense id of a ``g2`` node."""
+        return self.csr2.dense_id(node)
+
+    def node1(self, dense: int) -> Node:
+        """Original ``g1`` id of a dense id."""
+        return self.csr1.node_ids[dense]
+
+    def node2(self, dense: int) -> Node:
+        """Original ``g2`` id of a dense id."""
+        return self.csr2.node_ids[dense]
+
+    # ------------------------------------------------------------------
+    def intern_links(
+        self, links: dict[Node, Node]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Intern a link dict to parallel ``(left, right)`` dense arrays."""
+        n = len(links)
+        left = np.empty(n, dtype=np.int64)
+        right = np.empty(n, dtype=np.int64)
+        d1 = self.csr1.dense_id
+        d2 = self.csr2.dense_id
+        for i, (v1, v2) in enumerate(links.items()):
+            left[i] = d1(v1)
+            right[i] = d2(v2)
+        return left, right
+
+    def export_links(
+        self, left: np.ndarray, right: np.ndarray
+    ) -> dict[Node, Node]:
+        """Map parallel dense link arrays back to an original-id dict."""
+        ids1 = self.csr1.node_ids
+        ids2 = self.csr2.node_ids
+        return {
+            ids1[v1]: ids2[v2]
+            for v1, v2 in zip(left.tolist(), right.tolist())
+        }
+
+    def eligibility(
+        self, min_degree: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Boolean degree-floor masks ``(deg1 >= min, deg2 >= min)``."""
+        return self.deg1 >= min_degree, self.deg2 >= min_degree
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphPairIndex(n1={self.n1}, n2={self.n2}, "
+            f"m1={self.csr1.num_edges}, m2={self.csr2.num_edges})"
+        )

@@ -1,0 +1,249 @@
+"""Unit tests for the numpy array kernels behind ``backend="csr"``."""
+
+import numpy as np
+import pytest
+
+from repro.core import kernels
+from repro.core.config import TiePolicy
+from repro.core.kernels import (
+    ArrayScores,
+    count_witnesses,
+    segmented_gather,
+    select_greedy_arrays,
+    select_mutual_best_arrays,
+)
+from repro.core.policy import select_mutual_best
+from repro.core.scoring import (
+    count_similarity_witnesses,
+    count_similarity_witnesses_arrays,
+)
+from repro.core.selectors import select_greedy_top_score
+from repro.graphs.graph import Graph
+from repro.graphs.pair_index import GraphPairIndex
+
+HAS_SCIPY = kernels._sparse is not None
+
+SPARSE_MODES = [False] + ([True] if HAS_SCIPY else [])
+
+
+def as_dict(scores: ArrayScores) -> dict:
+    return {v1: dict(row) for v1, row in scores.to_dict().items()}
+
+
+def reference_dict(scores: dict) -> dict:
+    return {v1: dict(row) for v1, row in scores.items()}
+
+
+class TestSegmentedGather:
+    def test_concatenates_slices(self):
+        g = Graph.from_edges([(0, 1), (0, 2), (1, 2), (2, 3)])
+        index = GraphPairIndex(g, g.copy())
+        csr = index.csr1
+        targets = np.array([2, 0], dtype=np.int64)
+        values, segments = segmented_gather(
+            csr.indptr, csr.indices, targets
+        )
+        assert values.tolist() == (
+            csr.neighbors(2).tolist() + csr.neighbors(0).tolist()
+        )
+        assert segments.tolist() == [0] * csr.degree(2) + [1] * csr.degree(0)
+
+    def test_empty_targets(self):
+        g = Graph.from_edges([(0, 1)])
+        index = GraphPairIndex(g, g.copy())
+        values, segments = segmented_gather(
+            index.csr1.indptr,
+            index.csr1.indices,
+            np.empty(0, dtype=np.int64),
+        )
+        assert values.size == 0 and segments.size == 0
+
+
+class TestCountWitnesses:
+    @pytest.mark.parametrize("use_sparse", SPARSE_MODES)
+    def test_matches_dict_kernel(self, pa_pair, pa_seeds, use_sparse):
+        index = GraphPairIndex(pa_pair.g1, pa_pair.g2)
+        for min_degree in (1, 2, 4):
+            expected, emitted = count_similarity_witnesses(
+                pa_pair.g1, pa_pair.g2, pa_seeds, min_degree
+            )
+            link_l, link_r = index.intern_links(pa_seeds)
+            linked1 = np.zeros(index.n1, dtype=bool)
+            linked2 = np.zeros(index.n2, dtype=bool)
+            linked1[link_l] = True
+            linked2[link_r] = True
+            floor1, floor2 = index.eligibility(min_degree)
+            scores, got_emitted = count_witnesses(
+                index,
+                link_l,
+                link_r,
+                ~linked1 & floor1,
+                ~linked2 & floor2,
+                use_sparse=use_sparse,
+            )
+            assert got_emitted == emitted
+            assert as_dict(scores) == reference_dict(expected)
+
+    def test_scoring_bridge_matches(self, pa_pair, pa_seeds):
+        index = GraphPairIndex(pa_pair.g1, pa_pair.g2)
+        expected, emitted = count_similarity_witnesses(
+            pa_pair.g1, pa_pair.g2, pa_seeds, 2
+        )
+        scores, got = count_similarity_witnesses_arrays(
+            index, pa_seeds, min_degree=2
+        )
+        assert got == emitted
+        assert as_dict(scores) == reference_dict(expected)
+
+    def test_bridge_tolerates_missing_right_endpoint(self, pa_pair):
+        """Parity with the dict kernel's `if not g2_has(u2)` guard."""
+        links = dict(list(pa_pair.identity.items())[:30])
+        broken_left = next(iter(links))
+        links[broken_left] = "not-in-g2"
+        expected, emitted = count_similarity_witnesses(
+            pa_pair.g1, pa_pair.g2, links, 2
+        )
+        index = GraphPairIndex(pa_pair.g1, pa_pair.g2)
+        scores, got = count_similarity_witnesses_arrays(
+            index, links, min_degree=2
+        )
+        assert got == emitted
+        assert as_dict(scores) == reference_dict(expected)
+
+    def test_sparse_and_numpy_paths_identical(self, pa_pair, pa_seeds):
+        if not HAS_SCIPY:
+            pytest.skip("scipy not installed")
+        index = GraphPairIndex(pa_pair.g1, pa_pair.g2)
+        link_l, link_r = index.intern_links(pa_seeds)
+        elig1 = np.ones(index.n1, dtype=bool)
+        elig2 = np.ones(index.n2, dtype=bool)
+        a, ea = count_witnesses(
+            index, link_l, link_r, elig1, elig2, use_sparse=True
+        )
+        b, eb = count_witnesses(
+            index, link_l, link_r, elig1, elig2, use_sparse=False
+        )
+        assert ea == eb
+        assert as_dict(a) == as_dict(b)
+
+    def test_no_links(self, pa_pair):
+        index = GraphPairIndex(pa_pair.g1, pa_pair.g2)
+        scores, emitted = count_witnesses(
+            index,
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.ones(index.n1, dtype=bool),
+            np.ones(index.n2, dtype=bool),
+        )
+        assert emitted == 0 and scores.num_pairs == 0
+        assert scores.to_dict() == {}
+
+    def test_all_ineligible(self, pa_pair, pa_seeds):
+        index = GraphPairIndex(pa_pair.g1, pa_pair.g2)
+        link_l, link_r = index.intern_links(pa_seeds)
+        scores, emitted = count_witnesses(
+            index,
+            link_l,
+            link_r,
+            np.zeros(index.n1, dtype=bool),
+            np.zeros(index.n2, dtype=bool),
+        )
+        assert emitted == 0 and scores.num_pairs == 0
+
+    def test_use_sparse_without_scipy_raises(
+        self, pa_pair, pa_seeds, monkeypatch
+    ):
+        monkeypatch.setattr(kernels, "_sparse", None)
+        index = GraphPairIndex(pa_pair.g1, pa_pair.g2)
+        link_l, link_r = index.intern_links(pa_seeds)
+        with pytest.raises(RuntimeError):
+            count_witnesses(
+                index,
+                link_l,
+                link_r,
+                np.ones(index.n1, dtype=bool),
+                np.ones(index.n2, dtype=bool),
+                use_sparse=True,
+            )
+
+
+def _scores_fixture(pa_pair, pa_seeds):
+    index = GraphPairIndex(pa_pair.g1, pa_pair.g2)
+    scores, _ = count_similarity_witnesses_arrays(index, pa_seeds)
+    return scores
+
+
+class TestArraySelection:
+    @pytest.mark.parametrize(
+        "tie_policy", [TiePolicy.SKIP, TiePolicy.LOWEST_ID]
+    )
+    @pytest.mark.parametrize("threshold", [1, 2, 3])
+    def test_mutual_best_matches_dict_policy(
+        self, pa_pair, pa_seeds, threshold, tie_policy
+    ):
+        scores = _scores_fixture(pa_pair, pa_seeds)
+        expected = select_mutual_best(
+            scores.to_dict(), threshold, tie_policy
+        )
+        left, right, _cands = select_mutual_best_arrays(
+            scores, threshold, tie_policy
+        )
+        assert scores.index.export_links(left, right) == expected
+
+    def test_mutual_best_dispatch_on_array_scores(
+        self, pa_pair, pa_seeds
+    ):
+        """policy.select_mutual_best accepts the flat table directly."""
+        scores = _scores_fixture(pa_pair, pa_seeds)
+        assert select_mutual_best(scores, 2) == select_mutual_best(
+            scores.to_dict(), 2
+        )
+
+    @pytest.mark.parametrize("threshold", [1, 2, 3])
+    def test_greedy_matches_dict_selector(
+        self, pa_pair, pa_seeds, threshold
+    ):
+        scores = _scores_fixture(pa_pair, pa_seeds)
+        expected = select_greedy_top_score(scores.to_dict(), threshold)
+        left, right = select_greedy_arrays(scores, threshold)
+        assert scores.index.export_links(left, right) == expected
+        # ... and via the dispatching selector entry point.
+        assert select_greedy_top_score(scores, threshold) == expected
+
+    def test_skip_drops_tied_groups(self):
+        g1 = Graph.from_edges([(0, 1), (0, 2), (3, 1), (3, 2)])
+        g2 = g1.copy()
+        index = GraphPairIndex(g1, g2)
+        # candidate 0 ties between right 0 and right 3
+        scores = ArrayScores(
+            index,
+            left=np.array([0, 0], dtype=np.int64),
+            right=np.array([0, 3], dtype=np.int64),
+            score=np.array([2, 2], dtype=np.int64),
+        )
+        left, right, _ = select_mutual_best_arrays(
+            scores, 1, TiePolicy.SKIP
+        )
+        assert len(left) == 0
+        left, right, _ = select_mutual_best_arrays(
+            scores, 1, TiePolicy.LOWEST_ID
+        )
+        assert index.export_links(left, right) == {0: 0}
+
+    def test_empty_scores(self, pa_pair):
+        index = GraphPairIndex(pa_pair.g1, pa_pair.g2)
+        empty = ArrayScores(
+            index,
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+        )
+        left, right, cands = select_mutual_best_arrays(empty, 1)
+        assert len(left) == 0 and cands == 0
+        left, right = select_greedy_arrays(empty, 1)
+        assert len(left) == 0
+
+    def test_total_score_and_num_pairs(self, pa_pair, pa_seeds):
+        scores = _scores_fixture(pa_pair, pa_seeds)
+        assert scores.num_pairs == len(scores.score)
+        assert scores.total_score() == int(scores.score.sum())
