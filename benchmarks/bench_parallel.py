@@ -1,0 +1,147 @@
+"""Worker-count scaling curve on the Table-2 R-MAT workload.
+
+Benchmarks the ``backend="csr"`` matcher end-to-end — shared-memory
+setup, shard planning, pool dispatch, and the deterministic merge all
+included — at 1, 2, and 4 workers on the Table-2 ladder rung past 3000
+nodes (R-MAT scale 12, edge factor 16), plus the kernel-level witness
+join on one fixed round.  The ``--benchmark-json`` output (CI commits it
+as ``BENCH_parallel.json`` next to ``BENCH_kernels.json``) records the
+scaling trajectory over time.
+
+Honest-number caveat: the curve only bends downward when real cores
+exist.  On a single-CPU container the workers time-slice one core and
+the pool's dispatch overhead makes ``workers=4`` *slower* — the
+link-identity guarantee is what the test wall checks; the speedup is a
+property of the hardware.  ``expected_speedup`` in the emitted
+``extra_info`` says what to look for on an N-core machine (≥ 2x at 4
+workers).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import kernels
+from repro.core.config import MatcherConfig
+from repro.core.matcher import UserMatching
+from repro.core.parallel import WitnessPool
+from repro.generators.rmat import rmat_graph
+from repro.graphs.pair_index import GraphPairIndex
+from repro.sampling.edge_sampling import independent_copies
+from repro.seeds.generators import sample_seeds
+
+#: R-MAT scale 12 with the Graph500 edge factor — the ladder rung with
+#: > 3000 distinct nodes (isolated duplicates collapse below 2^12).
+SCALE = 12
+EDGE_FACTOR = 16
+WORKER_COUNTS = (1, 2, 4)
+
+
+def build_workload(scale=SCALE, edge_factor=EDGE_FACTOR, seed=0):
+    """The bench workload: R-MAT pair + 10% seeds (Table-2 recipe)."""
+    graph = rmat_graph(scale, edge_factor * (1 << scale), seed=seed)
+    pair = independent_copies(graph, 0.5, seed=seed + 100)
+    seeds = sample_seeds(pair, 0.10, seed=seed + 200)
+    return pair, seeds
+
+
+def run_matcher(pair, seeds, workers):
+    """One csr-backend User-Matching run at the given worker count."""
+    matcher = UserMatching(
+        MatcherConfig(
+            threshold=2, iterations=1, backend="csr", workers=workers
+        )
+    )
+    return matcher.run(pair.g1, pair.g2, seeds)
+
+
+def scaling_curve(workers_counts=WORKER_COUNTS, scale=SCALE, seed=0):
+    """Wall-clock per worker count; importable for micro smoke tests."""
+    import time
+
+    pair, seeds = build_workload(scale=scale, seed=seed)
+    curve = {}
+    reference = None
+    for workers in workers_counts:
+        start = time.perf_counter()
+        result = run_matcher(pair, seeds, workers)
+        curve[workers] = time.perf_counter() - start
+        if reference is None:
+            reference = result.links
+        elif result.links != reference:
+            raise AssertionError(
+                f"workers={workers} changed the links"
+            )
+    return curve
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_workload()
+
+
+@pytest.fixture(scope="module")
+def round_inputs(workload):
+    """One fixed recount round for the kernel-level comparison."""
+    pair, seeds = workload
+    index = GraphPairIndex(pair.g1, pair.g2)
+    link_l, link_r = index.intern_links(seeds)
+    linked1 = np.zeros(index.n1, dtype=bool)
+    linked2 = np.zeros(index.n2, dtype=bool)
+    linked1[link_l] = True
+    linked2[link_r] = True
+    floor1, floor2 = index.eligibility(2)
+    return (
+        index, link_l, link_r, ~linked1 & floor1, ~linked2 & floor2,
+    )
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_bench_matcher_scaling(benchmark, workload, workers):
+    """End-to-end matcher at each worker count (pool setup included)."""
+    pair, seeds = workload
+    benchmark.extra_info["workers"] = workers
+    benchmark.extra_info["nodes"] = pair.g1.num_nodes
+    benchmark.extra_info["expected_speedup"] = (
+        "≥ 2x at 4 workers given ≥ 4 physical cores"
+    )
+    result = benchmark.pedantic(
+        run_matcher, args=(pair, seeds, workers), rounds=3, iterations=1
+    )
+    assert result.num_new_links > 0
+
+
+@pytest.mark.parametrize("workers", [2, 4])
+def test_bench_witness_round_pooled(benchmark, round_inputs, workers):
+    """Kernel-level: one sharded recount round, pool already open."""
+    index, link_l, link_r, elig1, elig2 = round_inputs
+    with WitnessPool(index, workers=workers) as pool:
+        scores, emitted = benchmark.pedantic(
+            pool.count_witnesses,
+            args=(link_l, link_r, elig1, elig2),
+            rounds=3,
+            iterations=1,
+        )
+    assert emitted > 0
+
+
+def test_bench_witness_round_serial(benchmark, round_inputs):
+    """The serial baseline for the pooled round above."""
+    index, link_l, link_r, elig1, elig2 = round_inputs
+    scores, emitted = benchmark.pedantic(
+        kernels.count_witnesses,
+        args=(index, link_l, link_r, elig1, elig2),
+        rounds=3,
+        iterations=1,
+    )
+    assert emitted > 0
+
+
+def test_bench_scaling_curve_links_identical(benchmark):
+    """The whole curve at micro scale — asserts link identity en route."""
+    curve = benchmark.pedantic(
+        scaling_curve,
+        kwargs=dict(workers_counts=(1, 2), scale=8),
+        rounds=1,
+        iterations=1,
+    )
+    assert set(curve) == {1, 2}

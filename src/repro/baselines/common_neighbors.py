@@ -40,6 +40,7 @@ class CommonNeighborsMatcher:
         iterations: int = 1,
         tie_policy: TiePolicy = TiePolicy.SKIP,
         backend: str = "dict",
+        workers: int = 1,
     ) -> None:
         self.config = MatcherConfig(
             threshold=threshold,
@@ -48,6 +49,7 @@ class CommonNeighborsMatcher:
             min_bucket_exponent=0,
             tie_policy=tie_policy,
             backend=backend,
+            workers=workers,
         )
         self._matcher = UserMatching(self.config)
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Hashable
 
-from repro.core.config import validate_backend
+from repro.core.config import validate_backend, validate_workers
 from repro.core.ordering import node_sort_key
 from repro.core.protocol import ProgressCallback, ProgressReporter
 from repro.core.result import MatchingResult
@@ -37,9 +37,13 @@ class DegreeSequenceMatcher:
         self,
         max_matches: int | None = None,
         backend: str = "dict",
+        workers: int = 1,
     ) -> None:
         self.max_matches = max_matches
         self.backend = validate_backend(backend)
+        # Degree ranking is two lexsorts — nothing to fan out; accepted
+        # (and validated) for interface uniformity across the registry.
+        self.workers = validate_workers(workers)
 
     def run(
         self,

@@ -27,7 +27,7 @@ from __future__ import annotations
 import math
 from typing import Hashable
 
-from repro.core.config import validate_backend
+from repro.core.config import validate_backend, validate_workers
 from repro.core.protocol import ProgressCallback, ProgressReporter
 from repro.core.result import MatchingResult
 from repro.errors import MatcherConfigError
@@ -62,6 +62,7 @@ class NarayananShmatikovMatcher:
         max_sweeps: int = 5,
         allow_rematch: bool = True,
         backend: str = "dict",
+        workers: int = 1,
     ) -> None:
         if eccentricity_threshold < 0:
             raise MatcherConfigError(
@@ -76,6 +77,10 @@ class NarayananShmatikovMatcher:
         self.max_sweeps = max_sweeps
         self.allow_rematch = allow_rematch
         self.backend = validate_backend(backend)
+        # The sweep rematches nodes one at a time (order-dependent by
+        # design), so there is no independent work to shard; accepted
+        # (and validated) for interface uniformity across the registry.
+        self.workers = validate_workers(workers)
 
     # ------------------------------------------------------------------
     def _candidate_scores(

@@ -28,7 +28,7 @@ import bisect
 import math
 from typing import Hashable
 
-from repro.core.config import validate_backend
+from repro.core.config import validate_backend, validate_workers
 from repro.core.ordering import node_sort_key
 from repro.core.protocol import ProgressCallback, ProgressReporter
 from repro.core.result import MatchingResult
@@ -132,6 +132,7 @@ class StructuralFeatureMatcher:
         quantile: float = 0.5,
         max_candidates: int = 50,
         backend: str = "dict",
+        workers: int = 1,
     ) -> None:
         if not 0.0 < quantile <= 1.0:
             raise MatcherConfigError(
@@ -145,6 +146,10 @@ class StructuralFeatureMatcher:
         self.quantile = quantile
         self.max_candidates = max_candidates
         self.backend = validate_backend(backend)
+        # Feature extraction is one vectorized pass per graph with no
+        # per-round join to shard; accepted (and validated) for
+        # interface uniformity across the registry.
+        self.workers = validate_workers(workers)
 
     def run(
         self,

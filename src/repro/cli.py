@@ -6,6 +6,7 @@ Examples::
     repro matchers
     repro run fig2 --seed 7
     repro run table2 --backend csr
+    repro run table2 --backend csr --workers 4
     repro run table3-facebook
     repro run ablation-wikipedia --matcher common-neighbors
     repro run all
@@ -171,6 +172,7 @@ def _cmd_run(
     chart: bool,
     matcher: str | None = None,
     backend: str | None = None,
+    workers: int | None = None,
 ) -> int:
     if name == "all":
         names = list(EXPERIMENTS)
@@ -192,7 +194,16 @@ def _cmd_run(
                 file=sys.stderr,
             )
             return 2
-    for option, value in (("matcher", matcher), ("backend", backend)):
+    if workers is not None and workers < 1:
+        print(
+            f"--workers must be >= 1, got {workers}", file=sys.stderr
+        )
+        return 2
+    for option, value in (
+        ("matcher", matcher),
+        ("backend", backend),
+        ("workers", workers),
+    ):
         if value is None:
             continue
         unsupported = [
@@ -215,6 +226,8 @@ def _cmd_run(
             kwargs["matcher"] = matcher
         if backend is not None:
             kwargs["backend"] = backend
+        if workers is not None:
+            kwargs["workers"] = workers
         result = fn(**kwargs)
         print(result.to_table())
         if chart and result.rows:
@@ -291,6 +304,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     run_p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "worker processes for the csr witness kernels (default 1 = "
+            "serial; links are identical for any value); only for "
+            "experiments that support it"
+        ),
+    )
+    run_p.add_argument(
         "--chart",
         action="store_true",
         help="also render an ASCII chart of the result",
@@ -314,6 +337,7 @@ def main(argv: list[str] | None = None) -> int:
             args.chart,
             args.matcher,
             args.backend,
+            args.workers,
         )
     return 2  # unreachable: argparse enforces the sub-command set
 

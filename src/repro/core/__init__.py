@@ -15,6 +15,8 @@ Public surface:
 - :func:`~repro.core.pipeline.reconcile` — one-call convenience wrapper.
 - :mod:`~repro.core.kernels` — numpy array kernels behind
   ``backend="csr"`` (CSR-join witness counting, vectorized selection).
+- :mod:`~repro.core.parallel` / :mod:`~repro.core.shards` — the
+  sharded shared-memory execution layer behind ``workers=N``.
 """
 
 from repro.core.config import BACKENDS, MatcherConfig, TiePolicy
@@ -28,6 +30,11 @@ from repro.core.kernels import (
 from repro.core.links_io import read_links, write_links
 from repro.core.matcher import UserMatching
 from repro.core.ordering import node_sort_key
+from repro.core.parallel import (
+    ParallelFallbackWarning,
+    WitnessPool,
+    open_witness_pool,
+)
 from repro.core.pipeline import reconcile
 from repro.core.policy import select_mutual_best
 from repro.core.protocol import Matcher, ProgressCallback, ProgressEvent
@@ -45,6 +52,12 @@ from repro.core.selectors import (
     get_selector,
     select_gale_shapley,
     select_greedy_top_score,
+)
+from repro.core.shards import (
+    ShardPlan,
+    link_weights,
+    plan_balanced_shards,
+    plan_link_shards,
 )
 
 __all__ = [
@@ -80,4 +93,11 @@ __all__ = [
     "margin",
     "read_links",
     "write_links",
+    "ParallelFallbackWarning",
+    "WitnessPool",
+    "open_witness_pool",
+    "ShardPlan",
+    "link_weights",
+    "plan_balanced_shards",
+    "plan_link_shards",
 ]

@@ -44,6 +44,19 @@ def validate_backend(backend: str) -> str:
     return backend
 
 
+def validate_workers(workers: int) -> int:
+    """Validate a worker count; shared by matchers without a config."""
+    if (
+        not isinstance(workers, int)
+        or isinstance(workers, bool)
+        or workers < 1
+    ):
+        raise MatcherConfigError(
+            f"workers must be an integer >= 1, got {workers!r}"
+        )
+    return workers
+
+
 @dataclass(frozen=True)
 class MatcherConfig:
     """Tuning parameters of :class:`~repro.core.matcher.UserMatching`.
@@ -66,6 +79,13 @@ class MatcherConfig:
         tie_policy: see :class:`TiePolicy`.
         backend: execution substrate, ``"dict"`` (default) or ``"csr"``
             (dense interning + numpy kernels; link-identical output).
+        workers: worker processes for the ``csr`` witness kernels
+            (:mod:`repro.core.parallel`).  1 (default) is the serial
+            path; any value produces bit-identical links — ``workers``
+            is purely an execution knob.  The ``dict`` backend's
+            incremental score table is inherently sequential, so it
+            accepts the knob for interface uniformity but always runs
+            on one core.
     """
 
     threshold: int = 2
@@ -75,6 +95,7 @@ class MatcherConfig:
     min_bucket_exponent: int = 1
     tie_policy: TiePolicy = TiePolicy.SKIP
     backend: str = "dict"
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if not isinstance(self.threshold, int) or self.threshold < 1:
@@ -102,3 +123,4 @@ class MatcherConfig:
             raise MatcherConfigError(
                 f"backend must be one of {BACKENDS}, got {self.backend!r}"
             )
+        validate_workers(self.workers)

@@ -40,6 +40,11 @@ array speed), and selection is the vectorized mutual-best kernel.  The
 two backends are link-identical — the per-round recount sees exactly the
 eligible-pair scores of the incremental table, which is the same
 equality the MapReduce tests already pin down.
+
+Parallelism.  ``MatcherConfig(backend="csr", workers=N)`` additionally
+fans each round's recount out to a shared-memory worker pool
+(:mod:`repro.core.parallel`); the merge is deterministic, so any worker
+count produces bit-identical links to ``workers=1``.
 """
 
 from __future__ import annotations
@@ -303,14 +308,48 @@ class UserMatching:
         eligible-pair scores of the dict backend's incremental table —
         and the recount is one vectorized CSR join instead of a Python
         dict merge.
-        """
-        import numpy as np
 
-        from repro.core import kernels
+        With ``workers > 1`` the recount of every round is fanned out to
+        a :class:`~repro.core.parallel.WitnessPool`: the CSR arrays go
+        into shared memory once, each round's links are LPT-sharded, and
+        the per-shard tables are summed deterministically — selection
+        then sees exactly the serial table, so the links are
+        bit-identical for any worker count.
+        """
+        from repro.core.parallel import open_witness_pool
         from repro.graphs.pair_index import GraphPairIndex
 
         cfg = self.config
         index = GraphPairIndex(g1, g2)
+        pool = open_witness_pool(index, cfg.workers)
+        try:
+            return self._sweep_csr(index, pool, g1, g2, seeds, reporter)
+        finally:
+            if pool is not None:
+                pool.close()
+
+    def _sweep_csr(
+        self,
+        index: "GraphPairIndex",
+        pool,
+        g1: Graph,
+        g2: Graph,
+        seeds: dict[Node, Node],
+        reporter: ProgressReporter,
+    ) -> MatchingResult:
+        """The bucket sweep over dense ids (serial or pooled recount)."""
+        import numpy as np
+
+        from repro.core import kernels
+
+        cfg = self.config
+        count = (
+            pool.count_witnesses
+            if pool is not None
+            else lambda ll, lr, e1, e2: kernels.count_witnesses(
+                index, ll, lr, e1, e2
+            )
+        )
         link_l, link_r = index.intern_links(seeds)
         linked1 = np.zeros(index.n1, dtype=bool)
         linked2 = np.zeros(index.n2, dtype=bool)
@@ -325,8 +364,7 @@ class UserMatching:
             for j in exponents:
                 min_degree = 1 << j
                 floor1, floor2 = index.eligibility(min_degree)
-                scores, emitted = kernels.count_witnesses(
-                    index,
+                scores, emitted = count(
                     link_l,
                     link_r,
                     ~linked1 & floor1,

@@ -43,7 +43,11 @@ import math
 import time
 from typing import Callable, Hashable
 
-from repro.core.config import TiePolicy, validate_backend
+from repro.core.config import (
+    TiePolicy,
+    validate_backend,
+    validate_workers,
+)
 from repro.core.kernels import ArrayScores
 from repro.core.matcher import UserMatching
 from repro.core.protocol import ProgressCallback, ProgressReporter
@@ -135,20 +139,26 @@ def witness_count_kernel(
     return out
 
 
-def _csr_witness_scorer(g1: Graph, g2: Graph) -> ScoringKernel:
+def _csr_witness_scorer(
+    g1: Graph, g2: Graph, workers: int = 1
+) -> ScoringKernel:
     """Per-run witness scorer over one shared dense interning.
 
     Builds the :class:`~repro.graphs.pair_index.GraphPairIndex` lazily on
     the first scoring round and reuses it for every subsequent round —
     interning is paid once per reconciliation, as the complexity argument
-    assumes.  Without a candidate stage the flat
+    assumes.  With ``workers > 1`` a
+    :class:`~repro.core.parallel.WitnessPool` is opened alongside the
+    index and every round's join is sharded across it (the caller must
+    invoke the scorer's ``close()`` attribute when the run ends).
+    Without a candidate stage the flat
     :class:`~repro.core.kernels.ArrayScores` table flows straight into
     the selectors; with one, the scores are restricted through the dict
     view exactly like :func:`witness_count_kernel`.
     """
     from repro.graphs.pair_index import GraphPairIndex
 
-    state: dict[str, GraphPairIndex] = {}
+    state: dict[str, object] = {}
 
     def score(
         graph1: Graph,
@@ -159,7 +169,18 @@ def _csr_witness_scorer(g1: Graph, g2: Graph) -> ScoringKernel:
         index = state.get("index")
         if index is None:
             index = state["index"] = GraphPairIndex(g1, g2)
-        scores, _emitted = count_similarity_witnesses_arrays(index, links)
+            if workers > 1:
+                from repro.core.parallel import open_witness_pool
+
+                pool = open_witness_pool(index, workers)
+                if pool is not None:
+                    state["pool"] = pool
+        pool = state.get("pool")
+        scores, _emitted = count_similarity_witnesses_arrays(
+            index,
+            links,
+            counter=pool.count_witnesses if pool is not None else None,
+        )
         if candidates is None:
             return scores
         out: dict[Node, dict[Node, float]] = {}
@@ -172,7 +193,13 @@ def _csr_witness_scorer(g1: Graph, g2: Graph) -> ScoringKernel:
                 out[v1] = kept
         return out
 
+    def close() -> None:
+        pool = state.pop("pool", None)
+        if pool is not None:
+            pool.close()
+
     score.__name__ = "csr_witness_scorer"
+    score.close = close
     return score
 
 
@@ -292,6 +319,10 @@ class Reconciler:
             custom ``scorer`` takes precedence over the backend choice;
             a custom ``candidates`` stage keeps its dict-level filtering
             semantics on either backend.
+        workers: worker processes for the ``csr`` default scorer's
+            witness join (see :mod:`repro.core.parallel`); 1 (default)
+            runs serially and any value is link-identical.  Ignored by
+            custom scorers and by the ``dict`` backend.
     """
 
     def __init__(
@@ -306,6 +337,7 @@ class Reconciler:
         selector: str | Selector = "mutual-best",
         validators: "tuple[Validator, ...] | list[Validator]" = (),
         backend: str = "dict",
+        workers: int = 1,
     ) -> None:
         if threshold <= 0:
             raise MatcherConfigError(
@@ -323,6 +355,7 @@ class Reconciler:
         self.rounds = rounds
         self.tie_policy = tie_policy
         self.backend = validate_backend(backend)
+        self.workers = validate_workers(workers)
         self.seed_strategy = seed_strategy or validated_seeds
         self.candidates = candidates
         self._default_scorer = scorer is None
@@ -365,77 +398,87 @@ class Reconciler:
 
         scorer = self.scorer
         if self.backend == "csr" and self._default_scorer:
-            scorer = _csr_witness_scorer(g1, g2)
+            scorer = _csr_witness_scorer(g1, g2, self.workers)
 
         phases: list[PhaseRecord] = []
-        for rnd in range(1, self.rounds + 1):
-            if self.candidates is not None:
-                cands = timed(
-                    "candidates", rnd, self.candidates, g1, g2, links
+        try:
+            for rnd in range(1, self.rounds + 1):
+                if self.candidates is not None:
+                    cands = timed(
+                        "candidates", rnd, self.candidates, g1, g2, links
+                    )
+                    reporter.emit(
+                        "candidates", links_total=len(links), links_added=0
+                    )
+                else:
+                    cands = None  # fused: the kernel enumerates its own join
+                scores = timed(
+                    "score", rnd, scorer, g1, g2, links, cands
                 )
-                reporter.emit(
-                    "candidates", links_total=len(links), links_added=0
+                reporter.emit("score", links_total=len(links), links_added=0)
+                if isinstance(scores, ArrayScores) and (
+                    self.selector not in SELECTORS.values()
+                ):
+                    # Only the named selectors dispatch on the flat table; a
+                    # custom selector callable gets the documented dict shape.
+                    scores = scores.to_dict()
+                new_links = timed(
+                    "select",
+                    rnd,
+                    self.selector,
+                    scores,
+                    self.threshold,
+                    self.tie_policy,
                 )
-            else:
-                cands = None  # fused: the kernel enumerates its own join
-            scores = timed(
-                "score", rnd, scorer, g1, g2, links, cands
-            )
-            reporter.emit("score", links_total=len(links), links_added=0)
-            if isinstance(scores, ArrayScores) and (
-                self.selector not in SELECTORS.values()
-            ):
-                # Only the named selectors dispatch on the flat table; a
-                # custom selector callable gets the documented dict shape.
-                scores = scores.to_dict()
-            new_links = timed(
-                "select",
-                rnd,
-                self.selector,
-                scores,
-                self.threshold,
-                self.tie_policy,
-            )
-            # Selectors only see unmatched candidates, but a custom stage
-            # could return anything: enforce one-to-one against current
-            # links and within the round's own output.
-            linked_right = set(links.values())
-            accepted: dict[Node, Node] = {}
-            for v1, v2 in new_links.items():
-                if v1 in links or v2 in linked_right:
-                    continue
-                accepted[v1] = v2
-                linked_right.add(v2)
-            links.update(accepted)
-            if isinstance(scores, ArrayScores):
-                scored_pairs = scores.num_pairs
-                witnesses = scores.total_score()
-            else:
-                scored_pairs = sum(len(row) for row in scores.values())
-                witnesses = int(
-                    sum(
-                        sc
-                        for row in scores.values()
-                        for sc in row.values()
+                # Selectors only see unmatched candidates, but a custom stage
+                # could return anything: enforce one-to-one against current
+                # links and within the round's own output.
+                linked_right = set(links.values())
+                accepted: dict[Node, Node] = {}
+                for v1, v2 in new_links.items():
+                    if v1 in links or v2 in linked_right:
+                        continue
+                    accepted[v1] = v2
+                    linked_right.add(v2)
+                links.update(accepted)
+                if isinstance(scores, ArrayScores):
+                    scored_pairs = scores.num_pairs
+                    witnesses = scores.total_score()
+                else:
+                    scored_pairs = sum(len(row) for row in scores.values())
+                    witnesses = int(
+                        sum(
+                            sc
+                            for row in scores.values()
+                            for sc in row.values()
+                        )
+                    )
+                phases.append(
+                    PhaseRecord(
+                        iteration=rnd,
+                        bucket_exponent=None,
+                        min_degree=1,
+                        candidates=scored_pairs,
+                        witnesses_emitted=witnesses,
+                        links_added=len(accepted),
                     )
                 )
-            phases.append(
-                PhaseRecord(
-                    iteration=rnd,
-                    bucket_exponent=None,
-                    min_degree=1,
-                    candidates=scored_pairs,
-                    witnesses_emitted=witnesses,
+                reporter.emit(
+                    "select",
+                    links_total=len(links),
                     links_added=len(accepted),
                 )
-            )
-            reporter.emit(
-                "select",
-                links_total=len(links),
-                links_added=len(accepted),
-            )
-            if not accepted:
-                break
+                if not accepted:
+                    break
+        finally:
+            # The per-run csr scorer may hold a worker pool + shared
+            # memory; release them as soon as scoring rounds end.  Only
+            # the scorer created here is closed — a user-supplied one
+            # manages its own lifetime across runs.
+            if scorer is not self.scorer:
+                close = getattr(scorer, "close", None)
+                if close is not None:
+                    close()
 
         for validator in self.validators:
             before = len(links)

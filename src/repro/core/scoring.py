@@ -92,6 +92,8 @@ def count_similarity_witnesses_arrays(
     index: "GraphPairIndex",
     links: dict[Node, Node],
     min_degree: int = 1,
+    *,
+    counter=None,
 ) -> tuple["ArrayScores", int]:
     """Array-backend twin of :func:`count_similarity_witnesses`.
 
@@ -101,6 +103,15 @@ def count_similarity_witnesses_arrays(
     count; ``scores.to_dict()`` equals the dict kernel's table exactly —
     including the dict kernel's tolerance for links whose right endpoint
     is not in ``g2`` (they contribute no witnesses).
+
+    Args:
+        index: dense interning of the two graphs.
+        links: current identification links.
+        min_degree: degree floor applied on both sides.
+        counter: drop-in replacement for the serial kernel taking
+            ``(link_l, link_r, eligible1, eligible2)`` — pass a
+            :meth:`repro.core.parallel.WitnessPool.count_witnesses`
+            bound method to fan the join out to a worker pool.
     """
     import numpy as np
 
@@ -123,6 +134,10 @@ def count_similarity_witnesses_arrays(
     linked1[link_l] = True
     linked2[link_r] = True
     floor1, floor2 = index.eligibility(min_degree)
+    if counter is not None:
+        return counter(
+            link_l, link_r, ~linked1 & floor1, ~linked2 & floor2
+        )
     return count_witnesses(
         index, link_l, link_r, ~linked1 & floor1, ~linked2 & floor2
     )

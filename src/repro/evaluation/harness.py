@@ -15,7 +15,11 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Hashable, Sequence
 
-from repro.core.config import MatcherConfig, validate_backend
+from repro.core.config import (
+    MatcherConfig,
+    validate_backend,
+    validate_workers,
+)
 from repro.errors import MatcherConfigError
 from repro.core.matcher import UserMatching
 from repro.core.protocol import Matcher
@@ -59,6 +63,7 @@ def run_trial(
     matcher: "Matcher | str | None" = None,
     params: dict[str, object] | None = None,
     backend: str | None = None,
+    workers: int | None = None,
     **matcher_config: object,
 ) -> TrialResult:
     """Run one matcher trial and evaluate it.
@@ -74,19 +79,28 @@ def run_trial(
         backend: execution backend (``"dict"``/``"csr"``) applied to the
             default matcher, a given *config*, or a *named* matcher;
             cannot reconfigure an already-constructed instance.
+        workers: worker processes for the csr kernels, applied exactly
+            like *backend* (links are identical for any value — this
+            knob only changes wall-clock, i.e. the ``elapsed_s``
+            column).
         **matcher_config: configuration for a *named* matcher.
     """
-    if backend is not None:
-        validate_backend(backend)
+    for option, value in (("backend", backend), ("workers", workers)):
+        if value is None:
+            continue
+        if option == "backend":
+            validate_backend(value)
+        else:
+            validate_workers(value)
         if matcher is None:
             config = dataclasses.replace(
-                config or MatcherConfig(), backend=backend
+                config or MatcherConfig(), **{option: value}
             )
         elif isinstance(matcher, str):
-            matcher_config.setdefault("backend", backend)
+            matcher_config.setdefault(option, value)
         else:
             raise MatcherConfigError(
-                "backend= cannot reconfigure an already-constructed "
+                f"{option}= cannot reconfigure an already-constructed "
                 "matcher instance; pass a registry name or a config"
             )
     if matcher is None:
@@ -110,6 +124,7 @@ def compare_matchers(
     matchers: Sequence["Matcher | str"],
     params: dict[str, object] | None = None,
     backend: str | None = None,
+    workers: int | None = None,
 ) -> list[TrialResult]:
     """Run several matchers on the same workload, one trial each.
 
@@ -130,27 +145,34 @@ def compare_matchers(
             column of its row.  Pre-constructed instances keep whatever
             backend they were built with and get no ``backend`` column
             (the harness cannot reconfigure them).
+        workers: run every *named* matcher with this many csr-kernel
+            worker processes and record it in the ``workers`` column of
+            its row; same instance caveat as *backend*.
 
     Returns:
         One :class:`TrialResult` per matcher, in input order.
     """
     trials: list[TrialResult] = []
     for entry in matchers:
-        if isinstance(entry, str):
+        named = isinstance(entry, str)
+        if named:
             label = entry
         else:
             label = getattr(
                 entry, "matcher_name", type(entry).__name__
             )
         extra: dict[str, object] = {"matcher": label}
-        if backend is not None and isinstance(entry, str):
+        if backend is not None and named:
             extra["backend"] = backend
+        if workers is not None and named:
+            extra["workers"] = workers
         trials.append(
             run_trial(
                 pair,
                 seeds,
                 matcher=entry,
-                backend=backend if isinstance(entry, str) else None,
+                backend=backend if named else None,
+                workers=workers if named else None,
                 # label last: it must win over any caller-supplied key.
                 params={**(params or {}), **extra},
             )

@@ -34,6 +34,7 @@ def run(
     iterations: int = 2,
     seed=0,
     backend: str = "dict",
+    workers: int = 1,
 ) -> ExperimentResult:
     """Reproduce the Figure 2 series at reduced scale."""
     rng_graph, rng_copies, rng_seeds = spawn_rngs(seed, 3)
@@ -56,6 +57,7 @@ def run(
                 # T=1 can identify degree-1 nodes; let it try them.
                 min_bucket_exponent=0 if threshold == 1 else 1,
                 backend=backend,
+                workers=workers,
             )
             trial = run_trial(
                 pair,

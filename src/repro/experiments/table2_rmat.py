@@ -30,6 +30,7 @@ def run(
     iterations: int = 1,
     seed=0,
     backend: str = "dict",
+    workers: int = 1,
 ) -> ExperimentResult:
     """Reproduce the Table 2 relative-running-time ladder at reduced scale."""
     result = ExperimentResult(
@@ -40,7 +41,8 @@ def run(
         ),
         notes=(
             f"scales={scales} edge_factor={edge_factor} "
-            f"backend={backend} (paper: RMAT24/26/28 on MapReduce)"
+            f"backend={backend} workers={workers} "
+            "(paper: RMAT24/26/28 on MapReduce)"
         ),
     )
     rngs = spawn_rngs(seed, 3 * len(scales))
@@ -58,6 +60,7 @@ def run(
                 threshold=threshold,
                 iterations=iterations,
                 backend=backend,
+                workers=workers,
             ),
             params={"scale": scale},
         )

@@ -54,9 +54,12 @@ class MapReduceUserMatching:
     """User-Matching on top of :class:`LocalMapReduce`.
 
     Args:
-        config: same knobs as the sequential matcher.
+        config: same knobs as the sequential matcher;
+            ``config.workers`` becomes the default engine's reducer
+            shard count (the shuffle is the shard boundary).
         engine: optionally share/inspect an engine (round history is the
             interesting part: 4 rounds per bucket, O(k log D) total).
+            An explicit engine keeps its own ``workers`` setting.
     """
 
     def __init__(
@@ -65,7 +68,9 @@ class MapReduceUserMatching:
         engine: LocalMapReduce | None = None,
     ) -> None:
         self.config = config or MatcherConfig()
-        self.engine = engine or LocalMapReduce()
+        self.engine = engine or LocalMapReduce(
+            workers=self.config.workers
+        )
         # Reuse the sequential matcher for seed validation + bucket plan.
         self._reference = UserMatching(self.config)
 

@@ -1,0 +1,199 @@
+"""Unit tests for the shared-memory witness pool and its fallback."""
+
+import numpy as np
+import pytest
+
+from repro.core import kernels, parallel
+from repro.core.config import MatcherConfig
+from repro.core.matcher import UserMatching
+from repro.core.parallel import (
+    ParallelFallbackWarning,
+    WitnessPool,
+    merge_shard_scores,
+    open_witness_pool,
+)
+from repro.generators.preferential_attachment import (
+    preferential_attachment_graph,
+)
+from repro.graphs.pair_index import GraphPairIndex
+from repro.sampling.edge_sampling import independent_copies
+from repro.seeds.generators import sample_seeds
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+def build_round(n=300, m=5, min_degree=2):
+    """An interned workload plus one round's kernel inputs."""
+    g = preferential_attachment_graph(n, m, seed=1)
+    pair = independent_copies(g, 0.5, seed=2)
+    seeds = sample_seeds(pair, 0.1, seed=3)
+    index = GraphPairIndex(pair.g1, pair.g2)
+    link_l, link_r = index.intern_links(seeds)
+    linked1 = np.zeros(index.n1, dtype=bool)
+    linked2 = np.zeros(index.n2, dtype=bool)
+    linked1[link_l] = True
+    linked2[link_r] = True
+    floor1, floor2 = index.eligibility(min_degree)
+    return index, link_l, link_r, ~linked1 & floor1, ~linked2 & floor2
+
+
+def as_table(scores):
+    return sorted(
+        zip(
+            scores.left.tolist(),
+            scores.right.tolist(),
+            scores.score.tolist(),
+        )
+    )
+
+
+class TestWitnessPool:
+    def test_pool_matches_serial_kernel(self):
+        index, link_l, link_r, e1, e2 = build_round()
+        serial, emitted_s = kernels.count_witnesses(
+            index, link_l, link_r, e1, e2
+        )
+        with WitnessPool(index, workers=3) as pool:
+            pooled, emitted_p = pool.count_witnesses(
+                link_l, link_r, e1, e2
+            )
+        assert emitted_p == emitted_s
+        assert as_table(pooled) == as_table(serial)
+
+    def test_merged_table_is_canonically_sorted(self):
+        index, link_l, link_r, e1, e2 = build_round()
+        with WitnessPool(index, workers=2) as pool:
+            scores, _ = pool.count_witnesses(link_l, link_r, e1, e2)
+        packed = scores.left * index.n2 + scores.right
+        assert (np.diff(packed) > 0).all()
+
+    def test_single_link_round_runs_inline(self):
+        """One link -> one shard -> serial shortcut, same result."""
+        index, link_l, link_r, e1, e2 = build_round()
+        with WitnessPool(index, workers=3) as pool:
+            pooled, emitted = pool.count_witnesses(
+                link_l[:1], link_r[:1], e1, e2
+            )
+        serial, emitted_s = kernels.count_witnesses(
+            index, link_l[:1], link_r[:1], e1, e2
+        )
+        assert emitted == emitted_s
+        assert as_table(pooled) == as_table(serial)
+
+    def test_empty_link_round(self):
+        index, _l, _r, e1, e2 = build_round()
+        with WitnessPool(index, workers=2) as pool:
+            scores, emitted = pool.count_witnesses(
+                _EMPTY, _EMPTY, e1, e2
+            )
+        assert emitted == 0
+        assert scores.num_pairs == 0
+
+    def test_close_is_idempotent_and_blocks_reuse(self):
+        index, link_l, link_r, e1, e2 = build_round(n=80)
+        pool = WitnessPool(index, workers=2)
+        pool.close()
+        pool.close()
+        with pytest.raises(RuntimeError):
+            pool.count_witnesses(link_l, link_r, e1, e2)
+
+    def test_workers_below_two_rejected(self):
+        index, *_ = build_round(n=60)
+        with pytest.raises(ValueError):
+            WitnessPool(index, workers=1)
+
+    def test_pool_reused_across_rounds(self):
+        """Growing link sets across rounds, one pool (the matcher's use)."""
+        index, link_l, link_r, e1, e2 = build_round()
+        with WitnessPool(index, workers=2) as pool:
+            for k in (len(link_l) // 2, len(link_l)):
+                serial, _ = kernels.count_witnesses(
+                    index, link_l[:k], link_r[:k], e1, e2
+                )
+                pooled, _ = pool.count_witnesses(
+                    link_l[:k], link_r[:k], e1, e2
+                )
+                assert as_table(pooled) == as_table(serial)
+
+
+class TestMergeShardScores:
+    def test_overlapping_pairs_are_summed(self):
+        index, *_ = build_round(n=60)
+        parts = [
+            (
+                np.array([0, 1]),
+                np.array([0, 1]),
+                np.array([2, 3]),
+                5,
+            ),
+            (
+                np.array([1, 2]),
+                np.array([1, 0]),
+                np.array([4, 1]),
+                5,
+            ),
+        ]
+        scores, emitted = merge_shard_scores(index, parts)
+        assert emitted == 10
+        assert as_table(scores) == [(0, 0, 2), (1, 1, 7), (2, 0, 1)]
+
+    def test_merge_order_invariant(self):
+        index, *_ = build_round(n=60)
+        parts = [
+            (np.array([3]), np.array([4]), np.array([2]), 2),
+            (np.array([1]), np.array([1]), np.array([1]), 1),
+        ]
+        a, _ = merge_shard_scores(index, parts)
+        b, _ = merge_shard_scores(index, parts[::-1])
+        assert as_table(a) == as_table(b)
+        assert (a.left == b.left).all()  # canonical row order too
+
+    def test_all_empty_parts(self):
+        index, *_ = build_round(n=60)
+        parts = [(_EMPTY, _EMPTY, _EMPTY, 0)] * 3
+        scores, emitted = merge_shard_scores(index, parts)
+        assert emitted == 0
+        assert scores.num_pairs == 0
+
+
+class TestGracefulFallback:
+    def test_workers_one_is_silently_serial(self):
+        index, *_ = build_round(n=60)
+        assert open_witness_pool(index, 1) is None
+        assert open_witness_pool(index, 0) is None
+
+    def test_missing_shared_memory_warns_and_falls_back(
+        self, monkeypatch
+    ):
+        index, *_ = build_round(n=60)
+        monkeypatch.setattr(parallel, "_shared_memory", None)
+        with pytest.warns(ParallelFallbackWarning):
+            assert open_witness_pool(index, 3) is None
+
+    def test_pool_setup_failure_warns_and_falls_back(
+        self, monkeypatch
+    ):
+        index, *_ = build_round(n=60)
+
+        class Broken:
+            def SharedMemory(self, *args, **kwargs):
+                raise OSError("no /dev/shm in this sandbox")
+
+        monkeypatch.setattr(parallel, "_shared_memory", Broken())
+        with pytest.warns(ParallelFallbackWarning, match="serially"):
+            assert open_witness_pool(index, 3) is None
+
+    def test_matcher_still_matches_under_fallback(self, monkeypatch):
+        """End to end: workers>1 without shared memory = serial links."""
+        g = preferential_attachment_graph(200, 5, seed=1)
+        pair = independent_copies(g, 0.6, seed=2)
+        seeds = sample_seeds(pair, 0.1, seed=3)
+        reference = UserMatching(
+            MatcherConfig(backend="csr", workers=1)
+        ).run(pair.g1, pair.g2, seeds)
+        monkeypatch.setattr(parallel, "_shared_memory", None)
+        with pytest.warns(ParallelFallbackWarning):
+            degraded = UserMatching(
+                MatcherConfig(backend="csr", workers=4)
+            ).run(pair.g1, pair.g2, seeds)
+        assert degraded.links == reference.links

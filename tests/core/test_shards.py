@@ -1,0 +1,132 @@
+"""Unit tests for the greedy LPT shard planner."""
+
+import numpy as np
+import pytest
+
+from repro.core.shards import (
+    link_weights,
+    plan_balanced_shards,
+    plan_link_shards,
+)
+from repro.generators.preferential_attachment import (
+    preferential_attachment_graph,
+)
+from repro.graphs.pair_index import GraphPairIndex
+from repro.sampling.edge_sampling import independent_copies
+from repro.seeds.generators import sample_seeds
+
+
+class TestPlanBalancedShards:
+    def test_covers_every_item_exactly_once(self):
+        weights = np.array([5, 1, 9, 2, 2, 7, 3], dtype=np.int64)
+        plan = plan_balanced_shards(weights, 3)
+        seen = np.concatenate(plan.shards)
+        assert sorted(seen.tolist()) == list(range(len(weights)))
+
+    def test_loads_match_members(self):
+        weights = np.array([4, 4, 4, 1, 1, 1], dtype=np.int64)
+        plan = plan_balanced_shards(weights, 3)
+        for shard, load in zip(plan.shards, plan.loads):
+            assert int(weights[shard].sum()) == load
+        assert plan.total_load == 15
+
+    def test_giant_item_does_not_serialize_the_rest(self):
+        """One hub gets its own shard; the tail spreads over the others."""
+        weights = np.array([1000] + [1] * 30, dtype=np.int64)
+        plan = plan_balanced_shards(weights, 4)
+        hub_shard = next(
+            s for s in plan.shards if 0 in s.tolist()
+        )
+        assert hub_shard.tolist() == [0]
+        # The 30 unit items land on the other three shards, balanced.
+        other_loads = sorted(
+            load
+            for shard, load in zip(plan.shards, plan.loads)
+            if 0 not in shard.tolist()
+        )
+        assert other_loads == [10, 10, 10]
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(7)
+        weights = rng.integers(1, 100, size=200)
+        a = plan_balanced_shards(weights, 5)
+        b = plan_balanced_shards(weights, 5)
+        assert all(
+            (x == y).all() for x, y in zip(a.shards, b.shards)
+        )
+        assert a.loads == b.loads
+
+    def test_near_optimal_balance(self):
+        """LPT keeps max load within 4/3 of the perfect split."""
+        rng = np.random.default_rng(0)
+        weights = rng.integers(1, 50, size=500)
+        plan = plan_balanced_shards(weights, 8)
+        perfect = plan.total_load / 8
+        assert max(plan.loads) <= (4 / 3) * perfect + max(weights)
+        assert plan.imbalance() < 4 / 3
+
+    def test_empty_workload(self):
+        plan = plan_balanced_shards(np.empty(0, dtype=np.int64), 4)
+        assert plan.num_shards == 0
+        assert plan.total_load == 0
+        assert plan.imbalance() == 1.0
+
+    def test_single_item_single_shard(self):
+        plan = plan_balanced_shards(np.array([42]), 4)
+        assert plan.num_shards == 1
+        assert plan.shards[0].tolist() == [0]
+        assert plan.loads == (42,)
+
+    def test_more_shards_than_items_drops_empties(self):
+        plan = plan_balanced_shards(np.array([3, 3]), 10)
+        assert plan.num_shards == 2
+        assert all(len(s) == 1 for s in plan.shards)
+
+    def test_one_shard_is_identity(self):
+        weights = np.array([2, 5, 1], dtype=np.int64)
+        plan = plan_balanced_shards(weights, 1)
+        assert plan.num_shards == 1
+        assert plan.shards[0].tolist() == [0, 1, 2]
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ValueError):
+            plan_balanced_shards(np.array([1]), 0)
+
+    def test_shard_indices_sorted_ascending(self):
+        weights = np.array([9, 1, 8, 2, 7, 3], dtype=np.int64)
+        plan = plan_balanced_shards(weights, 2)
+        for shard in plan.shards:
+            assert shard.tolist() == sorted(shard.tolist())
+
+
+class TestLinkWeights:
+    @pytest.fixture()
+    def indexed_workload(self):
+        g = preferential_attachment_graph(120, 4, seed=0)
+        pair = independent_copies(g, 0.6, seed=1)
+        seeds = sample_seeds(pair, 0.15, seed=2)
+        index = GraphPairIndex(pair.g1, pair.g2)
+        link_l, link_r = index.intern_links(seeds)
+        return index, link_l, link_r
+
+    def test_weights_are_degree_products(self, indexed_workload):
+        index, link_l, link_r = indexed_workload
+        w = link_weights(index, link_l, link_r)
+        assert len(w) == len(link_l)
+        expected = np.maximum(index.deg1[link_l], 1) * np.maximum(
+            index.deg2[link_r], 1
+        )
+        assert (w == expected).all()
+        assert (w >= 1).all()
+
+    def test_empty_links(self, indexed_workload):
+        index, _l, _r = indexed_workload
+        empty = np.empty(0, dtype=np.int64)
+        assert len(link_weights(index, empty, empty)) == 0
+
+    def test_plan_link_shards_covers_all_links(self, indexed_workload):
+        index, link_l, link_r = indexed_workload
+        plan = plan_link_shards(index, link_l, link_r, 3)
+        assert plan.num_shards == 3
+        seen = sorted(np.concatenate(plan.shards).tolist())
+        assert seen == list(range(len(link_l)))
