@@ -1,0 +1,171 @@
+#!/usr/bin/env python
+"""CI perf-regression gate over the ``BENCH_*.json`` trajectory.
+
+Compares a freshly produced ``pytest-benchmark`` JSON against the
+committed baseline of the same suite and **fails (exit 1) when any
+shared benchmark's mean slowed down by more than the threshold**
+(default 1.5x).  The gate is what turns the committed ``BENCH_kernels``
+/ ``BENCH_parallel`` / ``BENCH_blocked`` files from upload-only
+artifacts into an enforced floor: a PR that accidentally serializes the
+witness join or deoptimizes a kernel turns the bench-smoke job red
+instead of silently rotting the trajectory.
+
+Noise tolerance:
+
+- benchmarks whose baseline mean is below ``--min-seconds`` (default
+  1 ms) are reported but never fail the gate — at that scale the ratio
+  measures the allocator and the CI runner's scheduler, not the code;
+- only benchmarks present in *both* files are compared (a renamed or
+  new benchmark is a baseline refresh, not a regression) — but if the
+  two files share *no* benchmarks the gate fails loudly, because that
+  means it is comparing the wrong files;
+- the comparison uses each benchmark's reported ``stats.mean`` over all
+  rounds, not a single sample.
+
+Usage::
+
+    python scripts/check_bench_regression.py BASELINE FRESH \
+        [--threshold 1.5] [--min-seconds 0.001] [--label kernels]
+
+Exit codes: 0 = no regression, 1 = regression (or nothing comparable),
+2 = bad invocation/unreadable input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_means(path: str) -> dict[str, float]:
+    """``{benchmark fullname: mean seconds}`` from a pytest-benchmark JSON.
+
+    ``fullname`` (e.g. ``bench_parallel.py::test_bench_matcher_scaling
+    [4]``) disambiguates parametrized variants; plain ``name`` is used
+    for entries that lack it.
+    """
+    with open(path) as handle:
+        data = json.load(handle)
+    means: dict[str, float] = {}
+    for bench in data.get("benchmarks", []):
+        key = bench.get("fullname") or bench["name"]
+        means[key] = float(bench["stats"]["mean"])
+    return means
+
+
+def compare(
+    baseline: dict[str, float],
+    fresh: dict[str, float],
+    threshold: float,
+    min_seconds: float,
+) -> tuple[list[tuple[str, float, float, float, str]], list[str]]:
+    """Delta rows + regressed benchmark names for two mean tables.
+
+    Returns ``(rows, regressions)`` where each row is ``(name,
+    baseline_mean, fresh_mean, ratio, verdict)`` and *regressions* lists
+    the shared benchmarks that slowed past *threshold* with a baseline
+    mean at or above *min_seconds*.
+    """
+    rows: list[tuple[str, float, float, float, str]] = []
+    regressions: list[str] = []
+    for name in sorted(set(baseline) & set(fresh)):
+        base = baseline[name]
+        now = fresh[name]
+        ratio = now / base if base > 0 else float("inf")
+        if ratio <= threshold:
+            verdict = "ok"
+        elif base < min_seconds:
+            verdict = "noise (under floor)"
+        else:
+            verdict = "REGRESSION"
+            regressions.append(name)
+        rows.append((name, base, now, ratio, verdict))
+    return rows, regressions
+
+
+def format_delta_table(
+    rows: list[tuple[str, float, float, float, str]]
+) -> str:
+    """Render the delta rows as an aligned ASCII table."""
+    header = ("benchmark", "baseline", "fresh", "ratio", "verdict")
+    body = [
+        (name, f"{base * 1e3:.3f} ms", f"{now * 1e3:.3f} ms",
+         f"{ratio:.2f}x", verdict)
+        for name, base, now, ratio, verdict in rows
+    ]
+    table = [header, *body]
+    widths = [max(len(r[i]) for r in table) for i in range(len(header))]
+    lines = [
+        "  ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip()
+        for row in table
+    ]
+    lines.insert(1, "  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        description=(
+            "fail when a fresh pytest-benchmark run regressed past the "
+            "committed baseline"
+        )
+    )
+    parser.add_argument("baseline", help="committed BENCH_*.json")
+    parser.add_argument("fresh", help="freshly produced benchmark JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=1.5,
+        help="max allowed fresh/baseline mean ratio (default 1.5)",
+    )
+    parser.add_argument(
+        "--min-seconds",
+        type=float,
+        default=0.001,
+        help=(
+            "baseline means below this never fail the gate "
+            "(default 0.001 s: sub-millisecond ratios are noise)"
+        ),
+    )
+    parser.add_argument(
+        "--label",
+        default=None,
+        help="suite name used in the report headline",
+    )
+    args = parser.parse_args(argv)
+    if args.threshold <= 0 or args.min_seconds < 0:
+        parser.error("threshold must be > 0 and min-seconds >= 0")
+    label = args.label or args.fresh
+    try:
+        baseline = load_means(args.baseline)
+        fresh = load_means(args.fresh)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"[{label}] cannot load benchmark JSON: {exc!r}")
+        return 2
+    rows, regressions = compare(
+        baseline, fresh, args.threshold, args.min_seconds
+    )
+    if not rows:
+        print(
+            f"[{label}] no shared benchmarks between "
+            f"{args.baseline} and {args.fresh} — wrong files?"
+        )
+        return 1
+    print(f"[{label}] {len(rows)} shared benchmarks, "
+          f"threshold {args.threshold:.2f}x, "
+          f"noise floor {args.min_seconds * 1e3:.1f} ms")
+    print(format_delta_table(rows))
+    if regressions:
+        print(
+            f"[{label}] FAIL: {len(regressions)} benchmark(s) regressed "
+            f"past {args.threshold:.2f}x: " + ", ".join(regressions)
+        )
+        return 1
+    print(f"[{label}] OK: no benchmark regressed past the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -41,6 +41,7 @@ class CommonNeighborsMatcher:
         tie_policy: TiePolicy = TiePolicy.SKIP,
         backend: str = "dict",
         workers: int = 1,
+        memory_budget_mb: int | None = None,
     ) -> None:
         self.config = MatcherConfig(
             threshold=threshold,
@@ -50,6 +51,7 @@ class CommonNeighborsMatcher:
             tie_policy=tie_policy,
             backend=backend,
             workers=workers,
+            memory_budget_mb=memory_budget_mb,
         )
         self._matcher = UserMatching(self.config)
 

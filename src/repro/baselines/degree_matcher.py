@@ -10,7 +10,11 @@ from __future__ import annotations
 
 from typing import Hashable
 
-from repro.core.config import validate_backend, validate_workers
+from repro.core.config import (
+    validate_backend,
+    validate_memory_budget_mb,
+    validate_workers,
+)
 from repro.core.ordering import node_sort_key
 from repro.core.protocol import ProgressCallback, ProgressReporter
 from repro.core.result import MatchingResult
@@ -38,12 +42,17 @@ class DegreeSequenceMatcher:
         max_matches: int | None = None,
         backend: str = "dict",
         workers: int = 1,
+        memory_budget_mb: int | None = None,
     ) -> None:
         self.max_matches = max_matches
         self.backend = validate_backend(backend)
-        # Degree ranking is two lexsorts — nothing to fan out; accepted
-        # (and validated) for interface uniformity across the registry.
+        # Degree ranking is two lexsorts — nothing to fan out or block;
+        # both execution knobs are accepted (and validated) for
+        # interface uniformity across the registry.
         self.workers = validate_workers(workers)
+        self.memory_budget_mb = validate_memory_budget_mb(
+            memory_budget_mb
+        )
 
     def run(
         self,

@@ -27,7 +27,11 @@ from __future__ import annotations
 import math
 from typing import Hashable
 
-from repro.core.config import validate_backend, validate_workers
+from repro.core.config import (
+    validate_backend,
+    validate_memory_budget_mb,
+    validate_workers,
+)
 from repro.core.protocol import ProgressCallback, ProgressReporter
 from repro.core.result import MatchingResult
 from repro.errors import MatcherConfigError
@@ -63,6 +67,7 @@ class NarayananShmatikovMatcher:
         allow_rematch: bool = True,
         backend: str = "dict",
         workers: int = 1,
+        memory_budget_mb: int | None = None,
     ) -> None:
         if eccentricity_threshold < 0:
             raise MatcherConfigError(
@@ -78,9 +83,13 @@ class NarayananShmatikovMatcher:
         self.allow_rematch = allow_rematch
         self.backend = validate_backend(backend)
         # The sweep rematches nodes one at a time (order-dependent by
-        # design), so there is no independent work to shard; accepted
-        # (and validated) for interface uniformity across the registry.
+        # design), so there is no independent work to shard or block;
+        # both execution knobs are accepted (and validated) for
+        # interface uniformity across the registry.
         self.workers = validate_workers(workers)
+        self.memory_budget_mb = validate_memory_budget_mb(
+            memory_budget_mb
+        )
 
     # ------------------------------------------------------------------
     def _candidate_scores(

@@ -28,7 +28,11 @@ import bisect
 import math
 from typing import Hashable
 
-from repro.core.config import validate_backend, validate_workers
+from repro.core.config import (
+    validate_backend,
+    validate_memory_budget_mb,
+    validate_workers,
+)
 from repro.core.ordering import node_sort_key
 from repro.core.protocol import ProgressCallback, ProgressReporter
 from repro.core.result import MatchingResult
@@ -133,6 +137,7 @@ class StructuralFeatureMatcher:
         max_candidates: int = 50,
         backend: str = "dict",
         workers: int = 1,
+        memory_budget_mb: int | None = None,
     ) -> None:
         if not 0.0 < quantile <= 1.0:
             raise MatcherConfigError(
@@ -147,9 +152,13 @@ class StructuralFeatureMatcher:
         self.max_candidates = max_candidates
         self.backend = validate_backend(backend)
         # Feature extraction is one vectorized pass per graph with no
-        # per-round join to shard; accepted (and validated) for
-        # interface uniformity across the registry.
+        # per-round join to shard or block; both execution knobs are
+        # accepted (and validated) for interface uniformity across the
+        # registry.
         self.workers = validate_workers(workers)
+        self.memory_budget_mb = validate_memory_budget_mb(
+            memory_budget_mb
+        )
 
     def run(
         self,

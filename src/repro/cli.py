@@ -7,6 +7,7 @@ Examples::
     repro run fig2 --seed 7
     repro run table2 --backend csr
     repro run table2 --backend csr --workers 4
+    repro run table2-million --memory-budget-mb 512
     repro run table3-facebook
     repro run ablation-wikipedia --matcher common-neighbors
     repro run all
@@ -42,6 +43,10 @@ from repro.experiments.common import ExperimentResult
 EXPERIMENTS: dict[str, tuple[Callable[..., ExperimentResult], str]] = {
     "fig2": (fig2_pa.run, "PA + random deletion recall sweep"),
     "table2": (table2_rmat.run, "R-MAT scaling ladder"),
+    "table2-million": (
+        table2_rmat.run_million,
+        "million-node R-MAT rung (blocked csr under a memory budget)",
+    ),
     "table3-facebook": (
         table3_fb_enron.run_facebook,
         "Facebook-like random deletion grid",
@@ -173,9 +178,13 @@ def _cmd_run(
     matcher: str | None = None,
     backend: str | None = None,
     workers: int | None = None,
+    memory_budget_mb: int | None = None,
+    track_memory: bool = False,
 ) -> int:
     if name == "all":
-        names = list(EXPERIMENTS)
+        # The million-node rung is minutes + GiB by design; it only
+        # runs when named explicitly.
+        names = [n for n in EXPERIMENTS if n != "table2-million"]
     elif name in EXPERIMENTS:
         names = [name]
     else:
@@ -199,10 +208,18 @@ def _cmd_run(
             f"--workers must be >= 1, got {workers}", file=sys.stderr
         )
         return 2
+    if memory_budget_mb is not None and memory_budget_mb < 1:
+        print(
+            f"--memory-budget-mb must be >= 1, got {memory_budget_mb}",
+            file=sys.stderr,
+        )
+        return 2
     for option, value in (
         ("matcher", matcher),
         ("backend", backend),
         ("workers", workers),
+        ("memory_budget_mb", memory_budget_mb),
+        ("track_memory", track_memory or None),
     ):
         if value is None:
             continue
@@ -214,7 +231,7 @@ def _cmd_run(
         ]
         if unsupported:
             print(
-                f"--{option} is not supported by: "
+                f"--{option.replace('_', '-')} is not supported by: "
                 + ", ".join(unsupported),
                 file=sys.stderr,
             )
@@ -228,6 +245,10 @@ def _cmd_run(
             kwargs["backend"] = backend
         if workers is not None:
             kwargs["workers"] = workers
+        if memory_budget_mb is not None:
+            kwargs["memory_budget_mb"] = memory_budget_mb
+        if track_memory:
+            kwargs["track_memory"] = True
         result = fn(**kwargs)
         print(result.to_table())
         if chart and result.rows:
@@ -314,6 +335,28 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     run_p.add_argument(
+        "--memory-budget-mb",
+        type=int,
+        default=None,
+        dest="memory_budget_mb",
+        help=(
+            "per-round working-set budget (MiB) for the csr witness "
+            "join: rounds stream block-by-block under the budget, with "
+            "links identical to the monolithic run; only for "
+            "experiments that support it"
+        ),
+    )
+    run_p.add_argument(
+        "--track-memory",
+        action="store_true",
+        dest="track_memory",
+        help=(
+            "also record each trial's peak allocation in a peak_mb "
+            "column (tracemalloc; adds tracing overhead to elapsed_s); "
+            "only for experiments that support it"
+        ),
+    )
+    run_p.add_argument(
         "--chart",
         action="store_true",
         help="also render an ASCII chart of the result",
@@ -338,6 +381,8 @@ def main(argv: list[str] | None = None) -> int:
             args.matcher,
             args.backend,
             args.workers,
+            args.memory_budget_mb,
+            args.track_memory,
         )
     return 2  # unreachable: argparse enforces the sub-command set
 

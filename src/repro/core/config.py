@@ -57,6 +57,29 @@ def validate_workers(workers: int) -> int:
     return workers
 
 
+def validate_memory_budget_mb(
+    memory_budget_mb: "int | None",
+) -> "int | None":
+    """Validate a memory budget; shared by matchers without a config.
+
+    ``None`` means unbudgeted (monolithic execution); otherwise the
+    budget is a positive integer number of MiB bounding the transient
+    witness-join working set per round.
+    """
+    if memory_budget_mb is None:
+        return None
+    if (
+        not isinstance(memory_budget_mb, int)
+        or isinstance(memory_budget_mb, bool)
+        or memory_budget_mb < 1
+    ):
+        raise MatcherConfigError(
+            "memory_budget_mb must be an integer >= 1 or None, "
+            f"got {memory_budget_mb!r}"
+        )
+    return memory_budget_mb
+
+
 @dataclass(frozen=True)
 class MatcherConfig:
     """Tuning parameters of :class:`~repro.core.matcher.UserMatching`.
@@ -86,6 +109,17 @@ class MatcherConfig:
             incremental score table is inherently sequential, so it
             accepts the knob for interface uniformity but always runs
             on one core.
+        memory_budget_mb: soft cap, in MiB, on the transient working
+            set of each ``csr`` witness-join round.  ``None`` (default)
+            runs each round monolithically; with a budget the round's
+            link set is split into blocks sized from per-link
+            degree-product estimates (:mod:`repro.core.shards`) and the
+            join streams block-by-block, merging per-block tables by
+            canonical summation — links are bit-identical to the
+            monolithic path for any budget, and the knob composes with
+            ``workers`` (each block is fanned to the pool).  Like
+            ``workers``, the ``dict`` backend accepts it for interface
+            uniformity only.
     """
 
     threshold: int = 2
@@ -96,6 +130,7 @@ class MatcherConfig:
     tie_policy: TiePolicy = TiePolicy.SKIP
     backend: str = "dict"
     workers: int = 1
+    memory_budget_mb: int | None = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.threshold, int) or self.threshold < 1:
@@ -124,3 +159,4 @@ class MatcherConfig:
                 f"backend must be one of {BACKENDS}, got {self.backend!r}"
             )
         validate_workers(self.workers)
+        validate_memory_budget_mb(self.memory_budget_mb)

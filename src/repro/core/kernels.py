@@ -221,11 +221,15 @@ def count_witnesses(
         np.cumsum(a, out=ip1[1:])
         ip2 = np.zeros(num_links + 1, dtype=np.int64)
         np.cumsum(b, out=ip2[1:])
+        # The interning may have compacted neighbor ids to uint32;
+        # scipy wants one index dtype across (indices, indptr).
         incidence1 = _sparse.csc_array(
-            (ones1, nbr1, ip1), shape=(index.n1, num_links)
+            (ones1, nbr1.astype(np.int64, copy=False), ip1),
+            shape=(index.n1, num_links),
         )
         incidence2 = _sparse.csr_array(
-            (ones2, nbr2, ip2), shape=(num_links, index.n2)
+            (ones2, nbr2.astype(np.int64, copy=False), ip2),
+            shape=(num_links, index.n2),
         )
         # csc @ csr yields CSC: indptr walks g2 columns, indices hold the
         # g1 rows, duplicates pre-summed.  Read the triplets out directly
@@ -252,7 +256,11 @@ def count_witnesses(
     if index.n1 * index.n2 < np.iinfo(np.int32).max:
         packed = (pair_l * n2 + pair_r).astype(np.int32)
     else:
-        packed = pair_l * n2 + pair_r
+        # Force the multiply into int64 explicitly: the compacted
+        # interning gathers uint32 neighbor ids, and numpy 1.x
+        # value-based casting would keep uint32 x int64-scalar at
+        # uint32, wrapping packed keys past 2**32.
+        packed = pair_l.astype(np.int64) * n2 + pair_r
     keys, counts = np.unique(packed, return_counts=True)
     keys = keys.astype(np.int64)
     return (
@@ -260,6 +268,177 @@ def count_witnesses(
             index, keys // n2, keys % n2, counts.astype(np.int64)
         ),
         emitted,
+    )
+
+
+def merge_score_tables(
+    index: GraphPairIndex,
+    parts: "list[tuple[np.ndarray, np.ndarray, np.ndarray, int]]",
+) -> tuple[ArrayScores, int]:
+    """Sum partial score tables into one canonical table.
+
+    The shared merge of both execution decompositions — per-worker
+    shards (:mod:`repro.core.parallel`) and per-round memory blocks
+    (:func:`count_witnesses_blocked`).  Parts are concatenated in input
+    order and duplicate ``(v1, v2)`` pairs (the same candidate witnessed
+    from links in different parts) are collapsed by summing their
+    counts; the result is sorted by packed pair key, so the merged table
+    — content *and* row order — does not depend on how the round was
+    split.
+
+    Args:
+        parts: ``(left, right, score, emitted)`` tuples.
+
+    Returns:
+        The canonical ``(ArrayScores, total_emitted)`` pair.
+    """
+    emitted = sum(part[3] for part in parts)
+    kept = [part for part in parts if len(part[0])]
+    if not kept:
+        return ArrayScores(index, _EMPTY, _EMPTY, _EMPTY), emitted
+    left = np.concatenate([part[0] for part in kept])
+    right = np.concatenate([part[1] for part in kept])
+    score = np.concatenate([part[2] for part in kept])
+    n2 = np.int64(index.n2)
+    packed = left * n2 + right
+    keys, inverse = np.unique(packed, return_inverse=True)
+    # bincount's float64 accumulator is exact below 2**53, far above any
+    # witness count; cast back to the kernel's integer dtype.
+    merged = np.bincount(
+        inverse, weights=score, minlength=len(keys)
+    ).astype(np.int64)
+    return ArrayScores(index, keys // n2, keys % n2, merged), emitted
+
+
+def count_witnesses_blocked(
+    index: GraphPairIndex,
+    link_left: np.ndarray,
+    link_right: np.ndarray,
+    eligible1: np.ndarray,
+    eligible2: np.ndarray,
+    memory_budget_mb: int | None,
+    *,
+    counter=None,
+    use_sparse: bool | None = None,
+) -> tuple[ArrayScores, int]:
+    """Memory-budgeted witness counting: stream the join block-by-block.
+
+    Same contract as :func:`count_witnesses`, but the transient working
+    set of the join is bounded by *memory_budget_mb*: the round's link
+    set is split into column blocks by
+    :func:`repro.core.shards.plan_witness_blocks` (contiguous runs whose
+    estimated witness-pair expansion fits the budget), each block runs
+    through the monolithic kernel, and the running score table absorbs
+    each block via the canonical :func:`merge_score_tables` summation.
+    Witness counts are integers and addition is commutative, so the
+    final table — and everything selected from it — is bit-identical to
+    the monolithic path for any budget, any block count, and any
+    *counter* (serial kernel or a sharded worker pool).
+
+    Peak transient memory is one block's expansion plus the running
+    table, instead of the whole round's expansion at once — the knob
+    that lets million-node rounds run in a fixed footprint.
+
+    Args:
+        memory_budget_mb: per-round transient budget in MiB; ``None``
+            falls through to the monolithic kernel unchanged.
+        counter: drop-in replacement for the serial kernel taking
+            ``(link_l, link_r, eligible1, eligible2)`` — pass a
+            :meth:`repro.core.parallel.WitnessPool.count_witnesses`
+            bound method to fan each block out to a worker pool
+            (``blocked x workers`` composes; output stays identical).
+        use_sparse: forwarded to :func:`count_witnesses` (ignored when
+            *counter* is given).
+    """
+    from repro.core.shards import (
+        plan_witness_blocks,
+        witness_block_budget,
+    )
+
+    def run(link_l: np.ndarray, link_r: np.ndarray):
+        if counter is not None:
+            return counter(link_l, link_r, eligible1, eligible2)
+        return count_witnesses(
+            index,
+            link_l,
+            link_r,
+            eligible1,
+            eligible2,
+            use_sparse=use_sparse,
+        )
+
+    if memory_budget_mb is None:
+        return run(link_left, link_right)
+    plan = plan_witness_blocks(
+        index, link_left, link_right, memory_budget_mb
+    )
+    if plan.num_blocks <= 1:
+        return run(link_left, link_right)
+    # Stream blocks into one running score table.  Two ingredients keep
+    # the accumulator cheap relative to the monolithic join:
+    #
+    # - the running table and pending block outputs are held as
+    #   *packed* ``(v1 * n2 + v2, count)`` pairs — 16 bytes per row
+    #   instead of the 24-byte (left, right, score) triple — and only
+    #   unpacked once at the end;
+    # - folds are *amortized*: pending rows accumulate until they rival
+    #   the running table (or the per-block budget, whichever is
+    #   larger).  Folding after every block would cost
+    #   O(blocks x table) re-sorts on rounds whose output table is
+    #   huge; the doubling rule bounds total merge work at
+    #   O(table x log blocks).
+    #
+    # Peak transient memory is one block's expansion plus O(output
+    # table) — the table is the round's result, so that floor is
+    # irreducible; what the budget eliminates is the un-deduplicated
+    # expansion, whose degree-product bound can dwarf the table on
+    # skewed graphs.  Grouping does not affect the result: counts are
+    # integers, addition is commutative, and every fold re-sorts
+    # canonically.
+    n2 = np.int64(index.n2)
+    running: tuple[np.ndarray, np.ndarray] | None = None
+    pending: list[tuple[np.ndarray, np.ndarray]] = []
+    pending_rows = 0
+    total_emitted = 0
+    fold_floor = witness_block_budget(memory_budget_mb)
+
+    def fold() -> None:
+        nonlocal running, pending, pending_rows
+        parts = ([running] if running is not None else []) + pending
+        if not parts:  # every block so far emitted nothing
+            running = (_EMPTY, _EMPTY)
+            return
+        keys = np.concatenate([part[0] for part in parts])
+        counts = np.concatenate([part[1] for part in parts])
+        uniq, inverse = np.unique(keys, return_inverse=True)
+        # bincount's float64 accumulator is exact below 2**53, far
+        # above any witness count.
+        merged = np.bincount(
+            inverse, weights=counts, minlength=len(uniq)
+        ).astype(np.int64)
+        running = (uniq, merged)
+        pending = []
+        pending_rows = 0
+
+    for idx in plan.blocks:
+        scores, emitted = run(link_left[idx], link_right[idx])
+        total_emitted += emitted
+        if scores.num_pairs:
+            pending.append(
+                (scores.left * n2 + scores.right, scores.score)
+            )
+            pending_rows += scores.num_pairs
+        threshold = fold_floor
+        if running is not None:
+            threshold = max(threshold, len(running[0]))
+        if pending_rows >= threshold:
+            fold()
+    if pending or running is None:
+        fold()
+    keys, counts = running
+    return (
+        ArrayScores(index, keys // n2, keys % n2, counts),
+        total_emitted,
     )
 
 
@@ -310,13 +489,13 @@ def select_mutual_best_arrays(
     number of pairs that passed the threshold filter.
     """
     mask = scores.score >= threshold
-    l, r, s = scores.left[mask], scores.right[mask], scores.score[mask]
-    candidates = len(s)
+    lt, rt, sc = scores.left[mask], scores.right[mask], scores.score[mask]
+    candidates = len(sc)
     if candidates == 0:
         return _EMPTY, _EMPTY, 0
     skip = tie_policy is TiePolicy.SKIP
-    best_l, best_l_r = _best_per_group(l, r, s, skip)
-    best_r, best_r_l = _best_per_group(r, l, s, skip)
+    best_l, best_l_r = _best_per_group(lt, rt, sc, skip)
+    best_r, best_r_l = _best_per_group(rt, lt, sc, skip)
     # Mutual join: keep (v1, v2) where v2's best is v1.
     right_best_of = np.full(scores.index.n2, -1, dtype=np.int64)
     right_best_of[best_r] = best_r_l
@@ -338,16 +517,16 @@ def select_greedy_arrays(
     acceptance blocks later pairs) is a Python loop.
     """
     mask = scores.score >= threshold
-    l, r, s = scores.left[mask], scores.right[mask], scores.score[mask]
-    if len(s) == 0:
+    lt, rt, sc = scores.left[mask], scores.right[mask], scores.score[mask]
+    if len(sc) == 0:
         return _EMPTY, _EMPTY
-    order = np.lexsort((r, l, -s))
-    l, r = l[order].tolist(), r[order].tolist()
+    order = np.lexsort((rt, lt, -sc))
+    lt, rt = lt[order].tolist(), rt[order].tolist()
     used1 = np.zeros(scores.index.n1, dtype=bool)
     used2 = np.zeros(scores.index.n2, dtype=bool)
     out_l: list[int] = []
     out_r: list[int] = []
-    for v1, v2 in zip(l, r):
+    for v1, v2 in zip(lt, rt):
         if used1[v1] or used2[v2]:
             continue
         used1[v1] = used2[v2] = True

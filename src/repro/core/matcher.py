@@ -45,6 +45,14 @@ Parallelism.  ``MatcherConfig(backend="csr", workers=N)`` additionally
 fans each round's recount out to a shared-memory worker pool
 (:mod:`repro.core.parallel`); the merge is deterministic, so any worker
 count produces bit-identical links to ``workers=1``.
+
+Memory budgeting.  ``MatcherConfig(backend="csr", memory_budget_mb=M)``
+bounds each round's transient witness-join working set: the round's
+links are split into column blocks sized from per-link degree-product
+estimates (:mod:`repro.core.shards`) and streamed through
+:func:`repro.core.kernels.count_witnesses_blocked`, whose canonical
+block merge is the same summation as the worker-shard merge — so any
+budget, with or without workers, produces bit-identical links.
 """
 
 from __future__ import annotations
@@ -343,13 +351,31 @@ class UserMatching:
         from repro.core import kernels
 
         cfg = self.config
-        count = (
-            pool.count_witnesses
-            if pool is not None
-            else lambda ll, lr, e1, e2: kernels.count_witnesses(
-                index, ll, lr, e1, e2
-            )
-        )
+        if cfg.memory_budget_mb is not None:
+            # Memory-budgeted streaming: each round's links are split
+            # into degree-product-sized blocks; with a pool, every block
+            # is additionally sharded across the workers.  Both merges
+            # are the same canonical summation, so blocked x workers is
+            # bit-identical to the monolithic serial recount.
+            def count(ll, lr, e1, e2):
+                return kernels.count_witnesses_blocked(
+                    index,
+                    ll,
+                    lr,
+                    e1,
+                    e2,
+                    cfg.memory_budget_mb,
+                    counter=(
+                        pool.count_witnesses if pool is not None else None
+                    ),
+                )
+
+        elif pool is not None:
+            count = pool.count_witnesses
+        else:
+
+            def count(ll, lr, e1, e2):
+                return kernels.count_witnesses(index, ll, lr, e1, e2)
         link_l, link_r = index.intern_links(seeds)
         linked1 = np.zeros(index.n1, dtype=bool)
         linked2 = np.zeros(index.n2, dtype=bool)

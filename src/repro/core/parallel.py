@@ -138,28 +138,13 @@ def merge_shard_scores(
 ) -> tuple[ArrayScores, int]:
     """Sum per-shard score tables into one canonical table.
 
-    Parts are concatenated in plan order and duplicate ``(v1, v2)`` pairs
-    (the same candidate witnessed from links in different shards) are
-    collapsed by summing their counts; the result is sorted by packed
-    pair key, so the merged table — content *and* row order — does not
-    depend on the sharding.
+    Thin alias of :func:`repro.core.kernels.merge_score_tables` — the
+    per-worker shard merge and the memory-block merge of
+    :func:`~repro.core.kernels.count_witnesses_blocked` are the same
+    ``np.unique``-canonical summation, which is what makes
+    ``blocked x workers`` output bit-identical to the monolithic path.
     """
-    emitted = sum(part[3] for part in parts)
-    kept = [part for part in parts if len(part[0])]
-    if not kept:
-        return ArrayScores(index, _EMPTY, _EMPTY, _EMPTY), emitted
-    left = np.concatenate([part[0] for part in kept])
-    right = np.concatenate([part[1] for part in kept])
-    score = np.concatenate([part[2] for part in kept])
-    n2 = np.int64(index.n2)
-    packed = left * n2 + right
-    keys, inverse = np.unique(packed, return_inverse=True)
-    # bincount's float64 accumulator is exact below 2**53, far above any
-    # witness count; cast back to the kernel's integer dtype.
-    merged = np.bincount(
-        inverse, weights=score, minlength=len(keys)
-    ).astype(np.int64)
-    return ArrayScores(index, keys // n2, keys % n2, merged), emitted
+    return kernels.merge_score_tables(index, parts)
 
 
 class WitnessPool:
@@ -196,6 +181,7 @@ class WitnessPool:
         self._segments: list[object] = []
         self._views: dict[str, np.ndarray] = {}
         self._pool = None
+        self._staged_elig: "tuple[np.ndarray, np.ndarray] | None" = None
         try:
             specs: dict[str, _ArraySpec] = {}
             for key, arr in (
@@ -248,6 +234,15 @@ class WitnessPool:
         Same contract as :func:`repro.core.kernels.count_witnesses`;
         rounds too small to shard (fewer than two links) run the serial
         kernel inline rather than paying pool dispatch.
+
+        The eligibility masks are staged into the shared buffers only
+        when the caller passes *different array objects* than the
+        previous call: the blocked executor invokes this once per
+        block with the same mask objects, and re-copying ``n1 + n2``
+        bytes per block would dwarf the block's own payload.  Callers
+        must therefore not mutate a mask in place between calls — every
+        shipped caller builds fresh masks per round (``~linked &
+        floor`` allocates), which also gives them fresh identities.
         """
         if self._pool is None:
             raise RuntimeError("pool is closed")
@@ -258,8 +253,18 @@ class WitnessPool:
             return kernels.count_witnesses(
                 self.index, link_l, link_r, eligible1, eligible2
             )
-        self._views["elig1"][...] = eligible1
-        self._views["elig2"][...] = eligible2
+        staged = self._staged_elig
+        if (
+            staged is None
+            or staged[0] is not eligible1
+            or staged[1] is not eligible2
+        ):
+            self._views["elig1"][...] = eligible1
+            self._views["elig2"][...] = eligible2
+            # Holding the references also keeps the identity test
+            # sound: the arrays cannot be garbage-collected and their
+            # ids recycled while staged.
+            self._staged_elig = (eligible1, eligible2)
         tasks = [
             (link_l[idx], link_r[idx]) for idx in plan.shards
         ]
@@ -273,6 +278,7 @@ class WitnessPool:
         if pool is not None:
             pool.terminate()
             pool.join()
+        self._staged_elig = None
         # numpy views hold exported buffers; release them before close().
         self._views.clear()
         segments, self._segments = self._segments, []

@@ -46,6 +46,7 @@ from typing import Callable, Hashable
 from repro.core.config import (
     TiePolicy,
     validate_backend,
+    validate_memory_budget_mb,
     validate_workers,
 )
 from repro.core.kernels import ArrayScores
@@ -140,7 +141,10 @@ def witness_count_kernel(
 
 
 def _csr_witness_scorer(
-    g1: Graph, g2: Graph, workers: int = 1
+    g1: Graph,
+    g2: Graph,
+    workers: int = 1,
+    memory_budget_mb: int | None = None,
 ) -> ScoringKernel:
     """Per-run witness scorer over one shared dense interning.
 
@@ -150,7 +154,10 @@ def _csr_witness_scorer(
     assumes.  With ``workers > 1`` a
     :class:`~repro.core.parallel.WitnessPool` is opened alongside the
     index and every round's join is sharded across it (the caller must
-    invoke the scorer's ``close()`` attribute when the run ends).
+    invoke the scorer's ``close()`` attribute when the run ends).  With
+    a *memory_budget_mb* every round streams block-by-block through
+    :func:`~repro.core.kernels.count_witnesses_blocked`, composing with
+    the pool and never changing the scores.
     Without a candidate stage the flat
     :class:`~repro.core.kernels.ArrayScores` table flows straight into
     the selectors; with one, the scores are restricted through the dict
@@ -180,6 +187,7 @@ def _csr_witness_scorer(
             index,
             links,
             counter=pool.count_witnesses if pool is not None else None,
+            memory_budget_mb=memory_budget_mb,
         )
         if candidates is None:
             return scores
@@ -323,6 +331,12 @@ class Reconciler:
             witness join (see :mod:`repro.core.parallel`); 1 (default)
             runs serially and any value is link-identical.  Ignored by
             custom scorers and by the ``dict`` backend.
+        memory_budget_mb: MiB cap on the ``csr`` default scorer's
+            per-round transient working set (see
+            :func:`~repro.core.kernels.count_witnesses_blocked`);
+            ``None`` (default) runs monolithically and any budget is
+            link-identical.  Same custom-scorer/dict-backend caveat as
+            *workers*.
     """
 
     def __init__(
@@ -338,6 +352,7 @@ class Reconciler:
         validators: "tuple[Validator, ...] | list[Validator]" = (),
         backend: str = "dict",
         workers: int = 1,
+        memory_budget_mb: int | None = None,
     ) -> None:
         if threshold <= 0:
             raise MatcherConfigError(
@@ -356,6 +371,9 @@ class Reconciler:
         self.tie_policy = tie_policy
         self.backend = validate_backend(backend)
         self.workers = validate_workers(workers)
+        self.memory_budget_mb = validate_memory_budget_mb(
+            memory_budget_mb
+        )
         self.seed_strategy = seed_strategy or validated_seeds
         self.candidates = candidates
         self._default_scorer = scorer is None
@@ -398,7 +416,9 @@ class Reconciler:
 
         scorer = self.scorer
         if self.backend == "csr" and self._default_scorer:
-            scorer = _csr_witness_scorer(g1, g2, self.workers)
+            scorer = _csr_witness_scorer(
+                g1, g2, self.workers, self.memory_budget_mb
+            )
 
         phases: list[PhaseRecord] = []
         try:

@@ -94,6 +94,7 @@ def count_similarity_witnesses_arrays(
     min_degree: int = 1,
     *,
     counter=None,
+    memory_budget_mb: "int | None" = None,
 ) -> tuple["ArrayScores", int]:
     """Array-backend twin of :func:`count_similarity_witnesses`.
 
@@ -112,10 +113,16 @@ def count_similarity_witnesses_arrays(
             ``(link_l, link_r, eligible1, eligible2)`` — pass a
             :meth:`repro.core.parallel.WitnessPool.count_witnesses`
             bound method to fan the join out to a worker pool.
+        memory_budget_mb: stream the join block-by-block under this
+            MiB budget (:func:`repro.core.kernels.count_witnesses_blocked`);
+            composes with *counter* and never changes the counts.
     """
     import numpy as np
 
-    from repro.core.kernels import count_witnesses
+    from repro.core.kernels import (
+        count_witnesses,
+        count_witnesses_blocked,
+    )
 
     linked1 = np.zeros(index.n1, dtype=bool)
     linked2 = np.zeros(index.n2, dtype=bool)
@@ -134,6 +141,16 @@ def count_similarity_witnesses_arrays(
     linked1[link_l] = True
     linked2[link_r] = True
     floor1, floor2 = index.eligibility(min_degree)
+    if memory_budget_mb is not None:
+        return count_witnesses_blocked(
+            index,
+            link_l,
+            link_r,
+            ~linked1 & floor1,
+            ~linked2 & floor2,
+            memory_budget_mb,
+            counter=counter,
+        )
     if counter is not None:
         return counter(
             link_l, link_r, ~linked1 & floor1, ~linked2 & floor2

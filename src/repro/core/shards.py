@@ -19,6 +19,17 @@ pool.
 
 The plan is pure data (index arrays into the round's link arrays), so it
 can be unit-tested and reused independently of any process pool.
+
+Two planners live here:
+
+- :func:`plan_balanced_shards` — LPT over *workers*: minimize the
+  makespan of a fixed number of shards (parallel execution).
+- :func:`plan_memory_blocks` — first-fit over a *budget*: split the
+  round into as few contiguous blocks as possible such that no block's
+  estimated transient working set exceeds ``memory_budget_mb``
+  (memory-bounded streaming execution).  Blocks preserve input order,
+  so streaming them through the kernel and merging canonically is
+  bit-identical to the monolithic join for any budget.
 """
 
 from __future__ import annotations
@@ -141,4 +152,130 @@ def plan_link_shards(
     """Convenience: LPT-balance a round's link arrays into shards."""
     return plan_balanced_shards(
         link_weights(index, link_l, link_r), num_shards
+    )
+
+
+# ----------------------------------------------------------------------
+# Memory-budgeted block planning
+# ----------------------------------------------------------------------
+#: Estimated transient bytes per witness pair in the pure-numpy CSR join:
+#: the two pair-endpoint arrays and the packed key (3 x int64) plus
+#: ``np.unique``'s sort scratch of the key array — a deliberately
+#: conservative figure so a block that hits the budget estimate stays
+#: under the real high-water mark.
+WITNESS_PAIR_BYTES = 48
+
+
+@dataclass(frozen=True)
+class BlockPlan:
+    """A deterministic, order-preserving partition into memory blocks.
+
+    Unlike :class:`ShardPlan` (whose shards run concurrently), blocks
+    are executed *sequentially*: splitting bounds the peak transient
+    allocation of a round, not its wall-clock.  Blocks are contiguous
+    runs of the input, so ``np.concatenate(blocks)`` is exactly
+    ``arange(n)``.
+
+    Attributes:
+        blocks: per-block ``int64`` index arrays into the workload, in
+            input order.
+        loads: per-block total weight (estimated witness pairs),
+            parallel to ``blocks``.
+        budget: the per-block weight budget the plan was built for
+            (``None`` = unbudgeted, single block).
+    """
+
+    blocks: tuple[np.ndarray, ...]
+    loads: tuple[int, ...]
+    budget: int | None
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of planned blocks."""
+        return len(self.blocks)
+
+    @property
+    def max_load(self) -> int:
+        """Largest per-block weight (0 for an empty plan)."""
+        return max(self.loads) if self.loads else 0
+
+
+def plan_memory_blocks(
+    weights: np.ndarray, budget: int | None
+) -> BlockPlan:
+    """Greedy first-fit packing of contiguous items under *budget*.
+
+    Items are taken in input order; a block closes as soon as adding the
+    next item would push its weight past *budget*.  A single item whose
+    weight alone exceeds the budget gets a singleton block (it cannot be
+    subdivided at this granularity — the kernel's unit of work is one
+    link), so the plan always covers every item exactly once and the
+    budget is respected by every block that contains more than one item.
+
+    The plan is a pure function of ``(weights, budget)``: replanning the
+    same round always yields the same blocks.
+
+    Args:
+        weights: per-item nonnegative work estimates.
+        budget: per-block weight cap; ``None`` plans one block.
+
+    Returns:
+        A :class:`BlockPlan` whose blocks concatenate to ``arange(n)``.
+    """
+    if budget is not None and budget < 1:
+        raise ValueError(f"budget must be >= 1 or None, got {budget}")
+    weights = np.asarray(weights, dtype=np.int64)
+    n = len(weights)
+    if n == 0:
+        return BlockPlan(blocks=(), loads=(), budget=budget)
+    total = int(weights.sum())
+    if budget is None or total <= budget:
+        return BlockPlan(
+            blocks=(np.arange(n, dtype=np.int64),),
+            loads=(total,),
+            budget=budget,
+        )
+    cum = np.cumsum(weights)
+    blocks: list[np.ndarray] = []
+    loads: list[int] = []
+    pos = 0
+    base = 0
+    while pos < n:
+        # Furthest end with cumulative block weight <= budget; an
+        # oversized single item advances by one regardless.
+        end = int(np.searchsorted(cum, base + budget, side="right"))
+        if end <= pos:
+            end = pos + 1
+        blocks.append(np.arange(pos, end, dtype=np.int64))
+        loads.append(int(cum[end - 1]) - base)
+        base = int(cum[end - 1])
+        pos = end
+    return BlockPlan(blocks=tuple(blocks), loads=tuple(loads), budget=budget)
+
+
+def witness_block_budget(memory_budget_mb: int | None) -> int | None:
+    """Per-block witness-pair budget implied by a MiB memory budget."""
+    if memory_budget_mb is None:
+        return None
+    return max(
+        (memory_budget_mb * 1024 * 1024) // WITNESS_PAIR_BYTES, 1
+    )
+
+
+def plan_witness_blocks(
+    index: "GraphPairIndex",
+    link_l: np.ndarray,
+    link_r: np.ndarray,
+    memory_budget_mb: int | None,
+) -> BlockPlan:
+    """Plan a round's link arrays into memory-budgeted column blocks.
+
+    Per-link weights are the degree-product witness-pair bounds of
+    :func:`link_weights` (an upper bound on what any eligibility mask
+    lets through, so the plan is valid for every bucket of the sweep),
+    converted to bytes at :data:`WITNESS_PAIR_BYTES` per pair.
+    """
+    return plan_memory_blocks(
+        link_weights(index, link_l, link_r),
+        witness_block_budget(memory_budget_mb),
     )

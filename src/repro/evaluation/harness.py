@@ -18,6 +18,7 @@ from typing import Hashable, Sequence
 from repro.core.config import (
     MatcherConfig,
     validate_backend,
+    validate_memory_budget_mb,
     validate_workers,
 )
 from repro.errors import MatcherConfigError
@@ -27,6 +28,7 @@ from repro.core.result import MatchingResult
 from repro.evaluation.metrics import MatchingReport, evaluate
 from repro.registry import get_matcher
 from repro.sampling.pair import GraphPair
+from repro.utils.memory import MemoryTracker
 from repro.utils.timing import Timer
 
 Node = Hashable
@@ -41,19 +43,33 @@ class TrialResult:
         report: quality accounting against ground truth.
         elapsed: matcher wall-clock seconds.
         params: free-form experiment parameters for tabulation.
+        peak_mb: peak matcher allocation in MiB (``None`` when the
+            trial ran with ``track_memory=False``).
     """
 
     result: MatchingResult
     report: MatchingReport
     elapsed: float
     params: dict[str, object] = field(default_factory=dict)
+    peak_mb: float | None = None
 
     def row(self) -> dict[str, object]:
         """Flatten into one table row: params + quality + cost."""
         out: dict[str, object] = dict(self.params)
         out.update(self.report.as_dict())
         out["elapsed_s"] = round(self.elapsed, 4)
+        if self.peak_mb is not None:
+            out["peak_mb"] = round(self.peak_mb, 2)
         return out
+
+
+#: (option name, validator) pairs for the execution knobs every trial
+#: can apply to a default/named matcher without reconstructing it.
+_EXECUTION_KNOBS = (
+    ("backend", validate_backend),
+    ("workers", validate_workers),
+    ("memory_budget_mb", validate_memory_budget_mb),
+)
 
 
 def run_trial(
@@ -64,6 +80,8 @@ def run_trial(
     params: dict[str, object] | None = None,
     backend: str | None = None,
     workers: int | None = None,
+    memory_budget_mb: int | None = None,
+    track_memory: bool = False,
     **matcher_config: object,
 ) -> TrialResult:
     """Run one matcher trial and evaluate it.
@@ -83,15 +101,27 @@ def run_trial(
             like *backend* (links are identical for any value — this
             knob only changes wall-clock, i.e. the ``elapsed_s``
             column).
+        memory_budget_mb: per-round working-set budget for the csr
+            witness join, applied exactly like *backend* (links are
+            identical for any budget — this knob only changes the
+            ``peak_mb`` column).
+        track_memory: also measure the matcher's peak allocation
+            (``tracemalloc``) into ``TrialResult.peak_mb`` / the
+            ``peak_mb`` row column.  Off by default: tracing costs
+            noticeable wall-clock on allocation-heavy dict workloads,
+            which would pollute ``elapsed_s`` comparisons.
         **matcher_config: configuration for a *named* matcher.
     """
-    for option, value in (("backend", backend), ("workers", workers)):
+    knobs = {
+        "backend": backend,
+        "workers": workers,
+        "memory_budget_mb": memory_budget_mb,
+    }
+    for option, validator in _EXECUTION_KNOBS:
+        value = knobs[option]
         if value is None:
             continue
-        if option == "backend":
-            validate_backend(value)
-        else:
-            validate_workers(value)
+        validator(value)
         if matcher is None:
             config = dataclasses.replace(
                 config or MatcherConfig(), **{option: value}
@@ -107,14 +137,21 @@ def run_trial(
         matcher = UserMatching(config or MatcherConfig())
     elif isinstance(matcher, str):
         matcher = get_matcher(matcher, **matcher_config)
-    with Timer() as timer:
-        result = matcher.run(pair.g1, pair.g2, seeds)
+    peak_mb: float | None = None
+    if track_memory:
+        with MemoryTracker() as tracker, Timer() as timer:
+            result = matcher.run(pair.g1, pair.g2, seeds)
+        peak_mb = tracker.peak_mb
+    else:
+        with Timer() as timer:
+            result = matcher.run(pair.g1, pair.g2, seeds)
     report = evaluate(result, pair)
     return TrialResult(
         result=result,
         report=report,
         elapsed=timer.elapsed,
         params=dict(params or {}),
+        peak_mb=peak_mb,
     )
 
 
@@ -125,6 +162,8 @@ def compare_matchers(
     params: dict[str, object] | None = None,
     backend: str | None = None,
     workers: int | None = None,
+    memory_budget_mb: int | None = None,
+    track_memory: bool = False,
 ) -> list[TrialResult]:
     """Run several matchers on the same workload, one trial each.
 
@@ -148,6 +187,12 @@ def compare_matchers(
         workers: run every *named* matcher with this many csr-kernel
             worker processes and record it in the ``workers`` column of
             its row; same instance caveat as *backend*.
+        memory_budget_mb: run every *named* matcher under this per-round
+            csr working-set budget and record it in the
+            ``memory_budget_mb`` column of its row; same instance
+            caveat as *backend*.
+        track_memory: measure every trial's peak allocation into the
+            shared ``peak_mb`` column (see :func:`run_trial`).
 
     Returns:
         One :class:`TrialResult` per matcher, in input order.
@@ -162,10 +207,14 @@ def compare_matchers(
                 entry, "matcher_name", type(entry).__name__
             )
         extra: dict[str, object] = {"matcher": label}
-        if backend is not None and named:
-            extra["backend"] = backend
-        if workers is not None and named:
-            extra["workers"] = workers
+        if named:
+            for option, value in (
+                ("backend", backend),
+                ("workers", workers),
+                ("memory_budget_mb", memory_budget_mb),
+            ):
+                if value is not None:
+                    extra[option] = value
         trials.append(
             run_trial(
                 pair,
@@ -173,6 +222,8 @@ def compare_matchers(
                 matcher=entry,
                 backend=backend if named else None,
                 workers=workers if named else None,
+                memory_budget_mb=memory_budget_mb if named else None,
+                track_memory=track_memory,
                 # label last: it must win over any caller-supplied key.
                 params={**(params or {}), **extra},
             )

@@ -20,7 +20,6 @@ from repro.generators.preferential_attachment import (
     preferential_attachment_graph,
 )
 from repro.sampling.edge_sampling import independent_copies
-from repro.seeds.generators import sample_seeds
 from repro.utils.rng import ensure_rng, spawn_rngs
 
 

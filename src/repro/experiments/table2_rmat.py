@@ -8,6 +8,13 @@ step, steeper for the next.
 Reproduction: the same ladder at laptop scale (three R-MAT graphs, scale
 step 2 → 4x node count per rung, Graph500-style fixed edge factor).  We
 report measured relative wall-clock of the matcher per rung.
+
+:func:`run_million` is the rung that actually reaches the paper's scale
+regime on one machine: RMAT20 (2^20 = 1,048,576 addressable nodes) on
+the ``csr`` backend under a stated ``memory_budget_mb``, with the
+process peak RSS recorded next to the quality numbers.  CI runs it in a
+smoke size (``scale ~ 14``) nightly; the full rung is what
+EXPERIMENTS.md and ``BENCH_blocked.json`` report.
 """
 
 from __future__ import annotations
@@ -18,6 +25,7 @@ from repro.experiments.common import ExperimentResult
 from repro.generators.rmat import rmat_graph
 from repro.sampling.edge_sampling import independent_copies
 from repro.seeds.generators import sample_seeds
+from repro.utils.memory import peak_rss_mb
 from repro.utils.rng import spawn_rngs
 
 
@@ -31,6 +39,8 @@ def run(
     seed=0,
     backend: str = "dict",
     workers: int = 1,
+    memory_budget_mb: int | None = None,
+    track_memory: bool = False,
 ) -> ExperimentResult:
     """Reproduce the Table 2 relative-running-time ladder at reduced scale."""
     result = ExperimentResult(
@@ -42,6 +52,7 @@ def run(
         notes=(
             f"scales={scales} edge_factor={edge_factor} "
             f"backend={backend} workers={workers} "
+            f"memory_budget_mb={memory_budget_mb} "
             "(paper: RMAT24/26/28 on MapReduce)"
         ),
     )
@@ -61,21 +72,103 @@ def run(
                 iterations=iterations,
                 backend=backend,
                 workers=workers,
+                memory_budget_mb=memory_budget_mb,
             ),
             params={"scale": scale},
+            track_memory=track_memory,
         )
         if base_elapsed is None:
             base_elapsed = max(trial.elapsed, 1e-9)
-        result.rows.append(
-            {
-                "scale": scale,
-                "nodes": graph.num_nodes,
-                "edges": graph.num_edges,
-                "seeds": len(seeds),
-                "correct_pairs": trial.report.good,
-                "wrong_pairs": trial.report.bad,
-                "elapsed_s": round(trial.elapsed, 3),
-                "relative_time": round(trial.elapsed / base_elapsed, 3),
-            }
-        )
+        row = {
+            "scale": scale,
+            "nodes": graph.num_nodes,
+            "edges": graph.num_edges,
+            "seeds": len(seeds),
+            "correct_pairs": trial.report.good,
+            "wrong_pairs": trial.report.bad,
+            "elapsed_s": round(trial.elapsed, 3),
+            "relative_time": round(trial.elapsed / base_elapsed, 3),
+        }
+        if trial.peak_mb is not None:
+            row["peak_mb"] = round(trial.peak_mb, 1)
+        result.rows.append(row)
+    return result
+
+
+def run_million(
+    scale: int = 20,
+    edge_factor: int = 8,
+    s: float = 0.5,
+    link_prob: float = 0.05,
+    threshold: int = 2,
+    iterations: int = 1,
+    seed=0,
+    backend: str = "csr",
+    workers: int = 1,
+    memory_budget_mb: int | None = 512,
+    track_memory: bool = False,
+) -> ExperimentResult:
+    """The million-node rung: one RMAT *scale* graph under a memory budget.
+
+    Defaults reach the paper's scale regime on a single machine: RMAT20
+    addresses 2^20 = 1,048,576 nodes (the paper's smallest rung, RMAT24,
+    is 16x that on a MapReduce cluster), the ``csr`` backend streams
+    each round's witness join under ``memory_budget_mb``, and the row
+    records the process-lifetime peak RSS next to the quality numbers.
+    CI's nightly job runs this driver at a smoke ``scale``; the full
+    default takes minutes and a few GiB (graph construction dominates).
+    """
+    result = ExperimentResult(
+        name="table2-million",
+        description=(
+            "million-node R-MAT rung: blocked csr execution under a "
+            "stated memory budget, peak RSS recorded"
+        ),
+        notes=(
+            f"scale={scale} edge_factor={edge_factor} backend={backend} "
+            f"workers={workers} memory_budget_mb={memory_budget_mb}"
+        ),
+    )
+    rngs = spawn_rngs(seed, 3)
+    # include_isolated fixes the vertex set at the full 2^scale ids —
+    # the paper's copy model shares one vertex set across realizations,
+    # and "million-node" means the id space, not just the R-MAT core.
+    graph = rmat_graph(
+        scale,
+        edge_factor * (1 << scale),
+        seed=rngs[0],
+        include_isolated=True,
+    )
+    pair = independent_copies(graph, s1=s, seed=rngs[1])
+    seeds = sample_seeds(pair, link_prob, seed=rngs[2])
+    trial = run_trial(
+        pair,
+        seeds,
+        config=MatcherConfig(
+            threshold=threshold,
+            iterations=iterations,
+            backend=backend,
+            workers=workers,
+            memory_budget_mb=memory_budget_mb,
+        ),
+        params={"scale": scale},
+        track_memory=track_memory,
+    )
+    row = {
+        "scale": scale,
+        "nodes": graph.num_nodes,
+        "edges": graph.num_edges,
+        "seeds": len(seeds),
+        "correct_pairs": trial.report.good,
+        "wrong_pairs": trial.report.bad,
+        "precision": trial.report.precision,
+        "elapsed_s": round(trial.elapsed, 3),
+        "memory_budget_mb": memory_budget_mb,
+    }
+    rss = peak_rss_mb()
+    if rss is not None:
+        row["peak_rss_mb"] = round(rss, 1)
+    if trial.peak_mb is not None:
+        row["peak_mb"] = round(trial.peak_mb, 1)
+    result.rows.append(row)
     return result

@@ -25,19 +25,27 @@ def rmat_graph(
     n_edges: int,
     quadrants: tuple[float, float, float, float] = DEFAULT_QUADRANTS,
     seed=None,
+    include_isolated: bool = False,
 ) -> Graph:
     """Sample an undirected R-MAT graph with ``2^scale`` addressable nodes.
 
     Self-loops and duplicate edges are discarded (no resampling), so the
     returned edge count is somewhat below *n_edges* — the standard
-    behaviour for R-MAT kernels (Graph500 does the same).  Nodes that
-    receive no edge do not appear in the graph.
+    behaviour for R-MAT kernels (Graph500 does the same).  By default
+    nodes that receive no edge do not appear in the graph;
+    ``include_isolated=True`` materializes the full ``2^scale`` vertex
+    set instead (the paper's copy model shares one fixed vertex set
+    across realizations, and the scale rungs quote node counts of the
+    *addressable* space — RMAT24 "is" 16.8M nodes even though the skewed
+    quadrants leave many of them isolated).
 
     Args:
         scale: recursion depth; addresses ``2^scale`` node ids.
         n_edges: number of edge insertions attempted.
         quadrants: ``(a, b, c, d)`` probabilities, must sum to 1.
         seed: RNG seed.
+        include_isolated: also add every edge-less id in
+            ``[0, 2^scale)``, fixing ``num_nodes`` at ``2^scale``.
     """
     check_positive("scale", scale)
     check_non_negative("n_edges", n_edges)
@@ -49,6 +57,9 @@ def rmat_graph(
         )
     rng = ensure_numpy_rng(seed)
     g = Graph()
+    if include_isolated:
+        for node in range(1 << scale):
+            g.add_node(node)
     if n_edges == 0:
         return g
     # One multinomial draw per (edge, level): quadrant 0..3.

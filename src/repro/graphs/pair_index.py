@@ -42,6 +42,29 @@ def degree_exponents(degrees: np.ndarray) -> np.ndarray:
     return exponents.astype(np.int64) - 1
 
 
+def compact_csr_indices(csr: CSRGraph) -> bool:
+    """Downcast a CSR adjacency's neighbor ids to ``uint32`` in place.
+
+    The ``indices`` array is ``2m`` entries — the dominant share of a
+    reconciliation's resident memory — while every value is a dense node
+    id below ``n``.  Whenever ``n`` fits ``uint32`` (any graph below
+    ~4.3 billion nodes, i.e. every practical rung including the paper's
+    RMAT28), storing ids at 4 bytes instead of 8 halves that footprint
+    and the shared-memory segments the worker pool exports.  ``indptr``
+    stays ``int64``: it has only ``n + 1`` entries, and keeping it wide
+    makes every downstream offset/cumsum arithmetic promote to ``int64``
+    (mixed ``uint32``/``int64`` operations never underflow).
+
+    Returns whether the downcast was applied.
+    """
+    if csr.num_nodes > np.iinfo(np.uint32).max + 1:
+        return False  # pragma: no cover - needs a > 4.3e9-node graph
+    if csr.indices.dtype == np.uint32:
+        return False
+    csr.indices = csr.indices.astype(np.uint32)
+    return True
+
+
 class GraphPairIndex:
     """Shared dense-id view of a ``(g1, g2)`` reconciliation pair.
 
@@ -74,6 +97,11 @@ class GraphPairIndex:
         self.g2 = g2
         self.csr1 = CSRGraph(g1, order=order1)
         self.csr2 = CSRGraph(g2, order=order2)
+        # Execution substrate: node ids are dense, so neighbor ids fit
+        # uint32 for any practical graph — ~50% off resident adjacency
+        # memory (and the pool's shared segments) at zero output cost.
+        compact_csr_indices(self.csr1)
+        compact_csr_indices(self.csr2)
         self.deg1 = self.csr1.degree_array()
         self.deg2 = self.csr2.degree_array()
         self.exp1 = degree_exponents(self.deg1)

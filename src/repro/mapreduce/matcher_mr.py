@@ -57,6 +57,12 @@ class MapReduceUserMatching:
         config: same knobs as the sequential matcher;
             ``config.workers`` becomes the default engine's reducer
             shard count (the shuffle is the shard boundary).
+            ``config.memory_budget_mb`` is accepted (and validated) for
+            registry uniformity: the MR dataflow already streams the
+            witness join one link at a time through the shuffle, so its
+            transient working set is bounded by construction — the
+            combiner collapses counts map-side rather than
+            materializing the cross product.
         engine: optionally share/inspect an engine (round history is the
             interesting part: 4 rounds per bucket, O(k log D) total).
             An explicit engine keeps its own ``workers`` setting.

@@ -1,0 +1,106 @@
+"""Peak-memory measurement shared by the harness, benchmarks, and CI.
+
+Two complementary measurements, both reported in MiB so the harness
+rows, the ``BENCH_*.json`` trajectories, and the bench-regression gate
+all speak the same ``peak_mb`` schema:
+
+- :class:`MemoryTracker` — *allocation-level* peak via ``tracemalloc``:
+  the high-water mark of Python/numpy allocations made inside the
+  ``with`` block, relative to the block's entry.  Deterministic and
+  per-trial (unaffected by allocations that happened before), which is
+  what the harness wants when comparing matchers; costs some tracing
+  overhead while active.
+- :func:`peak_rss_mb` — *process-level* peak via ``resource``
+  (``ru_maxrss``): the OS high-water mark of the whole process.  Free
+  to read but monotone over the process lifetime, which is what the
+  scale benchmarks want ("did the million-node rung stay under X GiB"),
+  not a per-trial delta.
+"""
+
+from __future__ import annotations
+
+import sys
+import tracemalloc
+
+try:  # pragma: no cover - present on every POSIX interpreter
+    import resource as _resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    _resource = None
+
+
+def peak_rss_mb() -> float | None:
+    """Process-lifetime peak resident set size in MiB (``ru_maxrss``).
+
+    Returns ``None`` where the ``resource`` module is unavailable.
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS.
+    """
+    if _resource is None:
+        return None
+    peak = _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - platform-specific
+        return peak / (1024 * 1024)
+    return peak / 1024
+
+
+class MemoryTracker:
+    """Context manager measuring the block's peak allocation in MiB.
+
+    Example::
+
+        with MemoryTracker() as tracker:
+            result = matcher.run(g1, g2, seeds)
+        print(tracker.peak_mb)
+
+    Uses ``tracemalloc`` (numpy registers its buffers with it), starting
+    tracing on entry and stopping on exit when this tracker is the
+    outermost one.  Nested trackers compose correctly: tracemalloc has
+    a single global peak, and a nested window must
+    :func:`tracemalloc.reset_peak` to isolate itself — so each tracker
+    saves the enclosing high-water first and hands it (and its own
+    observed peak) back to the enclosing tracker on exit via a
+    tracker stack.  Without that restitution the inner reset would
+    silently erase any peak the outer block hit before the inner one
+    began.  The stack is process-global; trackers are meant for the
+    single-threaded harness/bench path.
+    """
+
+    #: Innermost-last stack of live trackers (single-threaded use).
+    _active: "list[MemoryTracker]" = []
+
+    def __init__(self) -> None:
+        self.peak_mb: float = 0.0
+        self._owns_trace = False
+        self._baseline = 0
+        self._pre_peak = 0
+        self._child_peak = 0
+
+    def __enter__(self) -> "MemoryTracker":
+        self._owns_trace = not tracemalloc.is_tracing()
+        if self._owns_trace:
+            tracemalloc.start()
+        # Save the enclosing window's high-water before resetting it;
+        # absolute traced bytes, same scale as every later peak read.
+        self._pre_peak = tracemalloc.get_traced_memory()[1]
+        tracemalloc.reset_peak()
+        self._baseline = tracemalloc.get_traced_memory()[0]
+        self._child_peak = 0
+        MemoryTracker._active.append(self)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        _current, peak = tracemalloc.get_traced_memory()
+        # A nested tracker's reset may have clipped the global peak;
+        # fold back what the children observed inside this window.
+        window_peak = max(peak, self._child_peak)
+        self.peak_mb = max(window_peak - self._baseline, 0) / (
+            1024 * 1024
+        )
+        if MemoryTracker._active and MemoryTracker._active[-1] is self:
+            MemoryTracker._active.pop()
+        if self._owns_trace:
+            tracemalloc.stop()
+        elif MemoryTracker._active:
+            parent = MemoryTracker._active[-1]
+            parent._child_peak = max(
+                parent._child_peak, self._pre_peak, window_peak
+            )

@@ -79,3 +79,25 @@ def test_micro_table2_ladder():
     result = table2_rmat.run(scales=(6, 7), edge_factor=8, seed=0)
     assert len(result.rows) == 2
     assert result.rows[0]["relative_time"] == 1.0
+
+
+@pytest.mark.slow
+def test_micro_blocked_budget_curve():
+    """bench_blocked's curve helper at micro scale, links asserted."""
+    module = load_bench_module(BENCHMARKS_DIR / "bench_blocked.py")
+    curve = module.budget_curve(budgets=(None, 1), scale=7)
+    assert set(curve) == {None, 1}
+    for elapsed, peak_mb in curve.values():
+        assert elapsed > 0
+        assert peak_mb >= 0
+
+
+@pytest.mark.slow
+def test_micro_million_rung_driver():
+    """bench_blocked's million-rung driver, at micro scale."""
+    module = load_bench_module(BENCHMARKS_DIR / "bench_blocked.py")
+    row = module.million_rung(
+        scale=8, edge_factor=4, memory_budget_mb=4
+    )
+    assert row["memory_budget_mb"] == 4
+    assert row["nodes"] > 0

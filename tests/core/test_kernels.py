@@ -247,3 +247,229 @@ class TestArraySelection:
         scores = _scores_fixture(pa_pair, pa_seeds)
         assert scores.num_pairs == len(scores.score)
         assert scores.total_score() == int(scores.score.sum())
+
+
+def canonical_table(scores: ArrayScores):
+    """(packed key, count) arrays sorted by key — order-free equality."""
+    packed = scores.left * scores.index.n2 + scores.right
+    order = np.argsort(packed)
+    return packed[order], scores.score[order]
+
+
+class TestMergeScoreTables:
+    def test_merge_of_split_equals_whole(self, pa_pair, pa_seeds):
+        index = GraphPairIndex(pa_pair.g1, pa_pair.g2)
+        link_l, link_r = index.intern_links(pa_seeds)
+        elig1 = np.ones(index.n1, dtype=bool)
+        elig2 = np.ones(index.n2, dtype=bool)
+        whole, emitted = count_witnesses(
+            index, link_l, link_r, elig1, elig2
+        )
+        half = len(link_l) // 2
+        parts = []
+        for sl in (slice(None, half), slice(half, None)):
+            scores, part_emitted = count_witnesses(
+                index, link_l[sl], link_r[sl], elig1, elig2
+            )
+            parts.append(
+                (scores.left, scores.right, scores.score, part_emitted)
+            )
+        merged, merged_emitted = kernels.merge_score_tables(index, parts)
+        assert merged_emitted == emitted
+        wk, wc = canonical_table(whole)
+        mk, mc = canonical_table(merged)
+        assert np.array_equal(wk, mk)
+        assert np.array_equal(wc, mc)
+
+    def test_merge_is_canonically_sorted(self, pa_pair, pa_seeds):
+        index = GraphPairIndex(pa_pair.g1, pa_pair.g2)
+        link_l, link_r = index.intern_links(pa_seeds)
+        elig = np.ones(index.n1, dtype=bool), np.ones(index.n2, dtype=bool)
+        scores, emitted = count_witnesses(
+            index, link_l, link_r, elig[0], elig[1]
+        )
+        part = (scores.left, scores.right, scores.score, emitted)
+        merged, _ = kernels.merge_score_tables(index, [part, part])
+        packed = merged.left * index.n2 + merged.right
+        assert (np.diff(packed) > 0).all()  # sorted, unique
+        assert np.array_equal(merged.score, 2 * canonical_table(scores)[1])
+
+    def test_empty_parts(self, pa_pair):
+        index = GraphPairIndex(pa_pair.g1, pa_pair.g2)
+        merged, emitted = kernels.merge_score_tables(index, [])
+        assert merged.num_pairs == 0 and emitted == 0
+
+
+class TestCountWitnessesBlocked:
+    def _round(self, pa_pair, pa_seeds):
+        index = GraphPairIndex(pa_pair.g1, pa_pair.g2)
+        link_l, link_r = index.intern_links(pa_seeds)
+        linked1 = np.zeros(index.n1, dtype=bool)
+        linked2 = np.zeros(index.n2, dtype=bool)
+        linked1[link_l] = True
+        linked2[link_r] = True
+        floor1, floor2 = index.eligibility(2)
+        return (
+            index, link_l, link_r, ~linked1 & floor1, ~linked2 & floor2,
+        )
+
+    def test_no_budget_passthrough(self, pa_pair, pa_seeds):
+        index, ll, lr, e1, e2 = self._round(pa_pair, pa_seeds)
+        mono, em = count_witnesses(index, ll, lr, e1, e2)
+        blocked, eb = kernels.count_witnesses_blocked(
+            index, ll, lr, e1, e2, None
+        )
+        assert em == eb
+        assert np.array_equal(blocked.left, mono.left)
+        assert np.array_equal(blocked.score, mono.score)
+
+    def test_forced_multi_block_identical(self, pa_pair, pa_seeds):
+        from unittest import mock
+
+        import repro.core.shards as shards
+
+        index, ll, lr, e1, e2 = self._round(pa_pair, pa_seeds)
+        mono, em = count_witnesses(index, ll, lr, e1, e2)
+        with mock.patch.object(
+            shards, "WITNESS_PAIR_BYTES", 1 << 22
+        ):
+            plan = shards.plan_witness_blocks(index, ll, lr, 1)
+            blocked, eb = kernels.count_witnesses_blocked(
+                index, ll, lr, e1, e2, 1
+            )
+        assert plan.num_blocks > 1
+        assert em == eb
+        mk, mc = canonical_table(mono)
+        bk, bc = canonical_table(blocked)
+        assert np.array_equal(mk, bk)
+        assert np.array_equal(mc, bc)
+
+    @pytest.mark.parametrize("use_sparse", SPARSE_MODES)
+    def test_both_join_paths_identical(
+        self, pa_pair, pa_seeds, use_sparse
+    ):
+        from unittest import mock
+
+        import repro.core.shards as shards
+
+        index, ll, lr, e1, e2 = self._round(pa_pair, pa_seeds)
+        mono, _ = count_witnesses(
+            index, ll, lr, e1, e2, use_sparse=use_sparse
+        )
+        with mock.patch.object(
+            shards, "WITNESS_PAIR_BYTES", 1 << 21
+        ):
+            blocked, _ = kernels.count_witnesses_blocked(
+                index, ll, lr, e1, e2, 1, use_sparse=use_sparse
+            )
+        mk, mc = canonical_table(mono)
+        bk, bc = canonical_table(blocked)
+        assert np.array_equal(mk, bk)
+        assert np.array_equal(mc, bc)
+
+    def test_counter_hook_receives_blocks(self, pa_pair, pa_seeds):
+        from unittest import mock
+
+        import repro.core.shards as shards
+
+        index, ll, lr, e1, e2 = self._round(pa_pair, pa_seeds)
+        calls = []
+
+        def counter(link_l, link_r, elig1, elig2):
+            calls.append(len(link_l))
+            return count_witnesses(index, link_l, link_r, elig1, elig2)
+
+        with mock.patch.object(
+            shards, "WITNESS_PAIR_BYTES", 1 << 22
+        ):
+            blocked, _ = kernels.count_witnesses_blocked(
+                index, ll, lr, e1, e2, 1, counter=counter
+            )
+        assert len(calls) > 1
+        assert sum(calls) == len(ll)
+        mono, _ = count_witnesses(index, ll, lr, e1, e2)
+        mk, mc = canonical_table(mono)
+        bk, bc = canonical_table(blocked)
+        assert np.array_equal(mk, bk)
+        assert np.array_equal(mc, bc)
+
+    def test_empty_links(self, pa_pair):
+        index = GraphPairIndex(pa_pair.g1, pa_pair.g2)
+        empty = np.empty(0, dtype=np.int64)
+        scores, emitted = kernels.count_witnesses_blocked(
+            index,
+            empty,
+            empty,
+            np.ones(index.n1, dtype=bool),
+            np.ones(index.n2, dtype=bool),
+            4,
+        )
+        assert emitted == 0 and scores.num_pairs == 0
+
+
+class TestUint32Compaction:
+    def test_pair_index_compacts_indices(self, pa_pair):
+        index = GraphPairIndex(pa_pair.g1, pa_pair.g2)
+        assert index.csr1.indices.dtype == np.uint32
+        assert index.csr2.indices.dtype == np.uint32
+        assert index.csr1.indptr.dtype == np.int64
+
+    def test_compaction_preserves_adjacency(self, pa_pair):
+        from repro.graphs.csr import CSRGraph
+
+        wide = CSRGraph(pa_pair.g1)
+        index = GraphPairIndex(pa_pair.g1, pa_pair.g2)
+        # Same node order => same adjacency content, narrower dtype.
+        order = {n: i for i, n in enumerate(index.csr1.node_ids)}
+        for node in list(pa_pair.g1.nodes())[:20]:
+            dense = index.csr1.dense_id(node)
+            got = sorted(
+                index.csr1.node_ids[v]
+                for v in index.csr1.neighbors(dense).tolist()
+            )
+            expected = sorted(pa_pair.g1.neighbors(node))
+            assert got == expected
+        assert order  # compaction never drops nodes
+
+    def test_compact_is_idempotent(self, pa_pair):
+        from repro.graphs.pair_index import compact_csr_indices
+
+        index = GraphPairIndex(pa_pair.g1, pa_pair.g2)
+        assert compact_csr_indices(index.csr1) is False  # already done
+
+
+class TestPackedKeyWidth:
+    def test_no_wraparound_past_uint32_with_compacted_indices(self):
+        """Packed keys must go through int64 when n1*n2 exceeds int32.
+
+        The compacted interning gathers uint32 neighbor ids; on
+        numpy 1.x value-based casting a uint32 * int64-scalar product
+        stays uint32, so without an explicit upcast the packed key
+        would wrap at 2**32 and collide distinct candidate pairs.
+        Faking a large id space over a tiny adjacency exercises the
+        wide branch directly.
+        """
+        from types import SimpleNamespace
+
+        n = np.int64(1) << 21  # n1 * n2 == 2**42 >> int32 range
+        # One link (0, 0); candidate neighbors near the top of the id
+        # space so packed keys exceed 2**32.
+        hi = int(n - 1)
+        indptr = np.array([0, 2], dtype=np.int64)
+        indices = np.array([hi - 1, hi], dtype=np.uint32)
+        csr = SimpleNamespace(indptr=indptr, indices=indices)
+        index = SimpleNamespace(
+            csr1=csr, csr2=csr, n1=int(n), n2=int(n)
+        )
+        eligible = np.zeros(int(n), dtype=bool)
+        eligible[[hi - 1, hi]] = True
+        link = np.zeros(1, dtype=np.int64)
+        scores, emitted = count_witnesses(
+            index, link, link, eligible, eligible, use_sparse=False
+        )
+        assert emitted == 4
+        got = sorted(zip(scores.left.tolist(), scores.right.tolist()))
+        assert got == [
+            (hi - 1, hi - 1), (hi - 1, hi), (hi, hi - 1), (hi, hi),
+        ]
+        assert scores.score.tolist() == [1, 1, 1, 1]

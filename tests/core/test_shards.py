@@ -130,3 +130,118 @@ class TestLinkWeights:
         assert plan.num_shards == 3
         seen = sorted(np.concatenate(plan.shards).tolist())
         assert seen == list(range(len(link_l)))
+
+
+class TestPlanMemoryBlocks:
+    def test_no_budget_is_single_block(self):
+        from repro.core.shards import plan_memory_blocks
+
+        weights = np.array([5, 1, 9, 2], dtype=np.int64)
+        plan = plan_memory_blocks(weights, None)
+        assert plan.num_blocks == 1
+        assert plan.blocks[0].tolist() == [0, 1, 2, 3]
+        assert plan.loads == (17,)
+        assert plan.budget is None
+
+    def test_large_budget_degenerates_to_single_block(self):
+        from repro.core.shards import plan_memory_blocks
+
+        weights = np.array([5, 1, 9, 2], dtype=np.int64)
+        plan = plan_memory_blocks(weights, 1_000_000)
+        assert plan.num_blocks == 1
+        assert plan.max_load == 17
+
+    def test_budget_respected_by_every_multi_item_block(self):
+        from repro.core.shards import plan_memory_blocks
+
+        rng = np.random.default_rng(3)
+        weights = rng.integers(1, 40, size=300)
+        budget = 100
+        plan = plan_memory_blocks(weights, budget)
+        assert plan.num_blocks > 1
+        for block, load in zip(plan.blocks, plan.loads):
+            assert int(weights[block].sum()) == load
+            if len(block) > 1:
+                assert load <= budget
+
+    def test_blocks_are_contiguous_and_cover_everything(self):
+        from repro.core.shards import plan_memory_blocks
+
+        rng = np.random.default_rng(4)
+        weights = rng.integers(1, 25, size=200)
+        plan = plan_memory_blocks(weights, 60)
+        flat = np.concatenate(plan.blocks)
+        assert flat.tolist() == list(range(len(weights)))
+        for block in plan.blocks:
+            assert block.tolist() == list(
+                range(int(block[0]), int(block[-1]) + 1)
+            )
+
+    def test_oversized_item_gets_singleton_block(self):
+        from repro.core.shards import plan_memory_blocks
+
+        weights = np.array([3, 500, 3, 3], dtype=np.int64)
+        plan = plan_memory_blocks(weights, 10)
+        singleton = [b.tolist() for b in plan.blocks if 1 in b.tolist()]
+        assert singleton == [[1]]
+
+    def test_deterministic(self):
+        from repro.core.shards import plan_memory_blocks
+
+        rng = np.random.default_rng(9)
+        weights = rng.integers(1, 80, size=400)
+        a = plan_memory_blocks(weights, 200)
+        b = plan_memory_blocks(weights, 200)
+        assert a.loads == b.loads
+        assert all(
+            (x == y).all() for x, y in zip(a.blocks, b.blocks)
+        )
+
+    def test_empty_workload(self):
+        from repro.core.shards import plan_memory_blocks
+
+        plan = plan_memory_blocks(np.empty(0, dtype=np.int64), 5)
+        assert plan.num_blocks == 0
+        assert plan.max_load == 0
+
+    def test_invalid_budget(self):
+        from repro.core.shards import plan_memory_blocks
+
+        with pytest.raises(ValueError):
+            plan_memory_blocks(np.array([1]), 0)
+
+
+class TestPlanWitnessBlocks:
+    def test_budget_unit_conversion(self):
+        from repro.core.shards import (
+            WITNESS_PAIR_BYTES,
+            witness_block_budget,
+        )
+
+        assert witness_block_budget(None) is None
+        assert witness_block_budget(1) == (
+            1024 * 1024
+        ) // WITNESS_PAIR_BYTES
+        # Degenerate budgets still plan at least one pair per block.
+        assert witness_block_budget(1) >= 1
+
+    def test_plan_over_real_links(self):
+        from unittest import mock
+
+        import repro.core.shards as shards
+
+        g = preferential_attachment_graph(150, 4, seed=0)
+        pair = independent_copies(g, 0.6, seed=1)
+        seeds = sample_seeds(pair, 0.15, seed=2)
+        index = GraphPairIndex(pair.g1, pair.g2)
+        link_l, link_r = index.intern_links(seeds)
+        # Real budgets dwarf a test workload; inflate the per-pair cost
+        # so a 1 MiB budget forces a genuine multi-block plan.
+        with mock.patch.object(
+            shards, "WITNESS_PAIR_BYTES", 256 * 1024
+        ):
+            plan = shards.plan_witness_blocks(index, link_l, link_r, 1)
+        assert plan.num_blocks > 1
+        assert np.concatenate(plan.blocks).tolist() == list(
+            range(len(link_l))
+        )

@@ -1,0 +1,241 @@
+"""blocked↔monolithic equivalence: identical links under any budget.
+
+``memory_budget_mb`` is a pure execution knob — for any workload, any
+registered matcher, either backend, and any worker count, running under
+a memory budget must produce exactly the same ``MatchingResult.links``
+as the monolithic (unbudgeted) run.  Real budgets dwarf test-scale
+workloads, so these tests inflate
+:data:`repro.core.shards.WITNESS_PAIR_BYTES` to force genuinely
+multi-block plans; the plans themselves are asserted multi-block where
+it matters so the suite can never silently degenerate into comparing
+the monolithic path with itself.
+
+Coverage: the full 7-matcher registry sweep on both backends at
+workers 1 and 3 (``blocked x workers`` composition included),
+hypothesis-driven G(n, p) workloads for User-Matching, and the planner
+edge cases (single link, oversized hub block, no seeds, dict backend
+accepting the knob as a no-op).
+"""
+
+import os
+from unittest import mock
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.core.shards as shards
+from repro.core.config import MatcherConfig, TiePolicy
+from repro.core.matcher import UserMatching
+from repro.generators.erdos_renyi import gnp_graph
+from repro.generators.preferential_attachment import (
+    preferential_attachment_graph,
+)
+from repro.graphs.pair_index import GraphPairIndex
+from repro.registry import get_matcher, matcher_names
+from repro.sampling.edge_sampling import independent_copies
+from repro.seeds.generators import sample_seeds
+
+#: Registry-name -> extra config used in the all-matchers sweep (chosen
+#: so every matcher actually links something at test scale).
+MATCHER_CONFIGS: dict[str, dict] = {
+    "user-matching": {"threshold": 2, "iterations": 2},
+    "mapreduce-user-matching": {"threshold": 2, "iterations": 2},
+    "common-neighbors": {},
+    "reconciler": {"threshold": 2, "rounds": 2},
+    "degree-sequence": {},
+    "narayanan-shmatikov": {},
+    "structural-features": {},
+}
+
+WORKERS = int(os.environ.get("REPRO_TEST_WORKERS", "3"))
+
+#: Inflated per-pair cost: a 1 MiB budget then allows only a handful of
+#: estimated witness pairs per block, forcing multi-block rounds on
+#: workloads this small.
+FORCED_PAIR_BYTES = 1 << 21
+
+
+def force_blocking():
+    """Patch the planner's pair cost so budget=1 MiB splits rounds."""
+    return mock.patch.object(
+        shards, "WITNESS_PAIR_BYTES", FORCED_PAIR_BYTES
+    )
+
+
+def workload(n=220, m=4, s=0.6, link_prob=0.1, seed=0):
+    g = preferential_attachment_graph(n, m, seed=seed)
+    pair = independent_copies(g, s, seed=seed + 1)
+    seeds = sample_seeds(pair, link_prob, seed=seed + 2)
+    return pair, seeds
+
+
+@st.composite
+def gnp_workload(draw):
+    n = draw(st.integers(30, 100))
+    p = draw(st.floats(0.03, 0.15))
+    s = draw(st.floats(0.4, 0.9))
+    link_prob = draw(st.floats(0.05, 0.3))
+    seed = draw(st.integers(0, 10_000))
+    g = gnp_graph(n, p, seed=seed)
+    pair = independent_copies(g, s, seed=seed + 1)
+    seeds = sample_seeds(pair, link_prob, seed=seed + 2)
+    return pair, seeds
+
+
+def test_forced_blocking_actually_splits():
+    """Guard: the inflated pair cost yields multi-block plans here."""
+    pair, seeds = workload(seed=17)
+    index = GraphPairIndex(pair.g1, pair.g2)
+    link_l, link_r = index.intern_links(seeds)
+    with force_blocking():
+        plan = shards.plan_witness_blocks(index, link_l, link_r, 1)
+    assert plan.num_blocks > 1
+
+
+class TestRegistrySweep:
+    def test_every_matcher_accepts_memory_budget(self):
+        """The config sweep covers the whole registry."""
+        assert sorted(MATCHER_CONFIGS) == matcher_names()
+
+    @pytest.mark.parametrize("backend", ["dict", "csr"])
+    @pytest.mark.parametrize("name", sorted(MATCHER_CONFIGS))
+    def test_links_identical_under_budget(self, name, backend):
+        """Budgeted runs at workers 1 and WORKERS match the monolith."""
+        pair, seeds = workload(seed=17)
+        config = MATCHER_CONFIGS[name]
+        ref = get_matcher(
+            name, backend=backend, workers=1, **config
+        ).run(pair.g1, pair.g2, seeds)
+        with force_blocking():
+            for workers in (1, WORKERS):
+                budgeted = get_matcher(
+                    name,
+                    backend=backend,
+                    workers=workers,
+                    memory_budget_mb=1,
+                    **config,
+                ).run(pair.g1, pair.g2, seeds)
+                assert budgeted.links == ref.links, (name, workers)
+                assert budgeted.seeds == ref.seeds, (name, workers)
+
+
+class TestUserMatchingProperties:
+    @given(gnp_workload(), st.integers(1, 4))
+    @settings(max_examples=10, deadline=None)
+    def test_links_identical_over_thresholds(self, wl, threshold):
+        pair, seeds = wl
+        ref = UserMatching(
+            MatcherConfig(
+                threshold=threshold, iterations=2, backend="csr"
+            )
+        ).run(pair.g1, pair.g2, seeds)
+        with force_blocking():
+            budgeted = UserMatching(
+                MatcherConfig(
+                    threshold=threshold,
+                    iterations=2,
+                    backend="csr",
+                    memory_budget_mb=1,
+                )
+            ).run(pair.g1, pair.g2, seeds)
+        assert budgeted.links == ref.links
+
+    @given(gnp_workload(), st.sampled_from([1, WORKERS]))
+    @settings(max_examples=6, deadline=None)
+    def test_links_identical_with_workers(self, wl, workers):
+        """blocked x workers composes without changing the links."""
+        pair, seeds = wl
+        ref = UserMatching(
+            MatcherConfig(backend="csr")
+        ).run(pair.g1, pair.g2, seeds)
+        with force_blocking():
+            budgeted = UserMatching(
+                MatcherConfig(
+                    backend="csr", workers=workers, memory_budget_mb=1
+                )
+            ).run(pair.g1, pair.g2, seeds)
+        assert budgeted.links == ref.links
+
+    @given(gnp_workload())
+    @settings(max_examples=6, deadline=None)
+    def test_phase_accounting_identical(self, wl):
+        """Same per-round candidates/witness counts, not just links."""
+        pair, seeds = wl
+        ref = UserMatching(
+            MatcherConfig(iterations=2, backend="csr")
+        ).run(pair.g1, pair.g2, seeds)
+        with force_blocking():
+            budgeted = UserMatching(
+                MatcherConfig(
+                    iterations=2, backend="csr", memory_budget_mb=1
+                )
+            ).run(pair.g1, pair.g2, seeds)
+        assert len(budgeted.phases) == len(ref.phases)
+        for a, b in zip(budgeted.phases, ref.phases):
+            assert a == b
+
+    @given(gnp_workload())
+    @settings(max_examples=6, deadline=None)
+    def test_links_identical_lowest_id_and_unbucketed(self, wl):
+        pair, seeds = wl
+        for kwargs in (
+            {"tie_policy": TiePolicy.LOWEST_ID},
+            {"use_degree_buckets": False},
+            {"min_bucket_exponent": 0, "threshold": 1},
+        ):
+            ref = UserMatching(
+                MatcherConfig(backend="csr", **kwargs)
+            ).run(pair.g1, pair.g2, seeds)
+            with force_blocking():
+                budgeted = UserMatching(
+                    MatcherConfig(
+                        backend="csr", memory_budget_mb=1, **kwargs
+                    )
+                ).run(pair.g1, pair.g2, seeds)
+            assert budgeted.links == ref.links, kwargs
+
+
+class TestBlockEdgeCases:
+    def test_single_link_single_block(self):
+        """One seed -> one block regardless of budget."""
+        pair, seeds = workload(n=100, seed=3)
+        one_seed = dict(list(seeds.items())[:1])
+        base = dict(threshold=2, iterations=2, backend="csr")
+        ref = UserMatching(MatcherConfig(**base)).run(
+            pair.g1, pair.g2, one_seed
+        )
+        with force_blocking():
+            budgeted = UserMatching(
+                MatcherConfig(memory_budget_mb=1, **base)
+            ).run(pair.g1, pair.g2, one_seed)
+        assert budgeted.links == ref.links
+
+    def test_no_seeds_at_all(self):
+        pair, _ = workload(n=60, seed=9)
+        cfg = MatcherConfig(backend="csr", memory_budget_mb=1)
+        with force_blocking():
+            result = UserMatching(cfg).run(pair.g1, pair.g2, {})
+        assert result.links == {}
+
+    def test_real_budget_without_patching(self):
+        """An honest (large) budget is a no-op split, links identical."""
+        pair, seeds = workload(seed=23)
+        base = dict(threshold=2, iterations=1, backend="csr")
+        ref = UserMatching(MatcherConfig(**base)).run(
+            pair.g1, pair.g2, seeds
+        )
+        budgeted = UserMatching(
+            MatcherConfig(memory_budget_mb=256, **base)
+        ).run(pair.g1, pair.g2, seeds)
+        assert budgeted.links == ref.links
+
+    def test_dict_backend_accepts_knob_as_noop(self):
+        pair, seeds = workload(n=120, seed=5)
+        ref = UserMatching(MatcherConfig(backend="dict")).run(
+            pair.g1, pair.g2, seeds
+        )
+        budgeted = UserMatching(
+            MatcherConfig(backend="dict", memory_budget_mb=1)
+        ).run(pair.g1, pair.g2, seeds)
+        assert budgeted.links == ref.links

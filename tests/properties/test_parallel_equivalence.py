@@ -11,6 +11,8 @@ degree floor), a single link (one shard, idle workers), and no seeds at
 all.
 """
 
+import os
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -39,7 +41,9 @@ MATCHER_CONFIGS: dict[str, dict] = {
     "structural-features": {},
 }
 
-WORKERS = 3
+#: Default exercises an uneven split (3 does not divide most rounds);
+#: the nightly workflow re-runs the wall at 4 via this env override.
+WORKERS = int(os.environ.get("REPRO_TEST_WORKERS", "3"))
 
 
 def workload(n=220, m=4, s=0.6, link_prob=0.1, seed=0):

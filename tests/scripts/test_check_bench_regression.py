@@ -1,0 +1,136 @@
+"""The CI perf-regression gate, exercised on synthetic bench JSONs.
+
+``scripts/check_bench_regression.py`` is what turns the committed
+``BENCH_*.json`` files into an enforced floor; these tests pin its
+contract — and the synthetic >1.5x slowdown case is the demonstration
+that the gate actually fails a regressed run.
+"""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+SCRIPT = (
+    pathlib.Path(__file__).resolve().parents[2]
+    / "scripts"
+    / "check_bench_regression.py"
+)
+
+
+@pytest.fixture(scope="module")
+def gate():
+    spec = importlib.util.spec_from_file_location(
+        "check_bench_regression", SCRIPT
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def bench_json(path, means):
+    """Write a minimal pytest-benchmark JSON with the given means."""
+    data = {
+        "benchmarks": [
+            {
+                "fullname": name,
+                "name": name,
+                "stats": {"mean": mean},
+            }
+            for name, mean in means.items()
+        ]
+    }
+    path.write_text(json.dumps(data))
+    return str(path)
+
+
+class TestCompare:
+    def test_identical_runs_pass(self, gate):
+        means = {"a": 0.01, "b": 0.5}
+        rows, regressions = gate.compare(means, dict(means), 1.5, 0.001)
+        assert regressions == []
+        assert all(verdict == "ok" for *_rest, verdict in rows)
+
+    def test_synthetic_slowdown_regresses(self, gate):
+        baseline = {"witness_join": 0.010}
+        fresh = {"witness_join": 0.016}  # 1.6x > 1.5x
+        rows, regressions = gate.compare(baseline, fresh, 1.5, 0.001)
+        assert regressions == ["witness_join"]
+        assert rows[0][4] == "REGRESSION"
+
+    def test_noise_floor_tolerates_fast_benchmarks(self, gate):
+        baseline = {"micro": 0.0001}  # 0.1 ms, under the 1 ms floor
+        fresh = {"micro": 0.0009}  # 9x slower but pure noise
+        rows, regressions = gate.compare(baseline, fresh, 1.5, 0.001)
+        assert regressions == []
+        assert "noise" in rows[0][4]
+
+    def test_only_shared_benchmarks_compared(self, gate):
+        baseline = {"kept": 0.01, "renamed_away": 0.01}
+        fresh = {"kept": 0.01, "brand_new": 9.9}
+        rows, regressions = gate.compare(baseline, fresh, 1.5, 0.001)
+        assert [row[0] for row in rows] == ["kept"]
+        assert regressions == []
+
+    def test_speedups_never_fail(self, gate):
+        rows, regressions = gate.compare(
+            {"a": 1.0}, {"a": 0.2}, 1.5, 0.001
+        )
+        assert regressions == []
+
+
+class TestMainExitCodes:
+    def test_ok_run_exits_zero(self, gate, tmp_path, capsys):
+        base = bench_json(tmp_path / "base.json", {"a": 0.01})
+        fresh = bench_json(tmp_path / "fresh.json", {"a": 0.011})
+        assert gate.main([base, fresh]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out and "1.10x" in out
+
+    def test_regression_exits_one_with_delta_table(
+        self, gate, tmp_path, capsys
+    ):
+        """The acceptance demonstration: synthetic >1.5x fails CI."""
+        base = bench_json(
+            tmp_path / "base.json", {"join": 0.020, "select": 0.004}
+        )
+        fresh = bench_json(
+            tmp_path / "fresh.json", {"join": 0.035, "select": 0.004}
+        )
+        assert gate.main([base, fresh, "--label", "synthetic"]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+        assert "join" in out and "1.75x" in out
+        assert "FAIL" in out
+
+    def test_custom_threshold(self, gate, tmp_path):
+        base = bench_json(tmp_path / "base.json", {"a": 0.010})
+        fresh = bench_json(tmp_path / "fresh.json", {"a": 0.016})
+        assert gate.main([base, fresh, "--threshold", "2.0"]) == 0
+        assert gate.main([base, fresh, "--threshold", "1.5"]) == 1
+
+    def test_disjoint_files_fail_loudly(self, gate, tmp_path, capsys):
+        base = bench_json(tmp_path / "base.json", {"a": 0.01})
+        fresh = bench_json(tmp_path / "fresh.json", {"b": 0.01})
+        assert gate.main([base, fresh]) == 1
+        assert "no shared benchmarks" in capsys.readouterr().out
+
+    def test_unreadable_input_exits_two(self, gate, tmp_path):
+        missing = str(tmp_path / "nope.json")
+        fresh = bench_json(tmp_path / "fresh.json", {"a": 0.01})
+        assert gate.main([missing, fresh]) == 2
+
+    def test_real_committed_baselines_self_compare(self, gate):
+        """The committed trajectory files satisfy the gate's schema."""
+        repo = pathlib.Path(__file__).resolve().parents[2]
+        for name in (
+            "BENCH_kernels.json",
+            "BENCH_parallel.json",
+            "BENCH_blocked.json",
+        ):
+            path = repo / name
+            assert path.exists(), f"{name} missing from the repo root"
+            means = gate.load_means(str(path))
+            assert means, f"{name} has no benchmarks"
+            assert gate.main([str(path), str(path)]) == 0
