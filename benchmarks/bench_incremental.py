@@ -1,0 +1,131 @@
+"""Warm-start vs cold-run latency across a delta-fraction sweep.
+
+The incremental engine's pitch is that absorbing a delta costs work
+proportional to the delta's frontier, not the graph.  This suite pins
+the claim to numbers: a PA + independent-deletion workload is built,
+a fraction of each copy's edges is held back, and the benchmark times
+``IncrementalReconciler.apply`` for that batch against the cold
+comparator ``test_bench_cold_rerun`` (a from-scratch ``csr`` run on the
+same post-delta graphs).  As the fraction shrinks the warm apply should
+dip well below the cold bar — the committed ``BENCH_incremental.json``
+records the crossover so the CI regression gate
+(``scripts/check_bench_regression.py``) catches anyone who serializes
+the dirty-set path.
+
+Links are asserted identical to the cold run en route: warm-starting is
+an execution strategy, never an approximation.
+"""
+
+import pytest
+
+from repro.core.config import MatcherConfig
+from repro.core.matcher import UserMatching
+from repro.generators.preferential_attachment import (
+    preferential_attachment_graph,
+)
+from repro.incremental import GraphDelta, IncrementalReconciler
+from repro.incremental.stream import hold_back_stream
+from repro.sampling.edge_sampling import independent_copies
+from repro.seeds.generators import sample_seeds
+
+N = 6000
+M = 10
+#: Fractions of each copy's edge count arriving as one delta batch.
+DELTA_FRACTIONS = (0.0005, 0.005, 0.02)
+
+_CONFIG = dict(threshold=2, iterations=1)
+
+
+def build_workload(n=N, m=M, seed=0):
+    """Full pair + seeds (deterministic)."""
+    graph = preferential_attachment_graph(n, m, seed=seed)
+    pair = independent_copies(graph, 0.6, seed=seed + 100)
+    seeds = sample_seeds(pair, 0.08, seed=seed + 200)
+    return pair, seeds
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_workload()
+
+
+def carve(pair, fraction, seed=300):
+    """Base copies with a *fraction* of edges held back as the stream.
+
+    Same carving recipe as ``repro stream``
+    (:func:`repro.incremental.stream.hold_back_stream`), on copies so
+    the full pair stays intact for the cold comparator.
+    """
+    base1, base2 = pair.g1.copy(), pair.g2.copy()
+    stream1, stream2 = hold_back_stream(
+        base1, base2, fraction, seed
+    )
+    return base1, base2, stream1, stream2
+
+
+@pytest.mark.parametrize(
+    "fraction", DELTA_FRACTIONS, ids=lambda f: f"frac={f}"
+)
+def test_bench_warm_apply(benchmark, workload, fraction):
+    """One warm ``apply`` of a *fraction*-sized delta (fresh engine/round)."""
+    pair, seeds = workload
+    cold = UserMatching(
+        MatcherConfig(backend="csr", **_CONFIG)
+    ).run(pair.g1, pair.g2, seeds)
+
+    def setup():
+        base1, base2, stream1, stream2 = carve(pair, fraction)
+        engine = IncrementalReconciler(MatcherConfig(**_CONFIG))
+        engine.start(base1, base2, seeds)
+        delta = GraphDelta.build(
+            added_edges1=stream1, added_edges2=stream2
+        )
+        return (engine, delta), {}
+
+    def apply(engine, delta):
+        outcome = engine.apply(delta)
+        # Warm-starting must never change a link.
+        assert outcome.result.links == cold.links
+        return outcome
+
+    outcome = benchmark.pedantic(
+        apply, setup=setup, rounds=3, iterations=1
+    )
+    benchmark.extra_info["delta_fraction"] = fraction
+    benchmark.extra_info["delta_edges"] = int(
+        pair.g1.num_edges * fraction
+    ) + int(pair.g2.num_edges * fraction)
+    benchmark.extra_info["dirty_links"] = outcome.dirty_links
+    benchmark.extra_info["rescored_rounds"] = outcome.rescored_rounds
+    benchmark.extra_info["full_rounds"] = outcome.full_rounds
+
+
+def test_bench_cold_rerun(benchmark, workload):
+    """The comparator: a from-scratch ``csr`` run on the full graphs."""
+    pair, seeds = workload
+    matcher = UserMatching(MatcherConfig(backend="csr", **_CONFIG))
+    result = benchmark.pedantic(
+        matcher.run,
+        args=(pair.g1, pair.g2, seeds),
+        rounds=3,
+        iterations=1,
+    )
+    benchmark.extra_info["links"] = result.num_links
+    assert result.num_new_links > 0
+
+
+def test_bench_checkpoint_roundtrip(benchmark, workload, tmp_path):
+    """Persist + resume cost for the stop/persist/resume loop."""
+    pair, seeds = workload
+    base1, base2, _stream1, _stream2 = carve(pair, 0.005)
+    engine = IncrementalReconciler(MatcherConfig(**_CONFIG))
+    engine.start(base1, base2, seeds)
+    path = tmp_path / "state.npz"
+
+    def roundtrip():
+        engine.save_checkpoint(path)
+        return IncrementalReconciler.resume(path)
+
+    resumed = benchmark.pedantic(roundtrip, rounds=3, iterations=1)
+    assert resumed.result.links == engine.result.links
+    benchmark.extra_info["checkpoint_bytes"] = path.stat().st_size

@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Fail CI when a markdown link points at a file that does not exist.
+
+The docs satellite grew a real cross-linked surface (README →
+``docs/ARCHITECTURE.md`` → ``DESIGN.md`` → ...); a renamed file would
+silently strand readers.  This checker walks the repo's markdown,
+extracts inline ``[text](target)`` links, and verifies every
+*repo-relative file* target resolves.  Deliberately out of scope:
+
+- external links (``http://``, ``https://``, ``mailto:``) — no network
+  in CI, and availability is not this repo's bug;
+- pure in-page anchors (``#section``) and anchor fragments on file
+  links (the file must exist; heading drift is a review concern);
+- targets that resolve *outside* the repository (GitHub-relative
+  badge links like ``../../actions/...``).
+
+Usage::
+
+    python scripts/check_markdown_links.py [FILES...]
+
+With no arguments, checks the repo's top-level ``*.md`` plus
+``docs/*.md``.  Exit codes: 0 = all links resolve, 1 = broken links,
+2 = bad invocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Inline markdown links; deliberately simple (no reference-style
+#: links in this repo) but careful to stop at the first closing paren.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+DEFAULT_GLOBS = ("*.md", "docs/*.md")
+
+
+def iter_links(text: str):
+    """Yield (lineno, target) for every inline link, skipping code fences."""
+    in_fence = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            yield lineno, match.group(1)
+
+
+def check_file(path: Path) -> list[str]:
+    """Return human-readable problems for one markdown file."""
+    problems = []
+    text = path.read_text(encoding="utf-8")
+    for lineno, target in iter_links(text):
+        if "://" in target or target.startswith("mailto:"):
+            continue
+        if target.startswith("#"):
+            continue
+        file_part = target.split("#", 1)[0]
+        if not file_part:
+            continue
+        resolved = (path.parent / file_part).resolve()
+        try:
+            resolved.relative_to(REPO)
+        except ValueError:
+            continue  # GitHub-relative (e.g. badge) link; not a file
+        if not resolved.exists():
+            problems.append(
+                f"{path.relative_to(REPO)}:{lineno}: broken link "
+                f"-> {target}"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        description="verify repo-relative markdown links resolve"
+    )
+    parser.add_argument(
+        "files",
+        nargs="*",
+        help="markdown files to check (default: *.md + docs/*.md)",
+    )
+    args = parser.parse_args(argv)
+    if args.files:
+        paths = [Path(f).resolve() for f in args.files]
+        missing = [p for p in paths if not p.exists()]
+        if missing:
+            for p in missing:
+                print(f"no such file: {p}", file=sys.stderr)
+            return 2
+    else:
+        paths = sorted(
+            p for glob in DEFAULT_GLOBS for p in REPO.glob(glob)
+        )
+    problems: list[str] = []
+    for path in paths:
+        problems.extend(check_file(path))
+    if problems:
+        print("\n".join(problems))
+        print(f"{len(problems)} broken markdown link(s)")
+        return 1
+    print(f"checked {len(paths)} file(s): all markdown links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -46,6 +46,13 @@ kernels, link-identical output, several times faster on the hot join)::
     result = reconcile(pair.g1, pair.g2, seeds, threshold=2, backend="csr")
 
 See DESIGN.md §"Backends" for when interning pays off.
+
+Live networks stream: :mod:`repro.incremental` absorbs
+``GraphDelta`` batches (edge/seed arrivals) by re-scoring only the
+delta's witness frontier — bit-identical to a cold run — and persists
+warm-start state across processes (``MatcherConfig(checkpoint_path=,
+warm_start=)``, ``repro stream``).  See docs/ARCHITECTURE.md for the
+subsystem map.
 """
 
 from repro.baselines import (

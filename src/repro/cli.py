@@ -8,9 +8,12 @@ Examples::
     repro run table2 --backend csr
     repro run table2 --backend csr --workers 4
     repro run table2-million --memory-budget-mb 512
+    repro run fig2 --checkpoint state.npz --resume
     repro run table3-facebook
     repro run ablation-wikipedia --matcher common-neighbors
     repro run all
+    repro stream --batches 5 --compare-cold
+    repro stream --checkpoint stream.npz --resume
     repro datasets
 """
 
@@ -180,6 +183,8 @@ def _cmd_run(
     workers: int | None = None,
     memory_budget_mb: int | None = None,
     track_memory: bool = False,
+    checkpoint: str | None = None,
+    resume: bool = False,
 ) -> int:
     if name == "all":
         # The million-node rung is minutes + GiB by design; it only
@@ -214,12 +219,17 @@ def _cmd_run(
             file=sys.stderr,
         )
         return 2
+    if resume and checkpoint is None:
+        print("--resume requires --checkpoint PATH", file=sys.stderr)
+        return 2
     for option, value in (
         ("matcher", matcher),
         ("backend", backend),
         ("workers", workers),
         ("memory_budget_mb", memory_budget_mb),
         ("track_memory", track_memory or None),
+        ("checkpoint_path", checkpoint),
+        ("warm_start", resume or None),
     ):
         if value is None:
             continue
@@ -249,6 +259,10 @@ def _cmd_run(
             kwargs["memory_budget_mb"] = memory_budget_mb
         if track_memory:
             kwargs["track_memory"] = True
+        if checkpoint is not None:
+            kwargs["checkpoint_path"] = checkpoint
+        if resume:
+            kwargs["warm_start"] = True
         result = fn(**kwargs)
         print(result.to_table())
         if chart and result.rows:
@@ -287,6 +301,35 @@ def _chart_for(result: ExperimentResult) -> str | None:
         [float(r["recall"]) for r in result.rows],
         title=f"recall by {first}",
     )
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+    from repro.incremental.stream import run_stream
+
+    if args.resume and args.checkpoint is None:
+        print("--resume requires --checkpoint PATH", file=sys.stderr)
+        return 2
+    try:
+        result = run_stream(
+            n=args.n,
+            m=args.m,
+            s=args.s,
+            link_prob=args.link_prob,
+            stream_fraction=args.stream_fraction,
+            batches=args.batches,
+            threshold=args.threshold,
+            iterations=args.iterations,
+            seed=args.seed,
+            compare_cold=args.compare_cold,
+            checkpoint_path=args.checkpoint,
+            warm_start=args.resume,
+        )
+    except ReproError as exc:
+        print(f"stream failed: {exc}", file=sys.stderr)
+        return 1
+    print(result.to_table())
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -361,6 +404,86 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also render an ASCII chart of the result",
     )
+    run_p.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help=(
+            "persist the matcher's warm-start state (npz) after the "
+            "run; only for experiments that support it"
+        ),
+    )
+    run_p.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "warm-start from --checkpoint when it exists (only the "
+            "difference since the checkpoint is re-scored; links are "
+            "identical to a cold run)"
+        ),
+    )
+    stream_p = sub.add_parser(
+        "stream",
+        help=(
+            "replay an edge-arrival stream in delta batches through "
+            "the incremental reconciler"
+        ),
+    )
+    stream_p.add_argument(
+        "--n", type=int, default=4000, help="PA graph size"
+    )
+    stream_p.add_argument(
+        "--m", type=int, default=8, help="PA attachment parameter"
+    )
+    stream_p.add_argument(
+        "--s", type=float, default=0.6, help="copy edge retention"
+    )
+    stream_p.add_argument(
+        "--link-prob",
+        type=float,
+        default=0.05,
+        dest="link_prob",
+        help="seed link probability",
+    )
+    stream_p.add_argument(
+        "--stream-fraction",
+        type=float,
+        default=0.2,
+        dest="stream_fraction",
+        help="fraction of each copy's edges held back as the stream",
+    )
+    stream_p.add_argument(
+        "--batches", type=int, default=5, help="delta batch count"
+    )
+    stream_p.add_argument(
+        "--threshold", type=int, default=2, help="matching score floor"
+    )
+    stream_p.add_argument(
+        "--iterations", type=int, default=1, help="outer iterations"
+    )
+    stream_p.add_argument(
+        "--seed", type=int, default=0, help="base RNG seed"
+    )
+    stream_p.add_argument(
+        "--compare-cold",
+        action="store_true",
+        dest="compare_cold",
+        help=(
+            "also time a cold run after every batch and assert link "
+            "identity (cold_ms / speedup columns)"
+        ),
+    )
+    stream_p.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="persist engine state here after every batch",
+    )
+    stream_p.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue a checkpointed stream (skips applied batches)",
+    )
     return parser
 
 
@@ -383,7 +506,11 @@ def main(argv: list[str] | None = None) -> int:
             args.workers,
             args.memory_budget_mb,
             args.track_memory,
+            args.checkpoint,
+            args.resume,
         )
+    if args.command == "stream":
+        return _cmd_stream(args)
     return 2  # unreachable: argparse enforces the sub-command set
 
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.errors import MatcherConfigError
 
@@ -80,46 +81,89 @@ def validate_memory_budget_mb(
     return memory_budget_mb
 
 
+def validate_checkpoint_path(
+    checkpoint_path: "str | Path | None",
+) -> "str | Path | None":
+    """Validate a checkpoint path; shared by matchers without a config.
+
+    ``None`` disables persistence; otherwise any path-like is accepted
+    (the file need not exist yet — a missing checkpoint means "cold
+    run, then persist").
+    """
+    if checkpoint_path is None:
+        return None
+    if not isinstance(checkpoint_path, (str, Path)):
+        raise MatcherConfigError(
+            "checkpoint_path must be a str, Path, or None, "
+            f"got {checkpoint_path!r}"
+        )
+    return checkpoint_path
+
+
 @dataclass(frozen=True)
 class MatcherConfig:
     """Tuning parameters of :class:`~repro.core.matcher.UserMatching`.
 
-    Attributes:
-        threshold: minimum matching score ``T``; pairs scoring below it are
-            never linked.  The paper uses 2–3 for high precision on dense
-            graphs, 9 for the PA theory, 3 for the ER theory.
-        iterations: outer iteration count ``k``; the paper notes ``k`` of
-            1 or 2 already gives "very interesting results".
-        max_degree: the ``D`` parameter; ``None`` (default) uses the max
-            degree observed across both input graphs.
-        use_degree_buckets: sweep degree buckets ``2^j`` from high to low
-            (the paper's algorithm).  ``False`` reproduces the ablation:
-            all degrees matched at once.
-        min_bucket_exponent: smallest ``j`` of the sweep.  The paper stops
-            at ``j = 1`` (degree >= 2), the default; set 0 to let
-            degree-1 nodes participate (only useful with ``threshold=1``,
-            since a degree-1 node can never have 2 witnesses).
-        tie_policy: see :class:`TiePolicy`.
-        backend: execution substrate, ``"dict"`` (default) or ``"csr"``
-            (dense interning + numpy kernels; link-identical output).
-        workers: worker processes for the ``csr`` witness kernels
-            (:mod:`repro.core.parallel`).  1 (default) is the serial
-            path; any value produces bit-identical links — ``workers``
-            is purely an execution knob.  The ``dict`` backend's
-            incremental score table is inherently sequential, so it
-            accepts the knob for interface uniformity but always runs
-            on one core.
-        memory_budget_mb: soft cap, in MiB, on the transient working
-            set of each ``csr`` witness-join round.  ``None`` (default)
-            runs each round monolithically; with a budget the round's
-            link set is split into blocks sized from per-link
-            degree-product estimates (:mod:`repro.core.shards`) and the
-            join streams block-by-block, merging per-block tables by
-            canonical summation — links are bit-identical to the
-            monolithic path for any budget, and the knob composes with
-            ``workers`` (each block is fanned to the pool).  Like
-            ``workers``, the ``dict`` backend accepts it for interface
-            uniformity only.
+    Attributes
+    ----------
+    threshold : int
+        Minimum matching score ``T`` (a similarity-witness count);
+        pairs scoring below it are never linked.  The paper uses 2–3
+        for high precision on dense graphs, 9 for the PA theory, 3 for
+        the ER theory.
+    iterations : int
+        Outer iteration count ``k``; the paper notes ``k`` of 1 or 2
+        already gives "very interesting results".
+    max_degree : int, optional
+        The ``D`` parameter; ``None`` (default) uses the max degree
+        observed across both input graphs.
+    use_degree_buckets : bool
+        Sweep degree buckets ``2^j`` from high to low (the paper's
+        algorithm).  ``False`` reproduces the ablation: all degrees
+        matched at once.
+    min_bucket_exponent : int
+        Smallest ``j`` of the sweep.  The paper stops at ``j = 1``
+        (degree >= 2), the default; set 0 to let degree-1 nodes
+        participate (only useful with ``threshold=1``, since a
+        degree-1 node can never have 2 witnesses).
+    tie_policy : TiePolicy
+        See :class:`TiePolicy`.
+    backend : {"dict", "csr"}
+        Execution substrate: ``"dict"`` (default) or ``"csr"`` (dense
+        interning + numpy kernels; link-identical output).
+    workers : int
+        Worker processes for the ``csr`` witness kernels
+        (:mod:`repro.core.parallel`).  1 (default) is the serial path;
+        any value produces bit-identical links — ``workers`` is purely
+        an execution knob.  The ``dict`` backend's incremental score
+        table is inherently sequential, so it accepts the knob for
+        interface uniformity but always runs on one core.
+    memory_budget_mb : int, optional
+        Soft cap, in MiB, on the transient working set of each ``csr``
+        witness-join round.  ``None`` (default) runs each round
+        monolithically; with a budget the round's link set is split
+        into blocks sized from per-link degree-product estimates
+        (:mod:`repro.core.shards`) and the join streams
+        block-by-block, merging per-block tables by canonical
+        summation — links are bit-identical to the monolithic path for
+        any budget, and the knob composes with ``workers`` (each block
+        is fanned to the pool).  Like ``workers``, the ``dict``
+        backend accepts it for interface uniformity only.
+    checkpoint_path : str or Path, optional
+        npz file persisting the reconciliation's warm-start state
+        (graphs, seeds, per-round score tables) through
+        :mod:`repro.core.links_io`.  When set, every run saves its
+        state there; combined with ``warm_start=True`` a run *resumes*
+        from it — the persisted state is diffed against the given
+        graphs/seeds and only the difference is re-scored
+        (:mod:`repro.incremental`).  Links are identical to an
+        unpersisted run either way; the knob only changes where the
+        time goes.
+    warm_start : bool
+        Resume from ``checkpoint_path`` when it exists (requires
+        ``checkpoint_path``).  A missing checkpoint file degrades to
+        "cold run, then persist" — safe to leave on for the first run
+        of a pipeline.
     """
 
     threshold: int = 2
@@ -131,6 +175,8 @@ class MatcherConfig:
     backend: str = "dict"
     workers: int = 1
     memory_budget_mb: int | None = None
+    checkpoint_path: "str | Path | None" = None
+    warm_start: bool = False
 
     def __post_init__(self) -> None:
         if not isinstance(self.threshold, int) or self.threshold < 1:
@@ -160,3 +206,13 @@ class MatcherConfig:
             )
         validate_workers(self.workers)
         validate_memory_budget_mb(self.memory_budget_mb)
+        validate_checkpoint_path(self.checkpoint_path)
+        if not isinstance(self.warm_start, bool):
+            raise MatcherConfigError(
+                f"warm_start must be a bool, got {self.warm_start!r}"
+            )
+        if self.warm_start and self.checkpoint_path is None:
+            raise MatcherConfigError(
+                "warm_start=True requires a checkpoint_path to resume "
+                "from"
+            )

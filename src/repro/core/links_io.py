@@ -1,21 +1,38 @@
-"""Persistence for identification links.
+"""Persistence for identification links and reconciliation state.
 
 A reconciliation system's output is the link set; these helpers persist
-it as TSV (``g1_node<TAB>g2_node``, ``#``-comments, ``.gz`` transparent)
-and reload it for seeding later runs — the incremental-deployment loop
-the paper envisions ("use the newly generated set of links as input to
-the next phase").
+it in three forms:
+
+- **TSV link files** (:func:`write_links` / :func:`read_links`):
+  ``g1_node<TAB>g2_node``, ``#``-comments, ``.gz`` transparent — the
+  paper's incremental-deployment loop ("use the newly generated set of
+  links as input to the next phase").
+- **Append-only JSONL event logs** (:class:`LinkStore`): one JSON
+  object per line recording seeds, deltas, and per-round link batches
+  as a reconciliation progresses.  Append-only means a crash loses at
+  most the final partial line, and :meth:`LinkStore.events` detects
+  exactly that (truncation raises :class:`~repro.errors.ReproError`).
+- **npz score-table checkpoints** (:func:`save_checkpoint` /
+  :func:`load_checkpoint`): the dense arrays + JSON metadata an
+  :class:`~repro.incremental.engine.IncrementalReconciler` needs to
+  stop, persist, and warm-resume in another process.
 """
 
 from __future__ import annotations
 
 import gzip
+import json
 from pathlib import Path
-from typing import IO, Hashable
+from typing import IO, Hashable, Iterator
+
+import numpy as np
 
 from repro.errors import ReproError
 
 Node = Hashable
+
+#: Key under which checkpoint metadata JSON rides inside the npz.
+_META_KEY = "__meta_json__"
 
 
 def _open(path: Path, mode: str) -> IO[str]:
@@ -70,3 +87,223 @@ def read_links(path: str | Path) -> dict[Node, Node]:
                 )
             links[v1] = _parse_node(parts[1])
     return links
+
+
+# ----------------------------------------------------------------------
+# Append-only JSONL event log
+# ----------------------------------------------------------------------
+class LinkStore:
+    """Append-only JSONL log of a reconciliation's link history.
+
+    Each :meth:`append` writes one JSON object per line; the file is
+    opened, written, flushed, and closed per event, so concurrent
+    readers always see whole lines and a crash loses at most the event
+    being written.  Node ids must be JSON-representable (ints and
+    strings round-trip exactly; use the npz checkpoint for anything
+    richer).
+
+    Parameters
+    ----------
+    path : str or Path
+        Log location; parent directories must exist.  A missing file
+        is an empty store.
+
+    Examples
+    --------
+    >>> store = LinkStore(tmp / "run.jsonl")      # doctest: +SKIP
+    >>> store.append_seeds({1: 10})               # doctest: +SKIP
+    >>> store.append_links({2: 20}, round=1)      # doctest: +SKIP
+    >>> store.links()                             # doctest: +SKIP
+    {1: 10, 2: 20}
+    """
+
+    def __init__(self, path: "str | Path") -> None:
+        self.path = Path(path)
+
+    # ------------------------------------------------------------------
+    def append(self, event: dict) -> None:
+        """Append one event object as a JSON line.
+
+        Parameters
+        ----------
+        event : dict
+            JSON-serializable payload; by convention carries a
+            ``"type"`` key (``"seeds"``, ``"links"``, ``"delta"``, ...).
+        """
+        line = json.dumps(event, separators=(",", ":"))
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+
+    def append_seeds(self, seeds: dict[Node, Node]) -> None:
+        """Record the seed links a reconciliation starts from."""
+        self.append(
+            {"type": "seeds", "links": [[v1, v2] for v1, v2 in seeds.items()]}
+        )
+
+    def append_links(
+        self, links: dict[Node, Node], *, round: int | None = None
+    ) -> None:
+        """Record a batch of newly selected links (one round / delta)."""
+        event: dict = {
+            "type": "links",
+            "links": [[v1, v2] for v1, v2 in links.items()],
+        }
+        if round is not None:
+            event["round"] = round
+        self.append(event)
+
+    def append_delta(self, summary: dict) -> None:
+        """Record that a graph delta was applied (summary only)."""
+        self.append({"type": "delta", **summary})
+
+    def append_retractions(self, nodes) -> None:
+        """Record links withdrawn by a delta (g1 endpoints).
+
+        Edge removals — or even additions, via mutual-best flips — can
+        invalidate previously confirmed links; retraction events keep
+        :meth:`links` replay exact.
+        """
+        self.append({"type": "retract", "nodes": list(nodes)})
+
+    # ------------------------------------------------------------------
+    def events(self) -> Iterator[dict]:
+        """Yield every logged event in append order.
+
+        Raises
+        ------
+        ReproError
+            If a line is not valid JSON or the final line is truncated
+            (missing its newline) — the caller decides whether to
+            repair or discard.
+        """
+        if not self.path.exists():
+            return
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, start=1):
+                if not line.endswith("\n"):
+                    raise ReproError(
+                        f"{self.path}:{lineno}: truncated event line "
+                        "(no trailing newline) — the log was cut off "
+                        "mid-write"
+                    )
+                stripped = line.strip()
+                if not stripped:
+                    continue
+                try:
+                    event = json.loads(stripped)
+                except ValueError as exc:
+                    raise ReproError(
+                        f"{self.path}:{lineno}: invalid JSON event "
+                        f"({exc})"
+                    ) from None
+                if not isinstance(event, dict):
+                    raise ReproError(
+                        f"{self.path}:{lineno}: event must be a JSON "
+                        f"object, got {type(event).__name__}"
+                    )
+                yield event
+
+    def links(self) -> dict[Node, Node]:
+        """Replay the log into the cumulative link mapping.
+
+        ``seeds`` and ``links`` events accumulate in order (later
+        confirmations overwrite earlier ones, mirroring how the
+        incremental engine treats re-confirmed seeds); ``retract``
+        events withdraw links by g1 endpoint.
+        """
+        out: dict[Node, Node] = {}
+        for event in self.events():
+            kind = event.get("type")
+            if kind in ("seeds", "links"):
+                for v1, v2 in event.get("links", []):
+                    out[v1] = v2
+            elif kind == "retract":
+                for v1 in event.get("nodes", []):
+                    out.pop(v1, None)
+        return out
+
+    def __repr__(self) -> str:
+        return f"LinkStore({str(self.path)!r})"
+
+
+# ----------------------------------------------------------------------
+# npz score-table checkpoints
+# ----------------------------------------------------------------------
+def save_checkpoint(
+    path: "str | Path", arrays: dict[str, np.ndarray], meta: dict
+) -> None:
+    """Atomically write a checkpoint of arrays plus JSON metadata.
+
+    Parameters
+    ----------
+    path : str or Path
+        Target file (conventionally ``*.npz``).  Written via a
+        temporary sibling + :func:`os.replace`, so readers never see a
+        half-written checkpoint.
+    arrays : dict of str to ndarray
+        Named arrays; object-dtype arrays (original node ids) are
+        allowed and stored pickled.
+    meta : dict
+        JSON-serializable metadata stored alongside the arrays.
+    """
+    path = Path(path)
+    if _META_KEY in arrays:
+        raise ReproError(f"array name {_META_KEY!r} is reserved")
+    payload = dict(arrays)
+    payload[_META_KEY] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    # Stream straight into a temporary sibling (passing an open handle
+    # also stops numpy from appending '.npz' to the name), then swap it
+    # in — atomic for readers, and peak memory stays at one array's
+    # compression buffer rather than the whole archive.
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "wb") as fh:
+            np.savez_compressed(fh, **payload)
+        tmp.replace(path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+
+
+def load_checkpoint(
+    path: "str | Path",
+) -> tuple[dict[str, np.ndarray], dict]:
+    """Load a checkpoint written by :func:`save_checkpoint`.
+
+    Returns
+    -------
+    (arrays, meta) : tuple
+        The named arrays and the metadata dict.
+
+    Raises
+    ------
+    ReproError
+        If the file is missing, truncated, or not a valid checkpoint
+        (including a zip/npz that lacks the metadata member).
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ReproError(f"checkpoint {path} does not exist")
+    try:
+        with np.load(path, allow_pickle=True) as data:
+            if _META_KEY not in data.files:
+                raise ReproError(
+                    f"checkpoint {path} has no metadata — not written "
+                    "by save_checkpoint?"
+                )
+            meta = json.loads(bytes(data[_META_KEY]).decode("utf-8"))
+            arrays = {
+                key: data[key]
+                for key in data.files
+                if key != _META_KEY
+            }
+    except ReproError:
+        raise
+    except Exception as exc:
+        raise ReproError(
+            f"checkpoint {path} is unreadable or truncated: {exc!r}"
+        ) from exc
+    return arrays, meta

@@ -217,21 +217,29 @@ class UserMatching:
     ) -> MatchingResult:
         """Run User-Matching and return the expanded link set.
 
-        Args:
-            g1: first network.
-            g2: second network.
-            seeds: initial identification links ``L`` (g1-node -> g2-node);
-                must be one-to-one and reference existing nodes.
-            progress: optional callback invoked once per
-                (iteration, bucket) round.
+        Parameters
+        ----------
+        g1, g2 : Graph
+            The two networks.
+        seeds : dict
+            Initial identification links ``L`` (g1-node -> g2-node);
+            must be one-to-one and reference existing nodes.
+        progress : callable, optional
+            Invoked once per (iteration, bucket) round with a
+            :class:`~repro.core.protocol.ProgressEvent`.
 
-        Returns:
-            :class:`MatchingResult` whose ``links`` extend (and include)
-            the seeds.
+        Returns
+        -------
+        MatchingResult
+            ``links`` extend (and include) the seeds; ``phases`` holds
+            one record per (iteration, bucket) round with witness-pair
+            counts (the paper's cost unit).
         """
         self._validate_seeds(g1, g2, seeds)
         reporter = ProgressReporter("user-matching", progress)
         cfg = self.config
+        if cfg.checkpoint_path is not None:
+            return self._run_checkpointed(g1, g2, seeds, reporter)
         if cfg.backend == "csr":
             return self._run_csr(g1, g2, seeds, reporter)
         adj1 = g1.adjacency()
@@ -302,6 +310,66 @@ class UserMatching:
         return MatchingResult(links=links, seeds=dict(seeds), phases=phases)
 
     # ------------------------------------------------------------------
+    def _run_checkpointed(
+        self,
+        g1: Graph,
+        g2: Graph,
+        seeds: dict[Node, Node],
+        reporter: ProgressReporter,
+    ) -> MatchingResult:
+        """Persist (and optionally warm-resume) through a checkpoint.
+
+        With ``warm_start`` and an existing checkpoint, the persisted
+        state is rebuilt, diffed against the given graphs/seeds, and
+        only the difference is re-scored by the incremental engine —
+        then the refreshed state is saved back.  Otherwise the run is
+        cold (captured by the engine so the next run *can* warm-start)
+        and saved.  Either way the links are bit-identical to an
+        unpersisted run on the same inputs, and the caller's graphs
+        are never mutated (the engine owns reconstructed copies).
+
+        The engine replays rounds without a live callback, so progress
+        events are emitted from the phase history after the run — the
+        caller sees the same one-event-per-round stream as an
+        unpersisted run, just not interleaved in real time.
+        """
+        import dataclasses
+        from pathlib import Path
+
+        from repro.incremental.delta import delta_between
+        from repro.incremental.engine import IncrementalReconciler
+
+        cfg = self.config
+        path = Path(cfg.checkpoint_path)
+        base_cfg = dataclasses.replace(
+            cfg, checkpoint_path=None, warm_start=False
+        )
+        if cfg.warm_start and path.exists():
+            engine = IncrementalReconciler.resume(path)
+            engine.require_config(base_cfg)
+            delta = delta_between(
+                engine.g1, engine.g2, engine.seeds, g1, g2, seeds
+            )
+            outcome = engine.apply(delta)
+            engine.save_checkpoint(path)
+            result = outcome.result
+        else:
+            engine = IncrementalReconciler(base_cfg)
+            # The engine keeps graph references and mutates them on
+            # later deltas; hand it copies so this matcher's caller
+            # keeps undisturbed graphs.
+            result = engine.start(g1.copy(), g2.copy(), seeds)
+            engine.save_checkpoint(path)
+        links_total = len(result.seeds)
+        for phase in result.phases:
+            links_total += phase.links_added
+            reporter.emit(
+                "bucket",
+                links_total=links_total,
+                links_added=phase.links_added,
+            )
+        return result
+
     def _run_csr(
         self,
         g1: Graph,

@@ -53,23 +53,33 @@ def reconcile(
       arguments are forwarded to the registered class.
     - a ready matcher instance — used as-is.
 
-    Args:
-        g1: first network.
-        g2: second network.
-        seeds: initial identification links (``g1-node -> g2-node``).
-        matcher: which matcher to run (see above).
-        threshold: minimum matching score ``T`` (legacy keyword; also
-            forwarded to named matchers that accept it).
-        iterations: outer iteration count ``k`` (likewise).
-        use_degree_buckets: keep the paper's high-degree-first schedule
-            (likewise).
-        progress: optional per-phase callback, forwarded to the matcher.
-        **matcher_config: extra configuration for a *named* matcher, or
-            extra :class:`MatcherConfig` fields (e.g. ``backend="csr"``)
-            for the default User-Matching path.
+    Parameters
+    ----------
+    g1, g2 : Graph
+        The two networks to reconcile.
+    seeds : dict
+        Initial identification links (``g1-node -> g2-node``),
+        one-to-one, endpoints present in their graphs.
+    matcher : MatcherConfig or str or Matcher, optional
+        Which matcher to run (see above).
+    threshold : int, optional
+        Minimum matching score ``T`` (legacy keyword; also forwarded
+        to named matchers that accept it).  Unitless witness count.
+    iterations : int, optional
+        Outer iteration count ``k`` (likewise).
+    use_degree_buckets : bool, optional
+        Keep the paper's high-degree-first schedule (likewise).
+    progress : callable, optional
+        Per-phase callback, forwarded to the matcher.
+    **matcher_config
+        Extra configuration for a *named* matcher, or extra
+        :class:`MatcherConfig` fields (e.g. ``backend="csr"``) for the
+        default User-Matching path.
 
-    Returns:
-        :class:`~repro.core.result.MatchingResult`.
+    Returns
+    -------
+    MatchingResult
+        Links (seeds included), per-round phase history, timings.
     """
     legacy = {
         key: value

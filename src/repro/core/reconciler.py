@@ -302,41 +302,53 @@ class Reconciler:
         result = pipeline.run(g1, g2, seeds, progress=print)
         result.timings     # per-stage wall-clock records
 
-    Args:
-        threshold: minimum score a pair needs to be linked.
-        rounds: maximum propagation rounds (each round's new links become
-            witnesses for the next); stops early when a round adds
-            nothing.
-        tie_policy: tie handling, forwarded to the selector.
-        seed_strategy: stage 1 hook (default: validate + pass through).
-        candidates: stage 2 hook; ``None`` (default) fuses candidate
-            enumeration into the kernel (the shipped kernels natively
-            enumerate the link join), avoiding a duplicate join pass.
-        scorer: stage 3 hook (default: witness counts).
-        selector: stage 4 — a policy name (``"mutual-best"``,
-            ``"greedy"``, ``"gale-shapley"``) or a callable with the
-            selector signature.
-        validators: stage 5 — post-match hooks, applied in order; each
-            receives ``(g1, g2, links, seeds)`` and returns the links to
-            keep (seeds must be preserved).
-        backend: ``"dict"`` (default) or ``"csr"``.  With ``"csr"`` the
-            *default* scoring stage interns both graphs once per run and
-            produces the flat :class:`~repro.core.kernels.ArrayScores`
-            table; the named selectors dispatch to the vectorized
-            kernels on it.  Links are identical to the dict backend.  A
-            custom ``scorer`` takes precedence over the backend choice;
-            a custom ``candidates`` stage keeps its dict-level filtering
-            semantics on either backend.
-        workers: worker processes for the ``csr`` default scorer's
-            witness join (see :mod:`repro.core.parallel`); 1 (default)
-            runs serially and any value is link-identical.  Ignored by
-            custom scorers and by the ``dict`` backend.
-        memory_budget_mb: MiB cap on the ``csr`` default scorer's
-            per-round transient working set (see
-            :func:`~repro.core.kernels.count_witnesses_blocked`);
-            ``None`` (default) runs monolithically and any budget is
-            link-identical.  Same custom-scorer/dict-backend caveat as
-            *workers*.
+    Parameters
+    ----------
+    threshold : int or float
+        Minimum score a pair needs to be linked (witness count for the
+        default kernel).
+    rounds : int
+        Maximum propagation rounds (each round's new links become
+        witnesses for the next); stops early when a round adds
+        nothing.
+    tie_policy : TiePolicy
+        Tie handling, forwarded to the selector.
+    seed_strategy : callable, optional
+        Stage 1 hook (default: validate + pass through).
+    candidates : callable, optional
+        Stage 2 hook; ``None`` (default) fuses candidate enumeration
+        into the kernel (the shipped kernels natively enumerate the
+        link join), avoiding a duplicate join pass.
+    scorer : callable, optional
+        Stage 3 hook (default: witness counts).
+    selector : str or callable
+        Stage 4 — a policy name (``"mutual-best"``, ``"greedy"``,
+        ``"gale-shapley"``) or a callable with the selector signature.
+    validators : sequence of callable
+        Stage 5 — post-match hooks, applied in order; each receives
+        ``(g1, g2, links, seeds)`` and returns the links to keep
+        (seeds must be preserved).
+    backend : {"dict", "csr"}
+        With ``"csr"`` the *default* scoring stage interns both graphs
+        once per run and produces the flat
+        :class:`~repro.core.kernels.ArrayScores` table; the named
+        selectors dispatch to the vectorized kernels on it.  Links are
+        identical to the dict backend.  A custom ``scorer`` takes
+        precedence over the backend choice; a custom ``candidates``
+        stage keeps its dict-level filtering semantics on either
+        backend.
+    workers : int
+        Worker processes for the ``csr`` default scorer's witness join
+        (see :mod:`repro.core.parallel`); 1 (default) runs serially
+        and any value is link-identical.  Ignored by custom scorers
+        and by the ``dict`` backend.
+    memory_budget_mb : int, optional
+        MiB cap on the ``csr`` default scorer's per-round transient
+        working set (see
+        :func:`~repro.core.kernels.count_witnesses_blocked`); ``None``
+        (default) runs monolithically and any budget is
+        link-identical.  Same custom-scorer/dict-backend caveat as
+        *workers*.
     """
 
     def __init__(
@@ -394,7 +406,23 @@ class Reconciler:
         *,
         progress: ProgressCallback | None = None,
     ) -> MatchingResult:
-        """Run the pipeline; ``links`` extend (and include) the seeds."""
+        """Run the pipeline on one pair of networks.
+
+        Parameters
+        ----------
+        g1, g2 : Graph
+            The two networks.
+        seeds : dict
+            Initial identification links (one-to-one).
+        progress : callable, optional
+            Receives one event per stage execution.
+
+        Returns
+        -------
+        MatchingResult
+            ``links`` extend (and include) the seeds; ``timings``
+            carries per-stage wall-clock records (seconds).
+        """
         reporter = ProgressReporter("reconciler", progress)
         timings: list[StageTiming] = []
 

@@ -41,10 +41,15 @@ class TrialResult:
     Attributes:
         result: the matcher output (links + phase history).
         report: quality accounting against ground truth.
-        elapsed: matcher wall-clock seconds.
+        elapsed: matcher wall-clock seconds (the *cold* run when the
+            trial streamed deltas).
         params: free-form experiment parameters for tabulation.
         peak_mb: peak matcher allocation in MiB (``None`` when the
             trial ran with ``track_memory=False``).
+        delta_outcomes: per-delta
+            :class:`~repro.incremental.engine.DeltaOutcome` records
+            when the trial was run with ``deltas=``; ``None``
+            otherwise.
     """
 
     result: MatchingResult
@@ -52,14 +57,37 @@ class TrialResult:
     elapsed: float
     params: dict[str, object] = field(default_factory=dict)
     peak_mb: float | None = None
+    delta_outcomes: "list | None" = None
 
     def row(self) -> dict[str, object]:
-        """Flatten into one table row: params + quality + cost."""
+        """Flatten into one table row: params + quality + cost.
+
+        A streamed trial (``deltas=``) additionally carries the
+        streaming columns: ``deltas`` (count), ``delta_mean_s`` /
+        ``delta_total_s`` (per-delta latency vs the cold ``elapsed_s``),
+        and ``dirty_links`` (total re-scored link contributions, when
+        the warm engine ran).
+        """
         out: dict[str, object] = dict(self.params)
         out.update(self.report.as_dict())
         out["elapsed_s"] = round(self.elapsed, 4)
         if self.peak_mb is not None:
             out["peak_mb"] = round(self.peak_mb, 2)
+        if self.delta_outcomes is not None:
+            total = sum(o.elapsed for o in self.delta_outcomes)
+            count = len(self.delta_outcomes)
+            out["deltas"] = count
+            out["delta_total_s"] = round(total, 4)
+            out["delta_mean_s"] = round(
+                total / count if count else 0.0, 4
+            )
+            dirty = [
+                o.dirty_links
+                for o in self.delta_outcomes
+                if o.dirty_links is not None
+            ]
+            if dirty:
+                out["dirty_links"] = int(sum(dirty))
         return out
 
 
@@ -82,35 +110,62 @@ def run_trial(
     workers: int | None = None,
     memory_budget_mb: int | None = None,
     track_memory: bool = False,
+    deltas: "Sequence | None" = None,
     **matcher_config: object,
 ) -> TrialResult:
     """Run one matcher trial and evaluate it.
 
-    Args:
-        pair: the two copies plus ground truth.
-        seeds: initial identification links.
-        config: matcher configuration (ignored when *matcher* is given).
-        matcher: a :class:`~repro.core.protocol.Matcher` instance or a
-            registry name (``"common-neighbors"``, ...) — defaults to
-            :class:`UserMatching` with *config*.
-        params: extra key/values recorded in the result row.
-        backend: execution backend (``"dict"``/``"csr"``) applied to the
-            default matcher, a given *config*, or a *named* matcher;
-            cannot reconfigure an already-constructed instance.
-        workers: worker processes for the csr kernels, applied exactly
-            like *backend* (links are identical for any value — this
-            knob only changes wall-clock, i.e. the ``elapsed_s``
-            column).
-        memory_budget_mb: per-round working-set budget for the csr
-            witness join, applied exactly like *backend* (links are
-            identical for any budget — this knob only changes the
-            ``peak_mb`` column).
-        track_memory: also measure the matcher's peak allocation
-            (``tracemalloc``) into ``TrialResult.peak_mb`` / the
-            ``peak_mb`` row column.  Off by default: tracing costs
-            noticeable wall-clock on allocation-heavy dict workloads,
-            which would pollute ``elapsed_s`` comparisons.
-        **matcher_config: configuration for a *named* matcher.
+    Parameters
+    ----------
+    pair : GraphPair
+        The two copies plus ground truth.  With *deltas* this is the
+        *base* state; ground truth is evaluated against the post-delta
+        graphs.
+    seeds : dict
+        Initial identification links.
+    config : MatcherConfig, optional
+        Matcher configuration (ignored when *matcher* is given).
+    matcher : Matcher or str, optional
+        A :class:`~repro.core.protocol.Matcher` instance or a registry
+        name (``"common-neighbors"``, ...) — defaults to
+        :class:`UserMatching` with *config*.
+    params : dict, optional
+        Extra key/values recorded in the result row.
+    backend : {"dict", "csr"}, optional
+        Execution backend applied to the default matcher, a given
+        *config*, or a *named* matcher; cannot reconfigure an
+        already-constructed instance.
+    workers : int, optional
+        Worker processes for the csr kernels, applied exactly like
+        *backend* (links are identical for any value — this knob only
+        changes wall-clock, i.e. the ``elapsed_s`` column, seconds).
+    memory_budget_mb : int, optional
+        Per-round working-set budget for the csr witness join, in MiB,
+        applied exactly like *backend* (links are identical for any
+        budget — this knob only changes the ``peak_mb`` column).
+    track_memory : bool, optional
+        Also measure the matcher's peak allocation (``tracemalloc``)
+        into ``TrialResult.peak_mb`` / the ``peak_mb`` row column
+        (MiB).  Off by default: tracing costs noticeable wall-clock on
+        allocation-heavy dict workloads, which would pollute
+        ``elapsed_s`` comparisons.
+    deltas : sequence of GraphDelta, optional
+        The trial then streams: a cold run on *pair* (timed into
+        ``elapsed``), then each delta through an
+        :class:`~repro.incremental.engine.IncrementalReconciler`
+        (per-delta latency into ``TrialResult.delta_outcomes`` and the
+        ``delta_mean_s``/``delta_total_s`` row columns, seconds).  The
+        caller's graphs are never mutated — deltas apply to copies,
+        and the evaluation runs against the final state.  Links are
+        bit-identical to a cold run on that final state.
+    **matcher_config
+        Configuration for a *named* matcher.
+
+    Returns
+    -------
+    TrialResult
+        Matching result, quality report, wall-clock cost, and (when
+        streaming) the per-delta outcomes.
     """
     knobs = {
         "backend": backend,
@@ -137,6 +192,10 @@ def run_trial(
         matcher = UserMatching(config or MatcherConfig())
     elif isinstance(matcher, str):
         matcher = get_matcher(matcher, **matcher_config)
+    if deltas is not None:
+        return _run_streaming_trial(
+            pair, seeds, matcher, deltas, params, track_memory
+        )
     peak_mb: float | None = None
     if track_memory:
         with MemoryTracker() as tracker, Timer() as timer:
@@ -152,6 +211,42 @@ def run_trial(
         elapsed=timer.elapsed,
         params=dict(params or {}),
         peak_mb=peak_mb,
+    )
+
+
+def _run_streaming_trial(
+    pair: GraphPair,
+    seeds: dict[Node, Node],
+    matcher: "Matcher",
+    deltas: "Sequence",
+    params: dict[str, object] | None,
+    track_memory: bool,
+) -> TrialResult:
+    """Cold-start on the base pair, then stream every delta through it."""
+    from repro.incremental.engine import IncrementalReconciler
+
+    g1, g2 = pair.g1.copy(), pair.g2.copy()
+    engine = IncrementalReconciler(matcher=matcher)
+    peak_mb: float | None = None
+    if track_memory:
+        with MemoryTracker() as tracker:
+            with Timer() as timer:
+                engine.start(g1, g2, seeds)
+            outcomes = [engine.apply(delta) for delta in deltas]
+        peak_mb = tracker.peak_mb
+    else:
+        with Timer() as timer:
+            engine.start(g1, g2, seeds)
+        outcomes = [engine.apply(delta) for delta in deltas]
+    final_pair = GraphPair(g1, g2, dict(pair.identity))
+    report = evaluate(engine.result, final_pair)
+    return TrialResult(
+        result=engine.result,
+        report=report,
+        elapsed=timer.elapsed,
+        params=dict(params or {}),
+        peak_mb=peak_mb,
+        delta_outcomes=outcomes,
     )
 
 
@@ -174,28 +269,38 @@ def compare_matchers(
         trials = compare_matchers(
             pair, seeds, ["user-matching", "common-neighbors"])
 
-    Args:
-        pair: the two copies plus ground truth.
-        seeds: initial identification links (shared by every trial).
-        matchers: registry names and/or matcher instances.
-        params: extra key/values recorded in every result row.
-        backend: run every *named* matcher on this execution backend
-            (``"dict"``/``"csr"``) and record it in the ``backend``
-            column of its row.  Pre-constructed instances keep whatever
-            backend they were built with and get no ``backend`` column
-            (the harness cannot reconfigure them).
-        workers: run every *named* matcher with this many csr-kernel
-            worker processes and record it in the ``workers`` column of
-            its row; same instance caveat as *backend*.
-        memory_budget_mb: run every *named* matcher under this per-round
-            csr working-set budget and record it in the
-            ``memory_budget_mb`` column of its row; same instance
-            caveat as *backend*.
-        track_memory: measure every trial's peak allocation into the
-            shared ``peak_mb`` column (see :func:`run_trial`).
+    Parameters
+    ----------
+    pair : GraphPair
+        The two copies plus ground truth.
+    seeds : dict
+        Initial identification links (shared by every trial).
+    matchers : sequence of (Matcher or str)
+        Registry names and/or matcher instances.
+    params : dict, optional
+        Extra key/values recorded in every result row.
+    backend : {"dict", "csr"}, optional
+        Run every *named* matcher on this execution backend and record
+        it in the ``backend`` column of its row.  Pre-constructed
+        instances keep whatever backend they were built with and get
+        no ``backend`` column (the harness cannot reconfigure them).
+    workers : int, optional
+        Run every *named* matcher with this many csr-kernel worker
+        processes and record it in the ``workers`` column of its row;
+        same instance caveat as *backend*.
+    memory_budget_mb : int, optional
+        Run every *named* matcher under this per-round csr working-set
+        budget (MiB) and record it in the ``memory_budget_mb`` column
+        of its row; same instance caveat as *backend*.
+    track_memory : bool, optional
+        Measure every trial's peak allocation into the shared
+        ``peak_mb`` column (MiB; see :func:`run_trial`).
 
-    Returns:
-        One :class:`TrialResult` per matcher, in input order.
+    Returns
+    -------
+    list of TrialResult
+        One per matcher, in input order; each carries
+        ``params["matcher"]`` for direct tabulation.
     """
     trials: list[TrialResult] = []
     for entry in matchers:

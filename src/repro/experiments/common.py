@@ -3,8 +3,25 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.evaluation.tables import format_table
+
+
+def checkpoint_for(
+    checkpoint_path: "str | None", tag: str
+) -> "str | None":
+    """Derive a per-trial checkpoint file from an experiment-level one.
+
+    Grid experiments run many independent reconciliations; each needs
+    its own warm-start state, so ``state.npz`` with tag ``scale11``
+    becomes ``state-scale11.npz``.  ``None`` stays ``None``.
+    """
+    if checkpoint_path is None:
+        return None
+    p = Path(checkpoint_path)
+    suffix = p.suffix or ".npz"
+    return str(p.with_name(f"{p.stem}-{tag}{suffix}"))
 
 
 def resolve_opponent(name: str, **preferred: object):

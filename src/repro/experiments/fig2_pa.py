@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from repro.core.config import MatcherConfig
 from repro.evaluation.harness import run_trial
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, checkpoint_for
 from repro.generators.preferential_attachment import (
     preferential_attachment_graph,
 )
@@ -35,8 +35,18 @@ def run(
     seed=0,
     backend: str = "dict",
     workers: int = 1,
+    checkpoint_path: str | None = None,
+    warm_start: bool = False,
 ) -> ExperimentResult:
-    """Reproduce the Figure 2 series at reduced scale."""
+    """Reproduce the Figure 2 series at reduced scale.
+
+    With *checkpoint_path* every grid cell persists its warm-start
+    state to a per-cell file (see
+    :func:`repro.experiments.common.checkpoint_for`); *warm_start*
+    resumes from those files on a re-run, re-scoring only what changed
+    (nothing, for an identical seed — which is exactly the instant-replay
+    case).
+    """
     rng_graph, rng_copies, rng_seeds = spawn_rngs(seed, 3)
     graph = preferential_attachment_graph(n, m, seed=rng_graph)
     pair = independent_copies(graph, s1=s, seed=rng_copies)
@@ -58,6 +68,10 @@ def run(
                 min_bucket_exponent=0 if threshold == 1 else 1,
                 backend=backend,
                 workers=workers,
+                checkpoint_path=checkpoint_for(
+                    checkpoint_path, f"p{link_prob}-t{threshold}"
+                ),
+                warm_start=warm_start and checkpoint_path is not None,
             )
             trial = run_trial(
                 pair,

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from repro.core.config import MatcherConfig
 from repro.evaluation.harness import run_trial
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, checkpoint_for
 from repro.generators.rmat import rmat_graph
 from repro.sampling.edge_sampling import independent_copies
 from repro.seeds.generators import sample_seeds
@@ -41,8 +41,15 @@ def run(
     workers: int = 1,
     memory_budget_mb: int | None = None,
     track_memory: bool = False,
+    checkpoint_path: str | None = None,
+    warm_start: bool = False,
 ) -> ExperimentResult:
-    """Reproduce the Table 2 relative-running-time ladder at reduced scale."""
+    """Reproduce the Table 2 relative-running-time ladder at reduced scale.
+
+    *checkpoint_path*/*warm_start* persist and resume each rung's
+    reconciliation state (per-scale files); see
+    :func:`repro.experiments.common.checkpoint_for`.
+    """
     result = ExperimentResult(
         name="table2",
         description=(
@@ -73,6 +80,10 @@ def run(
                 backend=backend,
                 workers=workers,
                 memory_budget_mb=memory_budget_mb,
+                checkpoint_path=checkpoint_for(
+                    checkpoint_path, f"scale{scale}"
+                ),
+                warm_start=warm_start and checkpoint_path is not None,
             ),
             params={"scale": scale},
             track_memory=track_memory,

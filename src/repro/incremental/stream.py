@@ -1,0 +1,326 @@
+"""The ``repro stream`` driver: replay an edge stream in delta batches.
+
+Builds the usual PA + independent-deletion workload, holds back a
+fraction of each copy's edges as an "arrival stream", cold-starts the
+:class:`~repro.incremental.engine.IncrementalReconciler` on the rest,
+and then applies the stream in batches — printing, per batch, the warm
+apply latency, the dirty-set size, and (with *compare_cold*) the time a
+from-scratch run on the same post-batch graphs takes, with links
+asserted identical.  This is the live demonstration of the subsystem's
+contract: the warm path only re-scores the delta's frontier yet never
+changes a single link.
+
+With a *checkpoint* path the engine state is persisted after every
+batch (npz) alongside an append-only
+:class:`~repro.core.links_io.LinkStore` event log
+(``<checkpoint>.jsonl``) recording seeds, applied deltas, and
+newly-confirmed links in arrival order, and ``--resume`` continues a
+previously interrupted stream in a fresh process — the
+stop/persist/resume loop a serving deployment needs.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.core.config import MatcherConfig
+from repro.core.matcher import UserMatching
+from repro.errors import ReproError
+from repro.evaluation.metrics import evaluate
+from repro.experiments.common import ExperimentResult
+from repro.generators.preferential_attachment import (
+    preferential_attachment_graph,
+)
+from repro.incremental.delta import split_edge_stream
+from repro.incremental.engine import IncrementalReconciler
+from repro.sampling.edge_sampling import independent_copies
+from repro.sampling.pair import GraphPair
+from repro.seeds.generators import sample_seeds
+from repro.utils.rng import spawn_rngs
+
+
+def hold_back_stream(g1, g2, fraction: float, seed: int):
+    """Remove a random *fraction* of each graph's edges, in place.
+
+    The shared carving recipe of the stream driver and
+    ``benchmarks/bench_incremental.py``: deterministic shuffle of the
+    sorted edge lists, leading *fraction* removed and returned as the
+    "arrival stream" ``(stream1, stream2)``.
+    """
+    if not 0 < fraction < 1:
+        raise ReproError(
+            f"stream fraction must be in (0, 1), got {fraction!r}"
+        )
+    rng = random.Random(seed)
+    edges1 = sorted(g1.edges())
+    edges2 = sorted(g2.edges())
+    rng.shuffle(edges1)
+    rng.shuffle(edges2)
+    stream1 = edges1[: int(len(edges1) * fraction)]
+    stream2 = edges2[: int(len(edges2) * fraction)]
+    for u, v in stream1:
+        g1.remove_edge(u, v)
+    for u, v in stream2:
+        g2.remove_edge(u, v)
+    return stream1, stream2
+
+
+def build_stream_workload(
+    n: int = 4000,
+    m: int = 8,
+    s: float = 0.6,
+    link_prob: float = 0.05,
+    stream_fraction: float = 0.2,
+    batches: int = 5,
+    seed: int = 0,
+):
+    """Deterministic workload: base pair + seeds + delta batches.
+
+    Returns ``(pair, seeds, deltas)`` where *pair* holds the **base**
+    graphs (stream edges already removed) and replaying *deltas* on
+    them reproduces the full copies.  Everything is a pure function of
+    the parameters, which is what lets ``--resume`` rebuild the same
+    stream in another process.
+    """
+    rng_graph, rng_copies, rng_seeds = spawn_rngs(seed, 3)
+    graph = preferential_attachment_graph(n, m, seed=rng_graph)
+    pair = independent_copies(graph, s1=s, seed=rng_copies)
+    seeds = sample_seeds(pair, link_prob, seed=rng_seeds)
+    stream1, stream2 = hold_back_stream(
+        pair.g1, pair.g2, stream_fraction, seed + 0x5EED
+    )
+    deltas = split_edge_stream(stream1, stream2, batches)
+    return pair, seeds, deltas
+
+
+def run_stream(
+    n: int = 4000,
+    m: int = 8,
+    s: float = 0.6,
+    link_prob: float = 0.05,
+    stream_fraction: float = 0.2,
+    batches: int = 5,
+    threshold: int = 2,
+    iterations: int = 1,
+    seed: int = 0,
+    compare_cold: bool = False,
+    checkpoint_path: "str | None" = None,
+    warm_start: bool = False,
+) -> ExperimentResult:
+    """Run the streaming reconciliation demo; one row per batch.
+
+    Parameters
+    ----------
+    n, m, s, link_prob : workload shape
+        PA graph size/attachment, copy retention, seed probability.
+    stream_fraction : float
+        Fraction of each copy's edges held back as the arrival stream.
+    batches : int
+        Number of delta batches the stream is cut into.
+    threshold, iterations : int
+        Matcher configuration (User-Matching ``T`` and ``k``).
+    seed : int
+        Base RNG seed; the whole stream is a pure function of it.
+    compare_cold : bool
+        Also run a cold reconciliation after every batch and assert
+        link identity (the ``cold_ms``/``speedup`` columns; costs one
+        full run per batch).
+    checkpoint_path : str, optional
+        Persist the engine here after every batch.
+    warm_start : bool
+        Resume a previously checkpointed stream (requires
+        *checkpoint_path*; skips the batches already applied).
+    """
+    if warm_start and not checkpoint_path:
+        raise ReproError("--resume requires --checkpoint PATH")
+    pair, seeds, deltas = build_stream_workload(
+        n=n,
+        m=m,
+        s=s,
+        link_prob=link_prob,
+        stream_fraction=stream_fraction,
+        batches=batches,
+        seed=seed,
+    )
+    result = ExperimentResult(
+        name="stream",
+        description=(
+            "incremental reconciliation over an edge-arrival stream "
+            "(warm per-batch latency vs cold-run time)"
+        ),
+        notes=(
+            f"n={n} m={m} s={s} stream_fraction={stream_fraction} "
+            f"batches={batches} threshold={threshold} "
+            f"iterations={iterations}"
+        ),
+    )
+    config = MatcherConfig(
+        threshold=threshold, iterations=iterations
+    )
+    # The stream is a pure function of these parameters; a resumed
+    # process must rebuild the *same* stream or the replay is garbage,
+    # so they ride in the checkpoint and are verified on resume.
+    workload_meta = {
+        "n": n,
+        "m": m,
+        "s": s,
+        "link_prob": link_prob,
+        "stream_fraction": stream_fraction,
+        "batches": batches,
+        "seed": seed,
+    }
+    batches_done = 0
+    from pathlib import Path
+
+    from repro.core.links_io import LinkStore
+
+    store = (
+        LinkStore(str(checkpoint_path) + ".jsonl")
+        if checkpoint_path
+        else None
+    )
+    if (
+        warm_start
+        and checkpoint_path
+        and Path(checkpoint_path).exists()
+    ):
+        engine = IncrementalReconciler.resume(checkpoint_path)
+        engine.require_config(config)
+        extra = engine.checkpoint_extra or {}
+        saved = extra.get("workload")
+        if saved is not None and saved != workload_meta:
+            raise ReproError(
+                "checkpoint was built for a different stream workload "
+                f"({saved!r}); re-run with the original parameters or "
+                "drop --resume"
+            )
+        batches_done = int(extra.get("batches_done", 0))
+        start_ms = None
+    else:
+        engine = IncrementalReconciler(config)
+        began = time.perf_counter()
+        engine.start(pair.g1, pair.g2, seeds)
+        start_ms = (time.perf_counter() - began) * 1e3
+        if checkpoint_path:
+            engine.save_checkpoint(
+                checkpoint_path,
+                extra_meta={
+                    "batches_done": 0,
+                    "workload": workload_meta,
+                },
+            )
+            # A fresh start supersedes any previous stream at this
+            # path: truncate the event log so its replay stays exactly
+            # the checkpointed state.
+            store.path.unlink(missing_ok=True)
+            store.append_seeds(engine.seeds)
+            store.append_links(
+                engine.result.new_links, round=0
+            )
+    if start_ms is not None:
+        report = evaluate(
+            engine.result,
+            GraphPair(engine.g1, engine.g2, pair.identity),
+        )
+        result.rows.append(
+            {
+                "batch": 0,
+                "event": "cold start",
+                "added_edges": 0,
+                "mode": "cold",
+                "warm_ms": round(start_ms, 1),
+                "links": engine.result.num_links,
+                "precision": round(report.precision, 5),
+                "recall": round(report.recall, 4),
+            }
+        )
+    for i in range(batches_done, len(deltas)):
+        delta = deltas[i]
+        links_before = engine.result.links
+        outcome = engine.apply(delta)
+        row = {
+            "batch": i + 1,
+            "event": "delta",
+            "added_edges": delta.num_edge_changes,
+            "mode": outcome.mode,
+            "warm_ms": round(outcome.elapsed * 1e3, 1),
+            "links": outcome.result.num_links,
+        }
+        if outcome.dirty_links is not None:
+            row["dirty_links"] = outcome.dirty_links
+        if compare_cold:
+            import dataclasses
+
+            began = time.perf_counter()
+            # Fair comparator: the warm engine runs on the array
+            # substrate, so the cold run must too (same recipe as
+            # BENCH_incremental.json).
+            cold = UserMatching(
+                dataclasses.replace(config, backend="csr")
+            ).run(engine.g1, engine.g2, engine.seeds)
+            cold_ms = (time.perf_counter() - began) * 1e3
+            if cold.links != outcome.result.links:
+                raise ReproError(
+                    "incremental result diverged from the cold run — "
+                    "this is a bug; please report the seed"
+                )
+            row["cold_ms"] = round(cold_ms, 1)
+            row["speedup"] = round(
+                cold_ms / max(outcome.elapsed * 1e3, 1e-9), 2
+            )
+        report = evaluate(
+            outcome.result,
+            GraphPair(engine.g1, engine.g2, pair.identity),
+        )
+        row["precision"] = round(report.precision, 5)
+        row["recall"] = round(report.recall, 4)
+        result.rows.append(row)
+        if checkpoint_path:
+            engine.save_checkpoint(
+                checkpoint_path,
+                extra_meta={
+                    "batches_done": i + 1,
+                    "workload": workload_meta,
+                },
+            )
+            store.append_delta(
+                {
+                    "batch": i + 1,
+                    "edge_changes": delta.num_edge_changes,
+                    "new_seeds": len(delta.added_seeds),
+                }
+            )
+            current = outcome.result.links
+            retracted = [
+                v1 for v1 in links_before if v1 not in current
+            ]
+            if retracted:
+                store.append_retractions(retracted)
+            store.append_links(
+                {
+                    v1: v2
+                    for v1, v2 in current.items()
+                    if links_before.get(v1) != v2
+                },
+                round=i + 1,
+            )
+    if not result.rows:
+        # Resumed a stream whose batches were all applied already.
+        report = evaluate(
+            engine.result,
+            GraphPair(engine.g1, engine.g2, pair.identity),
+        )
+        result.rows.append(
+            {
+                "batch": batches_done,
+                "event": "resumed (stream complete)",
+                "added_edges": 0,
+                "mode": "noop",
+                "warm_ms": 0.0,
+                "links": engine.result.num_links,
+                "precision": round(report.precision, 5),
+                "recall": round(report.recall, 4),
+            }
+        )
+    return result

@@ -58,13 +58,24 @@ def register_matcher(
 ) -> Callable[[C], C]:
     """Class decorator adding a matcher to the registry under *name*.
 
-    Args:
-        name: registry key, e.g. ``"user-matching"``.  Must be unique.
-        description: one-line summary shown by ``repro matchers``;
-            defaults to the first line of the class docstring.
+    Parameters
+    ----------
+    name : str
+        Registry key, e.g. ``"user-matching"``.  Must be unique.
+    description : str, optional
+        One-line summary shown by ``repro matchers``; defaults to the
+        first line of the class docstring.
 
-    Raises:
-        MatcherRegistryError: if *name* is already registered.
+    Returns
+    -------
+    callable
+        The decorator; it returns the class unchanged (with a
+        ``matcher_name`` attribute attached).
+
+    Raises
+    ------
+    MatcherRegistryError
+        If *name* is already registered.
     """
 
     def decorator(cls: C) -> C:
@@ -89,13 +100,24 @@ def register_matcher(
 def get_matcher(name: str, **config: object):
     """Instantiate the matcher registered under *name*.
 
-    Args:
-        name: a key from :func:`matcher_names`.
-        **config: forwarded to the class (via ``from_params`` when the
-            class defines it, e.g. ``threshold=3`` for User-Matching).
+    Parameters
+    ----------
+    name : str
+        A key from :func:`matcher_names`.
+    **config
+        Forwarded to the class (via ``from_params`` when the class
+        defines it, e.g. ``threshold=3`` for User-Matching).
 
-    Raises:
-        MatcherRegistryError: if *name* is not registered.
+    Returns
+    -------
+    Matcher
+        A ready matcher instance (conforming to
+        ``run(g1, g2, seeds, *, progress=None)``).
+
+    Raises
+    ------
+    MatcherRegistryError
+        If *name* is not registered.
     """
     try:
         entry = _REGISTRY[name]
@@ -108,12 +130,25 @@ def get_matcher(name: str, **config: object):
 
 
 def matcher_names() -> list[str]:
-    """Sorted registry keys."""
+    """Sorted registry keys.
+
+    Returns
+    -------
+    list of str
+        Every registered matcher name, ascending.
+    """
     return sorted(_REGISTRY)
 
 
 def available_matchers() -> dict[str, str]:
-    """Mapping of registry key -> one-line description (sorted by key)."""
+    """Mapping of registry key -> one-line description.
+
+    Returns
+    -------
+    dict of str to str
+        ``{name: description}``, sorted by name — the table behind
+        ``repro matchers`` and the generated README matcher table.
+    """
     return {
         name: _REGISTRY[name].description for name in sorted(_REGISTRY)
     }

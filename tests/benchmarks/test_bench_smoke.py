@@ -101,3 +101,26 @@ def test_micro_million_rung_driver():
     )
     assert row["memory_budget_mb"] == 4
     assert row["nodes"] > 0
+
+
+@pytest.mark.slow
+def test_micro_incremental_warm_vs_cold():
+    """bench_incremental's carve+apply loop at micro scale, links asserted."""
+    from repro.core.config import MatcherConfig
+    from repro.core.matcher import UserMatching
+    from repro.incremental import GraphDelta, IncrementalReconciler
+
+    module = load_bench_module(
+        BENCHMARKS_DIR / "bench_incremental.py"
+    )
+    pair, seeds = module.build_workload(n=400, seed=1)
+    base1, base2, stream1, stream2 = module.carve(pair, 0.05)
+    engine = IncrementalReconciler(MatcherConfig(**module._CONFIG))
+    engine.start(base1, base2, seeds)
+    outcome = engine.apply(
+        GraphDelta.build(added_edges1=stream1, added_edges2=stream2)
+    )
+    cold = UserMatching(
+        MatcherConfig(backend="csr", **module._CONFIG)
+    ).run(pair.g1, pair.g2, seeds)
+    assert outcome.result.links == cold.links

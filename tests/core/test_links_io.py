@@ -1,8 +1,15 @@
 """Unit tests for link persistence."""
 
+import numpy as np
 import pytest
 
-from repro.core.links_io import read_links, write_links
+from repro.core.links_io import (
+    LinkStore,
+    load_checkpoint,
+    read_links,
+    save_checkpoint,
+    write_links,
+)
 from repro.errors import ReproError
 
 
@@ -68,3 +75,116 @@ class TestSeedingLoop:
         assert len(second.links) >= len(first.links)
         for v1, v2 in first.links.items():
             assert second.links[v1] == v2
+
+
+class TestLinkStore:
+    def test_append_and_replay(self, tmp_path):
+        store = LinkStore(tmp_path / "run.jsonl")
+        store.append_seeds({1: 10, 2: 20})
+        store.append_links({3: 30}, round=1)
+        store.append_delta({"added_edges": 4})
+        events = list(store.events())
+        assert [e["type"] for e in events] == ["seeds", "links", "delta"]
+        assert events[1]["round"] == 1
+        assert store.links() == {1: 10, 2: 20, 3: 30}
+
+    def test_missing_file_is_empty(self, tmp_path):
+        store = LinkStore(tmp_path / "absent.jsonl")
+        assert list(store.events()) == []
+        assert store.links() == {}
+
+    def test_empty_store_round_trips_empty_result(self, tmp_path):
+        store = LinkStore(tmp_path / "run.jsonl")
+        store.append_seeds({})
+        store.append_links({}, round=1)
+        assert store.links() == {}
+
+    def test_unicode_node_ids(self, tmp_path):
+        store = LinkStore(tmp_path / "run.jsonl")
+        links = {"fr:héros": "de:größe", "日本": "中文"}
+        store.append_links(links)
+        assert store.links() == links
+
+    def test_later_confirmations_overwrite(self, tmp_path):
+        store = LinkStore(tmp_path / "run.jsonl")
+        store.append_seeds({1: 10})
+        store.append_links({1: 11})
+        assert store.links() == {1: 11}
+
+    def test_truncated_final_line_raises(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        store = LinkStore(path)
+        store.append_seeds({1: 10})
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"type": "links", "links": [[2,')  # no newline
+        with pytest.raises(ReproError, match="truncated|invalid"):
+            list(store.events())
+
+    def test_invalid_json_line_raises(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text("not json at all\n", encoding="utf-8")
+        with pytest.raises(ReproError):
+            list(LinkStore(path).events())
+
+    def test_non_object_event_raises(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text("[1, 2, 3]\n", encoding="utf-8")
+        with pytest.raises(ReproError):
+            list(LinkStore(path).events())
+
+
+class TestCheckpointIO:
+    def test_arrays_and_meta_round_trip(self, tmp_path):
+        path = tmp_path / "state.npz"
+        arrays = {
+            "ints": np.arange(5, dtype=np.int64),
+            "empty": np.empty(0, dtype=np.int64),
+        }
+        nodes = np.empty(3, dtype=object)
+        nodes[:] = ["fr:héros", 7, "中文"]
+        arrays["nodes"] = nodes
+        save_checkpoint(path, arrays, {"version": 1, "note": "ünï"})
+        loaded, meta = load_checkpoint(path)
+        assert meta == {"version": 1, "note": "ünï"}
+        assert np.array_equal(loaded["ints"], arrays["ints"])
+        assert len(loaded["empty"]) == 0
+        assert list(loaded["nodes"]) == ["fr:héros", 7, "中文"]
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ReproError):
+            load_checkpoint(tmp_path / "absent.npz")
+
+    def test_truncated_file_raises(self, tmp_path):
+        path = tmp_path / "state.npz"
+        save_checkpoint(path, {"a": np.arange(1000)}, {"v": 1})
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(ReproError):
+            load_checkpoint(path)
+
+    def test_foreign_npz_without_meta_raises(self, tmp_path):
+        path = tmp_path / "foreign.npz"
+        np.savez(path, a=np.arange(3))
+        with pytest.raises(ReproError):
+            load_checkpoint(path)
+
+    def test_reserved_key_rejected(self, tmp_path):
+        with pytest.raises(ReproError):
+            save_checkpoint(
+                tmp_path / "x.npz",
+                {"__meta_json__": np.arange(1)},
+                {},
+            )
+
+    def test_write_is_atomic(self, tmp_path):
+        path = tmp_path / "state.npz"
+        save_checkpoint(path, {"a": np.arange(3)}, {"v": 1})
+        # No temp file left behind after a successful write.
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_retractions_withdraw_links(self, tmp_path):
+        store = LinkStore(tmp_path / "run.jsonl")
+        store.append_seeds({1: 10, 2: 20})
+        store.append_retractions([2])
+        store.append_links({3: 30})
+        assert store.links() == {1: 10, 3: 30}

@@ -1,0 +1,129 @@
+"""CLI coverage for ``repro stream`` and ``repro run --resume``."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestStreamCommand:
+    def test_stream_prints_batches(self, capsys):
+        assert (
+            main(
+                [
+                    "stream",
+                    "--n", "300",
+                    "--batches", "2",
+                    "--seed", "3",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "cold start" in out
+        assert "warm_ms" in out
+
+    def test_stream_compare_cold_columns(self, capsys):
+        assert (
+            main(
+                [
+                    "stream",
+                    "--n", "300",
+                    "--batches", "2",
+                    "--compare-cold",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "cold_ms" in out
+        assert "speedup" in out
+
+    def test_stream_checkpoint_and_resume(self, capsys, tmp_path):
+        ck = str(tmp_path / "stream.npz")
+        assert (
+            main(
+                [
+                    "stream",
+                    "--n", "300",
+                    "--batches", "2",
+                    "--checkpoint", ck,
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "stream",
+                    "--n", "300",
+                    "--batches", "2",
+                    "--checkpoint", ck,
+                    "--resume",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "resumed" in out
+
+    def test_resume_without_checkpoint_rejected(self, capsys):
+        assert main(["stream", "--resume"]) == 2
+        assert "--checkpoint" in capsys.readouterr().err
+
+
+class TestRunResumeFlags:
+    def test_run_resume_requires_checkpoint(self, capsys):
+        assert main(["run", "fig2", "--resume"]) == 2
+        assert "--checkpoint" in capsys.readouterr().err
+
+    def test_run_checkpoint_unsupported_experiment_rejected(
+        self, capsys
+    ):
+        assert (
+            main(["run", "percolation", "--checkpoint", "x.npz"]) == 2
+        )
+        assert "not supported" in capsys.readouterr().err
+
+    def test_run_fig2_checkpoint_then_resume(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        from repro.cli import EXPERIMENTS
+        from repro.experiments import fig2_pa
+
+        def tiny_fig2(
+            seed=0, checkpoint_path=None, warm_start=False
+        ):
+            return fig2_pa.run(
+                n=260,
+                m=3,
+                seed_probs=(0.2,),
+                thresholds=(2,),
+                iterations=1,
+                seed=seed,
+                checkpoint_path=checkpoint_path,
+                warm_start=warm_start,
+            )
+
+        monkeypatch.setitem(
+            EXPERIMENTS, "fig2", (tiny_fig2, "tiny")
+        )
+        ck = str(tmp_path / "fig2.npz")
+        assert main(["run", "fig2", "--checkpoint", ck]) == 0
+        first = capsys.readouterr().out
+        assert (tmp_path / "fig2-p0.2-t2.npz").exists()
+        assert (
+            main(["run", "fig2", "--checkpoint", ck, "--resume"]) == 0
+        )
+        second = capsys.readouterr().out
+
+        def quality(out):
+            return [
+                line
+                for line in out.splitlines()
+                if line.strip() and line.lstrip()[0].isdigit()
+            ]
+
+        # Identical workload resumed from checkpoint: identical table
+        # rows except the timing column.
+        assert len(quality(first)) == len(quality(second))

@@ -1,0 +1,217 @@
+"""incremental↔cold equivalence: streaming deltas never changes links.
+
+The incremental engine's contract: replaying any edge stream as ``k``
+deltas through :class:`~repro.incremental.engine.IncrementalReconciler`
+yields links **bit-identical** to one cold run on the final graphs —
+for every registry matcher, on both backends, at any worker count.  The
+warm engine earns this with exact score-table corrections; black-box
+matchers earn it by cold replay; either way the seam must never leak.
+
+The sweep below pins the full matrix (7 matchers × {dict, csr} ×
+workers {1, N}) on a seeded PA workload, and hypothesis drives the warm
+engine through randomized G(n, p) streams — including removals, late
+seed confirmations, and brand-new nodes — under every matcher config
+knob that changes the schedule.
+"""
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import MatcherConfig, TiePolicy
+from repro.core.matcher import UserMatching
+from repro.generators.erdos_renyi import gnp_graph
+from repro.generators.preferential_attachment import (
+    preferential_attachment_graph,
+)
+from repro.incremental import (
+    GraphDelta,
+    IncrementalReconciler,
+    split_edge_stream,
+)
+from repro.registry import get_matcher, matcher_names
+from repro.sampling.edge_sampling import independent_copies
+from repro.seeds.generators import sample_seeds
+
+#: Registry-name -> extra config used in the all-matchers sweep (same
+#: recipe as the parallel/blocked equivalence walls).
+MATCHER_CONFIGS: dict[str, dict] = {
+    "user-matching": {"threshold": 2, "iterations": 2},
+    "mapreduce-user-matching": {"threshold": 2, "iterations": 2},
+    "common-neighbors": {},
+    "reconciler": {"threshold": 2, "rounds": 2},
+    "degree-sequence": {},
+    "narayanan-shmatikov": {},
+    "structural-features": {},
+}
+
+WORKERS = int(os.environ.get("REPRO_TEST_WORKERS", "3"))
+
+
+def streamed_workload(n=200, m=4, s=0.6, link_prob=0.12, seed=0,
+                      hold_fraction=0.25, num_deltas=3):
+    """Base pair + seeds + deltas whose replay restores the full pair."""
+    g = preferential_attachment_graph(n, m, seed=seed)
+    pair = independent_copies(g, s, seed=seed + 1)
+    seeds = sample_seeds(pair, link_prob, seed=seed + 2)
+    import random
+
+    rng = random.Random(seed + 3)
+    edges1 = sorted(pair.g1.edges())
+    edges2 = sorted(pair.g2.edges())
+    rng.shuffle(edges1)
+    rng.shuffle(edges2)
+    k1 = int(len(edges1) * hold_fraction)
+    k2 = int(len(edges2) * hold_fraction)
+    stream1, stream2 = edges1[:k1], edges2[:k2]
+    base1, base2 = pair.g1.copy(), pair.g2.copy()
+    for u, v in stream1:
+        base1.remove_edge(u, v)
+    for u, v in stream2:
+        base2.remove_edge(u, v)
+    deltas = split_edge_stream(stream1, stream2, num_deltas)
+    return pair, seeds, base1, base2, deltas
+
+
+class TestRegistrySweep:
+    def test_sweep_covers_the_whole_registry(self):
+        assert sorted(MATCHER_CONFIGS) == matcher_names()
+
+    @pytest.mark.parametrize("workers", [1, WORKERS])
+    @pytest.mark.parametrize("backend", ["dict", "csr"])
+    @pytest.mark.parametrize("name", sorted(MATCHER_CONFIGS))
+    def test_stream_replay_matches_cold_run(
+        self, name, backend, workers
+    ):
+        pair, seeds, base1, base2, deltas = streamed_workload(seed=41)
+        config = MATCHER_CONFIGS[name]
+        matcher = get_matcher(
+            name, backend=backend, workers=workers, **config
+        )
+        engine = IncrementalReconciler(matcher=matcher)
+        engine.start(base1, base2, seeds)
+        for delta in deltas:
+            engine.apply(delta)
+        cold = get_matcher(
+            name, backend=backend, workers=workers, **config
+        ).run(pair.g1, pair.g2, seeds)
+        assert engine.result.links == cold.links
+
+
+@st.composite
+def gnp_stream(draw):
+    n = draw(st.integers(30, 90))
+    p = draw(st.floats(0.04, 0.15))
+    s = draw(st.floats(0.4, 0.9))
+    link_prob = draw(st.floats(0.05, 0.3))
+    seed = draw(st.integers(0, 10_000))
+    num_deltas = draw(st.integers(1, 4))
+    g = gnp_graph(n, p, seed=seed)
+    pair = independent_copies(g, s, seed=seed + 1)
+    seeds = sample_seeds(pair, link_prob, seed=seed + 2)
+    import random
+
+    rng = random.Random(seed + 3)
+    edges1 = sorted(pair.g1.edges())
+    edges2 = sorted(pair.g2.edges())
+    rng.shuffle(edges1)
+    rng.shuffle(edges2)
+    k1, k2 = len(edges1) // 3, len(edges2) // 3
+    stream1, stream2 = edges1[:k1], edges2[:k2]
+    base1, base2 = pair.g1.copy(), pair.g2.copy()
+    for u, v in stream1:
+        base1.remove_edge(u, v)
+    for u, v in stream2:
+        base2.remove_edge(u, v)
+    # Hold back some seeds to confirm mid-stream.
+    seed_items = sorted(seeds.items(), key=repr)
+    rng.shuffle(seed_items)
+    half = max(1, len(seed_items) // 2) if seed_items else 0
+    start_seeds = dict(seed_items[:half])
+    late_seeds = dict(seed_items[half:])
+    deltas = split_edge_stream(
+        stream1, stream2, num_deltas, added_seeds=late_seeds
+    )
+    return pair, seeds, base1, base2, start_seeds, deltas
+
+
+class TestWarmEngineProperties:
+    @given(gnp_stream())
+    @settings(max_examples=15, deadline=None)
+    def test_random_streams_bit_identical(self, wl):
+        pair, seeds, base1, base2, start_seeds, deltas = wl
+        cfg = MatcherConfig(threshold=2, iterations=2)
+        engine = IncrementalReconciler(cfg)
+        engine.start(base1, base2, start_seeds)
+        for delta in deltas:
+            engine.apply(delta)
+        cold = UserMatching(
+            MatcherConfig(threshold=2, iterations=2, backend="csr")
+        ).run(pair.g1, pair.g2, seeds)
+        assert engine.result.links == cold.links
+        assert engine.result.phases == cold.phases
+
+    @given(gnp_stream())
+    @settings(max_examples=8, deadline=None)
+    def test_config_knobs_stay_identical(self, wl):
+        pair, seeds, base1, base2, start_seeds, deltas = wl
+        for kwargs in (
+            {"tie_policy": TiePolicy.LOWEST_ID},
+            {"use_degree_buckets": False},
+            {"threshold": 1, "min_bucket_exponent": 0},
+            {"threshold": 3, "memory_budget_mb": 1},
+        ):
+            engine = IncrementalReconciler(MatcherConfig(**kwargs))
+            engine.start(base1.copy(), base2.copy(), start_seeds)
+            for delta in deltas:
+                engine.apply(delta)
+            cold = UserMatching(
+                MatcherConfig(backend="csr", **kwargs)
+            ).run(pair.g1, pair.g2, seeds)
+            assert engine.result.links == cold.links, kwargs
+
+    @given(gnp_stream(), st.integers(0, 100))
+    @settings(max_examples=8, deadline=None)
+    def test_removals_and_new_nodes(self, wl, salt):
+        import random
+
+        pair, seeds, base1, base2, start_seeds, deltas = wl
+        cfg = MatcherConfig(threshold=2)
+        engine = IncrementalReconciler(cfg)
+        engine.start(base1, base2, start_seeds)
+        for delta in deltas:
+            engine.apply(delta)
+        # One more delta: removals plus brand-new nodes on both sides.
+        rng = random.Random(salt)
+        present = sorted(engine.g1.edges())
+        rng.shuffle(present)
+        anchor1 = next(iter(engine.g1.nodes()))
+        anchor2 = next(iter(engine.g2.nodes()))
+        engine.apply(
+            GraphDelta.build(
+                removed_edges1=present[: min(4, len(present))],
+                added_edges1=[("fresh-a", anchor1)],
+                added_edges2=[("fresh-a", anchor2), ("fresh-b", anchor2)],
+            )
+        )
+        cold = UserMatching(MatcherConfig(threshold=2, backend="csr")).run(
+            engine.g1, engine.g2, engine.seeds
+        )
+        assert engine.result.links == cold.links
+
+    def test_forced_compaction_every_delta(self):
+        pair, seeds, base1, base2, deltas = streamed_workload(
+            seed=43, num_deltas=4
+        )
+        engine = IncrementalReconciler(MatcherConfig(threshold=2))
+        engine.start(base1, base2, seeds)
+        engine.index._compact_min = 1
+        engine.index._compact_ratio = 0.0
+        for delta in deltas:
+            engine.apply(delta)
+        cold = UserMatching(
+            MatcherConfig(threshold=2, backend="csr")
+        ).run(pair.g1, pair.g2, seeds)
+        assert engine.result.links == cold.links

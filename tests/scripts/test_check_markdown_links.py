@@ -1,0 +1,100 @@
+"""Tests for ``scripts/check_markdown_links.py``."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_markdown_links",
+        REPO / "scripts" / "check_markdown_links.py",
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestLinkExtraction:
+    def test_inline_links_found_with_line_numbers(self, checker):
+        text = "a [one](x.md) b\nplain\n[two](y.md#frag)\n"
+        links = list(checker.iter_links(text))
+        assert links == [(1, "x.md"), (3, "y.md#frag")]
+
+    def test_code_fences_skipped(self, checker):
+        text = "```\n[not a link](nope.md)\n```\n[real](a.md)\n"
+        assert [t for _l, t in checker.iter_links(text)] == ["a.md"]
+
+
+class TestCheckFile:
+    def test_existing_relative_link_ok(self, checker, tmp_path):
+        (tmp_path / "target.md").write_text("hi")
+        md = tmp_path / "doc.md"
+        md.write_text("[t](target.md) and [anchor](target.md#sec)")
+        # Paths outside the repo are skipped entirely, so craft the
+        # files inside the repo tree via monkeypatching REPO instead.
+        checker_repo = checker.REPO
+        try:
+            checker.REPO = tmp_path
+            assert checker.check_file(md) == []
+        finally:
+            checker.REPO = checker_repo
+
+    def test_broken_link_reported(self, checker, tmp_path):
+        md = tmp_path / "doc.md"
+        md.write_text("line\n[b](missing.md)\n")
+        checker_repo = checker.REPO
+        try:
+            checker.REPO = tmp_path
+            problems = checker.check_file(md)
+        finally:
+            checker.REPO = checker_repo
+        assert len(problems) == 1
+        assert "doc.md:2" in problems[0]
+        assert "missing.md" in problems[0]
+
+    def test_external_and_anchor_links_skipped(self, checker, tmp_path):
+        md = tmp_path / "doc.md"
+        md.write_text(
+            "[w](https://example.com/x) [m](mailto:a@b.c) [a](#here)"
+        )
+        checker_repo = checker.REPO
+        try:
+            checker.REPO = tmp_path
+            assert checker.check_file(md) == []
+        finally:
+            checker.REPO = checker_repo
+
+    def test_outside_repo_target_skipped(self, checker, tmp_path):
+        md = tmp_path / "doc.md"
+        md.write_text("[badge](../../actions/workflows/ci.yml)")
+        checker_repo = checker.REPO
+        try:
+            checker.REPO = tmp_path
+            assert checker.check_file(md) == []
+        finally:
+            checker.REPO = checker_repo
+
+
+class TestMain:
+    def test_repo_docs_all_resolve(self, checker, capsys):
+        """The committed docs must have no broken links (CI invariant)."""
+        assert checker.main([]) == 0
+
+    def test_explicit_missing_file_is_usage_error(self, checker, capsys):
+        assert checker.main(["/no/such/file.md"]) == 2
+
+    def test_broken_link_fails(self, checker, tmp_path, capsys):
+        md = REPO / "docs" / "_linkcheck_tmp_test.md"
+        md.write_text("[broken](definitely-missing-file.md)\n")
+        try:
+            assert checker.main([str(md)]) == 1
+            assert "broken" in capsys.readouterr().out
+        finally:
+            md.unlink()

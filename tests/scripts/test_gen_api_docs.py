@@ -1,0 +1,81 @@
+"""Tests for ``scripts/gen_api_docs.py`` (generated docs stay fresh)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def gen():
+    spec = importlib.util.spec_from_file_location(
+        "gen_api_docs", REPO / "scripts" / "gen_api_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestRendering:
+    def test_matcher_table_covers_registry(self, gen):
+        from repro.registry import matcher_names
+
+        table = gen.matcher_table()
+        for name in matcher_names():
+            assert f"`{name}`" in table
+
+    def test_api_render_is_deterministic(self, gen):
+        assert gen.render_api() == gen.render_api()
+
+    def test_api_render_contains_every_section(self, gen):
+        text = gen.render_api()
+        for section, entries in gen.SECTIONS:
+            assert f"## {section}" in text
+            for title, _spec in entries:
+                assert f"### `{title}`" in text
+
+    def test_every_documented_object_resolves(self, gen):
+        for _section, entries in gen.SECTIONS:
+            for _title, spec in entries:
+                assert gen._resolve(spec) is not None
+
+    def test_readme_splice_replaces_between_markers(self, gen):
+        text = (
+            "# x\n"
+            f"{gen.TABLE_BEGIN}\nstale table\n{gen.TABLE_END}\n"
+            "tail\n"
+        )
+        out = gen.render_readme(text)
+        assert "stale table" not in out
+        assert "| matcher |" in out
+        assert out.endswith("tail\n")
+
+    def test_readme_without_markers_fails_loudly(self, gen):
+        with pytest.raises(SystemExit):
+            gen.render_readme("# no markers here\n")
+
+
+class TestCheckMode:
+    def test_committed_docs_are_current(self, gen):
+        """The repo must never commit a stale docs/API.md or README
+        table — the same invariant CI's build-docs job enforces."""
+        assert gen.main(["--check"]) == 0
+
+    def test_check_detects_stale_api(self, gen, capsys):
+        api = REPO / "docs" / "API.md"
+        original = api.read_text(encoding="utf-8")
+        try:
+            api.write_text(original + "\nstale\n", encoding="utf-8")
+            assert gen.main(["--check"]) == 1
+            out = capsys.readouterr().out
+            assert "docs/API.md" in out
+        finally:
+            api.write_text(original, encoding="utf-8")
+
+    def test_write_then_check_roundtrip(self, gen, capsys):
+        assert gen.main([]) == 0
+        assert gen.main(["--check"]) == 0
