@@ -10,14 +10,10 @@ from repro.experiments import ablation
 
 
 def test_bench_ablation_bucketing(benchmark):
-    result = run_once(
-        benchmark, ablation.run_bucketing, n=6000, seed=0
-    )
+    result = run_once(benchmark, ablation.run_bucketing, n=6000, seed=0)
     print()
     print(result.to_table())
-    forced = [
-        r for r in result.rows if r["tie_policy"] == "lowest_id"
-    ]
+    forced = [r for r in result.rows if r["tie_policy"] == "lowest_id"]
     on = next(r for r in forced if r["bucketing"] == "on")
     off = next(r for r in forced if r["bucketing"] == "off")
     # The paper's observation: similar good, substantially more bad.
@@ -34,9 +30,7 @@ def test_bench_ablation_wikipedia(benchmark):
     )
     print()
     print(result.to_table())
-    um = next(
-        r for r in result.rows if r["algorithm"] == "user-matching"
-    )
+    um = next(r for r in result.rows if r["algorithm"] == "user-matching")
     forced = next(
         r
         for r in result.rows
@@ -60,14 +54,10 @@ def test_bench_ablation_iterations(benchmark):
 
 
 def test_bench_ablation_tie_policy(benchmark):
-    result = run_once(
-        benchmark, ablation.run_tie_policy, n=4000, seed=0
-    )
+    result = run_once(benchmark, ablation.run_tie_policy, n=4000, seed=0)
     print()
     print(result.to_table())
     skip = next(r for r in result.rows if r["tie_policy"] == "skip")
-    forced = next(
-        r for r in result.rows if r["tie_policy"] == "lowest_id"
-    )
+    forced = next(r for r in result.rows if r["tie_policy"] == "lowest_id")
     # Skipping ties trades recall for precision.
     assert skip["new_error_%"] <= forced["new_error_%"]

@@ -24,12 +24,8 @@ def test_bench_attack(benchmark):
     )
     print()
     print(result.to_table())
-    um = next(
-        r for r in result.rows if r["algorithm"] == "user-matching"
-    )
-    cn = next(
-        r for r in result.rows if r["algorithm"] == "common-neighbors"
-    )
+    um = next(r for r in result.rows if r["algorithm"] == "user-matching")
+    cn = next(r for r in result.rows if r["algorithm"] == "common-neighbors")
     # High precision despite the attack.
     assert um["precision"] > 0.97
     # Substantial recall of the real nodes.

@@ -112,9 +112,7 @@ def workload():
     return build_workload()
 
 
-@pytest.mark.parametrize(
-    "budget", BUDGETS, ids=lambda b: f"budget={b}"
-)
+@pytest.mark.parametrize("budget", BUDGETS, ids=lambda b: f"budget={b}")
 def test_bench_matcher_blocked(benchmark, workload, budget):
     """End-to-end matcher per budget; peak_mb riding in extra_info."""
     pair, seeds = workload

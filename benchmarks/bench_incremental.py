@@ -57,9 +57,7 @@ def carve(pair, fraction, seed=300):
     the full pair stays intact for the cold comparator.
     """
     base1, base2 = pair.g1.copy(), pair.g2.copy()
-    stream1, stream2 = hold_back_stream(
-        base1, base2, fraction, seed
-    )
+    stream1, stream2 = hold_back_stream(base1, base2, fraction, seed)
     return base1, base2, stream1, stream2
 
 
@@ -77,9 +75,7 @@ def test_bench_warm_apply(benchmark, workload, fraction):
         base1, base2, stream1, stream2 = carve(pair, fraction)
         engine = IncrementalReconciler(MatcherConfig(**_CONFIG))
         engine.start(base1, base2, seeds)
-        delta = GraphDelta.build(
-            added_edges1=stream1, added_edges2=stream2
-        )
+        delta = GraphDelta.build(added_edges1=stream1, added_edges2=stream2)
         return (engine, delta), {}
 
     def apply(engine, delta):
@@ -88,9 +84,7 @@ def test_bench_warm_apply(benchmark, workload, fraction):
         assert outcome.result.links == cold.links
         return outcome
 
-    outcome = benchmark.pedantic(
-        apply, setup=setup, rounds=3, iterations=1
-    )
+    outcome = benchmark.pedantic(apply, setup=setup, rounds=3, iterations=1)
     benchmark.extra_info["delta_fraction"] = fraction
     benchmark.extra_info["delta_edges"] = int(
         pair.g1.num_edges * fraction

@@ -98,9 +98,7 @@ def test_bench_mutual_best_selection(benchmark, workload):
 def test_bench_mutual_best_selection_csr(benchmark, workload):
     pair, seeds = workload
     index = GraphPairIndex(pair.g1, pair.g2)
-    scores, _ = count_similarity_witnesses_arrays(
-        index, seeds, min_degree=2
-    )
+    scores, _ = count_similarity_witnesses_arrays(index, seeds, min_degree=2)
     left, right, _cands = benchmark(
         kernels.select_mutual_best_arrays, scores, 2
     )

@@ -68,9 +68,7 @@ def scaling_curve(workers_counts=WORKER_COUNTS, scale=SCALE, seed=0):
         if reference is None:
             reference = result.links
         elif result.links != reference:
-            raise AssertionError(
-                f"workers={workers} changed the links"
-            )
+            raise AssertionError(f"workers={workers} changed the links")
     return curve
 
 

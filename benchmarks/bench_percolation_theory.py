@@ -29,9 +29,7 @@ def test_bench_percolation(benchmark):
 
 
 def test_bench_theory_validation(benchmark):
-    result = run_once(
-        benchmark, theory_validation.run, n=2000, seed=0
-    )
+    result = run_once(benchmark, theory_validation.run, n=2000, seed=0)
     print()
     print(result.to_table())
     correct, wrong = result.rows

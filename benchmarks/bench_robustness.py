@@ -72,9 +72,7 @@ def test_bench_scale_trend(benchmark):
 
 
 def test_bench_small_world(benchmark):
-    result = run_once(
-        benchmark, robustness.run_small_world, n=3000, seed=0
-    )
+    result = run_once(benchmark, robustness.run_small_world, n=3000, seed=0)
     print()
     print(result.to_table())
     # The hard case: flat degrees + local neighborhoods. We assert the

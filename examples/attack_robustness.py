@@ -34,9 +34,7 @@ def main() -> None:
         for v1, v2 in pair.identity.items()
         if not isinstance(v1, tuple)
     }
-    real_only = GraphPair(
-        g1=pair.g1, g2=pair.g2, identity=real_identity
-    )
+    real_only = GraphPair(g1=pair.g1, g2=pair.g2, identity=real_identity)
     seeds = sample_seeds(real_only, 0.10, seed=42)
     print(f"  {len(seeds)} real users linked their own accounts")
 

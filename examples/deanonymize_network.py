@@ -41,9 +41,7 @@ def main() -> None:
     }
     anonymized = relabel(pair.g2, mapping)
     identity = {v1: mapping[v2] for v1, v2 in pair.identity.items()}
-    attack_pair = GraphPair(
-        g1=pair.g1, g2=anonymized, identity=identity
-    )
+    attack_pair = GraphPair(g1=pair.g1, g2=anonymized, identity=identity)
 
     # The attacker identified the 40 most prominent accounts by hand
     # (as in the real-world experiments of [23]).

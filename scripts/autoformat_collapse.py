@@ -1,0 +1,201 @@
+#!/usr/bin/env python
+"""One-shot formatter normalization without a formatter dependency.
+
+``ruff format`` (black style, line length 79 per ruff.toml) differs
+from this hand-written tree in exactly two mechanical ways:
+
+* multi-line bracketed constructs **without** a magic trailing comma
+  that fit within the line limit get collapsed onto one line;
+* stray trailing whitespace / missing final newlines get normalized.
+
+This script applies both using only the stdlib, so the one-time
+autoformat deferred in PR 4 can land (and the CI ``ruff format
+--check`` gate flip to blocking) from an offline environment.  Safety:
+a file is rewritten only when its post-edit AST is identical to the
+original (``ast.dump`` equality); any mismatch reverts the whole file.
+
+Logical lines are skipped when they contain a comment, a multi-line
+string, or a trailing comma before a closing bracket (ruff's
+magic-trailing-comma contract keeps those expanded).
+
+Usage::
+
+    python scripts/autoformat_collapse.py [--check] PATH ...
+
+``--check`` reports files that would change and exits 1 (CI-style).
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import io
+import tokenize
+from pathlib import Path
+
+LINE_LIMIT = 79
+
+_OPENERS = "([{"
+_CLOSERS = ")]}"
+# 3.12+ splits f-strings into FSTRING_* tokens; skip those logical
+# lines conservatively when the token kind exists.
+_FSTRING_START = getattr(tokenize, "FSTRING_START", None)
+
+
+def _logical_lines(
+    tokens: list[tokenize.TokenInfo],
+) -> list[tuple[int, int, list[tokenize.TokenInfo]]]:
+    """``(first_line, last_line, tokens)`` per logical line."""
+    out: list[tuple[int, int, list[tokenize.TokenInfo]]] = []
+    current: list[tokenize.TokenInfo] = []
+    for tok in tokens:
+        if tok.type in (
+            tokenize.INDENT,
+            tokenize.DEDENT,
+            tokenize.ENCODING,
+            tokenize.ENDMARKER,
+        ):
+            continue
+        # Blank lines and standalone comments between statements must
+        # not be swept into the next logical line (joining would
+        # silently delete them).
+        if not current and tok.type in (tokenize.NL, tokenize.COMMENT):
+            continue
+        current.append(tok)
+        if tok.type == tokenize.NEWLINE:
+            first = current[0].start[0]
+            last = max(t.end[0] for t in current)
+            out.append((first, last, current))
+            current = []
+    return out
+
+
+def _has_magic_trailing_comma(
+    toks: list[tokenize.TokenInfo],
+) -> bool:
+    meaningful = [
+        t
+        for t in toks
+        if t.type not in (tokenize.NL, tokenize.NEWLINE)
+    ]
+    for prev, nxt in zip(meaningful, meaningful[1:]):
+        if (
+            prev.type == tokenize.OP
+            and prev.string == ","
+            and nxt.type == tokenize.OP
+            and nxt.string in _CLOSERS
+        ):
+            return True
+    return False
+
+
+def _collapsible(toks: list[tokenize.TokenInfo]) -> bool:
+    for tok in toks:
+        if tok.type == tokenize.COMMENT:
+            return False
+        if tok.type == tokenize.STRING and tok.start[0] != tok.end[0]:
+            return False
+        if _FSTRING_START is not None and tok.type == _FSTRING_START:
+            return False
+    return not _has_magic_trailing_comma(toks)
+
+
+def _join(fragments: list[str]) -> str:
+    text = fragments[0]
+    for fragment in fragments[1:]:
+        if not fragment:
+            continue
+        if (
+            text.rstrip()[-1:] in _OPENERS
+            or text.rstrip()[-1:] == "."
+            or fragment[0] in _CLOSERS
+            or fragment[0] in ",:."
+        ):
+            text = text.rstrip() + fragment
+        else:
+            text = text.rstrip() + " " + fragment
+    return text
+
+
+def collapse_source(text: str) -> str:
+    """Collapse every safely-collapsible logical line in *text*."""
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(text).readline))
+    except tokenize.TokenError:
+        return text
+    lines = text.splitlines(keepends=True)
+    for first, last, toks in reversed(_logical_lines(tokens)):
+        if last <= first or not _collapsible(toks):
+            continue
+        chunk = lines[first - 1 : last]
+        fragments = [chunk[0].rstrip("\n").rstrip()] + [
+            part.strip() for part in chunk[1:]
+        ]
+        joined = _join(fragments)
+        if len(joined) > LINE_LIMIT:
+            continue
+        lines[first - 1 : last] = [joined + "\n"]
+    return "".join(lines)
+
+
+def normalize_whitespace(text: str) -> str:
+    lines = [line.rstrip() for line in text.splitlines()]
+    while lines and not lines[-1]:
+        lines.pop()
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def format_file(path: Path) -> str | None:
+    """The rewritten text, or ``None`` when nothing changes / unsafe."""
+    original = path.read_text(encoding="utf-8")
+    candidate = normalize_whitespace(collapse_source(original))
+    if candidate == original:
+        return None
+    try:
+        before = ast.dump(ast.parse(original))
+        after = ast.dump(ast.parse(candidate))
+    except SyntaxError:
+        return None
+    if before != after:
+        return None
+    return candidate
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="+")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="report files that would change; exit 1 if any",
+    )
+    args = parser.parse_args(argv)
+    files: list[Path] = []
+    for raw in args.paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(
+                sub
+                for sub in sorted(path.rglob("*.py"))
+                if "__pycache__" not in sub.parts
+            )
+        elif path.suffix == ".py":
+            files.append(path)
+    changed = 0
+    for path in files:
+        rewritten = format_file(path)
+        if rewritten is None:
+            continue
+        changed += 1
+        if args.check:
+            print(f"would reformat {path}")
+        else:
+            path.write_text(rewritten, encoding="utf-8")
+            print(f"reformatted {path}")
+    verb = "would change" if args.check else "changed"
+    print(f"{changed} of {len(files)} files {verb}")
+    return 1 if (args.check and changed) else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,156 @@
+#!/usr/bin/env python
+"""Enforce the static-analysis ratchet: typing debt may only shrink.
+
+Two quantities are ratcheted against ``scripts/strict_ratchet.json``:
+
+* the ``ignore_errors`` allowlist in ``mypy.ini`` (modules exempt from
+  the strict gate) — adding a module fails the build, and removing one
+  without updating the baseline fails too, so the recorded debt always
+  matches reality;
+* the number of ``repro-lint: ignore`` suppression pragmas under
+  ``src/`` — the lint gate stays honest only while findings are fixed
+  rather than waved through.
+
+After genuinely paying debt down, refresh the baseline with::
+
+    python scripts/check_lint_baseline.py --update
+
+Exit status: 0 when the baseline matches, 1 on ratchet violations,
+2 on usage/parse errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import configparser
+import io
+import json
+import re
+import sys
+import tokenize
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+MYPY_INI = REPO / "mypy.ini"
+BASELINE = REPO / "scripts" / "strict_ratchet.json"
+SRC = REPO / "src"
+
+# Matches a comment that *is* a suppression pragma — not prose that
+# merely mentions one (the framework's own docs talk about the syntax).
+SUPPRESSION_RE = re.compile(r"^#\s*repro-lint:\s*ignore")
+
+
+def mypy_allowlist(path: Path) -> list[str]:
+    """Modules with ``ignore_errors = True`` in the mypy config."""
+    parser = configparser.ConfigParser()
+    parser.read_string(path.read_text(encoding="utf-8"))
+    out = []
+    for section in parser.sections():
+        if not section.startswith("mypy-"):
+            continue
+        if parser.getboolean(section, "ignore_errors", fallback=False):
+            out.append(section[len("mypy-") :])
+    return sorted(out)
+
+
+def count_suppressions(root: Path) -> int:
+    """Number of ``repro-lint: ignore`` pragmas under *root*."""
+    total = 0
+    for path in sorted(root.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        text = path.read_text(encoding="utf-8")
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+            for tok in tokens:
+                if tok.type == tokenize.COMMENT and SUPPRESSION_RE.match(
+                    tok.string
+                ):
+                    total += 1
+        except tokenize.TokenError:
+            continue
+    return total
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline to match the current state "
+        "(use after paying debt down, never to add debt)",
+    )
+    args = parser.parse_args(argv)
+
+    if not MYPY_INI.exists():
+        print(f"error: {MYPY_INI} not found", file=sys.stderr)
+        return 2
+    try:
+        current_allow = mypy_allowlist(MYPY_INI)
+    except configparser.Error as exc:
+        print(f"error: cannot parse {MYPY_INI}: {exc}", file=sys.stderr)
+        return 2
+    current_suppr = count_suppressions(SRC)
+
+    if args.update:
+        baseline = json.loads(BASELINE.read_text(encoding="utf-8"))
+        baseline["mypy_allowlist"] = current_allow
+        baseline["lint_suppressions"] = current_suppr
+        BASELINE.write_text(
+            json.dumps(baseline, indent=2) + "\n", encoding="utf-8"
+        )
+        print(
+            f"baseline updated: {len(current_allow)} allowlisted "
+            f"modules, {current_suppr} suppressions"
+        )
+        return 0
+
+    try:
+        baseline = json.loads(BASELINE.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read {BASELINE}: {exc}", file=sys.stderr)
+        return 2
+    recorded_allow = sorted(baseline.get("mypy_allowlist", []))
+    recorded_suppr = int(baseline.get("lint_suppressions", 0))
+
+    failures = []
+    grown = sorted(set(current_allow) - set(recorded_allow))
+    if grown:
+        failures.append(
+            "mypy allowlist grew — these modules are newly exempt from "
+            "strict typing: " + ", ".join(grown) + ". Annotate them "
+            "instead of adding ignore_errors sections."
+        )
+    shrunk = sorted(set(recorded_allow) - set(current_allow))
+    if shrunk:
+        failures.append(
+            "mypy allowlist shrank (nice!) but the baseline is stale: "
+            + ", ".join(shrunk)
+            + ". Run: python scripts/check_lint_baseline.py --update"
+        )
+    if current_suppr > recorded_suppr:
+        failures.append(
+            f"repro-lint suppression count rose from {recorded_suppr} "
+            f"to {current_suppr}. Fix the findings instead of "
+            "suppressing them."
+        )
+    elif current_suppr < recorded_suppr:
+        failures.append(
+            f"suppression count fell from {recorded_suppr} to "
+            f"{current_suppr} (nice!) but the baseline is stale. "
+            "Run: python scripts/check_lint_baseline.py --update"
+        )
+
+    if failures:
+        for failure in failures:
+            print(f"ratchet violation: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"ratchet ok: {len(current_allow)} allowlisted modules, "
+        f"{current_suppr} suppressions"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

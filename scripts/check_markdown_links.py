@@ -96,9 +96,7 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"no such file: {p}", file=sys.stderr)
             return 2
     else:
-        paths = sorted(
-            p for glob in DEFAULT_GLOBS for p in REPO.glob(glob)
-        )
+        paths = sorted(p for glob in DEFAULT_GLOBS for p in REPO.glob(glob))
     problems: list[str] = []
     for path in paths:
         problems.extend(check_file(path))

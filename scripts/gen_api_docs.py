@@ -141,6 +141,39 @@ SECTIONS: list[tuple[str, list[tuple[str, str]]]] = [
         ],
     ),
     (
+        "Static analysis",
+        [
+            (
+                "repro.analysis.run_lint",
+                "repro.analysis.engine:run_lint",
+            ),
+            (
+                "repro.analysis.LintReport",
+                "repro.analysis.engine:LintReport",
+            ),
+            (
+                "repro.analysis.Finding",
+                "repro.analysis.framework:Finding",
+            ),
+            (
+                "repro.analysis.FileRule",
+                "repro.analysis.framework:FileRule",
+            ),
+            (
+                "repro.analysis.ProjectRule",
+                "repro.analysis.framework:ProjectRule",
+            ),
+            (
+                "repro.analysis.register_rule",
+                "repro.analysis.framework:register_rule",
+            ),
+            (
+                "repro.analysis.all_rules",
+                "repro.analysis.framework:all_rules",
+            ),
+        ],
+    ),
+    (
         "Link persistence",
         [
             (

@@ -1,0 +1,176 @@
+"""File collection and rule execution for ``repro lint``.
+
+:func:`run_lint` is the whole programmatic API: give it paths, get a
+:class:`LintReport` back.  The CLI in :mod:`repro.analysis.cli` and
+the test suite are both thin wrappers over it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.framework import (
+    FileRule,
+    Finding,
+    ProjectRule,
+    Rule,
+    Severity,
+    SourceFile,
+    all_rules,
+)
+
+__all__ = ["LintReport", "run_lint", "collect_files", "find_project_root"]
+
+#: Directory names never descended into.
+_SKIP_DIRS = frozenset(
+    {"__pycache__", ".git", ".hypothesis", "build", "dist", ".eggs"}
+)
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    findings: list[Finding]
+    files_checked: int
+    rules_run: tuple[str, ...]
+    suppressed: int = 0
+    #: Parse failures, reported as findings with rule id ``PARSE``.
+    parse_errors: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        """0 clean, 1 findings (the CLI maps usage errors to 2)."""
+        return 1 if self.findings else 0
+
+    def summary(self) -> str:
+        errors = sum(1 for f in self.findings if f.severity is Severity.ERROR)
+        if not self.findings:
+            text = (
+                f"repro lint: clean — {self.files_checked} files, "
+                f"{len(self.rules_run)} rules"
+            )
+        else:
+            text = (
+                f"repro lint: {len(self.findings)} findings "
+                f"({errors} errors) in {self.files_checked} files"
+            )
+        if self.suppressed:
+            text += f", {self.suppressed} suppressed"
+        return text
+
+
+def collect_files(paths: Sequence[Path]) -> list[Path]:
+    """Expand *paths* to a sorted, de-duplicated list of ``.py`` files."""
+    out: set[Path] = set()
+    for path in paths:
+        if path.is_file() and path.suffix == ".py":
+            out.add(path)
+        elif path.is_dir():
+            for sub in path.rglob("*.py"):
+                if not _SKIP_DIRS.intersection(sub.parts):
+                    out.add(sub)
+    return sorted(out)
+
+
+def find_project_root(start: Path) -> Path:
+    """Nearest ancestor holding setup.py/pyproject.toml/.git.
+
+    Falls back to *start* itself (resolved) so :class:`ProjectRule`
+    paths are at least deterministic when no marker exists — e.g. a
+    fixture directory in a temp dir.
+    """
+    start = start.resolve()
+    current = start if start.is_dir() else start.parent
+    for candidate in (current, *current.parents):
+        for marker in ("setup.py", "pyproject.toml", ".git"):
+            if (candidate / marker).exists():
+                return candidate
+    return current
+
+
+def run_lint(
+    paths: Sequence[str | Path],
+    *,
+    select: Iterable[str] | None = None,
+    project_root: str | Path | None = None,
+    rules: Sequence[Rule] | None = None,
+) -> LintReport:
+    """Lint *paths* and return the full report.
+
+    Parameters
+    ----------
+    paths : sequence of path-like
+        Files and/or directories; directories are walked recursively
+        for ``*.py``.
+    select : iterable of str, optional
+        Restrict to these rule ids (default: every registered rule).
+    project_root : path-like, optional
+        Root for cross-file rules; auto-detected from the first path
+        when omitted.
+    rules : sequence of Rule, optional
+        Pre-instantiated rules to run instead of the registry — the
+        hook for testing a rule in isolation or with custom paths.
+    """
+    path_objs = [Path(p) for p in paths]
+    if rules is None:
+        selected = set(select) if select is not None else None
+        rules = [
+            cls()
+            for rule_id, cls in sorted(all_rules().items())
+            if selected is None or rule_id in selected
+        ]
+    files = collect_files(path_objs)
+    root = (
+        Path(project_root).resolve()
+        if project_root is not None
+        else find_project_root(path_objs[0] if path_objs else Path("."))
+    )
+    sources: list[SourceFile] = []
+    findings: list[Finding] = []
+    parse_errors = 0
+    for file_path in files:
+        try:
+            sources.append(SourceFile.from_path(file_path))
+        except SyntaxError as exc:
+            parse_errors += 1
+            findings.append(
+                Finding(
+                    path=str(file_path),
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    rule_id="PARSE",
+                    severity=Severity.ERROR,
+                    message=f"file does not parse: {exc.msg}",
+                )
+            )
+    by_path = {src.path: src for src in sources}
+    suppressed = 0
+    raw: list[Finding] = []
+    for rule in rules:
+        if isinstance(rule, FileRule):
+            for src in sources:
+                if rule.applies_to(src.path):
+                    raw.extend(rule.check(src))
+        elif isinstance(rule, ProjectRule):
+            raw.extend(rule.check_project(sources, root))
+    for finding in raw:
+        src = by_path.get(finding.path)
+        if src is not None and src.is_suppressed(
+            finding.rule_id, finding.line
+        ):
+            suppressed += 1
+            continue
+        findings.append(finding)
+    findings.sort()
+    return LintReport(
+        findings=findings,
+        files_checked=len(files),
+        rules_run=tuple(
+            rule.id for rule in sorted(rules, key=lambda r: r.id)
+        ),
+        suppressed=suppressed,
+        parse_errors=parse_errors,
+    )

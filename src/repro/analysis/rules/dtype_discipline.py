@@ -1,0 +1,124 @@
+"""RPR005: CSR index arrays must be constructed with an explicit dtype.
+
+numpy's default integer dtype is platform-dependent (int64 on Linux,
+int32 on Windows), and PR 4's uint32 CSR compaction made index-array
+widths a deliberate, memory-halving choice.  An index array built
+without ``dtype=`` silently re-inflates to int64, wastes half the
+adjacency memory, and — worse — changes the dtype of downstream
+arithmetic (packed ``v1 * n2 + v2`` pair keys overflow differently at
+different widths).  Constructions of index-like arrays therefore must
+say what they mean.
+
+A construction is flagged when an ``np.<ctor>(...)`` call without a
+``dtype=`` keyword is assigned to an index-like name — a variable or
+attribute whose snake_case components include ``indptr``, ``indices``,
+``offsets``, ``idx``, or ``ids``.  Covered constructors: ``array``,
+``asarray``, ``empty``, ``zeros``, ``ones``, ``full``, ``arange``,
+``empty_like`` et al. are exempt (they inherit a dtype by definition).
+
+Scope: ``repro/graphs``, ``repro/core``, ``repro/incremental`` — the
+modules that build and patch CSR adjacency.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.framework import (
+    FileRule,
+    Finding,
+    Severity,
+    SourceFile,
+    module_parts,
+    register_rule,
+)
+
+_SCOPED_PACKAGES = ("graphs", "core", "incremental")
+
+_CTORS = frozenset(
+    {"array", "asarray", "empty", "zeros", "ones", "full", "arange"}
+)
+
+_INDEX_COMPONENTS = frozenset({"indptr", "indices", "offsets", "idx", "ids"})
+
+
+def _is_index_name(name: str) -> bool:
+    return any(part in _INDEX_COMPONENTS for part in name.lower().split("_"))
+
+
+def _target_names(target: ast.expr) -> Iterator[str]:
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, ast.Attribute):
+        yield target.attr
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            yield from _target_names(elt)
+
+
+def _np_ctor(node: ast.expr) -> str | None:
+    """``np.zeros(...)`` / ``numpy.zeros(...)`` -> ``"zeros"``."""
+    if not (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and isinstance(node.func.value, ast.Name)
+        and node.func.value.id in ("np", "numpy")
+        and node.func.attr in _CTORS
+    ):
+        return None
+    return node.func.attr
+
+
+@register_rule
+class DtypeDisciplineRule(FileRule):
+    """RPR005 — see the module docstring for the full contract."""
+
+    id = "RPR005"
+    title = ("index/indptr array constructions must pass an explicit dtype")
+    severity = Severity.ERROR
+    hint = (
+        "pass dtype= explicitly (np.int64 for build-time arrays; "
+        "uint32-compacted adjacency comes from "
+        "pair_index.compact_csr_indices)"
+    )
+
+    def applies_to(self, path: str) -> bool:
+        parts = module_parts(path)
+        return (
+            len(parts) >= 2
+            and parts[0] == "repro"
+            and parts[1] in _SCOPED_PACKAGES
+        )
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(src.tree):
+            targets: list[ast.expr]
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+                value = node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets = [node.target]
+                value = node.value
+            else:
+                continue
+            names = [
+                name
+                for target in targets
+                for name in _target_names(target)
+            ]
+            if not any(_is_index_name(name) for name in names):
+                continue
+            ctor = _np_ctor(value)
+            if ctor is None:
+                continue
+            assert isinstance(value, ast.Call)
+            if any(kw.arg == "dtype" for kw in value.keywords):
+                continue
+            yield self.finding(
+                src,
+                value,
+                f"index-like array {'/'.join(names)!s} built with "
+                f"np.{ctor}(...) and no explicit dtype; the default "
+                "integer width is platform-dependent",
+            )

@@ -1,0 +1,118 @@
+"""RPR003: no bare ``sum()`` over float iterables in scoring paths.
+
+``sum()`` folds left with ordinary float addition, so its result
+depends on operand *order* — the exact class of bug the PR 2 fsum /
+canonical-order fixes removed from the structural-features baseline
+(two backends visiting the same multiset in different orders produced
+different scores).  In scoring paths the sanctioned reducers are:
+
+- ``math.fsum(...)`` for float data (correctly rounded, hence
+  order-independent), or a vectorized ``np.add.reduce`` /
+  ``np.add.at`` when the data is already an array;
+- ``int(sum(...))`` for integer counts — the explicit ``int(...)``
+  both documents and enforces that the accumulation is exact.
+
+A bare ``sum(...)`` is allowed only when its summands are provably
+integers from the AST alone: integer literals (``sum(1 for ...)``),
+``len(...)``, ``int(...)``, or boolean predicates.  Anything else is a
+finding.
+
+Scope: ``repro/core``, ``repro/baselines``, ``repro/incremental``,
+``repro/mapreduce`` — everywhere a reduction can reach a score table.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.framework import (
+    FileRule,
+    Finding,
+    Severity,
+    SourceFile,
+    module_parts,
+    parent_map,
+    register_rule,
+)
+
+_SCOPED_PACKAGES = ("core", "baselines", "incremental", "mapreduce")
+
+
+def _is_provably_int(node: ast.expr) -> bool:
+    """Summand expressions whose values are integers by construction."""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, int) and not isinstance(node.value, bool)
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("len", "int", "ord")
+    if isinstance(node, ast.Compare):
+        return True  # bools sum exactly
+    if isinstance(node, ast.IfExp):
+        return _is_provably_int(node.body) and _is_provably_int(node.orelse)
+    return False
+
+
+@register_rule
+class FloatAccumulationRule(FileRule):
+    """RPR003 — see the module docstring for the full contract."""
+
+    id = "RPR003"
+    title = (
+        "bare sum() in scoring paths; require math.fsum (floats) or "
+        "int(sum(...)) (counts)"
+    )
+    severity = Severity.ERROR
+    hint = (
+        "use math.fsum(...) for float data, int(sum(...)) for integer "
+        "counts, or np.add.reduce for arrays"
+    )
+
+    def applies_to(self, path: str) -> bool:
+        parts = module_parts(path)
+        return (
+            len(parts) >= 2
+            and parts[0] == "repro"
+            and parts[1] in _SCOPED_PACKAGES
+        )
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        parents = parent_map(src.tree)
+        for node in ast.walk(src.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "sum"
+                and node.args
+            ):
+                continue
+            if self._is_int_wrapped(node, parents):
+                continue
+            if self._summands_provably_int(node.args[0]):
+                continue
+            yield self.finding(
+                src,
+                node,
+                "bare sum() is order-dependent for floats; its result "
+                "can differ between execution orders that must be "
+                "bit-identical",
+            )
+
+    def _is_int_wrapped(
+        self, node: ast.Call, parents: dict[ast.AST, ast.AST]
+    ) -> bool:
+        """``int(sum(...))`` — the wrapper declares integer semantics."""
+        parent = parents.get(node)
+        return (
+            isinstance(parent, ast.Call)
+            and isinstance(parent.func, ast.Name)
+            and parent.func.id == "int"
+            and len(parent.args) == 1
+            and parent.args[0] is node
+        )
+
+    def _summands_provably_int(self, arg: ast.expr) -> bool:
+        if isinstance(arg, (ast.GeneratorExp, ast.ListComp)):
+            return _is_provably_int(arg.elt)
+        if isinstance(arg, (ast.List, ast.Tuple)):
+            return all(_is_provably_int(elt) for elt in arg.elts)
+        return False

@@ -1,0 +1,250 @@
+"""RPR002: set iteration in kernel/selector/engine modules must be sorted.
+
+CPython iterates sets in hash-table order — stable within one process
+for small ints, but an implementation detail that already bit this
+project once (the PR 1 ``node_sort_key`` fix replaced ``repr()``-order
+iteration).  In the modules whose outputs feed score tables, selections,
+or returned links, any ``for x in <set>`` that is not wrapped in
+``sorted(...)`` is latent nondeterminism: node ids are opaque
+(strings, tuples, ...), and a rehash or PYTHONHASHSEED change reorders
+the loop.
+
+The rule tracks set-valued expressions structurally:
+
+- ``set(...)`` / ``frozenset(...)`` calls, set literals, set
+  comprehensions;
+- unions/intersections/differences (``| & - ^``) of set-valued
+  operands, and ``.union/.intersection/.difference/
+  .symmetric_difference`` method calls on them;
+- local names assigned any of the above in the same scope.
+
+Iterating such a value (``for`` loops, comprehension clauses, or
+materialization through ``list``/``tuple``/``enumerate``/``reversed``/
+``iter``) is a finding unless the iteration feeds an order-insensitive
+consumer: ``sorted``, ``len``, ``min``, ``max``, ``any``, ``all``,
+``set``, ``frozenset``, ``sum`` over a comprehension is *not* exempt
+(float addition is order-dependent).
+
+Scope: ``repro/core``, ``repro/incremental``, ``repro/mapreduce`` —
+the kernel, selector, and engine layers.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.framework import (
+    FileRule,
+    Finding,
+    Severity,
+    SourceFile,
+    module_parts,
+    parent_map,
+    register_rule,
+)
+
+_SCOPED_PACKAGES = ("core", "incremental", "mapreduce")
+
+_SET_METHODS = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference"}
+)
+
+#: Builtins whose result does not depend on iteration order.
+_ORDER_FREE_CONSUMERS = frozenset(
+    {"sorted", "len", "min", "max", "any", "all", "set", "frozenset"}
+)
+
+_MATERIALIZERS = frozenset({"list", "tuple", "enumerate", "reversed", "iter"})
+
+
+def _call_name(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id
+    return None
+
+
+def _walk_local(stmt: ast.AST) -> Iterator[ast.AST]:
+    """``ast.walk`` pruned at nested function boundaries.
+
+    Nested defs get their own scope pass; descending into them here
+    would double-report every finding and let one scope's name table
+    leak into another's.
+    """
+    stack: list[ast.AST] = [stmt]
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            stack.append(child)
+
+
+class _SetTracker(ast.NodeVisitor):
+    """Collect names bound to set-valued expressions, per scope."""
+
+    def __init__(self) -> None:
+        self.set_names: set[str] = set()
+
+    def is_set_valued(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if _call_name(node) in ("set", "frozenset"):
+            return True
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+        ):
+            # Conservative: both operands must look set-valued, so
+            # integer arithmetic never matches.
+            return self.is_set_valued(node.left) and self.is_set_valued(
+                node.right
+            )
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _SET_METHODS
+            and self.is_set_valued(node.func.value)
+        ):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in self.set_names
+        return False
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass  # nested scopes run their own tracker
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        pass  # nested scopes run their own tracker
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        pass  # nested scopes run their own tracker
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self.is_set_valued(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self.set_names.add(target.id)
+        else:
+            # Rebinding a tracked name to a non-set value clears it.
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self.set_names.discard(target.id)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if (
+            node.value is not None
+            and isinstance(node.target, ast.Name)
+            and self.is_set_valued(node.value)
+        ):
+            self.set_names.add(node.target.id)
+        self.generic_visit(node)
+
+
+@register_rule
+class OrderedIterationRule(FileRule):
+    """RPR002 — see the module docstring for the full contract."""
+
+    id = "RPR002"
+    title = (
+        "set iteration feeding kernels/selectors/engines must be "
+        "wrapped in sorted(...)"
+    )
+    severity = Severity.ERROR
+    hint = (
+        "iterate sorted(the_set) (node ids have a total order via "
+        "repro.core.ordering.node_sort_key) or keep a list alongside "
+        "the set"
+    )
+
+    def applies_to(self, path: str) -> bool:
+        parts = module_parts(path)
+        return (
+            len(parts) >= 2
+            and parts[0] == "repro"
+            and parts[1] in _SCOPED_PACKAGES
+        )
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        parents = parent_map(src.tree)
+        # One tracker per function scope (plus module scope) keeps the
+        # name analysis local enough to stay truthful.
+        for scope in self._scopes(src.tree):
+            tracker = _SetTracker()
+            for stmt in scope:
+                tracker.visit(stmt)
+            for stmt in scope:
+                yield from self._check_scope(src, stmt, tracker, parents)
+
+    def _scopes(self, tree: ast.Module) -> Iterator[list[ast.stmt]]:
+        yield tree.body
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node.body
+
+    def _check_scope(
+        self,
+        src: SourceFile,
+        stmt: ast.stmt,
+        tracker: _SetTracker,
+        parents: dict[ast.AST, ast.AST],
+    ) -> Iterator[Finding]:
+        for node in _walk_local(stmt):
+            iter_expr: ast.expr | None = None
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iter_expr = node.iter
+            elif isinstance(node, ast.comprehension):
+                iter_expr = node.iter
+            elif isinstance(node, ast.Call) and (
+                _call_name(node) in _MATERIALIZERS
+            ):
+                if node.args:
+                    iter_expr = node.args[0]
+            if iter_expr is None or not tracker.is_set_valued(iter_expr):
+                continue
+            if self._consumer_is_order_free(node, parents):
+                continue
+            yield self.finding(
+                src,
+                iter_expr,
+                "iteration over a set has no guaranteed order; the "
+                "result can differ across processes and hash seeds",
+            )
+
+    def _consumer_is_order_free(
+        self, node: ast.AST, parents: dict[ast.AST, ast.AST]
+    ) -> bool:
+        """True when the iteration's value flows into sorted()/len()/...
+
+        Walks up through at most the enclosing comprehension and one
+        call: ``sorted(x for x in s)``, ``len(list(s))``,
+        ``sorted(list(s))`` all count; anything that preserves the raw
+        order into appends, yields, or returns does not.
+        """
+        current = node
+        for _ in range(4):
+            parent = parents.get(current)
+            if parent is None:
+                return False
+            if isinstance(
+                parent, (ast.GeneratorExp, ast.ListComp, ast.SetComp)
+            ):
+                current = parent
+                continue
+            if isinstance(parent, ast.Call):
+                name = _call_name(parent)
+                if name in _ORDER_FREE_CONSUMERS:
+                    return True
+                if name in _MATERIALIZERS:
+                    current = parent
+                    continue
+                return False
+            if isinstance(parent, ast.Compare) and any(
+                isinstance(op, (ast.In, ast.NotIn)) for op in parent.ops
+            ):
+                return True
+            return False
+        return False

@@ -1,0 +1,231 @@
+"""RPR004: every SharedMemory segment needs a guaranteed release path.
+
+``multiprocessing.shared_memory`` segments are kernel objects: a
+segment that is created (``create=True``) and never ``unlink()``ed
+outlives the process in ``/dev/shm``, and an attached segment that is
+never ``close()``d leaks a file descriptor and draws resource-tracker
+warnings.  The sharded :class:`~repro.core.parallel.WitnessPool` maps
+the whole CSR index into such segments, so a leak on an error path is
+gigabytes, not bytes.
+
+The rule requires every ``SharedMemory(...)`` call to be *dominated*
+by a cleanup construct.  A creation is accepted when any of:
+
+- it is lexically inside a ``try`` whose ``finally`` (or an exception
+  handler — ``except: cleanup; raise`` is the other spelling of the
+  same guarantee) contains a ``.close()`` call; creations passing
+  ``create=True`` additionally need a ``.unlink()`` call in that same
+  cleanup region;
+- ownership is handed off immediately: within the next two statements
+  of the same block, the bound name is passed as an argument to a call
+  (``self._segments.append(shm)``, ``registry.register(shm)``) or
+  stored onto an object attribute — the owner's ``close()`` is then
+  responsible, and the handoff leaves no window containing failing
+  statements;
+- it is used as a context-manager expression (``with SharedMemory(...)
+  as shm:``).
+
+An un-dominated creation — bound to a local, followed by arbitrary
+statements with no ``try`` — is exactly the pattern that leaked
+segments from a mid-loop failure, and is flagged.
+
+Scope: every linted file (shared memory is rare enough that a global
+rule stays quiet).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.framework import (
+    FileRule,
+    Finding,
+    Severity,
+    SourceFile,
+    parent_map,
+    register_rule,
+)
+
+
+def _is_shared_memory_call(node: ast.expr) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id == "SharedMemory"
+    if isinstance(func, ast.Attribute):
+        return func.attr == "SharedMemory"
+    return False
+
+
+def _is_creator(call: ast.Call) -> bool:
+    for kw in call.keywords:
+        if kw.arg == "create":
+            return not (
+                isinstance(kw.value, ast.Constant)
+                and kw.value.value is False
+            )
+    return False
+
+
+def _attr_calls(nodes: list[ast.stmt]) -> set[str]:
+    """Attribute names invoked as calls anywhere under *nodes*."""
+    attrs: set[str] = set()
+    for stmt in nodes:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                attrs.add(node.func.attr)
+    return attrs
+
+
+def _name_used_as_argument(stmt: ast.stmt, name: str) -> bool:
+    for node in ast.walk(stmt):
+        if not isinstance(node, ast.Call):
+            continue
+        for arg in list(node.args) + [kw.value for kw in node.keywords]:
+            if isinstance(arg, ast.Name) and arg.id == name:
+                return True
+    return False
+
+
+def _name_stored_on_attribute(stmt: ast.stmt, name: str) -> bool:
+    if not isinstance(stmt, ast.Assign):
+        return False
+    return (
+        isinstance(stmt.value, ast.Name)
+        and stmt.value.id == name
+        and any(
+            isinstance(target, ast.Attribute) for target in stmt.targets
+        )
+    )
+
+
+@register_rule
+class ShmLifecycleRule(FileRule):
+    """RPR004 — see the module docstring for the full contract."""
+
+    id = "RPR004"
+    title = (
+        "SharedMemory creations must be dominated by try/finally "
+        "close() (and unlink() for creators) or an ownership handoff"
+    )
+    severity = Severity.ERROR
+    hint = (
+        "wrap in try/finally calling shm.close() (+ shm.unlink() when "
+        "create=True), or hand the segment to an owner that closes it "
+        "in the very next statement"
+    )
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        parents = parent_map(src.tree)
+        for node in ast.walk(src.tree):
+            if not (
+                isinstance(node, ast.expr)
+                and _is_shared_memory_call(node)
+            ):
+                continue
+            assert isinstance(node, ast.Call)
+            yield from self._check_creation(src, node, parents)
+
+    def _check_creation(
+        self,
+        src: SourceFile,
+        call: ast.Call,
+        parents: dict[ast.AST, ast.AST],
+    ) -> Iterator[Finding]:
+        parent = parents.get(call)
+        # ``with SharedMemory(...) as shm``: lifecycle is structural.
+        if isinstance(parent, ast.withitem):
+            return
+        # ``owner.register(SharedMemory(...))``: immediate handoff.
+        if isinstance(parent, ast.Call):
+            return
+        creator = _is_creator(call)
+        if self._dominated_by_cleanup(call, parents, creator):
+            return
+        name = self._bound_name(call, parents)
+        if name is not None and self._handed_off(call, parents, name):
+            return
+        what = "created" if creator else "attached"
+        need = "close() and unlink()" if creator else "close()"
+        yield self.finding(
+            src,
+            call,
+            f"SharedMemory segment {what} without a dominating "
+            f"cleanup path; a failure before {need} leaks the segment",
+        )
+
+    def _bound_name(
+        self, call: ast.Call, parents: dict[ast.AST, ast.AST]
+    ) -> str | None:
+        parent = parents.get(call)
+        if isinstance(parent, ast.Assign) and len(parent.targets) == 1:
+            target = parent.targets[0]
+            if isinstance(target, ast.Name):
+                return target.id
+        if isinstance(parent, ast.AnnAssign) and isinstance(
+            parent.target, ast.Name
+        ):
+            return parent.target.id
+        return None
+
+    def _dominated_by_cleanup(
+        self,
+        call: ast.Call,
+        parents: dict[ast.AST, ast.AST],
+        creator: bool,
+    ) -> bool:
+        """A ``try`` ancestor whose cleanup region closes (+unlinks)."""
+        node: ast.AST = call
+        while True:
+            parent = parents.get(node)
+            if parent is None:
+                return False
+            if isinstance(parent, ast.Try):
+                in_body = any(
+                    stmt is node or self._contains(stmt, node)
+                    for stmt in parent.body
+                )
+                if in_body:
+                    cleanup: list[ast.stmt] = list(parent.finalbody)
+                    for handler in parent.handlers:
+                        cleanup.extend(handler.body)
+                    attrs = _attr_calls(cleanup)
+                    if "close" in attrs and (not creator or "unlink" in attrs):
+                        return True
+            node = parent
+
+    def _contains(self, tree: ast.stmt, target: ast.AST) -> bool:
+        return any(node is target for node in ast.walk(tree))
+
+    def _handed_off(
+        self,
+        call: ast.Call,
+        parents: dict[ast.AST, ast.AST],
+        name: str,
+    ) -> bool:
+        """The bound name is given to an owner within two statements."""
+        assign = parents.get(call)
+        if not isinstance(assign, (ast.Assign, ast.AnnAssign)):
+            return False
+        block = parents.get(assign)
+        body = getattr(block, "body", None)
+        if body is None or assign not in body:
+            # The assignment may live in an orelse/finally block.
+            for attr in ("orelse", "finalbody"):
+                candidate = getattr(block, attr, None)
+                if candidate and assign in candidate:
+                    body = candidate
+                    break
+            else:
+                return False
+        idx = body.index(assign)
+        for stmt in body[idx + 1 : idx + 3]:
+            if _name_used_as_argument(stmt, name):
+                return True
+            if _name_stored_on_attribute(stmt, name):
+                return True
+        return False

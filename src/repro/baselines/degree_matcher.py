@@ -50,9 +50,7 @@ class DegreeSequenceMatcher:
         # both execution knobs are accepted (and validated) for
         # interface uniformity across the registry.
         self.workers = validate_workers(workers)
-        self.memory_budget_mb = validate_memory_budget_mb(
-            memory_budget_mb
-        )
+        self.memory_budget_mb = validate_memory_budget_mb(memory_budget_mb)
 
     def run(
         self,

@@ -87,9 +87,7 @@ class NarayananShmatikovMatcher:
         # both execution knobs are accepted (and validated) for
         # interface uniformity across the registry.
         self.workers = validate_workers(workers)
-        self.memory_budget_mb = validate_memory_budget_mb(
-            memory_budget_mb
-        )
+        self.memory_budget_mb = validate_memory_budget_mb(memory_budget_mb)
 
     # ------------------------------------------------------------------
     def _candidate_scores(
@@ -123,8 +121,10 @@ class NarayananShmatikovMatcher:
         if len(items) == 1:
             return items[0][0]
         values = [sc for _, sc in items]
-        mean = sum(values) / len(values)
-        var = sum((x - mean) ** 2 for x in values) / len(values)
+        # fsum: correctly rounded, so the dict and csr paths agree
+        # bit-for-bit even though they visit ties in different orders.
+        mean = math.fsum(values) / len(values)
+        var = math.fsum((x - mean) ** 2 for x in values) / len(values)
         std = math.sqrt(var)
         if std == 0:
             return None  # flat score vector: no distinguished best
@@ -169,9 +169,7 @@ class NarayananShmatikovMatcher:
                 if best is None:
                     continue
                 # Reverse check: does best map back to v1?
-                back = self._candidate_scores(
-                    g2, g1, reverse, best
-                )
+                back = self._candidate_scores(g2, g1, reverse, best)
                 best_back = self._eccentric_best(
                     back, self.eccentricity_threshold
                 )
@@ -189,9 +187,7 @@ class NarayananShmatikovMatcher:
                     links[v1] = best
                     reverse[best] = v1
                     changed += 1
-            reporter.emit(
-                "sweep", links_total=len(links), links_added=changed
-            )
+            reporter.emit("sweep", links_total=len(links), links_added=changed)
             if changed == 0:
                 break
         return MatchingResult(links=links, seeds=dict(seeds), phases=[])
@@ -264,8 +260,8 @@ class NarayananShmatikovMatcher:
             order = np.lexsort((touched, -values))
             vals = values[order].tolist()
             n = len(vals)
-            mean = sum(vals) / n
-            var = sum((x - mean) ** 2 for x in vals) / n
+            mean = math.fsum(vals) / n
+            var = math.fsum((x - mean) ** 2 for x in vals) / n
             std = math.sqrt(var)
             if std == 0:
                 return None

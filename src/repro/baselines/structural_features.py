@@ -78,18 +78,14 @@ def recursive_features(
     return features
 
 
-def _normalize(
-    features: dict[Node, list[float]]
-) -> dict[Node, list[float]]:
+def _normalize(features: dict[Node, list[float]]) -> dict[Node, list[float]]:
     """Z-normalize each feature dimension over the graph's nodes."""
     if not features:
         return {}
     dims = len(next(iter(features.values())))
     n = len(features)
     vectors = list(features.values())
-    means = [
-        math.fsum(vec[i] for vec in vectors) / n for i in range(dims)
-    ]
+    means = [math.fsum(vec[i] for vec in vectors) / n for i in range(dims)]
     stds = [
         math.sqrt(
             math.fsum((vec[i] - means[i]) ** 2 for vec in vectors) / n
@@ -104,7 +100,7 @@ def _normalize(
 
 
 def _distance(a: list[float], b: list[float]) -> float:
-    return math.sqrt(sum((x - y) ** 2 for x, y in zip(a, b)))
+    return math.sqrt(math.fsum((x - y) ** 2 for x, y in zip(a, b)))
 
 
 @register_matcher(
@@ -156,9 +152,7 @@ class StructuralFeatureMatcher:
         # accepted (and validated) for interface uniformity across the
         # registry.
         self.workers = validate_workers(workers)
-        self.memory_budget_mb = validate_memory_budget_mb(
-            memory_budget_mb
-        )
+        self.memory_budget_mb = validate_memory_budget_mb(memory_budget_mb)
 
     def run(
         self,
@@ -206,9 +200,7 @@ class StructuralFeatureMatcher:
                 continue
             deg = g1.degree(v1)
             # Window of right nodes with the closest degrees.
-            pos = bisect.bisect_left(
-                [-d for d in right_degrees], -deg
-            )
+            pos = bisect.bisect_left([-d for d in right_degrees], -deg)
             lo = max(0, pos - self.max_candidates // 2)
             window = right[lo : lo + self.max_candidates]
             best = None
@@ -283,9 +275,7 @@ class StructuralFeatureMatcher:
                 axis=1,
             )
             ids = csr.node_ids
-            return {
-                ids[i]: row for i, row in enumerate(normalized.tolist())
-            }
+            return {ids[i]: row for i, row in enumerate(normalized.tolist())}
 
         return (
             features(index.csr1, index.deg1),

@@ -140,9 +140,7 @@ def _cmd_list() -> int:
 def _cmd_matchers() -> int:
     from repro.registry import available_matchers
 
-    rows = [
-        [name, desc] for name, desc in available_matchers().items()
-    ]
+    rows = [[name, desc] for name, desc in available_matchers().items()]
     print(
         format_table(
             ["matcher", "description"],
@@ -209,9 +207,7 @@ def _cmd_run(
             )
             return 2
     if workers is not None and workers < 1:
-        print(
-            f"--workers must be >= 1, got {workers}", file=sys.stderr
-        )
+        print(f"--workers must be >= 1, got {workers}", file=sys.stderr)
         return 2
     if memory_budget_mb is not None and memory_budget_mb < 1:
         print(
@@ -429,9 +425,7 @@ def build_parser() -> argparse.ArgumentParser:
             "the incremental reconciler"
         ),
     )
-    stream_p.add_argument(
-        "--n", type=int, default=4000, help="PA graph size"
-    )
+    stream_p.add_argument("--n", type=int, default=4000, help="PA graph size")
     stream_p.add_argument(
         "--m", type=int, default=8, help="PA attachment parameter"
     )
@@ -461,9 +455,7 @@ def build_parser() -> argparse.ArgumentParser:
     stream_p.add_argument(
         "--iterations", type=int, default=1, help="outer iterations"
     )
-    stream_p.add_argument(
-        "--seed", type=int, default=0, help="base RNG seed"
-    )
+    stream_p.add_argument("--seed", type=int, default=0, help="base RNG seed")
     stream_p.add_argument(
         "--compare-cold",
         action="store_true",
@@ -484,6 +476,16 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="continue a checkpointed stream (skips applied batches)",
     )
+    lint_p = sub.add_parser(
+        "lint",
+        help=(
+            "run the repro-lint static checks (determinism, shm "
+            "lifecycle, dtype discipline, ...)"
+        ),
+    )
+    from repro.analysis.cli import add_lint_arguments
+
+    add_lint_arguments(lint_p)
     return parser
 
 
@@ -511,6 +513,10 @@ def main(argv: list[str] | None = None) -> int:
         )
     if args.command == "stream":
         return _cmd_stream(args)
+    if args.command == "lint":
+        from repro.analysis.cli import run_lint_command
+
+        return run_lint_command(args)
     return 2  # unreachable: argparse enforces the sub-command set
 
 

@@ -191,6 +191,11 @@ class MatcherConfig:
             raise MatcherConfigError(
                 f"max_degree must be >= 1 or None, got {self.max_degree!r}"
             )
+        if not isinstance(self.use_degree_buckets, bool):
+            raise MatcherConfigError(
+                "use_degree_buckets must be a bool, "
+                f"got {self.use_degree_buckets!r}"
+            )
         if self.min_bucket_exponent < 0:
             raise MatcherConfigError(
                 "min_bucket_exponent must be >= 0, "

@@ -40,9 +40,7 @@ class MatchExplanation:
         return len(self.witnesses)
 
     def __str__(self) -> str:
-        listing = ", ".join(
-            f"{u1!r}~{u2!r}" for u1, u2 in self.witnesses[:10]
-        )
+        listing = ", ".join(f"{u1!r}~{u2!r}" for u1, u2 in self.witnesses[:10])
         suffix = "..." if len(self.witnesses) > 10 else ""
         return (
             f"({self.left!r} -> {self.right!r}) score={self.score}: "
@@ -64,9 +62,7 @@ def explain_pair(
         u2 = links.get(u1)
         if u2 is not None and u2 in n2:
             witnesses.append((u1, u2))
-    return MatchExplanation(
-        left=v1, right=v2, witnesses=tuple(witnesses)
-    )
+    return MatchExplanation(left=v1, right=v2, witnesses=tuple(witnesses))
 
 
 def rank_candidates(
@@ -91,12 +87,8 @@ def rank_candidates(
         for cand in g2.neighbors(u2):
             if cand not in linked_right:
                 counts[cand] = counts.get(cand, 0) + 1
-    ranked = sorted(
-        counts, key=lambda c: (-counts[c], repr(c))
-    )[:limit]
-    return [
-        explain_pair(g1, g2, links, v1, cand) for cand in ranked
-    ]
+    ranked = sorted(counts, key=lambda c: (-counts[c], repr(c)))[:limit]
+    return [explain_pair(g1, g2, links, v1, cand) for cand in ranked]
 
 
 def margin(

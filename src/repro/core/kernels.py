@@ -29,7 +29,7 @@ not approximate; the property suite asserts link-for-link equality.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable
+from typing import Callable, Hashable
 
 import numpy as np
 
@@ -42,6 +42,14 @@ except ImportError:  # pragma: no cover - environment-dependent
     _sparse = None
 
 Node = Hashable
+
+#: Signature of one witness-count round: ``(link_l, link_r, eligible1,
+#: eligible2) -> (scores, emitted)``.  The serial kernel, the pool's
+#: sharded counter, and the blocked streamer all satisfy it.
+WitnessCounter = Callable[
+    [np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+    "tuple[ArrayScores, int]",
+]
 
 _EMPTY = np.empty(0, dtype=np.int64)
 
@@ -65,9 +73,7 @@ def segmented_gather(
     flat = np.arange(total, dtype=np.int64) + np.repeat(
         starts - offsets, counts
     )
-    segments = np.repeat(
-        np.arange(len(targets), dtype=np.int64), counts
-    )
+    segments = np.repeat(np.arange(len(targets), dtype=np.int64), counts)
     return indices[flat], segments
 
 
@@ -98,9 +104,7 @@ def _segment_cross_product(
     blocks = len(left_vals)
     block_starts = np.zeros(blocks, dtype=np.int64)
     np.cumsum(b_per_left[:-1], out=block_starts[1:])
-    block_of_pair = np.repeat(
-        np.arange(blocks, dtype=np.int64), b_per_left
-    )
+    block_of_pair = np.repeat(np.arange(blocks, dtype=np.int64), b_per_left)
     offset_in_block = (
         np.arange(total, dtype=np.int64) - block_starts[block_of_pair]
     )
@@ -249,9 +253,7 @@ def count_witnesses(
             ),
             emitted,
         )
-    pair_l, pair_r = _segment_cross_product(
-        nbr1, seg1, nbr2, seg2, num_links
-    )
+    pair_l, pair_r = _segment_cross_product(nbr1, seg1, nbr2, seg2, num_links)
     n2 = np.int64(index.n2)
     if index.n1 * index.n2 < np.iinfo(np.int32).max:
         packed = (pair_l * n2 + pair_r).astype(np.int32)
@@ -292,7 +294,7 @@ def merge_score_tables(
     Returns:
         The canonical ``(ArrayScores, total_emitted)`` pair.
     """
-    emitted = sum(part[3] for part in parts)
+    emitted = int(sum(part[3] for part in parts))
     kept = [part for part in parts if len(part[0])]
     if not kept:
         return ArrayScores(index, _EMPTY, _EMPTY, _EMPTY), emitted
@@ -318,7 +320,7 @@ def count_witnesses_blocked(
     eligible2: np.ndarray,
     memory_budget_mb: int | None,
     *,
-    counter=None,
+    counter: WitnessCounter | None = None,
     use_sparse: bool | None = None,
 ) -> tuple[ArrayScores, int]:
     """Memory-budgeted witness counting: stream the join block-by-block.
@@ -355,7 +357,7 @@ def count_witnesses_blocked(
         witness_block_budget,
     )
 
-    def run(link_l: np.ndarray, link_r: np.ndarray):
+    def run(link_l: np.ndarray, link_r: np.ndarray) -> tuple[ArrayScores, int]:
         if counter is not None:
             return counter(link_l, link_r, eligible1, eligible2)
         return count_witnesses(
@@ -369,9 +371,7 @@ def count_witnesses_blocked(
 
     if memory_budget_mb is None:
         return run(link_left, link_right)
-    plan = plan_witness_blocks(
-        index, link_left, link_right, memory_budget_mb
-    )
+    plan = plan_witness_blocks(index, link_left, link_right, memory_budget_mb)
     if plan.num_blocks <= 1:
         return run(link_left, link_right)
     # Stream blocks into one running score table.  Two ingredients keep
@@ -424,9 +424,7 @@ def count_witnesses_blocked(
         scores, emitted = run(link_left[idx], link_right[idx])
         total_emitted += emitted
         if scores.num_pairs:
-            pending.append(
-                (scores.left * n2 + scores.right, scores.score)
-            )
+            pending.append((scores.left * n2 + scores.right, scores.score))
             pending_rows += scores.num_pairs
         threshold = fold_floor
         if running is not None:

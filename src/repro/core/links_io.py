@@ -23,7 +23,7 @@ from __future__ import annotations
 import gzip
 import json
 from pathlib import Path
-from typing import IO, Hashable, Iterator
+from typing import IO, Hashable, Iterable, Iterator
 
 import numpy as np
 
@@ -157,7 +157,7 @@ class LinkStore:
         """Record that a graph delta was applied (summary only)."""
         self.append({"type": "delta", **summary})
 
-    def append_retractions(self, nodes) -> None:
+    def append_retractions(self, nodes: "Iterable[Node]") -> None:
         """Record links withdrawn by a delta (g1 endpoints).
 
         Edge removals — or even additions, via mutual-best flips — can
@@ -295,11 +295,7 @@ def load_checkpoint(
                     "by save_checkpoint?"
                 )
             meta = json.loads(bytes(data[_META_KEY]).decode("utf-8"))
-            arrays = {
-                key: data[key]
-                for key in data.files
-                if key != _META_KEY
-            }
+            arrays = {key: data[key] for key in data.files if key != _META_KEY}
     except ReproError:
         raise
     except Exception as exc:

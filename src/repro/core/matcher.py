@@ -68,6 +68,9 @@ from repro.graphs.graph import Graph
 from repro.registry import register_matcher
 
 if TYPE_CHECKING:
+    import numpy as np
+
+    from repro.core.parallel import WitnessPool
     from repro.graphs.pair_index import GraphPairIndex
 
 Node = Hashable
@@ -266,9 +269,7 @@ class UserMatching:
                         floor_exp, top_exponent,
                     )
                     if record is not None:
-                        emitted += record.advance(
-                            j, links, linked_right, rows
-                        )
+                        emitted += record.advance(j, links, linked_right, rows)
                         if not record.exhausted:
                             records.append(record)
                 pending = []
@@ -407,7 +408,7 @@ class UserMatching:
     def _sweep_csr(
         self,
         index: "GraphPairIndex",
-        pool,
+        pool: "WitnessPool | None",
         g1: Graph,
         g2: Graph,
         seeds: dict[Node, Node],
@@ -425,7 +426,12 @@ class UserMatching:
             # is additionally sharded across the workers.  Both merges
             # are the same canonical summation, so blocked x workers is
             # bit-identical to the monolithic serial recount.
-            def count(ll, lr, e1, e2):
+            def count(
+                ll: "np.ndarray",
+                lr: "np.ndarray",
+                e1: "np.ndarray",
+                e2: "np.ndarray",
+            ) -> "tuple[kernels.ArrayScores, int]":
                 return kernels.count_witnesses_blocked(
                     index,
                     ll,
@@ -442,7 +448,12 @@ class UserMatching:
             count = pool.count_witnesses
         else:
 
-            def count(ll, lr, e1, e2):
+            def count(
+                ll: "np.ndarray",
+                lr: "np.ndarray",
+                e1: "np.ndarray",
+                e2: "np.ndarray",
+            ) -> "tuple[kernels.ArrayScores, int]":
                 return kernels.count_witnesses(index, ll, lr, e1, e2)
         link_l, link_r = index.intern_links(seeds)
         linked1 = np.zeros(index.n1, dtype=bool)
@@ -591,9 +602,7 @@ class UserMatching:
                     right_left[v2] = v1
                 elif sc == prev and right_left[v2] != v1:
                     if lowest_id:
-                        if node_sort_key(v1) < node_sort_key(
-                            right_left[v2]
-                        ):
+                        if node_sort_key(v1) < node_sort_key(right_left[v2]):
                             right_left[v2] = v1
                     else:
                         right_left[v2] = _TIED
@@ -608,9 +617,7 @@ class UserMatching:
 
     # ------------------------------------------------------------------
     @staticmethod
-    def _validate_seeds(
-        g1: Graph, g2: Graph, seeds: dict[Node, Node]
-    ) -> None:
+    def _validate_seeds(g1: Graph, g2: Graph, seeds: dict[Node, Node]) -> None:
         if len(set(seeds.values())) != len(seeds):
             raise MatcherConfigError("seed links must be one-to-one")
         for v1, v2 in seeds.items():

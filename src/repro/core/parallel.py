@@ -82,19 +82,30 @@ class _ArraySpec:
 _WORKER_CTX: SimpleNamespace | None = None
 
 
-def _init_worker(
-    specs: dict[str, _ArraySpec], n1: int, n2: int
-) -> None:
+def _init_worker(specs: dict[str, _ArraySpec], n1: int, n2: int) -> None:
     """Pool initializer: attach shared segments and build array views."""
     global _WORKER_CTX
     segments: dict[str, object] = {}
-    arrays: dict[str, np.ndarray] = {}
-    for key, spec in specs.items():
-        shm = _shared_memory.SharedMemory(name=spec.name)
-        segments[key] = shm
-        arrays[key] = np.ndarray(
-            spec.shape, dtype=spec.dtype, buffer=shm.buf
-        )
+    arrays: dict[str, "np.ndarray"] = {}
+    try:
+        for key, spec in specs.items():
+            shm = _shared_memory.SharedMemory(name=spec.name)
+            segments[key] = shm
+            arrays[key] = np.ndarray(
+                spec.shape, dtype=spec.dtype, buffer=shm.buf
+            )
+    except BaseException:
+        # A failed attach mid-loop must not leak the earlier handles:
+        # the worker survives long enough to report the initializer
+        # error, and unreleased segments draw resource-tracker
+        # warnings (found by lint rule RPR004).
+        arrays.clear()
+        for opened in segments.values():
+            try:
+                opened.close()
+            except OSError:  # pragma: no cover - already gone
+                pass
+        raise
     # Duck-typed stand-in for GraphPairIndex: count_witnesses only reads
     # csr{1,2}.indptr/.indices and n1/n2.
     view = SimpleNamespace(
@@ -107,9 +118,7 @@ def _init_worker(
         n1=n1,
         n2=n2,
     )
-    _WORKER_CTX = SimpleNamespace(
-        segments=segments, arrays=arrays, view=view
-    )
+    _WORKER_CTX = SimpleNamespace(segments=segments, arrays=arrays, view=view)
 
 
 def _count_shard(
@@ -169,13 +178,9 @@ class WitnessPool:
         start_method: str | None = None,
     ) -> None:
         if workers < 2:
-            raise ValueError(
-                f"WitnessPool needs workers >= 2, got {workers}"
-            )
+            raise ValueError(f"WitnessPool needs workers >= 2, got {workers}")
         if _shared_memory is None:
-            raise RuntimeError(
-                "multiprocessing.shared_memory is unavailable"
-            )
+            raise RuntimeError("multiprocessing.shared_memory is unavailable")
         self.index = index
         self.workers = workers
         self._segments: list[object] = []
@@ -195,9 +200,7 @@ class WitnessPool:
                 specs[key] = self._export(key, arr)
             if start_method is None:
                 methods = multiprocessing.get_all_start_methods()
-                start_method = (
-                    "fork" if "fork" in methods else methods[0]
-                )
+                start_method = ("fork" if "fork" in methods else methods[0])
             ctx = multiprocessing.get_context(start_method)
             self._pool = ctx.Pool(
                 processes=workers,
@@ -210,16 +213,12 @@ class WitnessPool:
 
     def _export(self, key: str, arr: np.ndarray) -> _ArraySpec:
         """Copy *arr* into a new shared segment; keep a parent view."""
-        shm = _shared_memory.SharedMemory(
-            create=True, size=max(arr.nbytes, 1)
-        )
+        shm = _shared_memory.SharedMemory(create=True, size=max(arr.nbytes, 1))
         self._segments.append(shm)
         view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
         view[...] = arr
         self._views[key] = view
-        return _ArraySpec(
-            name=shm.name, shape=arr.shape, dtype=arr.dtype.str
-        )
+        return _ArraySpec(name=shm.name, shape=arr.shape, dtype=arr.dtype.str)
 
     # ------------------------------------------------------------------
     def count_witnesses(
@@ -246,9 +245,7 @@ class WitnessPool:
         """
         if self._pool is None:
             raise RuntimeError("pool is closed")
-        plan = plan_link_shards(
-            self.index, link_l, link_r, self.workers
-        )
+        plan = plan_link_shards(self.index, link_l, link_r, self.workers)
         if plan.num_shards < 2:
             return kernels.count_witnesses(
                 self.index, link_l, link_r, eligible1, eligible2
@@ -265,9 +262,7 @@ class WitnessPool:
             # sound: the arrays cannot be garbage-collected and their
             # ids recycled while staged.
             self._staged_elig = (eligible1, eligible2)
-        tasks = [
-            (link_l[idx], link_r[idx]) for idx in plan.shards
-        ]
+        tasks = [(link_l[idx], link_r[idx]) for idx in plan.shards]
         parts = self._pool.map(_count_shard, tasks, chunksize=1)
         return merge_shard_scores(self.index, parts)
 
@@ -283,8 +278,14 @@ class WitnessPool:
         self._views.clear()
         segments, self._segments = self._segments, []
         for shm in segments:
+            # close() and unlink() are independent release steps: a
+            # failing close() must not leave the segment name behind
+            # in /dev/shm, so each gets its own try.
             try:
                 shm.close()
+            except OSError:  # pragma: no cover - already gone
+                pass
+            try:
                 shm.unlink()
             except OSError:  # pragma: no cover - already gone
                 pass

@@ -70,9 +70,7 @@ def _best_per_right(
                         best_left[v2] = v1
                 else:
                     best_left[v2] = _TIED
-    return {
-        v2: v1 for v2, v1 in best_left.items() if v1 is not _TIED
-    }
+    return {v2: v1 for v2, v1 in best_left.items() if v1 is not _TIED}
 
 
 def select_mutual_best(

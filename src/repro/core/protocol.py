@@ -105,9 +105,7 @@ class ProgressReporter:
         """Seconds since the reporter (i.e. the run) started."""
         return time.perf_counter() - self._start
 
-    def emit(
-        self, stage: str, *, links_total: int, links_added: int
-    ) -> None:
+    def emit(self, stage: str, *, links_total: int, links_added: int) -> None:
         """Send one event to the callback (no-op without a callback)."""
         self.step += 1
         if self.callback is None:

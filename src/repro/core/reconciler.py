@@ -41,7 +41,7 @@ from __future__ import annotations
 
 import math
 import time
-from typing import Callable, Hashable
+from typing import Callable, Hashable, TypeVar
 
 from repro.core.config import (
     TiePolicy,
@@ -63,6 +63,8 @@ from repro.graphs.graph import Graph
 from repro.registry import register_matcher
 
 Node = Hashable
+
+_T = TypeVar("_T")
 
 SeedStrategy = Callable[[Graph, Graph, dict], dict]
 CandidateStage = Callable[[Graph, Graph, dict], "dict[Node, set[Node]]"]
@@ -101,9 +103,7 @@ def common_neighbor_candidates(
     for u1, u2 in links.items():
         if not g2.has_node(u2):
             continue
-        right = [
-            v2 for v2 in g2.neighbors(u2) if v2 not in linked_right
-        ]
+        right = [v2 for v2 in g2.neighbors(u2) if v2 not in linked_right]
         if not right:
             continue
         for v1 in g1.neighbors(u1):
@@ -260,9 +260,7 @@ def degree_ratio_validator(max_ratio: float = 3.0) -> Validator:
     exceeds ``max_ratio`` times the smaller (degree 0 counts as 1).
     """
     if max_ratio < 1.0:
-        raise MatcherConfigError(
-            f"max_ratio must be >= 1, got {max_ratio!r}"
-        )
+        raise MatcherConfigError(f"max_ratio must be >= 1, got {max_ratio!r}")
 
     def validate(
         g1: Graph, g2: Graph, links: dict[Node, Node], seeds: dict
@@ -371,9 +369,7 @@ class Reconciler:
                 f"threshold must be positive, got {threshold!r}"
             )
         if rounds < 1:
-            raise MatcherConfigError(
-                f"rounds must be >= 1, got {rounds!r}"
-            )
+            raise MatcherConfigError(f"rounds must be >= 1, got {rounds!r}")
         if not isinstance(tie_policy, TiePolicy):
             raise MatcherConfigError(
                 f"tie_policy must be a TiePolicy, got {tie_policy!r}"
@@ -383,9 +379,7 @@ class Reconciler:
         self.tie_policy = tie_policy
         self.backend = validate_backend(backend)
         self.workers = validate_workers(workers)
-        self.memory_budget_mb = validate_memory_budget_mb(
-            memory_budget_mb
-        )
+        self.memory_budget_mb = validate_memory_budget_mb(memory_budget_mb)
         self.seed_strategy = seed_strategy or validated_seeds
         self.candidates = candidates
         self._default_scorer = scorer is None
@@ -426,7 +420,9 @@ class Reconciler:
         reporter = ProgressReporter("reconciler", progress)
         timings: list[StageTiming] = []
 
-        def timed(stage: str, rnd: int, fn, *args):
+        def timed(
+            stage: str, rnd: int, fn: Callable[..., _T], *args: object
+        ) -> _T:
             start = time.perf_counter()
             value = fn(*args)
             timings.append(
@@ -460,9 +456,7 @@ class Reconciler:
                     )
                 else:
                     cands = None  # fused: the kernel enumerates its own join
-                scores = timed(
-                    "score", rnd, scorer, g1, g2, links, cands
-                )
+                scores = timed("score", rnd, scorer, g1, g2, links, cands)
                 reporter.emit("score", links_total=len(links), links_added=0)
                 if isinstance(scores, ArrayScores) and (
                     self.selector not in SELECTORS.values()

@@ -86,7 +86,7 @@ class MatchingResult:
     @property
     def total_witnesses(self) -> int:
         """Sum of witness pairs emitted across every round (cost proxy)."""
-        return sum(p.witnesses_emitted for p in self.phases)
+        return int(sum(p.witnesses_emitted for p in self.phases))
 
     def __repr__(self) -> str:
         return (

@@ -27,7 +27,7 @@ from typing import TYPE_CHECKING, Hashable
 from repro.graphs.graph import Graph
 
 if TYPE_CHECKING:
-    from repro.core.kernels import ArrayScores
+    from repro.core.kernels import ArrayScores, WitnessCounter
     from repro.graphs.pair_index import GraphPairIndex
 
 Node = Hashable
@@ -93,7 +93,7 @@ def count_similarity_witnesses_arrays(
     links: dict[Node, Node],
     min_degree: int = 1,
     *,
-    counter=None,
+    counter: "WitnessCounter | None" = None,
     memory_budget_mb: "int | None" = None,
 ) -> tuple["ArrayScores", int]:
     """Array-backend twin of :func:`count_similarity_witnesses`.
@@ -132,11 +132,7 @@ def count_similarity_witnesses_arrays(
         # kernel's `if not g2_has(u2): continue`.
         for v1 in links:
             linked1[index.dense1(v1)] = True
-        links = {
-            v1: v2
-            for v1, v2 in links.items()
-            if index.g2.has_node(v2)
-        }
+        links = {v1: v2 for v1, v2 in links.items() if index.g2.has_node(v2)}
     link_l, link_r = index.intern_links(links)
     linked1[link_l] = True
     linked2[link_r] = True
@@ -152,9 +148,7 @@ def count_similarity_witnesses_arrays(
             counter=counter,
         )
     if counter is not None:
-        return counter(
-            link_l, link_r, ~linked1 & floor1, ~linked2 & floor2
-        )
+        return counter(link_l, link_r, ~linked1 & floor1, ~linked2 & floor2)
     return count_witnesses(
         index, link_l, link_r, ~linked1 & floor1, ~linked2 & floor2
     )

@@ -77,9 +77,7 @@ class ShardPlan:
         return max(self.loads) / (self.total_load / len(self.loads))
 
 
-def plan_balanced_shards(
-    weights: np.ndarray, num_shards: int
-) -> ShardPlan:
+def plan_balanced_shards(weights: np.ndarray, num_shards: int) -> ShardPlan:
     """Greedy LPT assignment of weighted items to at most *num_shards*.
 
     Items are assigned in descending weight order (ties broken by item
@@ -200,9 +198,7 @@ class BlockPlan:
         return max(self.loads) if self.loads else 0
 
 
-def plan_memory_blocks(
-    weights: np.ndarray, budget: int | None
-) -> BlockPlan:
+def plan_memory_blocks(weights: np.ndarray, budget: int | None) -> BlockPlan:
     """Greedy first-fit packing of contiguous items under *budget*.
 
     Items are taken in input order; a block closes as soon as adding the
@@ -257,9 +253,7 @@ def witness_block_budget(memory_budget_mb: int | None) -> int | None:
     """Per-block witness-pair budget implied by a MiB memory budget."""
     if memory_budget_mb is None:
         return None
-    return max(
-        (memory_budget_mb * 1024 * 1024) // WITNESS_PAIR_BYTES, 1
-    )
+    return max((memory_budget_mb * 1024 * 1024) // WITNESS_PAIR_BYTES, 1)
 
 
 def plan_witness_blocks(

@@ -46,9 +46,7 @@ def synthetic_dblp(
     check_positive("papers_per_year", papers_per_year)
     check_probability("team_reuse_prob", team_reuse_prob)
     if max_team_size < 2:
-        raise DatasetError(
-            f"max_team_size must be >= 2, got {max_team_size}"
-        )
+        raise DatasetError(f"max_team_size must be >= 2, got {max_team_size}")
     rng = ensure_rng(seed)
     tg = TemporalGraph()
     teams: list[list[int]] = []
@@ -90,9 +88,7 @@ def synthetic_dblp(
                         team.append(member)
                 teams.append(team)
             seen = set()
-            clean_team = [
-                a for a in team if not (a in seen or seen.add(a))
-            ]
+            clean_team = [a for a in team if not (a in seen or seen.add(a))]
             for i, u in enumerate(clean_team):
                 paper_counts[u] += 1
                 weighted_authors.append(u)

@@ -77,9 +77,7 @@ def enron_like(
     """
     check_positive("n", n)
     if average_degree <= 0:
-        raise ValueError(
-            f"average_degree must be > 0, got {average_degree}"
-        )
+        raise ValueError(f"average_degree must be > 0, got {average_degree}")
     rng = ensure_rng(seed)
     # Pareto(alpha) with cutoff w0 has mean w0*(a-1)/(a-2); invert for w0.
     w0 = average_degree * (exponent - 2.0) / (exponent - 1.0)

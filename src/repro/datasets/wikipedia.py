@@ -150,9 +150,7 @@ def synthetic_wikipedia_pair(
         g_b_relabeled.add_node(mapping[node])
     for u, v in g_b.edges():
         g_b_relabeled.add_edge(mapping[u], mapping[v])
-    identity = {
-        c: mapping[c] for c in sorted(covered_a & covered_b)
-    }
+    identity = {c: mapping[c] for c in sorted(covered_a & covered_b)}
     pair = GraphPair(g1=g_a, g2=g_b_relabeled, identity=identity)
     # Incomplete, noisy interlanguage links.
     random_ = rng.random

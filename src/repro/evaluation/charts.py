@@ -32,9 +32,7 @@ def horizontal_bar_chart(
         value_format: format spec for the numeric suffix.
     """
     if len(labels) != len(values):
-        raise ValueError(
-            f"{len(labels)} labels vs {len(values)} values"
-        )
+        raise ValueError(f"{len(labels)} labels vs {len(values)} values")
     if any(v < 0 for v in values):
         raise ValueError("bar values must be non-negative")
     lines: list[str] = []

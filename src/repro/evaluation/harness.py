@@ -78,9 +78,7 @@ class TrialResult:
             count = len(self.delta_outcomes)
             out["deltas"] = count
             out["delta_total_s"] = round(total, 4)
-            out["delta_mean_s"] = round(
-                total / count if count else 0.0, 4
-            )
+            out["delta_mean_s"] = round(total / count if count else 0.0, 4)
             dirty = [
                 o.dirty_links
                 for o in self.delta_outcomes
@@ -308,9 +306,7 @@ def compare_matchers(
         if named:
             label = entry
         else:
-            label = getattr(
-                entry, "matcher_name", type(entry).__name__
-            )
+            label = getattr(entry, "matcher_name", type(entry).__name__)
         extra: dict[str, object] = {"matcher": label}
         if named:
             for option, value in (

@@ -41,9 +41,7 @@ def format_table(
     lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
     lines.append(sep)
     for row in str_rows:
-        lines.append(
-            " | ".join(text.rjust(w) for text, w in zip(row, widths))
-        )
+        lines.append(" | ".join(text.rjust(w) for text, w in zip(row, widths)))
     return "\n".join(lines)
 
 

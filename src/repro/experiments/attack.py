@@ -88,9 +88,7 @@ def run(
         for v1, v2 in pair.identity.items()
         if not (isinstance(v1, tuple) and v1 and v1[0] == "sybil")
     }
-    real_only = GraphPair(
-        g1=pair.g1, g2=pair.g2, identity=real_pair_identity
-    )
+    real_only = GraphPair(g1=pair.g1, g2=pair.g2, identity=real_pair_identity)
     seeds = sample_seeds(real_only, link_prob, seed=rng_seeds)
     result = ExperimentResult(
         name="attack",

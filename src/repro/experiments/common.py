@@ -4,13 +4,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.evaluation.tables import format_table
 
+if TYPE_CHECKING:
+    from repro.core.protocol import Matcher
 
-def checkpoint_for(
-    checkpoint_path: "str | None", tag: str
-) -> "str | None":
+
+def checkpoint_for(checkpoint_path: "str | None", tag: str) -> "str | None":
     """Derive a per-trial checkpoint file from an experiment-level one.
 
     Grid experiments run many independent reconciliations; each needs
@@ -24,7 +26,7 @@ def checkpoint_for(
     return str(p.with_name(f"{p.stem}-{tag}{suffix}"))
 
 
-def resolve_opponent(name: str, **preferred: object):
+def resolve_opponent(name: str, **preferred: object) -> "Matcher":
     """Build a named matcher, forwarding the experiment's knobs if it can.
 
     Drivers that support ``--matcher`` substitution call this so the

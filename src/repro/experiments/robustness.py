@@ -154,9 +154,7 @@ def run_noisy_seeds(
         notes=f"n={n}, m={m}, s={s}, threshold={threshold}",
     )
     for error_rate in error_rates:
-        seeds = noisy_seeds(
-            pair, link_prob, error_rate, seed=rng_seeds
-        )
+        seeds = noisy_seeds(pair, link_prob, error_rate, seed=rng_seeds)
         trial = run_trial(
             pair,
             seeds,

@@ -80,9 +80,7 @@ def run_facebook(
         ),
         notes=f"stand-in: powerlaw-cluster n={n} (paper: WOSN-09 63,731)",
     )
-    return _grid(
-        pair, seed_probs, thresholds, iterations, result, rng_seeds
-    )
+    return _grid(pair, seed_probs, thresholds, iterations, result, rng_seeds)
 
 
 def run_enron(
@@ -105,6 +103,4 @@ def run_enron(
         ),
         notes=f"stand-in: Chung–Lu avg-deg 20, n={n} (paper: 36,692)",
     )
-    return _grid(
-        pair, seed_probs, thresholds, iterations, result, rng_seeds
-    )
+    return _grid(pair, seed_probs, thresholds, iterations, result, rng_seeds)

@@ -44,13 +44,9 @@ def run(
     for _ in range(sample_pairs):
         v = nodes[rng.randrange(len(nodes))]
         w = nodes[rng.randrange(len(nodes))]
-        correct_scores.append(
-            witness_score(pair.g1, pair.g2, seeds, v, v)
-        )
+        correct_scores.append(witness_score(pair.g1, pair.g2, seeds, v, v))
         if w != v:
-            wrong_scores.append(
-                witness_score(pair.g1, pair.g2, seeds, v, w)
-            )
+            wrong_scores.append(witness_score(pair.g1, pair.g2, seeds, v, w))
     result = ExperimentResult(
         name="theory-validation",
         description=(

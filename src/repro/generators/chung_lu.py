@@ -39,9 +39,7 @@ def power_law_weights(
     """
     check_positive("n", n)
     if exponent <= 1.0:
-        raise GeneratorParameterError(
-            f"exponent must be > 1, got {exponent}"
-        )
+        raise GeneratorParameterError(f"exponent must be > 1, got {exponent}")
     if min_weight <= 0:
         raise GeneratorParameterError(
             f"min_weight must be > 0, got {min_weight}"

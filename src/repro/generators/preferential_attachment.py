@@ -20,7 +20,9 @@ from repro.utils.rng import ensure_rng
 from repro.utils.validation import check_positive
 
 
-def preferential_attachment_graph(n: int, m: int, seed=None) -> Graph:
+def preferential_attachment_graph(
+    n: int, m: int, seed: object = None
+) -> Graph:
     """Sample the Bollobás–Riordan PA graph ``G^m_n`` (simplified).
 
     Args:

@@ -92,6 +92,4 @@ def rmat_scale_series(
     the Graph500 convention of a fixed edge/node ratio across scales.
     """
     rng = ensure_numpy_rng(seed)
-    return [
-        rmat_graph(s, edge_factor * (1 << s), seed=rng) for s in scales
-    ]
+    return [rmat_graph(s, edge_factor * (1 << s), seed=rng) for s in scales]

@@ -86,9 +86,7 @@ class BipartiteGraph:
             raise NodeNotFoundError(aff) from None
 
     # ------------------------------------------------------------------
-    def fold(
-        self, affiliations: Iterable[Affiliation] | None = None
-    ) -> Graph:
+    def fold(self, affiliations: Iterable[Affiliation] | None = None) -> Graph:
         """Project onto a user–user graph.
 
         Two users are adjacent iff they share at least one affiliation in

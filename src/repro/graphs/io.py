@@ -71,9 +71,7 @@ def write_temporal_edge_list(graph: TemporalGraph, path: str | Path) -> None:
     """Write a temporal graph as ``u v t`` lines."""
     path = Path(path)
     with _open(path, "w") as fh:
-        fh.write(
-            f"# nodes={graph.num_nodes} events={graph.num_events}\n"
-        )
+        fh.write(f"# nodes={graph.num_nodes} events={graph.num_events}\n")
         for u, v, t in graph.events():
             fh.write(f"{u}\t{v}\t{t}\n")
 

@@ -160,9 +160,7 @@ class GraphPairIndex:
             for v1, v2 in zip(left.tolist(), right.tolist())
         }
 
-    def eligibility(
-        self, min_degree: int
-    ) -> tuple[np.ndarray, np.ndarray]:
+    def eligibility(self, min_degree: int) -> tuple[np.ndarray, np.ndarray]:
         """Boolean degree-floor masks ``(deg1 >= min, deg2 >= min)``."""
         return self.deg1 >= min_degree, self.deg2 >= min_degree
 

@@ -33,7 +33,9 @@ def bfs_distances(graph: Graph, source: Node) -> dict[Node, int]:
     return dist
 
 
-def shortest_path(graph: Graph, source: Node, target: Node):
+def shortest_path(
+    graph: Graph, source: Node, target: Node
+) -> "list[Node] | None":
     """One shortest path from *source* to *target* (or ``None``)."""
     if not graph.has_node(target):
         raise NodeNotFoundError(target)
@@ -66,7 +68,7 @@ def eccentricity(graph: Graph, node: Node) -> int:
 
 
 def estimate_diameter(
-    graph: Graph, samples: int = 10, seed=None
+    graph: Graph, samples: int = 10, seed: object = None
 ) -> int:
     """Lower-bound the diameter by double-sweep BFS from random starts.
 
@@ -89,7 +91,7 @@ def estimate_diameter(
 
 
 def average_shortest_path_length(
-    graph: Graph, samples: int = 50, seed=None
+    graph: Graph, samples: int = 50, seed: object = None
 ) -> float:
     """Estimate the mean hop distance over sampled sources.
 

@@ -73,7 +73,9 @@ def local_clustering(graph: Graph, node: Node) -> float:
     return 2.0 * links / (k * (k - 1))
 
 
-def average_clustering(graph: Graph, sample: int | None = None, seed=None):
+def average_clustering(
+    graph: Graph, sample: int | None = None, seed: object = None
+) -> float:
     """Mean local clustering coefficient.
 
     For big graphs pass ``sample`` to average over a random node subset

@@ -37,9 +37,7 @@ def _as_edge_tuple(edges: Iterable[Edge], label: str) -> tuple[Edge, ...]:
     for edge in edges:
         pair = tuple(edge)
         if len(pair) != 2:
-            raise DeltaError(
-                f"{label}: expected (u, v) pairs, got {edge!r}"
-            )
+            raise DeltaError(f"{label}: expected (u, v) pairs, got {edge!r}")
         if pair[0] == pair[1]:
             raise DeltaError(
                 f"{label}: self-loop {pair!r} is not a valid edge"
@@ -108,9 +106,7 @@ class GraphDelta:
         if isinstance(added_seeds, Mapping):
             seed_pairs = tuple(added_seeds.items())
         else:
-            seed_pairs = tuple(
-                (pair[0], pair[1]) for pair in added_seeds
-            )
+            seed_pairs = tuple((pair[0], pair[1]) for pair in added_seeds)
         return cls(
             added_edges1=_as_edge_tuple(added_edges1, "added_edges1"),
             added_edges2=_as_edge_tuple(added_edges2, "added_edges2"),
@@ -157,9 +153,7 @@ class GraphDelta:
         )
 
 
-def apply_delta_to_graphs(
-    g1: Graph, g2: Graph, delta: GraphDelta
-) -> None:
+def apply_delta_to_graphs(g1: Graph, g2: Graph, delta: GraphDelta) -> None:
     """Apply *delta* to the two graphs in place (strict semantics).
 
     Parameters
@@ -190,9 +184,7 @@ def apply_delta_to_graphs(
     ):
         for u, v in edges:
             if not graph.add_edge(u, v):
-                raise DeltaError(
-                    f"{label}: edge {(u, v)!r} already present"
-                )
+                raise DeltaError(f"{label}: edge {(u, v)!r} already present")
     for label, graph, edges in (
         ("removed_edges1", g1, delta.removed_edges1),
         ("removed_edges2", g2, delta.removed_edges2),
@@ -255,13 +247,11 @@ def delta_between(
                 "is missing or remapped in the new seed set"
             )
 
-    def edge_diff(old: Graph, new: Graph):
-        added = [
-            (u, v) for u, v in new.edges() if not old.has_edge(u, v)
-        ]
-        removed = [
-            (u, v) for u, v in old.edges() if not new.has_edge(u, v)
-        ]
+    def edge_diff(
+        old: Graph, new: Graph
+    ) -> tuple[list[tuple[Node, Node]], list[tuple[Node, Node]]]:
+        added = [(u, v) for u, v in new.edges() if not old.has_edge(u, v)]
+        removed = [(u, v) for u, v in old.edges() if not new.has_edge(u, v)]
         return added, removed
 
     added1, removed1 = edge_diff(g1_old, g1_new)
@@ -319,15 +309,11 @@ def split_edge_stream(
         streams in order.
     """
     if num_deltas < 1:
-        raise DeltaError(
-            f"num_deltas must be >= 1, got {num_deltas!r}"
-        )
+        raise DeltaError(f"num_deltas must be >= 1, got {num_deltas!r}")
 
     def cuts(n: int) -> list[int]:
         base, extra = divmod(n, num_deltas)
-        sizes = [
-            base + (1 if i < extra else 0) for i in range(num_deltas)
-        ]
+        sizes = [base + (1 if i < extra else 0) for i in range(num_deltas)]
         offsets = [0]
         for size in sizes:
             offsets.append(offsets[-1] + size)

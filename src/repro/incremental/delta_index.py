@@ -97,9 +97,7 @@ class _AdjacencyPatch:
         """The current neighbor array of *u* given its *base* slice."""
         removed = self.removed.get(u)
         if removed is not None:
-            base = base[
-                ~np.isin(base.astype(np.int64), list(removed))
-            ]
+            base = base[~np.isin(base.astype(np.int64), list(removed))]
         values = self.added.get(u)
         if values is not None:
             base = np.concatenate(
@@ -279,9 +277,7 @@ class DeltaIndex(GraphPairIndex):
         self, csr: CSRGraph, patch: _AdjacencyPatch, dense: int
     ) -> np.ndarray:
         if dense < csr.num_nodes:
-            base = csr.indices[
-                csr.indptr[dense] : csr.indptr[dense + 1]
-            ]
+            base = csr.indices[csr.indptr[dense] : csr.indptr[dense + 1]]
         else:
             base = _EMPTY
         if not patch.touched(dense):
@@ -322,9 +318,7 @@ class DeltaIndex(GraphPairIndex):
         in_base = np.flatnonzero(~is_touched)
         is_touched[in_base] = touched[targets[in_base]]
         clean = targets[~is_touched]
-        vals_c, seg_c = segmented_gather(
-            csr.indptr, csr.indices, clean
-        )
+        vals_c, seg_c = segmented_gather(csr.indptr, csr.indices, clean)
         vals_c = vals_c.astype(np.int64, copy=False)
         # Remap clean segments to positions in the original targets.
         clean_pos = np.flatnonzero(~is_touched)
@@ -338,9 +332,7 @@ class DeltaIndex(GraphPairIndex):
             nbrs = self._neighbors(csr, patch, int(targets[pos]))
             if len(nbrs):
                 vals_d_parts.append(nbrs.astype(np.int64, copy=False))
-                seg_d_parts.append(
-                    np.full(len(nbrs), pos, dtype=np.int64)
-                )
+                seg_d_parts.append(np.full(len(nbrs), pos, dtype=np.int64))
         if not vals_d_parts:
             return vals_c, seg_c
         vals = np.concatenate([vals_c, *vals_d_parts])
@@ -352,17 +344,13 @@ class DeltaIndex(GraphPairIndex):
         self, targets: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray]:
         """Patch-aware segmented gather over g1 (current adjacency)."""
-        return self._gather(
-            self.csr1, self._patch1, self._touched1, targets
-        )
+        return self._gather(self.csr1, self._patch1, self._touched1, targets)
 
     def gather_neighbors2(
         self, targets: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray]:
         """Patch-aware segmented gather over g2 (current adjacency)."""
-        return self._gather(
-            self.csr2, self._patch2, self._touched2, targets
-        )
+        return self._gather(self.csr2, self._patch2, self._touched2, targets)
 
     @property
     def is_compact(self) -> bool:
@@ -472,12 +460,8 @@ class DeltaIndex(GraphPairIndex):
         for du in deg_changes2:
             if du < base2_n:
                 self._touched2[du] = True
-        applied.changed1 = np.asarray(
-            sorted(deg_changes1), dtype=np.int64
-        )
-        applied.changed2 = np.asarray(
-            sorted(deg_changes2), dtype=np.int64
-        )
+        applied.changed1 = np.asarray(sorted(deg_changes1), dtype=np.int64)
+        applied.changed2 = np.asarray(sorted(deg_changes2), dtype=np.int64)
         self._refresh_degrees(deg_changes1, deg_changes2)
         if new1:
             self._insert_ranks(1, len(new1))
@@ -485,9 +469,7 @@ class DeltaIndex(GraphPairIndex):
             self._insert_ranks(2, len(new2))
         applied.new_seeds = dict(delta.added_seeds)
         if len(applied.new_seeds) != len(delta.added_seeds):
-            raise DeltaError(
-                "added_seeds contains duplicate g1 endpoints"
-            )
+            raise DeltaError("added_seeds contains duplicate g1 endpoints")
         return applied
 
     def _refresh_degrees(

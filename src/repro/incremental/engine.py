@@ -40,7 +40,8 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Hashable
+from pathlib import Path
+from typing import Callable, Hashable
 
 import numpy as np
 
@@ -134,8 +135,8 @@ class _ReplayStats:
 
 
 def _count_subset_from_lists(
-    nbrs1_of,
-    nbrs2_of,
+    nbrs1_of: "Callable[[int], np.ndarray]",
+    nbrs2_of: "Callable[[int], np.ndarray]",
     link_l: np.ndarray,
     link_r: np.ndarray,
     eligible1: np.ndarray,
@@ -175,9 +176,7 @@ def _count_subset_from_lists(
     emitted = int((a * b).sum())
     if emitted == 0:
         return _EMPTY, _EMPTY, 0
-    pair_l, pair_r = _segment_cross_product(
-        vals1, seg1, vals2, seg2, k
-    )
+    pair_l, pair_r = _segment_cross_product(vals1, seg1, vals2, seg2, k)
     packed = pair_l * np.int64(n2) + pair_r
     keys, counts = np.unique(packed, return_counts=True)
     return keys, counts.astype(np.int64), emitted
@@ -410,7 +409,14 @@ class IncrementalReconciler:
     # ------------------------------------------------------------------
     # The warm replay
     # ------------------------------------------------------------------
-    def _count_gathered(self, link_l, link_r, e1, e2, n2):
+    def _count_gathered(
+        self,
+        link_l: np.ndarray,
+        link_r: np.ndarray,
+        e1: np.ndarray,
+        e2: np.ndarray,
+        n2: int,
+    ) -> tuple[np.ndarray, np.ndarray, int]:
         """Patch-aware vectorized witness join (any link subset).
 
         The CSR-join dataflow of
@@ -434,14 +440,19 @@ class IncrementalReconciler:
         emitted = int((a * b).sum())
         if emitted == 0:
             return _EMPTY, _EMPTY, 0
-        pair_l, pair_r = _segment_cross_product(
-            vals1, seg1, vals2, seg2, k
-        )
+        pair_l, pair_r = _segment_cross_product(vals1, seg1, vals2, seg2, k)
         packed = pair_l * np.int64(n2) + pair_r
         keys, counts = np.unique(packed, return_counts=True)
         return keys, counts.astype(np.int64), emitted
 
-    def _full_count(self, link_l, link_r, e1, e2, n2):
+    def _full_count(
+        self,
+        link_l: np.ndarray,
+        link_r: np.ndarray,
+        e1: np.ndarray,
+        e2: np.ndarray,
+        n2: int,
+    ) -> tuple[np.ndarray, np.ndarray, int]:
         """Full witness join for a cache-miss round.
 
         Returns ``(packed_sorted, score, emitted)``.  With a memory
@@ -462,7 +473,14 @@ class IncrementalReconciler:
             return packed[order], scores.score[order], emitted
         return packed, scores.score, emitted
 
-    def _dirty_subset_count(self, link_l, link_r, e1, e2, n2):
+    def _dirty_subset_count(
+        self,
+        link_l: np.ndarray,
+        link_r: np.ndarray,
+        e1: np.ndarray,
+        e2: np.ndarray,
+        n2: int,
+    ) -> tuple[np.ndarray, np.ndarray, int]:
         """Current-graph witness join of a dirty link subset.
 
         Same patch-aware vectorized join as a full round, on fewer
@@ -540,9 +558,7 @@ class IncrementalReconciler:
                 else:
                     stats.rescored_rounds += 1
                 t_packed, t_score, emitted = table
-                new_l, new_r, candidates = self._select(
-                    t_packed, t_score, n2
-                )
+                new_l, new_r, candidates = self._select(t_packed, t_score, n2)
                 new_rounds.append(
                     _RoundCache(
                         key=(iteration, j),
@@ -594,12 +610,12 @@ class IncrementalReconciler:
         eligible2: np.ndarray,
         old_deg1: np.ndarray,
         old_deg2: np.ndarray,
-        old_nbrs1,
-        old_nbrs2,
+        old_nbrs1: "Callable[[int], np.ndarray]",
+        old_nbrs2: "Callable[[int], np.ndarray]",
         min_degree: int,
         n2: int,
         stats: _ReplayStats,
-    ):
+    ) -> tuple[np.ndarray, np.ndarray, int]:
         """Patch one cached round's score table to the post-delta truth.
 
         Returns ``(packed_sorted, score, emitted)`` or ``None`` when a
@@ -657,15 +673,9 @@ class IncrementalReconciler:
             vals, _seg = index.gather_neighbors2(np.flatnonzero(flip2))
             nbr_flip2[vals] = True
         packed_new = link_l * np.int64(n2) + link_r
-        packed_old = (
-            cached.start_l * np.int64(n2) + cached.start_r
-        )
-        common_new = np.isin(
-            packed_new, packed_old, assume_unique=True
-        )
-        common_old = np.isin(
-            packed_old, packed_new, assume_unique=True
-        )
+        packed_old = (cached.start_l * np.int64(n2) + cached.start_r)
+        common_new = np.isin(packed_new, packed_old, assume_unique=True)
+        common_old = np.isin(packed_old, packed_new, assume_unique=True)
         adj_dirty = common_new & (adjm1[link_l] | adjm2[link_r])
         flip_dirty = (
             common_new
@@ -688,9 +698,7 @@ class IncrementalReconciler:
         # expansion of every link; patch only when the correction
         # estimate is a small fraction of that.
         deg1, deg2 = index.deg1, index.deg2
-        dp_all = np.maximum(deg1[link_l], 1) * np.maximum(
-            deg2[link_r], 1
-        )
+        dp_all = np.maximum(deg1[link_l], 1) * np.maximum(deg2[link_r], 1)
         full_cost = int(dp_all[arrived].sum()) + int(
             (
                 np.maximum(deg1[cached.start_l[departed]], 1)
@@ -821,8 +829,8 @@ class IncrementalReconciler:
         self,
         adj_l: np.ndarray,
         adj_r: np.ndarray,
-        old_nbrs1,
-        old_nbrs2,
+        old_nbrs1: "Callable[[int], np.ndarray]",
+        old_nbrs2: "Callable[[int], np.ndarray]",
         e1_old: np.ndarray,
         e2_old: np.ndarray,
         eligible1: np.ndarray,
@@ -933,9 +941,7 @@ class IncrementalReconciler:
         """Zero-pad a pre-delta per-node array to the current width."""
         if len(arr) >= n:
             return arr
-        return np.concatenate(
-            [arr, np.zeros(n - len(arr), dtype=arr.dtype)]
-        )
+        return np.concatenate([arr, np.zeros(n - len(arr), dtype=arr.dtype)])
 
     # ------------------------------------------------------------------
     # Checkpointing
@@ -961,7 +967,7 @@ class IncrementalReconciler:
                 )
 
     def save_checkpoint(
-        self, path, *, extra_meta: dict | None = None
+        self, path: "str | Path", *, extra_meta: dict | None = None
     ) -> None:
         """Persist the engine so another process can :meth:`resume`.
 
@@ -1057,7 +1063,7 @@ class IncrementalReconciler:
         save_checkpoint(path, arrays, meta)
 
     @classmethod
-    def resume(cls, path) -> "IncrementalReconciler":
+    def resume(cls, path: "str | Path") -> "IncrementalReconciler":
         """Rebuild a warm engine from a checkpoint file.
 
         The resumed engine owns freshly reconstructed graphs (the
@@ -1108,9 +1114,7 @@ class IncrementalReconciler:
             g2.add_edge(nodes2[u], nodes2[v])
         engine = cls(config)
         engine.g1, engine.g2 = g1, g2
-        engine.index = DeltaIndex(
-            g1, g2, order1=nodes1, order2=nodes2
-        )
+        engine.index = DeltaIndex(g1, g2, order1=nodes1, order2=nodes2)
         engine.seeds = {
             nodes1[l]: nodes2[r]
             for l, r in zip(
@@ -1130,9 +1134,7 @@ class IncrementalReconciler:
             )
             for i, rm in enumerate(meta["rounds"])
         ]
-        engine._packed_n2 = meta.get(
-            "packed_n2", engine.index.n2
-        )
+        engine._packed_n2 = meta.get("packed_n2", engine.index.n2)
         engine.applied_deltas = meta.get("applied_deltas", 0)
         engine.checkpoint_extra = meta.get("extra") or {}
         engine.result = MatchingResult(

@@ -32,7 +32,8 @@ from repro.experiments.common import ExperimentResult
 from repro.generators.preferential_attachment import (
     preferential_attachment_graph,
 )
-from repro.incremental.delta import split_edge_stream
+from repro.graphs.graph import Graph
+from repro.incremental.delta import Edge, GraphDelta, Node, split_edge_stream
 from repro.incremental.engine import IncrementalReconciler
 from repro.sampling.edge_sampling import independent_copies
 from repro.sampling.pair import GraphPair
@@ -40,7 +41,9 @@ from repro.seeds.generators import sample_seeds
 from repro.utils.rng import spawn_rngs
 
 
-def hold_back_stream(g1, g2, fraction: float, seed: int):
+def hold_back_stream(
+    g1: Graph, g2: Graph, fraction: float, seed: int
+) -> tuple[list[Edge], list[Edge]]:
     """Remove a random *fraction* of each graph's edges, in place.
 
     The shared carving recipe of the stream driver and
@@ -74,7 +77,7 @@ def build_stream_workload(
     stream_fraction: float = 0.2,
     batches: int = 5,
     seed: int = 0,
-):
+) -> "tuple[GraphPair, dict[Node, Node], list[GraphDelta]]":
     """Deterministic workload: base pair + seeds + delta batches.
 
     Returns ``(pair, seeds, deltas)`` where *pair* holds the **base**
@@ -155,9 +158,7 @@ def run_stream(
             f"iterations={iterations}"
         ),
     )
-    config = MatcherConfig(
-        threshold=threshold, iterations=iterations
-    )
+    config = MatcherConfig(threshold=threshold, iterations=iterations)
     # The stream is a pure function of these parameters; a resumed
     # process must rebuild the *same* stream or the replay is garbage,
     # so they ride in the checkpoint and are verified on resume.
@@ -180,11 +181,7 @@ def run_stream(
         if checkpoint_path
         else None
     )
-    if (
-        warm_start
-        and checkpoint_path
-        and Path(checkpoint_path).exists()
-    ):
+    if (warm_start and checkpoint_path and Path(checkpoint_path).exists()):
         engine = IncrementalReconciler.resume(checkpoint_path)
         engine.require_config(config)
         extra = engine.checkpoint_extra or {}
@@ -215,9 +212,7 @@ def run_stream(
             # the checkpointed state.
             store.path.unlink(missing_ok=True)
             store.append_seeds(engine.seeds)
-            store.append_links(
-                engine.result.new_links, round=0
-            )
+            store.append_links(engine.result.new_links, round=0)
     if start_ms is not None:
         report = evaluate(
             engine.result,
@@ -292,9 +287,7 @@ def run_stream(
                 }
             )
             current = outcome.result.links
-            retracted = [
-                v1 for v1 in links_before if v1 not in current
-            ]
+            retracted = [v1 for v1 in links_before if v1 not in current]
             if retracted:
                 store.append_retractions(retracted)
             store.append_links(

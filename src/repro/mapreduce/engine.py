@@ -88,9 +88,7 @@ class LocalMapReduce:
                 f"partitions must be >= 1, got {self.partitions}"
             )
         if self.workers < 1:
-            raise MapReduceError(
-                f"workers must be >= 1, got {self.workers}"
-            )
+            raise MapReduceError(f"workers must be >= 1, got {self.workers}")
         records = list(records)
         # --- map phase, partitioned -----------------------------------
         buckets: list[list[KV]] = [[] for _ in range(self.partitions)]
@@ -149,10 +147,7 @@ class LocalMapReduce:
         shards = [items[s::shard_count] for s in range(shard_count)]
 
         def reduce_shard(shard: list[KV]) -> list[list[KV]]:
-            return [
-                list(job.reduce_fn(key, values))
-                for key, values in shard
-            ]
+            return [list(job.reduce_fn(key, values)) for key, values in shard]
 
         with ThreadPoolExecutor(max_workers=shard_count) as executor:
             shard_outputs = list(executor.map(reduce_shard, shards))
@@ -174,4 +169,4 @@ class LocalMapReduce:
 
 def sum_combiner(_key: Any, values: list[Any]) -> list[Any]:
     """Standard combiner for counting jobs: collapse values to their sum."""
-    return [sum(values)]
+    return [int(sum(values))]

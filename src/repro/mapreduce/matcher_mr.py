@@ -74,9 +74,7 @@ class MapReduceUserMatching:
         engine: LocalMapReduce | None = None,
     ) -> None:
         self.config = config or MatcherConfig()
-        self.engine = engine or LocalMapReduce(
-            workers=self.config.workers
-        )
+        self.engine = engine or LocalMapReduce(workers=self.config.workers)
         # Reuse the sequential matcher for seed validation + bucket plan.
         self._reference = UserMatching(self.config)
 
@@ -133,7 +131,7 @@ class MapReduceUserMatching:
                         yield ((v1, v2), 1)
 
         def reduce_sum(key: tuple, values: list) -> Iterator[tuple]:
-            yield (key, sum(values))
+            yield (key, int(sum(values)))
 
         r2 = self.engine.run(
             MapReduceJob(
@@ -180,9 +178,7 @@ class MapReduceUserMatching:
             if len(winners) == 1:
                 v1, flagged = winners[0]
             elif cfg.tie_policy is TiePolicy.LOWEST_ID:
-                v1, flagged = min(
-                    winners, key=lambda w: node_sort_key(w[0])
-                )
+                v1, flagged = min(winners, key=lambda w: node_sort_key(w[0]))
             else:
                 return
             if flagged:
@@ -235,7 +231,7 @@ class MapReduceUserMatching:
                         yield (v1 * n2 + v2, 1)
 
         def reduce_sum(key: int, values: list):
-            yield (key, sum(values))
+            yield (key, int(sum(values)))
 
         r2 = self.engine.run(
             MapReduceJob(

@@ -27,9 +27,12 @@ the package ``__init__`` imports every matcher module.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, TypeVar
+from typing import TYPE_CHECKING, Callable, TypeVar
 
 from repro.errors import MatcherRegistryError
+
+if TYPE_CHECKING:
+    from repro.core.protocol import Matcher
 
 C = TypeVar("C", bound=type)
 
@@ -42,7 +45,7 @@ class MatcherEntry:
     cls: type
     description: str
 
-    def build(self, **config: object):
+    def build(self, **config: object) -> "Matcher":
         """Instantiate the matcher, honoring a ``from_params`` hook."""
         factory = getattr(self.cls, "from_params", None)
         if factory is not None:
@@ -88,16 +91,14 @@ def register_matcher(
         if desc is None:
             doc = (cls.__doc__ or "").strip()
             desc = doc.splitlines()[0] if doc else cls.__name__
-        _REGISTRY[name] = MatcherEntry(
-            name=name, cls=cls, description=desc
-        )
+        _REGISTRY[name] = MatcherEntry(name=name, cls=cls, description=desc)
         cls.matcher_name = name
         return cls
 
     return decorator
 
 
-def get_matcher(name: str, **config: object):
+def get_matcher(name: str, **config: object) -> "Matcher":
     """Instantiate the matcher registered under *name*.
 
     Parameters
@@ -149,9 +150,7 @@ def available_matchers() -> dict[str, str]:
         ``{name: description}``, sorted by name — the table behind
         ``repro matchers`` and the generated README matcher table.
     """
-    return {
-        name: _REGISTRY[name].description for name in sorted(_REGISTRY)
-    }
+    return {name: _REGISTRY[name].description for name in sorted(_REGISTRY)}
 
 
 def get_entry(name: str) -> MatcherEntry:

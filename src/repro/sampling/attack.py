@@ -114,6 +114,4 @@ def attacked_copies(
             # inject_sybils derives ids deterministically from victims,
             # so the twin in copy 2 carries the same id.
             identity[sybil] = sybil
-    return GraphPair(
-        g1=attack1.graph, g2=attack2.graph, identity=identity
-    )
+    return GraphPair(g1=attack1.graph, g2=attack2.graph, identity=identity)

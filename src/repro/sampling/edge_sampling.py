@@ -19,7 +19,7 @@ from repro.utils.validation import check_non_negative, check_probability
 Node = Hashable
 
 
-def sample_edges(graph: Graph, s: float, seed=None) -> Graph:
+def sample_edges(graph: Graph, s: float, seed: object = None) -> Graph:
     """Keep each edge of *graph* independently with probability *s*.
 
     All nodes are preserved (possibly isolated), matching the paper's
@@ -37,7 +37,7 @@ def sample_edges(graph: Graph, s: float, seed=None) -> Graph:
     return out
 
 
-def add_noise_edges(graph: Graph, count: int, seed=None) -> Graph:
+def add_noise_edges(graph: Graph, count: int, seed: object = None) -> Graph:
     """Return a copy of *graph* with *count* uniformly random non-edges
     added (the "noise edges" generalization of §3.1)."""
     check_non_negative("count", count)
@@ -60,7 +60,7 @@ def add_noise_edges(graph: Graph, count: int, seed=None) -> Graph:
     return out
 
 
-def delete_vertices(graph: Graph, prob: float, seed=None) -> Graph:
+def delete_vertices(graph: Graph, prob: float, seed: object = None) -> Graph:
     """Return a copy of *graph* with each vertex (and incident edges)
     deleted independently with probability *prob* (§3.1 generalization)."""
     check_probability("prob", prob)
@@ -83,7 +83,7 @@ def independent_copies(
     s2: float | None = None,
     noise_edges: int = 0,
     vertex_deletion: float = 0.0,
-    seed=None,
+    seed: object = None,
 ) -> GraphPair:
     """Generate the paper's two imperfect realizations of *graph*.
 
@@ -116,7 +116,5 @@ def independent_copies(
     if noise_edges > 0:
         g1 = add_noise_edges(g1, noise_edges, rngs[4])
         g2 = add_noise_edges(g2, noise_edges, rngs[5])
-    identity = {
-        node: node for node in g1.nodes() if g2.has_node(node)
-    }
+    identity = {node: node for node in g1.nodes() if g2.has_node(node)}
     return GraphPair(g1=g1, g2=g2, identity=identity)

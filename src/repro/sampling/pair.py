@@ -40,13 +40,9 @@ class GraphPair:
             raise SamplingError("identity mapping must be injective")
         for v1, v2 in self.identity.items():
             if not self.g1.has_node(v1):
-                raise SamplingError(
-                    f"identity key {v1!r} missing from g1"
-                )
+                raise SamplingError(f"identity key {v1!r} missing from g1")
             if not self.g2.has_node(v2):
-                raise SamplingError(
-                    f"identity value {v2!r} missing from g2"
-                )
+                raise SamplingError(f"identity value {v2!r} missing from g2")
 
     @property
     def reverse_identity(self) -> dict[Node, Node]:

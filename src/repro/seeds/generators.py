@@ -22,7 +22,7 @@ Node = Hashable
 
 
 def sample_seeds(
-    pair: GraphPair, link_probability: float, seed=None
+    pair: GraphPair, link_probability: float, seed: object = None
 ) -> dict[Node, Node]:
     """Link each ground-truth pair independently with probability ``l``.
 
@@ -40,7 +40,7 @@ def sample_seeds(
 
 
 def degree_biased_seeds(
-    pair: GraphPair, link_probability: float, seed=None
+    pair: GraphPair, link_probability: float, seed: object = None
 ) -> dict[Node, Node]:
     """Link pairs with probability proportional to degree.
 
@@ -89,7 +89,7 @@ def noisy_seeds(
     pair: GraphPair,
     link_probability: float,
     error_rate: float,
-    seed=None,
+    seed: object = None,
 ) -> dict[Node, Node]:
     """Sample seeds as :func:`sample_seeds`, then corrupt a fraction.
 

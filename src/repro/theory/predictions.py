@@ -38,11 +38,7 @@ def er_gap_regime(n: int, p: float, s: float, l: float) -> str:
     w.h.p.).  ``"sparse"``: Lemma 3 (small p — wrong pairs almost never
     reach 3 witnesses, so threshold T = 3 makes no mistakes).
     """
-    return (
-        "concentration"
-        if p > er_large_p_threshold(n, s, l)
-        else "sparse"
-    )
+    return ("concentration" if p > er_large_p_threshold(n, s, l) else "sparse")
 
 
 def pa_identification_threshold_degree(n: int, s: float, l: float) -> float:

@@ -92,9 +92,7 @@ class MemoryTracker:
         # A nested tracker's reset may have clipped the global peak;
         # fold back what the children observed inside this window.
         window_peak = max(peak, self._child_peak)
-        self.peak_mb = max(window_peak - self._baseline, 0) / (
-            1024 * 1024
-        )
+        self.peak_mb = max(window_peak - self._baseline, 0) / (1024 * 1024)
         if MemoryTracker._active and MemoryTracker._active[-1] is self:
             MemoryTracker._active.pop()
         if self._owns_trace:

@@ -1,0 +1,41 @@
+"""RPR001 fixture: every ambient-entropy read class the rule rejects.
+
+Linted under the virtual path ``src/repro/core/bad_determinism.py``;
+trailing ``expect`` markers declare the exact finding lines.
+"""
+
+import os
+import random
+import time
+import uuid
+
+import numpy as np
+
+
+def jitter() -> float:
+    return random.random()  # expect: RPR001
+
+
+def shuffled(items: list) -> list:
+    random.shuffle(items)  # expect: RPR001
+    return items
+
+
+def legacy_draw() -> float:
+    return float(np.random.rand())  # expect: RPR001
+
+
+def legacy_state() -> None:
+    np.random.seed(0)  # expect: RPR001
+
+
+def stamp() -> float:
+    return time.time()  # expect: RPR001
+
+
+def token() -> bytes:
+    return os.urandom(8)  # expect: RPR001
+
+
+def ident() -> str:
+    return str(uuid.uuid4())  # expect: RPR001

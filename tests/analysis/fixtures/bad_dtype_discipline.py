@@ -1,0 +1,21 @@
+"""RPR005 fixture: index-like arrays with platform-dependent dtypes.
+
+Linted under ``src/repro/graphs/bad_dtype_discipline.py``.
+"""
+
+import numpy as np
+
+
+def build_indptr(counts: list) -> np.ndarray:
+    indptr = np.zeros(len(counts) + 1)  # expect: RPR005
+    return indptr
+
+
+def gather_ids(n: int) -> np.ndarray:
+    node_ids = np.arange(n)  # expect: RPR005
+    return node_ids
+
+
+class Adjacency:
+    def __init__(self, values: list) -> None:
+        self.indices = np.asarray(values)  # expect: RPR005

@@ -1,0 +1,17 @@
+"""RPR003 fixture: bare sum() over non-integer data.
+
+Linted under ``src/repro/core/bad_float_accumulation.py``.
+"""
+
+
+def mean(values: list) -> float:
+    return sum(values) / len(values)  # expect: RPR003
+
+
+def sum_of_squares(values: list) -> float:
+    return sum(x * x for x in values)  # expect: RPR003
+
+
+def weighted(pairs: list) -> float:
+    total = sum(w * s for w, s in pairs)  # expect: RPR003
+    return total

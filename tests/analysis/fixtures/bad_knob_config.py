@@ -1,0 +1,19 @@
+"""RPR006 fixture: a config class with an un-threaded knob.
+
+Installed as ``src/repro/core/config.py`` of a synthetic mini-project
+by ``test_knob_threading.py``; the companion CLI/docs there cover
+``threshold`` but not ``shiny_new_knob``, which therefore fails all
+three chores (validator, CLI flag, docs entry).
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MatcherConfig:
+    threshold: int = 2
+    shiny_new_knob: float = 0.5  # expect: RPR006,RPR006,RPR006
+
+    def __post_init__(self) -> None:
+        if self.threshold < 1:
+            raise ValueError("threshold must be >= 1")

@@ -1,0 +1,22 @@
+"""RPR002 fixture: raw set iteration in every shape the rule catches.
+
+Linted under ``src/repro/core/bad_ordered_iteration.py``.
+"""
+
+
+def for_loop(edges: list) -> list:
+    seen = set(edges)
+    out = []
+    for item in seen:  # expect: RPR002
+        out.append(item)
+    return out
+
+
+def comprehension(edges: list) -> list:
+    pending = {e for e in edges}
+    return [x for x in pending]  # expect: RPR002
+
+
+def materialized(edges: list) -> list:
+    frontier = set(edges) | {0}
+    return list(frontier)  # expect: RPR002

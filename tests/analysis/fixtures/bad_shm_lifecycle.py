@@ -1,0 +1,28 @@
+"""RPR004 fixture: shared-memory segments with no guaranteed release.
+
+Linted under ``src/repro/core/bad_shm_lifecycle.py`` (the rule is
+global, but the fixture keeps the core-path convention).
+"""
+
+from multiprocessing.shared_memory import SharedMemory
+
+
+def leak_created(nbytes: int) -> str:
+    shm = SharedMemory(create=True, size=nbytes)  # expect: RPR004
+    shm.buf[0] = 0
+    return shm.name
+
+
+def leak_attached(name: str) -> bytes:
+    shm = SharedMemory(name=name)  # expect: RPR004
+    data = bytes(shm.buf[:4])
+    shm.close()
+    return data
+
+
+def close_without_unlink(nbytes: int) -> int:
+    shm = SharedMemory(create=True, size=nbytes)  # expect: RPR004
+    try:
+        return shm.buf[0]
+    finally:
+        shm.close()

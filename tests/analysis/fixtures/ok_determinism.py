@@ -1,0 +1,22 @@
+"""RPR001 fixture: the sanctioned seeded/monotonic spellings (clean)."""
+
+import random
+import time
+
+import numpy as np
+
+
+def seeded_jitter(seed: int) -> float:
+    rng = random.Random(seed)
+    return rng.random()
+
+
+def seeded_draw(seed: int) -> float:
+    rng = np.random.default_rng(seed)
+    return float(rng.random())
+
+
+def elapsed() -> float:
+    # perf_counter/monotonic feed diagnostics, never results.
+    began = time.perf_counter()
+    return time.perf_counter() - began

@@ -1,0 +1,19 @@
+"""RPR005 fixture: explicit dtypes and non-index arrays (clean)."""
+
+import numpy as np
+
+
+def build_indptr(counts: list) -> np.ndarray:
+    indptr = np.zeros(len(counts) + 1, dtype=np.int64)
+    return indptr
+
+
+def gather_ids(n: int) -> np.ndarray:
+    node_ids = np.arange(n, dtype=np.uint32)
+    return node_ids
+
+
+def weights(values: list) -> np.ndarray:
+    # Not index-like: the default float dtype is deterministic.
+    scores = np.asarray(values)
+    return scores

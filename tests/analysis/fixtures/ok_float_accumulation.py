@@ -1,0 +1,23 @@
+"""RPR003 fixture: the sanctioned reducers (clean)."""
+
+import math
+
+
+def mean(values: list) -> float:
+    return math.fsum(values) / len(values)
+
+
+def count_edges(parts: list) -> int:
+    return int(sum(part[3] for part in parts))
+
+
+def count_ones(values: list) -> int:
+    return sum(1 for _ in values)
+
+
+def total_length(blocks: list) -> int:
+    return sum(len(block) for block in blocks)
+
+
+def count_hits(values: list, floor: int) -> int:
+    return sum(v >= floor for v in values)

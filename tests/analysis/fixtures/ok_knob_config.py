@@ -1,0 +1,15 @@
+"""RPR006 fixture: every knob validated, plumbed, and documented."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MatcherConfig:
+    threshold: int = 2
+    backend: str = "dict"
+
+    def __post_init__(self) -> None:
+        if self.threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        if self.backend not in ("dict", "csr"):
+            raise ValueError("unknown backend")

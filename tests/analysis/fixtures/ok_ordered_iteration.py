@@ -1,0 +1,21 @@
+"""RPR002 fixture: order-free and sorted-wrapped set consumption (clean)."""
+
+
+def sorted_loop(edges: list) -> list:
+    seen = set(edges)
+    out = []
+    for item in sorted(seen):
+        out.append(item)
+    return out
+
+
+def order_free(edges: list) -> int:
+    pending = {e for e in edges}
+    if 0 in pending:
+        return len(pending)
+    return max(sorted(x for x in pending), default=0)
+
+
+def membership_only(edges: list, probe: int) -> bool:
+    frontier = set(edges)
+    return probe in frontier

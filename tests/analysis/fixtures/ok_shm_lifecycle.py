@@ -1,0 +1,62 @@
+"""RPR004 fixture: every accepted lifecycle pattern (clean)."""
+
+from multiprocessing.shared_memory import SharedMemory
+
+
+class SegmentOwner:
+    """Owner whose close() is responsible for adopted segments."""
+
+    def __init__(self) -> None:
+        self._segments: list[SharedMemory] = []
+
+    def adopt(self, nbytes: int) -> SharedMemory:
+        # Ownership handoff: appended in the very next statement.
+        shm = SharedMemory(create=True, size=nbytes)
+        self._segments.append(shm)
+        return shm
+
+    def close(self) -> None:
+        for shm in self._segments:
+            shm.close()
+            shm.unlink()
+
+
+def adopt_direct(owner: SegmentOwner, name: str) -> None:
+    # Direct call-argument handoff.
+    owner._segments.append(SharedMemory(name=name))
+
+
+def copy_out(name: str) -> bytes:
+    # Attachment dominated by try/finally close().
+    shm = None
+    try:
+        shm = SharedMemory(name=name)
+        return bytes(shm.buf[:8])
+    finally:
+        if shm is not None:
+            shm.close()
+
+
+def roundtrip(nbytes: int) -> int:
+    # Creation dominated by try/finally close() + unlink().
+    shm = None
+    try:
+        shm = SharedMemory(create=True, size=nbytes)
+        shm.buf[0] = 7
+        return shm.buf[0]
+    finally:
+        if shm is not None:
+            shm.close()
+            shm.unlink()
+
+
+def cleanup_in_handler(nbytes: int) -> str:
+    # ``except: cleanup; raise`` is the other spelling of the guarantee.
+    try:
+        shm = SharedMemory(create=True, size=nbytes)
+        shm.buf[0] = 1
+        return shm.name
+    except BaseException:
+        shm.close()
+        shm.unlink()
+        raise

@@ -1,0 +1,220 @@
+"""RPR006 tests against synthetic mini-projects.
+
+The rule reads three files relative to a project root; each test
+builds a tmp tree with exactly one chore missing and asserts the one
+expected finding (anchored at the field's line in config.py).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.analysis.engine import run_lint
+from repro.analysis.rules.knob_threading import (
+    CLI_ALIASES,
+    CLI_EXEMPT,
+    KnobThreadingRule,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+CLI_WITH_THRESHOLD = (
+    "import argparse\n"
+    "def build_parser():\n"
+    "    p = argparse.ArgumentParser()\n"
+    '    p.add_argument("--threshold", type=int)\n'
+    '    p.add_argument("--backend")\n'
+    "    return p\n"
+)
+
+DOCS_BOTH = (
+    "## MatcherConfig\n\n"
+    "- threshold: score floor\n"
+    "- backend: dict or csr\n"
+)
+
+
+def make_project(
+    tmp_path: Path,
+    config_text: str,
+    cli_text: str = CLI_WITH_THRESHOLD,
+    docs_text: str = DOCS_BOTH,
+) -> Path:
+    (tmp_path / "setup.py").write_text("")
+    config = tmp_path / "src" / "repro" / "core" / "config.py"
+    config.parent.mkdir(parents=True)
+    config.write_text(config_text)
+    (tmp_path / "src" / "repro" / "cli.py").write_text(cli_text)
+    docs = tmp_path / "docs"
+    docs.mkdir()
+    (docs / "API.md").write_text(docs_text)
+    return tmp_path
+
+
+def lint_project(root: Path):
+    report = run_lint(
+        [root / "src"],
+        project_root=root,
+        rules=[KnobThreadingRule()],
+    )
+    return report.findings
+
+
+def field_line(config_text: str, field: str) -> int:
+    for lineno, line in enumerate(config_text.splitlines(), start=1):
+        if re.match(rf"\s*{field}\s*:", line):
+            return lineno
+    raise AssertionError(f"{field} not found")
+
+
+class TestFixturePair:
+    def test_bad_fixture_fires_three_chores(self, tmp_path):
+        config_text = (FIXTURES / "bad_knob_config.py").read_text()
+        root = make_project(tmp_path, config_text)
+        findings = lint_project(root)
+        line = field_line(config_text, "shiny_new_knob")
+        assert [(f.rule_id, f.line) for f in findings] == [
+            ("RPR006", line)
+        ] * 3
+        messages = "\n".join(f.message for f in findings)
+        assert "validate_shiny_new_knob" in messages
+        assert "--shiny-new-knob" in messages
+        assert "docs/API.md" in messages
+
+    def test_ok_fixture_is_clean(self, tmp_path):
+        config_text = (FIXTURES / "ok_knob_config.py").read_text()
+        root = make_project(tmp_path, config_text)
+        assert lint_project(root) == []
+
+
+class TestIndividualChores:
+    CONFIG = (
+        "from dataclasses import dataclass\n"
+        "@dataclass\n"
+        "class MatcherConfig:\n"
+        "    threshold: int = 2\n"
+        "    def __post_init__(self):\n"
+        "        if self.threshold < 1:\n"
+        "            raise ValueError('bad')\n"
+    )
+
+    def test_fully_threaded_field_is_clean(self, tmp_path):
+        root = make_project(tmp_path, self.CONFIG)
+        assert lint_project(root) == []
+
+    def test_missing_validator(self, tmp_path):
+        config = (
+            "from dataclasses import dataclass\n"
+            "@dataclass\n"
+            "class MatcherConfig:\n"
+            "    threshold: int = 2\n"
+        )
+        root = make_project(tmp_path, config)
+        findings = lint_project(root)
+        assert len(findings) == 1
+        assert "validate_threshold" in findings[0].message
+        assert findings[0].line == 4
+
+    def test_module_level_validator_accepted(self, tmp_path):
+        config = (
+            "from dataclasses import dataclass\n"
+            "def validate_threshold(value):\n"
+            "    return value\n"
+            "@dataclass\n"
+            "class MatcherConfig:\n"
+            "    threshold: int = 2\n"
+        )
+        root = make_project(tmp_path, config)
+        assert lint_project(root) == []
+
+    def test_missing_cli_flag(self, tmp_path):
+        root = make_project(
+            tmp_path,
+            self.CONFIG,
+            cli_text="import argparse\n",
+        )
+        findings = lint_project(root)
+        assert len(findings) == 1
+        assert "--threshold" in findings[0].message
+
+    def test_missing_docs_entry(self, tmp_path):
+        root = make_project(
+            tmp_path, self.CONFIG, docs_text="## MatcherConfig\n"
+        )
+        findings = lint_project(root)
+        assert len(findings) == 1
+        assert "docs/API.md" in findings[0].message
+
+    def test_cli_alias_satisfies_plumbing(self, tmp_path):
+        config = (
+            "from dataclasses import dataclass\n"
+            "@dataclass\n"
+            "class MatcherConfig:\n"
+            "    warm_start: bool = False\n"
+            "    def __post_init__(self):\n"
+            "        if not isinstance(self.warm_start, bool):\n"
+            "            raise ValueError('bad')\n"
+        )
+        cli = (
+            "import argparse\n"
+            "def build_parser():\n"
+            "    p = argparse.ArgumentParser()\n"
+            '    p.add_argument("--resume", action="store_true")\n'
+            "    return p\n"
+        )
+        root = make_project(
+            tmp_path, config, cli_text=cli, docs_text="warm_start\n"
+        )
+        assert lint_project(root) == []
+
+    def test_exempt_field_skips_cli_chore_only(self, tmp_path):
+        config = (
+            "from dataclasses import dataclass\n"
+            "@dataclass\n"
+            "class MatcherConfig:\n"
+            "    tie_policy: str = 'skip'\n"
+            "    def __post_init__(self):\n"
+            "        if not self.tie_policy:\n"
+            "            raise ValueError('bad')\n"
+        )
+        root = make_project(
+            tmp_path,
+            config,
+            cli_text="import argparse\n",
+            docs_text="tie_policy\n",
+        )
+        assert lint_project(root) == []
+
+    def test_missing_config_module_is_silent(self, tmp_path):
+        (tmp_path / "setup.py").write_text("")
+        src = tmp_path / "src" / "repro" / "core"
+        src.mkdir(parents=True)
+        (src / "other.py").write_text("x = 1\n")
+        assert lint_project(tmp_path) == []
+
+
+class TestRealProjectContract:
+    """The escape hatches must describe the real tree truthfully."""
+
+    REPO = Path(__file__).resolve().parents[2]
+
+    def test_aliases_exist_in_real_cli(self):
+        cli_text = (self.REPO / "src" / "repro" / "cli.py").read_text()
+        for flag in CLI_ALIASES.values():
+            assert f'"{flag}"' in cli_text, flag
+
+    def test_exempt_fields_are_real_config_fields(self):
+        config_text = (
+            self.REPO / "src" / "repro" / "core" / "config.py"
+        ).read_text()
+        for name in CLI_EXEMPT:
+            assert re.search(rf"\b{name}\b", config_text), name
+
+    def test_real_tree_has_no_rpr006_findings(self):
+        report = run_lint(
+            [self.REPO / "src"],
+            project_root=self.REPO,
+            rules=[KnobThreadingRule()],
+        )
+        assert report.findings == []

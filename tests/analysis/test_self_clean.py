@@ -1,0 +1,26 @@
+"""The acceptance gate: the shipped tree passes its own linter."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.engine import run_lint
+from repro.analysis.framework import rule_ids
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def test_src_tree_is_lint_clean():
+    report = run_lint([REPO / "src"], project_root=REPO)
+    rendered = "\n".join(f.render() for f in report.findings)
+    assert report.findings == [], f"repro lint src/ found:\n{rendered}"
+    assert report.exit_code == 0
+    # All six rules actually ran — a registration regression would
+    # otherwise make this test pass vacuously.
+    assert report.rules_run == rule_ids()
+    assert report.files_checked > 100
+
+
+def test_src_tree_needs_no_suppressions():
+    report = run_lint([REPO / "src"], project_root=REPO)
+    assert report.suppressed == 0

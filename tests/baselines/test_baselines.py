@@ -11,15 +11,11 @@ from repro.evaluation.metrics import evaluate
 
 class TestCommonNeighborsMatcher:
     def test_includes_seeds(self, pa_pair, pa_seeds):
-        result = CommonNeighborsMatcher().run(
-            pa_pair.g1, pa_pair.g2, pa_seeds
-        )
+        result = CommonNeighborsMatcher().run(pa_pair.g1, pa_pair.g2, pa_seeds)
         for v1, v2 in pa_seeds.items():
             assert result.links[v1] == v2
 
-    def test_no_bucketing_single_phase_per_iteration(
-        self, pa_pair, pa_seeds
-    ):
+    def test_no_bucketing_single_phase_per_iteration(self, pa_pair, pa_seeds):
         result = CommonNeighborsMatcher(iterations=2).run(
             pa_pair.g1, pa_pair.g2, pa_seeds
         )
@@ -41,9 +37,7 @@ class TestCommonNeighborsMatcher:
         ).run(pa_pair.g1, pa_pair.g2, pa_seeds)
         assert len(forced.links) >= len(skip.links)
 
-    def test_user_matching_beats_baseline_precision(
-        self, pa_pair, pa_seeds
-    ):
+    def test_user_matching_beats_baseline_precision(self, pa_pair, pa_seeds):
         from repro.core.config import MatcherConfig
         from repro.core.matcher import UserMatching
 
@@ -72,9 +66,7 @@ class TestNarayananShmatikov:
         )
         assert result.num_new_links > 0
 
-    def test_reasonable_precision_on_easy_instance(
-        self, pa_pair, pa_seeds
-    ):
+    def test_reasonable_precision_on_easy_instance(self, pa_pair, pa_seeds):
         result = NarayananShmatikovMatcher(max_sweeps=2).run(
             pa_pair.g1, pa_pair.g2, pa_seeds
         )
@@ -96,9 +88,7 @@ class TestNarayananShmatikov:
         with pytest.raises(Exception):
             NarayananShmatikovMatcher(max_sweeps=0)
 
-    def test_no_rematch_mode_keeps_one_to_one(
-        self, pa_pair, pa_seeds
-    ):
+    def test_no_rematch_mode_keeps_one_to_one(self, pa_pair, pa_seeds):
         result = NarayananShmatikovMatcher(
             max_sweeps=2, allow_rematch=False
         ).run(pa_pair.g1, pa_pair.g2, pa_seeds)
@@ -107,9 +97,7 @@ class TestNarayananShmatikov:
 
 class TestDegreeSequenceMatcher:
     def test_matches_everything(self, pa_pair, pa_seeds):
-        result = DegreeSequenceMatcher().run(
-            pa_pair.g1, pa_pair.g2, pa_seeds
-        )
+        result = DegreeSequenceMatcher().run(pa_pair.g1, pa_pair.g2, pa_seeds)
         assert result.num_links >= min(
             pa_pair.g1.num_nodes, pa_pair.g2.num_nodes
         ) - len(pa_seeds)
@@ -127,9 +115,7 @@ class TestDegreeSequenceMatcher:
         structural = UserMatching(
             MatcherConfig(threshold=2, iterations=2)
         ).run(pa_pair.g1, pa_pair.g2, pa_seeds)
-        naive = DegreeSequenceMatcher().run(
-            pa_pair.g1, pa_pair.g2, pa_seeds
-        )
+        naive = DegreeSequenceMatcher().run(pa_pair.g1, pa_pair.g2, pa_seeds)
         rep_s = evaluate(structural, pa_pair)
         rep_n = evaluate(naive, pa_pair)
         assert rep_s.precision > rep_n.precision

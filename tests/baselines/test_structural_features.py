@@ -65,9 +65,7 @@ class TestStructuralFeatureMatcher:
             pa_pair.identity,
             key=lambda v: -pa_pair.g1.degree(v),
         )[:5]
-        correct_hubs = sum(
-            1 for h in hubs if result.links.get(h) == h
-        )
+        correct_hubs = sum(1 for h in hubs if result.links.get(h) == h)
         assert correct_hubs >= 1
         # Mistaken hubs are assigned to other *high-degree* nodes —
         # feature-similar impostors.
@@ -79,9 +77,7 @@ class TestStructuralFeatureMatcher:
                 )
 
     def test_no_seeds_matches_nothing(self, pa_pair):
-        result = StructuralFeatureMatcher().run(
-            pa_pair.g1, pa_pair.g2, {}
-        )
+        result = StructuralFeatureMatcher().run(pa_pair.g1, pa_pair.g2, {})
         assert result.links == {}
 
     def test_weaker_than_user_matching(self, pa_pair, pa_seeds):

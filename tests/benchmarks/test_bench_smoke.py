@@ -19,9 +19,7 @@ import sys
 
 import pytest
 
-BENCHMARKS_DIR = (
-    pathlib.Path(__file__).resolve().parents[2] / "benchmarks"
-)
+BENCHMARKS_DIR = (pathlib.Path(__file__).resolve().parents[2] / "benchmarks")
 BENCH_FILES = sorted(BENCHMARKS_DIR.glob("bench_*.py"))
 
 
@@ -96,9 +94,7 @@ def test_micro_blocked_budget_curve():
 def test_micro_million_rung_driver():
     """bench_blocked's million-rung driver, at micro scale."""
     module = load_bench_module(BENCHMARKS_DIR / "bench_blocked.py")
-    row = module.million_rung(
-        scale=8, edge_factor=4, memory_budget_mb=4
-    )
+    row = module.million_rung(scale=8, edge_factor=4, memory_budget_mb=4)
     assert row["memory_budget_mb"] == 4
     assert row["nodes"] > 0
 
@@ -110,9 +106,7 @@ def test_micro_incremental_warm_vs_cold():
     from repro.core.matcher import UserMatching
     from repro.incremental import GraphDelta, IncrementalReconciler
 
-    module = load_bench_module(
-        BENCHMARKS_DIR / "bench_incremental.py"
-    )
+    module = load_bench_module(BENCHMARKS_DIR / "bench_incremental.py")
     pair, seeds = module.build_workload(n=400, seed=1)
     base1, base2, stream1, stream2 = module.carve(pair, 0.05)
     engine = IncrementalReconciler(MatcherConfig(**module._CONFIG))

@@ -25,9 +25,7 @@ class TestExplainPair:
         for v1 in list(pa_pair.g1.nodes())[:30]:
             if v1 in pa_seeds:
                 continue
-            exp = explain_pair(
-                pa_pair.g1, pa_pair.g2, pa_seeds, v1, v1
-            )
+            exp = explain_pair(pa_pair.g1, pa_pair.g2, pa_seeds, v1, v1)
             assert exp.score == witness_score(
                 pa_pair.g1, pa_pair.g2, pa_seeds, v1, v1
             )

@@ -40,9 +40,7 @@ class TestSegmentedGather:
         index = GraphPairIndex(g, g.copy())
         csr = index.csr1
         targets = np.array([2, 0], dtype=np.int64)
-        values, segments = segmented_gather(
-            csr.indptr, csr.indices, targets
-        )
+        values, segments = segmented_gather(csr.indptr, csr.indices, targets)
         assert values.tolist() == (
             csr.neighbors(2).tolist() + csr.neighbors(0).tolist()
         )
@@ -182,17 +180,13 @@ class TestArraySelection:
         self, pa_pair, pa_seeds, threshold, tie_policy
     ):
         scores = _scores_fixture(pa_pair, pa_seeds)
-        expected = select_mutual_best(
-            scores.to_dict(), threshold, tie_policy
-        )
+        expected = select_mutual_best(scores.to_dict(), threshold, tie_policy)
         left, right, _cands = select_mutual_best_arrays(
             scores, threshold, tie_policy
         )
         assert scores.index.export_links(left, right) == expected
 
-    def test_mutual_best_dispatch_on_array_scores(
-        self, pa_pair, pa_seeds
-    ):
+    def test_mutual_best_dispatch_on_array_scores(self, pa_pair, pa_seeds):
         """policy.select_mutual_best accepts the flat table directly."""
         scores = _scores_fixture(pa_pair, pa_seeds)
         assert select_mutual_best(scores, 2) == select_mutual_best(
@@ -200,9 +194,7 @@ class TestArraySelection:
         )
 
     @pytest.mark.parametrize("threshold", [1, 2, 3])
-    def test_greedy_matches_dict_selector(
-        self, pa_pair, pa_seeds, threshold
-    ):
+    def test_greedy_matches_dict_selector(self, pa_pair, pa_seeds, threshold):
         scores = _scores_fixture(pa_pair, pa_seeds)
         expected = select_greedy_top_score(scores.to_dict(), threshold)
         left, right = select_greedy_arrays(scores, threshold)
@@ -221,9 +213,7 @@ class TestArraySelection:
             right=np.array([0, 3], dtype=np.int64),
             score=np.array([2, 2], dtype=np.int64),
         )
-        left, right, _ = select_mutual_best_arrays(
-            scores, 1, TiePolicy.SKIP
-        )
+        left, right, _ = select_mutual_best_arrays(scores, 1, TiePolicy.SKIP)
         assert len(left) == 0
         left, right, _ = select_mutual_best_arrays(
             scores, 1, TiePolicy.LOWEST_ID
@@ -262,9 +252,7 @@ class TestMergeScoreTables:
         link_l, link_r = index.intern_links(pa_seeds)
         elig1 = np.ones(index.n1, dtype=bool)
         elig2 = np.ones(index.n2, dtype=bool)
-        whole, emitted = count_witnesses(
-            index, link_l, link_r, elig1, elig2
-        )
+        whole, emitted = count_witnesses(index, link_l, link_r, elig1, elig2)
         half = len(link_l) // 2
         parts = []
         for sl in (slice(None, half), slice(half, None)):
@@ -330,9 +318,7 @@ class TestCountWitnessesBlocked:
 
         index, ll, lr, e1, e2 = self._round(pa_pair, pa_seeds)
         mono, em = count_witnesses(index, ll, lr, e1, e2)
-        with mock.patch.object(
-            shards, "WITNESS_PAIR_BYTES", 1 << 22
-        ):
+        with mock.patch.object(shards, "WITNESS_PAIR_BYTES", 1 << 22):
             plan = shards.plan_witness_blocks(index, ll, lr, 1)
             blocked, eb = kernels.count_witnesses_blocked(
                 index, ll, lr, e1, e2, 1
@@ -345,20 +331,14 @@ class TestCountWitnessesBlocked:
         assert np.array_equal(mc, bc)
 
     @pytest.mark.parametrize("use_sparse", SPARSE_MODES)
-    def test_both_join_paths_identical(
-        self, pa_pair, pa_seeds, use_sparse
-    ):
+    def test_both_join_paths_identical(self, pa_pair, pa_seeds, use_sparse):
         from unittest import mock
 
         import repro.core.shards as shards
 
         index, ll, lr, e1, e2 = self._round(pa_pair, pa_seeds)
-        mono, _ = count_witnesses(
-            index, ll, lr, e1, e2, use_sparse=use_sparse
-        )
-        with mock.patch.object(
-            shards, "WITNESS_PAIR_BYTES", 1 << 21
-        ):
+        mono, _ = count_witnesses(index, ll, lr, e1, e2, use_sparse=use_sparse)
+        with mock.patch.object(shards, "WITNESS_PAIR_BYTES", 1 << 21):
             blocked, _ = kernels.count_witnesses_blocked(
                 index, ll, lr, e1, e2, 1, use_sparse=use_sparse
             )
@@ -379,9 +359,7 @@ class TestCountWitnessesBlocked:
             calls.append(len(link_l))
             return count_witnesses(index, link_l, link_r, elig1, elig2)
 
-        with mock.patch.object(
-            shards, "WITNESS_PAIR_BYTES", 1 << 22
-        ):
+        with mock.patch.object(shards, "WITNESS_PAIR_BYTES", 1 << 22):
             blocked, _ = kernels.count_witnesses_blocked(
                 index, ll, lr, e1, e2, 1, counter=counter
             )
@@ -458,9 +436,7 @@ class TestPackedKeyWidth:
         indptr = np.array([0, 2], dtype=np.int64)
         indices = np.array([hi - 1, hi], dtype=np.uint32)
         csr = SimpleNamespace(indptr=indptr, indices=indices)
-        index = SimpleNamespace(
-            csr1=csr, csr2=csr, n1=int(n), n2=int(n)
-        )
+        index = SimpleNamespace(csr1=csr, csr2=csr, n1=int(n), n2=int(n))
         eligible = np.zeros(int(n), dtype=bool)
         eligible[[hi - 1, hi]] = True
         link = np.zeros(1, dtype=np.int64)

@@ -50,9 +50,7 @@ class TestBasicBehaviour:
         result = UserMatching(
             MatcherConfig(threshold=2, iterations=2)
         ).run(pair.g1, pair.g2, seeds)
-        correct = sum(
-            1 for v1, v2 in result.links.items() if v1 == v2
-        )
+        correct = sum(1 for v1, v2 in result.links.items() if v1 == v2)
         assert correct / len(result.links) > 0.95
 
 
@@ -63,15 +61,11 @@ class TestSeedValidation:
 
     def test_seed_missing_from_g1(self, pa_pair):
         with pytest.raises(MatcherConfigError):
-            UserMatching().run(
-                pa_pair.g1, pa_pair.g2, {"ghost": 0}
-            )
+            UserMatching().run(pa_pair.g1, pa_pair.g2, {"ghost": 0})
 
     def test_seed_missing_from_g2(self, pa_pair):
         with pytest.raises(MatcherConfigError):
-            UserMatching().run(
-                pa_pair.g1, pa_pair.g2, {0: "ghost"}
-            )
+            UserMatching().run(pa_pair.g1, pa_pair.g2, {0: "ghost"})
 
 
 class TestBucketSchedule:
@@ -111,9 +105,7 @@ class TestPhases:
         assert len(result.phases) == len(exps)
         assert [p.bucket_exponent for p in result.phases] == exps
 
-    def test_phase_min_degree_matches_exponent(
-        self, pa_pair, pa_seeds
-    ):
+    def test_phase_min_degree_matches_exponent(self, pa_pair, pa_seeds):
         result = UserMatching(MatcherConfig(iterations=1)).run(
             pa_pair.g1, pa_pair.g2, pa_seeds
         )

@@ -47,9 +47,7 @@ class TestDegenerateGraphs:
     def test_asymmetric_graph_sizes(self):
         g1 = Graph.from_edges([(0, 1)])
         g2 = Graph.from_edges([(0, 1), (1, 2), (2, 3), (3, 4)])
-        result = UserMatching(MatcherConfig(threshold=1)).run(
-            g1, g2, {0: 0}
-        )
+        result = UserMatching(MatcherConfig(threshold=1)).run(g1, g2, {0: 0})
         assert set(result.links) <= {0, 1}
 
     def test_all_nodes_seeded(self, pa_pair):
@@ -62,9 +60,7 @@ class TestDegenerateGraphs:
 class TestCrossIdSpaces:
     def test_string_vs_int_ids(self):
         g1 = Graph.from_edges([(0, 1), (1, 2), (0, 2), (2, 3)])
-        g2 = Graph.from_edges(
-            [("a", "b"), ("b", "c"), ("a", "c"), ("c", "d")]
-        )
+        g2 = Graph.from_edges([("a", "b"), ("b", "c"), ("a", "c"), ("c", "d")])
         identity = {0: "a", 1: "b", 2: "c", 3: "d"}
         pair = GraphPair(g1=g1, g2=g2, identity=identity)
         result = UserMatching(

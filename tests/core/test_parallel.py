@@ -54,9 +54,7 @@ class TestWitnessPool:
             index, link_l, link_r, e1, e2
         )
         with WitnessPool(index, workers=3) as pool:
-            pooled, emitted_p = pool.count_witnesses(
-                link_l, link_r, e1, e2
-            )
+            pooled, emitted_p = pool.count_witnesses(link_l, link_r, e1, e2)
         assert emitted_p == emitted_s
         assert as_table(pooled) == as_table(serial)
 
@@ -83,9 +81,7 @@ class TestWitnessPool:
     def test_empty_link_round(self):
         index, _l, _r, e1, e2 = build_round()
         with WitnessPool(index, workers=2) as pool:
-            scores, emitted = pool.count_witnesses(
-                _EMPTY, _EMPTY, e1, e2
-            )
+            scores, emitted = pool.count_witnesses(_EMPTY, _EMPTY, e1, e2)
         assert emitted == 0
         assert scores.num_pairs == 0
 
@@ -162,17 +158,13 @@ class TestGracefulFallback:
         assert open_witness_pool(index, 1) is None
         assert open_witness_pool(index, 0) is None
 
-    def test_missing_shared_memory_warns_and_falls_back(
-        self, monkeypatch
-    ):
+    def test_missing_shared_memory_warns_and_falls_back(self, monkeypatch):
         index, *_ = build_round(n=60)
         monkeypatch.setattr(parallel, "_shared_memory", None)
         with pytest.warns(ParallelFallbackWarning):
             assert open_witness_pool(index, 3) is None
 
-    def test_pool_setup_failure_warns_and_falls_back(
-        self, monkeypatch
-    ):
+    def test_pool_setup_failure_warns_and_falls_back(self, monkeypatch):
         index, *_ = build_round(n=60)
 
         class Broken:

@@ -1,0 +1,165 @@
+"""Regression tests for shared-memory release on failure paths.
+
+These lock in the RPR004 fixes: a mid-loop attach failure in the worker
+initializer must close the segments already attached, pool-construction
+failure must release every exported segment, and ``close()`` must still
+``unlink()`` a segment whose ``close()`` raised.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.core import parallel
+
+
+class FakeSharedMemory:
+    """Stand-in segment recording its lifecycle calls."""
+
+    created: list["FakeSharedMemory"] = []
+    fail_on_attach: set[str] = set()
+    _counter = 0
+
+    def __init__(self, name=None, create=False, size=0):
+        if not create and name in self.fail_on_attach:
+            raise FileNotFoundError(name)
+        if name is None:
+            type(self)._counter += 1
+            name = f"fake-{type(self)._counter}"
+        self.name = name
+        self.create = create
+        # Attaches pass no size; allot enough for any test-sized array.
+        self._raw = bytearray(size if size > 0 else 64)
+        self.buf = memoryview(self._raw)
+        self.closed = False
+        self.unlinked = False
+        self.close_raises = False
+        type(self).created.append(self)
+
+    def close(self):
+        if self.close_raises:
+            self.closed = True
+            raise OSError("close failed")
+        self.closed = True
+
+    def unlink(self):
+        self.unlinked = True
+
+
+@pytest.fixture(autouse=True)
+def fake_shm(monkeypatch):
+    FakeSharedMemory.created = []
+    FakeSharedMemory.fail_on_attach = set()
+    FakeSharedMemory._counter = 0
+    monkeypatch.setattr(
+        parallel,
+        "_shared_memory",
+        SimpleNamespace(SharedMemory=FakeSharedMemory),
+    )
+    return FakeSharedMemory
+
+
+def make_specs(count: int) -> dict[str, parallel._ArraySpec]:
+    return {
+        f"arr{i}": parallel._ArraySpec(
+            name=f"seg-{i}", shape=(2,), dtype="<i8"
+        )
+        for i in range(count)
+    }
+
+
+class TestInitWorkerFailure:
+    def test_mid_loop_attach_failure_closes_earlier_segments(
+        self, fake_shm, monkeypatch
+    ):
+        monkeypatch.setattr(parallel, "_WORKER_CTX", None)
+        fake_shm.fail_on_attach = {"seg-2"}
+        with pytest.raises(FileNotFoundError):
+            parallel._init_worker(make_specs(4), n1=2, n2=2)
+        # Segments 0 and 1 attached before the failure; both released.
+        assert len(fake_shm.created) == 2
+        assert all(shm.closed for shm in fake_shm.created)
+        assert parallel._WORKER_CTX is None
+
+    def test_successful_init_keeps_segments_open(self, fake_shm, monkeypatch):
+        monkeypatch.setattr(parallel, "_WORKER_CTX", None)
+        specs = {
+            key: parallel._ArraySpec(
+                name=f"seg-{key}", shape=(2,), dtype="<i8"
+            )
+            for key in ("indptr1", "indices1", "indptr2", "indices2")
+        }
+        parallel._init_worker(specs, n1=1, n2=1)
+        try:
+            assert not any(shm.closed for shm in fake_shm.created)
+            assert parallel._WORKER_CTX is not None
+        finally:
+            monkeypatch.setattr(parallel, "_WORKER_CTX", None)
+
+
+def make_index() -> SimpleNamespace:
+    csr = SimpleNamespace(
+        indptr=np.zeros(3, dtype=np.int64),
+        indices=np.zeros(2, dtype=np.int64),
+    )
+    return SimpleNamespace(csr1=csr, csr2=csr, n1=2, n2=2)
+
+
+class TestPoolConstructionFailure:
+    def test_pool_start_failure_releases_every_segment(
+        self, fake_shm, monkeypatch
+    ):
+        class BrokenContext:
+            def Pool(self, *args, **kwargs):
+                raise OSError("no semaphores here")
+
+        monkeypatch.setattr(
+            parallel.multiprocessing,
+            "get_context",
+            lambda method: BrokenContext(),
+        )
+        with pytest.raises(OSError):
+            parallel.WitnessPool(make_index(), workers=2)
+        # Six exports (2x indptr/indices + 2 eligibility buffers), all
+        # closed AND unlinked — these are created segments.
+        assert len(fake_shm.created) == 6
+        assert all(shm.closed for shm in fake_shm.created)
+        assert all(shm.unlinked for shm in fake_shm.created)
+
+    def test_mid_export_failure_releases_earlier_segments(
+        self, fake_shm, monkeypatch
+    ):
+        original_init = FakeSharedMemory.__init__
+        calls = {"n": 0}
+
+        def failing_init(self, name=None, create=False, size=0):
+            calls["n"] += 1
+            if calls["n"] == 3:
+                raise OSError("shm exhausted")
+            original_init(self, name=name, create=create, size=size)
+
+        monkeypatch.setattr(FakeSharedMemory, "__init__", failing_init)
+        with pytest.raises(OSError):
+            parallel.WitnessPool(make_index(), workers=2)
+        assert len(fake_shm.created) == 2
+        assert all(shm.closed for shm in fake_shm.created)
+        assert all(shm.unlinked for shm in fake_shm.created)
+
+
+class TestCloseIndependence:
+    def test_unlink_still_runs_when_close_raises(self, fake_shm):
+        pool = parallel.WitnessPool.__new__(parallel.WitnessPool)
+        pool._pool = None
+        pool._views = {}
+        pool._staged_elig = None
+        bad = FakeSharedMemory(create=True, size=8)
+        bad.close_raises = True
+        good = FakeSharedMemory(create=True, size=8)
+        pool._segments = [bad, good]
+        pool.close()
+        assert bad.unlinked, "close() failure must not skip unlink()"
+        assert good.closed and good.unlinked
+        assert pool._segments == []

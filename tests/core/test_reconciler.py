@@ -47,9 +47,7 @@ class TestDefaultPipeline:
 
     def test_phase_records_and_timings(self, workload):
         pair, seeds = workload
-        result = Reconciler(threshold=2, rounds=2).run(
-            pair.g1, pair.g2, seeds
-        )
+        result = Reconciler(threshold=2, rounds=2).run(pair.g1, pair.g2, seeds)
         assert result.phases
         assert all(p.links_added >= 0 for p in result.phases)
         stages = {t.stage for t in result.timings}
@@ -66,9 +64,7 @@ class TestDefaultPipeline:
             pair.g1, pair.g2, seeds, progress=events.append
         )
         assert events[0].stage == "seeds"
-        assert [e.step for e in events] == list(
-            range(1, len(events) + 1)
-        )
+        assert [e.step for e in events] == list(range(1, len(events) + 1))
         assert {"score", "select"} <= {e.stage for e in events}
 
     def test_stops_early_when_no_progress(self, workload):
@@ -83,9 +79,7 @@ class TestDefaultPipeline:
 class TestPluggableStages:
     def test_selector_by_name_changes_outcome(self, workload):
         pair, seeds = workload
-        strict = Reconciler(threshold=2, rounds=2).run(
-            pair.g1, pair.g2, seeds
-        )
+        strict = Reconciler(threshold=2, rounds=2).run(pair.g1, pair.g2, seeds)
         greedy = Reconciler(
             threshold=2, rounds=2, selector="greedy"
         ).run(pair.g1, pair.g2, seeds)
@@ -97,9 +91,7 @@ class TestPluggableStages:
         def take_nothing(scores, threshold, tie_policy=TiePolicy.SKIP):
             return {}
 
-        result = Reconciler(selector=take_nothing).run(
-            pair.g1, pair.g2, seeds
-        )
+        result = Reconciler(selector=take_nothing).run(pair.g1, pair.g2, seeds)
         assert result.links == seeds
 
     def test_normalized_kernel(self, workload):
@@ -137,18 +129,12 @@ class TestPluggableStages:
             keep = sorted(s)[: len(s) // 2]
             return {v1: s[v1] for v1 in keep}
 
-        result = Reconciler(seed_strategy=halved).run(
-            pair.g1, pair.g2, seeds
-        )
+        result = Reconciler(seed_strategy=halved).run(pair.g1, pair.g2, seeds)
         assert len(result.seeds) == len(seeds) // 2
 
-    def test_explicit_candidate_join_matches_fused_default(
-        self, workload
-    ):
+    def test_explicit_candidate_join_matches_fused_default(self, workload):
         pair, seeds = workload
-        fused = Reconciler(threshold=2, rounds=2).run(
-            pair.g1, pair.g2, seeds
-        )
+        fused = Reconciler(threshold=2, rounds=2).run(pair.g1, pair.g2, seeds)
         explicit = Reconciler(
             threshold=2, rounds=2, candidates=common_neighbor_candidates
         ).run(pair.g1, pair.g2, seeds)
@@ -179,9 +165,7 @@ class TestValidators:
         pair, seeds = workload
 
         def drop_everything_new(g1, g2, links, start):
-            return {
-                v1: v2 for v1, v2 in links.items() if v1 in start
-            }
+            return {v1: v2 for v1, v2 in links.items() if v1 in start}
 
         result = Reconciler(
             threshold=2, validators=[drop_everything_new]
@@ -195,9 +179,7 @@ class TestValidators:
             return {}
 
         with pytest.raises(MatcherConfigError, match="seed"):
-            Reconciler(validators=[overzealous]).run(
-                pair.g1, pair.g2, seeds
-            )
+            Reconciler(validators=[overzealous]).run(pair.g1, pair.g2, seeds)
 
     def test_validator_may_not_remap_seeds(self, workload):
         pair, seeds = workload
@@ -207,18 +189,12 @@ class TestValidators:
             return {**links, victim: object()}
 
         with pytest.raises(MatcherConfigError, match="remapped"):
-            Reconciler(validators=[sneaky]).run(
-                pair.g1, pair.g2, seeds
-            )
+            Reconciler(validators=[sneaky]).run(pair.g1, pair.g2, seeds)
 
     def test_degree_ratio_validator_drops_mismatches(self):
         # Star center (degree 4) vs leaf-degree node: ratio 4 > 2.
-        g1 = Graph.from_edges(
-            [(0, i) for i in range(1, 5)] + [(1, 5)]
-        )
-        g2 = Graph.from_edges(
-            [(10, i) for i in range(11, 15)] + [(11, 15)]
-        )
+        g1 = Graph.from_edges([(0, i) for i in range(1, 5)] + [(1, 5)])
+        g2 = Graph.from_edges([(10, i) for i in range(11, 15)] + [(11, 15)])
         validate = degree_ratio_validator(max_ratio=2.0)
         links = {0: 10, 1: 11, 5: 10}
         out = validate(g1, g2, {**links}, {0: 10})

@@ -38,9 +38,7 @@ def workload():
 
 class TestProtocolConformance:
     @pytest.mark.parametrize("name", matcher_names())
-    def test_run_returns_matching_result_extending_seeds(
-        self, name, workload
-    ):
+    def test_run_returns_matching_result_extending_seeds(self, name, workload):
         pair, seeds = workload
         matcher = get_matcher(name)
         result = matcher.run(pair.g1, pair.g2, seeds)
@@ -56,9 +54,7 @@ class TestProtocolConformance:
     def test_progress_callback_receives_events(self, name, workload):
         pair, seeds = workload
         events = []
-        get_matcher(name).run(
-            pair.g1, pair.g2, seeds, progress=events.append
-        )
+        get_matcher(name).run(pair.g1, pair.g2, seeds, progress=events.append)
         assert events, f"{name} emitted no progress events"
         for event in events:
             assert isinstance(event, ProgressEvent)
@@ -116,9 +112,7 @@ class TestRegistryLookup:
                 """
 
                 def run(self, g1, g2, seeds, *, progress=None):
-                    return MatchingResult(
-                        links=dict(seeds), seeds=dict(seeds)
-                    )
+                    return MatchingResult(links=dict(seeds), seeds=dict(seeds))
 
             assert "test-only-matcher" in matcher_names()
             assert (
@@ -144,9 +138,7 @@ class TestRegistryLookup:
         from repro.errors import MatcherConfigError
 
         with pytest.raises(MatcherConfigError):
-            UserMatching.from_params(
-                config=MatcherConfig(), threshold=3
-            )
+            UserMatching.from_params(config=MatcherConfig(), threshold=3)
 
 
 class TestCompareMatchers:

@@ -57,9 +57,7 @@ class TestCountSimilarityWitnesses:
     def test_min_degree_filter(self):
         g1, g2 = two_triangles()
         links = {2: 2}
-        scores, _ = count_similarity_witnesses(
-            g1, g2, links, min_degree=2
-        )
+        scores, _ = count_similarity_witnesses(g1, g2, links, min_degree=2)
         # node 3 has degree 1: filtered out on both sides.
         assert 3 not in scores
         for row in scores.values():

@@ -34,9 +34,7 @@ class TestPlanBalancedShards:
         """One hub gets its own shard; the tail spreads over the others."""
         weights = np.array([1000] + [1] * 30, dtype=np.int64)
         plan = plan_balanced_shards(weights, 4)
-        hub_shard = next(
-            s for s in plan.shards if 0 in s.tolist()
-        )
+        hub_shard = next(s for s in plan.shards if 0 in s.tolist())
         assert hub_shard.tolist() == [0]
         # The 30 unit items land on the other three shards, balanced.
         other_loads = sorted(
@@ -51,9 +49,7 @@ class TestPlanBalancedShards:
         weights = rng.integers(1, 100, size=200)
         a = plan_balanced_shards(weights, 5)
         b = plan_balanced_shards(weights, 5)
-        assert all(
-            (x == y).all() for x, y in zip(a.shards, b.shards)
-        )
+        assert all((x == y).all() for x, y in zip(a.shards, b.shards))
         assert a.loads == b.loads
 
     def test_near_optimal_balance(self):
@@ -193,9 +189,7 @@ class TestPlanMemoryBlocks:
         a = plan_memory_blocks(weights, 200)
         b = plan_memory_blocks(weights, 200)
         assert a.loads == b.loads
-        assert all(
-            (x == y).all() for x, y in zip(a.blocks, b.blocks)
-        )
+        assert all((x == y).all() for x, y in zip(a.blocks, b.blocks))
 
     def test_empty_workload(self):
         from repro.core.shards import plan_memory_blocks
@@ -219,9 +213,7 @@ class TestPlanWitnessBlocks:
         )
 
         assert witness_block_budget(None) is None
-        assert witness_block_budget(1) == (
-            1024 * 1024
-        ) // WITNESS_PAIR_BYTES
+        assert witness_block_budget(1) == (1024 * 1024) // WITNESS_PAIR_BYTES
         # Degenerate budgets still plan at least one pair per block.
         assert witness_block_budget(1) >= 1
 
@@ -237,11 +229,7 @@ class TestPlanWitnessBlocks:
         link_l, link_r = index.intern_links(seeds)
         # Real budgets dwarf a test workload; inflate the per-pair cost
         # so a 1 MiB budget forces a genuine multi-block plan.
-        with mock.patch.object(
-            shards, "WITNESS_PAIR_BYTES", 256 * 1024
-        ):
+        with mock.patch.object(shards, "WITNESS_PAIR_BYTES", 256 * 1024):
             plan = shards.plan_witness_blocks(index, link_l, link_r, 1)
         assert plan.num_blocks > 1
-        assert np.concatenate(plan.blocks).tolist() == list(
-            range(len(link_l))
-        )
+        assert np.concatenate(plan.blocks).tolist() == list(range(len(link_l)))

@@ -36,12 +36,8 @@ class TestDblp:
         assert dblp.num_events >= 12 * 150
 
     def test_reproducible(self):
-        a = synthetic_dblp(
-            n_authors=200, years=4, papers_per_year=30, seed=5
-        )
-        b = synthetic_dblp(
-            n_authors=200, years=4, papers_per_year=30, seed=5
-        )
+        a = synthetic_dblp(n_authors=200, years=4, papers_per_year=30, seed=5)
+        b = synthetic_dblp(n_authors=200, years=4, papers_per_year=30, seed=5)
         assert sorted(a.events()) == sorted(b.events())
 
     def test_heavy_tailed_productivity(self, dblp):

@@ -27,11 +27,7 @@ class TestWikipedia:
         assert wiki.pair.g1.num_nodes > wiki.pair.g2.num_nodes
 
     def test_interlanguage_links_incomplete(self, wiki):
-        assert (
-            0
-            < len(wiki.interlanguage_links)
-            < len(wiki.pair.identity)
-        )
+        assert (0 < len(wiki.interlanguage_links) < len(wiki.pair.identity))
 
     def test_interlanguage_links_have_errors(self, wiki):
         wrong = sum(

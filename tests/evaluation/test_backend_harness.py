@@ -10,9 +10,7 @@ from repro.evaluation.harness import compare_matchers, run_trial
 
 
 class TestReconcilerCustomStages:
-    def test_custom_selector_gets_dict_scores_on_csr(
-        self, pa_pair, pa_seeds
-    ):
+    def test_custom_selector_gets_dict_scores_on_csr(self, pa_pair, pa_seeds):
         """A custom selector sees the documented dict table shape."""
 
         from repro.core.policy import select_mutual_best
@@ -63,9 +61,7 @@ class TestRunTrialBackend:
     def test_backend_overrides_config(self, pa_pair, pa_seeds):
         config = MatcherConfig(threshold=3, iterations=2)
         ref = run_trial(pa_pair, pa_seeds, config=config)
-        csr = run_trial(
-            pa_pair, pa_seeds, config=config, backend="csr"
-        )
+        csr = run_trial(pa_pair, pa_seeds, config=config, backend="csr")
         assert csr.result.links == ref.result.links
 
     def test_backend_forwarded_to_named_matcher(self, pa_pair, pa_seeds):
@@ -98,9 +94,7 @@ class TestCompareMatchersBackend:
             assert "backend" in trial.row()
 
     def test_no_backend_column_by_default(self, pa_pair, pa_seeds):
-        trials = compare_matchers(
-            pa_pair, pa_seeds, ["degree-sequence"]
-        )
+        trials = compare_matchers(pa_pair, pa_seeds, ["degree-sequence"])
         assert "backend" not in trials[0].params
 
     def test_instances_not_stamped_with_backend(self, pa_pair, pa_seeds):
@@ -116,9 +110,7 @@ class TestCompareMatchersBackend:
         assert trials[1].params["backend"] == "csr"
         assert trials[0].result.links == trials[1].result.links
 
-    def test_backends_agree_across_registry_names(
-        self, pa_pair, pa_seeds
-    ):
+    def test_backends_agree_across_registry_names(self, pa_pair, pa_seeds):
         names = ["user-matching", "common-neighbors", "degree-sequence"]
         ref = compare_matchers(pa_pair, pa_seeds, names, backend="dict")
         csr = compare_matchers(pa_pair, pa_seeds, names, backend="csr")

@@ -49,9 +49,7 @@ class TestSeriesChart:
             {"seed_prob": 0.05, "threshold": 1, "recall": 0.9},
             {"seed_prob": 0.01, "threshold": 2, "recall": 0.4},
         ]
-        text = series_chart(
-            rows, "seed_prob", "recall", group_key="threshold"
-        )
+        text = series_chart(rows, "seed_prob", "recall", group_key="threshold")
         assert "threshold = 1" in text
         assert "threshold = 2" in text
         assert "0.900" in text

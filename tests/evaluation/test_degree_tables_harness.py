@@ -20,17 +20,11 @@ class TestDegreeStratified:
         # node 0: degree 3 hub; nodes 1-3: degree >= 1
         g1 = Graph.from_edges([(0, 1), (0, 2), (0, 3)])
         g2 = Graph.from_edges([(0, 1), (0, 2), (0, 3)])
-        return GraphPair(
-            g1=g1, g2=g2, identity={i: i for i in range(4)}
-        )
+        return GraphPair(g1=g1, g2=g2, identity={i: i for i in range(4)})
 
     def test_bucket_assignment(self, pair):
-        result = MatchingResult(
-            links={0: 0, 1: 1, 2: 3}, seeds={}, phases=[]
-        )
-        buckets = degree_stratified_report(
-            result, pair, bucket_edges=(1, 2)
-        )
+        result = MatchingResult(links={0: 0, 1: 1, 2: 3}, seeds={}, phases=[])
+        buckets = degree_stratified_report(result, pair, bucket_edges=(1, 2))
         low, high = buckets
         assert low.lo == 1 and low.hi == 2
         assert high.lo == 2 and high.hi is None
@@ -42,9 +36,7 @@ class TestDegreeStratified:
 
     def test_recall_precision_per_bucket(self, pair):
         result = MatchingResult(links={1: 1}, seeds={}, phases=[])
-        buckets = degree_stratified_report(
-            result, pair, bucket_edges=(1, 2)
-        )
+        buckets = degree_stratified_report(result, pair, bucket_edges=(1, 2))
         assert buckets[0].recall == pytest.approx(1 / 3)
         assert buckets[0].precision == 1.0
         assert buckets[1].recall == 0.0
@@ -124,7 +116,5 @@ class TestHarness:
     def test_run_trial_with_custom_matcher(self, pa_pair, pa_seeds):
         from repro.baselines.degree_matcher import DegreeSequenceMatcher
 
-        trial = run_trial(
-            pa_pair, pa_seeds, matcher=DegreeSequenceMatcher()
-        )
+        trial = run_trial(pa_pair, pa_seeds, matcher=DegreeSequenceMatcher())
         assert trial.report.good >= 0

@@ -70,9 +70,7 @@ class TestRunTrialMemory:
     def test_budget_knob_threaded_to_default_matcher(self, workload):
         pair, seeds = workload
         ref = run_trial(pair, seeds, backend="csr")
-        budgeted = run_trial(
-            pair, seeds, backend="csr", memory_budget_mb=64
-        )
+        budgeted = run_trial(pair, seeds, backend="csr", memory_budget_mb=64)
         assert budgeted.result.links == ref.result.links
 
     def test_budget_knob_threaded_to_named_matcher(self, workload):

@@ -23,9 +23,7 @@ def result_with(links, seeds):
 
 class TestEvaluate:
     def test_all_correct(self, simple_pair):
-        result = result_with(
-            {0: "a", 1: "b", 2: "c"}, seeds={0: "a"}
-        )
+        result = result_with({0: "a", 1: "b", 2: "c"}, seeds={0: "a"})
         report = evaluate(result, simple_pair)
         assert report.good == 3
         assert report.bad == 0
@@ -61,9 +59,7 @@ class TestEvaluate:
 
     def test_empty_identity_raises(self):
         pair_graphs = Graph.from_edges([(0, 1)])
-        pair = GraphPair(
-            g1=pair_graphs, g2=pair_graphs.copy(), identity={}
-        )
+        pair = GraphPair(g1=pair_graphs, g2=pair_graphs.copy(), identity={})
         with pytest.raises(EvaluationError):
             evaluate(result_with({}, {}), pair)
 

@@ -82,17 +82,13 @@ class TestStreamingTrial:
         assert trial.delta_outcomes[0].mode == "cold"
         from repro.registry import get_matcher
 
-        cold = get_matcher("common-neighbors").run(
-            pair.g1, pair.g2, seeds
-        )
+        cold = get_matcher("common-neighbors").run(pair.g1, pair.g2, seeds)
         assert trial.result.links == cold.links
         assert "dirty_links" not in trial.row()
 
     def test_plain_trial_has_no_streaming_columns(self, streamed):
         _pair, base_pair, seeds, _deltas = streamed
-        trial = run_trial(
-            base_pair, seeds, config=MatcherConfig(threshold=2)
-        )
+        trial = run_trial(base_pair, seeds, config=MatcherConfig(threshold=2))
         assert trial.delta_outcomes is None
         assert "deltas" not in trial.row()
 

@@ -137,12 +137,8 @@ class TestTable5:
 
 class TestFig4:
     def test_recall_climbs_with_degree(self):
-        result = fig4_degree.run(
-            dataset="gowalla", threshold=2, seed=1
-        )
-        populated = [
-            r for r in result.rows if r["identifiable"] >= 20
-        ]
+        result = fig4_degree.run(dataset="gowalla", threshold=2, seed=1)
+        populated = [r for r in result.rows if r["identifiable"] >= 20]
         assert populated[-1]["recall"] >= populated[0]["recall"]
 
     def test_unknown_dataset(self):
@@ -160,15 +156,11 @@ class TestAttack:
         assert algos == {"user-matching", "common-neighbors"}
 
     def test_user_matching_high_precision_under_attack(self, result):
-        um = next(
-            r for r in result.rows if r["algorithm"] == "user-matching"
-        )
+        um = next(r for r in result.rows if r["algorithm"] == "user-matching")
         assert um["precision"] > 0.9
 
     def test_baseline_lower_recall(self, result):
-        um = next(
-            r for r in result.rows if r["algorithm"] == "user-matching"
-        )
+        um = next(r for r in result.rows if r["algorithm"] == "user-matching")
         cn = next(
             r
             for r in result.rows
@@ -181,9 +173,7 @@ class TestAblation:
     def test_bucketing_rows(self):
         result = ablation.run_bucketing(n=1200, seed=1)
         assert len(result.rows) == 4
-        forced = [
-            r for r in result.rows if r["tie_policy"] == "lowest_id"
-        ]
+        forced = [r for r in result.rows if r["tie_policy"] == "lowest_id"]
         on = next(r for r in forced if r["bucketing"] == "on")
         off = next(r for r in forced if r["bucketing"] == "off")
         assert off["bad"] >= on["bad"]
@@ -203,9 +193,7 @@ class TestAblation:
         }
 
     def test_wikipedia_ablation(self):
-        result = ablation.run_simple_on_wikipedia(
-            n_concepts=2000, seed=1
-        )
+        result = ablation.run_simple_on_wikipedia(n_concepts=2000, seed=1)
         assert len(result.rows) == 3
 
 

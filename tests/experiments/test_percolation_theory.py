@@ -8,9 +8,7 @@ from repro.experiments import percolation, theory_validation
 class TestPercolation:
     @pytest.fixture(scope="class")
     def result(self):
-        return percolation.run(
-            n=2000, m=12, seed_counts=(5, 60, 150), seed=1
-        )
+        return percolation.run(n=2000, m=12, seed_counts=(5, 60, 150), seed=1)
 
     def test_recall_monotone_in_seed_count(self, result):
         recalls = [r["recall"] for r in result.rows]
@@ -43,9 +41,7 @@ class TestTheoryValidation:
         for row in result.rows:
             measured = row["measured_mean"]
             predicted = row["predicted_mean"]
-            assert measured == pytest.approx(
-                predicted, rel=0.35, abs=0.2
-            )
+            assert measured == pytest.approx(predicted, rel=0.35, abs=0.2)
 
     def test_gap_between_correct_and_wrong(self, result):
         correct, wrong = result.rows

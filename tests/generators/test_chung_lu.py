@@ -34,9 +34,7 @@ class TestPowerLawWeights:
             power_law_weights(10, min_weight=0.0)
 
     def test_reproducible(self):
-        assert power_law_weights(50, seed=9) == power_law_weights(
-            50, seed=9
-        )
+        assert power_law_weights(50, seed=9) == power_law_weights(50, seed=9)
 
 
 class TestChungLu:

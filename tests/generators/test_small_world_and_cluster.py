@@ -59,9 +59,7 @@ class TestPowerlawCluster:
 
     def test_m_per_node_low_degree_mass(self):
         m_list = [2] * 500
-        g = powerlaw_cluster_graph(
-            500, 10, 0.0, seed=3, m_per_node=m_list
-        )
+        g = powerlaw_cluster_graph(500, 10, 0.0, seed=3, m_per_node=m_list)
         assert average_degree(g) < 8
 
     def test_m_per_node_too_short_raises(self):
@@ -70,9 +68,7 @@ class TestPowerlawCluster:
 
     def test_m_per_node_heterogeneous(self):
         m_list = [1] * 250 + [20] * 250
-        g = powerlaw_cluster_graph(
-            500, 20, 0.0, seed=4, m_per_node=m_list
-        )
+        g = powerlaw_cluster_graph(500, 20, 0.0, seed=4, m_per_node=m_list)
         late_small = [g.degree(u) for u in range(100, 250)]
         late_big = [g.degree(u) for u in range(350, 500)]
         assert sum(late_big) / len(late_big) > 3 * (

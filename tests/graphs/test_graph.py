@@ -139,9 +139,7 @@ class TestIteration:
         assert sum(1 for _ in small_pa.edges()) == small_pa.num_edges
 
     def test_handshake_lemma(self, small_pa):
-        total_degree = sum(
-            small_pa.degree(n) for n in small_pa.nodes()
-        )
+        total_degree = sum(small_pa.degree(n) for n in small_pa.nodes())
         assert total_degree == 2 * small_pa.num_edges
 
     def test_contains_and_len(self, triangle):

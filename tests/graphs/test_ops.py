@@ -44,9 +44,7 @@ class TestEdgeSubgraph:
         assert sub.has_edge(2, 3)
 
     def test_drop_isolated(self, path4):
-        sub = edge_subgraph(
-            path4, lambda u, v: u == 0, keep_all_nodes=False
-        )
+        sub = edge_subgraph(path4, lambda u, v: u == 0, keep_all_nodes=False)
         assert sorted(sub.nodes()) == [0, 1]
 
 

@@ -76,9 +76,7 @@ class TestArraysAgreeWithGraph:
             assert dense_nbrs == pa_pair.g1.neighbors(node)
 
     def test_exponents_match_degrees(self, index):
-        for deg, exp in zip(
-            index.deg1.tolist(), index.exp1.tolist()
-        ):
+        for deg, exp in zip(index.deg1.tolist(), index.exp1.tolist()):
             assert exp == deg.bit_length() - 1
 
     def test_stats_parity(self, index, pa_pair):
@@ -89,9 +87,7 @@ class TestArraysAgreeWithGraph:
         hist = degree_histogram(pa_pair.g1)
         values, counts = np.unique(index.deg1, return_counts=True)
         assert dict(zip(values.tolist(), counts.tolist())) == hist
-        assert index.deg1.mean() == pytest.approx(
-            average_degree(pa_pair.g1)
-        )
+        assert index.deg1.mean() == pytest.approx(average_degree(pa_pair.g1))
 
     def test_eligibility_masks(self, index):
         for floor in (1, 2, 4, 8):

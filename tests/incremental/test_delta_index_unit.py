@@ -34,16 +34,12 @@ def assert_matches_fresh(index: DeltaIndex):
         n = index.n1 if side == 1 else index.n2
         dense_of = index.dense1 if side == 1 else index.dense2
         for d in range(n):
-            expected = {
-                dense_of(v) for v in graph.neighbors(node_of(d))
-            }
+            expected = {dense_of(v) for v in graph.neighbors(node_of(d))}
             assert set(nbrs(d).tolist()) == expected
     # Degrees and canonical ranks stay consistent.
     for d in range(index.n1):
         assert index.deg1[d] == index.g1.degree(index.node1(d))
-    rank_order = sorted(
-        range(index.n1), key=lambda d: index.rank1[d]
-    )
+    rank_order = sorted(range(index.n1), key=lambda d: index.rank1[d])
     from repro.core.ordering import node_sort_key
 
     assert [index.node1(d) for d in rank_order] == sorted(
@@ -91,13 +87,9 @@ class TestDeltaIndex:
         index = DeltaIndex(g1, g2)
         d1 = index.dense1(1)
         before = set(index.neighbors1(d1).tolist())
-        applied = index.apply_delta(
-            GraphDelta.build(added_edges1=[(1, 3)])
-        )
+        applied = index.apply_delta(GraphDelta.build(added_edges1=[(1, 3)]))
         assert set(applied.old_neighbors1[d1].tolist()) == before
-        assert set(index.neighbors1(d1).tolist()) == before | {
-            index.dense1(3)
-        }
+        assert set(index.neighbors1(d1).tolist()) == before | {index.dense1(3)}
 
     def test_new_nodes_appended_not_reinterned(self):
         g1, g2 = small_pair()
@@ -108,9 +100,7 @@ class TestDeltaIndex:
         )
         # Existing dense ids are untouched; new nodes go at the end.
         assert [index.node1(d) for d in range(len(old_ids))] == old_ids
-        appended = {
-            index.node1(d) for d in range(len(old_ids), index.n1)
-        }
+        appended = {index.node1(d) for d in range(len(old_ids), index.n1)}
         assert appended == {"aa", "zz"}
         # Ranks still reflect the canonical (sorted) order.
         assert_matches_fresh(index)
@@ -156,22 +146,16 @@ class TestDeltaIndex:
                 else [],
             )
         )
-        targets = np.asarray(
-            [0, 5, index.dense1("x"), 7, 0], dtype=np.int64
-        )
+        targets = np.asarray([0, 5, index.dense1("x"), 7, 0], dtype=np.int64)
         vals, seg = index.gather_neighbors1(targets)
         for pos in range(len(targets)):
             got = sorted(vals[seg == pos].tolist())
-            want = sorted(
-                index.neighbors1(int(targets[pos])).tolist()
-            )
+            want = sorted(index.neighbors1(int(targets[pos])).tolist())
             assert got == want
 
     def test_maybe_compact_threshold(self):
         g1, g2 = small_pair()
-        index = DeltaIndex(
-            g1, g2, compact_ratio=0.0, compact_min_edges=1
-        )
+        index = DeltaIndex(g1, g2, compact_ratio=0.0, compact_min_edges=1)
         index.apply_delta(
             GraphDelta.build(added_edges1=[(1, 3)], added_edges2=[(0, 2)])
         )

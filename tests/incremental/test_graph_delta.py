@@ -99,9 +99,7 @@ class TestSplitEdgeStream:
         assert replay2 == edges2
 
     def test_seeds_in_first_batch_by_default(self):
-        deltas = split_edge_stream(
-            [(0, 1)], [], 2, added_seeds={5: 6}
-        )
+        deltas = split_edge_stream([(0, 1)], [], 2, added_seeds={5: 6})
         assert deltas[0].added_seeds == ((5, 6),)
         assert deltas[1].added_seeds == ()
 
@@ -168,9 +166,7 @@ class TestAddedNodes:
 
     def test_readding_existing_node_is_noop(self):
         g1, g2 = square(), square()
-        apply_delta_to_graphs(
-            g1, g2, GraphDelta.build(added_nodes1=[0])
-        )
+        apply_delta_to_graphs(g1, g2, GraphDelta.build(added_nodes1=[0]))
         assert g1.degree(0) == 2  # untouched
 
     def test_delta_between_emits_isolated_new_nodes(self):
@@ -178,9 +174,7 @@ class TestAddedNodes:
         new1, new2 = square(), square()
         new1.add_node("iso1")
         new2.add_node("iso2")
-        delta = delta_between(
-            old1, old2, {}, new1, new2, {"iso1": "iso2"}
-        )
+        delta = delta_between(old1, old2, {}, new1, new2, {"iso1": "iso2"})
         assert "iso1" in delta.added_nodes1
         assert "iso2" in delta.added_nodes2
         apply_delta_to_graphs(old1, old2, delta)

@@ -100,9 +100,7 @@ class TestWarmEquivalence:
         # Remove a big batch of edges; the result must track the cold
         # run even when links disappear.
         victims = sorted(pair.g1.edges())[:20]
-        outcome = engine.apply(
-            GraphDelta.build(removed_edges1=victims)
-        )
+        outcome = engine.apply(GraphDelta.build(removed_edges1=victims))
         cold = UserMatching(
             MatcherConfig(threshold=2, backend="csr")
         ).run(pair.g1, pair.g2, seeds)
@@ -132,19 +130,13 @@ class TestWarmEquivalence:
         engine = IncrementalReconciler()
         engine.start(pair.g1, pair.g2, seeds)
         taken = next(iter(seeds.values()))
-        fresh_left = next(
-            v for v in pair.g1.nodes() if v not in seeds
-        )
+        fresh_left = next(v for v in pair.g1.nodes() if v not in seeds)
         with pytest.raises(ReproError):
-            engine.apply(
-                GraphDelta.build(added_seeds={fresh_left: taken})
-            )
+            engine.apply(GraphDelta.build(added_seeds={fresh_left: taken}))
 
 
 class TestColdFallback:
-    @pytest.mark.parametrize(
-        "name", ["common-neighbors", "degree-sequence"]
-    )
+    @pytest.mark.parametrize("name", ["common-neighbors", "degree-sequence"])
     def test_black_box_matcher_streams_exactly(self, name):
         pair, seeds, base1, base2, s1, s2 = workload(seed=11)
         matcher = get_matcher(name)
@@ -160,9 +152,7 @@ class TestColdFallback:
 
     def test_fallback_checkpoint_refused(self, tmp_path):
         pair, seeds, *_rest = workload(seed=13)
-        engine = IncrementalReconciler(
-            matcher=get_matcher("common-neighbors")
-        )
+        engine = IncrementalReconciler(matcher=get_matcher("common-neighbors"))
         engine.start(pair.g1, pair.g2, seeds)
         with pytest.raises(ReproError):
             engine.save_checkpoint(tmp_path / "x.npz")
@@ -186,9 +176,7 @@ class TestCheckpointing:
         resumed = IncrementalReconciler.resume(path)
         assert resumed.result.links == engine.result.links
         assert resumed.checkpoint_extra == {"k": 1}
-        tail = GraphDelta.build(
-            added_edges1=s1[half:], added_edges2=s2[half:]
-        )
+        tail = GraphDelta.build(added_edges1=s1[half:], added_edges2=s2[half:])
         engine.apply(tail)
         resumed.apply(tail)
         assert resumed.result.links == engine.result.links
@@ -266,9 +254,7 @@ class TestStatsAndRepr:
         pair, seeds, *_rest = workload(seed=31)
         engine = IncrementalReconciler(MatcherConfig(threshold=2))
         engine.start(pair.g1, pair.g2, seeds)
-        exported = engine.index.export_links(
-            engine._link_l, engine._link_r
-        )
+        exported = engine.index.export_links(engine._link_l, engine._link_r)
         assert exported == engine.result.links
         assert len(np.unique(engine._link_l)) == len(engine._link_l)
 
@@ -295,9 +281,7 @@ class TestReviewRegressions:
         ).run(g1b, g2b, seeds2)
         assert warm.links == cold.links
 
-    def test_progress_callback_fires_with_checkpoint_path(
-        self, tmp_path
-    ):
+    def test_progress_callback_fires_with_checkpoint_path(self, tmp_path):
         pair, seeds, *_rest = workload(seed=41)
         events = []
         cfg = MatcherConfig(
@@ -328,9 +312,7 @@ class TestReviewRegressions:
         assert (index.rank2 == rank2).all()
         assert (index.unrank1 == unrank1).all()
 
-    def test_noop_warm_resume_keeps_phases_and_progress(
-        self, tmp_path
-    ):
+    def test_noop_warm_resume_keeps_phases_and_progress(self, tmp_path):
         """Re-running identical inputs through warm_start must still
         honor the phases/progress contract of run()."""
         pair, seeds, *_rest = workload(seed=47)
@@ -341,9 +323,7 @@ class TestReviewRegressions:
         matcher = UserMatching(cfg)
         first = matcher.run(pair.g1, pair.g2, seeds)
         events = []
-        second = matcher.run(
-            pair.g1, pair.g2, seeds, progress=events.append
-        )
+        second = matcher.run(pair.g1, pair.g2, seeds, progress=events.append)
         assert second.links == first.links
         assert second.phases == first.phases
         assert len(second.phases) > 0

@@ -17,9 +17,7 @@ class TestBuildStreamWorkload:
     def test_replaying_deltas_restores_the_full_copies(self):
         from repro.incremental.delta import apply_delta_to_graphs
 
-        pair, _seeds, deltas = build_stream_workload(
-            n=300, batches=4, seed=6
-        )
+        pair, _seeds, deltas = build_stream_workload(n=300, batches=4, seed=6)
         full, _s, _d = build_stream_workload(
             n=300, batches=4, seed=6, stream_fraction=0.2
         )
@@ -39,9 +37,7 @@ class TestBuildStreamWorkload:
 
 class TestRunStream:
     def test_rows_and_cold_comparison(self):
-        result = run_stream(
-            n=400, batches=2, seed=3, compare_cold=True
-        )
+        result = run_stream(n=400, batches=2, seed=3, compare_cold=True)
         assert len(result.rows) == 3  # cold start + 2 batches
         assert result.rows[0]["event"] == "cold start"
         for row in result.rows[1:]:
@@ -51,9 +47,7 @@ class TestRunStream:
 
     def test_checkpoint_resume_continues(self, tmp_path):
         ck = tmp_path / "stream.npz"
-        first = run_stream(
-            n=400, batches=3, seed=4, checkpoint_path=str(ck)
-        )
+        first = run_stream(n=400, batches=3, seed=4, checkpoint_path=str(ck))
         assert ck.exists()
         resumed = run_stream(
             n=400,
@@ -79,9 +73,7 @@ class TestRunStream:
         from repro.incremental.engine import IncrementalReconciler
         from repro.core.config import MatcherConfig
 
-        pair, seeds, deltas = build_stream_workload(
-            n=400, batches=3, seed=8
-        )
+        pair, seeds, deltas = build_stream_workload(n=400, batches=3, seed=8)
         engine = IncrementalReconciler(
             MatcherConfig(threshold=2, iterations=1)
         )
@@ -95,14 +87,10 @@ class TestRunStream:
             checkpoint_path=str(ck),
             warm_start=True,
         )
-        batch_rows = [
-            r for r in resumed.rows if r["event"] == "delta"
-        ]
+        batch_rows = [r for r in resumed.rows if r["event"] == "delta"]
         assert [r["batch"] for r in batch_rows] == [2, 3]
         full = run_stream(n=400, batches=3, seed=8)
-        assert (
-            batch_rows[-1]["links"] == full.rows[-1]["links"]
-        )
+        assert (batch_rows[-1]["links"] == full.rows[-1]["links"])
 
 
 class TestResumeWorkloadValidation:

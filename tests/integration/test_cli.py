@@ -97,13 +97,9 @@ class TestMatcherFlag:
                 seed=seed,
             )
 
-        monkeypatch.setitem(
-            EXPERIMENTS, "ablation-wikipedia", (tiny, "tiny")
-        )
+        monkeypatch.setitem(EXPERIMENTS, "ablation-wikipedia", (tiny, "tiny"))
 
-    def test_matcher_resolution_produces_table(
-        self, capsys, monkeypatch
-    ):
+    def test_matcher_resolution_produces_table(self, capsys, monkeypatch):
         self._tiny_wikipedia(monkeypatch)
         assert (
             main(
@@ -123,16 +119,11 @@ class TestMatcherFlag:
 
     def test_unknown_matcher_rejected(self, capsys, monkeypatch):
         self._tiny_wikipedia(monkeypatch)
-        assert (
-            main(["run", "ablation-wikipedia", "--matcher", "bogus"])
-            == 2
-        )
+        assert (main(["run", "ablation-wikipedia", "--matcher", "bogus"]) == 2)
         err = capsys.readouterr().err
         assert "unknown matcher" in err
 
-    def test_matcher_on_unsupported_experiment(
-        self, capsys, monkeypatch
-    ):
+    def test_matcher_on_unsupported_experiment(self, capsys, monkeypatch):
         from repro.experiments import table2_rmat
 
         monkeypatch.setitem(
@@ -143,9 +134,6 @@ class TestMatcherFlag:
                 "tiny",
             ),
         )
-        assert (
-            main(["run", "table2", "--matcher", "common-neighbors"])
-            == 2
-        )
+        assert (main(["run", "table2", "--matcher", "common-neighbors"]) == 2)
         err = capsys.readouterr().err
         assert "not supported" in err

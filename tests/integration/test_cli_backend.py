@@ -26,9 +26,7 @@ class TestRunBackend:
         out = capsys.readouterr().out
         assert "backend=csr" in out
 
-    def test_backend_rejected_for_unsupported_experiment(
-        self, capsys
-    ):
+    def test_backend_rejected_for_unsupported_experiment(self, capsys):
         assert main(["run", "percolation", "--backend", "csr"]) == 2
         err = capsys.readouterr().err
         assert "--backend is not supported" in err

@@ -40,9 +40,7 @@ class TestCliChartFlag:
     def test_run_with_chart(self, capsys, monkeypatch):
         def tiny(seed=0):
             result = ExperimentResult(name="tiny", description="d")
-            result.rows = [
-                {"seed_prob": 0.1, "threshold": 2, "recall": 0.5}
-            ]
+            result.rows = [{"seed_prob": 0.1, "threshold": 2, "recall": 0.5}]
             return result
 
         monkeypatch.setitem(EXPERIMENTS, "tiny", (tiny, "tiny"))

@@ -49,9 +49,7 @@ class TestRunMemoryBudget:
         assert "peak_mb" in capsys.readouterr().out
 
     def test_budget_rejected_for_unsupported_experiment(self, capsys):
-        assert (
-            main(["run", "percolation", "--memory-budget-mb", "64"]) == 2
-        )
+        assert (main(["run", "percolation", "--memory-budget-mb", "64"]) == 2)
         err = capsys.readouterr().err
         assert "--memory-budget-mb is not supported" in err
 
@@ -75,9 +73,7 @@ class TestRunMemoryBudget:
         assert row["nodes"] > 0
         assert "peak_rss_mb" in row  # POSIX: resource is available
 
-    @pytest.mark.parametrize(
-        "flag", ["--memory-budget-mb", "--track-memory"]
-    )
+    @pytest.mark.parametrize("flag", ["--memory-budget-mb", "--track-memory"])
     def test_help_mentions_flag(self, capsys, flag):
         with pytest.raises(SystemExit):
             main(["run", "--help"])
@@ -97,9 +93,7 @@ class TestRunAllExcludesMillionRung:
 
                 return ExperimentResult(name=_name, description=desc)
 
-            monkeypatch.setitem(
-                cli.EXPERIMENTS, exp_name, (spy, desc)
-            )
+            monkeypatch.setitem(cli.EXPERIMENTS, exp_name, (spy, desc))
         assert cli.main(["run", "all"]) == 0
         assert "table2-million" not in ran
         assert "table2" in ran

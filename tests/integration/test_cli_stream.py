@@ -77,12 +77,8 @@ class TestRunResumeFlags:
         assert main(["run", "fig2", "--resume"]) == 2
         assert "--checkpoint" in capsys.readouterr().err
 
-    def test_run_checkpoint_unsupported_experiment_rejected(
-        self, capsys
-    ):
-        assert (
-            main(["run", "percolation", "--checkpoint", "x.npz"]) == 2
-        )
+    def test_run_checkpoint_unsupported_experiment_rejected(self, capsys):
+        assert (main(["run", "percolation", "--checkpoint", "x.npz"]) == 2)
         assert "not supported" in capsys.readouterr().err
 
     def test_run_fig2_checkpoint_then_resume(
@@ -91,9 +87,7 @@ class TestRunResumeFlags:
         from repro.cli import EXPERIMENTS
         from repro.experiments import fig2_pa
 
-        def tiny_fig2(
-            seed=0, checkpoint_path=None, warm_start=False
-        ):
+        def tiny_fig2(seed=0, checkpoint_path=None, warm_start=False):
             return fig2_pa.run(
                 n=260,
                 m=3,
@@ -105,16 +99,12 @@ class TestRunResumeFlags:
                 warm_start=warm_start,
             )
 
-        monkeypatch.setitem(
-            EXPERIMENTS, "fig2", (tiny_fig2, "tiny")
-        )
+        monkeypatch.setitem(EXPERIMENTS, "fig2", (tiny_fig2, "tiny"))
         ck = str(tmp_path / "fig2.npz")
         assert main(["run", "fig2", "--checkpoint", ck]) == 0
         first = capsys.readouterr().out
         assert (tmp_path / "fig2-p0.2-t2.npz").exists()
-        assert (
-            main(["run", "fig2", "--checkpoint", ck, "--resume"]) == 0
-        )
+        assert (main(["run", "fig2", "--checkpoint", ck, "--resume"]) == 0)
         second = capsys.readouterr().out
 
         def quality(out):

@@ -42,9 +42,7 @@ class TestPaperPipelines:
         g = preferential_attachment_graph(1500, 10, seed=4)
         pair = independent_copies(g, 0.6, seed=5)
         seeds = sample_seeds(pair, 0.08, seed=6)
-        result = reconcile(
-            pair.g1, pair.g2, seeds, threshold=2, iterations=2
-        )
+        result = reconcile(pair.g1, pair.g2, seeds, threshold=2, iterations=2)
         report = evaluate(result, pair)
         assert report.precision > 0.9
         assert report.recall > 0.6
@@ -83,9 +81,7 @@ class TestPaperPipelines:
             for v1, v2 in sample_seeds(pair, 0.1, seed=15).items()
             if not isinstance(v1, tuple)
         }
-        result = reconcile(
-            pair.g1, pair.g2, seeds, threshold=2, iterations=2
-        )
+        result = reconcile(pair.g1, pair.g2, seeds, threshold=2, iterations=2)
         report = evaluate(result, pair)
         # Under attack, precision holds up (twins count as correct).
         assert report.precision > 0.9

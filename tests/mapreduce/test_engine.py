@@ -29,9 +29,7 @@ class TestEngine:
         results = []
         for partitions in (1, 2, 7, 32):
             engine = LocalMapReduce(partitions=partitions)
-            results.append(
-                sorted(engine.run(word_count_job(), records))
-            )
+            results.append(sorted(engine.run(word_count_job(), records)))
         assert all(r == results[0] for r in results)
 
     def test_combiner_shrinks_shuffle(self):

@@ -54,9 +54,7 @@ class TestEquivalence:
     def test_links_identical(self, workloads, config):
         for pair, seeds in workloads:
             seq = UserMatching(config).run(pair.g1, pair.g2, seeds)
-            mr = MapReduceUserMatching(config).run(
-                pair.g1, pair.g2, seeds
-            )
+            mr = MapReduceUserMatching(config).run(pair.g1, pair.g2, seeds)
             assert seq.links == mr.links
 
     def test_phase_structure_matches(self, workloads):

@@ -139,9 +139,7 @@ class TestBaselineProperties:
             ref = get_matcher(name, backend="dict").run(
                 pair.g1, pair.g2, seeds
             )
-            csr = get_matcher(name, backend="csr").run(
-                pair.g1, pair.g2, seeds
-            )
+            csr = get_matcher(name, backend="csr").run(pair.g1, pair.g2, seeds)
             assert csr.links == ref.links, name
 
     @given(gnp_workload())
@@ -174,12 +172,8 @@ class TestStringIds:
             ((relabel2[u], relabel2[v]) for u, v in pair.g2.edges()),
             nodes=(relabel2[v] for v in pair.g2.nodes()),
         )
-        str_seeds = {
-            relabel1[v1]: relabel2[v2] for v1, v2 in seeds.items()
-        }
-        ref = UserMatching(MatcherConfig(threshold=2)).run(
-            h1, h2, str_seeds
-        )
+        str_seeds = {relabel1[v1]: relabel2[v2] for v1, v2 in seeds.items()}
+        ref = UserMatching(MatcherConfig(threshold=2)).run(h1, h2, str_seeds)
         csr = UserMatching(
             MatcherConfig(threshold=2, backend="csr")
         ).run(h1, h2, str_seeds)

@@ -58,9 +58,7 @@ FORCED_PAIR_BYTES = 1 << 21
 
 def force_blocking():
     """Patch the planner's pair cost so budget=1 MiB splits rounds."""
-    return mock.patch.object(
-        shards, "WITNESS_PAIR_BYTES", FORCED_PAIR_BYTES
-    )
+    return mock.patch.object(shards, "WITNESS_PAIR_BYTES", FORCED_PAIR_BYTES)
 
 
 def workload(n=220, m=4, s=0.6, link_prob=0.1, seed=0):
@@ -222,9 +220,7 @@ class TestBlockEdgeCases:
         """An honest (large) budget is a no-op split, links identical."""
         pair, seeds = workload(seed=23)
         base = dict(threshold=2, iterations=1, backend="csr")
-        ref = UserMatching(MatcherConfig(**base)).run(
-            pair.g1, pair.g2, seeds
-        )
+        ref = UserMatching(MatcherConfig(**base)).run(pair.g1, pair.g2, seeds)
         budgeted = UserMatching(
             MatcherConfig(memory_budget_mb=256, **base)
         ).run(pair.g1, pair.g2, seeds)

@@ -82,14 +82,10 @@ class TestRegistrySweep:
     @pytest.mark.parametrize("workers", [1, WORKERS])
     @pytest.mark.parametrize("backend", ["dict", "csr"])
     @pytest.mark.parametrize("name", sorted(MATCHER_CONFIGS))
-    def test_stream_replay_matches_cold_run(
-        self, name, backend, workers
-    ):
+    def test_stream_replay_matches_cold_run(self, name, backend, workers):
         pair, seeds, base1, base2, deltas = streamed_workload(seed=41)
         config = MATCHER_CONFIGS[name]
-        matcher = get_matcher(
-            name, backend=backend, workers=workers, **config
-        )
+        matcher = get_matcher(name, backend=backend, workers=workers, **config)
         engine = IncrementalReconciler(matcher=matcher)
         engine.start(base1, base2, seeds)
         for delta in deltas:

@@ -68,7 +68,5 @@ class TestEngineProperties:
         expected = Counter()
         for _key, text in records:
             expected.update(text)
-        out = dict(
-            LocalMapReduce().run(char_count_job(True), records)
-        )
+        out = dict(LocalMapReduce().run(char_count_job(True), records))
         assert out == dict(expected)

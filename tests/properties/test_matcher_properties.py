@@ -53,9 +53,7 @@ class TestSamplerProperties:
 class TestMatcherProperties:
     @given(matching_workload(), st.integers(1, 4))
     @settings(max_examples=25, deadline=None)
-    def test_links_superset_of_seeds_and_injective(
-        self, workload, threshold
-    ):
+    def test_links_superset_of_seeds_and_injective(self, workload, threshold):
         pair, seeds = workload
         result = UserMatching(
             MatcherConfig(threshold=threshold, iterations=2)

@@ -143,12 +143,8 @@ class TestShardEdgeCases:
     def test_empty_bucket_rounds(self):
         """A high max_degree forces top buckets with no candidates."""
         pair, seeds = workload(n=80, seed=5)
-        base = dict(
-            threshold=2, iterations=1, max_degree=4096, backend="csr"
-        )
-        ref = UserMatching(MatcherConfig(**base)).run(
-            pair.g1, pair.g2, seeds
-        )
+        base = dict(threshold=2, iterations=1, max_degree=4096, backend="csr")
+        ref = UserMatching(MatcherConfig(**base)).run(pair.g1, pair.g2, seeds)
         par = UserMatching(
             MatcherConfig(workers=WORKERS, **base)
         ).run(pair.g1, pair.g2, seeds)
@@ -170,9 +166,7 @@ class TestShardEdgeCases:
             iterations=2,
             tie_policy=TiePolicy.LOWEST_ID,
         )
-        ref = UserMatching(MatcherConfig(**base)).run(
-            pair.g1, pair.g2, seeds
-        )
+        ref = UserMatching(MatcherConfig(**base)).run(pair.g1, pair.g2, seeds)
         par = UserMatching(
             MatcherConfig(workers=WORKERS, **base)
         ).run(pair.g1, pair.g2, seeds)

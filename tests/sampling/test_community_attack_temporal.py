@@ -79,9 +79,7 @@ class TestInjectSybils:
 
     def test_attach_rate(self, small_pa):
         result = inject_sybils(small_pa, 0.5, seed=4)
-        total_sybil_degree = sum(
-            result.graph.degree(s) for s in result.sybils
-        )
+        total_sybil_degree = sum(result.graph.degree(s) for s in result.sybils)
         expected = small_pa.num_edges  # half of 2m
         assert 0.9 * expected < total_sybil_degree < 1.1 * expected
 
@@ -92,9 +90,7 @@ class TestAttackedCopies:
         assert len(pair.identity) == 2 * small_pa.num_nodes
 
     def test_identity_without_twins(self, small_pa):
-        pair = attacked_copies(
-            small_pa, s=0.8, link_sybil_twins=False, seed=5
-        )
+        pair = attacked_copies(small_pa, s=0.8, link_sybil_twins=False, seed=5)
         assert len(pair.identity) == small_pa.num_nodes
 
     def test_copies_contain_sybils(self, small_pa):

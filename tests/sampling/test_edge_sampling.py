@@ -48,11 +48,7 @@ class TestNoiseAndVertexDeletion:
 
     def test_noise_edges_are_new(self, small_pa):
         out = add_noise_edges(small_pa, 50, seed=1)
-        new = [
-            (u, v)
-            for u, v in out.edges()
-            if not small_pa.has_edge(u, v)
-        ]
+        new = [(u, v) for u, v in out.edges() if not small_pa.has_edge(u, v)]
         assert len(new) == 50
 
     def test_noise_zero(self, small_pa):
@@ -96,9 +92,7 @@ class TestIndependentCopies:
         assert pair.g1 != pair.g2
 
     def test_with_vertex_deletion(self, small_pa):
-        pair = independent_copies(
-            small_pa, 0.8, vertex_deletion=0.2, seed=4
-        )
+        pair = independent_copies(small_pa, 0.8, vertex_deletion=0.2, seed=4)
         assert pair.g1.num_nodes < small_pa.num_nodes
         # identity only covers nodes in both copies
         for v1 in pair.identity:
@@ -107,9 +101,7 @@ class TestIndependentCopies:
 
     def test_with_noise(self, small_pa):
         pair = independent_copies(small_pa, 0.5, noise_edges=30, seed=5)
-        extra = [
-            e for e in pair.g1.edges() if not small_pa.has_edge(*e)
-        ]
+        extra = [e for e in pair.g1.edges() if not small_pa.has_edge(*e)]
         assert len(extra) == 30
 
     def test_reproducible(self, small_pa):

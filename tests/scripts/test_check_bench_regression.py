@@ -74,9 +74,7 @@ class TestCompare:
         assert regressions == []
 
     def test_speedups_never_fail(self, gate):
-        rows, regressions = gate.compare(
-            {"a": 1.0}, {"a": 0.2}, 1.5, 0.001
-        )
+        rows, regressions = gate.compare({"a": 1.0}, {"a": 0.2}, 1.5, 0.001)
         assert regressions == []
 
 

@@ -1,0 +1,137 @@
+"""Tests for ``scripts/check_lint_baseline.py`` (the debt ratchet)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+
+MYPY_INI = (
+    "[mypy]\n"
+    "strict_equality = True\n"
+    "\n"
+    "[mypy-scipy.*]\n"
+    "ignore_missing_imports = True\n"
+    "\n"
+    "[mypy-repro.legacy.*]\n"
+    "ignore_errors = True\n"
+    "\n"
+    "[mypy-repro.olddriver]\n"
+    "ignore_errors = True\n"
+)
+
+
+@pytest.fixture(scope="module")
+def ratchet():
+    spec = importlib.util.spec_from_file_location(
+        "check_lint_baseline",
+        REPO / "scripts" / "check_lint_baseline.py",
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture
+def sandbox(ratchet, tmp_path, monkeypatch):
+    """Point the script's module paths at a synthetic repo."""
+    ini = tmp_path / "mypy.ini"
+    ini.write_text(MYPY_INI)
+    baseline = tmp_path / "strict_ratchet.json"
+    baseline.write_text(
+        json.dumps(
+            {
+                "mypy_allowlist": ["repro.legacy.*", "repro.olddriver"],
+                "lint_suppressions": 0,
+            }
+        )
+    )
+    src = tmp_path / "src"
+    src.mkdir()
+    (src / "mod.py").write_text("x = 1\n")
+    monkeypatch.setattr(ratchet, "MYPY_INI", ini)
+    monkeypatch.setattr(ratchet, "BASELINE", baseline)
+    monkeypatch.setattr(ratchet, "SRC", src)
+    return tmp_path
+
+
+class TestAllowlistParsing:
+    def test_only_ignore_errors_sections_count(self, ratchet, sandbox):
+        allow = ratchet.mypy_allowlist(sandbox / "mypy.ini")
+        # scipy's ignore_missing_imports section is not debt.
+        assert allow == ["repro.legacy.*", "repro.olddriver"]
+
+
+class TestRatchet:
+    def test_matching_state_passes(self, ratchet, sandbox, capsys):
+        assert ratchet.main([]) == 0
+        assert "ratchet ok" in capsys.readouterr().out
+
+    def test_grown_allowlist_fails(self, ratchet, sandbox, capsys):
+        ini = sandbox / "mypy.ini"
+        ini.write_text(
+            ini.read_text() + "\n[mypy-repro.newmod]\nignore_errors = True\n"
+        )
+        assert ratchet.main([]) == 1
+        err = capsys.readouterr().err
+        assert "grew" in err
+        assert "repro.newmod" in err
+
+    def test_stale_shrunken_baseline_fails(self, ratchet, sandbox, capsys):
+        ini = sandbox / "mypy.ini"
+        ini.write_text(
+            ini.read_text().replace(
+                "[mypy-repro.olddriver]\nignore_errors = True\n", ""
+            )
+        )
+        assert ratchet.main([]) == 1
+        assert "--update" in capsys.readouterr().err
+
+    def test_new_suppression_fails(self, ratchet, sandbox, capsys):
+        (sandbox / "src" / "mod.py").write_text(
+            "import time\n"
+            "t = time.time()  # repro-lint: ignore[RPR001]\n"
+        )
+        assert ratchet.main([]) == 1
+        assert "suppression" in capsys.readouterr().err
+
+    def test_prose_mention_is_not_a_suppression(self, ratchet, sandbox):
+        (sandbox / "src" / "mod.py").write_text(
+            '"""Docs about # repro-lint: ignore markers."""\n'
+            "#: the ``# repro-lint: ignore`` syntax is described here\n"
+            "x = 1\n"
+        )
+        assert ratchet.main([]) == 0
+
+    def test_update_rewrites_baseline(self, ratchet, sandbox):
+        ini = sandbox / "mypy.ini"
+        ini.write_text(
+            ini.read_text().replace(
+                "[mypy-repro.olddriver]\nignore_errors = True\n", ""
+            )
+        )
+        assert ratchet.main(["--update"]) == 0
+        data = json.loads((sandbox / "strict_ratchet.json").read_text())
+        assert data["mypy_allowlist"] == ["repro.legacy.*"]
+        assert ratchet.main([]) == 0
+
+
+class TestRealRepoState:
+    """The committed baseline must match the committed mypy.ini."""
+
+    def test_repo_ratchet_is_green(self, ratchet):
+        assert ratchet.main([]) == 0
+
+    def test_strict_targets_never_allowlisted(self, ratchet):
+        allow = ratchet.mypy_allowlist(REPO / "mypy.ini")
+        for module in allow:
+            assert not module.startswith("repro.core")
+            assert not module.startswith("repro.incremental")
+            assert not module.startswith("repro.analysis")
+            assert not module.startswith("repro.graphs")

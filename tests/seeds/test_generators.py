@@ -85,9 +85,7 @@ class TestTopDegreeSeeds:
             top_degree_seeds(pa_pair, -1)
 
     def test_deterministic(self, pa_pair):
-        assert top_degree_seeds(pa_pair, 20) == top_degree_seeds(
-            pa_pair, 20
-        )
+        assert top_degree_seeds(pa_pair, 20) == top_degree_seeds(pa_pair, 20)
 
 
 class TestNoisySeeds:
@@ -105,9 +103,7 @@ class TestNoisySeeds:
 
     def test_zero_error_rate_is_clean(self, pa_pair):
         noisy = noisy_seeds(pa_pair, 0.3, 0.0, seed=7)
-        assert all(
-            pa_pair.identity[v1] == v2 for v1, v2 in noisy.items()
-        )
+        assert all(pa_pair.identity[v1] == v2 for v1, v2 in noisy.items())
 
     def test_remains_injective(self, pa_pair):
         noisy = noisy_seeds(pa_pair, 0.3, 0.3, seed=8)

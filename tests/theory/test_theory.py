@@ -26,14 +26,10 @@ from repro.theory.predictions import (
 
 class TestBounds:
     def test_chernoff_lower_decreasing_in_mean(self):
-        assert chernoff_lower_tail(100, 0.5) < chernoff_lower_tail(
-            10, 0.5
-        )
+        assert chernoff_lower_tail(100, 0.5) < chernoff_lower_tail(10, 0.5)
 
     def test_chernoff_upper_decreasing_in_delta(self):
-        assert chernoff_upper_tail(50, 1.0) < chernoff_upper_tail(
-            50, 0.1
-        )
+        assert chernoff_upper_tail(50, 1.0) < chernoff_upper_tail(50, 0.1)
 
     def test_chernoff_bounds_at_zero_delta(self):
         assert chernoff_lower_tail(10, 0.0) == 1.0
@@ -63,16 +59,12 @@ class TestPredictionsFormulas:
         n, p, s, l = 1000, 0.05, 0.5, 0.1
         correct = er_expected_witnesses_correct(n, p, s, l)
         wrong = er_expected_witnesses_wrong(n, p, s, l)
-        assert correct / wrong == pytest.approx(
-            (n - 1) / ((n - 2) * p)
-        )
+        assert correct / wrong == pytest.approx((n - 1) / ((n - 2) * p))
 
     def test_threshold_formula(self):
         n, s, l = 10_000, 0.5, 0.1
         t = er_large_p_threshold(n, s, l)
-        assert t == pytest.approx(
-            24 * math.log(n) / (s * s * l * (n - 2))
-        )
+        assert t == pytest.approx(24 * math.log(n) / (s * s * l * (n - 2)))
 
     def test_gap_regimes(self):
         n, s, l = 10_000, 0.5, 0.2
@@ -82,9 +74,7 @@ class TestPredictionsFormulas:
 
     def test_pa_threshold_degree(self):
         d = pa_identification_threshold_degree(10_000, 0.5, 0.1)
-        assert d == pytest.approx(
-            4 * math.log(10_000) ** 2 / (0.25 * 0.1)
-        )
+        assert d == pytest.approx(4 * math.log(10_000) ** 2 / (0.25 * 0.1))
 
     def test_recommended_thresholds(self):
         assert recommended_threshold("er") == 3
