@@ -9,6 +9,12 @@ emitted by ``--benchmark-json`` (committed as ``BENCH_kernels.json``)
 records the dict-vs-csr trajectory over time; the acceptance floor is a
 3x witness-counting speedup, and both the sparse-matmul and pure-numpy
 joins clear it.
+
+The ``_native`` variants add the third backend column: the compiled
+join/selection kernels of :mod:`repro.core.native`, benchmarked on
+the same workload (floor: 2x witness join over the csr column).  On a
+machine without a C toolchain they skip — the committed JSON then
+records the honest fallback picture rather than a silent gap.
 """
 
 import numpy as np
@@ -86,6 +92,29 @@ def test_bench_witness_counting_csr_numpy(benchmark, pair_index):
     assert emitted > 0
 
 
+@pytest.fixture(scope="module")
+def native_kernels():
+    from repro.core.native import load_native_library
+
+    kernels_handle = load_native_library(warn=False)
+    if kernels_handle is None:
+        pytest.skip("no C toolchain: backend='native' falls back to csr")
+    return kernels_handle
+
+
+def test_bench_witness_counting_native(benchmark, pair_index, native_kernels):
+    """The compiled row-major bitmap join (sort-free, direct-write)."""
+    index, link_l, link_r, elig1, elig2 = pair_index
+
+    def run():
+        return kernels.count_witnesses(
+            index, link_l, link_r, elig1, elig2, native=native_kernels
+        )
+
+    scores, emitted = benchmark(run)
+    assert emitted > 0
+
+
 def test_bench_mutual_best_selection(benchmark, workload):
     pair, seeds = workload
     scores, _ = count_similarity_witnesses(
@@ -105,6 +134,21 @@ def test_bench_mutual_best_selection_csr(benchmark, workload):
     assert len(left)
 
 
+def test_bench_mutual_best_selection_native(
+    benchmark, workload, native_kernels
+):
+    """The compiled single-pass argmax selection."""
+    pair, seeds = workload
+    index = GraphPairIndex(pair.g1, pair.g2)
+    scores, _ = count_similarity_witnesses_arrays(
+        index, seeds, min_degree=2, native=native_kernels
+    )
+    left, right, _cands = benchmark(
+        kernels.select_mutual_best_arrays, scores, 2
+    )
+    assert len(left)
+
+
 def test_bench_full_matcher(benchmark, workload):
     pair, seeds = workload
     matcher = UserMatching(MatcherConfig(threshold=2, iterations=1))
@@ -117,6 +161,16 @@ def test_bench_full_matcher_csr(benchmark, workload):
     pair, seeds = workload
     matcher = UserMatching(
         MatcherConfig(threshold=2, iterations=1, backend="csr")
+    )
+    result = benchmark(matcher.run, pair.g1, pair.g2, seeds)
+    assert result.num_new_links > 0
+
+
+def test_bench_full_matcher_native(benchmark, workload, native_kernels):
+    """End-to-end native backend (interning + compiled kernels)."""
+    pair, seeds = workload
+    matcher = UserMatching(
+        MatcherConfig(threshold=2, iterations=1, backend="native")
     )
     result = benchmark(matcher.run, pair.g1, pair.g2, seeds)
     assert result.num_new_links > 0

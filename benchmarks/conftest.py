@@ -12,6 +12,31 @@ from __future__ import annotations
 
 import pytest
 
+#: ``machine_info`` keys kept in the emitted ``--benchmark-json``.  The
+#: default dump embeds the full cpuinfo blob (the flags list alone is
+#: hundreds of entries, ~170 KB per committed BENCH file); the committed
+#: trajectory only needs enough to identify the machine class.
+MACHINE_INFO_KEYS = (
+    "machine",
+    "system",
+    "python_implementation",
+    "python_version",
+)
+
+#: Sub-keys kept from the nested ``cpu`` blob.
+CPU_INFO_KEYS = ("arch", "brand_raw", "count")
+
+
+def pytest_benchmark_update_machine_info(config, machine_info):
+    """Trim the JSON header to the :data:`MACHINE_INFO_KEYS` allowlist."""
+    cpu = machine_info.get("cpu") or {}
+    trimmed = {
+        key: machine_info.get(key) for key in MACHINE_INFO_KEYS
+    }
+    trimmed["cpu"] = {key: cpu.get(key) for key in CPU_INFO_KEYS}
+    machine_info.clear()
+    machine_info.update(trimmed)
+
 
 def run_once(benchmark, fn, *args, **kwargs):
     """Time *fn* exactly once and return its result."""

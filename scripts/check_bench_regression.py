@@ -22,6 +22,15 @@ Noise tolerance:
 - the comparison uses each benchmark's reported ``stats.mean`` over all
   rounds, not a single sample.
 
+Backend columns: every benchmark name is classified by its backend
+suffix (``_csr_numpy``, ``_csr``, ``_native``, else the dict baseline)
+and the delta table is grouped per backend with its own verdict line,
+so a regression in one backend's column cannot hide inside an
+improvement in another's.  Fresh benchmarks with no baseline entry yet
+(a backend column newly added to the suite) are *skipped with a printed
+note* — adding a column is a baseline refresh, not a regression and not
+an error.
+
 Usage::
 
     python scripts/check_bench_regression.py BASELINE FRESH \
@@ -52,6 +61,29 @@ def load_means(path: str) -> dict[str, float]:
         key = bench.get("fullname") or bench["name"]
         means[key] = float(bench["stats"]["mean"])
     return means
+
+
+#: Report order of the backend columns; suffixes are matched longest
+#: first so ``_csr_numpy`` never classifies as ``_csr``.
+BACKENDS = ("dict", "csr", "csr-numpy", "native")
+
+
+def backend_of(name: str) -> str:
+    """Backend column a benchmark belongs to, from its name suffix.
+
+    Suffix convention of the bench suites: ``test_bench_foo`` is the
+    dict baseline, ``test_bench_foo_csr`` / ``_csr_numpy`` / ``_native``
+    are its per-backend twins.  Parametrized variants keep their
+    ``[...]`` id out of the match.
+    """
+    stem = name.split("[", 1)[0].rstrip()
+    if stem.endswith("_csr_numpy"):
+        return "csr-numpy"
+    if stem.endswith("_native"):
+        return "native"
+    if stem.endswith("_csr"):
+        return "csr"
+    return "dict"
 
 
 def compare(
@@ -156,7 +188,24 @@ def main(argv: list[str] | None = None) -> int:
     print(f"[{label}] {len(rows)} shared benchmarks, "
           f"threshold {args.threshold:.2f}x, "
           f"noise floor {args.min_seconds * 1e3:.1f} ms")
-    print(format_delta_table(rows))
+    for backend in BACKENDS:
+        group = [r for r in rows if backend_of(r[0]) == backend]
+        if not group:
+            continue
+        bad = [name for name in regressions if backend_of(name) == backend]
+        verdict = (
+            f"REGRESSION ({len(bad)} of {len(group)})" if bad
+            else f"ok ({len(group)} benchmarks)"
+        )
+        print(f"[{label}] backend {backend}: {verdict}")
+        print(format_delta_table(group))
+    skipped = sorted(set(fresh) - set(baseline))
+    if skipped:
+        print(
+            f"[{label}] note: {len(skipped)} fresh benchmark(s) have no "
+            "baseline entry yet (skipped, refresh the baseline to gate "
+            "them): " + ", ".join(skipped)
+        )
     if regressions:
         print(
             f"[{label}] FAIL: {len(regressions)} benchmark(s) regressed "

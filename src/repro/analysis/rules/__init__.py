@@ -13,6 +13,7 @@ user code never needs to import these modules directly.
 | RPR004 | shm_lifecycle         | SharedMemory dominated by cleanup       |
 | RPR005 | dtype_discipline      | index arrays carry explicit dtypes      |
 | RPR006 | knob_threading        | config knobs validated/plumbed/doc'd    |
+| RPR007 | native_boundary       | ctypes loads behind the fallback helper |
 
 ``docs/LINT_RULES.md`` is the narrative reference for all of them.
 """
@@ -21,6 +22,7 @@ from repro.analysis.rules.determinism import DeterminismRule
 from repro.analysis.rules.dtype_discipline import DtypeDisciplineRule
 from repro.analysis.rules.float_accumulation import FloatAccumulationRule
 from repro.analysis.rules.knob_threading import KnobThreadingRule
+from repro.analysis.rules.native_boundary import NativeBoundaryRule
 from repro.analysis.rules.ordered_iteration import OrderedIterationRule
 from repro.analysis.rules.shm_lifecycle import ShmLifecycleRule
 
@@ -29,6 +31,7 @@ __all__ = [
     "DtypeDisciplineRule",
     "FloatAccumulationRule",
     "KnobThreadingRule",
+    "NativeBoundaryRule",
     "OrderedIterationRule",
     "ShmLifecycleRule",
 ]

@@ -62,7 +62,7 @@ class DegreeSequenceMatcher:
     ) -> MatchingResult:
         """Pair unmatched nodes by descending degree (stable by id order)."""
         reporter = ProgressReporter("degree-sequence", progress)
-        if self.backend == "csr":
+        if self.backend in ("csr", "native"):
             left, right = self._ranked_csr(g1, g2, seeds)
         else:
             linked_right = set(seeds.values())

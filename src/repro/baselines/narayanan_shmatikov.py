@@ -57,7 +57,9 @@ class NarayananShmatikovMatcher:
             (true in [23]).
         backend: ``"dict"`` (default) or ``"csr"`` (dense-interned array
             propagation, link-identical for a positive eccentricity
-            threshold).
+            threshold); ``"native"`` is accepted and runs the csr path
+            — this matcher's propagation has no compiled kernel, so
+            the knob stays uniform across the registry.
     """
 
     def __init__(
@@ -143,7 +145,7 @@ class NarayananShmatikovMatcher:
     ) -> MatchingResult:
         """Propagate *seeds* into a full mapping, [23]-style."""
         reporter = ProgressReporter("narayanan-shmatikov", progress)
-        if self.backend == "csr":
+        if self.backend in ("csr", "native"):
             return self._run_csr(g1, g2, seeds, reporter)
         links: dict[Node, Node] = dict(seeds)
         reverse: dict[Node, Node] = {v2: v1 for v1, v2 in links.items()}

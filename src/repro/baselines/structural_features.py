@@ -123,7 +123,9 @@ class StructuralFeatureMatcher:
         backend: ``"dict"`` (default) or ``"csr"`` — the csr backend
             computes the identical feature table from dense CSR arrays
             (reductions are correctly rounded, so the table is bit-equal
-            and the links match exactly).
+            and the links match exactly).  ``"native"`` is accepted and
+            runs the csr path — feature extraction has no compiled
+            kernel, so the knob stays uniform across the registry.
     """
 
     def __init__(
@@ -164,7 +166,7 @@ class StructuralFeatureMatcher:
     ) -> MatchingResult:
         """Match by feature proximity; returns seeds + feature matches."""
         reporter = ProgressReporter("structural-features", progress)
-        if self.backend == "csr":
+        if self.backend in ("csr", "native"):
             f1, f2 = self._normalized_features_csr(g1, g2)
         else:
             f1 = _normalize(recursive_features(g1, self.levels))

@@ -24,6 +24,7 @@ import inspect
 import sys
 from typing import Callable
 
+from repro.core.config import BACKENDS
 from repro.datasets.registry import DATASETS
 from repro.evaluation.tables import format_table
 from repro.experiments import (
@@ -357,10 +358,12 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument(
         "--backend",
         default=None,
-        choices=["dict", "csr"],
+        choices=list(BACKENDS),
         help=(
             "matcher execution backend (dense interning + numpy kernels "
-            "with 'csr'); only for experiments that support it"
+            "with 'csr'; compiled C hot kernels with 'native', falling "
+            "back to csr when no toolchain is available); only for "
+            "experiments that support it"
         ),
     )
     run_p.add_argument(

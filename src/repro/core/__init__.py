@@ -15,6 +15,8 @@ Public surface:
 - :func:`~repro.core.pipeline.reconcile` — one-call convenience wrapper.
 - :mod:`~repro.core.kernels` — numpy array kernels behind
   ``backend="csr"`` (CSR-join witness counting, vectorized selection).
+- :mod:`~repro.core.native` — compiled C hot kernels behind
+  ``backend="native"`` (on-demand build, graceful csr fallback).
 - :mod:`~repro.core.parallel` / :mod:`~repro.core.shards` — the
   sharded shared-memory execution layer behind ``workers=N``.
 """
@@ -29,6 +31,11 @@ from repro.core.kernels import (
 )
 from repro.core.links_io import read_links, write_links
 from repro.core.matcher import UserMatching
+from repro.core.native import (
+    NativeFallbackWarning,
+    load_native_library,
+    native_available,
+)
 from repro.core.ordering import node_sort_key
 from repro.core.parallel import (
     ParallelFallbackWarning,
@@ -94,6 +101,9 @@ __all__ = [
     "read_links",
     "write_links",
     "ParallelFallbackWarning",
+    "NativeFallbackWarning",
+    "load_native_library",
+    "native_available",
     "WitnessPool",
     "open_witness_pool",
     "ShardPlan",

@@ -32,8 +32,12 @@ class TiePolicy(enum.Enum):
 #: Execution backends every matcher accepts: ``"dict"`` runs over Python
 #: dict/set structures keyed by original node ids; ``"csr"`` interns both
 #: graphs to dense ids once and runs the numpy kernels in
-#: :mod:`repro.core.kernels`.  Output is link-identical either way.
-BACKENDS: tuple[str, ...] = ("dict", "csr")
+#: :mod:`repro.core.kernels`; ``"native"`` runs the same dataflow with
+#: the hot kernels (witness join, table merge, selection) in a small C
+#: library compiled on demand (:mod:`repro.core.native`), degrading to
+#: the ``csr`` kernels with a warning when no toolchain is available.
+#: Output is link-identical across all three.
+BACKENDS: tuple[str, ...] = ("dict", "csr", "native")
 
 
 def validate_backend(backend: str) -> str:
@@ -128,9 +132,14 @@ class MatcherConfig:
         degree-1 node can never have 2 witnesses).
     tie_policy : TiePolicy
         See :class:`TiePolicy`.
-    backend : {"dict", "csr"}
-        Execution substrate: ``"dict"`` (default) or ``"csr"`` (dense
-        interning + numpy kernels; link-identical output).
+    backend : {"dict", "csr", "native"}
+        Execution substrate: ``"dict"`` (default), ``"csr"`` (dense
+        interning + numpy kernels), or ``"native"`` (the csr dataflow
+        with compiled C hot kernels, see :mod:`repro.core.native`;
+        falls back to the csr kernels with a
+        :class:`~repro.core.native.NativeFallbackWarning` when no C
+        toolchain is available).  Output is link-identical across all
+        three.
     workers : int
         Worker processes for the ``csr`` witness kernels
         (:mod:`repro.core.parallel`).  1 (default) is the serial path;

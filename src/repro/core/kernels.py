@@ -24,17 +24,30 @@ form for custom stages that want the old representation.
 
 Scores here are integer witness counts, so dict↔csr equivalence is exact,
 not approximate; the property suite asserts link-for-link equality.
+
+``backend="native"`` reuses this module end to end: every kernel accepts
+an optional :class:`~repro.core.native.NativeKernels` handle (threaded
+by the callers, resolved once per run) that swaps the hot inner step —
+join, merge, selection — for its compiled twin while keeping the
+canonical ascending-packed-key table contract, so all three backends are
+bit-identical.  Independently, the pure-numpy paths are *sort-free*
+whenever the packed key space is bounded: a dense ``np.bincount``
+scatter-add replaces the join's ``np.unique`` and a reusable
+:class:`ScatterWorkspace` buffer replaces the merge sorts.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Hashable
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Hashable
 
 import numpy as np
 
 from repro.core.config import TiePolicy
 from repro.graphs.pair_index import GraphPairIndex
+
+if TYPE_CHECKING:
+    from repro.core.native import NativeKernels
 
 try:  # optional accelerator: sparse matmul witness join (never required)
     import scipy.sparse as _sparse
@@ -52,6 +65,69 @@ WitnessCounter = Callable[
 ]
 
 _EMPTY = np.empty(0, dtype=np.int64)
+
+#: Largest dense packed-key space (``n1 * n2``) the sort-free scatter
+#: paths will allocate unconditionally: 2**22 keys = 32 MiB of int64
+#: accumulator, small next to any round that matters.  Above the cap the
+#: dense form must still be cheaper than the work already in flight (see
+#: the ``2 * emitted`` rule in :func:`count_witnesses`).
+_SCATTER_KEYSPACE_CAP = 1 << 22
+
+
+class ScatterWorkspace:
+    """Reusable dense accumulator for sort-free packed-key merges.
+
+    When the packed key space ``n1 * n2`` is small enough to hold
+    densely, summing partial score tables does not need a sort at all:
+    each part's ``(keys, counts)`` rows scatter-add into one
+    preallocated ``int64[n1 * n2]`` buffer and the merged table falls
+    out of ``np.flatnonzero`` — already in ascending key order, i.e.
+    exactly the ``np.unique``-canonical order of
+    :func:`merge_score_tables`.  The buffer is allocated once and
+    reused across every (iteration, bucket) round of a sweep; after
+    each merge only the touched entries are zeroed, so steady-state
+    cost is proportional to the tables, not the key space.
+
+    Parts must have unique keys internally (every shipped producer
+    emits canonical tables, which do), so plain fancy-index addition —
+    not ``np.add.at`` — is sufficient and fast.
+    """
+
+    __slots__ = ("keyspace", "_buf")
+
+    def __init__(self, keyspace: int) -> None:
+        self.keyspace = int(keyspace)
+        self._buf = np.zeros(self.keyspace, dtype=np.int64)
+
+    @classmethod
+    def for_index(
+        cls,
+        index: GraphPairIndex,
+        cap: int = _SCATTER_KEYSPACE_CAP,
+    ) -> "ScatterWorkspace | None":
+        """A workspace for *index*'s key space, or ``None`` if too big."""
+        keyspace = index.n1 * index.n2
+        if 0 < keyspace <= cap:
+            return cls(keyspace)
+        return None
+
+    def merge(
+        self, parts: "list[tuple[np.ndarray, np.ndarray]]"
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Sum ``(packed_keys, counts)`` parts into one canonical table.
+
+        Returns ``(keys, counts)`` with *keys* ascending — bit-identical
+        to concatenating the parts and running the ``np.unique``
+        summation of :func:`merge_score_tables`.
+        """
+        buf = self._buf
+        for keys, counts in parts:
+            if len(keys):
+                buf[keys] += counts
+        out_keys = np.flatnonzero(buf)
+        out_counts = buf[out_keys]
+        buf[out_keys] = 0
+        return out_keys, out_counts
 
 
 def segmented_gather(
@@ -124,15 +200,25 @@ class ArrayScores:
 
     Attributes:
         index: the interning that defines the dense id spaces.
-        left: ``int64[k]`` dense g1 ids.
-        right: ``int64[k]`` dense g2 ids.
-        score: ``int64[k]`` witness counts.
+        left: ``int64[k]`` dense g1 ids (``int32[k]`` from the compiled
+            join when every node id fits — consumers pack keys against
+            strong ``np.int64`` scalars, so values, not dtypes, define
+            the table).
+        right: dense g2 ids, same dtype story as ``left``.
+        score: witness counts, same dtype story as ``left``.
+        native: compiled-kernel handle when the table was produced by
+            ``backend="native"``; the named selectors read it to run
+            selection natively too.  Pure execution metadata — never
+            part of the table's value.
     """
 
     index: GraphPairIndex
     left: np.ndarray
     right: np.ndarray
     score: np.ndarray
+    native: "NativeKernels | None" = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def num_pairs(self) -> int:
@@ -163,6 +249,7 @@ def count_witnesses(
     eligible2: np.ndarray,
     *,
     use_sparse: bool | None = None,
+    native: "NativeKernels | None" = None,
 ) -> tuple[ArrayScores, int]:
     """Count similarity witnesses for all eligible candidate pairs.
 
@@ -171,16 +258,27 @@ def count_witnesses(
     ``(u1, u2)`` the *eligible* neighbors of ``u1`` pair with the
     eligible neighbors of ``u2``, one witness per co-occurrence.
 
-    Two interchangeable implementations sit behind this signature; both
+    Interchangeable implementations sit behind this signature; all
     produce identical integer counts (pair *order* within the result is
     unspecified):
 
+    - compiled C (when a :mod:`repro.core.native` handle is passed):
+      walks the CSR neighbor lists row-major, scattering each
+      candidate's eligibility-filtered link rows into a dense count row
+      with a touched-column bitmap — neither the cross product nor any
+      sort ever happens; the bitmap scans out lowest-bit-first, so rows
+      are emitted already in the same canonical order as the paths
+      below.
     - sparse matmul (used when scipy is importable): the witness table
       is ``B1 @ B2`` for the 0/1 link-incidence matrices ``B1[v1, k]``
       ("candidate v1 is adjacent to link k in G1") and ``B2[k, v2]`` —
       the join never materializes individual witness pairs.
     - pure numpy (always available): segmented cross-product expansion
-      into packed ``v1 * n2 + v2`` keys collapsed by ``np.unique``.
+      into packed ``v1 * n2 + v2`` keys, collapsed *sort-free* by a
+      dense ``np.bincount`` scatter-add whenever the key space is
+      bounded (``n1 * n2`` at most ``max(2**22, 2 x emitted)`` — never
+      bigger than the expansion already in flight), else by one
+      ``np.unique``.
 
     Args:
         index: dense interning of the two graphs.
@@ -190,16 +288,39 @@ def count_witnesses(
             least the bucket's degree floor").
         eligible2: bool[n2] candidate mask.
         use_sparse: force the sparse (True) or pure-numpy (False) join;
-            ``None`` picks sparse when scipy is available.
+            ``None`` picks sparse when scipy is available.  Ignored
+            when *native* is given.
+        native: compiled-kernel handle (``backend="native"``); callers
+            resolve it once per run via
+            :func:`repro.core.native.load_native_library` so the
+            fallback decision is made — and warned about — exactly
+            once.
 
     Returns:
         ``(scores, witnesses_emitted)`` where *witnesses_emitted* is the
         total cross-product work ``Σ a_k · b_k`` (the round's cost in
-        the paper's accounting, identical in both implementations).
+        the paper's accounting, identical in all implementations).
     """
     csr1, csr2 = index.csr1, index.csr2
     if len(link_left) == 0 or index.n1 == 0 or index.n2 == 0:
-        return ArrayScores(index, _EMPTY, _EMPTY, _EMPTY), 0
+        return ArrayScores(index, _EMPTY, _EMPTY, _EMPTY, native=native), 0
+    if native is not None:
+        left, right, counts, emitted = native.witness_join(
+            csr1.indptr,
+            csr1.indices,
+            csr2.indptr,
+            csr2.indices,
+            link_left,
+            link_right,
+            eligible1,
+            eligible2,
+            index.n1,
+            index.n2,
+        )
+        return (
+            ArrayScores(index, left, right, counts, native=native),
+            emitted,
+        )
     nbr1, seg1 = segmented_gather(csr1.indptr, csr1.indices, link_left)
     keep1 = eligible1[nbr1]
     nbr1, seg1 = nbr1[keep1], seg1[keep1]
@@ -255,7 +376,8 @@ def count_witnesses(
         )
     pair_l, pair_r = _segment_cross_product(nbr1, seg1, nbr2, seg2, num_links)
     n2 = np.int64(index.n2)
-    if index.n1 * index.n2 < np.iinfo(np.int32).max:
+    keyspace = index.n1 * index.n2
+    if keyspace < np.iinfo(np.int32).max:
         packed = (pair_l * n2 + pair_r).astype(np.int32)
     else:
         # Force the multiply into int64 explicitly: the compacted
@@ -263,12 +385,22 @@ def count_witnesses(
         # value-based casting would keep uint32 x int64-scalar at
         # uint32, wrapping packed keys past 2**32.
         packed = pair_l.astype(np.int64) * n2 + pair_r
-    keys, counts = np.unique(packed, return_counts=True)
-    keys = keys.astype(np.int64)
+    if keyspace <= max(_SCATTER_KEYSPACE_CAP, 2 * emitted):
+        # Sort-free collapse: one dense scatter-add over the packed key
+        # space.  flatnonzero walks it in index order, so keys come out
+        # ascending — byte-identical to the np.unique result — at
+        # O(emitted + keyspace) instead of O(emitted log emitted).
+        # The bound keeps the dense buffer no bigger than twice the
+        # expansion already materialized above.
+        dense = np.bincount(packed, minlength=keyspace)
+        keys = np.flatnonzero(dense)
+        counts = dense[keys].astype(np.int64)
+    else:
+        keys, counts = np.unique(packed, return_counts=True)
+        keys = keys.astype(np.int64)
+        counts = counts.astype(np.int64)
     return (
-        ArrayScores(
-            index, keys // n2, keys % n2, counts.astype(np.int64)
-        ),
+        ArrayScores(index, keys // n2, keys % n2, counts),
         emitted,
     )
 
@@ -276,6 +408,9 @@ def count_witnesses(
 def merge_score_tables(
     index: GraphPairIndex,
     parts: "list[tuple[np.ndarray, np.ndarray, np.ndarray, int]]",
+    *,
+    native: "NativeKernels | None" = None,
+    workspace: "ScatterWorkspace | None" = None,
 ) -> tuple[ArrayScores, int]:
     """Sum partial score tables into one canonical table.
 
@@ -288,8 +423,17 @@ def merge_score_tables(
     — content *and* row order — does not depend on how the round was
     split.
 
+    Three equivalent engines, chosen in order: the compiled hash merge
+    (*native* given), the dense sort-free scatter-add (*workspace*
+    given and the key space fits), and the ``np.unique`` summation.
+    Integer addition is commutative and every engine exports ascending
+    packed keys, so the merged table is bit-identical regardless.
+
     Args:
         parts: ``(left, right, score, emitted)`` tuples.
+        native: compiled-kernel handle; also stamped onto the result so
+            selection over the merged table runs natively.
+        workspace: preallocated dense accumulator reused across rounds.
 
     Returns:
         The canonical ``(ArrayScores, total_emitted)`` pair.
@@ -297,11 +441,29 @@ def merge_score_tables(
     emitted = int(sum(part[3] for part in parts))
     kept = [part for part in parts if len(part[0])]
     if not kept:
-        return ArrayScores(index, _EMPTY, _EMPTY, _EMPTY), emitted
+        return (
+            ArrayScores(index, _EMPTY, _EMPTY, _EMPTY, native=native),
+            emitted,
+        )
+    n2 = np.int64(index.n2)
+    if native is not None or workspace is not None:
+        packed_parts = [
+            (part[0].astype(np.int64) * n2 + part[1], part[2])
+            for part in kept
+        ]
+        if native is not None:
+            keys, merged = native.merge_packed(packed_parts)
+        else:
+            keys, merged = workspace.merge(packed_parts)
+        return (
+            ArrayScores(
+                index, keys // n2, keys % n2, merged, native=native
+            ),
+            emitted,
+        )
     left = np.concatenate([part[0] for part in kept])
     right = np.concatenate([part[1] for part in kept])
     score = np.concatenate([part[2] for part in kept])
-    n2 = np.int64(index.n2)
     packed = left * n2 + right
     keys, inverse = np.unique(packed, return_inverse=True)
     # bincount's float64 accumulator is exact below 2**53, far above any
@@ -322,6 +484,8 @@ def count_witnesses_blocked(
     *,
     counter: WitnessCounter | None = None,
     use_sparse: bool | None = None,
+    native: "NativeKernels | None" = None,
+    workspace: "ScatterWorkspace | None" = None,
 ) -> tuple[ArrayScores, int]:
     """Memory-budgeted witness counting: stream the join block-by-block.
 
@@ -351,6 +515,12 @@ def count_witnesses_blocked(
             (``blocked x workers`` composes; output stays identical).
         use_sparse: forwarded to :func:`count_witnesses` (ignored when
             *counter* is given).
+        native: compiled-kernel handle — per-block joins run in C (when
+            *counter* is not given; a pool counter carries its own
+            handle) and every fold is the compiled hash merge.
+        workspace: preallocated dense accumulator
+            (:class:`ScatterWorkspace`) making the folds sort-free when
+            the key space fits; the sweep reuses it across rounds.
     """
     from repro.core.shards import (
         plan_witness_blocks,
@@ -367,6 +537,7 @@ def count_witnesses_blocked(
             eligible1,
             eligible2,
             use_sparse=use_sparse,
+            native=native,
         )
 
     if memory_budget_mb is None:
@@ -408,15 +579,23 @@ def count_witnesses_blocked(
         if not parts:  # every block so far emitted nothing
             running = (_EMPTY, _EMPTY)
             return
-        keys = np.concatenate([part[0] for part in parts])
-        counts = np.concatenate([part[1] for part in parts])
-        uniq, inverse = np.unique(keys, return_inverse=True)
-        # bincount's float64 accumulator is exact below 2**53, far
-        # above any witness count.
-        merged = np.bincount(
-            inverse, weights=counts, minlength=len(uniq)
-        ).astype(np.int64)
-        running = (uniq, merged)
+        # Every part has internally-unique keys (each is a canonical
+        # table), so all three fold engines below are exact; each
+        # exports ascending keys, keeping the running table canonical.
+        if native is not None:
+            running = native.merge_packed(parts)
+        elif workspace is not None:
+            running = workspace.merge(parts)
+        else:
+            keys = np.concatenate([part[0] for part in parts])
+            counts = np.concatenate([part[1] for part in parts])
+            uniq, inverse = np.unique(keys, return_inverse=True)
+            # bincount's float64 accumulator is exact below 2**53, far
+            # above any witness count.
+            merged = np.bincount(
+                inverse, weights=counts, minlength=len(uniq)
+            ).astype(np.int64)
+            running = (uniq, merged)
         pending = []
         pending_rows = 0
 
@@ -435,7 +614,7 @@ def count_witnesses_blocked(
         fold()
     keys, counts = running
     return (
-        ArrayScores(index, keys // n2, keys % n2, counts),
+        ArrayScores(index, keys // n2, keys % n2, counts, native=native),
         total_emitted,
     )
 
@@ -485,6 +664,12 @@ def select_mutual_best_arrays(
 
     Returns ``(left, right, candidates)`` where *candidates* is the
     number of pairs that passed the threshold filter.
+
+    Tables produced by ``backend="native"`` carry their compiled-kernel
+    handle and are selected by the C single-pass argmax instead of the
+    lexsort below; the tie semantics are identical, as is the output
+    (ascending left id), so the two paths are interchangeable
+    row-for-row.
     """
     mask = scores.score >= threshold
     lt, rt, sc = scores.left[mask], scores.right[mask], scores.score[mask]
@@ -492,6 +677,11 @@ def select_mutual_best_arrays(
     if candidates == 0:
         return _EMPTY, _EMPTY, 0
     skip = tie_policy is TiePolicy.SKIP
+    if scores.native is not None:
+        out_l, out_r = scores.native.mutual_best(
+            lt, rt, sc, scores.index.n1, scores.index.n2, skip
+        )
+        return out_l, out_r, candidates
     best_l, best_l_r = _best_per_group(lt, rt, sc, skip)
     best_r, best_r_l = _best_per_group(rt, lt, sc, skip)
     # Mutual join: keep (v1, v2) where v2's best is v1.
@@ -519,6 +709,12 @@ def select_greedy_arrays(
     if len(sc) == 0:
         return _EMPTY, _EMPTY
     order = np.lexsort((rt, lt, -sc))
+    if scores.native is not None:
+        # Same ranking, compiled accept scan: acceptance order (and so
+        # the output rows) matches the Python loop exactly.
+        return scores.native.greedy_scan(
+            lt[order], rt[order], scores.index.n1, scores.index.n2
+        )
     lt, rt = lt[order].tolist(), rt[order].tolist()
     used1 = np.zeros(scores.index.n1, dtype=bool)
     used2 = np.zeros(scores.index.n2, dtype=bool)

@@ -40,6 +40,11 @@ array speed), and selection is the vectorized mutual-best kernel.  The
 two backends are link-identical — the per-round recount sees exactly the
 eligible-pair scores of the incremental table, which is the same
 equality the MapReduce tests already pin down.
+``MatcherConfig(backend="native")`` is the same sweep again with the
+compiled hot kernels of :mod:`repro.core.native` (hash-accumulated
+witness join, compiled merges and selection) and degrades to the csr
+kernels — with a warning, never an error — when no C toolchain exists;
+the three-way property wall pins all backends bit-identical.
 
 Parallelism.  ``MatcherConfig(backend="csr", workers=N)`` additionally
 fans each round's recount out to a shared-memory worker pool
@@ -70,6 +75,7 @@ from repro.registry import register_matcher
 if TYPE_CHECKING:
     import numpy as np
 
+    from repro.core.native import NativeKernels
     from repro.core.parallel import WitnessPool
     from repro.graphs.pair_index import GraphPairIndex
 
@@ -243,7 +249,7 @@ class UserMatching:
         cfg = self.config
         if cfg.checkpoint_path is not None:
             return self._run_checkpointed(g1, g2, seeds, reporter)
-        if cfg.backend == "csr":
+        if cfg.backend in ("csr", "native"):
             return self._run_csr(g1, g2, seeds, reporter)
         adj1 = g1.adjacency()
         adj2 = g2.adjacency()
@@ -392,15 +398,31 @@ class UserMatching:
         the per-shard tables are summed deterministically — selection
         then sees exactly the serial table, so the links are
         bit-identical for any worker count.
+
+        ``backend="native"`` runs the same sweep with the compiled
+        kernels of :mod:`repro.core.native` plugged into every join,
+        merge, and selection; the handle is resolved once here, so a
+        missing toolchain warns once
+        (:class:`~repro.core.native.NativeFallbackWarning`) and the
+        sweep proceeds on the csr kernels — links identical either way.
         """
         from repro.core.parallel import open_witness_pool
         from repro.graphs.pair_index import GraphPairIndex
 
         cfg = self.config
+        native = None
+        if cfg.backend == "native":
+            from repro.core.native import load_native_library
+
+            native = load_native_library()
         index = GraphPairIndex(g1, g2)
-        pool = open_witness_pool(index, cfg.workers)
+        pool = open_witness_pool(
+            index, cfg.workers, use_native=native is not None
+        )
         try:
-            return self._sweep_csr(index, pool, g1, g2, seeds, reporter)
+            return self._sweep_csr(
+                index, pool, g1, g2, seeds, reporter, native=native
+            )
         finally:
             if pool is not None:
                 pool.close()
@@ -413,6 +435,7 @@ class UserMatching:
         g2: Graph,
         seeds: dict[Node, Node],
         reporter: ProgressReporter,
+        native: "NativeKernels | None" = None,
     ) -> MatchingResult:
         """The bucket sweep over dense ids (serial or pooled recount)."""
         import numpy as np
@@ -420,6 +443,14 @@ class UserMatching:
         from repro.core import kernels
 
         cfg = self.config
+        # One dense scatter buffer shared by every round's fold/merge
+        # (sort-free when the key space is small); pointless when the
+        # compiled hash merge is available.
+        workspace = (
+            kernels.ScatterWorkspace.for_index(index)
+            if native is None
+            else None
+        )
         if cfg.memory_budget_mb is not None:
             # Memory-budgeted streaming: each round's links are split
             # into degree-product-sized blocks; with a pool, every block
@@ -442,6 +473,8 @@ class UserMatching:
                     counter=(
                         pool.count_witnesses if pool is not None else None
                     ),
+                    native=native,
+                    workspace=workspace,
                 )
 
         elif pool is not None:
@@ -454,7 +487,9 @@ class UserMatching:
                 e1: "np.ndarray",
                 e2: "np.ndarray",
             ) -> "tuple[kernels.ArrayScores, int]":
-                return kernels.count_witnesses(index, ll, lr, e1, e2)
+                return kernels.count_witnesses(
+                    index, ll, lr, e1, e2, native=native
+                )
         link_l, link_r = index.intern_links(seeds)
         linked1 = np.zeros(index.n1, dtype=bool)
         linked2 = np.zeros(index.n2, dtype=bool)

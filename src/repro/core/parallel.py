@@ -47,6 +47,7 @@ from repro.core.kernels import ArrayScores
 from repro.core.shards import plan_link_shards
 
 if TYPE_CHECKING:
+    from repro.core.native import NativeKernels
     from repro.graphs.pair_index import GraphPairIndex
 
 try:  # pragma: no cover - import succeeds on every supported platform
@@ -82,7 +83,12 @@ class _ArraySpec:
 _WORKER_CTX: SimpleNamespace | None = None
 
 
-def _init_worker(specs: dict[str, _ArraySpec], n1: int, n2: int) -> None:
+def _init_worker(
+    specs: dict[str, _ArraySpec],
+    n1: int,
+    n2: int,
+    use_native: bool = False,
+) -> None:
     """Pool initializer: attach shared segments and build array views."""
     global _WORKER_CTX
     segments: dict[str, object] = {}
@@ -118,7 +124,20 @@ def _init_worker(specs: dict[str, _ArraySpec], n1: int, n2: int) -> None:
         n1=n1,
         n2=n2,
     )
-    _WORKER_CTX = SimpleNamespace(segments=segments, arrays=arrays, view=view)
+    native = None
+    if use_native:
+        # The parent resolved (and, on failure, warned about) the
+        # native handle before opening the pool; workers re-resolve
+        # quietly — with a fork start the loaded library is inherited,
+        # with spawn the cached shared object is reloaded.  A worker
+        # that cannot load it silently runs the numpy kernels, which
+        # is safe because the two are bit-identical.
+        from repro.core.native import load_native_library
+
+        native = load_native_library(warn=False)
+    _WORKER_CTX = SimpleNamespace(
+        segments=segments, arrays=arrays, view=view, native=native
+    )
 
 
 def _count_shard(
@@ -133,7 +152,12 @@ def _count_shard(
     link_l, link_r = task
     ctx = _WORKER_CTX
     scores, emitted = kernels.count_witnesses(
-        ctx.view, link_l, link_r, ctx.arrays["elig1"], ctx.arrays["elig2"]
+        ctx.view,
+        link_l,
+        link_r,
+        ctx.arrays["elig1"],
+        ctx.arrays["elig2"],
+        native=getattr(ctx, "native", None),
     )
     return scores.left, scores.right, scores.score, emitted
 
@@ -144,16 +168,23 @@ def _count_shard(
 def merge_shard_scores(
     index: "GraphPairIndex",
     parts: "list[tuple[np.ndarray, np.ndarray, np.ndarray, int]]",
+    *,
+    native: "NativeKernels | None" = None,
+    workspace: "kernels.ScatterWorkspace | None" = None,
 ) -> tuple[ArrayScores, int]:
     """Sum per-shard score tables into one canonical table.
 
     Thin alias of :func:`repro.core.kernels.merge_score_tables` — the
     per-worker shard merge and the memory-block merge of
     :func:`~repro.core.kernels.count_witnesses_blocked` are the same
-    ``np.unique``-canonical summation, which is what makes
-    ``blocked x workers`` output bit-identical to the monolithic path.
+    canonical summation, which is what makes ``blocked x workers``
+    output bit-identical to the monolithic path.  *native* and
+    *workspace* select the compiled and sort-free merge engines; all
+    engines produce the identical table.
     """
-    return kernels.merge_score_tables(index, parts)
+    return kernels.merge_score_tables(
+        index, parts, native=native, workspace=workspace
+    )
 
 
 class WitnessPool:
@@ -176,6 +207,7 @@ class WitnessPool:
         workers: int,
         *,
         start_method: str | None = None,
+        use_native: bool = False,
     ) -> None:
         if workers < 2:
             raise ValueError(f"WitnessPool needs workers >= 2, got {workers}")
@@ -187,6 +219,19 @@ class WitnessPool:
         self._views: dict[str, np.ndarray] = {}
         self._pool = None
         self._staged_elig: "tuple[np.ndarray, np.ndarray] | None" = None
+        self._native: "NativeKernels | None" = None
+        self._workspace: "kernels.ScatterWorkspace | None" = None
+        if use_native:
+            # Quiet resolve: callers that ask for native have already
+            # gone through load_native_library() once and seen any
+            # fallback warning there.
+            from repro.core.native import load_native_library
+
+            self._native = load_native_library(warn=False)
+        if self._native is None:
+            # Sort-free shard merges when the key space is dense enough;
+            # one buffer reused for every round of the reconciliation.
+            self._workspace = kernels.ScatterWorkspace.for_index(index)
         try:
             specs: dict[str, _ArraySpec] = {}
             for key, arr in (
@@ -205,7 +250,7 @@ class WitnessPool:
             self._pool = ctx.Pool(
                 processes=workers,
                 initializer=_init_worker,
-                initargs=(specs, index.n1, index.n2),
+                initargs=(specs, index.n1, index.n2, use_native),
             )
         except BaseException:
             self.close()
@@ -248,7 +293,12 @@ class WitnessPool:
         plan = plan_link_shards(self.index, link_l, link_r, self.workers)
         if plan.num_shards < 2:
             return kernels.count_witnesses(
-                self.index, link_l, link_r, eligible1, eligible2
+                self.index,
+                link_l,
+                link_r,
+                eligible1,
+                eligible2,
+                native=self._native,
             )
         staged = self._staged_elig
         if (
@@ -264,7 +314,12 @@ class WitnessPool:
             self._staged_elig = (eligible1, eligible2)
         tasks = [(link_l[idx], link_r[idx]) for idx in plan.shards]
         parts = self._pool.map(_count_shard, tasks, chunksize=1)
-        return merge_shard_scores(self.index, parts)
+        return merge_shard_scores(
+            self.index,
+            parts,
+            native=self._native,
+            workspace=self._workspace,
+        )
 
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -308,13 +363,16 @@ def open_witness_pool(
     workers: int,
     *,
     start_method: str | None = None,
+    use_native: bool = False,
 ) -> WitnessPool | None:
     """Open a :class:`WitnessPool`, or fall back to serial gracefully.
 
     Returns ``None`` — and the caller runs the serial kernels — when
     *workers* <= 1 (silently: that *is* the serial configuration) or
     when pools/shared memory cannot be set up in this environment (with
-    a :class:`ParallelFallbackWarning` naming the cause).
+    a :class:`ParallelFallbackWarning` naming the cause).  With
+    *use_native* the pool and its workers run the compiled kernels of
+    :mod:`repro.core.native` (already resolved by the caller).
     """
     if workers <= 1:
         return None
@@ -327,7 +385,9 @@ def open_witness_pool(
         )
         return None
     try:
-        return WitnessPool(index, workers, start_method=start_method)
+        return WitnessPool(
+            index, workers, start_method=start_method, use_native=use_native
+        )
     except Exception as exc:
         warnings.warn(
             f"could not start a {workers}-worker pool "

@@ -145,6 +145,7 @@ def _csr_witness_scorer(
     g2: Graph,
     workers: int = 1,
     memory_budget_mb: int | None = None,
+    use_native: bool = False,
 ) -> ScoringKernel:
     """Per-run witness scorer over one shared dense interning.
 
@@ -161,7 +162,11 @@ def _csr_witness_scorer(
     Without a candidate stage the flat
     :class:`~repro.core.kernels.ArrayScores` table flows straight into
     the selectors; with one, the scores are restricted through the dict
-    view exactly like :func:`witness_count_kernel`.
+    view exactly like :func:`witness_count_kernel`.  With *use_native*
+    (``backend="native"``) the compiled kernels of
+    :mod:`repro.core.native` are resolved once alongside the index and
+    plugged into every round — falling back to the csr kernels, with
+    one warning, when no toolchain is available.
     """
     from repro.graphs.pair_index import GraphPairIndex
 
@@ -176,10 +181,18 @@ def _csr_witness_scorer(
         index = state.get("index")
         if index is None:
             index = state["index"] = GraphPairIndex(g1, g2)
+            if use_native:
+                from repro.core.native import load_native_library
+
+                state["native"] = load_native_library()
             if workers > 1:
                 from repro.core.parallel import open_witness_pool
 
-                pool = open_witness_pool(index, workers)
+                pool = open_witness_pool(
+                    index,
+                    workers,
+                    use_native=state.get("native") is not None,
+                )
                 if pool is not None:
                     state["pool"] = pool
         pool = state.get("pool")
@@ -188,6 +201,7 @@ def _csr_witness_scorer(
             links,
             counter=pool.count_witnesses if pool is not None else None,
             memory_budget_mb=memory_budget_mb,
+            native=state.get("native"),
         )
         if candidates is None:
             return scores
@@ -326,15 +340,18 @@ class Reconciler:
         Stage 5 — post-match hooks, applied in order; each receives
         ``(g1, g2, links, seeds)`` and returns the links to keep
         (seeds must be preserved).
-    backend : {"dict", "csr"}
+    backend : {"dict", "csr", "native"}
         With ``"csr"`` the *default* scoring stage interns both graphs
         once per run and produces the flat
         :class:`~repro.core.kernels.ArrayScores` table; the named
-        selectors dispatch to the vectorized kernels on it.  Links are
-        identical to the dict backend.  A custom ``scorer`` takes
-        precedence over the backend choice; a custom ``candidates``
-        stage keeps its dict-level filtering semantics on either
-        backend.
+        selectors dispatch to the vectorized kernels on it.
+        ``"native"`` additionally routes the join/merge/selection hot
+        loops through the compiled kernels of
+        :mod:`repro.core.native`, degrading to ``csr`` with a warning
+        when no C toolchain is available.  Links are identical to the
+        dict backend either way.  A custom ``scorer`` takes precedence
+        over the backend choice; a custom ``candidates`` stage keeps
+        its dict-level filtering semantics on any backend.
     workers : int
         Worker processes for the ``csr`` default scorer's witness join
         (see :mod:`repro.core.parallel`); 1 (default) runs serially
@@ -439,9 +456,13 @@ class Reconciler:
         reporter.emit("seeds", links_total=len(links), links_added=0)
 
         scorer = self.scorer
-        if self.backend == "csr" and self._default_scorer:
+        if self.backend in ("csr", "native") and self._default_scorer:
             scorer = _csr_witness_scorer(
-                g1, g2, self.workers, self.memory_budget_mb
+                g1,
+                g2,
+                self.workers,
+                self.memory_budget_mb,
+                use_native=self.backend == "native",
             )
 
         phases: list[PhaseRecord] = []

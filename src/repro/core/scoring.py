@@ -28,6 +28,7 @@ from repro.graphs.graph import Graph
 
 if TYPE_CHECKING:
     from repro.core.kernels import ArrayScores, WitnessCounter
+    from repro.core.native import NativeKernels
     from repro.graphs.pair_index import GraphPairIndex
 
 Node = Hashable
@@ -95,6 +96,7 @@ def count_similarity_witnesses_arrays(
     *,
     counter: "WitnessCounter | None" = None,
     memory_budget_mb: "int | None" = None,
+    native: "NativeKernels | None" = None,
 ) -> tuple["ArrayScores", int]:
     """Array-backend twin of :func:`count_similarity_witnesses`.
 
@@ -116,6 +118,10 @@ def count_similarity_witnesses_arrays(
         memory_budget_mb: stream the join block-by-block under this
             MiB budget (:func:`repro.core.kernels.count_witnesses_blocked`);
             composes with *counter* and never changes the counts.
+        native: compiled-kernel handle (``backend="native"``), resolved
+            once by the caller via
+            :func:`repro.core.native.load_native_library`; the counts
+            are identical with or without it.
     """
     import numpy as np
 
@@ -146,11 +152,17 @@ def count_similarity_witnesses_arrays(
             ~linked2 & floor2,
             memory_budget_mb,
             counter=counter,
+            native=native,
         )
     if counter is not None:
         return counter(link_l, link_r, ~linked1 & floor1, ~linked2 & floor2)
     return count_witnesses(
-        index, link_l, link_r, ~linked1 & floor1, ~linked2 & floor2
+        index,
+        link_l,
+        link_r,
+        ~linked1 & floor1,
+        ~linked2 & floor2,
+        native=native,
     )
 
 

@@ -303,7 +303,7 @@ class MapReduceUserMatching:
         reporter = ProgressReporter("mapreduce-user-matching", progress)
         cfg = self.config
         index = None
-        if cfg.backend == "csr":
+        if cfg.backend in ("csr", "native"):
             from repro.graphs.pair_index import GraphPairIndex
 
             index = GraphPairIndex(g1, g2)

@@ -1,0 +1,42 @@
+"""RPR007 fixture: shared-library loads that bypass the fallback helper.
+
+Linted under ``src/repro/core/fixture_native_boundary.py`` — the rule
+is scoped to the execution core, where a loader failure must degrade,
+never crash.
+"""
+
+import ctypes
+from ctypes import CDLL
+
+import cffi  # expect: RPR007
+
+
+def bare_load(path: str) -> ctypes.CDLL:
+    return CDLL(path)  # expect: RPR007
+
+
+def bare_qualified_load(path: str) -> ctypes.CDLL:
+    return ctypes.CDLL(path)  # expect: RPR007
+
+
+def bare_loadlibrary(path: str) -> ctypes.CDLL:
+    return ctypes.cdll.LoadLibrary(path)  # expect: RPR007
+
+
+def handled_but_wrong_name(path: str) -> "ctypes.CDLL | None":
+    # Correct handler, wrong function: only the sanctioned
+    # _load_shared_library boundary may contain the raw load.
+    try:
+        return ctypes.CDLL(path)  # expect: RPR007
+    except OSError:
+        return None
+
+
+def _load_shared_library(path: str) -> "ctypes.CDLL | None":
+    # Right name, but the load is not dominated by an OSError handler:
+    # a missing or corrupt shared object still crashes the caller.
+    try:
+        handle = ctypes.CDLL(path)  # expect: RPR007
+    except ValueError:
+        return None
+    return handle

@@ -1,0 +1,29 @@
+"""RPR007 fixture: the sanctioned load boundary (clean).
+
+The only raw ``CDLL`` call sits inside ``_load_shared_library`` with
+the load dominated by an ``OSError`` handler mapping failure to
+``None`` — the spelling :mod:`repro.core.native` uses.
+"""
+
+import ctypes
+from pathlib import Path
+
+
+def _load_shared_library(lib_path: Path) -> "ctypes.CDLL | None":
+    try:
+        return ctypes.CDLL(str(lib_path))
+    except OSError:
+        return None
+
+
+def load_with_fallback(lib_path: Path) -> "ctypes.CDLL | None":
+    # Callers go through the helper; no loader call of their own.
+    handle = _load_shared_library(lib_path)
+    if handle is None:
+        return None
+    return handle
+
+
+def unrelated_ctypes_use(n: int) -> ctypes.c_int64:
+    # Non-loader ctypes API is fine anywhere.
+    return ctypes.c_int64(n)

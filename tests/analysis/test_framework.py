@@ -29,7 +29,7 @@ BAD_CORE = ("import time\n" "def stamp():\n" "    return time.time()\n")
 
 
 class TestRegistry:
-    def test_all_six_rules_registered(self):
+    def test_all_seven_rules_registered(self):
         assert rule_ids() == (
             "RPR001",
             "RPR002",
@@ -37,6 +37,7 @@ class TestRegistry:
             "RPR004",
             "RPR005",
             "RPR006",
+            "RPR007",
         )
 
     def test_get_rule_roundtrip(self):

@@ -17,6 +17,7 @@ from repro.analysis.framework import SourceFile
 from repro.analysis.rules.determinism import DeterminismRule
 from repro.analysis.rules.dtype_discipline import DtypeDisciplineRule
 from repro.analysis.rules.float_accumulation import FloatAccumulationRule
+from repro.analysis.rules.native_boundary import NativeBoundaryRule
 from repro.analysis.rules.ordered_iteration import OrderedIterationRule
 from repro.analysis.rules.shm_lifecycle import ShmLifecycleRule
 
@@ -79,6 +80,12 @@ FILE_RULE_CASES = [
         "src/repro/graphs/fixture_dtype_discipline.py",
         id="RPR005",
     ),
+    pytest.param(
+        NativeBoundaryRule(),
+        "native_boundary",
+        "src/repro/core/fixture_native_boundary.py",
+        id="RPR007",
+    ),
 ]
 
 
@@ -111,6 +118,7 @@ class TestScoping:
             (OrderedIterationRule(), "src/repro/graphs/graph.py"),
             (FloatAccumulationRule(), "src/repro/evaluation/metrics.py"),
             (DtypeDisciplineRule(), "src/repro/mapreduce/engine.py"),
+            (NativeBoundaryRule(), "src/repro/baselines/degree_matcher.py"),
         ],
     )
     def test_out_of_scope_path_is_skipped(self, rule, outside):

@@ -449,3 +449,83 @@ class TestPackedKeyWidth:
             (hi - 1, hi - 1), (hi - 1, hi), (hi, hi - 1), (hi, hi),
         ]
         assert scores.score.tolist() == [1, 1, 1, 1]
+
+    @staticmethod
+    def _boundary_index(n1: int, n2: int):
+        """A fake two-node-per-side index over an (n1, n2) id space.
+
+        One link (0, 0); each side's node 0 is adjacent to the two
+        top-of-range ids, so every packed candidate key lands next to
+        ``n1 * n2`` — right where a narrow dtype would wrap.  The CSR is
+        full-length and symmetric (0 <-> {n-2, n-1} both ways), as a real
+        undirected ``GraphPairIndex`` would produce — the row-major
+        native join walks every row of ``indptr`` and visits candidates
+        through their own neighbor lists.
+        """
+        from types import SimpleNamespace
+
+        def side(n):
+            indptr = np.full(n + 1, 2, dtype=np.int64)
+            indptr[0] = 0
+            indptr[n - 1] = 3
+            indptr[n] = 4
+            return SimpleNamespace(
+                indptr=indptr,
+                indices=np.array([n - 2, n - 1, 0, 0], dtype=np.uint32),
+            )
+
+        index = SimpleNamespace(csr1=side(n1), csr2=side(n2), n1=n1, n2=n2)
+        elig1 = np.zeros(n1, dtype=bool)
+        elig1[[n1 - 2, n1 - 1]] = True
+        elig2 = np.zeros(n2, dtype=bool)
+        elig2[[n2 - 2, n2 - 1]] = True
+        link = np.zeros(1, dtype=np.int64)
+        return index, link, elig1, elig2
+
+    #: (n1, n2) with n1*n2 straddling 2**31: one just under the int32
+    #: packing limit, one at it, one just past — the promotion boundary.
+    BOUNDARY_SHAPES = [
+        (46340, 46340),            # 2_147_395_600 <  2**31 - 1: int32
+        (46341, 46341),            # 2_147_488_281 >  2**31 - 1: int64
+        (2**16, 2**15),            # == 2**31 exactly: int64 branch
+    ]
+
+    @pytest.mark.parametrize("n1,n2", BOUNDARY_SHAPES)
+    def test_promotion_boundary_straddling_2_31(self, n1, n2):
+        """Identical tables on either side of the int32→int64 switch."""
+        index, link, elig1, elig2 = self._boundary_index(n1, n2)
+        scores, emitted = count_witnesses(
+            index, link, link, elig1, elig2, use_sparse=False
+        )
+        expected = sorted(
+            (l, r)
+            for l in (n1 - 2, n1 - 1)
+            for r in (n2 - 2, n2 - 1)
+        )
+        assert emitted == len(expected)
+        got = sorted(zip(scores.left.tolist(), scores.right.tolist()))
+        assert got == expected
+        assert scores.score.tolist() == [1] * len(expected)
+        # Packed keys reconstruct exactly — no wraparound collisions.
+        packed = scores.left * np.int64(n2) + scores.right
+        assert packed.max() == np.int64(expected[-1][0]) * n2 + expected[-1][1]
+
+    @pytest.mark.parametrize("n1,n2", BOUNDARY_SHAPES)
+    def test_promotion_boundary_native_matches(self, n1, n2):
+        """The C join packs in int64 throughout; same table either side."""
+        from repro.core.native import load_native_library
+
+        nk = load_native_library(warn=False)
+        if nk is None:
+            pytest.skip("no C toolchain in this environment")
+        index, link, elig1, elig2 = self._boundary_index(n1, n2)
+        ref, ref_emitted = count_witnesses(
+            index, link, link, elig1, elig2, use_sparse=False
+        )
+        nat, nat_emitted = count_witnesses(
+            index, link, link, elig1, elig2, native=nk
+        )
+        assert nat_emitted == ref_emitted
+        assert nat.left.tolist() == ref.left.tolist()
+        assert nat.right.tolist() == ref.right.tolist()
+        assert nat.score.tolist() == ref.score.tolist()

@@ -1,0 +1,403 @@
+"""Unit tests for the compiled kernels behind ``backend="native"``.
+
+Two families live here: bit-exactness of each C kernel against its
+numpy twin (witness join across all four index-dtype variants, packed
+merge, mutual-best under both tie policies, greedy scan), and the
+load/fallback machinery (module-level cache, kill switch, broken
+compiler, quiet resolution for workers).  Everything degrades — none of
+these tests require a working C toolchain except the ones explicitly
+marked ``needs_native``.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core import kernels, native
+from repro.core.config import TiePolicy
+from repro.core.kernels import (
+    ArrayScores,
+    ScatterWorkspace,
+    count_witnesses,
+    count_witnesses_blocked,
+    merge_score_tables,
+    select_greedy_arrays,
+    select_mutual_best_arrays,
+)
+from repro.core.native import (
+    NativeFallbackWarning,
+    _reset_native_cache,
+    load_native_library,
+    native_available,
+)
+from repro.graphs.pair_index import GraphPairIndex
+
+NATIVE = native_available()
+
+needs_native = pytest.mark.skipif(
+    not NATIVE, reason="no C toolchain in this environment"
+)
+
+
+@pytest.fixture
+def nk():
+    handle = load_native_library(warn=False)
+    if handle is None:
+        pytest.skip("no C toolchain in this environment")
+    return handle
+
+
+@pytest.fixture
+def fresh_cache():
+    """Reset the module cache around a test that manipulates loading."""
+    _reset_native_cache()
+    yield
+    _reset_native_cache()
+
+
+def linked_masks(index, links):
+    link_l, link_r = index.intern_links(links)
+    linked1 = np.zeros(index.n1, dtype=bool)
+    linked2 = np.zeros(index.n2, dtype=bool)
+    linked1[link_l] = True
+    linked2[link_r] = True
+    floor1, floor2 = index.eligibility(2)
+    return link_l, link_r, ~linked1 & floor1, ~linked2 & floor2
+
+
+def table(scores: ArrayScores):
+    return (scores.left.tolist(), scores.right.tolist(),
+            scores.score.tolist())
+
+
+def canon(scores: ArrayScores):
+    """Order-free table equality (the sparse join emits column-major)."""
+    packed = scores.left * scores.index.n2 + scores.right
+    order = np.argsort(packed)
+    return packed[order].tolist(), scores.score[order].tolist()
+
+
+def parts_of(*tables):
+    return [(t.left, t.right, t.score, 0) for t in tables]
+
+
+class TestWitnessJoin:
+    def _both(self, index, links, native_handle):
+        args = linked_masks(index, links)
+        ref, ref_emitted = count_witnesses(index, *args)
+        numpy_ref, _ = count_witnesses(index, *args, use_sparse=False)
+        nat, nat_emitted = count_witnesses(
+            index, *args, native=native_handle
+        )
+        assert nat_emitted == ref_emitted
+        assert canon(nat) == canon(ref)
+        # The pure-numpy path is row-for-row canonical (ascending packed
+        # key), and so is the native export.
+        assert table(nat) == table(numpy_ref)
+        assert nat.native is native_handle
+        return nat
+
+    def test_matches_numpy_on_pa_workload(self, pa_pair, pa_seeds, nk):
+        index = GraphPairIndex(pa_pair.g1, pa_pair.g2)
+        self._both(index, pa_seeds, nk)
+
+    @pytest.mark.parametrize("wide1", [False, True])
+    @pytest.mark.parametrize("wide2", [False, True])
+    def test_all_index_dtype_variants(self, pa_pair, pa_seeds, nk,
+                                      wide1, wide2):
+        """u32/u32, u32/i64, i64/u32 and i64/i64 joins all agree."""
+        index = GraphPairIndex(pa_pair.g1, pa_pair.g2)
+        if wide1:
+            index.csr1.indices = index.csr1.indices.astype(np.int64)
+        if wide2:
+            index.csr2.indices = index.csr2.indices.astype(np.int64)
+        self._both(index, pa_seeds, nk)
+
+    def test_empty_links(self, pa_pair, nk):
+        index = GraphPairIndex(pa_pair.g1, pa_pair.g2)
+        scores, emitted = count_witnesses(
+            index,
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.ones(index.n1, dtype=bool),
+            np.ones(index.n2, dtype=bool),
+            native=nk,
+        )
+        assert emitted == 0 and scores.left.size == 0
+
+    def test_all_ineligible(self, pa_pair, pa_seeds, nk):
+        index = GraphPairIndex(pa_pair.g1, pa_pair.g2)
+        link_l, link_r = index.intern_links(pa_seeds)
+        scores, emitted = count_witnesses(
+            index,
+            link_l,
+            link_r,
+            np.zeros(index.n1, dtype=bool),
+            np.zeros(index.n2, dtype=bool),
+            native=nk,
+        )
+        assert emitted == 0 and scores.left.size == 0
+
+    def test_wide_output_variant_agrees(self, pa_pair, pa_seeds, nk,
+                                        monkeypatch):
+        """Forcing the _o64 join yields the same table as the _o32.
+
+        The workload's node ids fit int32, so the narrow variant runs
+        by default; patching the cutoff to -1 exercises the int64
+        output columns that big graphs would select.
+        """
+        index = GraphPairIndex(pa_pair.g1, pa_pair.g2)
+        args = linked_masks(index, pa_seeds)
+        narrow, narrow_emitted = count_witnesses(index, *args, native=nk)
+        assert narrow.left.dtype == np.int32
+        monkeypatch.setattr(native, "_NATIVE_OUT32_MAX", -1)
+        wide, wide_emitted = count_witnesses(index, *args, native=nk)
+        assert wide.left.dtype == np.int64
+        assert wide_emitted == narrow_emitted
+        assert table(wide) == table(narrow)
+
+    def test_raw_join_keys_ascending(self, pa_pair, pa_seeds, nk):
+        index = GraphPairIndex(pa_pair.g1, pa_pair.g2)
+        link_l, link_r, elig1, elig2 = linked_masks(index, pa_seeds)
+        left, right, counts, emitted = nk.witness_join(
+            index.csr1.indptr,
+            index.csr1.indices,
+            index.csr2.indptr,
+            index.csr2.indices,
+            link_l,
+            link_r,
+            elig1,
+            elig2,
+            index.n1,
+            index.n2,
+        )
+        keys = left * np.int64(index.n2) + right
+        assert np.all(np.diff(keys) > 0)
+        assert int(counts.sum()) == emitted
+
+
+class TestMergePacked:
+    def test_matches_numpy_merge(self, pa_pair, pa_seeds, nk):
+        index = GraphPairIndex(pa_pair.g1, pa_pair.g2)
+        args = linked_masks(index, pa_seeds)
+        whole, _ = count_witnesses(index, *args)
+        tables = [
+            count_witnesses(
+                index, args[0][chunk], args[1][chunk], args[2], args[3]
+            )[0]
+            for chunk in np.array_split(np.arange(args[0].size), 3)
+        ]
+        ref, _ = merge_score_tables(index, parts_of(*tables))
+        nat, _ = merge_score_tables(index, parts_of(*tables), native=nk)
+        assert table(nat) == table(ref)
+        assert canon(nat) == canon(whole)
+        assert nat.native is nk
+
+    def test_disjoint_and_overlapping_keys(self, nk):
+        rng = np.random.default_rng(5)
+        parts = []
+        for _ in range(4):
+            keys = np.unique(rng.integers(0, 400, size=60))
+            counts = rng.integers(1, 9, size=keys.size)
+            parts.append((keys.astype(np.int64), counts.astype(np.int64)))
+        keys, counts = nk.merge_packed(parts)
+        all_keys = np.concatenate([p[0] for p in parts])
+        all_counts = np.concatenate([p[1] for p in parts])
+        ref_keys, inv = np.unique(all_keys, return_inverse=True)
+        ref_counts = np.bincount(inv, weights=all_counts).astype(np.int64)
+        assert keys.tolist() == ref_keys.tolist()
+        assert counts.tolist() == ref_counts.tolist()
+
+    def test_empty_parts(self, nk):
+        keys, counts = nk.merge_packed([])
+        assert keys.size == 0 and counts.size == 0
+
+
+def _random_scores(pa_pair, pa_seeds, nk):
+    index = GraphPairIndex(pa_pair.g1, pa_pair.g2)
+    args = linked_masks(index, pa_seeds)
+    scores, _ = count_witnesses(index, *args, native=nk)
+    return scores
+
+
+class TestNativeSelection:
+    @pytest.mark.parametrize(
+        "tie_policy", [TiePolicy.SKIP, TiePolicy.LOWEST_ID]
+    )
+    @pytest.mark.parametrize("threshold", [1, 2, 3])
+    def test_mutual_best_matches_numpy(self, pa_pair, pa_seeds, nk,
+                                       tie_policy, threshold):
+        scores = _random_scores(pa_pair, pa_seeds, nk)
+        plain = ArrayScores(
+            scores.index, scores.left, scores.right, scores.score
+        )
+        ref = select_mutual_best_arrays(plain, threshold, tie_policy)
+        nat = select_mutual_best_arrays(scores, threshold, tie_policy)
+        assert nat[0].tolist() == ref[0].tolist()
+        assert nat[1].tolist() == ref[1].tolist()
+        assert nat[2] == ref[2]
+
+    @pytest.mark.parametrize("threshold", [1, 2, 3])
+    def test_greedy_matches_numpy(self, pa_pair, pa_seeds, nk, threshold):
+        scores = _random_scores(pa_pair, pa_seeds, nk)
+        plain = ArrayScores(
+            scores.index, scores.left, scores.right, scores.score
+        )
+        ref = select_greedy_arrays(plain, threshold)
+        nat = select_greedy_arrays(scores, threshold)
+        assert nat[0].tolist() == ref[0].tolist()
+        assert nat[1].tolist() == ref[1].tolist()
+
+    @pytest.mark.parametrize("skip", [True, False])
+    def test_mutual_best_randomized(self, nk, skip):
+        """Fuzz the raw C entry points against the numpy selection."""
+        from types import SimpleNamespace
+
+        rng = np.random.default_rng(17)
+        policy = TiePolicy.SKIP if skip else TiePolicy.LOWEST_ID
+        for trial in range(25):
+            n1 = int(rng.integers(3, 40))
+            n2 = int(rng.integers(3, 40))
+            size = int(rng.integers(1, 120))
+            packed = np.unique(
+                rng.integers(0, n1, size=size) * n2
+                + rng.integers(0, n2, size=size)
+            )
+            lt = (packed // n2).astype(np.int64)
+            rt = (packed % n2).astype(np.int64)
+            sc = rng.integers(1, 6, size=lt.size).astype(np.int64)
+            index = SimpleNamespace(n1=n1, n2=n2)
+            ref = select_mutual_best_arrays(
+                ArrayScores(index, lt, rt, sc), 1, policy
+            )
+            out_l, out_r = nk.mutual_best(lt, rt, sc, n1, n2, skip)
+            assert out_l.tolist() == ref[0].tolist(), trial
+            assert out_r.tolist() == ref[1].tolist(), trial
+            greedy_ref = select_greedy_arrays(
+                ArrayScores(index, lt, rt, sc), 1
+            )
+            order = np.lexsort((rt, lt, -sc))
+            g_l, g_r = nk.greedy_scan(lt[order], rt[order], n1, n2)
+            assert g_l.tolist() == greedy_ref[0].tolist(), trial
+            assert g_r.tolist() == greedy_ref[1].tolist(), trial
+
+
+class TestLoadAndFallback:
+    def test_available_means_loadable(self):
+        if NATIVE:
+            assert load_native_library(warn=False) is not None
+
+    @needs_native
+    def test_cache_returns_same_handle(self, fresh_cache):
+        first = load_native_library(warn=False)
+        second = load_native_library(warn=False)
+        assert first is second
+
+    def test_kill_switch_warns_once(self, fresh_cache, monkeypatch):
+        monkeypatch.setenv("REPRO_NATIVE_DISABLE", "1")
+        with pytest.warns(NativeFallbackWarning, match="DISABLE"):
+            assert load_native_library() is None
+        # Cached failure: later quiet resolutions don't warn again.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert load_native_library(warn=False) is None
+
+    def test_kill_switch_quiet_for_workers(self, fresh_cache, monkeypatch):
+        monkeypatch.setenv("REPRO_NATIVE_DISABLE", "1")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert load_native_library(warn=False) is None
+
+    def test_broken_compiler_falls_back(self, fresh_cache, monkeypatch,
+                                        tmp_path):
+        monkeypatch.setenv("REPRO_NATIVE_CC", str(tmp_path / "missing-cc"))
+        monkeypatch.setenv("REPRO_NATIVE_DIR", str(tmp_path))
+        with pytest.warns(NativeFallbackWarning):
+            assert load_native_library() is None
+        assert not native_available()
+
+    @needs_native
+    def test_persistent_build_dir_reused(self, fresh_cache, monkeypatch,
+                                         tmp_path):
+        monkeypatch.setenv("REPRO_NATIVE_DIR", str(tmp_path))
+        handle = load_native_library(warn=False)
+        assert handle is not None
+        assert handle.lib_path.parent == tmp_path
+        _reset_native_cache()
+        # Second load with a broken compiler still succeeds: the cached
+        # shared object short-circuits the build entirely.
+        monkeypatch.setenv("REPRO_NATIVE_CC", str(tmp_path / "missing-cc"))
+        again = load_native_library(warn=False)
+        assert again is not None and again.lib_path == handle.lib_path
+
+
+class TestScatterWorkspace:
+    def test_for_index_respects_cap(self, pa_pair):
+        index = GraphPairIndex(pa_pair.g1, pa_pair.g2)
+        ws = ScatterWorkspace.for_index(index)
+        assert ws is not None and ws.keyspace == index.n1 * index.n2
+        assert ScatterWorkspace.for_index(index, cap=8) is None
+
+    def test_merge_matches_unique_path(self, pa_pair, pa_seeds):
+        index = GraphPairIndex(pa_pair.g1, pa_pair.g2)
+        args = linked_masks(index, pa_seeds)
+        tables = [
+            count_witnesses(
+                index, args[0][chunk], args[1][chunk], args[2], args[3]
+            )[0]
+            for chunk in np.array_split(np.arange(args[0].size), 3)
+        ]
+        ref, _ = merge_score_tables(index, parts_of(*tables))
+        ws = ScatterWorkspace.for_index(index)
+        got, _ = merge_score_tables(index, parts_of(*tables), workspace=ws)
+        assert table(got) == table(ref)
+
+    def test_buffer_reused_and_rezeroed(self, pa_pair, pa_seeds):
+        index = GraphPairIndex(pa_pair.g1, pa_pair.g2)
+        args = linked_masks(index, pa_seeds)
+        part, _ = count_witnesses(index, *args)
+        ws = ScatterWorkspace.for_index(index)
+        first, _ = merge_score_tables(index, parts_of(part), workspace=ws)
+        buf = ws._buf
+        second, _ = merge_score_tables(index, parts_of(part), workspace=ws)
+        assert ws._buf is buf
+        assert table(first) == table(second)
+        assert not ws._buf.any()
+
+
+class TestBincountFastPath:
+    def test_fast_path_equals_unique(self, pa_pair, pa_seeds, monkeypatch):
+        """Force both accumulation strategies and compare tables."""
+        index = GraphPairIndex(pa_pair.g1, pa_pair.g2)
+        args = linked_masks(index, pa_seeds)
+        fast, fast_emitted = count_witnesses(index, *args, use_sparse=False)
+        monkeypatch.setattr(kernels, "_SCATTER_KEYSPACE_CAP", 0)
+        slow, slow_emitted = count_witnesses(index, *args, use_sparse=False)
+        assert fast_emitted == slow_emitted
+        assert table(fast) == table(slow)
+
+
+class TestBlockedNative:
+    def test_blocked_fold_native(self, pa_pair, pa_seeds, nk):
+        index = GraphPairIndex(pa_pair.g1, pa_pair.g2)
+        args = linked_masks(index, pa_seeds)
+        ref, ref_emitted = count_witnesses_blocked(
+            index, *args, memory_budget_mb=1
+        )
+        nat, nat_emitted = count_witnesses_blocked(
+            index, *args, memory_budget_mb=1, native=nk
+        )
+        assert nat_emitted == ref_emitted
+        assert canon(nat) == canon(ref)
+        assert nat.native is nk
+
+    def test_blocked_fold_workspace(self, pa_pair, pa_seeds):
+        index = GraphPairIndex(pa_pair.g1, pa_pair.g2)
+        args = linked_masks(index, pa_seeds)
+        ref, _ = count_witnesses_blocked(index, *args, memory_budget_mb=1)
+        ws = ScatterWorkspace.for_index(index)
+        got, _ = count_witnesses_blocked(
+            index, *args, memory_budget_mb=1, workspace=ws
+        )
+        assert canon(got) == canon(ref)

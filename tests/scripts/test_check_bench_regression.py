@@ -78,6 +78,61 @@ class TestCompare:
         assert regressions == []
 
 
+class TestBackendColumns:
+    def test_suffix_classification(self, gate):
+        assert gate.backend_of("m.py::test_bench_join") == "dict"
+        assert gate.backend_of("m.py::test_bench_join_csr") == "csr"
+        assert (
+            gate.backend_of("m.py::test_bench_join_csr_numpy")
+            == "csr-numpy"
+        )
+        assert gate.backend_of("m.py::test_bench_join_native") == "native"
+
+    def test_parametrized_ids_ignored(self, gate):
+        assert gate.backend_of("m.py::test_bench_scaling_csr[4]") == "csr"
+        assert (
+            gate.backend_of("m.py::test_bench_scaling_native[2-True]")
+            == "native"
+        )
+
+    def test_report_groups_per_backend(self, gate, tmp_path, capsys):
+        """A native regression is reported in its own column group."""
+        means = {
+            "b.py::test_bench_join": 0.020,
+            "b.py::test_bench_join_csr": 0.010,
+            "b.py::test_bench_join_native": 0.005,
+        }
+        fresh = dict(means)
+        fresh["b.py::test_bench_join_csr"] = 0.002  # 5x faster
+        fresh["b.py::test_bench_join_native"] = 0.009  # 1.8x slower
+        base = bench_json(tmp_path / "base.json", means)
+        new = bench_json(tmp_path / "fresh.json", fresh)
+        assert gate.main([base, new, "--label", "cols"]) == 1
+        out = capsys.readouterr().out
+        assert "backend native: REGRESSION (1 of 1)" in out
+        assert "backend csr: ok (1 benchmarks)" in out
+        assert "backend dict: ok (1 benchmarks)" in out
+
+    def test_new_backend_column_skipped_with_note(
+        self, gate, tmp_path, capsys
+    ):
+        """A fresh-only column is a baseline refresh, not an error."""
+        base = bench_json(
+            tmp_path / "base.json", {"b.py::test_bench_join_csr": 0.010}
+        )
+        new = bench_json(
+            tmp_path / "fresh.json",
+            {
+                "b.py::test_bench_join_csr": 0.010,
+                "b.py::test_bench_join_native": 0.004,
+            },
+        )
+        assert gate.main([base, new]) == 0
+        out = capsys.readouterr().out
+        assert "no baseline entry yet" in out
+        assert "test_bench_join_native" in out
+
+
 class TestMainExitCodes:
     def test_ok_run_exits_zero(self, gate, tmp_path, capsys):
         base = bench_json(tmp_path / "base.json", {"a": 0.01})
