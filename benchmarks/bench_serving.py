@@ -1,0 +1,180 @@
+"""Serving-layer latency: reads, warm HTTP applies, cold comparator.
+
+The serving pitch is that queries are answered from per-version read
+caches (microseconds) while writes pay one warm engine apply — far
+below the cold from-scratch run.  This suite pins those numbers:
+
+- ``test_bench_read_latency`` — a keep-alive client issuing single
+  link lookups against a live server; ``extra_info`` records client-
+  side p50/p99 latency and requests/sec (the committed columns the
+  regression gate watches).
+- ``test_bench_warm_apply_http`` — one delta batch POSTed through the
+  full stack (framing + validation + event log + warm apply), i.e.
+  the *warm* write path as a client experiences it.
+- ``test_bench_cold_rerun`` — the comparator: a from-scratch ``csr``
+  run on the same post-delta graphs.  warm-http should sit well under
+  this bar; if it does not, coalescing or the dirty-set path broke.
+- ``test_bench_resume_roundtrip`` — checkpoint + service resume, the
+  crash-recovery cost.
+
+Links are asserted identical to the cold run en route: serving is an
+execution strategy, never an approximation.
+"""
+
+import dataclasses
+import time
+
+import pytest
+
+from repro.core.config import MatcherConfig
+from repro.core.matcher import UserMatching
+from repro.incremental.delta import apply_delta_to_graphs
+from repro.incremental.engine import IncrementalReconciler
+from repro.incremental.stream import build_stream_workload
+from repro.serving import (
+    ReconciliationService,
+    ServerThread,
+    ServingClient,
+)
+
+_CONFIG = MatcherConfig(threshold=2, iterations=1)
+N = 6000
+M = 10
+BATCHES = 3
+#: Reads per timed round of the latency benchmark.
+READS_PER_ROUND = 200
+
+
+@pytest.fixture(scope="module")
+def workload():
+    # Small per-batch deltas (~0.3% of edges each): the serving regime
+    # is a stream of modest updates, not bulk re-ingestion.
+    return build_stream_workload(
+        n=N, m=M, batches=BATCHES, seed=9, stream_fraction=0.01
+    )
+
+
+@pytest.fixture(scope="module")
+def served(workload):
+    """A live server on the base workload plus a keep-alive client."""
+    pair, seeds, _deltas = workload
+    engine = IncrementalReconciler(_CONFIG)
+    engine.start(pair.g1.copy(), pair.g2.copy(), dict(seeds))
+    harness = ServerThread(ReconciliationService(engine))
+    harness.start()
+    client = ServingClient("127.0.0.1", harness.port)
+    yield harness, client
+    client.close()
+    harness.stop()
+
+
+def _percentile(sorted_values, q):
+    import math
+
+    rank = max(1, math.ceil(q * len(sorted_values)))
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+def test_bench_read_latency(benchmark, served):
+    """Single-link GETs over one keep-alive connection."""
+    harness, client = served
+    nodes = list(harness.service.engine.g1.nodes())[:READS_PER_ROUND]
+
+    def read_burst():
+        latencies = []
+        for node in nodes:
+            began = time.perf_counter()
+            client.link(node)
+            latencies.append(time.perf_counter() - began)
+        return latencies
+
+    latencies = benchmark.pedantic(read_burst, rounds=3, iterations=1)
+    lat_ms = sorted(seconds * 1e3 for seconds in latencies)
+    benchmark.extra_info["requests_per_round"] = READS_PER_ROUND
+    benchmark.extra_info["p50_ms"] = round(_percentile(lat_ms, 0.50), 4)
+    benchmark.extra_info["p99_ms"] = round(_percentile(lat_ms, 0.99), 4)
+    benchmark.extra_info["rps"] = round(
+        READS_PER_ROUND / sum(latencies), 1
+    )
+
+
+def test_bench_warm_apply_http(benchmark, workload):
+    """One delta batch through the full HTTP write path (warm apply)."""
+    pair, seeds, deltas = workload
+    engine = IncrementalReconciler(_CONFIG)
+    engine.start(pair.g1.copy(), pair.g2.copy(), dict(seeds))
+    harness = ServerThread(ReconciliationService(engine))
+    harness.start()
+    client = ServingClient("127.0.0.1", harness.port)
+    pending = iter(deltas)
+
+    def setup():
+        return (next(pending),), {}
+
+    def apply_over_http(delta):
+        return client.apply_or_raise(delta)
+
+    try:
+        summary = benchmark.pedantic(
+            apply_over_http, setup=setup, rounds=BATCHES, iterations=1
+        )
+    finally:
+        client.close()
+        harness.stop()
+    benchmark.extra_info["apply_mode"] = "warm-http"
+    benchmark.extra_info["links"] = summary["links"]
+    benchmark.extra_info["server_apply_ms"] = summary["elapsed_ms"]
+    # The served end state must be bit-identical to a cold batch run.
+    g1, g2 = pair.g1.copy(), pair.g2.copy()
+    merged = dict(seeds)
+    for delta in deltas:
+        apply_delta_to_graphs(g1, g2, delta)
+        merged.update(delta.added_seeds)
+    cold = UserMatching(
+        dataclasses.replace(_CONFIG, backend="csr")
+    ).run(g1, g2, merged)
+    assert engine.links == cold.links
+
+
+def test_bench_cold_rerun(benchmark, workload):
+    """The comparator: from-scratch ``csr`` on the post-delta graphs."""
+    pair, seeds, deltas = workload
+    g1, g2 = pair.g1.copy(), pair.g2.copy()
+    merged = dict(seeds)
+    for delta in deltas:
+        apply_delta_to_graphs(g1, g2, delta)
+        merged.update(delta.added_seeds)
+    matcher = UserMatching(dataclasses.replace(_CONFIG, backend="csr"))
+    result = benchmark.pedantic(
+        matcher.run, args=(g1, g2, merged), rounds=3, iterations=1
+    )
+    benchmark.extra_info["apply_mode"] = "cold"
+    benchmark.extra_info["links"] = result.num_links
+    assert result.num_new_links > 0
+
+
+def test_bench_resume_roundtrip(benchmark, workload, tmp_path):
+    """Checkpoint + service resume: the crash-recovery cost."""
+    import asyncio
+
+    pair, seeds, deltas = workload
+    path = tmp_path / "serve.npz"
+    engine = IncrementalReconciler(_CONFIG)
+    engine.start(pair.g1.copy(), pair.g2.copy(), dict(seeds))
+
+    async def bootstrap():
+        service = ReconciliationService(engine, checkpoint_path=path)
+        await service.start()
+        await service.submit(deltas[0])
+        await service.close()
+        return service
+
+    service = asyncio.run(bootstrap())
+
+    def resume():
+        return ReconciliationService.resume(path)
+
+    resumed = benchmark.pedantic(resume, rounds=3, iterations=1)
+    assert resumed.engine.links == service.engine.links
+    benchmark.extra_info["checkpoint_bytes"] = path.stat().st_size
+    benchmark.extra_info["batches_resumed"] = resumed.batches_done

@@ -141,6 +141,39 @@ SECTIONS: list[tuple[str, list[tuple[str, str]]]] = [
         ],
     ),
     (
+        "Serving",
+        [
+            (
+                "repro.serving.ReconciliationService",
+                "repro.serving.service:ReconciliationService",
+            ),
+            (
+                "ReconciliationService.submit",
+                "repro.serving.service:ReconciliationService.submit",
+            ),
+            (
+                "ReconciliationService.resume",
+                "repro.serving.service:ReconciliationService.resume",
+            ),
+            (
+                "repro.serving.ReconciliationServer",
+                "repro.serving.server:ReconciliationServer",
+            ),
+            (
+                "repro.serving.ServerThread",
+                "repro.serving.server:ServerThread",
+            ),
+            (
+                "repro.serving.ServingClient",
+                "repro.serving.client:ServingClient",
+            ),
+            (
+                "repro.serving.AdmissionError",
+                "repro.serving.service:AdmissionError",
+            ),
+        ],
+    ),
+    (
         "Static analysis",
         [
             (

@@ -14,6 +14,8 @@ Examples::
     repro run all
     repro stream --batches 5 --compare-cold
     repro stream --checkpoint stream.npz --resume
+    repro serve --demo --checkpoint serve.npz
+    repro serve --checkpoint serve.npz --resume
     repro datasets
 """
 
@@ -329,6 +331,74 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import threading
+
+    from repro.core.config import MatcherConfig
+    from repro.errors import ReproError
+    from repro.graphs.graph import Graph
+    from repro.incremental.engine import IncrementalReconciler
+    from repro.serving import ReconciliationService, ServerThread
+
+    if args.resume and args.checkpoint is None:
+        print("--resume requires --checkpoint PATH", file=sys.stderr)
+        return 2
+    try:
+        if args.resume:
+            service = ReconciliationService.resume(
+                args.checkpoint,
+                checkpoint_every=args.checkpoint_every,
+                max_pending=args.max_pending,
+                fsync=not args.no_fsync,
+            )
+        else:
+            config = MatcherConfig(
+                threshold=args.threshold, iterations=args.iterations
+            )
+            engine = IncrementalReconciler(config)
+            if args.demo:
+                from repro.incremental.stream import build_stream_workload
+
+                pair, seeds, _deltas = build_stream_workload(
+                    n=args.n, m=args.m, seed=args.seed
+                )
+                engine.start(pair.g1, pair.g2, seeds)
+            else:
+                # The engine starts on empty graphs; the whole state
+                # arrives as POST /delta batches.
+                engine.start(Graph(), Graph(), {})
+            service = ReconciliationService(
+                engine,
+                checkpoint_path=args.checkpoint,
+                checkpoint_every=args.checkpoint_every,
+                max_pending=args.max_pending,
+                fsync=not args.no_fsync,
+            )
+        harness = ServerThread(service, host=args.host, port=args.port)
+        harness.start()
+    except ReproError as exc:
+        print(f"serve failed: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"repro serve listening on http://{args.host}:{harness.port}\n"
+        "routes: GET /health /links /links/<id> /scores/<id> /stats; "
+        "POST /delta /checkpoint\n"
+        "Ctrl-C stops gracefully (drain + flush + checkpoint)."
+    )
+    try:
+        threading.Event().wait(args.serve_seconds or None)
+    except KeyboardInterrupt:
+        print("\nshutting down (draining queued writes)...")
+    harness.stop()
+    stats = service.stats_payload()
+    print(
+        f"served {stats['requests']['total']} requests, "
+        f"{stats['applied_batches']} delta batches, "
+        f"{stats['links']} links at shutdown"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argparse CLI (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -479,6 +549,98 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="continue a checkpointed stream (skips applied batches)",
     )
+    serve_p = sub.add_parser(
+        "serve",
+        help=(
+            "serve the incremental reconciler over HTTP (POST deltas, "
+            "GET links/scores; reconciliation-as-a-service)"
+        ),
+    )
+    serve_p.add_argument(
+        "--host", default="127.0.0.1", help="bind address"
+    )
+    serve_p.add_argument(
+        "--port",
+        type=int,
+        default=8723,
+        help="bind port (0 picks a free one)",
+    )
+    serve_p.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help=(
+            "enable durability: periodic npz checkpoints here plus a "
+            "JSONL event log at PATH.jsonl"
+        ),
+    )
+    serve_p.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "resume from --checkpoint, replaying the logged delta "
+            "tail; served links are identical to never having stopped"
+        ),
+    )
+    serve_p.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=8,
+        dest="checkpoint_every",
+        help="checkpoint every N applied batches (default 8)",
+    )
+    serve_p.add_argument(
+        "--max-pending",
+        type=int,
+        default=64,
+        dest="max_pending",
+        help=(
+            "admission-control bound on queued writes; beyond it "
+            "POST /delta returns 429 with Retry-After (default 64)"
+        ),
+    )
+    serve_p.add_argument(
+        "--no-fsync",
+        action="store_true",
+        dest="no_fsync",
+        help=(
+            "skip fsync on event-log appends (throughput over "
+            "power-loss durability)"
+        ),
+    )
+    serve_p.add_argument(
+        "--threshold", type=int, default=2, help="matching score floor"
+    )
+    serve_p.add_argument(
+        "--iterations", type=int, default=1, help="outer iterations"
+    )
+    serve_p.add_argument(
+        "--demo",
+        action="store_true",
+        help=(
+            "start on the stream-demo workload instead of empty "
+            "graphs (see 'repro stream')"
+        ),
+    )
+    serve_p.add_argument(
+        "--n", type=int, default=4000, help="demo PA graph size"
+    )
+    serve_p.add_argument(
+        "--m", type=int, default=8, help="demo PA attachment parameter"
+    )
+    serve_p.add_argument(
+        "--seed", type=int, default=0, help="demo base RNG seed"
+    )
+    serve_p.add_argument(
+        "--serve-seconds",
+        type=float,
+        default=0,
+        dest="serve_seconds",
+        help=(
+            "stop gracefully after this many seconds (0 = run until "
+            "Ctrl-C); used by the CI smoke test"
+        ),
+    )
     lint_p = sub.add_parser(
         "lint",
         help=(
@@ -516,6 +678,8 @@ def main(argv: list[str] | None = None) -> int:
         )
     if args.command == "stream":
         return _cmd_stream(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "lint":
         from repro.analysis.cli import run_lint_command
 

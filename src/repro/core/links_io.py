@@ -22,6 +22,8 @@ from __future__ import annotations
 
 import gzip
 import json
+import numbers
+import os
 from pathlib import Path
 from typing import IO, Hashable, Iterable, Iterator
 
@@ -42,16 +44,80 @@ def _open(path: Path, mode: str) -> IO[str]:
 
 
 def _parse_node(token: str) -> object:
+    """Decode one TSV token written by :func:`_format_node`.
+
+    A leading ``"`` marks a JSON-quoted string (the escape hatch for
+    ids that would otherwise corrupt the TSV or lose their type);
+    int-like bare tokens are ints, everything else is the raw string.
+    """
+    if token.startswith('"'):
+        try:
+            value = json.loads(token)
+        except ValueError:
+            raise ReproError(
+                f"malformed quoted node id {token!r}"
+            ) from None
+        if not isinstance(value, str):
+            raise ReproError(
+                f"quoted node id must decode to a string, got {value!r}"
+            )
+        return value
     try:
         return int(token)
     except ValueError:
         return token
 
 
+def _format_node(node: Node, label: str) -> str:
+    """Encode one node id as a TSV token that round-trips exactly.
+
+    Ints are written bare.  Strings are written bare only when the
+    bare form parses back to the identical string: anything int-like
+    (``"1"`` must not come back as ``int`` 1), containing TSV
+    structure (tab/newline/carriage return), starting with ``"`` or
+    ``#``, or empty is JSON-quoted instead.  Any other type is
+    rejected — use the npz checkpoint for richer ids.
+    """
+    if isinstance(node, bool):
+        raise ReproError(
+            f"{label}: cannot write node id {node!r}: only int and str "
+            "ids round-trip through link TSV (use npz checkpoints for "
+            "richer types)"
+        )
+    if isinstance(node, numbers.Integral):
+        return str(int(node))
+    if not isinstance(node, str):
+        raise ReproError(
+            f"{label}: cannot write node id {node!r} of type "
+            f"{type(node).__name__}: only int and str ids round-trip "
+            "through link TSV (use npz checkpoints for richer types)"
+        )
+    needs_quoting = (
+        not node
+        or node[0] in ('"', "#")
+        or any(ch in node for ch in "\t\n\r")
+    )
+    if not needs_quoting:
+        # Bare int-like strings would come back as ints; quote them.
+        try:
+            int(node)
+        except ValueError:
+            return node
+        needs_quoting = True
+    return json.dumps(node, ensure_ascii=False)
+
+
 def write_links(
     links: dict[Node, Node], path: str | Path, header: str = ""
 ) -> None:
-    """Write a link mapping as TSV (ids rendered with ``str``)."""
+    """Write a link mapping as TSV (ids must be ints or strings).
+
+    Ids round-trip exactly through :func:`read_links`: strings that
+    would be ambiguous or corrupt the TSV (int-like, embedded
+    tab/newline, leading ``"``/``#``, empty) are JSON-quoted on disk.
+    Other id types raise :class:`ReproError` at write time instead of
+    producing a file that mis-reads later.
+    """
     path = Path(path)
     with _open(path, "w") as fh:
         fh.write(f"# links={len(links)}\n")
@@ -59,14 +125,18 @@ def write_links(
             for line in header.splitlines():
                 fh.write(f"# {line}\n")
         for v1, v2 in links.items():
-            fh.write(f"{v1}\t{v2}\n")
+            left = _format_node(v1, "source")
+            right = _format_node(v2, "target")
+            fh.write(f"{left}\t{right}\n")
 
 
 def read_links(path: str | Path) -> dict[Node, Node]:
     """Read a TSV link mapping written by :func:`write_links`.
 
-    Int-like tokens come back as ints, everything else as strings.
-    Raises :class:`ReproError` on malformed lines or duplicate sources.
+    Int-like bare tokens come back as ints; JSON-quoted tokens come
+    back as the exact string they encode (so a *string* id ``"1"``
+    keeps its type).  Raises :class:`ReproError` on malformed lines or
+    duplicate sources.
     """
     path = Path(path)
     links: dict[Node, Node] = {}
@@ -89,6 +159,26 @@ def read_links(path: str | Path) -> dict[Node, Node]:
     return links
 
 
+def parse_node_token(token: str) -> object:
+    """Decode a node-id token in the shared TSV/URL convention.
+
+    Bare int-like tokens are ints; JSON-quoted tokens are the exact
+    string they encode.  The serving layer uses the same convention in
+    URL path segments, so a *string* id ``"1"`` is addressable without
+    colliding with the *int* id ``1``.
+    """
+    return _parse_node(token)
+
+
+def format_node_token(node: Node) -> str:
+    """Encode a node id in the shared TSV/URL token convention.
+
+    Inverse of :func:`parse_node_token`; raises :class:`ReproError`
+    for ids that are neither ints nor strings.
+    """
+    return _format_node(node, "node")
+
+
 # ----------------------------------------------------------------------
 # Append-only JSONL event log
 # ----------------------------------------------------------------------
@@ -96,17 +186,24 @@ class LinkStore:
     """Append-only JSONL log of a reconciliation's link history.
 
     Each :meth:`append` writes one JSON object per line; the file is
-    opened, written, flushed, and closed per event, so concurrent
-    readers always see whole lines and a crash loses at most the event
-    being written.  Node ids must be JSON-representable (ints and
-    strings round-trip exactly; use the npz checkpoint for anything
-    richer).
+    opened, written, flushed, fsynced, and closed per event, so
+    concurrent readers always see whole lines and — with *fsync* left
+    on — a crash or power loss loses at most the event being written.
+    Node ids must be JSON-representable (ints and strings round-trip
+    exactly; use the npz checkpoint for anything richer).
 
     Parameters
     ----------
     path : str or Path
         Log location; parent directories must exist.  A missing file
         is an empty store.
+    fsync : bool, optional
+        Force every appended event to stable storage with
+        :func:`os.fsync` (the default).  ``False`` keeps the
+        flush-per-event (whole lines for concurrent readers) but lets
+        the OS schedule the disk write — an unclean *power loss* can
+        then drop recent events; use it only where the log is
+        disposable (tests, benchmarks).
 
     Examples
     --------
@@ -117,12 +214,13 @@ class LinkStore:
     {1: 10, 2: 20}
     """
 
-    def __init__(self, path: "str | Path") -> None:
+    def __init__(self, path: "str | Path", *, fsync: bool = True) -> None:
         self.path = Path(path)
+        self.fsync = fsync
 
     # ------------------------------------------------------------------
     def append(self, event: dict) -> None:
-        """Append one event object as a JSON line.
+        """Append one event object as a JSON line (durably by default).
 
         Parameters
         ----------
@@ -134,6 +232,8 @@ class LinkStore:
         with open(self.path, "a", encoding="utf-8") as fh:
             fh.write(line + "\n")
             fh.flush()
+            if self.fsync:
+                os.fsync(fh.fileno())
 
     def append_seeds(self, seeds: dict[Node, Node]) -> None:
         """Record the seed links a reconciliation starts from."""

@@ -22,6 +22,8 @@ from repro.incremental.delta import (
     DeltaError,
     GraphDelta,
     apply_delta_to_graphs,
+    delta_from_payload,
+    delta_to_payload,
     split_edge_stream,
 )
 from repro.incremental.delta_index import AppliedDelta, DeltaIndex
@@ -31,6 +33,8 @@ __all__ = [
     "GraphDelta",
     "DeltaError",
     "apply_delta_to_graphs",
+    "delta_from_payload",
+    "delta_to_payload",
     "split_edge_stream",
     "DeltaIndex",
     "AppliedDelta",

@@ -153,6 +153,144 @@ class GraphDelta:
         )
 
 
+#: Field names a JSON delta payload may carry (all optional).
+_PAYLOAD_FIELDS = (
+    "added_edges1",
+    "added_edges2",
+    "removed_edges1",
+    "removed_edges2",
+    "added_nodes1",
+    "added_nodes2",
+    "added_seeds",
+)
+
+
+def delta_to_payload(delta: GraphDelta) -> dict:
+    """Render a delta as a JSON-serializable dict (empty fields omitted).
+
+    The wire/log format of the serving layer: edges and seeds become
+    ``[u, v]`` pairs, so int and str node ids round-trip exactly
+    through :func:`delta_from_payload`.
+    """
+    payload: dict = {}
+    for name in _PAYLOAD_FIELDS:
+        value = getattr(delta, name)
+        if not value:
+            continue
+        if name in ("added_nodes1", "added_nodes2"):
+            payload[name] = list(value)
+        else:
+            payload[name] = [[u, v] for u, v in value]
+    return payload
+
+
+def delta_from_payload(payload: "Mapping[str, object]") -> GraphDelta:
+    """Parse a JSON payload dict back into a validated delta.
+
+    Raises
+    ------
+    DeltaError
+        On unknown keys or malformed values — the serving layer maps
+        this to a 400 response, so the message names the bad field.
+    """
+    if not isinstance(payload, Mapping):
+        raise DeltaError(
+            f"delta payload must be a JSON object, got "
+            f"{type(payload).__name__}"
+        )
+    unknown = sorted(set(payload) - set(_PAYLOAD_FIELDS))
+    if unknown:
+        raise DeltaError(
+            f"unknown delta field(s) {unknown}; expected a subset of "
+            f"{list(_PAYLOAD_FIELDS)}"
+        )
+    kwargs: dict = {}
+    for name in _PAYLOAD_FIELDS:
+        value = payload.get(name, ())
+        if not isinstance(value, (list, tuple)):
+            raise DeltaError(
+                f"{name}: expected a list, got {type(value).__name__}"
+            )
+        if name in ("added_nodes1", "added_nodes2"):
+            kwargs[name] = tuple(value)
+        elif name == "added_seeds":
+            pairs = []
+            for item in value:
+                if not isinstance(item, (list, tuple)) or len(item) != 2:
+                    raise DeltaError(
+                        f"added_seeds: expected [v1, v2] pairs, got "
+                        f"{item!r}"
+                    )
+                pairs.append((item[0], item[1]))
+            kwargs[name] = pairs
+        else:
+            edges = []
+            for item in value:
+                if not isinstance(item, (list, tuple)) or len(item) != 2:
+                    raise DeltaError(
+                        f"{name}: expected [u, v] pairs, got {item!r}"
+                    )
+                edges.append((item[0], item[1]))
+            kwargs[name] = edges
+    return GraphDelta.build(**kwargs)
+
+
+def validate_delta(g1: Graph, g2: Graph, delta: GraphDelta) -> None:
+    """Check that *delta* would apply cleanly, without mutating anything.
+
+    Mirrors :func:`apply_delta_to_graphs` exactly (additions before
+    removals, per side; duplicates within the delta count as already
+    applied) so a delta that validates can no longer raise — and
+    therefore can no longer leave the graphs partially mutated.  The
+    serving layer runs this before logging/applying every batch: a bad
+    request becomes a clean rejection instead of a corrupted engine.
+
+    Raises
+    ------
+    DeltaError
+        Naming the first offending edge/seed, with the same messages
+        the apply path would produce.
+    """
+    for label, graph, added, removed in (
+        ("edges1", g1, delta.added_edges1, delta.removed_edges1),
+        ("edges2", g2, delta.added_edges2, delta.removed_edges2),
+    ):
+        seen_added: set[frozenset[Node]] = set()
+        for u, v in added:
+            key = frozenset((u, v))
+            if graph.has_edge(u, v) or key in seen_added:
+                raise DeltaError(
+                    f"added_{label}: edge {(u, v)!r} already present"
+                )
+            seen_added.add(key)
+        seen_removed: set[frozenset[Node]] = set()
+        for u, v in removed:
+            key = frozenset((u, v))
+            present = (
+                graph.has_edge(u, v) or key in seen_added
+            ) and key not in seen_removed
+            if not present:
+                raise DeltaError(
+                    f"removed_{label}: edge {(u, v)!r} not present"
+                )
+            seen_removed.add(key)
+    new_nodes1: set[Node] = set(delta.added_nodes1)
+    new_nodes2: set[Node] = set(delta.added_nodes2)
+    for u, v in delta.added_edges1:
+        new_nodes1.update((u, v))
+    for u, v in delta.added_edges2:
+        new_nodes2.update((u, v))
+    for v1, v2 in delta.added_seeds:
+        if not (g1.has_node(v1) or v1 in new_nodes1):
+            raise DeltaError(
+                f"added_seeds: {v1!r} -> {v2!r}: {v1!r} not in g1"
+            )
+        if not (g2.has_node(v2) or v2 in new_nodes2):
+            raise DeltaError(
+                f"added_seeds: {v1!r} -> {v2!r}: {v2!r} not in g2"
+            )
+
+
 def apply_delta_to_graphs(g1: Graph, g2: Graph, delta: GraphDelta) -> None:
     """Apply *delta* to the two graphs in place (strict semantics).
 

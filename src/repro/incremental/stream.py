@@ -133,7 +133,9 @@ def run_stream(
         Persist the engine here after every batch.
     warm_start : bool
         Resume a previously checkpointed stream (requires
-        *checkpoint_path*; skips the batches already applied).
+        *checkpoint_path*; skips the batches already applied).  A
+        missing checkpoint raises :class:`~repro.errors.ReproError`
+        rather than silently cold-starting.
     """
     if warm_start and not checkpoint_path:
         raise ReproError("--resume requires --checkpoint PATH")
@@ -181,7 +183,16 @@ def run_stream(
         if checkpoint_path
         else None
     )
-    if (warm_start and checkpoint_path and Path(checkpoint_path).exists()):
+    if warm_start:
+        # A missing checkpoint must not silently cold-start: the caller
+        # asked to continue an interrupted stream, and quietly redoing
+        # (and re-logging) every batch is exactly the surprise --resume
+        # exists to prevent.
+        if not Path(checkpoint_path).exists():
+            raise ReproError(
+                f"--resume: checkpoint {checkpoint_path} does not "
+                "exist; run once without --resume to create it"
+            )
         engine = IncrementalReconciler.resume(checkpoint_path)
         engine.require_config(config)
         extra = engine.checkpoint_extra or {}

@@ -1,0 +1,42 @@
+"""Reconciliation-as-a-service: serve the incremental engine live.
+
+The batch pipeline answers "who matches whom?" once; this subsystem
+keeps answering as the graphs change.  A long-running asyncio server
+owns one :class:`~repro.incremental.engine.IncrementalReconciler`,
+ingests :class:`~repro.incremental.delta.GraphDelta` batches over
+HTTP, and serves link/score queries from read caches keyed on the
+engine's packed score tables:
+
+- :mod:`repro.serving.http` — minimal HTTP/1.1 framing (stdlib only;
+  the container constraint is "no new packages").
+- :class:`~repro.serving.service.ReconciliationService` — the
+  transport-independent core: single-writer coalescing, admission
+  control, per-version read caches, JSONL + npz durability with
+  kill-safe resume.
+- :class:`~repro.serving.server.ReconciliationServer` /
+  :class:`~repro.serving.server.ServerThread` — the asyncio routes
+  and the run-in-a-thread harness for synchronous callers.
+- :class:`~repro.serving.client.ServingClient` — blocking stdlib
+  client used by the CLI demo, tests, and benchmarks.
+"""
+
+from repro.serving.client import ServingClient, ServingResponse
+from repro.serving.http import HttpError, HttpRequest
+from repro.serving.server import ReconciliationServer, ServerThread
+from repro.serving.service import (
+    AdmissionError,
+    ReconciliationService,
+    ServiceClosing,
+)
+
+__all__ = [
+    "AdmissionError",
+    "HttpError",
+    "HttpRequest",
+    "ReconciliationServer",
+    "ReconciliationService",
+    "ServiceClosing",
+    "ServerThread",
+    "ServingClient",
+    "ServingResponse",
+]

@@ -1,0 +1,161 @@
+"""A blocking keep-alive client for the serving API (stdlib only).
+
+Wraps :class:`http.client.HTTPConnection` so tests, benchmarks, and
+scripts can drive :class:`~repro.serving.server.ReconciliationServer`
+without growing an HTTP-library dependency.  One client holds one
+keep-alive connection; it reconnects transparently after a server-side
+close and exposes the raw ``(status, headers, json)`` triple for the
+admission-control tests that care about 429/503 and ``Retry-After``.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Hashable
+from urllib.parse import quote
+
+from repro.core.links_io import format_node_token
+from repro.errors import ReproError
+from repro.incremental.delta import GraphDelta, delta_to_payload
+
+Node = Hashable
+
+
+class ServingResponse:
+    """One decoded response: status, headers, parsed JSON body."""
+
+    def __init__(
+        self, status: int, headers: dict[str, str], body: bytes
+    ) -> None:
+        self.status = status
+        self.headers = headers
+        self.body = body
+
+    def json(self) -> dict:
+        doc = json.loads(self.body.decode("utf-8"))
+        if not isinstance(doc, dict):
+            raise ReproError(
+                f"expected a JSON object body, got {type(doc).__name__}"
+            )
+        return doc
+
+    def raise_for_status(self) -> "ServingResponse":
+        if self.status >= 400:
+            raise ReproError(
+                f"serving request failed: HTTP {self.status} "
+                f"{self.body[:200]!r}"
+            )
+        return self
+
+    def __repr__(self) -> str:
+        return f"ServingResponse(status={self.status})"
+
+
+class ServingClient:
+    """Blocking JSON client for one reconciliation server."""
+
+    def __init__(
+        self, host: str, port: int, *, timeout: float = 30.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: "http.client.HTTPConnection | None" = None
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServingClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def request(
+        self, method: str, path: str, body: "bytes | None" = None
+    ) -> ServingResponse:
+        """One round-trip; reconnects once if the socket went stale."""
+        headers = {}
+        if body is not None:
+            headers["Content-Type"] = "application/json"
+        for attempt in (1, 2):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                raw = conn.getresponse()
+                payload = raw.read()
+            except (
+                http.client.HTTPException,
+                ConnectionError,
+                BrokenPipeError,
+            ):
+                self.close()
+                if attempt == 2:
+                    raise
+                continue
+            response = ServingResponse(
+                raw.status,
+                {k.lower(): v for k, v in raw.getheaders()},
+                payload,
+            )
+            if raw.getheader("Connection", "").lower() == "close":
+                self.close()
+            return response
+        raise AssertionError("unreachable")
+
+    # ------------------------------------------------------------------
+    # Typed wrappers over the routes
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        return self.request("GET", "/health").raise_for_status().json()
+
+    def stats(self) -> dict:
+        return self.request("GET", "/stats").raise_for_status().json()
+
+    def links(self) -> "dict[Node, Node]":
+        """The full served link mapping, decoded from the pair list."""
+        doc = self.request("GET", "/links").raise_for_status().json()
+        return {v1: v2 for v1, v2 in doc["links"]}
+
+    def link(self, node: Node) -> "Node | None":
+        """One node's link, or ``None`` when unlinked/unknown."""
+        response = self.request("GET", f"/links/{_node_path(node)}")
+        if response.status == 404:
+            return None
+        return response.raise_for_status().json()["link"]
+
+    def scores(self, node: Node) -> "list[tuple[Node, int]]":
+        """A g1 node's final-round witness scores, best first."""
+        response = self.request("GET", f"/scores/{_node_path(node)}")
+        doc = response.raise_for_status().json()
+        return [(v2, int(score)) for v2, score in doc["scores"]]
+
+    def apply(self, delta: GraphDelta) -> ServingResponse:
+        """POST one delta; returns the raw response (not raised) so
+        callers can observe 429/503/409 and ``Retry-After``."""
+        body = json.dumps(delta_to_payload(delta)).encode("utf-8")
+        return self.request("POST", "/delta", body=body)
+
+    def apply_or_raise(self, delta: GraphDelta) -> dict:
+        """POST one delta and require success; returns the summary."""
+        return self.apply(delta).raise_for_status().json()
+
+    def checkpoint(self) -> dict:
+        return (
+            self.request("POST", "/checkpoint").raise_for_status().json()
+        )
+
+
+def _node_path(node: Node) -> str:
+    """Percent-encoded path segment for a node id."""
+    return quote(format_node_token(node), safe="")

@@ -1,0 +1,207 @@
+"""Minimal HTTP/1.1 framing for the serving layer (stdlib only).
+
+The serving layer deliberately does not grow a web-framework
+dependency: its API surface is a handful of JSON routes, and the
+container constraint is "no new packages".  This module owns the wire
+format — request parsing off an :class:`asyncio.StreamReader` and
+response rendering to bytes — so :mod:`repro.serving.server` can stay
+pure routing.
+
+Supported subset (enough for every stdlib client and load generator):
+
+- request line + headers + ``Content-Length`` bodies;
+- keep-alive (HTTP/1.1 default) and ``Connection: close``;
+- hard caps on request-line, header, and body sizes, mapped to 400 /
+  413 responses instead of unbounded buffering.
+
+``Transfer-Encoding: chunked`` is rejected with 501 — a reconciliation
+delta is a bounded JSON document, and refusing chunked bodies keeps
+admission control's memory bound honest.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+from repro.errors import ReproError
+
+#: Longest accepted request line (method + target + version).
+MAX_REQUEST_LINE = 8 * 1024
+#: Cap on the combined header block.
+MAX_HEADER_BYTES = 32 * 1024
+#: Default cap on a request body (one delta batch as JSON).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(ReproError):
+    """A malformed or unacceptable request, carrying its status code."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request.
+
+    Attributes:
+        method: upper-cased HTTP method (``GET``, ``POST``, ...).
+        path: percent-decoded path without the query string.
+        query: first-value-wins query parameters.
+        headers: header mapping with lower-cased names.
+        body: raw request body (possibly empty).
+        keep_alive: whether the connection survives this exchange.
+    """
+
+    method: str
+    path: str
+    query: dict[str, str] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+    keep_alive: bool = True
+
+
+async def _read_line(
+    reader: asyncio.StreamReader, limit: int, what: str
+) -> bytes:
+    try:
+        line = await reader.readuntil(b"\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return b""  # clean EOF between requests
+        raise HttpError(400, f"truncated {what}") from None
+    except asyncio.LimitOverrunError:
+        raise HttpError(400, f"{what} exceeds {limit} bytes") from None
+    if len(line) > limit:
+        raise HttpError(400, f"{what} exceeds {limit} bytes")
+    return line.rstrip(b"\r\n")
+
+
+async def read_request(
+    reader: asyncio.StreamReader, *, max_body: int = MAX_BODY_BYTES
+) -> HttpRequest | None:
+    """Parse one request; ``None`` on clean end-of-stream.
+
+    Raises
+    ------
+    HttpError
+        On malformed framing or an oversized request; the server maps
+        ``.status`` straight onto the response.
+    """
+    line = await _read_line(reader, MAX_REQUEST_LINE, "request line")
+    if not line:
+        return None
+    parts = line.split()
+    if len(parts) != 3:
+        raise HttpError(400, f"malformed request line {line[:80]!r}")
+    method_b, target_b, version_b = parts
+    if version_b not in (b"HTTP/1.1", b"HTTP/1.0"):
+        raise HttpError(400, f"unsupported version {version_b!r}")
+    headers: dict[str, str] = {}
+    header_bytes = 0
+    while True:
+        raw = await _read_line(reader, MAX_HEADER_BYTES, "header line")
+        if not raw:
+            break
+        header_bytes += len(raw)
+        if header_bytes > MAX_HEADER_BYTES:
+            raise HttpError(400, "header block too large")
+        name, sep, value = raw.partition(b":")
+        if not sep:
+            raise HttpError(400, f"malformed header {raw[:80]!r}")
+        headers[name.decode("latin-1").strip().lower()] = (
+            value.decode("latin-1").strip()
+        )
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        raise HttpError(501, "chunked request bodies are not supported")
+    body = b""
+    length_header = headers.get("content-length")
+    if length_header is not None:
+        try:
+            length = int(length_header)
+        except ValueError:
+            raise HttpError(
+                400, f"bad Content-Length {length_header!r}"
+            ) from None
+        if length < 0:
+            raise HttpError(400, f"bad Content-Length {length}")
+        if length > max_body:
+            raise HttpError(
+                413, f"body of {length} bytes exceeds cap {max_body}"
+            )
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise HttpError(400, "body shorter than Content-Length") from None
+    target = target_b.decode("latin-1")
+    split = urlsplit(target)
+    query = dict(parse_qsl(split.query, keep_blank_values=True))
+    connection = headers.get("connection", "").lower()
+    keep_alive = version_b == b"HTTP/1.1" and connection != "close"
+    if version_b == b"HTTP/1.0" and connection == "keep-alive":
+        keep_alive = True
+    return HttpRequest(
+        method=method_b.decode("latin-1").upper(),
+        path=unquote(split.path),
+        query=query,
+        headers=headers,
+        body=body,
+        keep_alive=keep_alive,
+    )
+
+
+def render_response(
+    status: int,
+    body: bytes,
+    *,
+    content_type: str = "application/json",
+    keep_alive: bool = True,
+    extra_headers: "dict[str, str] | None" = None,
+) -> bytes:
+    """Render one complete HTTP/1.1 response as bytes."""
+    reason = _REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    head = "\r\n".join(lines).encode("latin-1") + b"\r\n\r\n"
+    return head + body
+
+
+def json_body(payload: object) -> bytes:
+    """Compact UTF-8 JSON encoding shared by every route."""
+    return json.dumps(
+        payload, separators=(",", ":"), ensure_ascii=False
+    ).encode("utf-8")
+
+
+def error_body(status: int, message: str) -> bytes:
+    """The uniform JSON error document."""
+    return json_body(
+        {
+            "error": _REASONS.get(status, "Unknown"),
+            "status": status,
+            "message": message,
+        }
+    )

@@ -1,0 +1,343 @@
+"""The asyncio HTTP server and its run-in-a-thread harness.
+
+:class:`ReconciliationServer` binds a
+:class:`~repro.serving.service.ReconciliationService` to a TCP port:
+it accepts connections with :func:`asyncio.start_server`, frames
+requests via :mod:`repro.serving.http`, and routes them to the
+service's cached read bodies and single-writer submit path.  Every
+response carries an ``X-Request-Ms`` header with the measured
+server-side handling time, and every request is folded into the
+service's rolling stats (the ``GET /stats`` percentiles).
+
+Routes::
+
+    GET  /health            liveness + state version + queue depth
+    GET  /links             full link snapshot (canonical pair list)
+    GET  /links/<token>     one node's link (token convention of
+                            repro.core.links_io.format_node_token)
+    GET  /scores/<token>    a g1 node's final-round witness scores
+    GET  /stats             request/apply latency percentiles
+    POST /delta             apply one GraphDelta payload (JSON body)
+    POST /checkpoint        force an npz checkpoint now
+
+:class:`ServerThread` runs the whole thing on a dedicated event-loop
+thread so synchronous callers — the CLI, pytest (no pytest-asyncio in
+this container), and the benchmark harness — can drive it with plain
+blocking clients, and distinguishes graceful :meth:`~ServerThread.stop`
+(drain, flush, checkpoint) from :meth:`~ServerThread.kill` (simulated
+crash, for the resume tests).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import threading
+import time
+from typing import Callable
+
+from repro.errors import ReproError
+from repro.incremental.delta import DeltaError
+from repro.serving.http import (
+    HttpError,
+    HttpRequest,
+    error_body,
+    json_body,
+    read_request,
+    render_response,
+)
+from repro.serving.service import (
+    AdmissionError,
+    ReconciliationService,
+    ServiceClosing,
+    parse_json_delta,
+)
+
+
+class ReconciliationServer:
+    """One service bound to one listening socket, inside one loop."""
+
+    def __init__(
+        self,
+        service: ReconciliationService,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self._requested_port = port
+        self._server: "asyncio.base_events.Server | None" = None
+        self._connections: "set[asyncio.Task[None]]" = set()
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` to the kernel's pick)."""
+        if self._server is None or not self._server.sockets:
+            raise ReproError("server is not listening")
+        return int(self._server.sockets[0].getsockname()[1])
+
+    async def start(self) -> None:
+        """Start the service's writer task and begin accepting."""
+        await self.service.start()
+        self._server = await asyncio.start_server(
+            self._on_connection, self.host, self._requested_port
+        )
+
+    async def close(self) -> None:
+        """Graceful shutdown: stop accepting, drain writes, flush.
+
+        In-flight requests finish and are answered; queued deltas are
+        applied, logged, and checkpointed before this returns.  Only
+        then are idle keep-alive connections torn down.
+        """
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self.service.close()
+        await self._drop_connections()
+
+    async def abort(self) -> None:
+        """Simulated crash: stop now, flush nothing (see tests)."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self.service.abort()
+        await self._drop_connections()
+
+    async def _drop_connections(self) -> None:
+        tasks = [task for task in self._connections if not task.done()]
+        for task in tasks:
+            task.cancel()
+        for task in tasks:
+            with contextlib.suppress(asyncio.CancelledError):
+                await task
+
+    def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.get_running_loop().create_task(
+            self._serve_connection(reader, writer)
+        )
+        self._connections.add(task)
+        task.add_done_callback(self._connections.discard)
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except HttpError as exc:
+                    writer.write(
+                        render_response(
+                            exc.status,
+                            error_body(exc.status, str(exc)),
+                            keep_alive=False,
+                        )
+                    )
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                began = time.perf_counter()
+                status, body, extra = await self._dispatch(request)
+                elapsed_ms = (time.perf_counter() - began) * 1e3
+                self.service.record_request(status, elapsed_ms)
+                extra["X-Request-Ms"] = f"{elapsed_ms:.3f}"
+                writer.write(
+                    render_response(
+                        status,
+                        body,
+                        keep_alive=request.keep_alive,
+                        extra_headers=extra,
+                    )
+                )
+                await writer.drain()
+                if not request.keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError, TimeoutError):
+            pass
+        finally:
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _dispatch(
+        self, request: HttpRequest
+    ) -> tuple[int, bytes, dict[str, str]]:
+        """Route one request; returns ``(status, body, headers)``."""
+        service = self.service
+        path = request.path
+        if request.method == "GET":
+            if path == "/health":
+                return 200, service.health_body(), {}
+            if path == "/stats":
+                return 200, service.stats_body(), {}
+            if path == "/links":
+                return 200, service.links_snapshot_body(), {}
+            if path.startswith("/links/"):
+                status, body = service.link_body(path[len("/links/") :])
+                return status, body, {}
+            if path.startswith("/scores/"):
+                status, body = service.scores_body(
+                    path[len("/scores/") :]
+                )
+                return status, body, {}
+            return 404, error_body(404, f"no route {path!r}"), {}
+        if request.method == "POST":
+            if path == "/delta":
+                return await self._post_delta(request)
+            if path == "/checkpoint":
+                return self._post_checkpoint()
+            return 404, error_body(404, f"no route {path!r}"), {}
+        return (
+            405,
+            error_body(405, f"method {request.method} not allowed"),
+            {},
+        )
+
+    async def _post_delta(
+        self, request: HttpRequest
+    ) -> tuple[int, bytes, dict[str, str]]:
+        try:
+            delta = parse_json_delta(request.body)
+        except DeltaError as exc:
+            return 400, error_body(400, str(exc)), {}
+        try:
+            summary = await self.service.submit(delta)
+        except AdmissionError as exc:
+            return (
+                429,
+                error_body(429, str(exc)),
+                {"Retry-After": str(int(exc.retry_after))},
+            )
+        except ServiceClosing as exc:
+            return 503, error_body(503, str(exc)), {"Retry-After": "1"}
+        except DeltaError as exc:
+            # Validated against current state and rejected; the engine
+            # was never touched, so this is a conflict, not a bad
+            # request.
+            return 409, error_body(409, str(exc)), {}
+        return 200, json_body(summary), {}
+
+    def _post_checkpoint(self) -> tuple[int, bytes, dict[str, str]]:
+        try:
+            self.service.checkpoint_now()
+        except ReproError as exc:
+            return 409, error_body(409, str(exc)), {}
+        return (
+            200,
+            json_body(
+                {
+                    "checkpoint": str(self.service.checkpoint_path),
+                    "batches_done": self.service.batches_done,
+                }
+            ),
+            {},
+        )
+
+
+class ServerThread:
+    """Run a :class:`ReconciliationServer` on its own loop thread.
+
+    The synchronous harness the CLI, tests, and benchmarks share:
+
+    >>> harness = ServerThread(service)
+    >>> harness.start()            # returns once the port is bound
+    >>> ...                        # drive it with ServingClient
+    >>> harness.stop()             # graceful drain + flush
+    >>> # or harness.kill()        # simulated crash for resume tests
+
+    Also usable as a context manager (``with ServerThread(...) as h:``),
+    which stops gracefully on exit.
+    """
+
+    def __init__(
+        self,
+        service: ReconciliationService,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.server = ReconciliationServer(service, host=host, port=port)
+        self.port: "int | None" = None
+        self._thread: "threading.Thread | None" = None
+        self._loop: "asyncio.AbstractEventLoop | None" = None
+        self._stop_event: "asyncio.Event | None" = None
+        self._ready = threading.Event()
+        self._startup_error: "BaseException | None" = None
+        self._kill = False
+
+    @property
+    def service(self) -> ReconciliationService:
+        return self.server.service
+
+    def start(self, timeout: float = 30.0) -> "ServerThread":
+        """Start the loop thread; block until listening (or raise)."""
+        if self._thread is not None:
+            raise ReproError("server thread already started")
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serving", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise ReproError("server did not start within timeout")
+        if self._startup_error is not None:
+            self._thread.join()
+            raise ReproError(
+                f"server failed to start: {self._startup_error}"
+            ) from self._startup_error
+        return self
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        try:
+            await self.server.start()
+            self.port = self.server.port
+        except BaseException as exc:
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self._ready.set()
+        await self._stop_event.wait()
+        if self._kill:
+            await self.server.abort()
+        else:
+            await self.server.close()
+
+    def _signal_stop(self, *, kill: bool) -> None:
+        if self._thread is None:
+            return
+        self._kill = kill
+        loop, event = self._loop, self._stop_event
+        if loop is not None and event is not None and loop.is_running():
+            loop.call_soon_threadsafe(event.set)
+        self._thread.join()
+        self._thread = None
+
+    def call_in_loop(self, fn: "Callable[[], object]") -> None:
+        """Run *fn()* on the server's loop thread (test hook: e.g. to
+        release the service's ``writer_gate``)."""
+        if self._loop is None:
+            raise ReproError("server is not running")
+        self._loop.call_soon_threadsafe(fn)
+
+    def stop(self) -> None:
+        """Graceful shutdown: drain queued writes, flush, checkpoint."""
+        self._signal_stop(kill=False)
+
+    def kill(self) -> None:
+        """Abrupt shutdown: apply nothing further, flush nothing."""
+        self._signal_stop(kill=True)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

@@ -188,3 +188,75 @@ class TestCheckpointIO:
         store.append_retractions([2])
         store.append_links({3: 30})
         assert store.links() == {1: 10, 3: 30}
+
+
+class TestNodeIdEscaping:
+    """Ids that used to corrupt the TSV or lose their type (PR 8)."""
+
+    def test_tab_and_newline_ids_round_trip(self, tmp_path):
+        links = {"a\tb": "c\nd", "e\rf": "plain"}
+        path = tmp_path / "links.tsv"
+        write_links(links, path)
+        # The file must still be line/tab parseable: 1 header + 2 rows.
+        lines = path.read_text().splitlines()
+        assert len(lines) == 3
+        assert all(line.count("\t") == 1 for line in lines[1:])
+        assert read_links(path) == links
+
+    def test_int_like_string_keeps_its_type(self, tmp_path):
+        links = {"1": 2, 3: "4", " 5 ": "+6"}
+        path = tmp_path / "links.tsv"
+        write_links(links, path)
+        restored = read_links(path)
+        assert restored == links
+        assert {type(k) for k in restored} == {str, int}
+
+    def test_leading_quote_and_hash_and_empty(self, tmp_path):
+        links = {'"quoted"': "#comment", "": "ok"}
+        path = tmp_path / "links.tsv"
+        write_links(links, path)
+        assert read_links(path) == links
+
+    def test_unwritable_id_type_rejected(self, tmp_path):
+        path = tmp_path / "links.tsv"
+        with pytest.raises(ReproError, match="round-trip"):
+            write_links({(1, 2): 3}, path)
+        with pytest.raises(ReproError, match="round-trip"):
+            write_links({True: 1}, path)
+
+    def test_token_helpers_round_trip(self):
+        from repro.core.links_io import format_node_token, parse_node_token
+
+        for node in [1, -7, "plain", "1", "", '"x"', "#y", "a\tb"]:
+            assert parse_node_token(format_node_token(node)) == node
+        with pytest.raises(ReproError):
+            parse_node_token('"unterminated')
+        with pytest.raises(ReproError):
+            parse_node_token('"123"'[:-1] + "5")  # still malformed
+
+
+class TestLinkStoreFsync:
+    def test_fsync_default_on(self, tmp_path, monkeypatch):
+        import os
+
+        calls = []
+        real_fsync = os.fsync
+        monkeypatch.setattr(
+            os, "fsync", lambda fd: (calls.append(fd), real_fsync(fd))
+        )
+        store = LinkStore(tmp_path / "run.jsonl")
+        assert store.fsync
+        store.append_seeds({1: 10})
+        assert len(calls) == 1
+
+    def test_fsync_opt_out(self, tmp_path, monkeypatch):
+        import os
+
+        monkeypatch.setattr(
+            os,
+            "fsync",
+            lambda fd: pytest.fail("fsync called with fsync=False"),
+        )
+        store = LinkStore(tmp_path / "run.jsonl", fsync=False)
+        store.append_seeds({1: 10})
+        assert store.links() == {1: 10}

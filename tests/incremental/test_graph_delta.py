@@ -179,3 +179,117 @@ class TestAddedNodes:
         assert "iso2" in delta.added_nodes2
         apply_delta_to_graphs(old1, old2, delta)
         assert old1 == new1 and old2 == new2
+
+
+class TestPayloadRoundTrip:
+    def test_to_from_payload_round_trips(self):
+        from repro.incremental.delta import (
+            delta_from_payload,
+            delta_to_payload,
+        )
+
+        delta = GraphDelta.build(
+            added_edges1=[(1, 2), ("a", "b")],
+            removed_edges2=[(3, 4)],
+            added_nodes1=[9],
+            added_seeds=[(1, 1), ("a", "a")],
+        )
+        payload = delta_to_payload(delta)
+        assert "added_edges2" not in payload  # empty fields omitted
+        assert delta_from_payload(payload) == delta
+
+    def test_payload_survives_json(self):
+        import json
+
+        from repro.incremental.delta import (
+            delta_from_payload,
+            delta_to_payload,
+        )
+
+        delta = GraphDelta.build(
+            added_edges1=[("1", 1)], added_seeds=[("1", "1")]
+        )
+        wire = json.loads(json.dumps(delta_to_payload(delta)))
+        restored = delta_from_payload(wire)
+        assert restored == delta  # "1" stays str, 1 stays int
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            [1, 2],
+            {"bogus": []},
+            {"added_edges1": "not-a-list"},
+            {"added_edges1": [[1, 2, 3]]},
+            {"added_seeds": [["only-one"]]},
+        ],
+    )
+    def test_malformed_payloads_rejected(self, payload):
+        from repro.incremental.delta import delta_from_payload
+
+        with pytest.raises(DeltaError):
+            delta_from_payload(payload)
+
+
+class TestValidateDelta:
+    def test_valid_delta_passes_without_mutation(self):
+        from repro.incremental.delta import validate_delta
+
+        g1, g2 = square(), square()
+        delta = GraphDelta.build(
+            added_edges1=[(0, 2)],
+            removed_edges1=[(0, 1)],
+            added_seeds=[(0, 0)],
+        )
+        validate_delta(g1, g2, delta)
+        assert g1.num_edges == 4  # untouched
+
+    def test_mirrors_apply_strictness(self):
+        from repro.incremental.delta import validate_delta
+
+        g1, g2 = square(), square()
+        with pytest.raises(DeltaError, match="already present"):
+            validate_delta(
+                g1, g2, GraphDelta.build(added_edges1=[(0, 1)])
+            )
+        with pytest.raises(DeltaError, match="not present"):
+            validate_delta(
+                g1, g2, GraphDelta.build(removed_edges2=[(0, 2)])
+            )
+        with pytest.raises(DeltaError, match="not in g2"):
+            validate_delta(
+                g1, g2, GraphDelta.build(added_seeds=[(0, 99)])
+            )
+
+    def test_within_delta_sequencing(self):
+        from repro.incremental.delta import validate_delta
+
+        g1, g2 = square(), square()
+        # Remove an edge the same delta adds: fine (additions first).
+        validate_delta(
+            g1,
+            g2,
+            GraphDelta.build(
+                added_edges1=[(0, 2)], removed_edges1=[(0, 2)]
+            ),
+        )
+        # Seed referencing a node the delta itself creates: fine.
+        validate_delta(
+            g1,
+            g2,
+            GraphDelta.build(
+                added_nodes1=[7], added_edges2=[(7, 0)], added_seeds=[(7, 7)]
+            ),
+        )
+
+    def test_validated_delta_never_raises_on_apply(self):
+        from repro.incremental.delta import validate_delta
+
+        g1, g2 = square(), square()
+        delta = GraphDelta.build(
+            added_edges1=[(0, 2), (4, 5)],
+            removed_edges1=[(4, 5), (0, 1)],
+            added_nodes2=[9],
+            added_seeds=[(4, 9)],
+        )
+        validate_delta(g1, g2, delta)
+        apply_delta_to_graphs(g1, g2, delta)  # must not raise

@@ -131,3 +131,20 @@ class TestEventLog:
         store = LinkStore(str(ck) + ".jsonl")
         resumed = IncrementalReconciler.resume(ck)
         assert store.links() == resumed.result.links
+
+
+class TestResumeMissingCheckpoint:
+    def test_missing_checkpoint_raises_instead_of_cold_start(
+        self, tmp_path
+    ):
+        absent = tmp_path / "never-written.npz"
+        with pytest.raises(ReproError, match="does not\n?.*exist|exist"):
+            run_stream(
+                n=300,
+                batches=2,
+                seed=4,
+                checkpoint_path=str(absent),
+                warm_start=True,
+            )
+        # And the failed resume must not have created state either.
+        assert not absent.exists()

@@ -1,0 +1,88 @@
+"""CLI coverage for ``repro serve``."""
+
+import json
+import re
+import threading
+import urllib.request
+
+from repro.cli import main
+
+
+class TestServeCommand:
+    def test_demo_serves_and_stops(self, capsys, tmp_path):
+        ckpt = tmp_path / "serve.npz"
+        assert (
+            main(
+                [
+                    "serve",
+                    "--demo",
+                    "--n", "300",
+                    "--port", "0",
+                    "--checkpoint", str(ckpt),
+                    "--serve-seconds", "1.5",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "listening on http://127.0.0.1:" in out
+        assert "POST /delta" in out
+        assert ckpt.exists()
+        assert (tmp_path / "serve.npz.jsonl").exists()
+
+    def test_empty_start_answers_queries(self, capsys):
+        # Run the CLI on a thread, scrape the bound port from stdout,
+        # and hit /health with the stdlib while it is up.
+        done = threading.Event()
+        codes = []
+
+        def run():
+            codes.append(
+                main(
+                    [
+                        "serve",
+                        "--port", "0",
+                        "--serve-seconds", "4",
+                    ]
+                )
+            )
+            done.set()
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        import time
+
+        port = None
+        for _ in range(40):
+            time.sleep(0.1)
+            out = capsys.readouterr().out
+            found = re.search(r"http://127\.0\.0\.1:(\d+)", out)
+            if found:
+                port = int(found.group(1))
+                break
+        assert port is not None, "serve never printed its port"
+        doc = json.loads(
+            urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/health", timeout=10
+            ).read()
+        )
+        assert doc["status"] == "ok"
+        assert doc["links"] == 0  # started on empty graphs
+        assert done.wait(30)
+        assert codes == [0]
+
+    def test_resume_requires_checkpoint_flag(self, capsys):
+        assert main(["serve", "--resume", "--port", "0"]) == 2
+        assert "requires --checkpoint" in capsys.readouterr().err
+
+    def test_resume_missing_checkpoint_fails_loud(self, capsys, tmp_path):
+        code = main(
+            [
+                "serve",
+                "--resume",
+                "--port", "0",
+                "--checkpoint", str(tmp_path / "absent.npz"),
+            ]
+        )
+        assert code == 1
+        assert "does not" in capsys.readouterr().err

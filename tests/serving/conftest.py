@@ -1,0 +1,19 @@
+"""Shared fixtures for the serving tests.
+
+pytest-asyncio is not available in this container, so async service
+tests run via ``asyncio.run`` inside synchronous test functions, and
+server tests use the :class:`~repro.serving.server.ServerThread`
+harness with the blocking stdlib client.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.incremental.stream import build_stream_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """Deterministic base pair + seeds + 4 delta batches."""
+    return build_stream_workload(n=400, m=5, batches=4, seed=3)

@@ -1,0 +1,31 @@
+"""Workload helpers shared by the serving tests (imported by name;
+the test tree has no packages)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.config import MatcherConfig
+from repro.core.matcher import UserMatching
+from repro.incremental.delta import apply_delta_to_graphs
+from repro.incremental.engine import IncrementalReconciler
+
+CONFIG = MatcherConfig(threshold=2, iterations=1)
+
+
+def make_engine(pair, seeds):
+    """A started warm engine on copies of the workload graphs."""
+    engine = IncrementalReconciler(CONFIG)
+    engine.start(pair.g1.copy(), pair.g2.copy(), dict(seeds))
+    return engine
+
+
+def cold_links(pair, seeds, deltas):
+    """Links of a from-scratch run on the fully-applied graphs."""
+    g1, g2 = pair.g1.copy(), pair.g2.copy()
+    merged = dict(seeds)
+    for delta in deltas:
+        apply_delta_to_graphs(g1, g2, delta)
+        merged.update(delta.added_seeds)
+    cold_config = dataclasses.replace(CONFIG, backend="csr")
+    return UserMatching(cold_config).run(g1, g2, merged).links

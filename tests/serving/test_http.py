@@ -1,0 +1,139 @@
+"""Unit tests for the hand-rolled HTTP/1.1 framing layer."""
+
+import asyncio
+
+import pytest
+
+from repro.serving.http import (
+    HttpError,
+    error_body,
+    json_body,
+    read_request,
+    render_response,
+)
+
+
+def parse(raw: bytes, **kwargs):
+    """Feed raw bytes through a StreamReader into read_request."""
+
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader, **kwargs)
+
+    return asyncio.run(go())
+
+
+class TestReadRequest:
+    def test_simple_get(self):
+        request = parse(b"GET /links?limit=5&x=a%20b HTTP/1.1\r\n\r\n")
+        assert request.method == "GET"
+        assert request.path == "/links"
+        assert request.query == {"limit": "5", "x": "a b"}
+        assert request.body == b""
+        assert request.keep_alive
+
+    def test_path_percent_decoding(self):
+        request = parse(b'GET /links/%221%22 HTTP/1.1\r\n\r\n')
+        assert request.path == '/links/"1"'
+
+    def test_headers_lowercased_and_stripped(self):
+        request = parse(
+            b"GET / HTTP/1.1\r\nX-Thing:  Value \r\nHost: h\r\n\r\n"
+        )
+        assert request.headers["x-thing"] == "Value"
+        assert request.headers["host"] == "h"
+
+    def test_post_body_round_trips(self):
+        body = b'{"added_edges1":[[1,2]]}'
+        raw = (
+            b"POST /delta HTTP/1.1\r\n"
+            + f"Content-Length: {len(body)}\r\n\r\n".encode()
+            + body
+        )
+        request = parse(raw)
+        assert request.method == "POST"
+        assert request.body == body
+
+    def test_clean_eof_returns_none(self):
+        assert parse(b"") is None
+
+    def test_connection_close(self):
+        request = parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+        assert not request.keep_alive
+
+    def test_http10_defaults_to_close(self):
+        assert not parse(b"GET / HTTP/1.0\r\n\r\n").keep_alive
+
+    def test_http10_keep_alive_opt_in(self):
+        raw = b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n"
+        assert parse(raw).keep_alive
+
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            b"GARBAGE\r\n\r\n",
+            b"GET /x HTTP/2.0\r\n\r\n",
+            b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n",
+            b"GET / HTTP/1.1\r\nContent-Length: nan\r\n\r\n",
+            b"GET / HTTP/1.1\r\nContent-Length: -5\r\n\r\n",
+        ],
+    )
+    def test_malformed_is_400(self, raw):
+        with pytest.raises(HttpError) as excinfo:
+            parse(raw)
+        assert excinfo.value.status == 400
+
+    def test_truncated_body_is_400(self):
+        raw = b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"
+        with pytest.raises(HttpError) as excinfo:
+            parse(raw)
+        assert excinfo.value.status == 400
+
+    def test_chunked_is_501(self):
+        raw = b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+        with pytest.raises(HttpError) as excinfo:
+            parse(raw)
+        assert excinfo.value.status == 501
+
+    def test_oversized_body_is_413(self):
+        raw = b"POST / HTTP/1.1\r\nContent-Length: 100\r\n\r\n" + b"x" * 100
+        with pytest.raises(HttpError) as excinfo:
+            parse(raw, max_body=10)
+        assert excinfo.value.status == 413
+
+    def test_oversized_request_line_is_400(self):
+        raw = b"GET /" + b"a" * 9000 + b" HTTP/1.1\r\n\r\n"
+        with pytest.raises(HttpError) as excinfo:
+            parse(raw)
+        assert excinfo.value.status == 400
+
+
+class TestRenderResponse:
+    def test_status_line_and_framing(self):
+        raw = render_response(200, b'{"ok":1}')
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert b"Content-Length: 8" in head
+        assert b"Connection: keep-alive" in head
+        assert body == b'{"ok":1}'
+
+    def test_close_and_extra_headers(self):
+        raw = render_response(
+            429,
+            b"{}",
+            keep_alive=False,
+            extra_headers={"Retry-After": "3"},
+        )
+        assert b"HTTP/1.1 429 Too Many Requests" in raw
+        assert b"Connection: close" in raw
+        assert b"Retry-After: 3" in raw
+
+    def test_json_and_error_bodies(self):
+        import json
+
+        assert json.loads(json_body({"a": [1, "x"]})) == {"a": [1, "x"]}
+        doc = json.loads(error_body(404, "no such node"))
+        assert doc["status"] == 404
+        assert doc["message"] == "no such node"

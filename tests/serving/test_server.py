@@ -1,0 +1,265 @@
+"""Integration tests: the HTTP server end to end, including the
+kill-and-resume contract (served links bit-identical to a cold run)."""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.graphs.graph import Graph
+from repro.incremental.delta import GraphDelta
+from repro.incremental.engine import IncrementalReconciler
+from repro.serving import (
+    ReconciliationService,
+    ServerThread,
+    ServingClient,
+)
+
+from serving_helpers import CONFIG, cold_links, make_engine
+
+
+@pytest.fixture
+def harness(workload):
+    pair, seeds, _deltas = workload
+    service = ReconciliationService(make_engine(pair, seeds))
+    h = ServerThread(service)
+    h.start()
+    yield h
+    h.stop()
+
+
+@pytest.fixture
+def client(harness):
+    with ServingClient("127.0.0.1", harness.port) as c:
+        yield c
+
+
+class TestRoutes:
+    def test_health_and_stats(self, client):
+        doc = client.health()
+        assert doc["status"] == "ok"
+        assert doc["queue_depth"] == 0
+        stats = client.stats()
+        assert stats["requests"]["total"] >= 1
+
+    def test_links_snapshot_and_single_lookup(self, harness, client):
+        served = client.links()
+        assert served == harness.service.engine.links
+        node, expected = next(iter(served.items()))
+        assert client.link(node) == expected
+        assert client.link(9_999_999) is None  # 404 -> None
+
+    def test_scores_route(self, harness, client):
+        # Not every linked node appears in the *final* round's score
+        # table (earlier-round matches drop out of later candidate
+        # sets), so scan for one that does.
+        scores = next(
+            s
+            for node in harness.service.engine.links
+            if (s := client.scores(node))
+        )
+        assert scores == sorted(
+            scores, key=lambda r: (-r[1], repr(r[0]))
+        )
+        response = client.request("GET", "/scores/9999999")
+        assert response.status == 404
+
+    def test_string_and_int_tokens_are_distinct(self, harness, client):
+        # Pick a linked *int* node; the JSON-quoted token of the same
+        # digits must address the (absent) string id, not the int.
+        node = next(iter(harness.service.engine.links))
+        assert client.request("GET", f"/links/{node}").status == 200
+        assert (
+            client.request("GET", f"/links/%22{node}%22").status == 404
+        )
+
+    def test_unknown_route_and_method(self, client):
+        assert client.request("GET", "/nope").status == 404
+        assert client.request("PUT", "/links").status == 405
+
+    def test_bad_delta_payloads_are_400(self, client):
+        assert (
+            client.request("POST", "/delta", body=b"not json").status
+            == 400
+        )
+        assert (
+            client.request(
+                "POST", "/delta", body=b'{"bogus": []}'
+            ).status
+            == 400
+        )
+
+    def test_conflicting_delta_is_409(self, harness, client):
+        u, v = next(iter(harness.service.engine.g1.edges()))
+        response = client.apply(GraphDelta.build(added_edges1=[(u, v)]))
+        assert response.status == 409
+
+    def test_checkpoint_without_durability_is_409(self, client):
+        assert client.request("POST", "/checkpoint").status == 409
+
+    def test_timing_header_and_request_stats(self, harness, client):
+        response = client.request("GET", "/health")
+        assert float(response.headers["x-request-ms"]) >= 0
+        stats = client.stats()
+        assert "p50_ms" in stats["requests"]
+        assert stats["requests"]["by_status"].get("200", 0) >= 1
+
+
+class TestAdmissionControl:
+    def test_queue_full_is_429_with_retry_after(self, workload):
+        pair, seeds, deltas = workload
+        service = ReconciliationService(
+            make_engine(pair, seeds), max_pending=1
+        )
+        gate = asyncio.Event()
+        service.writer_gate = gate
+        h = ServerThread(service)
+        h.start()
+        results = {}
+
+        def post(name, delta):
+            with ServingClient("127.0.0.1", h.port) as c:
+                results[name] = c.apply(delta)
+
+        try:
+            # With the writer gated: the first delta is held by the
+            # writer, the second fills the queue, the third must be
+            # turned away.
+            threads = []
+            for name, delta in (("a", deltas[0]), ("b", deltas[1])):
+                t = threading.Thread(target=post, args=(name, delta))
+                t.start()
+                threads.append(t)
+                import time
+
+                time.sleep(0.3)
+            with ServingClient("127.0.0.1", h.port) as c:
+                rejected = c.apply(deltas[2])
+            assert rejected.status == 429
+            assert int(rejected.headers["retry-after"]) >= 1
+            h.call_in_loop(gate.set)
+            for t in threads:
+                t.join(timeout=30)
+            assert results["a"].status == 200
+            assert results["b"].status == 200
+        finally:
+            h.call_in_loop(gate.set)
+            h.stop()
+
+    def test_graceful_stop_drains_pending_writes(self, workload):
+        pair, seeds, deltas = workload
+        engine = make_engine(pair, seeds)
+        service = ReconciliationService(engine)
+        gate = asyncio.Event()
+        service.writer_gate = gate
+        h = ServerThread(service)
+        h.start()
+        results = {}
+
+        def post(i):
+            with ServingClient("127.0.0.1", h.port) as c:
+                results[i] = c.apply(deltas[i])
+
+        threads = [
+            threading.Thread(target=post, args=(i,)) for i in range(3)
+        ]
+        for t in threads:
+            t.start()
+        import time
+
+        time.sleep(0.5)
+        # Release the writer and stop in one breath: stop() must not
+        # return until every admitted write is applied and answered.
+        h.call_in_loop(gate.set)
+        h.stop()
+        for t in threads:
+            t.join(timeout=30)
+        assert [results[i].status for i in range(3)] == [200, 200, 200]
+        assert service.batches_done == 3 or (
+            # Coalescing may have merged some of the three deltas.
+            service.batches_done >= 1
+            and sum(results[i].json()["coalesced"] for i in range(3)) >= 3
+        )
+        assert engine.links == cold_links(pair, seeds, deltas[:3])
+
+
+class TestKillAndResume:
+    def test_kill_resume_serves_bit_identical_links(
+        self, tmp_path, workload
+    ):
+        pair, seeds, deltas = workload
+        ckpt = tmp_path / "serve.npz"
+
+        # Phase 1: fresh durable server, stream half the deltas, stop
+        # gracefully (flush + checkpoint).
+        service = ReconciliationService(
+            make_engine(pair, seeds),
+            checkpoint_path=ckpt,
+            checkpoint_every=100,  # force resume to rely on the log
+        )
+        with ServerThread(service) as h:
+            with ServingClient("127.0.0.1", h.port) as c:
+                for delta in deltas[:2]:
+                    c.apply_or_raise(delta)
+
+        # Phase 2: resume, stream the rest, then KILL mid-flight —
+        # no drain, no final checkpoint, no log flush.
+        resumed = ReconciliationService.resume(ckpt, checkpoint_every=100)
+        assert resumed.batches_done == 2
+        h2 = ServerThread(resumed)
+        h2.start()
+        with ServingClient("127.0.0.1", h2.port) as c:
+            for delta in deltas[2:]:
+                c.apply_or_raise(delta)
+            served_before_kill = c.links()
+        h2.kill()
+
+        # Phase 3: resume again; the log tail replay must reconstruct
+        # the exact pre-kill state, bit-identical to a cold batch run
+        # on the final graphs.
+        final = ReconciliationService.resume(ckpt)
+        assert final.batches_done == 4
+        h3 = ServerThread(final)
+        h3.start()
+        try:
+            with ServingClient("127.0.0.1", h3.port) as c:
+                served_after_resume = c.links()
+        finally:
+            h3.stop()
+        assert served_after_resume == served_before_kill
+        assert served_after_resume == cold_links(pair, seeds, deltas)
+
+    def test_resumed_log_folds_to_served_links(self, tmp_path, workload):
+        pair, seeds, deltas = workload
+        ckpt = tmp_path / "serve.npz"
+        service = ReconciliationService(
+            make_engine(pair, seeds), checkpoint_path=ckpt
+        )
+        with ServerThread(service) as h:
+            with ServingClient("127.0.0.1", h.port) as c:
+                for delta in deltas:
+                    c.apply_or_raise(delta)
+        # The JSONL event log's links/retract fold equals the engine.
+        assert service.store.links() == service.engine.links
+
+
+class TestEmptyStart:
+    def test_whole_state_arrives_as_deltas(self, workload):
+        pair, seeds, deltas = workload
+        engine = IncrementalReconciler(CONFIG)
+        engine.start(Graph(), Graph(), {})
+        service = ReconciliationService(engine)
+        bootstrap = GraphDelta.build(
+            added_edges1=sorted(pair.g1.edges()),
+            added_edges2=sorted(pair.g2.edges()),
+            added_nodes1=sorted(pair.g1.nodes()),
+            added_nodes2=sorted(pair.g2.nodes()),
+            added_seeds=sorted(seeds.items()),
+        )
+        with ServerThread(service) as h:
+            with ServingClient("127.0.0.1", h.port) as c:
+                c.apply_or_raise(bootstrap)
+                for delta in deltas:
+                    c.apply_or_raise(delta)
+                served = c.links()
+        assert served == cold_links(pair, seeds, deltas)
