@@ -12,9 +12,15 @@ instead of silently rotting the trajectory.
 
 Noise tolerance:
 
-- benchmarks whose baseline mean is below ``--min-seconds`` (default
-  1 ms) are reported but never fail the gate — at that scale the ratio
-  measures the allocator and the CI runner's scheduler, not the code;
+- benchmarks whose baseline mean is below their noise floor (default
+  1 ms via ``--min-seconds``) are reported but never fail the gate — at
+  that scale the ratio measures the allocator and the CI runner's
+  scheduler, not the code.  The floor is per-benchmark-configurable
+  with repeatable ``--floor SUBSTRING=SECONDS`` overrides (longest
+  matching substring wins), because one global floor is wrong in both
+  directions: a microkernel suite may need a 0.1 ms floor to gate at
+  all, while a jittery end-to-end suite may need 10 ms to stop
+  crying wolf;
 - only benchmarks present in *both* files are compared (a renamed or
   new benchmark is a baseline refresh, not a regression) — but if the
   two files share *no* benchmarks the gate fails loudly, because that
@@ -34,7 +40,8 @@ an error.
 Usage::
 
     python scripts/check_bench_regression.py BASELINE FRESH \
-        [--threshold 1.5] [--min-seconds 0.001] [--label kernels]
+        [--threshold 1.5] [--min-seconds 0.001] [--label kernels] \
+        [--floor SUBSTRING=SECONDS ...]
 
 Exit codes: 0 = no regression, 1 = regression (or nothing comparable),
 2 = bad invocation/unreadable input.
@@ -86,29 +93,52 @@ def backend_of(name: str) -> str:
     return "dict"
 
 
+def floor_for(
+    name: str,
+    default: float,
+    overrides: list[tuple[str, float]],
+) -> float:
+    """Noise floor for *name*: longest matching override, else *default*.
+
+    Overrides are ``(substring, seconds)`` pairs from ``--floor``; a
+    benchmark matches when the substring occurs in its fullname.  The
+    longest matching substring wins, so a suite-wide override
+    (``bench_kernels``) can coexist with a benchmark-specific one
+    (``bench_kernels.py::test_bench_pack``).
+    """
+    best, best_len = default, -1
+    for substring, seconds in overrides:
+        if substring in name and len(substring) > best_len:
+            best, best_len = seconds, len(substring)
+    return best
+
+
 def compare(
     baseline: dict[str, float],
     fresh: dict[str, float],
     threshold: float,
     min_seconds: float,
+    floors: list[tuple[str, float]] | None = None,
 ) -> tuple[list[tuple[str, float, float, float, str]], list[str]]:
     """Delta rows + regressed benchmark names for two mean tables.
 
     Returns ``(rows, regressions)`` where each row is ``(name,
     baseline_mean, fresh_mean, ratio, verdict)`` and *regressions* lists
     the shared benchmarks that slowed past *threshold* with a baseline
-    mean at or above *min_seconds*.
+    mean at or above their noise floor (*min_seconds*, unless a
+    ``--floor`` override in *floors* matches the name).
     """
     rows: list[tuple[str, float, float, float, str]] = []
     regressions: list[str] = []
     for name in sorted(set(baseline) & set(fresh)):
         base = baseline[name]
         now = fresh[name]
+        floor = floor_for(name, min_seconds, floors or [])
         ratio = now / base if base > 0 else float("inf")
         if ratio <= threshold:
             verdict = "ok"
-        elif base < min_seconds:
-            verdict = "noise (under floor)"
+        elif base < floor:
+            verdict = f"noise (under {floor * 1e3:g} ms floor)"
         else:
             verdict = "REGRESSION"
             regressions.append(name)
@@ -162,6 +192,18 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--floor",
+        action="append",
+        default=[],
+        metavar="SUBSTRING=SECONDS",
+        help=(
+            "per-benchmark noise-floor override (repeatable): any "
+            "benchmark whose fullname contains SUBSTRING uses this "
+            "floor instead of --min-seconds; the longest matching "
+            "SUBSTRING wins"
+        ),
+    )
+    parser.add_argument(
         "--label",
         default=None,
         help="suite name used in the report headline",
@@ -169,6 +211,19 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.threshold <= 0 or args.min_seconds < 0:
         parser.error("threshold must be > 0 and min-seconds >= 0")
+    floors: list[tuple[str, float]] = []
+    for spec in args.floor:
+        substring, eq, seconds = spec.partition("=")
+        try:
+            value = float(seconds)
+        except ValueError:
+            value = -1.0
+        if not eq or not substring or value < 0:
+            parser.error(
+                f"--floor expects SUBSTRING=SECONDS with SECONDS >= 0, "
+                f"got {spec!r}"
+            )
+        floors.append((substring, value))
     label = args.label or args.fresh
     try:
         baseline = load_means(args.baseline)
@@ -177,7 +232,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"[{label}] cannot load benchmark JSON: {exc!r}")
         return 2
     rows, regressions = compare(
-        baseline, fresh, args.threshold, args.min_seconds
+        baseline, fresh, args.threshold, args.min_seconds, floors
     )
     if not rows:
         print(
@@ -187,7 +242,9 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     print(f"[{label}] {len(rows)} shared benchmarks, "
           f"threshold {args.threshold:.2f}x, "
-          f"noise floor {args.min_seconds * 1e3:.1f} ms")
+          f"noise floor {args.min_seconds * 1e3:.1f} ms"
+          + (f" ({len(floors)} per-benchmark override(s))"
+             if floors else ""))
     for backend in BACKENDS:
         group = [r for r in rows if backend_of(r[0]) == backend]
         if not group:

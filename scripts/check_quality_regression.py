@@ -1,0 +1,265 @@
+#!/usr/bin/env python
+"""CI quality-regression gate over the committed ``QUALITY_pruning.json``.
+
+Candidate pruning (``MatcherConfig.candidate_pruning="community"``)
+deliberately trades recall for a smaller candidate-pair space, so the
+usual "links must be identical" CI invariants cannot see it rot.  This
+gate pins the trade itself: it re-runs a fixed, fully seeded
+community-structured workload (affiliation network + correlated copies
++ sampled seeds — deterministic across processes and hash seeds) under
+each pruning mode and **fails (exit 1) when precision or recall fell
+more than ``--tolerance`` below the committed baseline, or when the
+pruned candidate-pair count grew past ``--candidate-slack`` times the
+baseline** (pruning that stops pruning is also a regression).
+
+The workload is small enough for every-PR CI (a few seconds) but has
+real community structure, so both failure directions are visible:
+
+- a partitioner change that tears communities apart shows up as a
+  recall drop in the ``community-f0`` row;
+- a pruning-filter change that silently stops filtering shows up as a
+  candidate_pairs blow-up in the same row while recall "improves".
+
+Usage::
+
+    python scripts/check_quality_regression.py --emit QUALITY.json
+    python scripts/check_quality_regression.py BASELINE \
+        [--fresh FRESH.json] [--tolerance 0.01] [--candidate-slack 1.1]
+
+Without ``--fresh`` the compare mode measures the workload in-process;
+``--fresh`` compares two already-emitted files instead (used by the
+gate's own tests).  Exit codes: 0 = within tolerance, 1 = regression
+(or nothing comparable), 2 = bad invocation/unreadable input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: The fixed workload: every knob is pinned so the emitted numbers are
+#: reproducible bit-for-bit on any machine (the generators consume
+#: their RNGs in hash-seed-independent order).
+WORKLOAD = {
+    "n_users": 1000,
+    "n_interests": 100,
+    "graph_seed": 7,
+    "keep_prob": 0.8,
+    "copy_seed": 11,
+    "link_probability": 0.05,
+    "seed_seed": 3,
+    "threshold": 2,
+    "iterations": 2,
+    "backend": "csr",
+}
+
+#: Gated configurations: label -> (candidate_pruning, pruning_frontier).
+MODES: dict[str, tuple[str, int]] = {
+    "none": ("none", 0),
+    "community-f0": ("community", 0),
+}
+
+
+def measure() -> dict[str, object]:
+    """Run the fixed workload under every mode; returns the quality table.
+
+    Import of the ``repro`` package is deferred so ``--help`` and the
+    file-vs-file compare mode work without ``PYTHONPATH=src``.
+    """
+    from repro.core.config import MatcherConfig
+    from repro.evaluation.harness import run_trial
+    from repro.generators.affiliation import affiliation_graph
+    from repro.sampling.community import correlated_community_copies
+    from repro.seeds.generators import sample_seeds
+
+    w = WORKLOAD
+    network = affiliation_graph(
+        w["n_users"], w["n_interests"], seed=w["graph_seed"]
+    )
+    pair = correlated_community_copies(
+        network, keep_prob=w["keep_prob"], seed=w["copy_seed"]
+    )
+    seeds = sample_seeds(
+        pair, w["link_probability"], seed=w["seed_seed"]
+    )
+    rows: dict[str, dict[str, float]] = {}
+    for label, (pruning, frontier) in MODES.items():
+        trial = run_trial(
+            pair,
+            seeds,
+            config=MatcherConfig(
+                threshold=w["threshold"],
+                iterations=w["iterations"],
+                backend=w["backend"],
+                candidate_pruning=pruning,
+                pruning_frontier=frontier,
+            ),
+            measure_pruning_cost=pruning != "none",
+        )
+        row = {
+            "precision": round(trial.report.precision, 6),
+            "recall": round(trial.report.recall, 6),
+            "correct_pairs": trial.report.good,
+            "wrong_pairs": trial.report.bad,
+            "candidate_pairs": sum(
+                p.candidates for p in trial.result.phases
+            ),
+        }
+        if trial.pruning_recall_cost is not None:
+            row["pruning_recall_cost"] = round(
+                trial.pruning_recall_cost, 6
+            )
+        rows[label] = row
+    return {"workload": dict(w), "modes": rows}
+
+
+def compare(
+    baseline: dict[str, object],
+    fresh: dict[str, object],
+    tolerance: float,
+    candidate_slack: float,
+) -> tuple[list[str], list[str]]:
+    """``(report lines, regression messages)`` for two quality tables."""
+    base_modes = baseline.get("modes", {})
+    fresh_modes = fresh.get("modes", {})
+    lines: list[str] = []
+    regressions: list[str] = []
+    for label in sorted(set(base_modes) & set(fresh_modes)):
+        base, now = base_modes[label], fresh_modes[label]
+        for metric in ("precision", "recall"):
+            b, f = float(base[metric]), float(now[metric])
+            drop = b - f
+            verdict = "ok"
+            if drop > tolerance:
+                verdict = "REGRESSION"
+                regressions.append(
+                    f"{label}: {metric} fell {b:.4f} -> {f:.4f} "
+                    f"(drop {drop:.4f} > tolerance {tolerance})"
+                )
+            lines.append(
+                f"  {label:<14} {metric:<10} "
+                f"{b:.4f} -> {f:.4f}  {verdict}"
+            )
+        b_cand = int(base["candidate_pairs"])
+        f_cand = int(now["candidate_pairs"])
+        ratio = f_cand / b_cand if b_cand else float("inf")
+        verdict = "ok"
+        if f_cand > b_cand * candidate_slack:
+            verdict = "REGRESSION"
+            regressions.append(
+                f"{label}: candidate_pairs grew {b_cand} -> {f_cand} "
+                f"({ratio:.2f}x > slack {candidate_slack}x) — "
+                "pruning is no longer pruning"
+            )
+        lines.append(
+            f"  {label:<14} {'candidates':<10} "
+            f"{b_cand} -> {f_cand} ({ratio:.2f}x)  {verdict}"
+        )
+    return lines, regressions
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        description=(
+            "fail when the candidate-pruning quality trade regressed "
+            "past the committed QUALITY_pruning.json baseline"
+        )
+    )
+    parser.add_argument(
+        "baseline",
+        nargs="?",
+        default=None,
+        help="committed QUALITY_pruning.json (compare mode)",
+    )
+    parser.add_argument(
+        "--emit",
+        metavar="PATH",
+        default=None,
+        help="measure the workload and write the baseline JSON to PATH",
+    )
+    parser.add_argument(
+        "--fresh",
+        metavar="PATH",
+        default=None,
+        help=(
+            "compare BASELINE against this already-emitted file "
+            "instead of measuring in-process"
+        ),
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.01,
+        help=(
+            "max allowed absolute precision/recall drop per mode "
+            "(default 0.01; the workload is deterministic, so any "
+            "drop is a code change, not noise)"
+        ),
+    )
+    parser.add_argument(
+        "--candidate-slack",
+        type=float,
+        default=1.1,
+        dest="candidate_slack",
+        help=(
+            "max allowed fresh/baseline candidate_pairs ratio "
+            "(default 1.1); catches pruning that silently stops "
+            "pruning"
+        ),
+    )
+    args = parser.parse_args(argv)
+    if args.tolerance < 0 or args.candidate_slack <= 0:
+        parser.error("tolerance must be >= 0 and candidate-slack > 0")
+    if args.emit is not None:
+        table = measure()
+        with open(args.emit, "w") as handle:
+            json.dump(table, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"[quality] wrote baseline to {args.emit}")
+        for label, row in table["modes"].items():
+            print(f"[quality]   {label}: {row}")
+        return 0
+    if args.baseline is None:
+        parser.error("BASELINE is required unless --emit is given")
+    try:
+        with open(args.baseline) as handle:
+            baseline = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"[quality] cannot load baseline: {exc!r}")
+        return 2
+    if args.fresh is not None:
+        try:
+            with open(args.fresh) as handle:
+                fresh = json.load(handle)
+        except (OSError, ValueError) as exc:
+            print(f"[quality] cannot load fresh file: {exc!r}")
+            return 2
+    else:
+        fresh = measure()
+    lines, regressions = compare(
+        baseline, fresh, args.tolerance, args.candidate_slack
+    )
+    if not lines:
+        print(
+            "[quality] no shared pruning modes between baseline and "
+            "fresh run — wrong files?"
+        )
+        return 1
+    print(
+        f"[quality] tolerance {args.tolerance}, "
+        f"candidate slack {args.candidate_slack}x"
+    )
+    print("\n".join(lines))
+    if regressions:
+        print(f"[quality] FAIL: {len(regressions)} regression(s):")
+        for message in regressions:
+            print(f"[quality]   {message}")
+        return 1
+    print("[quality] OK: quality trade within tolerance of the baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -42,6 +42,9 @@ class CommonNeighborsMatcher:
         backend: str = "dict",
         workers: int = 1,
         memory_budget_mb: int | None = None,
+        candidate_pruning: str = "none",
+        pruning_frontier: int = 0,
+        mmap: bool = False,
     ) -> None:
         self.config = MatcherConfig(
             threshold=threshold,
@@ -52,6 +55,9 @@ class CommonNeighborsMatcher:
             backend=backend,
             workers=workers,
             memory_budget_mb=memory_budget_mb,
+            candidate_pruning=candidate_pruning,
+            pruning_frontier=pruning_frontier,
+            mmap=mmap,
         )
         self._matcher = UserMatching(self.config)
 

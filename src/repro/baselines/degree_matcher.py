@@ -12,7 +12,10 @@ from typing import Hashable
 
 from repro.core.config import (
     validate_backend,
+    validate_candidate_pruning,
     validate_memory_budget_mb,
+    validate_mmap,
+    validate_pruning_frontier,
     validate_workers,
 )
 from repro.core.ordering import node_sort_key
@@ -43,14 +46,24 @@ class DegreeSequenceMatcher:
         backend: str = "dict",
         workers: int = 1,
         memory_budget_mb: int | None = None,
+        candidate_pruning: str = "none",
+        pruning_frontier: int = 0,
+        mmap: bool = False,
     ) -> None:
         self.max_matches = max_matches
         self.backend = validate_backend(backend)
-        # Degree ranking is two lexsorts — nothing to fan out or block;
-        # both execution knobs are accepted (and validated) for
-        # interface uniformity across the registry.
+        # Degree ranking is two lexsorts — nothing to fan out, block,
+        # prune or spill; the execution knobs are accepted (and
+        # validated) for interface uniformity across the registry.
+        # candidate_pruning in particular is inert by design: this
+        # baseline has no candidate-pair stage to restrict.
         self.workers = validate_workers(workers)
         self.memory_budget_mb = validate_memory_budget_mb(memory_budget_mb)
+        self.candidate_pruning = validate_candidate_pruning(
+            candidate_pruning
+        )
+        self.pruning_frontier = validate_pruning_frontier(pruning_frontier)
+        self.mmap = validate_mmap(mmap)
 
     def run(
         self,

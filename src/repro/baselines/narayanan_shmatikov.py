@@ -29,7 +29,10 @@ from typing import Hashable
 
 from repro.core.config import (
     validate_backend,
+    validate_candidate_pruning,
     validate_memory_budget_mb,
+    validate_mmap,
+    validate_pruning_frontier,
     validate_workers,
 )
 from repro.core.protocol import ProgressCallback, ProgressReporter
@@ -70,6 +73,9 @@ class NarayananShmatikovMatcher:
         backend: str = "dict",
         workers: int = 1,
         memory_budget_mb: int | None = None,
+        candidate_pruning: str = "none",
+        pruning_frontier: int = 0,
+        mmap: bool = False,
     ) -> None:
         if eccentricity_threshold < 0:
             raise MatcherConfigError(
@@ -85,11 +91,18 @@ class NarayananShmatikovMatcher:
         self.allow_rematch = allow_rematch
         self.backend = validate_backend(backend)
         # The sweep rematches nodes one at a time (order-dependent by
-        # design), so there is no independent work to shard or block;
-        # both execution knobs are accepted (and validated) for
-        # interface uniformity across the registry.
+        # design), so there is no independent work to shard, block,
+        # prune or spill; the execution knobs are accepted (and
+        # validated) for interface uniformity across the registry —
+        # candidate_pruning stays inert because the rematch dynamics
+        # would make a pruned run's trajectory incomparable anyway.
         self.workers = validate_workers(workers)
         self.memory_budget_mb = validate_memory_budget_mb(memory_budget_mb)
+        self.candidate_pruning = validate_candidate_pruning(
+            candidate_pruning
+        )
+        self.pruning_frontier = validate_pruning_frontier(pruning_frontier)
+        self.mmap = validate_mmap(mmap)
 
     # ------------------------------------------------------------------
     def _candidate_scores(

@@ -30,7 +30,10 @@ from typing import Hashable
 
 from repro.core.config import (
     validate_backend,
+    validate_candidate_pruning,
     validate_memory_budget_mb,
+    validate_mmap,
+    validate_pruning_frontier,
     validate_workers,
 )
 from repro.core.ordering import node_sort_key
@@ -136,6 +139,9 @@ class StructuralFeatureMatcher:
         backend: str = "dict",
         workers: int = 1,
         memory_budget_mb: int | None = None,
+        candidate_pruning: str = "none",
+        pruning_frontier: int = 0,
+        mmap: bool = False,
     ) -> None:
         if not 0.0 < quantile <= 1.0:
             raise MatcherConfigError(
@@ -150,11 +156,18 @@ class StructuralFeatureMatcher:
         self.max_candidates = max_candidates
         self.backend = validate_backend(backend)
         # Feature extraction is one vectorized pass per graph with no
-        # per-round join to shard or block; both execution knobs are
-        # accepted (and validated) for interface uniformity across the
-        # registry.
+        # per-round join to shard, block, prune or spill; the execution
+        # knobs are accepted (and validated) for interface uniformity
+        # across the registry — candidate selection here is by feature
+        # distance, not link-join candidates, so candidate_pruning has
+        # nothing to restrict and stays inert.
         self.workers = validate_workers(workers)
         self.memory_budget_mb = validate_memory_budget_mb(memory_budget_mb)
+        self.candidate_pruning = validate_candidate_pruning(
+            candidate_pruning
+        )
+        self.pruning_frontier = validate_pruning_frontier(pruning_frontier)
+        self.mmap = validate_mmap(mmap)
 
     def run(
         self,

@@ -26,7 +26,7 @@ import inspect
 import sys
 from typing import Callable
 
-from repro.core.config import BACKENDS
+from repro.core.config import BACKENDS, PRUNING_MODES
 from repro.datasets.registry import DATASETS
 from repro.evaluation.tables import format_table
 from repro.experiments import (
@@ -183,6 +183,9 @@ def _cmd_run(
     backend: str | None = None,
     workers: int | None = None,
     memory_budget_mb: int | None = None,
+    candidate_pruning: str | None = None,
+    pruning_frontier: int | None = None,
+    mmap: bool | None = None,
     track_memory: bool = False,
     checkpoint: str | None = None,
     resume: bool = False,
@@ -218,6 +221,12 @@ def _cmd_run(
             file=sys.stderr,
         )
         return 2
+    if pruning_frontier is not None and pruning_frontier < 0:
+        print(
+            f"--pruning-frontier must be >= 0, got {pruning_frontier}",
+            file=sys.stderr,
+        )
+        return 2
     if resume and checkpoint is None:
         print("--resume requires --checkpoint PATH", file=sys.stderr)
         return 2
@@ -226,6 +235,9 @@ def _cmd_run(
         ("backend", backend),
         ("workers", workers),
         ("memory_budget_mb", memory_budget_mb),
+        ("candidate_pruning", candidate_pruning),
+        ("pruning_frontier", pruning_frontier),
+        ("mmap", mmap),
         ("track_memory", track_memory or None),
         ("checkpoint_path", checkpoint),
         ("warm_start", resume or None),
@@ -256,6 +268,12 @@ def _cmd_run(
             kwargs["workers"] = workers
         if memory_budget_mb is not None:
             kwargs["memory_budget_mb"] = memory_budget_mb
+        if candidate_pruning is not None:
+            kwargs["candidate_pruning"] = candidate_pruning
+        if pruning_frontier is not None:
+            kwargs["pruning_frontier"] = pruning_frontier
+        if mmap is not None:
+            kwargs["mmap"] = mmap
         if track_memory:
             kwargs["track_memory"] = True
         if checkpoint is not None:
@@ -456,6 +474,41 @@ def build_parser() -> argparse.ArgumentParser:
             "join: rounds stream block-by-block under the budget, with "
             "links identical to the monolithic run; only for "
             "experiments that support it"
+        ),
+    )
+    run_p.add_argument(
+        "--candidate-pruning",
+        default=None,
+        choices=list(PRUNING_MODES),
+        dest="candidate_pruning",
+        help=(
+            "candidate-pair pruning mode: 'community' restricts "
+            "candidate generation to pairs whose endpoints share a "
+            "community of the seeded union graph (plus a frontier "
+            "ring); changes results — pruned rows report the recall "
+            "cost explicitly; only for experiments that support it"
+        ),
+    )
+    run_p.add_argument(
+        "--pruning-frontier",
+        type=int,
+        default=None,
+        dest="pruning_frontier",
+        metavar="R",
+        help=(
+            "frontier ring radius for --candidate-pruning community "
+            "(default 0 = same-community pairs only); only for "
+            "experiments that support it"
+        ),
+    )
+    run_p.add_argument(
+        "--mmap",
+        action="store_true",
+        default=None,
+        help=(
+            "spill the interned CSR adjacency to disk and stream it "
+            "back memory-mapped (links identical to in-memory runs); "
+            "only for experiments that support it"
         ),
     )
     run_p.add_argument(
@@ -672,6 +725,9 @@ def main(argv: list[str] | None = None) -> int:
             args.backend,
             args.workers,
             args.memory_budget_mb,
+            args.candidate_pruning,
+            args.pruning_frontier,
+            args.mmap,
             args.track_memory,
             args.checkpoint,
             args.resume,

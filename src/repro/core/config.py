@@ -85,6 +85,54 @@ def validate_memory_budget_mb(
     return memory_budget_mb
 
 
+#: Candidate-pruning modes: ``"none"`` scores every candidate pair the
+#: bucket sweep produces (the paper's algorithm); ``"community"`` first
+#: partitions the union graph with seeded label propagation
+#: (:mod:`repro.graphs.communities`) and drops candidate pairs whose
+#: communities are further than ``pruning_frontier`` hops apart in the
+#: community quotient graph.  Pruning changes the links versus
+#: ``"none"`` (that cost is measured, never hidden) but is applied
+#: identically by every backend, so dict/csr/native stay link-identical
+#: to each other.
+PRUNING_MODES: tuple[str, ...] = ("none", "community")
+
+
+def validate_candidate_pruning(candidate_pruning: str) -> str:
+    """Validate a pruning mode; shared by matchers without a config."""
+    if candidate_pruning not in PRUNING_MODES:
+        raise MatcherConfigError(
+            f"candidate_pruning must be one of {PRUNING_MODES}, "
+            f"got {candidate_pruning!r}"
+        )
+    return candidate_pruning
+
+
+def validate_pruning_frontier(pruning_frontier: int) -> int:
+    """Validate a frontier ring radius; shared across matchers.
+
+    0 keeps only same-community pairs; ``r`` additionally allows pairs
+    whose communities are within ``r`` hops in the community quotient
+    graph of the union graph.
+    """
+    if (
+        not isinstance(pruning_frontier, int)
+        or isinstance(pruning_frontier, bool)
+        or pruning_frontier < 0
+    ):
+        raise MatcherConfigError(
+            "pruning_frontier must be an integer >= 0, "
+            f"got {pruning_frontier!r}"
+        )
+    return pruning_frontier
+
+
+def validate_mmap(mmap: bool) -> bool:
+    """Validate the out-of-core flag; shared across matchers."""
+    if not isinstance(mmap, bool):
+        raise MatcherConfigError(f"mmap must be a bool, got {mmap!r}")
+    return mmap
+
+
 def validate_checkpoint_path(
     checkpoint_path: "str | Path | None",
 ) -> "str | Path | None":
@@ -158,6 +206,39 @@ class MatcherConfig:
         any budget, and the knob composes with ``workers`` (each block
         is fanned to the pool).  Like ``workers``, the ``dict``
         backend accepts it for interface uniformity only.
+    candidate_pruning : {"none", "community"}
+        Candidate-pair pruning mode.  ``"none"`` (default) scores every
+        pair the degree-bucket sweep produces.  ``"community"``
+        partitions the *union graph* (both graphs glued at the seed
+        links) once per run with deterministic seeded label propagation
+        (:mod:`repro.graphs.communities`) and discards candidate pairs
+        whose communities are more than ``pruning_frontier`` hops apart
+        in the community quotient graph — shrinking the pair space that
+        dominates past the million-node rung.  Pruning changes results
+        versus ``"none"`` (the recall cost is reported by the harness
+        as ``pruning_recall_cost``, and gated in CI by
+        ``scripts/check_quality_regression.py``); all three backends
+        apply the identical filter, so dict/csr/native remain
+        link-identical *to each other* under pruning.
+    pruning_frontier : int
+        Frontier ring radius for ``candidate_pruning="community"``:
+        0 (default) keeps only same-community pairs, ``r`` also allows
+        pairs whose communities are within ``r`` hops in the community
+        quotient graph.  On dense workloads the quotient graph is close
+        to complete, so already ``r=1`` can allow nearly every pair —
+        widen the ring only when the measured recall cost of 0 is too
+        high.  Ignored under ``candidate_pruning="none"``.
+    mmap : bool
+        Stream the csr adjacency from disk instead of RAM.  When true,
+        the ``csr``/``native`` paths spill the interned
+        :class:`~repro.graphs.pair_index.GraphPairIndex` to an
+        uncompressed npz and reopen it memory-mapped
+        (:meth:`GraphPairIndex.open_mmap`), so the block planner
+        streams adjacency pages on demand — the out-of-core rung for
+        graphs whose CSR arrays exceed RAM.  Links are bit-identical
+        to the in-memory path; the knob only changes where the bytes
+        live.  The ``dict`` backend accepts it for interface
+        uniformity but keeps its structures in memory.
     checkpoint_path : str or Path, optional
         npz file persisting the reconciliation's warm-start state
         (graphs, seeds, per-round score tables) through
@@ -184,6 +265,9 @@ class MatcherConfig:
     backend: str = "dict"
     workers: int = 1
     memory_budget_mb: int | None = None
+    candidate_pruning: str = "none"
+    pruning_frontier: int = 0
+    mmap: bool = False
     checkpoint_path: "str | Path | None" = None
     warm_start: bool = False
 
@@ -220,6 +304,9 @@ class MatcherConfig:
             )
         validate_workers(self.workers)
         validate_memory_budget_mb(self.memory_budget_mb)
+        validate_candidate_pruning(self.candidate_pruning)
+        validate_pruning_frontier(self.pruning_frontier)
+        validate_mmap(self.mmap)
         validate_checkpoint_path(self.checkpoint_path)
         if not isinstance(self.warm_start, bool):
             raise MatcherConfigError(
@@ -229,4 +316,15 @@ class MatcherConfig:
             raise MatcherConfigError(
                 "warm_start=True requires a checkpoint_path to resume "
                 "from"
+            )
+        if (
+            self.candidate_pruning != "none"
+            and self.checkpoint_path is not None
+        ):
+            raise MatcherConfigError(
+                "candidate_pruning is not supported together with "
+                "checkpoint_path: the incremental engine's delta "
+                "corrections assume the unpruned candidate space, so a "
+                "warm resume could silently diverge from a cold pruned "
+                "run"
             )

@@ -405,6 +405,28 @@ def count_witnesses(
     )
 
 
+def prune_scores(
+    scores: ArrayScores, keep: np.ndarray
+) -> ArrayScores:
+    """Filter a score table down to the rows where *keep* is true.
+
+    The array side of candidate pruning
+    (:mod:`repro.graphs.communities`): a boolean row mask preserves the
+    canonical ascending-key order and the compiled-kernel handle, so
+    the filtered table drops into selection unchanged.  A no-op (and
+    allocation-free) when every row survives.
+    """
+    if len(keep) == 0 or bool(keep.all()):
+        return scores
+    return ArrayScores(
+        scores.index,
+        scores.left[keep],
+        scores.right[keep],
+        scores.score[keep],
+        native=scores.native,
+    )
+
+
 def merge_score_tables(
     index: GraphPairIndex,
     parts: "list[tuple[np.ndarray, np.ndarray, np.ndarray, int]]",

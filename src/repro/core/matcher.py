@@ -62,7 +62,8 @@ budget, with or without workers, produces bit-identical links.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Hashable
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Hashable
 
 from repro.core.config import MatcherConfig, TiePolicy
 from repro.core.ordering import node_sort_key
@@ -216,6 +217,29 @@ class UserMatching:
         top = max(d.bit_length() - 1, cfg.min_bucket_exponent)
         return list(range(top, cfg.min_bucket_exponent - 1, -1))
 
+    def bucket_exponents_index(
+        self, index: "GraphPairIndex"
+    ) -> list[int]:
+        """:meth:`bucket_exponents` from an index's degree arrays.
+
+        The graph-free twin used by the array sweep — a memory-mapped
+        index (:meth:`~repro.graphs.pair_index.GraphPairIndex.open_mmap`)
+        has no backing :class:`Graph` objects, and the observed maximum
+        degree is already an ``O(n)`` array reduction.
+        """
+        cfg = self.config
+        if not cfg.use_degree_buckets:
+            return [cfg.min_bucket_exponent]
+        d = cfg.max_degree
+        if d is None:
+            d = max(
+                int(index.deg1.max(initial=0)),
+                int(index.deg2.max(initial=0)),
+                1,
+            )
+        top = max(d.bit_length() - 1, cfg.min_bucket_exponent)
+        return list(range(top, cfg.min_bucket_exponent - 1, -1))
+
     def run(
         self,
         g1: Graph,
@@ -251,6 +275,28 @@ class UserMatching:
             return self._run_checkpointed(g1, g2, seeds, reporter)
         if cfg.backend in ("csr", "native"):
             return self._run_csr(g1, g2, seeds, reporter)
+        prune = None
+        if cfg.candidate_pruning == "community":
+            # The dict backend pays one dense interning to compute the
+            # *same* community assignment as the array backends — the
+            # price of an identical filter, and so identical links.
+            from repro.graphs.communities import assignment_for
+            from repro.graphs.pair_index import GraphPairIndex
+
+            index = GraphPairIndex(g1, g2)
+            assignment = assignment_for(
+                g1, g2, seeds,
+                frontier=cfg.pruning_frontier,
+                index=index,
+            )
+            cmap1, cmap2 = assignment.community_maps(index)
+            del index
+
+            def prune(v1: Node, v2: Node) -> bool:
+                return assignment.allowed_communities(
+                    cmap1[v1], cmap2[v2]
+                )
+
         adj1 = g1.adjacency()
         adj2 = g2.adjacency()
         floor_exp = cfg.min_bucket_exponent
@@ -287,7 +333,8 @@ class UserMatching:
                         live.append(record)
                 records = live
                 new_links, candidates = self._select(
-                    adj1, adj2, linked_right, rows, min_degree
+                    adj1, adj2, linked_right, rows, min_degree,
+                    prune=prune,
                 )
                 for v1, v2 in new_links.items():
                     links[v1] = v2
@@ -406,8 +453,74 @@ class UserMatching:
         (:class:`~repro.core.native.NativeFallbackWarning`) and the
         sweep proceeds on the csr kernels — links identical either way.
         """
-        from repro.core.parallel import open_witness_pool
         from repro.graphs.pair_index import GraphPairIndex
+
+        cfg = self.config
+        index = GraphPairIndex(g1, g2)
+        if cfg.mmap:
+            # Out-of-core execution: spill the interning to an
+            # uncompressed npz and reopen it memory-mapped, so the
+            # sweep (and the block planner under memory_budget_mb)
+            # streams adjacency pages from disk.  The in-memory arrays
+            # are dropped before the sweep starts; links are
+            # bit-identical either way.
+            import tempfile
+
+            with tempfile.TemporaryDirectory(
+                prefix="repro-mmap-"
+            ) as tmpdir:
+                spill = Path(tmpdir) / "pair_index.npz"
+                index.save_npz(spill)
+                del index
+                with GraphPairIndex.open_mmap(spill) as mapped:
+                    return self._run_index(mapped, seeds, reporter)
+        return self._run_index(index, seeds, reporter)
+
+    def run_index(
+        self,
+        index: "GraphPairIndex",
+        seeds: dict[Node, Node],
+        *,
+        progress: ProgressCallback | None = None,
+    ) -> MatchingResult:
+        """Run the array sweep directly over a prebuilt pair index.
+
+        The out-of-core entry point: pass a
+        :class:`~repro.graphs.pair_index.MmapGraphPairIndex` from
+        :meth:`~repro.graphs.pair_index.GraphPairIndex.open_mmap` and
+        the whole reconciliation runs without the original
+        :class:`Graph` objects ever existing in this process.  Requires
+        an array backend (``"csr"``/``"native"``) and no
+        ``checkpoint_path`` (the incremental engine needs the mutable
+        graphs); links are bit-identical to :meth:`run` on the graphs
+        the index was built from.
+        """
+        cfg = self.config
+        if cfg.backend not in ("csr", "native"):
+            raise MatcherConfigError(
+                "run_index requires backend='csr' or 'native'; the "
+                f"'{cfg.backend}' backend needs the original Graph "
+                "objects — use run(g1, g2, seeds)"
+            )
+        if cfg.checkpoint_path is not None:
+            raise MatcherConfigError(
+                "run_index does not support checkpoint_path: the "
+                "incremental engine needs the mutable graphs — use "
+                "run(g1, g2, seeds)"
+            )
+        if len(set(seeds.values())) != len(seeds):
+            raise MatcherConfigError("seed links must be one-to-one")
+        reporter = ProgressReporter("user-matching", progress)
+        return self._run_index(index, seeds, reporter)
+
+    def _run_index(
+        self,
+        index: "GraphPairIndex",
+        seeds: dict[Node, Node],
+        reporter: ProgressReporter,
+    ) -> MatchingResult:
+        """Open the worker pool and sweep over *index*."""
+        from repro.core.parallel import open_witness_pool
 
         cfg = self.config
         native = None
@@ -415,13 +528,12 @@ class UserMatching:
             from repro.core.native import load_native_library
 
             native = load_native_library()
-        index = GraphPairIndex(g1, g2)
         pool = open_witness_pool(
             index, cfg.workers, use_native=native is not None
         )
         try:
             return self._sweep_csr(
-                index, pool, g1, g2, seeds, reporter, native=native
+                index, pool, seeds, reporter, native=native
             )
         finally:
             if pool is not None:
@@ -431,8 +543,6 @@ class UserMatching:
         self,
         index: "GraphPairIndex",
         pool: "WitnessPool | None",
-        g1: Graph,
-        g2: Graph,
         seeds: dict[Node, Node],
         reporter: ProgressReporter,
         native: "NativeKernels | None" = None,
@@ -491,13 +601,24 @@ class UserMatching:
                     index, ll, lr, e1, e2, native=native
                 )
         link_l, link_r = index.intern_links(seeds)
+        assignment = None
+        if cfg.candidate_pruning == "community":
+            # Built once from the union graph and the *initial* seed
+            # links — every backend consults the same assignment, so
+            # the filter (and the links) are identical across
+            # dict/csr/native.
+            from repro.graphs.communities import assign_communities
+
+            assignment = assign_communities(
+                index, link_l, link_r, frontier=cfg.pruning_frontier
+            )
         linked1 = np.zeros(index.n1, dtype=bool)
         linked2 = np.zeros(index.n2, dtype=bool)
         linked1[link_l] = True
         linked2[link_r] = True
         links: dict[Node, Node] = dict(seeds)
         phases: list[PhaseRecord] = []
-        exponents = self.bucket_exponents(g1, g2)
+        exponents = self.bucket_exponents_index(index)
 
         for iteration in range(1, cfg.iterations + 1):
             added_this_iteration = 0
@@ -510,6 +631,13 @@ class UserMatching:
                     ~linked1 & floor1,
                     ~linked2 & floor2,
                 )
+                if assignment is not None:
+                    scores = kernels.prune_scores(
+                        scores,
+                        assignment.allowed_mask(
+                            scores.left, scores.right
+                        ),
+                    )
                 new_l, new_r, candidates = (
                     kernels.select_mutual_best_arrays(
                         scores, cfg.threshold, cfg.tie_policy
@@ -595,8 +723,15 @@ class UserMatching:
         linked_right: set[Node],
         rows: dict[Node, dict[Node, int]],
         min_degree: int,
+        prune: "Callable[[Node, Node], bool] | None" = None,
     ) -> tuple[dict[Node, Node], int]:
         """Mutual-best selection restricted to the current degree bucket.
+
+        With *prune* set (``candidate_pruning="community"``) a pair is
+        additionally skipped — before it can count as a candidate or
+        influence any best — unless the filter allows it; the exact
+        mirror of the array backends masking the score table before
+        selection.
 
         Returns ``(new_links, candidates_considered)``.
         """
@@ -619,6 +754,8 @@ class UserMatching:
                     or v2 in linked_right
                     or len(adj2[v2]) < min_degree
                 ):
+                    continue
+                if prune is not None and not prune(v1, v2):
                     continue
                 candidates += 1
                 # Left-side best for v1.

@@ -46,7 +46,10 @@ from typing import Callable, Hashable, TypeVar
 from repro.core.config import (
     TiePolicy,
     validate_backend,
+    validate_candidate_pruning,
     validate_memory_budget_mb,
+    validate_mmap,
+    validate_pruning_frontier,
     validate_workers,
 )
 from repro.core.kernels import ArrayScores
@@ -146,6 +149,7 @@ def _csr_witness_scorer(
     workers: int = 1,
     memory_budget_mb: int | None = None,
     use_native: bool = False,
+    mmap: bool = False,
 ) -> ScoringKernel:
     """Per-run witness scorer over one shared dense interning.
 
@@ -158,7 +162,10 @@ def _csr_witness_scorer(
     invoke the scorer's ``close()`` attribute when the run ends).  With
     a *memory_budget_mb* every round streams block-by-block through
     :func:`~repro.core.kernels.count_witnesses_blocked`, composing with
-    the pool and never changing the scores.
+    the pool and never changing the scores.  With *mmap* the freshly
+    interned index is spilled to an uncompressed npz and reopened
+    memory-mapped, so every round's join streams adjacency pages from
+    disk (``close()`` unmaps and removes the spill).
     Without a candidate stage the flat
     :class:`~repro.core.kernels.ArrayScores` table flows straight into
     the selectors; with one, the scores are restricted through the dict
@@ -180,7 +187,17 @@ def _csr_witness_scorer(
     ) -> object:
         index = state.get("index")
         if index is None:
-            index = state["index"] = GraphPairIndex(g1, g2)
+            index = GraphPairIndex(g1, g2)
+            if mmap:
+                import tempfile
+                from pathlib import Path
+
+                tmpdir = tempfile.TemporaryDirectory(prefix="repro-mmap-")
+                state["tmpdir"] = tmpdir
+                spill = Path(tmpdir.name) / "pair_index.npz"
+                index.save_npz(spill)
+                index = GraphPairIndex.open_mmap(spill)
+            state["index"] = index
             if use_native:
                 from repro.core.native import load_native_library
 
@@ -219,6 +236,12 @@ def _csr_witness_scorer(
         pool = state.pop("pool", None)
         if pool is not None:
             pool.close()
+        index = state.pop("index", None)
+        if index is not None and hasattr(index, "close"):
+            index.close()
+        tmpdir = state.pop("tmpdir", None)
+        if tmpdir is not None:
+            tmpdir.cleanup()
 
     score.__name__ = "csr_witness_scorer"
     score.close = close
@@ -364,6 +387,24 @@ class Reconciler:
         (default) runs monolithically and any budget is
         link-identical.  Same custom-scorer/dict-backend caveat as
         *workers*.
+    candidate_pruning : {"none", "community"}
+        ``"community"`` partitions the union graph once per run
+        (:mod:`repro.graphs.communities`, from the *initial* links the
+        seed strategy produced) and drops scored pairs whose
+        communities are further than *pruning_frontier* hops apart —
+        the same filter, applied between the scoring and selection
+        stages, on every backend and on custom scorers, so links stay
+        identical across backends under pruning.  Pruning changes
+        links versus ``"none"``; that cost is measured, not hidden.
+    pruning_frontier : int
+        Ring radius for ``candidate_pruning="community"`` (0 = same
+        community only).  Ignored under ``"none"``.
+    mmap : bool
+        Stream the ``csr``/``native`` default scorer's adjacency from
+        a memory-mapped npz spill instead of RAM (link-identical;
+        see :class:`~repro.core.config.MatcherConfig`).  Accepted for
+        interface uniformity by the ``dict`` backend and by custom
+        scorers, which keep their structures in memory.
     """
 
     def __init__(
@@ -380,6 +421,9 @@ class Reconciler:
         backend: str = "dict",
         workers: int = 1,
         memory_budget_mb: int | None = None,
+        candidate_pruning: str = "none",
+        pruning_frontier: int = 0,
+        mmap: bool = False,
     ) -> None:
         if threshold <= 0:
             raise MatcherConfigError(
@@ -397,6 +441,11 @@ class Reconciler:
         self.backend = validate_backend(backend)
         self.workers = validate_workers(workers)
         self.memory_budget_mb = validate_memory_budget_mb(memory_budget_mb)
+        self.candidate_pruning = validate_candidate_pruning(
+            candidate_pruning
+        )
+        self.pruning_frontier = validate_pruning_frontier(pruning_frontier)
+        self.mmap = validate_mmap(mmap)
         self.seed_strategy = seed_strategy or validated_seeds
         self.candidates = candidates
         self._default_scorer = scorer is None
@@ -407,6 +456,60 @@ class Reconciler:
             else selector
         )
         self.validators = tuple(validators)
+
+    # ------------------------------------------------------------------
+    def _build_pruner(
+        self,
+        g1: Graph,
+        g2: Graph,
+        start_links: dict[Node, Node],
+    ) -> "Callable[[object], object]":
+        """Community filter closure, built once from the initial links.
+
+        The returned callable accepts either score shape — the flat
+        :class:`~repro.core.kernels.ArrayScores` table or the nested
+        dict — and applies the identical allowed-pair relation to both,
+        which is what keeps every backend (and custom scorers)
+        link-identical to each other under pruning.
+        """
+        from repro.core import kernels
+        from repro.graphs.communities import assignment_for
+        from repro.graphs.pair_index import GraphPairIndex
+
+        index = GraphPairIndex(g1, g2)
+        assignment = assignment_for(
+            g1,
+            g2,
+            start_links,
+            frontier=self.pruning_frontier,
+            index=index,
+        )
+        cmap1, cmap2 = assignment.community_maps(index)
+        del index
+
+        def prune(scores: object) -> object:
+            if isinstance(scores, ArrayScores):
+                # Dense ids agree with the assignment's: interning is
+                # deterministic in graph insertion order.
+                return kernels.prune_scores(
+                    scores,
+                    assignment.allowed_mask(scores.left, scores.right),
+                )
+            out: dict[Node, dict[Node, float]] = {}
+            for v1, row in scores.items():  # type: ignore[attr-defined]
+                c1 = cmap1.get(v1, -1)
+                kept = {
+                    v2: sc
+                    for v2, sc in row.items()
+                    if assignment.allowed_communities(
+                        c1, cmap2.get(v2, -1)
+                    )
+                }
+                if kept:
+                    out[v1] = kept
+            return out
+
+        return prune
 
     # ------------------------------------------------------------------
     def run(
@@ -455,6 +558,15 @@ class Reconciler:
         links: dict[Node, Node] = dict(start_links)
         reporter.emit("seeds", links_total=len(links), links_added=0)
 
+        prune = None
+        if self.candidate_pruning == "community":
+            prune = timed(
+                "prune-setup", 0, self._build_pruner, g1, g2, start_links
+            )
+            reporter.emit(
+                "prune-setup", links_total=len(links), links_added=0
+            )
+
         scorer = self.scorer
         if self.backend in ("csr", "native") and self._default_scorer:
             scorer = _csr_witness_scorer(
@@ -463,6 +575,7 @@ class Reconciler:
                 self.workers,
                 self.memory_budget_mb,
                 use_native=self.backend == "native",
+                mmap=self.mmap,
             )
 
         phases: list[PhaseRecord] = []
@@ -479,6 +592,11 @@ class Reconciler:
                     cands = None  # fused: the kernel enumerates its own join
                 scores = timed("score", rnd, scorer, g1, g2, links, cands)
                 reporter.emit("score", links_total=len(links), links_added=0)
+                if prune is not None:
+                    scores = timed("prune", rnd, prune, scores)
+                    reporter.emit(
+                        "prune", links_total=len(links), links_added=0
+                    )
                 if isinstance(scores, ArrayScores) and (
                     self.selector not in SELECTORS.values()
                 ):

@@ -132,13 +132,13 @@ def count_similarity_witnesses_arrays(
 
     linked1 = np.zeros(index.n1, dtype=bool)
     linked2 = np.zeros(index.n2, dtype=bool)
-    if any(not index.g2.has_node(v2) for v2 in links.values()):
+    if any(not index.has2(v2) for v2 in links.values()):
         # A link whose image is missing from g2 contributes no witnesses
         # but still blocks its left endpoint, exactly like the dict
         # kernel's `if not g2_has(u2): continue`.
         for v1 in links:
             linked1[index.dense1(v1)] = True
-        links = {v1: v2 for v1, v2 in links.items() if index.g2.has_node(v2)}
+        links = {v1: v2 for v1, v2 in links.items() if index.has2(v2)}
     link_l, link_r = index.intern_links(links)
     linked1[link_l] = True
     linked2[link_r] = True

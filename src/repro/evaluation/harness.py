@@ -18,7 +18,10 @@ from typing import Hashable, Sequence
 from repro.core.config import (
     MatcherConfig,
     validate_backend,
+    validate_candidate_pruning,
     validate_memory_budget_mb,
+    validate_mmap,
+    validate_pruning_frontier,
     validate_workers,
 )
 from repro.errors import MatcherConfigError
@@ -50,6 +53,9 @@ class TrialResult:
             :class:`~repro.incremental.engine.DeltaOutcome` records
             when the trial was run with ``deltas=``; ``None``
             otherwise.
+        pruning_recall_cost: recall of an unpruned reference run minus
+            this trial's recall, when the trial ran with
+            ``measure_pruning_cost=True``; ``None`` otherwise.
     """
 
     result: MatchingResult
@@ -58,6 +64,7 @@ class TrialResult:
     params: dict[str, object] = field(default_factory=dict)
     peak_mb: float | None = None
     delta_outcomes: "list | None" = None
+    pruning_recall_cost: float | None = None
 
     def row(self) -> dict[str, object]:
         """Flatten into one table row: params + quality + cost.
@@ -71,6 +78,14 @@ class TrialResult:
         out: dict[str, object] = dict(self.params)
         out.update(self.report.as_dict())
         out["elapsed_s"] = round(self.elapsed, 4)
+        # Scored candidate pairs across all phases — the quantity
+        # candidate pruning shrinks; 0 for matchers without a
+        # candidate-pair stage (they record no phases).
+        out["candidate_pairs"] = sum(
+            p.candidates for p in self.result.phases
+        )
+        if self.pruning_recall_cost is not None:
+            out["pruning_recall_cost"] = round(self.pruning_recall_cost, 4)
         if self.peak_mb is not None:
             out["peak_mb"] = round(self.peak_mb, 2)
         if self.delta_outcomes is not None:
@@ -95,6 +110,9 @@ _EXECUTION_KNOBS = (
     ("backend", validate_backend),
     ("workers", validate_workers),
     ("memory_budget_mb", validate_memory_budget_mb),
+    ("candidate_pruning", validate_candidate_pruning),
+    ("pruning_frontier", validate_pruning_frontier),
+    ("mmap", validate_mmap),
 )
 
 
@@ -107,6 +125,10 @@ def run_trial(
     backend: str | None = None,
     workers: int | None = None,
     memory_budget_mb: int | None = None,
+    candidate_pruning: str | None = None,
+    pruning_frontier: int | None = None,
+    mmap: bool | None = None,
+    measure_pruning_cost: bool = False,
     track_memory: bool = False,
     deltas: "Sequence | None" = None,
     **matcher_config: object,
@@ -141,6 +163,25 @@ def run_trial(
         Per-round working-set budget for the csr witness join, in MiB,
         applied exactly like *backend* (links are identical for any
         budget — this knob only changes the ``peak_mb`` column).
+    candidate_pruning : {"none", "community"}, optional
+        Candidate-pruning mode applied exactly like *backend*.  Unlike
+        the execution knobs above this one *changes the links* (it
+        trades recall for candidate-pair volume — compare the
+        ``candidate_pairs`` column, and see *measure_pruning_cost*);
+        what stays invariant is backend parity under pruning.
+    pruning_frontier : int, optional
+        Frontier ring radius for community pruning, applied exactly
+        like *backend*.
+    mmap : bool, optional
+        Stream the csr adjacency from a memory-mapped spill, applied
+        exactly like *backend* (links are identical — the knob only
+        changes where the bytes live).
+    measure_pruning_cost : bool, optional
+        Additionally run the same matcher with
+        ``candidate_pruning="none"`` (untimed) and record the recall
+        difference into ``TrialResult.pruning_recall_cost`` / the
+        ``pruning_recall_cost`` row column.  Needs a config or a named
+        matcher, and does not compose with *deltas*.
     track_memory : bool, optional
         Also measure the matcher's peak allocation (``tracemalloc``)
         into ``TrialResult.peak_mb`` / the ``peak_mb`` row column
@@ -169,6 +210,9 @@ def run_trial(
         "backend": backend,
         "workers": workers,
         "memory_budget_mb": memory_budget_mb,
+        "candidate_pruning": candidate_pruning,
+        "pruning_frontier": pruning_frontier,
+        "mmap": mmap,
     }
     for option, validator in _EXECUTION_KNOBS:
         value = knobs[option]
@@ -185,6 +229,29 @@ def run_trial(
             raise MatcherConfigError(
                 f"{option}= cannot reconfigure an already-constructed "
                 "matcher instance; pass a registry name or a config"
+            )
+    reference: "Matcher | None" = None
+    if measure_pruning_cost:
+        if deltas is not None:
+            raise MatcherConfigError(
+                "measure_pruning_cost= does not compose with deltas= "
+                "streaming trials"
+            )
+        if matcher is None:
+            reference = UserMatching(
+                dataclasses.replace(
+                    config or MatcherConfig(), candidate_pruning="none"
+                )
+            )
+        elif isinstance(matcher, str):
+            reference = get_matcher(
+                matcher, **{**matcher_config, "candidate_pruning": "none"}
+            )
+        else:
+            raise MatcherConfigError(
+                "measure_pruning_cost= cannot reconfigure an "
+                "already-constructed matcher instance; pass a registry "
+                "name or a config"
             )
     if matcher is None:
         matcher = UserMatching(config or MatcherConfig())
@@ -203,12 +270,19 @@ def run_trial(
         with Timer() as timer:
             result = matcher.run(pair.g1, pair.g2, seeds)
     report = evaluate(result, pair)
+    pruning_recall_cost: float | None = None
+    if reference is not None:
+        ref_report = evaluate(
+            reference.run(pair.g1, pair.g2, seeds), pair
+        )
+        pruning_recall_cost = ref_report.recall - report.recall
     return TrialResult(
         result=result,
         report=report,
         elapsed=timer.elapsed,
         params=dict(params or {}),
         peak_mb=peak_mb,
+        pruning_recall_cost=pruning_recall_cost,
     )
 
 
@@ -256,6 +330,9 @@ def compare_matchers(
     backend: str | None = None,
     workers: int | None = None,
     memory_budget_mb: int | None = None,
+    candidate_pruning: str | None = None,
+    pruning_frontier: int | None = None,
+    mmap: bool | None = None,
     track_memory: bool = False,
 ) -> list[TrialResult]:
     """Run several matchers on the same workload, one trial each.
@@ -290,6 +367,18 @@ def compare_matchers(
         Run every *named* matcher under this per-round csr working-set
         budget (MiB) and record it in the ``memory_budget_mb`` column
         of its row; same instance caveat as *backend*.
+    candidate_pruning : {"none", "community"}, optional
+        Run every *named* matcher under this candidate-pruning mode
+        and record it in the ``candidate_pruning`` column of its row;
+        same instance caveat as *backend*.  Matchers without a
+        candidate-pair stage accept the knob and ignore it.
+    pruning_frontier : int, optional
+        Frontier ring radius for community pruning, applied and
+        recorded like *candidate_pruning*.
+    mmap : bool, optional
+        Run every *named* matcher with the memory-mapped adjacency
+        spill and record it in the ``mmap`` column of its row; same
+        instance caveat as *backend*.
     track_memory : bool, optional
         Measure every trial's peak allocation into the shared
         ``peak_mb`` column (MiB; see :func:`run_trial`).
@@ -313,6 +402,9 @@ def compare_matchers(
                 ("backend", backend),
                 ("workers", workers),
                 ("memory_budget_mb", memory_budget_mb),
+                ("candidate_pruning", candidate_pruning),
+                ("pruning_frontier", pruning_frontier),
+                ("mmap", mmap),
             ):
                 if value is not None:
                     extra[option] = value
@@ -324,6 +416,9 @@ def compare_matchers(
                 backend=backend if named else None,
                 workers=workers if named else None,
                 memory_budget_mb=memory_budget_mb if named else None,
+                candidate_pruning=candidate_pruning if named else None,
+                pruning_frontier=pruning_frontier if named else None,
+                mmap=mmap if named else None,
                 track_memory=track_memory,
                 # label last: it must win over any caller-supplied key.
                 params={**(params or {}), **extra},

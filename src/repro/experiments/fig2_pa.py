@@ -35,6 +35,9 @@ def run(
     seed=0,
     backend: str = "dict",
     workers: int = 1,
+    candidate_pruning: str = "none",
+    pruning_frontier: int = 0,
+    mmap: bool = False,
     checkpoint_path: str | None = None,
     warm_start: bool = False,
 ) -> ExperimentResult:
@@ -46,6 +49,12 @@ def run(
     resumes from those files on a re-run, re-scoring only what changed
     (nothing, for an identical seed — which is exactly the instant-replay
     case).
+
+    With ``candidate_pruning="community"`` every cell additionally runs
+    an unpruned reference and reports the quality trade explicitly: the
+    ``candidate_pairs`` column shows the pair-space shrink and
+    ``pruning_recall_cost`` the recall given up for it.  (Pruning does
+    not compose with *checkpoint_path*.)
     """
     rng_graph, rng_copies, rng_seeds = spawn_rngs(seed, 3)
     graph = preferential_attachment_graph(n, m, seed=rng_graph)
@@ -68,6 +77,9 @@ def run(
                 min_bucket_exponent=0 if threshold == 1 else 1,
                 backend=backend,
                 workers=workers,
+                candidate_pruning=candidate_pruning,
+                pruning_frontier=pruning_frontier,
+                mmap=mmap,
                 checkpoint_path=checkpoint_for(
                     checkpoint_path, f"p{link_prob}-t{threshold}"
                 ),
@@ -81,19 +93,26 @@ def run(
                     "seed_prob": link_prob,
                     "threshold": threshold,
                 },
+                measure_pruning_cost=candidate_pruning != "none",
             )
             report = trial.report
-            result.rows.append(
-                {
-                    "seed_prob": link_prob,
-                    "threshold": threshold,
-                    "seeds": len(seeds),
-                    "correct_pairs": report.good,
-                    "wrong_pairs": report.bad,
-                    "precision": round(report.precision, 5),
-                    "recall": round(report.recall, 4),
-                    "identifiable": report.identifiable,
-                    "elapsed_s": round(trial.elapsed, 3),
-                }
-            )
+            row = {
+                "seed_prob": link_prob,
+                "threshold": threshold,
+                "seeds": len(seeds),
+                "correct_pairs": report.good,
+                "wrong_pairs": report.bad,
+                "precision": round(report.precision, 5),
+                "recall": round(report.recall, 4),
+                "identifiable": report.identifiable,
+                "elapsed_s": round(trial.elapsed, 3),
+                "candidate_pairs": sum(
+                    p.candidates for p in trial.result.phases
+                ),
+            }
+            if trial.pruning_recall_cost is not None:
+                row["pruning_recall_cost"] = round(
+                    trial.pruning_recall_cost, 4
+                )
+            result.rows.append(row)
     return result

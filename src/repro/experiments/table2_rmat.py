@@ -40,6 +40,9 @@ def run(
     backend: str = "dict",
     workers: int = 1,
     memory_budget_mb: int | None = None,
+    candidate_pruning: str = "none",
+    pruning_frontier: int = 0,
+    mmap: bool = False,
     track_memory: bool = False,
     checkpoint_path: str | None = None,
     warm_start: bool = False,
@@ -49,6 +52,12 @@ def run(
     *checkpoint_path*/*warm_start* persist and resume each rung's
     reconciliation state (per-scale files); see
     :func:`repro.experiments.common.checkpoint_for`.
+
+    With ``candidate_pruning="community"`` every rung reports the pair
+    space actually scored (``candidate_pairs``) and the recall given up
+    versus an unpruned reference run (``pruning_recall_cost``); pruning
+    does not compose with *checkpoint_path*.  *mmap* streams each
+    rung's adjacency from a memory-mapped spill (link-identical).
     """
     result = ExperimentResult(
         name="table2",
@@ -80,12 +89,16 @@ def run(
                 backend=backend,
                 workers=workers,
                 memory_budget_mb=memory_budget_mb,
+                candidate_pruning=candidate_pruning,
+                pruning_frontier=pruning_frontier,
+                mmap=mmap,
                 checkpoint_path=checkpoint_for(
                     checkpoint_path, f"scale{scale}"
                 ),
                 warm_start=warm_start and checkpoint_path is not None,
             ),
             params={"scale": scale},
+            measure_pruning_cost=candidate_pruning != "none",
             track_memory=track_memory,
         )
         if base_elapsed is None:
@@ -99,7 +112,14 @@ def run(
             "wrong_pairs": trial.report.bad,
             "elapsed_s": round(trial.elapsed, 3),
             "relative_time": round(trial.elapsed / base_elapsed, 3),
+            "candidate_pairs": sum(
+                p.candidates for p in trial.result.phases
+            ),
         }
+        if trial.pruning_recall_cost is not None:
+            row["pruning_recall_cost"] = round(
+                trial.pruning_recall_cost, 4
+            )
         if trial.peak_mb is not None:
             row["peak_mb"] = round(trial.peak_mb, 1)
         result.rows.append(row)
@@ -117,6 +137,9 @@ def run_million(
     backend: str = "csr",
     workers: int = 1,
     memory_budget_mb: int | None = 512,
+    candidate_pruning: str = "none",
+    pruning_frontier: int = 0,
+    mmap: bool = False,
     track_memory: bool = False,
 ) -> ExperimentResult:
     """The million-node rung: one RMAT *scale* graph under a memory budget.
@@ -128,6 +151,12 @@ def run_million(
     records the process-lifetime peak RSS next to the quality numbers.
     CI's nightly job runs this driver at a smoke ``scale``; the full
     default takes minutes and a few GiB (graph construction dominates).
+    Nightly also re-runs the smoke with
+    ``candidate_pruning="community"`` — at this rung the row carries
+    ``candidate_pairs`` and ``pruning_recall_cost`` so the scale win
+    and its quality price are visible side by side.  *mmap* composes:
+    the rung's interned CSR spills to disk and the block planner
+    streams it back page by page.
     """
     result = ExperimentResult(
         name="table2-million",
@@ -161,8 +190,12 @@ def run_million(
             backend=backend,
             workers=workers,
             memory_budget_mb=memory_budget_mb,
+            candidate_pruning=candidate_pruning,
+            pruning_frontier=pruning_frontier,
+            mmap=mmap,
         ),
         params={"scale": scale},
+        measure_pruning_cost=candidate_pruning != "none",
         track_memory=track_memory,
     )
     row = {
@@ -175,7 +208,12 @@ def run_million(
         "precision": trial.report.precision,
         "elapsed_s": round(trial.elapsed, 3),
         "memory_budget_mb": memory_budget_mb,
+        "candidate_pairs": sum(
+            p.candidates for p in trial.result.phases
+        ),
     }
+    if trial.pruning_recall_cost is not None:
+        row["pruning_recall_cost"] = round(trial.pruning_recall_cost, 4)
     rss = peak_rss_mb()
     if rss is not None:
         row["peak_rss_mb"] = round(rss, 1)

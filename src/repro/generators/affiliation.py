@@ -124,7 +124,10 @@ def affiliation_graph(
 
     for user in range(2, n_users):
         prototype = users[randrange(len(users))]
-        proto_interests = list(bip.affiliations_of(prototype))
+        # Sorted so the RNG is consumed in a hash-seed-independent order:
+        # affiliations_of returns a set, and iterating it directly made
+        # the "seeded" generator differ across processes.
+        proto_interests = sorted(bip.affiliations_of(prototype), key=repr)
         added = 0
         # Copying step, capped to keep users distinguishable.
         for aff in proto_interests:

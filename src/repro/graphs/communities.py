@@ -1,0 +1,360 @@
+"""Community structure of the union graph — the candidate-pruning pass.
+
+The paper's degree buckets bound reconciliation *rounds*; the candidate
+pair space is what still scales quadratically in dense neighborhoods.
+Following the mega-scale community-detection line (Wakita & Tsurumi,
+"Finding Community Structure in Mega-scale Social Networks"), a single
+cheap partitioning pass over the *union graph* — both networks glued
+together at the seed links — yields a coarse map of where true matches
+can possibly live: a real pair's two nodes share most of their
+neighborhoods, so they land in the same (or an adjacent) community with
+overwhelming probability, while the vast majority of spurious candidate
+pairs straddle unrelated communities and can be discarded before they
+are ever scored.
+
+The partitioner is synchronous *seeded, grow-only* label propagation:
+only the glued seed slots carry a label initially (their slot id), and
+labels spread outward round by round — each still-unlabeled node takes
+the modal label among its already-labeled neighbors, ties broken
+toward the smallest label, and is then *frozen*.  Freezing is the
+crucial deviation from classic LPA: re-voting on short-diameter social
+graphs lets whichever label captures the hubs snowball into one giant
+community (the well-known LPA pathology), destroying all pruning
+power.  Grow-only propagation instead carves deterministic Voronoi-
+like cells around the seeds, and because a true match's two copies
+share most of their neighborhood, they see the same seed landscape and
+land in the same (or an adjacent) community — whereas unseeded
+propagation lets each side's labels be captured by its own, unglued
+hubs and tears matched pairs apart.  Nodes no seed ever reaches keep
+the sentinel label ``-1`` and are *never* pruned (pruning must only
+ever act on positive community evidence).
+
+Everything is fully deterministic — no randomness is consumed, rounds
+are bounded, and final labels are compacted in canonical ascending
+order — so the same pair of graphs and seeds always produces the same
+partition, which is what lets all three matcher backends apply an
+*identical* pruning filter and stay link-identical to each other.
+
+Everything is vectorized over the existing CSR arrays of a
+:class:`~repro.graphs.pair_index.GraphPairIndex`; no adjacency is ever
+rebuilt in Python dicts.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+import numpy as np
+
+from repro.graphs.pair_index import GraphPairIndex
+
+Node = Hashable
+
+#: Default bound on label-propagation rounds.  Grow-only propagation
+#: reaches its fixpoint in at most the union graph's eccentricity from
+#: the seed set — a handful of rounds on social graphs; the bound caps
+#: how far from any seed a label may travel on pathological topologies.
+DEFAULT_MAX_ROUNDS = 15
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+def _mode_per_node(
+    src: np.ndarray, neighbor_labels: np.ndarray, labels: np.ndarray
+) -> np.ndarray:
+    """One synchronous update: modal neighbor label per node.
+
+    *src*/*neighbor_labels* are parallel arrays of (node, label)
+    occurrences; unlabeled occurrences (label ``-1``) are discarded,
+    and nodes with no labeled occurrences keep their current label.
+    Ties break toward the smallest label — the canonical choice that
+    makes the whole propagation deterministic.
+    """
+    new_labels = labels.copy()
+    labeled = neighbor_labels >= 0
+    src = src[labeled]
+    neighbor_labels = neighbor_labels[labeled]
+    if len(src) == 0:
+        return new_labels
+    order = np.lexsort((neighbor_labels, src))
+    s, lbl = src[order], neighbor_labels[order]
+    # Run-length encode the sorted (node, label) occurrence stream.
+    boundary = np.empty(len(s), dtype=bool)
+    boundary[0] = True
+    np.logical_or(s[1:] != s[:-1], lbl[1:] != lbl[:-1], out=boundary[1:])
+    run_start = np.flatnonzero(boundary)
+    run_src = s[run_start]
+    run_lbl = lbl[run_start]
+    run_count = np.diff(np.append(run_start, len(s)))
+    # Winner per node: maximum count, then smallest label.  Runs are
+    # already label-ascending within a node, so a stable sort by
+    # descending count keeps the smallest label first among ties.
+    pick = np.lexsort((run_lbl, -run_count, run_src))
+    first = np.empty(len(pick), dtype=bool)
+    first[0] = True
+    first[1:] = run_src[pick][1:] != run_src[pick][:-1]
+    winners = pick[first]
+    new_labels[run_src[winners]] = run_lbl[winners]
+    return new_labels
+
+
+def union_label_propagation(
+    index: GraphPairIndex,
+    seed_left: np.ndarray,
+    seed_right: np.ndarray,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Seeded label-propagation partition of the glued union graph.
+
+    The union graph has one slot per ``g1`` node (slots ``0..n1-1``) and
+    one per ``g2`` node (slots ``n1..n1+n2-1``), except that each seed
+    pair shares its ``g1`` slot — the glue that makes the two networks
+    one graph.  Edges are both CSR adjacencies mapped through the slot
+    assignment; an edge present in both networks therefore counts
+    twice, which is exactly the weighting we want (evidence from both
+    sides).
+
+    Labels start at the seed slots only (label = slot id, everything
+    else the ``-1`` sentinel) and spread by synchronous grow-only modal
+    updates: each round, every still-unlabeled slot takes the modal
+    label among its labeled neighbors and is frozen from then on (see
+    the module docstring for why freezing matters).  Slots no seed ever
+    reaches finish with ``-1`` — downstream, such nodes are never
+    pruned.
+
+    Returns ``(labels, union1, union2, edges)`` where *labels* assigns
+    a (non-compacted) label or ``-1`` to every slot, *union1*/*union2*
+    map dense per-graph ids to slots, and *edges* is the ``(2, E)``
+    directed slot edge list (both directions present) reused by the
+    quotient-graph construction downstream.
+    """
+    n1, n2 = index.n1, index.n2
+    n_total = n1 + n2
+    union1 = np.arange(n1, dtype=np.int64)
+    union2 = np.arange(n2, dtype=np.int64) + n1
+    if len(seed_right):
+        union2[seed_right] = seed_left
+    deg1 = index.deg1
+    deg2 = index.deg2
+    src = np.concatenate(
+        [
+            np.repeat(union1, deg1),
+            np.repeat(union2, deg2),
+        ]
+    )
+    dst = np.concatenate(
+        [
+            index.csr1.indices.astype(np.int64),
+            union2[index.csr2.indices.astype(np.int64)],
+        ]
+    )
+    edges = np.stack([src, dst])
+    labels = np.full(n_total, -1, dtype=np.int64)
+    if len(seed_left) == 0 or len(src) == 0:
+        # Nothing to anchor on (or nothing to spread through): every
+        # node stays unassigned and the filter passes everything.
+        labels[seed_left] = seed_left
+        return labels, union1, union2, edges
+    labels[seed_left] = seed_left
+    for _round in range(max_rounds):
+        voted = _mode_per_node(src, labels[dst], labels)
+        # Grow-only: labeled slots (seeds included) are frozen; only
+        # the unlabeled wavefront acquires labels this round.
+        grown = np.where(labels < 0, voted, labels)
+        if np.array_equal(grown, labels):
+            break
+        labels = grown
+    return labels, union1, union2, edges
+
+
+def _expand_frontier(
+    allowed_keys: np.ndarray,
+    qindptr: np.ndarray,
+    qindices: np.ndarray,
+    num_communities: int,
+    hops: int,
+) -> np.ndarray:
+    """Grow the allowed-pair key set *hops* steps along the quotient graph.
+
+    *allowed_keys* are packed ``a * K + b`` community pairs; each hop
+    adds ``(a, c)`` for every quotient edge ``b -> c`` reachable from an
+    allowed ``(a, b)``.  Returns the sorted unique expanded key set.
+    """
+    keys = allowed_keys
+    k = np.int64(num_communities)
+    for _hop in range(hops):
+        a, b = keys // k, keys % k
+        counts = qindptr[b + 1] - qindptr[b]
+        total = int(counts.sum())
+        if total == 0:
+            break
+        seg = np.repeat(np.arange(len(b), dtype=np.int64), counts)
+        offsets = np.cumsum(counts) - counts
+        pos = np.arange(total, dtype=np.int64) - offsets[seg]
+        new_b = qindices[qindptr[b][seg] + pos]
+        new_keys = a[seg] * k + new_b
+        grown = np.unique(np.concatenate([keys, new_keys]))
+        if len(grown) == len(keys):
+            break
+        keys = grown
+    return keys
+
+
+class CommunityAssignment:
+    """A per-run community partition plus its allowed-pair relation.
+
+    Built once per reconciliation from the union graph and the *initial*
+    seed links; every backend of every pruning-aware matcher consults
+    the same assignment, so the filter — and therefore the links — are
+    identical across dict/csr/native.
+
+    Attributes:
+        comm1: ``int64[n1]`` community id per dense ``g1`` id
+            (``-1`` = unassigned, never pruned).
+        comm2: ``int64[n2]`` community id per dense ``g2`` id
+            (``-1`` = unassigned, never pruned).
+        num_communities: number of distinct communities ``K``.
+        frontier: the ring radius the allowed relation was built with.
+        allowed_keys: sorted unique packed ``c1 * K + c2`` keys of every
+            allowed community pair (quotient distance <= *frontier*).
+    """
+
+    __slots__ = (
+        "comm1",
+        "comm2",
+        "num_communities",
+        "frontier",
+        "allowed_keys",
+        "_allowed_set",
+    )
+
+    def __init__(
+        self,
+        comm1: np.ndarray,
+        comm2: np.ndarray,
+        num_communities: int,
+        frontier: int,
+        allowed_keys: np.ndarray,
+    ) -> None:
+        self.comm1 = comm1
+        self.comm2 = comm2
+        self.num_communities = num_communities
+        self.frontier = frontier
+        self.allowed_keys = allowed_keys
+        self._allowed_set: frozenset[int] | None = None
+
+    # ------------------------------------------------------------------
+    def allowed_mask(
+        self, left: np.ndarray, right: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized allowance test over parallel dense-id pair arrays.
+
+        A pair is allowed when its packed community key is in the ring,
+        or when either endpoint is unassigned (``-1``): pruning only
+        ever acts on positive community evidence.
+        """
+        if len(left) == 0:
+            return np.zeros(0, dtype=bool)
+        c1 = self.comm1[np.asarray(left)]
+        c2 = self.comm2[np.asarray(right)]
+        unassigned = (c1 < 0) | (c2 < 0)
+        k = np.int64(self.num_communities)
+        keys = c1 * k + c2
+        table = self.allowed_keys
+        if len(table) == 0:
+            return unassigned
+        pos = np.searchsorted(table, keys)
+        pos_clipped = np.minimum(pos, len(table) - 1)
+        hit = (pos < len(table)) & (table[pos_clipped] == keys)
+        return hit | unassigned
+
+    def allowed_communities(self, c1: int, c2: int) -> bool:
+        """Scalar allowance test on community ids (dict-backend path)."""
+        if c1 < 0 or c2 < 0:
+            return True
+        if self._allowed_set is None:
+            self._allowed_set = frozenset(self.allowed_keys.tolist())
+        return c1 * self.num_communities + c2 in self._allowed_set
+
+    def community_maps(
+        self, index: GraphPairIndex
+    ) -> tuple[dict[Node, int], dict[Node, int]]:
+        """Original-id -> community dicts for the dict backend."""
+        return (
+            dict(zip(index.csr1.node_ids, self.comm1.tolist())),
+            dict(zip(index.csr2.node_ids, self.comm2.tolist())),
+        )
+
+
+def assign_communities(
+    index: GraphPairIndex,
+    seed_left: np.ndarray,
+    seed_right: np.ndarray,
+    frontier: int = 0,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+) -> CommunityAssignment:
+    """Partition the union graph and build the allowed-pair relation.
+
+    Deterministic end to end: label propagation breaks ties canonically
+    (see module docstring), community ids are compacted in ascending
+    label order, and the frontier ring is the exact set of community
+    pairs within *frontier* hops in the quotient graph.
+    """
+    labels, union1, union2, edges = union_label_propagation(
+        index, seed_left, seed_right, max_rounds=max_rounds
+    )
+    raw1 = labels[union1]
+    raw2 = labels[union2]
+    uniq = np.unique(
+        np.concatenate([raw1[raw1 >= 0], raw2[raw2 >= 0]])
+    )
+    comm1 = np.full(index.n1, -1, dtype=np.int64)
+    comm2 = np.full(index.n2, -1, dtype=np.int64)
+    comm1[raw1 >= 0] = np.searchsorted(uniq, raw1[raw1 >= 0])
+    comm2[raw2 >= 0] = np.searchsorted(uniq, raw2[raw2 >= 0])
+    k = len(uniq)
+    if k == 0:
+        return CommunityAssignment(comm1, comm2, 0, frontier, _EMPTY)
+    # Quotient graph: communities adjacent iff some union edge crosses
+    # them; edges touching an unassigned slot carry no community
+    # evidence and are dropped.
+    kk = np.int64(k)
+    lsrc = labels[edges[0]]
+    ldst = labels[edges[1]]
+    assigned = (lsrc >= 0) & (ldst >= 0)
+    qsrc = np.searchsorted(uniq, lsrc[assigned])
+    qdst = np.searchsorted(uniq, ldst[assigned])
+    cross = qsrc != qdst
+    qkeys = np.unique(qsrc[cross] * kk + qdst[cross])
+    qa, qb = qkeys // kk, qkeys % kk
+    qindptr = np.zeros(k + 1, dtype=np.int64)
+    np.cumsum(np.bincount(qa, minlength=k), out=qindptr[1:])
+    allowed = np.arange(k, dtype=np.int64) * kk + np.arange(
+        k, dtype=np.int64
+    )
+    allowed = _expand_frontier(allowed, qindptr, qb, k, frontier)
+    return CommunityAssignment(comm1, comm2, k, frontier, allowed)
+
+
+def assignment_for(
+    g1: "object",
+    g2: "object",
+    seeds: dict[Node, Node],
+    frontier: int = 0,
+    index: GraphPairIndex | None = None,
+) -> CommunityAssignment:
+    """The per-run assignment from graphs + initial seeds.
+
+    Convenience wrapper used by every pruning-aware matcher: builds (or
+    reuses) the dense interning, interns the seed links, and delegates
+    to :func:`assign_communities`.  Matchers without a prebuilt index
+    (the dict backend) pass the graphs and pay one interning — the price
+    of guaranteeing the *same* assignment code path as the array
+    backends.
+    """
+    if index is None:
+        index = GraphPairIndex(g1, g2)  # type: ignore[arg-type]
+    seed_left, seed_right = index.intern_links(seeds)
+    return assign_communities(
+        index, seed_left, seed_right, frontier=frontier
+    )

@@ -72,6 +72,13 @@ _ALGORITHMIC_FIELDS = (
     "use_degree_buckets",
     "min_bucket_exponent",
     "tie_policy",
+    # candidate_pruning / pruning_frontier are algorithmic too, but the
+    # combination with checkpoint_path is rejected at config time (the
+    # delta corrections assume the unpruned candidate space), so every
+    # checkpointed config carries the defaults; listed for the day that
+    # restriction is lifted.  ``mmap`` is execution-only and excluded.
+    "candidate_pruning",
+    "pruning_frontier",
 )
 
 

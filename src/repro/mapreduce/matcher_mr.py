@@ -62,7 +62,12 @@ class MapReduceUserMatching:
             witness join one link at a time through the shuffle, so its
             transient working set is bounded by construction — the
             combiner collapses counts map-side rather than
-            materializing the cross product.
+            materializing the cross product.  Likewise ``config.mmap``
+            is accepted for uniformity (the local engine keeps its
+            shuffle in memory).  ``config.candidate_pruning`` is real:
+            round 2's reducer drops community-disallowed pairs, keeping
+            the links identical to the sequential matcher's under
+            pruning.
         engine: optionally share/inspect an engine (round history is the
             interesting part: 4 rounds per bucket, O(k log D) total).
             An explicit engine keeps its own ``workers`` setting.
@@ -99,8 +104,14 @@ class MapReduceUserMatching:
         g2: Graph,
         links: dict[Node, Node],
         min_degree: int,
+        prune=None,
     ) -> tuple[dict[Node, Node], int, int]:
         """One bucket pass = 4 MapReduce rounds.
+
+        With *prune* (a ``(v1, v2) -> bool`` allowance test) round 2's
+        reducer drops disallowed candidate pairs after the witness
+        count — witnesses stay pre-prune, the candidate set post-prune,
+        exactly like the sequential matcher.
 
         Returns ``(new_links, candidates, witnesses_emitted)``.
         """
@@ -131,7 +142,8 @@ class MapReduceUserMatching:
                         yield ((v1, v2), 1)
 
         def reduce_sum(key: tuple, values: list) -> Iterator[tuple]:
-            yield (key, int(sum(values)))
+            if prune is None or prune(key[0], key[1]):
+                yield (key, int(sum(values)))
 
         r2 = self.engine.run(
             MapReduceJob(
@@ -196,12 +208,14 @@ class MapReduceUserMatching:
         index,
         links: dict[int, int],
         min_degree: int,
+        prune=None,
     ) -> tuple[dict[int, int], int, int]:
         """One bucket pass over dense ids; all shuffle keys are ints.
 
         Same four rounds as :meth:`_match_round`, but adjacency is read
         from the shared CSR arrays and round 2's candidate-pair key is
-        the packed integer ``v1 * n2 + v2``.
+        the packed integer ``v1 * n2 + v2``.  *prune* takes dense ids
+        and is applied at the same point as the dict rounds'.
         """
         cfg = self.config
         linked_right = set(links.values())
@@ -231,7 +245,8 @@ class MapReduceUserMatching:
                         yield (v1 * n2 + v2, 1)
 
         def reduce_sum(key: int, values: list):
-            yield (key, int(sum(values)))
+            if prune is None or prune(key // n2, key % n2):
+                yield (key, int(sum(values)))
 
         r2 = self.engine.run(
             MapReduceJob(
@@ -311,6 +326,45 @@ class MapReduceUserMatching:
             dense_links: dict[int, int] = dict(
                 zip(seed_l.tolist(), seed_r.tolist())
             )
+        prune = None
+        if cfg.candidate_pruning == "community":
+            # One assignment per run, from the *initial* seeds — the
+            # same relation every other matcher backend consults.
+            from repro.graphs.communities import (
+                assign_communities,
+                assignment_for,
+            )
+
+            if index is not None:
+                assignment = assign_communities(
+                    index, seed_l, seed_r, frontier=cfg.pruning_frontier
+                )
+                comm1, comm2 = assignment.comm1, assignment.comm2
+
+                def prune(v1: int, v2: int) -> bool:
+                    return assignment.allowed_communities(
+                        int(comm1[v1]), int(comm2[v2])
+                    )
+
+            else:
+                from repro.graphs.pair_index import GraphPairIndex
+
+                tmp_index = GraphPairIndex(g1, g2)
+                assignment = assignment_for(
+                    g1,
+                    g2,
+                    seeds,
+                    frontier=cfg.pruning_frontier,
+                    index=tmp_index,
+                )
+                cmap1, cmap2 = assignment.community_maps(tmp_index)
+                del tmp_index
+
+                def prune(v1: Node, v2: Node) -> bool:
+                    return assignment.allowed_communities(
+                        cmap1[v1], cmap2[v2]
+                    )
+
         links: dict[Node, Node] = dict(seeds)
         phases: list[PhaseRecord] = []
         for iteration in range(1, cfg.iterations + 1):
@@ -320,7 +374,7 @@ class MapReduceUserMatching:
                 if index is not None:
                     new_dense, candidates, witnesses = (
                         self._match_round_csr(
-                            index, dense_links, min_degree
+                            index, dense_links, min_degree, prune=prune
                         )
                     )
                     dense_links.update(new_dense)
@@ -330,7 +384,7 @@ class MapReduceUserMatching:
                     }
                 else:
                     new_links, candidates, witnesses = self._match_round(
-                        g1, g2, links, min_degree
+                        g1, g2, links, min_degree, prune=prune
                     )
                 links.update(new_links)
                 added_this_iteration += len(new_links)

@@ -1,5 +1,7 @@
 """Unit tests for the Affiliation Networks generator."""
 
+import subprocess
+import sys
 from collections import defaultdict
 
 import pytest
@@ -81,3 +83,40 @@ class TestAffiliationStructure:
         assert len(comm) == net.bipartite.num_affiliations
         total = sum(len(m) for m in comm.values())
         assert total == net.bipartite.num_memberships
+
+
+class TestHashSeedIndependence:
+    """A seeded generator must not consume its RNG in set-iteration
+    order: with hash randomization on, "the same seed" would silently
+    mean a different graph in every process (the bug behind
+    QUALITY_pruning.json disagreeing across CI runners)."""
+
+    FINGERPRINT = (
+        "import hashlib\n"
+        "from repro.generators.affiliation import affiliation_graph\n"
+        "net = affiliation_graph(150, 20, seed=7)\n"
+        "edges = sorted(tuple(sorted(e, key=repr)) for e in "
+        "net.graph.edges())\n"
+        "print(hashlib.sha256(repr(edges).encode()).hexdigest())\n"
+    )
+
+    def fingerprint(self, hash_seed):
+        import pathlib
+
+        repo = pathlib.Path(__file__).resolve().parents[2]
+        proc = subprocess.run(
+            [sys.executable, "-c", self.FINGERPRINT],
+            capture_output=True,
+            text=True,
+            env={"PYTHONHASHSEED": hash_seed, "PYTHONPATH": "src"},
+            cwd=str(repo),
+            check=True,
+        )
+        return proc.stdout.strip()
+
+    def test_identical_graph_across_hash_seeds(self):
+        prints = {self.fingerprint(h) for h in ("0", "1", "12345")}
+        assert len(prints) == 1, (
+            "affiliation_graph(seed=7) differs across PYTHONHASHSEED "
+            "values — some RNG draw iterates a set"
+        )

@@ -133,6 +133,72 @@ class TestBackendColumns:
         assert "test_bench_join_native" in out
 
 
+class TestPerBenchmarkFloors:
+    def test_longest_matching_override_wins(self, gate):
+        overrides = [
+            ("bench_kernels", 0.0001),
+            ("bench_kernels.py::test_bench_pack", 0.050),
+        ]
+        assert (
+            gate.floor_for(
+                "bench_kernels.py::test_bench_pack[4]", 0.001, overrides
+            )
+            == 0.050
+        )
+        assert (
+            gate.floor_for(
+                "bench_kernels.py::test_bench_join", 0.001, overrides
+            )
+            == 0.0001
+        )
+
+    def test_no_match_falls_back_to_default(self, gate):
+        assert (
+            gate.floor_for("bench_other.py::t", 0.001, [("zzz", 9.0)])
+            == 0.001
+        )
+
+    def test_override_gates_a_sub_ms_benchmark(self, gate, tmp_path):
+        """A microkernel suite can opt in below the global 1 ms floor."""
+        base = bench_json(tmp_path / "base.json", {"micro": 0.0001})
+        fresh = bench_json(tmp_path / "fresh.json", {"micro": 0.0009})
+        assert gate.main([base, fresh]) == 0  # global floor: noise
+        assert (
+            gate.main([base, fresh, "--floor", "micro=0.00005"]) == 1
+        )
+
+    def test_override_silences_a_jittery_benchmark(
+        self, gate, tmp_path, capsys
+    ):
+        """A jittery suite can raise its floor without unguarding the
+        rest of the file."""
+        means = {"jittery": 0.004, "steady": 0.050}
+        fresh = dict(means, jittery=0.012)  # 3x, but within its floor
+        base = bench_json(tmp_path / "base.json", means)
+        new = bench_json(tmp_path / "fresh.json", fresh)
+        assert gate.main([base, new]) == 1
+        assert (
+            gate.main([base, new, "--floor", "jittery=0.01"]) == 0
+        )
+        assert "noise (under 10 ms floor)" in capsys.readouterr().out
+
+    def test_compare_defaults_keep_old_signature(self, gate):
+        """compare() without floors behaves exactly as before."""
+        rows, regressions = gate.compare(
+            {"a": 0.010}, {"a": 0.016}, 1.5, 0.001
+        )
+        assert regressions == ["a"]
+        assert rows[0][4] == "REGRESSION"
+
+    @pytest.mark.parametrize(
+        "spec", ["nonsense", "=0.1", "name=", "name=-1", "name=abc"]
+    )
+    def test_malformed_override_rejected(self, gate, tmp_path, spec):
+        base = bench_json(tmp_path / "base.json", {"a": 0.01})
+        with pytest.raises(SystemExit):
+            gate.main([base, base, "--floor", spec])
+
+
 class TestMainExitCodes:
     def test_ok_run_exits_zero(self, gate, tmp_path, capsys):
         base = bench_json(tmp_path / "base.json", {"a": 0.01})

@@ -1,0 +1,194 @@
+"""The CI quality-regression gate, exercised on synthetic quality JSONs.
+
+``scripts/check_quality_regression.py`` pins the candidate-pruning
+quality trade to the committed ``QUALITY_pruning.json``; these tests pin
+its contract — and the synthetic precision/recall-drop case is the
+demonstration that the gate actually fails a degraded run.
+"""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+SCRIPT = (
+    pathlib.Path(__file__).resolve().parents[2]
+    / "scripts"
+    / "check_quality_regression.py"
+)
+BASELINE = (
+    pathlib.Path(__file__).resolve().parents[2] / "QUALITY_pruning.json"
+)
+
+
+@pytest.fixture(scope="module")
+def gate():
+    spec = importlib.util.spec_from_file_location(
+        "check_quality_regression", SCRIPT
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def quality_json(path, modes):
+    path.write_text(json.dumps({"modes": modes}))
+    return str(path)
+
+
+def table(**overrides):
+    """A plausible quality table, with per-mode overrides applied."""
+    modes = {
+        "none": {
+            "precision": 1.0,
+            "recall": 0.65,
+            "candidate_pairs": 3_400_000,
+        },
+        "community-f0": {
+            "precision": 0.994,
+            "recall": 0.66,
+            "candidate_pairs": 1_980_000,
+        },
+    }
+    for label, fields in overrides.items():
+        modes[label].update(fields)
+    return modes
+
+
+class TestCompare:
+    def test_identical_tables_pass(self, gate):
+        base = {"modes": table()}
+        lines, regressions = gate.compare(base, base, 0.01, 1.1)
+        assert regressions == []
+        assert lines and all("REGRESSION" not in ln for ln in lines)
+
+    def test_recall_drop_regresses(self, gate):
+        base = {"modes": table()}
+        fresh = {"modes": table(**{"community-f0": {"recall": 0.60}})}
+        _lines, regressions = gate.compare(base, fresh, 0.01, 1.1)
+        assert len(regressions) == 1
+        assert "recall fell" in regressions[0]
+
+    def test_precision_drop_regresses(self, gate):
+        base = {"modes": table()}
+        fresh = {"modes": table(none={"precision": 0.95})}
+        _lines, regressions = gate.compare(base, fresh, 0.01, 1.1)
+        assert any("precision fell" in r for r in regressions)
+
+    def test_drop_within_tolerance_passes(self, gate):
+        base = {"modes": table()}
+        fresh = {"modes": table(**{"community-f0": {"recall": 0.655}})}
+        _lines, regressions = gate.compare(base, fresh, 0.01, 1.1)
+        assert regressions == []
+
+    def test_candidate_blowup_regresses(self, gate):
+        """Pruning that stops pruning fails even though recall rises."""
+        fresh_modes = table(
+            **{
+                "community-f0": {
+                    "candidate_pairs": 3_400_000,
+                    "recall": 0.70,
+                }
+            }
+        )
+        _lines, regressions = gate.compare(
+            {"modes": table()}, {"modes": fresh_modes}, 0.01, 1.1
+        )
+        assert len(regressions) == 1
+        assert "no longer pruning" in regressions[0]
+
+    def test_improvements_never_fail(self, gate):
+        fresh = {
+            "modes": table(
+                **{
+                    "community-f0": {
+                        "recall": 0.70,
+                        "precision": 1.0,
+                        "candidate_pairs": 1_000_000,
+                    }
+                }
+            )
+        }
+        _lines, regressions = gate.compare(
+            {"modes": table()}, fresh, 0.01, 1.1
+        )
+        assert regressions == []
+
+
+class TestMainExitCodes:
+    def test_ok_run_exits_zero(self, gate, tmp_path, capsys):
+        base = quality_json(tmp_path / "base.json", table())
+        assert gate.main([base, "--fresh", base]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_synthetic_drop_exits_one(self, gate, tmp_path, capsys):
+        """The acceptance demonstration: a degraded run fails CI."""
+        base = quality_json(tmp_path / "base.json", table())
+        fresh = quality_json(
+            tmp_path / "fresh.json",
+            table(
+                **{
+                    "community-f0": {
+                        "recall": 0.55,
+                        "precision": 0.90,
+                    }
+                }
+            ),
+        )
+        assert gate.main([base, "--fresh", fresh]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert "recall fell" in out and "precision fell" in out
+
+    def test_disjoint_modes_fail_loudly(self, gate, tmp_path, capsys):
+        base = quality_json(
+            tmp_path / "base.json", {"other": table()["none"]}
+        )
+        fresh = quality_json(tmp_path / "fresh.json", table())
+        assert gate.main([base, "--fresh", fresh]) == 1
+        assert "no shared pruning modes" in capsys.readouterr().out
+
+    def test_unreadable_baseline_exits_two(self, gate, tmp_path):
+        fresh = quality_json(tmp_path / "fresh.json", table())
+        missing = str(tmp_path / "nope.json")
+        assert gate.main([missing, "--fresh", fresh]) == 2
+
+    def test_unreadable_fresh_exits_two(self, gate, tmp_path):
+        base = quality_json(tmp_path / "base.json", table())
+        assert (
+            gate.main([base, "--fresh", str(tmp_path / "nope.json")])
+            == 2
+        )
+
+    def test_baseline_required_without_emit(self, gate):
+        with pytest.raises(SystemExit):
+            gate.main([])
+
+    def test_custom_tolerance(self, gate, tmp_path):
+        base = quality_json(tmp_path / "base.json", table())
+        fresh = quality_json(
+            tmp_path / "fresh.json",
+            table(**{"community-f0": {"recall": 0.61}}),
+        )
+        assert gate.main([base, "--fresh", fresh]) == 1
+        assert (
+            gate.main([base, "--fresh", fresh, "--tolerance", "0.1"])
+            == 0
+        )
+
+
+class TestCommittedBaseline:
+    def test_committed_baseline_exists_and_self_compares(self, gate):
+        """The committed QUALITY_pruning.json satisfies the gate."""
+        assert BASELINE.exists(), "QUALITY_pruning.json missing"
+        assert gate.main([str(BASELINE), "--fresh", str(BASELINE)]) == 0
+
+    def test_committed_baseline_covers_both_modes(self, gate):
+        data = json.loads(BASELINE.read_text())
+        assert set(gate.MODES) <= set(data["modes"])
+        pruned = data["modes"]["community-f0"]
+        unpruned = data["modes"]["none"]
+        # The committed trade must show pruning actually biting.
+        assert pruned["candidate_pairs"] < unpruned["candidate_pairs"]
+        assert "pruning_recall_cost" in pruned
