@@ -1,0 +1,201 @@
+"""Replica serving: read latency, concurrent load, and lag drain.
+
+The replication pitch is that a read replica is *free capacity*: it
+serves the same cached read bodies as the primary — bit-identical at
+every version — while the primary alone pays the write path.  This
+suite pins the numbers behind that claim (committed as
+``BENCH_replica.json`` and gated by ``check_bench_regression.py``):
+
+- ``test_bench_replica_read_latency`` — single-link GETs against a
+  caught-up replica over one keep-alive connection; ``extra_info``
+  records client-side p50/p99 and requests/sec, directly comparable
+  to ``bench_serving``'s primary column.
+- ``test_bench_concurrent_fanout`` — the ``scripts/load_gen.py``
+  harness driving concurrent keep-alive connections across a primary
+  plus two replicas; the committed columns are aggregate rps and p99
+  under fan-out, with every worker's version-monotonicity check
+  asserted en route.
+- ``test_bench_replication_drain`` — how fast a freshly booted
+  replica replays a logged delta history (batches/sec through the
+  warm engine), i.e. the recovery-time axis of ``--replica-of``.
+
+Links are asserted identical to the primary's en route: replication
+is an execution strategy, never an approximation.
+"""
+
+import asyncio
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.incremental.engine import IncrementalReconciler
+from repro.incremental.stream import build_stream_workload
+from repro.serving import (
+    ReconciliationService,
+    ReplicaService,
+    ServerThread,
+    ServingClient,
+)
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "scripts"))
+from load_gen import run_load  # noqa: E402
+
+from bench_serving import _CONFIG, _percentile  # noqa: E402
+
+N = 6000
+M = 10
+BATCHES = 6
+READS_PER_ROUND = 200
+FANOUT_CONNECTIONS = 8
+FANOUT_REQUESTS = 150
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_stream_workload(
+        n=N, m=M, batches=BATCHES, seed=11, stream_fraction=0.01
+    )
+
+
+@pytest.fixture(scope="module")
+def primary(workload, tmp_path_factory):
+    """A durable primary with every delta applied and logged."""
+    pair, seeds, deltas = workload
+    checkpoint = tmp_path_factory.mktemp("replica-bench") / "primary.npz"
+    engine = IncrementalReconciler(_CONFIG)
+    engine.start(pair.g1.copy(), pair.g2.copy(), dict(seeds))
+    service = ReconciliationService(
+        engine, checkpoint_path=checkpoint, checkpoint_every=10_000
+    )
+    harness = ServerThread(service)
+    harness.start()
+    client = ServingClient("127.0.0.1", harness.port)
+    for delta in deltas:
+        client.apply_or_raise(delta)
+    yield harness, client, Path(str(checkpoint) + ".jsonl")
+    client.close()
+    harness.stop()
+
+
+@pytest.fixture(scope="module")
+def replica(primary):
+    """A caught-up replica following the primary's log."""
+    _harness, _client, log = primary
+    service = ReplicaService.follow(log, follow_interval=0.01)
+    harness = ServerThread(service)
+    harness.start()
+    client = ServingClient("127.0.0.1", harness.port)
+    deadline = time.monotonic() + 30
+    while service.lag_batches or service.batches_done < BATCHES:
+        if time.monotonic() > deadline:  # pragma: no cover
+            raise AssertionError("replica failed to catch up")
+        time.sleep(0.01)
+    yield harness, client
+    client.close()
+    harness.stop()
+
+
+def test_bench_replica_read_latency(benchmark, primary, replica):
+    """Single-link GETs against the replica, one keep-alive client."""
+    primary_harness, _pclient, _log = primary
+    harness, client = replica
+    # The replica serves the identical link set (bit-exactness first).
+    assert (
+        harness.service.engine.links
+        == primary_harness.service.engine.links
+    )
+    nodes = list(harness.service.engine.g1.nodes())[:READS_PER_ROUND]
+
+    def read_burst():
+        latencies = []
+        for node in nodes:
+            began = time.perf_counter()
+            client.link(node)
+            latencies.append(time.perf_counter() - began)
+        return latencies
+
+    latencies = benchmark.pedantic(read_burst, rounds=3, iterations=1)
+    lat_ms = sorted(seconds * 1e3 for seconds in latencies)
+    benchmark.extra_info["requests_per_round"] = READS_PER_ROUND
+    benchmark.extra_info["p50_ms"] = round(_percentile(lat_ms, 0.50), 4)
+    benchmark.extra_info["p99_ms"] = round(_percentile(lat_ms, 0.99), 4)
+    benchmark.extra_info["rps"] = round(
+        READS_PER_ROUND / sum(latencies), 1
+    )
+    benchmark.extra_info["lag_batches"] = harness.service.lag_batches
+
+
+def test_bench_concurrent_fanout(benchmark, primary, replica):
+    """Concurrent keep-alive connections across primary + 2 replicas."""
+    primary_harness, _pclient, log = primary
+    replica_harness, _rclient = replica
+    second = ServerThread(ReplicaService.follow(log, follow_interval=0.01))
+    second.start()
+    deadline = time.monotonic() + 30
+    while second.service.batches_done < BATCHES:
+        if time.monotonic() > deadline:  # pragma: no cover
+            raise AssertionError("second replica failed to catch up")
+        time.sleep(0.01)
+    targets = [
+        ("127.0.0.1", primary_harness.port),
+        ("127.0.0.1", replica_harness.port),
+        ("127.0.0.1", second.port),
+    ]
+
+    def fan_out():
+        report = run_load(
+            targets,
+            connections=FANOUT_CONNECTIONS,
+            requests=FANOUT_REQUESTS,
+            path="/links",
+        )
+        assert report.ok, [
+            error for worker in report.workers for error in worker.errors
+        ]
+        return report
+
+    try:
+        report = benchmark.pedantic(fan_out, rounds=3, iterations=1)
+    finally:
+        second.stop()
+    total = sum(
+        entry["requests"] for entry in report.per_target.values()
+    )
+    all_ms = sorted(
+        ms for worker in report.workers for ms in worker.latencies_ms
+    )
+    benchmark.extra_info["connections"] = FANOUT_CONNECTIONS
+    benchmark.extra_info["targets"] = len(targets)
+    benchmark.extra_info["rps"] = round(total / report.elapsed_s, 1)
+    benchmark.extra_info["p50_ms"] = round(_percentile(all_ms, 0.50), 4)
+    benchmark.extra_info["p99_ms"] = round(_percentile(all_ms, 0.99), 4)
+    benchmark.extra_info["not_modified"] = sum(
+        entry["not_modified"] for entry in report.per_target.values()
+    )
+
+
+def test_bench_replication_drain(benchmark, primary, workload):
+    """Cold-boot a replica and replay the full logged delta history."""
+    _harness, _client, log = primary
+    _pair, _seeds, deltas = workload
+
+    def boot_and_drain():
+        service = ReplicaService.follow(log)
+
+        async def drain():
+            await service.start()
+            while service.lag_batches or service.batches_done < BATCHES:
+                await asyncio.sleep(0.001)
+            await service.close()
+
+        asyncio.run(drain())
+        assert service.replication_error is None
+        return service
+
+    service = benchmark.pedantic(boot_and_drain, rounds=3, iterations=1)
+    assert service.batches_done == BATCHES
+    benchmark.extra_info["batches"] = BATCHES
+    benchmark.extra_info["deltas_replayed"] = len(deltas)
+    benchmark.extra_info["links"] = len(service.engine.links)

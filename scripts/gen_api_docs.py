@@ -171,6 +171,26 @@ SECTIONS: list[tuple[str, list[tuple[str, str]]]] = [
                 "repro.serving.AdmissionError",
                 "repro.serving.service:AdmissionError",
             ),
+            (
+                "repro.serving.ReplicaService",
+                "repro.serving.replica:ReplicaService",
+            ),
+            (
+                "ReplicaService.follow",
+                "repro.serving.replica:ReplicaService.follow",
+            ),
+            (
+                "repro.serving.ReplicationStream",
+                "repro.serving.replication:ReplicationStream",
+            ),
+            (
+                "repro.serving.DeltaLogCursor",
+                "repro.serving.replication:DeltaLogCursor",
+            ),
+            (
+                "repro.serving.ReadOnlyReplica",
+                "repro.serving.replica:ReadOnlyReplica",
+            ),
         ],
     ),
     (

@@ -1,0 +1,290 @@
+#!/usr/bin/env python
+"""Threaded read load generator for the serving layer (stdlib only).
+
+Drives N concurrent keep-alive connections — each a
+:class:`~repro.serving.client.ServingClient` on its own thread —
+against one or more servers (a primary and any replicas), and reports
+client-side p50/p99 latency, requests/sec, and each server's final
+version and replication lag.  Every worker also *verifies* what it
+reads:
+
+- the ``X-Repro-Version`` header must be **monotone non-decreasing**
+  per connection (a keep-alive connection never observes state moving
+  backwards — version is the applied batch sequence);
+- a versioned body must agree with its version header;
+- a conditional re-read with the last ``ETag`` must answer 304 when
+  the version did not move.
+
+It is both a library (``run_load`` — the concurrent-load tests and
+``benchmarks/bench_replica.py`` import it, keeping the checking logic
+in one place) and a CLI::
+
+    PYTHONPATH=src python scripts/load_gen.py \
+        --target 127.0.0.1:8723 --target 127.0.0.1:8724 \
+        --connections 8 --requests 200 --path /links
+
+Exit status is non-zero when any worker observed a violation or
+request failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+
+try:
+    from repro.serving.client import ServingClient
+except ImportError:  # pragma: no cover - CLI convenience
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.serving.client import ServingClient
+
+
+def _percentile(sorted_ms: "list[float]", q: float) -> float:
+    rank = max(1, math.ceil(q * len(sorted_ms)))
+    return sorted_ms[min(rank, len(sorted_ms)) - 1]
+
+
+@dataclass
+class WorkerResult:
+    """What one connection observed: timings plus invariant checks."""
+
+    target: str
+    requests: int = 0
+    not_modified: int = 0
+    latencies_ms: "list[float]" = field(default_factory=list)
+    versions: "list[int]" = field(default_factory=list)
+    errors: "list[str]" = field(default_factory=list)
+
+    @property
+    def monotone(self) -> bool:
+        """Versions never move backwards on one keep-alive connection."""
+        return all(
+            later >= earlier
+            for earlier, later in zip(self.versions, self.versions[1:])
+        )
+
+
+@dataclass
+class LoadReport:
+    """Aggregated result of one ``run_load`` call."""
+
+    per_target: "dict[str, dict]"
+    workers: "list[WorkerResult]"
+    elapsed_s: float
+
+    @property
+    def ok(self) -> bool:
+        return all(not w.errors and w.monotone for w in self.workers)
+
+    def to_payload(self) -> dict:
+        return {
+            "elapsed_s": round(self.elapsed_s, 3),
+            "ok": self.ok,
+            "targets": self.per_target,
+        }
+
+
+def _worker(
+    host: str,
+    port: int,
+    *,
+    requests: int,
+    path: str,
+    timeout: float,
+    result: WorkerResult,
+    conditional: bool,
+) -> None:
+    """One keep-alive connection issuing *requests* verified reads."""
+    etag: "str | None" = None
+    last_version: "int | None" = None
+    try:
+        with ServingClient(host, port, timeout=timeout) as client:
+            for _ in range(requests):
+                began = time.perf_counter()
+                response = client.get_conditional(
+                    path, etag if conditional else None
+                )
+                result.latencies_ms.append(
+                    (time.perf_counter() - began) * 1e3
+                )
+                result.requests += 1
+                version = response.version
+                if version is None:
+                    result.errors.append(
+                        f"{path}: response without X-Repro-Version"
+                    )
+                    continue
+                result.versions.append(version)
+                if response.status == 304:
+                    result.not_modified += 1
+                    # 304 must only ever confirm the version we hold.
+                    if last_version is not None and version != last_version:
+                        result.errors.append(
+                            f"{path}: 304 at version {version} but the "
+                            f"cached copy is version {last_version}"
+                        )
+                elif response.status == 200:
+                    doc = response.json()
+                    body_version = doc.get("version")
+                    if body_version is not None and int(
+                        body_version
+                    ) != version:
+                        result.errors.append(
+                            f"{path}: body version {body_version} != "
+                            f"header version {version}"
+                        )
+                    etag = response.etag
+                    last_version = version
+                else:
+                    result.errors.append(
+                        f"{path}: unexpected HTTP {response.status}"
+                    )
+    except Exception as exc:  # noqa: BLE001 - report, don't unwind
+        result.errors.append(f"{type(exc).__name__}: {exc}")
+
+
+def run_load(
+    targets: "list[tuple[str, int]]",
+    *,
+    connections: int = 8,
+    requests: int = 200,
+    path: str = "/links",
+    timeout: float = 30.0,
+    conditional: bool = True,
+) -> LoadReport:
+    """Drive *connections* concurrent clients per target; verify reads.
+
+    Connections are spread round-robin over *targets* (so 8
+    connections against a primary plus two replicas puts ~3 on each),
+    all started together behind a barrier so the measured window is
+    genuinely concurrent.  With *conditional* each worker re-sends its
+    last ``ETag`` and counts 304s — the proxy-cache behavior.
+    """
+    workers: list[WorkerResult] = []
+    threads: list[threading.Thread] = []
+    barrier = threading.Barrier(connections + 1)
+    for index in range(connections):
+        host, port = targets[index % len(targets)]
+        result = WorkerResult(target=f"{host}:{port}")
+        workers.append(result)
+
+        def body(
+            host: str = host, port: int = port, result: WorkerResult = result
+        ) -> None:
+            barrier.wait()
+            _worker(
+                host,
+                port,
+                requests=requests,
+                path=path,
+                timeout=timeout,
+                result=result,
+                conditional=conditional,
+            )
+
+        thread = threading.Thread(target=body, daemon=True)
+        threads.append(thread)
+        thread.start()
+    barrier.wait()
+    began = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - began
+    per_target: dict[str, dict] = {}
+    for target in sorted({w.target for w in workers}):
+        mine = [w for w in workers if w.target == target]
+        lat = sorted(ms for w in mine for ms in w.latencies_ms)
+        done = sum(w.requests for w in mine)
+        summary: dict = {
+            "connections": len(mine),
+            "requests": done,
+            "not_modified": sum(w.not_modified for w in mine),
+            "monotone": all(w.monotone for w in mine),
+            "errors": [e for w in mine for e in w.errors],
+            "final_version": max(
+                (w.versions[-1] for w in mine if w.versions), default=None
+            ),
+        }
+        if lat:
+            summary["p50_ms"] = round(_percentile(lat, 0.50), 4)
+            summary["p99_ms"] = round(_percentile(lat, 0.99), 4)
+            summary["rps"] = round(done / elapsed, 1) if elapsed else None
+        per_target[target] = summary
+    return LoadReport(
+        per_target=per_target, workers=workers, elapsed_s=elapsed
+    )
+
+
+def fetch_health(host: str, port: int, *, timeout: float = 10.0) -> dict:
+    """One server's health document (includes replication lag on a
+    replica) — the post-run lag column of the report."""
+    with ServingClient(host, port, timeout=timeout) as client:
+        return client.health()
+
+
+def _parse_target(raw: str) -> "tuple[str, int]":
+    host, sep, port = raw.rpartition(":")
+    if not sep or not port.isdigit():
+        raise argparse.ArgumentTypeError(
+            f"target must be HOST:PORT, got {raw!r}"
+        )
+    return host or "127.0.0.1", int(port)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument(
+        "--target",
+        action="append",
+        type=_parse_target,
+        required=True,
+        metavar="HOST:PORT",
+        help="server to load (repeat for primary + replicas)",
+    )
+    parser.add_argument("--connections", type=int, default=8)
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=200,
+        help="requests per connection",
+    )
+    parser.add_argument("--path", default="/links")
+    parser.add_argument("--timeout", type=float, default=30.0)
+    parser.add_argument(
+        "--no-conditional",
+        action="store_true",
+        help="plain GETs instead of If-None-Match re-reads",
+    )
+    args = parser.parse_args(argv)
+    report = run_load(
+        args.target,
+        connections=args.connections,
+        requests=args.requests,
+        path=args.path,
+        timeout=args.timeout,
+        conditional=not args.no_conditional,
+    )
+    payload = report.to_payload()
+    for host, port in args.target:
+        doc = fetch_health(host, port)
+        entry = payload["targets"].setdefault(f"{host}:{port}", {})
+        entry["role"] = doc.get("role")
+        replication = doc.get("replication")
+        if replication is not None:
+            entry["lag_batches"] = replication.get("lag_batches")
+            entry["lag_seconds"] = replication.get("lag_seconds")
+    print(json.dumps(payload, indent=2))
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,7 @@ Examples::
     repro stream --checkpoint stream.npz --resume
     repro serve --demo --checkpoint serve.npz
     repro serve --checkpoint serve.npz --resume
+    repro serve --replica-of serve.npz.jsonl --port 8724
     repro datasets
 """
 
@@ -356,13 +357,43 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.errors import ReproError
     from repro.graphs.graph import Graph
     from repro.incremental.engine import IncrementalReconciler
-    from repro.serving import ReconciliationService, ServerThread
+    from repro.serving import (
+        ReconciliationService,
+        ReplicaService,
+        ServerThread,
+    )
 
     if args.resume and args.checkpoint is None:
         print("--resume requires --checkpoint PATH", file=sys.stderr)
         return 2
+    if args.replica_of is not None:
+        # A replica's whole state is derived from the primary's log;
+        # the primary-only knobs make no sense here.
+        for flag, value in (
+            ("--resume", args.resume),
+            ("--checkpoint", args.checkpoint is not None),
+            ("--demo", args.demo),
+        ):
+            if value:
+                print(
+                    f"--replica-of is incompatible with {flag} (a "
+                    "replica bootstraps from the primary's checkpoint "
+                    "and log)",
+                    file=sys.stderr,
+                )
+                return 2
     try:
-        if args.resume:
+        if args.replica_of is not None:
+            service = ReplicaService.follow(
+                args.replica_of,
+                config=MatcherConfig(
+                    threshold=args.threshold,
+                    iterations=args.iterations,
+                ),
+                follow_interval=args.follow_interval,
+                max_lag_batches=args.max_lag_batches,
+            )
+        elif args.resume:
             service = ReconciliationService.resume(
                 args.checkpoint,
                 checkpoint_every=args.checkpoint_every,
@@ -397,11 +428,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except ReproError as exc:
         print(f"serve failed: {exc}", file=sys.stderr)
         return 1
+    role = "replica" if args.replica_of is not None else "primary"
     print(
-        f"repro serve listening on http://{args.host}:{harness.port}\n"
+        f"repro serve [{role}] listening on "
+        f"http://{args.host}:{harness.port}\n"
         "routes: GET /health /links /links/<id> /scores/<id> /stats; "
         "POST /delta /checkpoint\n"
-        "Ctrl-C stops gracefully (drain + flush + checkpoint)."
+        + (
+            f"replicating {args.replica_of} (writes answer 403)\n"
+            "Ctrl-C stops the follower."
+            if role == "replica"
+            else "Ctrl-C stops gracefully (drain + flush + checkpoint)."
+        )
     )
     try:
         threading.Event().wait(args.serve_seconds or None)
@@ -683,6 +721,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_p.add_argument(
         "--seed", type=int, default=0, help="demo base RNG seed"
+    )
+    serve_p.add_argument(
+        "--replica-of",
+        default=None,
+        dest="replica_of",
+        metavar="LOG",
+        help=(
+            "run as a read replica tailing a primary's delta log "
+            "(PATH.jsonl next to its checkpoint); serves the same "
+            "read routes, answers writes with 403"
+        ),
+    )
+    serve_p.add_argument(
+        "--follow-interval",
+        type=float,
+        default=0.05,
+        dest="follow_interval",
+        metavar="SECONDS",
+        help=(
+            "replica: poll interval for an idle primary log "
+            "(default 0.05)"
+        ),
+    )
+    serve_p.add_argument(
+        "--max-lag-batches",
+        type=int,
+        default=None,
+        dest="max_lag_batches",
+        metavar="N",
+        help=(
+            "replica: GET /health degrades to 503 when more than N "
+            "logged batches are unapplied (default: no bound)"
+        ),
     )
     serve_p.add_argument(
         "--serve-seconds",

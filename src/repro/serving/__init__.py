@@ -18,10 +18,20 @@ engine's packed score tables:
   and the run-in-a-thread harness for synchronous callers.
 - :class:`~repro.serving.client.ServingClient` — blocking stdlib
   client used by the CLI demo, tests, and benchmarks.
+- :mod:`repro.serving.replication` /
+  :class:`~repro.serving.replica.ReplicaService` — log-shipping read
+  replicas that tail the primary's fsync'd delta log and serve the
+  same read routes at an explicit version.
 """
 
 from repro.serving.client import ServingClient, ServingResponse
 from repro.serving.http import HttpError, HttpRequest
+from repro.serving.replica import ReadOnlyReplica, ReplicaService
+from repro.serving.replication import (
+    DeltaLogCursor,
+    DeltaLogRecord,
+    ReplicationStream,
+)
 from repro.serving.server import ReconciliationServer, ServerThread
 from repro.serving.service import (
     AdmissionError,
@@ -31,10 +41,15 @@ from repro.serving.service import (
 
 __all__ = [
     "AdmissionError",
+    "DeltaLogCursor",
+    "DeltaLogRecord",
     "HttpError",
     "HttpRequest",
+    "ReadOnlyReplica",
     "ReconciliationServer",
     "ReconciliationService",
+    "ReplicaService",
+    "ReplicationStream",
     "ServiceClosing",
     "ServerThread",
     "ServingClient",

@@ -6,12 +6,20 @@ without growing an HTTP-library dependency.  One client holds one
 keep-alive connection; it reconnects transparently after a server-side
 close and exposes the raw ``(status, headers, json)`` triple for the
 admission-control tests that care about 429/503 and ``Retry-After``.
+
+Timeouts are **loud**: the *timeout* passed at construction bounds the
+connect and every socket read, and an expiry raises
+:class:`~repro.errors.ReproError` naming the request — a hung primary
+must fail a load generator's request, never block its thread forever.
+The timed-out connection is closed, not retried: the server may have
+half-processed a write, so a silent retry could double-apply it.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import socket
 from typing import Hashable
 from urllib.parse import quote
 
@@ -31,6 +39,16 @@ class ServingResponse:
         self.status = status
         self.headers = headers
         self.body = body
+
+    @property
+    def version(self) -> "int | None":
+        """The served state version (``X-Repro-Version``), if sent."""
+        raw = self.headers.get("x-repro-version")
+        return None if raw is None else int(raw)
+
+    @property
+    def etag(self) -> "str | None":
+        return self.headers.get("etag")
 
     def json(self) -> dict:
         doc = json.loads(self.body.decode("utf-8"))
@@ -53,11 +71,24 @@ class ServingResponse:
 
 
 class ServingClient:
-    """Blocking JSON client for one reconciliation server."""
+    """Blocking JSON client for one reconciliation server.
+
+    Parameters
+    ----------
+    host, port : str, int
+        The server to talk to.
+    timeout : float
+        Socket timeout in seconds for connecting **and** for every
+        read on the keep-alive socket.  On expiry the request raises
+        :class:`ReproError` (and the connection is dropped) instead of
+        blocking the caller indefinitely on a hung server.
+    """
 
     def __init__(
         self, host: str, port: int, *, timeout: float = 30.0
     ) -> None:
+        if timeout <= 0:
+            raise ReproError(f"timeout must be > 0, got {timeout!r}")
         self.host = host
         self.port = port
         self.timeout = timeout
@@ -82,18 +113,42 @@ class ServingClient:
         self.close()
 
     def request(
-        self, method: str, path: str, body: "bytes | None" = None
+        self,
+        method: str,
+        path: str,
+        body: "bytes | None" = None,
+        headers: "dict[str, str] | None" = None,
     ) -> ServingResponse:
-        """One round-trip; reconnects once if the socket went stale."""
-        headers = {}
+        """One round-trip; reconnects once if the socket went stale.
+
+        Raises
+        ------
+        ReproError
+            When the server does not answer within ``timeout``
+            seconds.  Timeouts are never retried: the request may
+            have been received and still be in flight server-side.
+        """
+        send_headers = dict(headers or {})
         if body is not None:
-            headers["Content-Type"] = "application/json"
+            send_headers.setdefault("Content-Type", "application/json")
         for attempt in (1, 2):
             conn = self._connection()
             try:
-                conn.request(method, path, body=body, headers=headers)
+                conn.request(
+                    method, path, body=body, headers=send_headers
+                )
                 raw = conn.getresponse()
                 payload = raw.read()
+            except (TimeoutError, socket.timeout):
+                # A timed-out keep-alive socket is poisoned (a late
+                # response would answer the wrong request): drop it
+                # and fail the call loudly.
+                self.close()
+                raise ReproError(
+                    f"serving request {method} {path} to "
+                    f"{self.host}:{self.port} timed out after "
+                    f"{self.timeout}s (hung or overloaded server)"
+                ) from None
             except (
                 http.client.HTTPException,
                 ConnectionError,
@@ -117,7 +172,12 @@ class ServingClient:
     # Typed wrappers over the routes
     # ------------------------------------------------------------------
     def health(self) -> dict:
-        return self.request("GET", "/health").raise_for_status().json()
+        """The health document (parsed even when the status is 503 —
+        a lagging replica still reports *why*)."""
+        response = self.request("GET", "/health")
+        if response.status not in (200, 503):
+            response.raise_for_status()
+        return response.json()
 
     def stats(self) -> dict:
         return self.request("GET", "/stats").raise_for_status().json()
@@ -126,6 +186,11 @@ class ServingClient:
         """The full served link mapping, decoded from the pair list."""
         doc = self.request("GET", "/links").raise_for_status().json()
         return {v1: v2 for v1, v2 in doc["links"]}
+
+    def links_versioned(self) -> "tuple[int, dict[Node, Node]]":
+        """``(version, links)`` from one snapshot read."""
+        doc = self.request("GET", "/links").raise_for_status().json()
+        return int(doc["version"]), {v1: v2 for v1, v2 in doc["links"]}
 
     def link(self, node: Node) -> "Node | None":
         """One node's link, or ``None`` when unlinked/unknown."""
@@ -140,9 +205,17 @@ class ServingClient:
         doc = response.raise_for_status().json()
         return [(v2, int(score)) for v2, score in doc["scores"]]
 
+    def get_conditional(
+        self, path: str, etag: "str | None"
+    ) -> ServingResponse:
+        """GET with ``If-None-Match``; 304 means the cached copy at
+        *etag* is still current."""
+        headers = {} if etag is None else {"If-None-Match": etag}
+        return self.request("GET", path, headers=headers)
+
     def apply(self, delta: GraphDelta) -> ServingResponse:
         """POST one delta; returns the raw response (not raised) so
-        callers can observe 429/503/409 and ``Retry-After``."""
+        callers can observe 429/503/409/403 and ``Retry-After``."""
         body = json.dumps(delta_to_payload(delta)).encode("utf-8")
         return self.request("POST", "/delta", body=body)
 

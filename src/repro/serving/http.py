@@ -37,7 +37,9 @@ MAX_BODY_BYTES = 8 * 1024 * 1024
 
 _REASONS = {
     200: "OK",
+    304: "Not Modified",
     400: "Bad Request",
+    403: "Forbidden",
     404: "Not Found",
     405: "Method Not Allowed",
     409: "Conflict",

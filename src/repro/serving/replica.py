@@ -1,0 +1,414 @@
+"""Read replicas: serve the primary's state by tailing its delta log.
+
+:class:`ReplicaService` is a :class:`~repro.serving.service.
+ReconciliationService` whose writer is not an HTTP queue but a
+follower task tailing the primary's write-ahead delta log through a
+:class:`~repro.serving.replication.ReplicationStream`.  Each logged
+batch is applied to the replica's own warm
+:class:`~repro.incremental.engine.IncrementalReconciler` — the same
+exact-correction machinery the primary runs — so the replica's links
+and scores are **bit-identical** to the primary's at every version, by
+construction rather than by copying rendered state.
+
+The contract, enforced by ``tests/serving/test_replica*`` and the
+replication property wall:
+
+- a replica at version *v* serves exactly what the primary served at
+  version *v* (and what a cold batch run on the version-*v* graphs
+  produces);
+- sequence gaps and reorders in the log are refused loudly
+  (:class:`~repro.errors.ReproError`), never papered over;
+- a truncated-mid-record log parks the follower at the last complete
+  record — the replica keeps serving a consistent (merely stale)
+  version;
+- killing and re-bootstrapping a replica converges to the same state,
+  because all of its state is derived.
+
+``GET /health`` reports replication lag in batches (primary's logged
+head minus applied) and seconds (age of the oldest unapplied record),
+and degrades to HTTP 503 when the lag exceeds ``max_lag_batches`` or
+replication has failed — so a fronting proxy stops routing reads to a
+stale or broken replica while bit-exactness is preserved for the reads
+it still answers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from pathlib import Path
+
+from repro.core.config import MatcherConfig
+from repro.errors import ReproError
+from repro.graphs.graph import Graph
+from repro.incremental.delta import GraphDelta, delta_from_payload
+from repro.incremental.engine import IncrementalReconciler
+from repro.serving.http import json_body
+from repro.serving.replication import DeltaLogRecord, ReplicationStream
+from repro.serving.service import ReconciliationService
+
+
+class ReadOnlyReplica(ReproError):
+    """A write was submitted to a replica; writes go to the primary."""
+
+
+class ReplicaService(ReconciliationService):
+    """A read-only service replicating a primary via its delta log.
+
+    Parameters
+    ----------
+    engine : IncrementalReconciler
+        A **started** engine positioned at the replication attach
+        point: either resumed from the primary's checkpoint, or
+        started on the same base state the primary started on (empty
+        graphs for a log that records the full history).
+    log_path : str or Path
+        The primary's write-ahead delta log to tail.
+    applied_batches : int
+        Batch sequence number the engine is already at (the
+        checkpoint's ``batches_done``; 0 for a base-state engine).
+    follow_interval : float
+        Seconds the follower sleeps between polls of an idle log.
+    max_lag_batches : int or None
+        Readiness bound: when the replica falls further behind than
+        this many batches, ``GET /health`` returns 503 (reads still
+        work and stay versioned).  ``None`` disables the bound.
+    history : int
+        Rolling-window length for apply/request telemetry.
+    """
+
+    def __init__(
+        self,
+        engine: IncrementalReconciler,
+        *,
+        log_path: "str | Path",
+        applied_batches: int = 0,
+        follow_interval: float = 0.05,
+        max_lag_batches: "int | None" = None,
+        history: int = 512,
+    ) -> None:
+        if follow_interval <= 0:
+            raise ReproError(
+                f"follow_interval must be > 0, got {follow_interval!r}"
+            )
+        if max_lag_batches is not None and max_lag_batches < 1:
+            raise ReproError(
+                f"max_lag_batches must be >= 1, got {max_lag_batches}"
+            )
+        # No checkpoint_path / log_path: a replica never writes — not
+        # to the primary's log and not to checkpoints of its own; all
+        # of its state is derived by replay.
+        super().__init__(
+            engine,
+            checkpoint_path=None,
+            log_path=None,
+            history=history,
+            resumed_batches=applied_batches,
+        )
+        self.stream = ReplicationStream(
+            log_path, start_after=applied_batches
+        )
+        self.follow_interval = follow_interval
+        self.max_lag_batches = max_lag_batches
+        self.replication_error: "ReproError | None" = None
+        self._pending: "deque[DeltaLogRecord]" = deque()
+        self._follower_task: "asyncio.Task[None] | None" = None
+        #: Test hook mirroring the primary's ``writer_gate``: when
+        #: set, the follower waits here before each apply.
+        self.follower_gate: "asyncio.Event | None" = None
+
+    # ------------------------------------------------------------------
+    # Bootstrap
+    # ------------------------------------------------------------------
+    @classmethod
+    def follow(
+        cls,
+        log_path: "str | Path",
+        *,
+        checkpoint_path: "str | Path | None" = None,
+        config: "MatcherConfig | None" = None,
+        follow_interval: float = 0.05,
+        max_lag_batches: "int | None" = None,
+        history: int = 512,
+    ) -> "ReplicaService":
+        """Bootstrap a replica for a primary's log (``--replica-of``).
+
+        The attach point is chosen the way the primary's own resume
+        chooses it: if the sibling checkpoint (*checkpoint_path*,
+        defaulting to the log path minus its ``.jsonl`` suffix)
+        exists, the engine resumes from it and tails the log past the
+        checkpointed batch count.  Otherwise the log must record the
+        primary's **full** history — i.e. the primary started on empty
+        graphs, the ``repro serve`` default — and the replica starts
+        an empty engine (under *config*, which must match the
+        primary's algorithmic knobs) and replays from batch 1.
+
+        Raises
+        ------
+        ReproError
+            If neither bootstrap applies: no checkpoint and the log's
+            recorded bootstrap state is non-empty (the log alone
+            cannot reconstruct a non-empty starting state).
+        """
+        log_path = Path(log_path)
+        inferred = checkpoint_path is None
+        if inferred and log_path.suffix == ".jsonl":
+            checkpoint_path = log_path.with_suffix("")
+        if checkpoint_path is not None and Path(checkpoint_path).exists():
+            engine = IncrementalReconciler.resume(checkpoint_path)
+            extra = engine.checkpoint_extra or {}
+            serving_meta = extra.get("serving")
+            if not isinstance(serving_meta, dict):
+                raise ReproError(
+                    f"checkpoint {checkpoint_path} was not written by "
+                    "the serving layer (no 'serving' metadata); a "
+                    "replica can only attach to a primary's checkpoint"
+                )
+            applied = int(serving_meta.get("batches_done", 0))
+        else:
+            if not inferred:
+                raise ReproError(
+                    f"--replica-of: checkpoint {checkpoint_path} does "
+                    "not exist"
+                )
+            cls._require_empty_bootstrap(log_path)
+            engine = IncrementalReconciler(config or MatcherConfig())
+            engine.start(Graph(), Graph(), {})
+            applied = 0
+        return cls(
+            engine,
+            log_path=log_path,
+            applied_batches=applied,
+            follow_interval=follow_interval,
+            max_lag_batches=max_lag_batches,
+            history=history,
+        )
+
+    @staticmethod
+    def _require_empty_bootstrap(log_path: Path) -> None:
+        """Refuse an empty-engine attach to a non-empty-start log.
+
+        The primary records its bootstrap state (seeds + round-0
+        links) at the head of a fresh log; if either is non-empty the
+        deltas alone cannot reconstruct the primary's state and the
+        replica must bootstrap from the checkpoint instead.
+        """
+        if not log_path.exists():
+            raise ReproError(
+                f"--replica-of: log {log_path} does not exist (is the "
+                "primary running with --checkpoint?)"
+            )
+        from repro.serving.replication import DeltaLogCursor
+
+        for event in DeltaLogCursor(log_path).poll():
+            kind = event.get("type")
+            if kind == "delta":
+                break  # bootstrap head ends at the first delta
+            if kind in ("seeds", "links") and event.get("links"):
+                raise ReproError(
+                    f"--replica-of: log {log_path} records a "
+                    "non-empty starting state, which deltas alone "
+                    "cannot reconstruct; point the replica at a "
+                    "primary checkpoint (log path minus .jsonl, or "
+                    "--checkpoint)"
+                )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Catch up once, then launch the follower task."""
+        if self._follower_task is not None:
+            raise ReproError("replica already started")
+        # Initial synchronous catch-up: a replica that has a complete
+        # log available serves current data from its first request.
+        try:
+            self.step()
+        except ReproError:
+            self._closing = True
+            raise
+        self._follower_task = asyncio.get_running_loop().create_task(
+            self._follower_loop()
+        )
+
+    async def close(self) -> None:
+        """Stop following; pending-but-unapplied records are dropped
+        (they remain in the primary's log for the next bootstrap)."""
+        self._closing = True
+        if self._follower_task is not None:
+            self._follower_task.cancel()
+            try:
+                await self._follower_task
+            except asyncio.CancelledError:
+                pass
+            self._follower_task = None
+
+    def abort(self) -> None:
+        """Simulated crash: identical to :meth:`close` minus the await
+        (a replica has nothing to flush — all state is derived)."""
+        self._closing = True
+        if self._follower_task is not None:
+            self._follower_task.cancel()
+            self._follower_task = None
+
+    # ------------------------------------------------------------------
+    # Replication
+    # ------------------------------------------------------------------
+    def step(self, limit: "int | None" = None) -> int:
+        """Poll the log and apply up to *limit* pending batches now.
+
+        The synchronous replication unit: the follower loop calls it
+        one batch at a time (yielding to readers between applies), and
+        tests call it directly to drive fault scenarios
+        deterministically.  Returns the number of batches applied.
+
+        Raises
+        ------
+        ReproError
+            Propagated from the stream (gap / reorder / truncated-
+            below-cursor / corrupt log).  The replica refuses to
+            apply anything past a protocol violation.
+        """
+        if not self._pending:
+            self._pending.extend(self.stream.poll())
+        applied = 0
+        while self._pending and (limit is None or applied < limit):
+            self._apply_record(self._pending.popleft())
+            applied += 1
+        return applied
+
+    def _apply_record(self, record: DeltaLogRecord) -> None:
+        assert record.batch == self.batches_done + 1
+        delta = self._decode(record)
+        began = time.perf_counter()
+        self.engine.apply(delta)
+        self.batches_done = record.batch
+        self._apply_ms.append((time.perf_counter() - began) * 1e3)
+        self._batch_sizes.append(1)
+        self._invalidate_caches()
+
+    @staticmethod
+    def _decode(record: DeltaLogRecord) -> GraphDelta:
+        try:
+            return delta_from_payload(record.payload)
+        except ReproError as exc:
+            raise ReproError(
+                f"replication: delta batch {record.batch} has an "
+                f"unreplayable payload: {exc}"
+            ) from exc
+
+    async def _follower_loop(self) -> None:
+        while not self._closing:
+            if self.follower_gate is not None:
+                await self.follower_gate.wait()
+            try:
+                applied = self.step(limit=1)
+            except ReproError as exc:
+                # Refuse to advance past a protocol violation: record
+                # it, keep serving the last consistent version, and
+                # let /health turn the replica red.
+                self.replication_error = exc
+                return
+            # One batch per wakeup so reads interleave during long
+            # catch-ups; an idle log is polled at follow_interval.
+            await asyncio.sleep(0 if applied else self.follow_interval)
+
+    # ------------------------------------------------------------------
+    # Lag + health
+    # ------------------------------------------------------------------
+    @property
+    def lag_batches(self) -> int:
+        """Logged batches not yet applied (primary head - replica)."""
+        return max(0, self.stream.last_seen_batch - self.batches_done)
+
+    def lag_seconds(self) -> "float | None":
+        """Age of the oldest unapplied record (0.0 when caught up).
+
+        ``None`` when behind by records that carry no timestamp
+        (pre-replication logs) — unknown, not zero.
+        """
+        if not self._pending:
+            # Nothing buffered: either caught up, or behind on
+            # records we have not polled into the buffer yet (the
+            # next step() picks them up).
+            return 0.0 if self.lag_batches == 0 else None
+        oldest = self._pending[0].ts
+        if oldest is None:
+            return None
+        return max(0.0, time.time() - oldest)
+
+    def replication_payload(self) -> dict:
+        """The ``replication`` section of health/stats documents."""
+        lag_s = self.lag_seconds()
+        payload: dict = {
+            "source": str(self.stream.path),
+            "lag_batches": self.lag_batches,
+            "lag_seconds": (
+                None if lag_s is None else round(lag_s, 3)
+            ),
+            "last_seen_batch": self.stream.last_seen_batch,
+            "log_offset": self.stream.cursor.offset,
+        }
+        if self.max_lag_batches is not None:
+            payload["max_lag_batches"] = self.max_lag_batches
+        if self.replication_error is not None:
+            payload["error"] = str(self.replication_error)
+        return payload
+
+    def _status(self) -> tuple[int, str]:
+        if self._closing:
+            return 503, "closing"
+        if self.replication_error is not None:
+            return 503, "replication-failed"
+        if (
+            self.max_lag_batches is not None
+            and self.lag_batches > self.max_lag_batches
+        ):
+            return 503, "lagging"
+        return 200, "ok"
+
+    def health_body(self) -> bytes:
+        return json_body(
+            {
+                "status": self._status()[1],
+                "role": "replica",
+                "version": self.version,
+                "links": len(self.engine.links),
+                "applied_batches": self.batches_done,
+                "queue_depth": 0,
+                "replication": self.replication_payload(),
+            }
+        )
+
+    def health(self) -> tuple[int, bytes]:
+        return self._status()[0], self.health_body()
+
+    def stats_payload(self) -> dict:
+        payload = super().stats_payload()
+        payload["role"] = "replica"
+        payload["replication"] = self.replication_payload()
+        return payload
+
+    # ------------------------------------------------------------------
+    # Writes are refused
+    # ------------------------------------------------------------------
+    async def submit(self, delta: GraphDelta) -> dict:
+        """Replicas are read-only; the HTTP layer maps this to 403."""
+        raise ReadOnlyReplica(
+            "this server is a read replica; POST /delta to the primary"
+        )
+
+    def checkpoint_now(self) -> None:
+        raise ReproError(
+            "a replica does not checkpoint; its state is derived from "
+            "the primary's log"
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ReplicaService(batches={self.batches_done}, "
+            f"lag={self.lag_batches}, "
+            f"links={len(self.engine.links)}, "
+            f"source={str(self.stream.path)!r})"
+        )

@@ -1,0 +1,258 @@
+"""Log-shipping primitives: tail a primary's delta log exactly.
+
+The write-ahead JSONL delta log that makes the primary crash-safe is
+already a replication protocol: every applied batch is recorded as one
+``{"type": "delta", "batch": n, "ts": ..., "payload": {...}}`` line,
+fsynced *before* the apply, with ``batch`` strictly increasing from 1.
+A read replica therefore needs exactly two pieces of machinery, both
+here:
+
+- :class:`DeltaLogCursor` — a byte-position tail over the log file
+  that only ever consumes **complete** lines.  The primary appends
+  whole records, but a tailing reader can observe a record mid-write
+  (or a truncated file after an unclean copy); the cursor parks on the
+  partial line and resumes once the newline lands, so a replica never
+  crashes on — or worse, applies — half a record.
+- :class:`ReplicationStream` — the batch-sequence protocol over the
+  cursor: delta records must appear in strictly increasing ``batch``
+  order (reorder ⇒ :class:`ReproError`), records at or below the
+  attach point (a checkpoint the replica bootstrapped from) are
+  skipped, and the first record past it must be exactly the next
+  sequence number (gap ⇒ :class:`ReproError`).  This is the same
+  strictness the primary's own resume applies to its log tail —
+  replication is exact or it is refused.
+
+Nothing here imports the engine: the stream yields
+:class:`DeltaLogRecord` objects and the replica decides how to apply
+them, so the protocol is unit-testable with a plain file.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class DeltaLogRecord:
+    """One replicable delta event read from the primary's log.
+
+    Attributes:
+        batch: the primary's batch sequence number (1-based, strictly
+            increasing; doubles as the served state version).
+        payload: the full :func:`~repro.incremental.delta.delta_to_payload`
+            document, ready for ``delta_from_payload``.
+        ts: primary wall-clock seconds when the batch was logged, or
+            ``None`` for logs written before timestamps existed.
+    """
+
+    batch: int
+    payload: dict
+    ts: "float | None"
+
+
+class DeltaLogCursor:
+    """A resumable, complete-lines-only tail over a JSONL log.
+
+    Parameters
+    ----------
+    path : str or Path
+        The log file.  Missing is legal (the primary may not have
+        written yet); the cursor simply reports no events.
+
+    Notes
+    -----
+    :meth:`poll` raises :class:`ReproError` when the file *shrinks*
+    below the consumed offset — that means the log was truncated or
+    replaced underneath the replica (e.g. a primary restarted fresh
+    instead of resuming) and silently re-reading it would serve a
+    different history under the same versions.
+    """
+
+    def __init__(self, path: "str | Path") -> None:
+        self.path = Path(path)
+        #: Byte offset of the first unconsumed complete line.
+        self.offset = 0
+        #: Complete lines consumed so far (for error messages).
+        self.lineno = 0
+
+    def poll(self) -> "list[dict]":
+        """Return every *complete* event line appended since last poll.
+
+        A trailing line without its newline is left unconsumed — the
+        cursor stops at the last complete record and picks the partial
+        one up on a later poll, once the writer finishes it.
+
+        Raises
+        ------
+        ReproError
+            If the file shrank below the cursor (truncated/replaced
+            log) or a complete line is not a JSON object (corruption —
+            the primary only ever appends whole JSON lines).
+        """
+        if not self.path.exists():
+            if self.offset:
+                raise ReproError(
+                    f"replication log {self.path} disappeared after "
+                    f"{self.offset} consumed bytes"
+                )
+            return []
+        with open(self.path, "rb") as fh:
+            fh.seek(0, 2)
+            size = fh.tell()
+            if size < self.offset:
+                raise ReproError(
+                    f"replication log {self.path} shrank from at least "
+                    f"{self.offset} to {size} bytes — it was truncated "
+                    "or replaced underneath this replica; re-bootstrap "
+                    "from the primary's checkpoint"
+                )
+            if size == self.offset:
+                return []
+            fh.seek(self.offset)
+            chunk = fh.read(size - self.offset)
+        events: list[dict] = []
+        consumed = 0
+        for raw in chunk.splitlines(keepends=True):
+            if not raw.endswith(b"\n"):
+                break  # mid-write record: wait for its newline
+            consumed += len(raw)
+            self.lineno += 1
+            stripped = raw.strip()
+            if not stripped:
+                continue
+            try:
+                event = json.loads(stripped.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError) as exc:
+                raise ReproError(
+                    f"replication log {self.path}:{self.lineno}: "
+                    f"complete line is not valid JSON ({exc}) — the "
+                    "log is corrupt"
+                ) from None
+            if not isinstance(event, dict):
+                raise ReproError(
+                    f"replication log {self.path}:{self.lineno}: "
+                    f"event must be a JSON object, got "
+                    f"{type(event).__name__}"
+                )
+            events.append(event)
+        self.offset += consumed
+        return events
+
+    def __repr__(self) -> str:
+        return (
+            f"DeltaLogCursor({str(self.path)!r}, offset={self.offset})"
+        )
+
+
+class ReplicationStream:
+    """Sequenced delta records from a primary's log, gap-checked.
+
+    Parameters
+    ----------
+    path : str or Path
+        The primary's write-ahead delta log.
+    start_after : int
+        Batch sequence number already absorbed by the replica's
+        bootstrap (the checkpoint's ``batches_done``; 0 for an
+        empty-start replica).  Delta records at or below it are
+        skipped; the first record past it must be exactly
+        ``start_after + 1``.
+
+    Attributes
+    ----------
+    last_seen_batch : int
+        Highest batch number observed in the log so far — the
+        primary's head as of the last poll, which is what replication
+        lag is measured against.
+    """
+
+    def __init__(self, path: "str | Path", *, start_after: int = 0) -> None:
+        if start_after < 0:
+            raise ReproError(
+                f"start_after must be >= 0, got {start_after}"
+            )
+        self.cursor = DeltaLogCursor(path)
+        self.start_after = start_after
+        self.last_seen_batch = start_after
+        self._next_expected = start_after + 1
+        self._last_file_batch: "int | None" = None
+
+    @property
+    def path(self) -> Path:
+        return self.cursor.path
+
+    def poll(self) -> "list[DeltaLogRecord]":
+        """New delta records to apply, in exact sequence order.
+
+        Non-delta events (seeds, links, retractions — the link-history
+        fold the primary also maintains) are skipped: the replica
+        re-derives links by applying the same deltas to its own warm
+        engine, which is what makes replication exact rather than a
+        fold of summaries.
+
+        Raises
+        ------
+        ReproError
+            On out-of-order batch numbers (reorder), a missing
+            sequence number (gap), a delta record without a payload,
+            or any cursor-level failure (shrunk/corrupt log).
+        """
+        records: list[DeltaLogRecord] = []
+        for event in self.cursor.poll():
+            if event.get("type") != "delta":
+                continue
+            batch = event.get("batch")
+            if not isinstance(batch, int) or isinstance(batch, bool):
+                raise ReproError(
+                    f"replication log {self.path}: delta event with "
+                    f"non-integer batch {batch!r}"
+                )
+            if (
+                self._last_file_batch is not None
+                and batch <= self._last_file_batch
+            ):
+                raise ReproError(
+                    f"replication log {self.path}: delta batch {batch} "
+                    f"appears after batch {self._last_file_batch} — "
+                    "reordered log records cannot be replicated "
+                    "exactly; refusing"
+                )
+            self._last_file_batch = batch
+            self.last_seen_batch = max(self.last_seen_batch, batch)
+            if batch <= self.start_after:
+                continue  # absorbed by the bootstrap checkpoint
+            if batch != self._next_expected:
+                raise ReproError(
+                    f"replication log {self.path}: expected delta "
+                    f"batch {self._next_expected}, found {batch} — a "
+                    "sequence gap means this log does not continue "
+                    "the replica's state; re-bootstrap from the "
+                    "primary's checkpoint"
+                )
+            payload = event.get("payload")
+            if not isinstance(payload, dict):
+                raise ReproError(
+                    f"replication log {self.path}: delta batch "
+                    f"{batch} carries no payload and cannot be "
+                    "replicated"
+                )
+            ts = event.get("ts")
+            records.append(
+                DeltaLogRecord(
+                    batch=batch,
+                    payload=payload,
+                    ts=float(ts) if isinstance(ts, (int, float)) else None,
+                )
+            )
+            self._next_expected += 1
+        return records
+
+    def __repr__(self) -> str:
+        return (
+            f"ReplicationStream({str(self.path)!r}, "
+            f"next={self._next_expected}, seen={self.last_seen_batch})"
+        )

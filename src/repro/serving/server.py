@@ -12,13 +12,22 @@ service's rolling stats (the ``GET /stats`` percentiles).
 Routes::
 
     GET  /health            liveness + state version + queue depth
+                            (503 on a lagging/broken replica)
     GET  /links             full link snapshot (canonical pair list)
     GET  /links/<token>     one node's link (token convention of
                             repro.core.links_io.format_node_token)
     GET  /scores/<token>    a g1 node's final-round witness scores
     GET  /stats             request/apply latency percentiles
-    POST /delta             apply one GraphDelta payload (JSON body)
+    POST /delta             apply one GraphDelta payload (JSON body;
+                            403 on a read replica)
     POST /checkpoint        force an npz checkpoint now
+
+Every response carries ``X-Repro-Version`` — the applied batch
+sequence number, identical across a primary and its replicas for the
+same state.  The version-stable reads (``/links``, ``/links/<token>``,
+``/scores/<token>``) additionally carry a strong ``ETag`` (``"v<n>"``)
+and honor ``If-None-Match`` with 304, so fronting proxies can absorb
+repeat reads without a body transfer.
 
 :class:`ServerThread` runs the whole thing on a dedicated event-loop
 thread so synchronous callers — the CLI, pytest (no pytest-asyncio in
@@ -46,12 +55,26 @@ from repro.serving.http import (
     read_request,
     render_response,
 )
+from repro.serving.replica import ReadOnlyReplica
 from repro.serving.service import (
     AdmissionError,
     ReconciliationService,
     ServiceClosing,
     parse_json_delta,
 )
+
+
+def _etag_matches(request: HttpRequest, etag: str) -> bool:
+    """Whether the request's ``If-None-Match`` covers *etag*.
+
+    Handles the comma-separated list form and ``*``; weak-validator
+    prefixes are not emitted by this server, so no ``W/`` handling.
+    """
+    header = request.headers.get("if-none-match")
+    if header is None:
+        return False
+    candidates = [tag.strip() for tag in header.split(",")]
+    return "*" in candidates or etag in candidates
 
 
 class ReconciliationServer:
@@ -146,6 +169,13 @@ class ReconciliationServer:
                 elapsed_ms = (time.perf_counter() - began) * 1e3
                 self.service.record_request(status, elapsed_ms)
                 extra["X-Request-Ms"] = f"{elapsed_ms:.3f}"
+                # Every response names the state version it was served
+                # at (the applied batch sequence, identical across the
+                # primary and its replicas).  Version-stable read
+                # routes set it themselves, next to their ETag.
+                extra.setdefault(
+                    "X-Repro-Version", str(self.service.version)
+                )
                 writer.write(
                     render_response(
                         status,
@@ -172,19 +202,37 @@ class ReconciliationServer:
         path = request.path
         if request.method == "GET":
             if path == "/health":
-                return 200, service.health_body(), {}
+                status, body = service.health()
+                return status, body, {}
             if path == "/stats":
                 return 200, service.stats_body(), {}
+            # The remaining reads are version-stable: their bodies are
+            # pure functions of the applied batch sequence, so the
+            # version doubles as a strong ETag and a matching
+            # If-None-Match short-circuits to 304 — which is what lets
+            # a fronting proxy absorb repeat reads.
+            version = service.version
+            etag = f'"v{version}"'
+            headers = {
+                "ETag": etag,
+                "X-Repro-Version": str(version),
+            }
             if path == "/links":
-                return 200, service.links_snapshot_body(), {}
+                if _etag_matches(request, etag):
+                    return 304, b"", headers
+                return 200, service.links_snapshot_body(), headers
             if path.startswith("/links/"):
+                if _etag_matches(request, etag):
+                    return 304, b"", headers
                 status, body = service.link_body(path[len("/links/") :])
-                return status, body, {}
+                return status, body, headers
             if path.startswith("/scores/"):
+                if _etag_matches(request, etag):
+                    return 304, b"", headers
                 status, body = service.scores_body(
                     path[len("/scores/") :]
                 )
-                return status, body, {}
+                return status, body, headers
             return 404, error_body(404, f"no route {path!r}"), {}
         if request.method == "POST":
             if path == "/delta":
@@ -207,6 +255,8 @@ class ReconciliationServer:
             return 400, error_body(400, str(exc)), {}
         try:
             summary = await self.service.submit(delta)
+        except ReadOnlyReplica as exc:
+            return 403, error_body(403, str(exc)), {}
         except AdmissionError as exc:
             return (
                 429,

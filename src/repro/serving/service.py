@@ -202,8 +202,13 @@ class ReconciliationService:
         # deterministically.
         self.writer_gate: "asyncio.Event | None" = None
         # Read cache: one version per applied batch; every cached body
-        # embeds the version it was rendered at.
-        self.version = 0
+        # embeds the version it was rendered at.  The version IS the
+        # applied batch sequence number (kept equal to
+        # ``batches_done`` by ``_invalidate_caches``), so it survives
+        # restarts and is comparable across the primary and every
+        # replica tailing its log — which is what lets the HTTP layer
+        # use it as an ETag.
+        self.version = resumed_batches
         self._links_body: "bytes | None" = None
         self._link_cache: dict[str, tuple[int, bytes]] = {}
         self._score_cache: dict[str, tuple[int, bytes]] = {}
@@ -564,6 +569,7 @@ class ReconciliationService:
                 {
                     "type": "delta",
                     "batch": batch,
+                    "ts": round(time.time(), 6),
                     "edge_changes": delta.num_edge_changes,
                     "new_seeds": len(delta.added_seeds),
                     "payload": delta_to_payload(delta),
@@ -636,7 +642,7 @@ class ReconciliationService:
     # Reads (cached per state version)
     # ------------------------------------------------------------------
     def _invalidate_caches(self) -> None:
-        self.version += 1
+        self.version = self.batches_done
         self._links_body = None
         self._link_cache.clear()
         self._score_cache.clear()
@@ -750,12 +756,22 @@ class ReconciliationService:
         return json_body(
             {
                 "status": "closing" if self._closing else "ok",
+                "role": "primary",
                 "version": self.version,
                 "links": len(self.engine.links),
                 "applied_batches": self.batches_done,
                 "queue_depth": self.queue_depth,
             }
         )
+
+    def health(self) -> tuple[int, bytes]:
+        """``(status, body)`` for ``GET /health``.
+
+        The base service is always ready once started; subclasses
+        (the replica) degrade the status code when they are not — a
+        fronting load balancer keys off the code, not the body.
+        """
+        return 200, self.health_body()
 
     # ------------------------------------------------------------------
     # Telemetry

@@ -1,0 +1,81 @@
+"""Regression: a hung server must fail a ``ServingClient`` request
+with a loud :class:`ReproError` after the configured timeout — never
+block the calling thread forever, and never silently retry (the
+request may be half-processed server-side)."""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.errors import ReproError
+from repro.serving import ServingClient
+
+
+@pytest.fixture
+def hung_server():
+    """A listener that accepts connections and then says nothing."""
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(8)
+    listener.settimeout(0.1)  # so the accept loop notices shutdown
+    accepted: list = []
+    closing = threading.Event()
+
+    def accept_loop():
+        while not closing.is_set():
+            try:
+                conn, _addr = listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            accepted.append(conn)  # hold it open, never respond
+
+    thread = threading.Thread(target=accept_loop, daemon=True)
+    thread.start()
+    yield listener.getsockname()[1]
+    closing.set()
+    listener.close()
+    for conn in accepted:
+        conn.close()
+    thread.join(timeout=5)
+
+
+class TestClientTimeout:
+    def test_read_timeout_raises_repro_error(self, hung_server):
+        client = ServingClient(
+            "127.0.0.1", hung_server, timeout=0.3
+        )
+        began = time.monotonic()
+        with pytest.raises(ReproError, match="timed out after 0.3s"):
+            client.request("GET", "/links")
+        elapsed = time.monotonic() - began
+        # One timeout window, not a silent retry loop doubling it.
+        assert elapsed < 2.0
+        # The poisoned keep-alive connection was dropped.
+        assert client._conn is None
+
+    def test_error_names_the_request_and_target(self, hung_server):
+        with ServingClient(
+            "127.0.0.1", hung_server, timeout=0.2
+        ) as client:
+            with pytest.raises(ReproError) as excinfo:
+                client.request("GET", "/health")
+        message = str(excinfo.value)
+        assert "GET /health" in message
+        assert f"127.0.0.1:{hung_server}" in message
+
+    def test_typed_wrappers_propagate_the_timeout(self, hung_server):
+        with ServingClient(
+            "127.0.0.1", hung_server, timeout=0.2
+        ) as client:
+            with pytest.raises(ReproError, match="timed out"):
+                client.health()
+
+    def test_nonpositive_timeout_is_refused(self):
+        with pytest.raises(ReproError, match="timeout must be > 0"):
+            ServingClient("127.0.0.1", 1, timeout=0)
+        with pytest.raises(ReproError, match="timeout must be > 0"):
+            ServingClient("127.0.0.1", 1, timeout=-1.5)

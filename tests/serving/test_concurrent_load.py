@@ -1,0 +1,168 @@
+"""Concurrent-load equivalence: many keep-alive readers against a
+primary plus two replicas *while deltas stream*, with every versioned
+read checked against the primary's snapshot at that exact version and
+every connection's version sequence checked for monotonicity."""
+
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.serving import (
+    ReconciliationService,
+    ReplicaService,
+    ServerThread,
+    ServingClient,
+)
+
+from serving_helpers import cold_links, make_engine
+from test_replica import wait_caught_up
+
+sys.path.insert(
+    0, str(Path(__file__).resolve().parents[2] / "scripts")
+)
+from load_gen import run_load  # noqa: E402
+
+READER_THREADS = 8
+
+
+def version_snapshots(workload):
+    """``{version: links}`` for every prefix of the delta stream."""
+    pair, seeds, deltas = workload
+    engine = make_engine(pair, seeds)
+    snapshots = {0: dict(engine.links)}
+    for version, delta in enumerate(deltas, start=1):
+        engine.apply(delta)
+        snapshots[version] = dict(engine.links)
+    return snapshots
+
+
+@pytest.fixture
+def cluster(tmp_path, workload):
+    """A durable primary plus two live replicas, nothing applied yet."""
+    pair, seeds, _deltas = workload
+    ckpt = tmp_path / "p.npz"
+    primary = ServerThread(
+        ReconciliationService(
+            make_engine(pair, seeds),
+            checkpoint_path=ckpt,
+            checkpoint_every=100,
+        )
+    )
+    primary.start()
+    log = str(ckpt) + ".jsonl"
+    replicas = []
+    for _ in range(2):
+        h = ServerThread(
+            ReplicaService.follow(log, follow_interval=0.005)
+        )
+        h.start()
+        replicas.append(h)
+    yield primary, replicas
+    for h in replicas:
+        h.stop()
+    primary.stop()
+
+
+class TestConcurrentLoad:
+    def test_versioned_reads_match_primary_snapshots(
+        self, workload, cluster
+    ):
+        pair, seeds, deltas = workload
+        primary, replicas = cluster
+        snapshots = version_snapshots(workload)
+        harnesses = [primary, *replicas]
+        stop = threading.Event()
+        failures: list = []
+
+        def reader(index):
+            harness = harnesses[index % len(harnesses)]
+            versions = []
+            try:
+                with ServingClient(
+                    "127.0.0.1", harness.port, timeout=30
+                ) as client:
+                    etag = None
+                    while not stop.is_set():
+                        response = client.get_conditional("/links", etag)
+                        version = response.version
+                        versions.append(version)
+                        if response.status == 304:
+                            continue
+                        assert response.status == 200
+                        doc = response.json()
+                        assert doc["version"] == version
+                        served = {v1: v2 for v1, v2 in doc["links"]}
+                        # The heart of the test: a read at version v —
+                        # on *any* server — is the primary's snapshot
+                        # at v, even while writes are in flight.
+                        assert served == snapshots[version], (
+                            f"version {version} diverged on "
+                            f"{harness.service!r}"
+                        )
+                        etag = response.etag
+                # Version never moves backwards on one connection.
+                assert versions == sorted(versions)
+            except Exception as exc:  # noqa: BLE001 - collected
+                failures.append((index, exc))
+
+        threads = [
+            threading.Thread(target=reader, args=(i,), daemon=True)
+            for i in range(READER_THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        # Stream the deltas through the primary while readers hammer
+        # all three servers.
+        with ServingClient("127.0.0.1", primary.port) as writer:
+            for delta in deltas:
+                writer.apply_or_raise(delta)
+                time.sleep(0.05)
+        for h in replicas:
+            wait_caught_up(h.service, batches=len(deltas))
+        time.sleep(0.1)  # a last wave of reads at the final version
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=30)
+            assert not thread.is_alive(), "reader thread hung"
+        assert not failures, failures[0]
+        # Convergence: all three serve the identical final answer, and
+        # it is the cold batch run's answer.
+        expected = cold_links(pair, seeds, deltas)
+        for harness in harnesses:
+            with ServingClient("127.0.0.1", harness.port) as client:
+                version, served = client.links_versioned()
+            assert version == len(deltas)
+            assert served == expected
+
+    def test_load_gen_harness_verifies_and_reports(
+        self, workload, cluster
+    ):
+        _pair, _seeds, deltas = workload
+        primary, replicas = cluster
+        with ServingClient("127.0.0.1", primary.port) as writer:
+            for delta in deltas:
+                writer.apply_or_raise(delta)
+        for h in replicas:
+            wait_caught_up(h.service, batches=len(deltas))
+        targets = [
+            ("127.0.0.1", h.port) for h in (primary, *replicas)
+        ]
+        report = run_load(
+            targets, connections=6, requests=40, path="/links"
+        )
+        assert report.ok
+        assert set(report.per_target) == {
+            f"{host}:{port}" for host, port in targets
+        }
+        for entry in report.per_target.values():
+            assert entry["errors"] == []
+            assert entry["monotone"]
+            assert entry["final_version"] == len(deltas)
+            # Conditional re-reads hit 304 once the first response's
+            # ETag is cached client-side.
+            assert entry["not_modified"] >= entry["requests"] // 2
+            assert entry["p50_ms"] > 0
+            assert entry["rps"] > 0

@@ -1,0 +1,382 @@
+"""End-to-end replica tests: bootstrap from a primary's checkpoint and
+log, serve bit-identical reads over HTTP at explicit versions, honor
+ETag/If-None-Match, refuse writes, and report replication lag."""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.errors import ReproError
+from repro.incremental.delta import GraphDelta
+from repro.serving import (
+    ReadOnlyReplica,
+    ReconciliationService,
+    ReplicaService,
+    ServerThread,
+    ServingClient,
+)
+
+from serving_helpers import cold_links, make_engine
+
+
+def wait_caught_up(service, batches, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while service.batches_done < batches or service.lag_batches:
+        if service.replication_error is not None:
+            raise AssertionError(
+                f"replication failed: {service.replication_error}"
+            )
+        if time.monotonic() > deadline:
+            raise AssertionError(
+                f"replica stuck at batch {service.batches_done}, "
+                f"wanted {batches}"
+            )
+        time.sleep(0.01)
+
+
+@pytest.fixture
+def primary(tmp_path, workload):
+    """A durable primary with all four deltas applied over HTTP."""
+    pair, seeds, deltas = workload
+    ckpt = tmp_path / "primary.npz"
+    service = ReconciliationService(
+        make_engine(pair, seeds),
+        checkpoint_path=ckpt,
+        checkpoint_every=100,  # keep every delta in the log tail
+    )
+    h = ServerThread(service)
+    h.start()
+    with ServingClient("127.0.0.1", h.port) as c:
+        for delta in deltas:
+            c.apply_or_raise(delta)
+    yield h, ckpt
+    h.stop()
+
+
+@pytest.fixture
+def replica(primary):
+    """A running replica following the primary's log, caught up."""
+    _h, ckpt = primary
+    service = ReplicaService.follow(
+        str(ckpt) + ".jsonl", follow_interval=0.01
+    )
+    h = ServerThread(service)
+    h.start()
+    wait_caught_up(service, batches=4)
+    yield h
+    h.stop()
+
+
+class TestReplicaReads:
+    def test_links_bit_identical_to_primary_and_cold_run(
+        self, workload, primary, replica
+    ):
+        pair, seeds, deltas = workload
+        h, _ckpt = primary
+        with ServingClient("127.0.0.1", replica.port) as c:
+            served = c.links()
+        assert served == h.service.engine.links
+        assert served == cold_links(pair, seeds, deltas)
+
+    def test_versions_agree_with_the_primary(self, primary, replica):
+        h, _ckpt = primary
+        with ServingClient("127.0.0.1", h.port) as c:
+            primary_version, primary_links = c.links_versioned()
+        with ServingClient("127.0.0.1", replica.port) as c:
+            replica_version, replica_links = c.links_versioned()
+        assert primary_version == replica_version == 4
+        assert replica_links == primary_links
+
+    def test_single_link_and_scores_match_primary(
+        self, primary, replica
+    ):
+        h, _ckpt = primary
+        nodes = sorted(h.service.engine.links, key=repr)[:5]
+        with ServingClient("127.0.0.1", h.port) as pc, ServingClient(
+            "127.0.0.1", replica.port
+        ) as rc:
+            for node in nodes:
+                assert rc.link(node) == pc.link(node)
+                assert rc.scores(node) == pc.scores(node)
+
+    def test_health_reports_replica_role_and_lag(self, replica):
+        with ServingClient("127.0.0.1", replica.port) as c:
+            doc = c.health()
+        assert doc["role"] == "replica"
+        assert doc["status"] == "ok"
+        replication = doc["replication"]
+        assert replication["lag_batches"] == 0
+        assert replication["lag_seconds"] == 0.0
+        assert replication["last_seen_batch"] == 4
+        assert replication["log_offset"] > 0
+
+    def test_stats_carry_the_replication_section(self, replica):
+        with ServingClient("127.0.0.1", replica.port) as c:
+            stats = c.stats()
+        assert stats["role"] == "replica"
+        assert stats["replication"]["lag_batches"] == 0
+        assert stats["applied_batches"] == 4
+
+
+class TestConditionalReads:
+    def test_etag_and_304_on_version_stable_reads(
+        self, primary, replica
+    ):
+        h, _ckpt = primary
+        node = next(iter(h.service.engine.links))
+        for harness in (h, replica):
+            with ServingClient("127.0.0.1", harness.port) as c:
+                for path in ("/links", f"/links/{node}", f"/scores/{node}"):
+                    first = c.request("GET", path)
+                    assert first.status == 200
+                    assert first.etag == '"v4"'
+                    assert first.version == 4
+                    again = c.get_conditional(path, first.etag)
+                    assert again.status == 304
+                    assert again.body == b""
+                    assert again.version == 4
+
+    def test_stale_etag_gets_a_fresh_body(self, primary, replica):
+        h, _ckpt = primary
+        with ServingClient("127.0.0.1", replica.port) as c:
+            fresh = c.get_conditional("/links", '"v3"')
+        assert fresh.status == 200
+        assert fresh.etag == '"v4"'
+
+    def test_if_none_match_star_matches(self, replica):
+        with ServingClient("127.0.0.1", replica.port) as c:
+            assert c.get_conditional("/links", "*").status == 304
+
+    def test_every_response_names_its_version(self, replica):
+        with ServingClient("127.0.0.1", replica.port) as c:
+            for path in ("/health", "/stats", "/links"):
+                assert c.request("GET", path).version == 4
+
+    def test_version_advances_with_writes_on_the_primary(
+        self, workload, tmp_path
+    ):
+        pair, seeds, deltas = workload
+        ckpt = tmp_path / "p.npz"
+        service = ReconciliationService(
+            make_engine(pair, seeds), checkpoint_path=ckpt
+        )
+        with ServerThread(service) as h:
+            with ServingClient("127.0.0.1", h.port) as c:
+                etags = []
+                for delta in deltas[:2]:
+                    c.apply_or_raise(delta)
+                    response = c.request("GET", "/links")
+                    etags.append(response.etag)
+                    # The previous version's ETag no longer matches.
+                    if len(etags) > 1:
+                        stale = c.get_conditional("/links", etags[-2])
+                        assert stale.status == 200
+                assert etags == ['"v1"', '"v2"']
+
+
+class TestReplicaWritesRefused:
+    def test_post_delta_is_403(self, replica):
+        with ServingClient("127.0.0.1", replica.port) as c:
+            response = c.apply(GraphDelta.build(added_edges1=[(0, 1)]))
+        assert response.status == 403
+        assert "read replica" in response.json()["message"]
+
+    def test_post_checkpoint_is_409(self, replica):
+        with ServingClient("127.0.0.1", replica.port) as c:
+            assert c.request("POST", "/checkpoint").status == 409
+
+    def test_submit_raises_read_only(self, primary):
+        _h, ckpt = primary
+        service = ReplicaService.follow(str(ckpt) + ".jsonl")
+
+        async def drive():
+            await service.start()
+            try:
+                with pytest.raises(ReadOnlyReplica):
+                    await service.submit(
+                        GraphDelta.build(added_edges1=[(0, 1)])
+                    )
+            finally:
+                await service.close()
+
+        asyncio.run(drive())
+
+
+class TestReplicaFollowsLiveWrites:
+    def test_replica_tracks_deltas_applied_after_attach(
+        self, workload, tmp_path
+    ):
+        pair, seeds, deltas = workload
+        ckpt = tmp_path / "p.npz"
+        service = ReconciliationService(
+            make_engine(pair, seeds),
+            checkpoint_path=ckpt,
+            checkpoint_every=100,
+        )
+        with ServerThread(service) as h:
+            with ServingClient("127.0.0.1", h.port) as c:
+                c.apply_or_raise(deltas[0])
+            rep = ReplicaService.follow(
+                str(ckpt) + ".jsonl", follow_interval=0.01
+            )
+            rh = ServerThread(rep)
+            rh.start()
+            try:
+                wait_caught_up(rep, batches=1)
+                # New writes land on the primary while the replica
+                # serves; it must converge without a restart.
+                with ServingClient("127.0.0.1", h.port) as c:
+                    for delta in deltas[1:]:
+                        c.apply_or_raise(delta)
+                wait_caught_up(rep, batches=len(deltas))
+                with ServingClient("127.0.0.1", rh.port) as c:
+                    version, served = c.links_versioned()
+            finally:
+                rh.stop()
+        assert version == len(deltas)
+        assert served == cold_links(pair, seeds, deltas)
+
+
+class TestLagReadiness:
+    def test_health_degrades_to_503_beyond_max_lag(
+        self, workload, tmp_path
+    ):
+        pair, seeds, deltas = workload
+        ckpt = tmp_path / "p.npz"
+        service = ReconciliationService(
+            make_engine(pair, seeds),
+            checkpoint_path=ckpt,
+            checkpoint_every=100,
+        )
+        with ServerThread(service) as h:
+            rep = ReplicaService.follow(
+                str(ckpt) + ".jsonl",
+                follow_interval=0.01,
+                max_lag_batches=1,
+            )
+            # Gate the follower shut *before* serving so nothing is
+            # applied past the initial (empty-log) catch-up.
+            gate = asyncio.Event()
+            rep.follower_gate = gate
+            rh = ServerThread(rep)
+            rh.start()
+            try:
+                with ServingClient("127.0.0.1", h.port) as c:
+                    for delta in deltas[:3]:
+                        c.apply_or_raise(delta)
+                # Let the replica *see* the primary's head without
+                # applying: poll the stream on the server's loop (the
+                # follower is gated, so nothing else touches it).
+                done = asyncio.Event()
+
+                def observe():
+                    rep._pending.extend(rep.stream.poll())
+                    done.set()
+
+                rh.call_in_loop(observe)
+                deadline = time.monotonic() + 10
+                while not done.is_set():
+                    assert time.monotonic() < deadline
+                    time.sleep(0.01)
+                assert rep.lag_batches == 3
+                with ServingClient("127.0.0.1", rh.port) as c:
+                    response = c.request("GET", "/health")
+                    assert response.status == 503
+                    doc = response.json()
+                    assert doc["status"] == "lagging"
+                    assert doc["replication"]["lag_batches"] == 3
+                    assert doc["replication"]["max_lag_batches"] == 1
+                    # lag_seconds is measured from the oldest pending
+                    # record's primary-side timestamp.
+                    assert doc["replication"]["lag_seconds"] >= 0
+                    # Reads still serve the last consistent version.
+                    assert c.request("GET", "/links").status == 200
+                # Release the follower: lag drains, health recovers.
+                rh.call_in_loop(gate.set)
+                wait_caught_up(rep, batches=3)
+                with ServingClient("127.0.0.1", rh.port) as c:
+                    assert c.request("GET", "/health").status == 200
+            finally:
+                rh.call_in_loop(gate.set)
+                rh.stop()
+
+
+class TestBootstrapValidation:
+    def test_explicit_missing_checkpoint_is_refused(self, tmp_path):
+        log = tmp_path / "p.npz.jsonl"
+        log.write_text("")
+        with pytest.raises(ReproError, match="does not exist"):
+            ReplicaService.follow(
+                log, checkpoint_path=tmp_path / "nope.npz"
+            )
+
+    def test_missing_log_is_refused(self, tmp_path):
+        with pytest.raises(ReproError, match="does not exist"):
+            ReplicaService.follow(tmp_path / "absent.jsonl")
+
+    def test_nonempty_bootstrap_without_checkpoint_is_refused(
+        self, workload, tmp_path
+    ):
+        pair, seeds, _deltas = workload
+        # A primary started on non-empty graphs logs its bootstrap
+        # links; with the checkpoint gone, deltas alone cannot rebuild
+        # that state and the attach must be refused.
+        log = tmp_path / "solo.jsonl"
+        service = ReconciliationService(
+            make_engine(pair, seeds),
+            checkpoint_path=tmp_path / "p.npz",
+            log_path=log,
+        )
+
+        async def drive():
+            await service.start()
+            await service.close()
+
+        asyncio.run(drive())
+        with pytest.raises(ReproError, match="non-empty starting state"):
+            ReplicaService.follow(log)
+
+    def test_constructor_validates_knobs(self, workload):
+        pair, seeds, _deltas = workload
+        engine = make_engine(pair, seeds)
+        with pytest.raises(ReproError, match="follow_interval"):
+            ReplicaService(
+                engine, log_path="x.jsonl", follow_interval=0
+            )
+        with pytest.raises(ReproError, match="max_lag_batches"):
+            ReplicaService(
+                engine, log_path="x.jsonl", max_lag_batches=0
+            )
+
+    def test_checkpoint_resume_attaches_past_absorbed_batches(
+        self, workload, tmp_path
+    ):
+        pair, seeds, deltas = workload
+        ckpt = tmp_path / "p.npz"
+        # checkpoint_every=1: the final checkpoint absorbs everything,
+        # so the replica bootstrap applies zero logged batches but
+        # still reports the primary's version.
+        service = ReconciliationService(
+            make_engine(pair, seeds),
+            checkpoint_path=ckpt,
+            checkpoint_every=1,
+        )
+
+        async def drive():
+            await service.start()
+            for delta in deltas:
+                await service.submit(delta)
+            await service.close()
+
+        asyncio.run(drive())
+        rep = ReplicaService.follow(str(ckpt) + ".jsonl")
+        assert rep.batches_done == len(deltas)
+        assert rep.version == len(deltas)
+
+        async def catch_up():
+            await rep.start()
+            await rep.close()
+
+        asyncio.run(catch_up())
+        assert rep.engine.links == cold_links(pair, seeds, deltas)

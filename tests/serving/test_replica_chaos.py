@@ -1,0 +1,282 @@
+"""Fault injection for replication: killed replicas, truncated and
+gapped logs, and a primary crash mid-stream.  In every scenario the
+replica either serves links bit-identical to a cold batch run or
+refuses loudly — never a silently divergent state."""
+
+import asyncio
+import json
+import time
+
+import pytest
+
+from repro.errors import ReproError
+from repro.serving import (
+    ReconciliationService,
+    ReplicaService,
+    ServerThread,
+    ServingClient,
+)
+
+from serving_helpers import cold_links, make_engine
+from test_replica import wait_caught_up
+
+
+def build_primary_log(tmp_path, workload, *, batches=None, name="p.npz"):
+    """Run a durable primary over *batches* deltas; return its paths.
+
+    The primary is *aborted*, not closed: a graceful close writes a
+    final checkpoint that absorbs the whole history, and these
+    scenarios need replicas that actually replay the log tail.
+    """
+    pair, seeds, deltas = workload
+    use = deltas if batches is None else deltas[:batches]
+    ckpt = tmp_path / name
+    service = ReconciliationService(
+        make_engine(pair, seeds),
+        checkpoint_path=ckpt,
+        checkpoint_every=100,  # keep the whole history in the log
+    )
+
+    async def drive():
+        await service.start()
+        for delta in use:
+            await service.submit(delta)
+        service.abort()
+
+    asyncio.run(drive())
+    return ckpt, ckpt.parent / (name + ".jsonl")
+
+
+def clone_primary(tmp_path, ckpt, log, *, name="clone.npz"):
+    """Copy checkpoint + log so a scenario can corrupt its own pair."""
+    ckpt2 = tmp_path / name
+    log2 = tmp_path / (name + ".jsonl")
+    ckpt2.write_bytes(ckpt.read_bytes())
+    log2.write_bytes(log.read_bytes())
+    return ckpt2, log2
+
+
+def delta_line_spans(log):
+    """``[(batch, start_offset, end_offset), ...]`` of delta lines."""
+    spans = []
+    offset = 0
+    with open(log, "rb") as fh:
+        for raw in fh:
+            event = json.loads(raw)
+            if event.get("type") == "delta":
+                spans.append(
+                    (event["batch"], offset, offset + len(raw))
+                )
+            offset += len(raw)
+    return spans
+
+
+def drain(service, batches):
+    """Start a replica service, wait until caught up, close it."""
+
+    async def run():
+        await service.start()
+        while service.batches_done < batches or service.lag_batches:
+            assert service.replication_error is None, (
+                service.replication_error
+            )
+            await asyncio.sleep(0.005)
+        await service.close()
+
+    asyncio.run(run())
+
+
+class TestReplicaKilledMidReplay:
+    def test_rebootstrap_after_partial_replay_is_bit_identical(
+        self, tmp_path, workload
+    ):
+        pair, seeds, deltas = workload
+        ckpt, log = build_primary_log(tmp_path, workload)
+        # First replica dies (kill -9: nothing flushed — it has
+        # nothing *to* flush) after applying only half the history.
+        casualty = ReplicaService.follow(log)
+        applied = casualty.step(limit=2)
+        assert applied == 2 and casualty.batches_done == 2
+        casualty.abort()
+        # Re-bootstrap from scratch: all replica state is derived, so
+        # the replacement converges to the exact same answer.
+        replacement = ReplicaService.follow(log)
+        drain(replacement, batches=len(deltas))
+        assert replacement.engine.links == cold_links(
+            pair, seeds, deltas
+        )
+
+    def test_http_kill_then_rebootstrap(self, tmp_path, workload):
+        pair, seeds, deltas = workload
+        _ckpt, log = build_primary_log(tmp_path, workload)
+        first = ServerThread(
+            ReplicaService.follow(log, follow_interval=0.01)
+        )
+        first.start()
+        wait_caught_up(first.service, batches=len(deltas))
+        first.kill()  # abrupt: no drain, no close handshake
+        second = ServerThread(
+            ReplicaService.follow(log, follow_interval=0.01)
+        )
+        second.start()
+        try:
+            wait_caught_up(second.service, batches=len(deltas))
+            with ServingClient("127.0.0.1", second.port) as c:
+                served = c.links()
+        finally:
+            second.stop()
+        assert served == cold_links(pair, seeds, deltas)
+
+
+class TestTruncatedLog:
+    def test_replica_parks_at_last_complete_record(
+        self, tmp_path, workload
+    ):
+        pair, seeds, deltas = workload
+        ckpt, log = build_primary_log(tmp_path, workload)
+        ckpt2, log2 = clone_primary(tmp_path, ckpt, log)
+        spans = delta_line_spans(log2)
+        assert [batch for batch, _s, _e in spans] == [1, 2, 3, 4]
+        _batch, start, end = spans[-1]
+        # Cut batch 4's record in half: a replica must stop *cleanly*
+        # after batch 3, not crash and not apply half a delta.
+        full = log2.read_bytes()
+        cut = start + (end - start) // 2
+        log2.write_bytes(full[:cut])
+        replica = ReplicaService.follow(log2)
+        drain(replica, batches=3)
+        assert replica.batches_done == 3
+        assert replica.replication_error is None
+        # Version 3 is a real, consistent state: the cold run on the
+        # first three deltas.
+        assert replica.engine.links == cold_links(
+            pair, seeds, deltas[:3]
+        )
+        # The writer finishes the record: the replica picks it up from
+        # the parked cursor and converges.
+        log2.write_bytes(full)
+        replica.step()
+        assert replica.batches_done == 4
+        assert replica.engine.links == cold_links(pair, seeds, deltas)
+
+    def test_shrunk_log_is_refused(self, tmp_path, workload):
+        _pair, _seeds, deltas = workload
+        ckpt, log = build_primary_log(tmp_path, workload)
+        ckpt2, log2 = clone_primary(tmp_path, ckpt, log)
+        replica = ReplicaService.follow(log2)
+        drain(replica, batches=len(deltas))
+        # A primary restarted *fresh* (not --resume) truncates its log;
+        # the replica must refuse rather than reread a different
+        # history under the same versions.
+        log2.write_bytes(log2.read_bytes()[:100])
+        with pytest.raises(ReproError, match="shrank"):
+            replica.step()
+
+
+class TestSequenceGap:
+    def test_gapped_log_refuses_at_bootstrap(self, tmp_path, workload):
+        ckpt, log = build_primary_log(tmp_path, workload)
+        ckpt2, log2 = clone_primary(tmp_path, ckpt, log)
+        spans = delta_line_spans(log2)
+        _batch, start, end = spans[2]  # drop delta batch 3 entirely
+        full = log2.read_bytes()
+        log2.write_bytes(full[:start] + full[end:])
+        replica = ReplicaService.follow(log2)
+
+        async def boot():
+            await replica.start()
+
+        with pytest.raises(ReproError, match="sequence gap"):
+            asyncio.run(boot())
+
+    def test_live_gap_stops_the_follower_and_reddens_health(
+        self, tmp_path, workload
+    ):
+        pair, seeds, deltas = workload
+        _ckpt, log = build_primary_log(tmp_path, workload)
+        h = ServerThread(ReplicaService.follow(log, follow_interval=0.01))
+        h.start()
+        service = h.service
+        try:
+            wait_caught_up(service, batches=len(deltas))
+            # Corrupt the *live* feed: a delta that skips a sequence
+            # number (a lost record on the primary side).
+            with open(log, "a", encoding="utf-8") as fh:
+                fh.write(
+                    json.dumps(
+                        {
+                            "type": "delta",
+                            "batch": len(deltas) + 2,
+                            "payload": {},
+                        }
+                    )
+                    + "\n"
+                )
+            deadline = time.monotonic() + 10
+            while service.replication_error is None:
+                assert time.monotonic() < deadline
+                time.sleep(0.01)
+            assert "gap" in str(service.replication_error)
+            with ServingClient("127.0.0.1", h.port) as c:
+                health = c.request("GET", "/health")
+                assert health.status == 503
+                doc = health.json()
+                assert doc["status"] == "replication-failed"
+                assert "gap" in doc["replication"]["error"]
+                # The last consistent version is still served, and it
+                # is still the exact cold-run answer.
+                links = c.links()
+            assert links == cold_links(pair, seeds, deltas)
+        finally:
+            h.stop()
+
+
+class TestPrimaryCrashWhileFollowing:
+    def test_primary_kill_resume_replica_converges(
+        self, tmp_path, workload
+    ):
+        pair, seeds, deltas = workload
+        ckpt = tmp_path / "p.npz"
+        log = tmp_path / "p.npz.jsonl"
+        # Phase 1: primary applies half the stream, then dies hard.
+        service = ReconciliationService(
+            make_engine(pair, seeds),
+            checkpoint_path=ckpt,
+            checkpoint_every=100,
+        )
+        h1 = ServerThread(service)
+        h1.start()
+        with ServingClient("127.0.0.1", h1.port) as c:
+            for delta in deltas[:2]:
+                c.apply_or_raise(delta)
+        h1.kill()
+        # The replica attaches against the dead primary's log.
+        replica = ServerThread(
+            ReplicaService.follow(log, follow_interval=0.01)
+        )
+        replica.start()
+        try:
+            wait_caught_up(replica.service, batches=2)
+            # Phase 2: the primary resumes (log-tail replay) and the
+            # remaining deltas stream through it.
+            resumed = ReconciliationService.resume(
+                ckpt, checkpoint_every=100
+            )
+            assert resumed.batches_done == 2
+            h2 = ServerThread(resumed)
+            h2.start()
+            with ServingClient("127.0.0.1", h2.port) as c:
+                for delta in deltas[2:]:
+                    c.apply_or_raise(delta)
+                primary_links = c.links()
+            h2.stop()
+            # The replica follows straight across the crash: same log,
+            # same sequence, no re-bootstrap needed.
+            wait_caught_up(replica.service, batches=len(deltas))
+            with ServingClient("127.0.0.1", replica.port) as c:
+                version, served = c.links_versioned()
+        finally:
+            replica.stop()
+        assert version == len(deltas)
+        assert served == primary_links
+        assert served == cold_links(pair, seeds, deltas)

@@ -1,0 +1,203 @@
+"""Unit tests for the log-shipping primitives: the complete-lines-only
+cursor and the gap/reorder-checked replication stream, driven with
+plain files (no engine, no server)."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.serving.replication import DeltaLogCursor, ReplicationStream
+
+
+def append(path, *events, newline=True):
+    """Append JSONL *events*; the last one optionally mid-write."""
+    with open(path, "a", encoding="utf-8") as fh:
+        for index, event in enumerate(events):
+            line = json.dumps(event)
+            if not newline and index == len(events) - 1:
+                # Simulate a record caught mid-write: no newline yet.
+                fh.write(line[: max(1, len(line) // 2)])
+            else:
+                fh.write(line + "\n")
+
+
+def delta_event(batch, *, ts=None, payload=None):
+    event = {
+        "type": "delta",
+        "batch": batch,
+        "payload": {"added_edges1": [[batch, batch + 1]]}
+        if payload is None
+        else payload,
+    }
+    if ts is not None:
+        event["ts"] = ts
+    return event
+
+
+class TestDeltaLogCursor:
+    def test_missing_file_reports_nothing(self, tmp_path):
+        cursor = DeltaLogCursor(tmp_path / "absent.jsonl")
+        assert cursor.poll() == []
+        assert cursor.offset == 0
+
+    def test_consumes_complete_lines_incrementally(self, tmp_path):
+        log = tmp_path / "log.jsonl"
+        append(log, {"a": 1}, {"b": 2})
+        cursor = DeltaLogCursor(log)
+        assert cursor.poll() == [{"a": 1}, {"b": 2}]
+        assert cursor.poll() == []  # nothing new
+        append(log, {"c": 3})
+        assert cursor.poll() == [{"c": 3}]
+
+    def test_parks_on_partial_trailing_line(self, tmp_path):
+        log = tmp_path / "log.jsonl"
+        append(log, {"a": 1}, {"b": 2}, newline=False)
+        cursor = DeltaLogCursor(log)
+        # Only the complete first record is consumed; the half-written
+        # second record is invisible until its newline lands.
+        assert cursor.poll() == [{"a": 1}]
+        offset_parked = cursor.offset
+        assert cursor.poll() == []
+        assert cursor.offset == offset_parked
+        # Finish the record (rewrite the file's tail as the writer
+        # would: complete the line).
+        with open(log, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps({"a": 1}) + "\n")
+            fh.write(json.dumps({"b": 2}) + "\n")
+        assert cursor.poll() == [{"b": 2}]
+
+    def test_blank_lines_are_skipped(self, tmp_path):
+        log = tmp_path / "log.jsonl"
+        log.write_text('{"a": 1}\n\n{"b": 2}\n')
+        assert DeltaLogCursor(log).poll() == [{"a": 1}, {"b": 2}]
+
+    def test_shrunk_file_is_refused(self, tmp_path):
+        log = tmp_path / "log.jsonl"
+        append(log, {"a": 1}, {"b": 2})
+        cursor = DeltaLogCursor(log)
+        cursor.poll()
+        log.write_text('{"a": 1}\n')
+        with pytest.raises(ReproError, match="shrank"):
+            cursor.poll()
+
+    def test_disappeared_file_after_consumption_is_refused(
+        self, tmp_path
+    ):
+        log = tmp_path / "log.jsonl"
+        append(log, {"a": 1})
+        cursor = DeltaLogCursor(log)
+        cursor.poll()
+        log.unlink()
+        with pytest.raises(ReproError, match="disappeared"):
+            cursor.poll()
+
+    def test_corrupt_complete_line_is_refused(self, tmp_path):
+        log = tmp_path / "log.jsonl"
+        log.write_text("not json at all\n")
+        with pytest.raises(ReproError, match="not valid JSON"):
+            DeltaLogCursor(log).poll()
+
+    def test_non_object_line_is_refused(self, tmp_path):
+        log = tmp_path / "log.jsonl"
+        log.write_text("[1, 2, 3]\n")
+        with pytest.raises(ReproError, match="JSON object"):
+            DeltaLogCursor(log).poll()
+
+
+class TestReplicationStream:
+    def test_negative_start_after_refused(self, tmp_path):
+        with pytest.raises(ReproError, match="start_after"):
+            ReplicationStream(tmp_path / "log.jsonl", start_after=-1)
+
+    def test_yields_sequenced_records_skipping_fold_events(
+        self, tmp_path
+    ):
+        log = tmp_path / "log.jsonl"
+        append(
+            log,
+            {"type": "seeds", "links": {}},
+            {"type": "links", "round": 0, "links": {}},
+            delta_event(1, ts=123.5),
+            {"type": "retract", "nodes": [7]},
+            delta_event(2),
+        )
+        stream = ReplicationStream(log)
+        records = stream.poll()
+        assert [r.batch for r in records] == [1, 2]
+        assert records[0].ts == 123.5
+        assert records[1].ts is None
+        assert records[0].payload == {"added_edges1": [[1, 2]]}
+        assert stream.last_seen_batch == 2
+
+    def test_skips_batches_absorbed_by_the_checkpoint(self, tmp_path):
+        log = tmp_path / "log.jsonl"
+        append(log, *[delta_event(b) for b in (1, 2, 3, 4)])
+        stream = ReplicationStream(log, start_after=2)
+        assert [r.batch for r in stream.poll()] == [3, 4]
+        assert stream.last_seen_batch == 4
+
+    def test_sequence_gap_is_refused(self, tmp_path):
+        log = tmp_path / "log.jsonl"
+        append(log, delta_event(1), delta_event(3))
+        with pytest.raises(ReproError, match="sequence gap"):
+            ReplicationStream(log).poll()
+
+    def test_gap_right_after_the_attach_point_is_refused(self, tmp_path):
+        log = tmp_path / "log.jsonl"
+        append(log, delta_event(5))
+        with pytest.raises(ReproError, match="expected delta batch 3"):
+            ReplicationStream(log, start_after=2).poll()
+
+    def test_reordered_records_are_refused(self, tmp_path):
+        log = tmp_path / "log.jsonl"
+        append(log, delta_event(2), delta_event(1))
+        stream = ReplicationStream(log, start_after=5)
+        # Even below the attach point, file order must be strict.
+        with pytest.raises(ReproError, match="reordered"):
+            stream.poll()
+
+    def test_duplicate_batch_is_a_reorder(self, tmp_path):
+        log = tmp_path / "log.jsonl"
+        append(log, delta_event(1), delta_event(1))
+        with pytest.raises(ReproError, match="reordered"):
+            ReplicationStream(log).poll()
+
+    def test_reorder_detected_across_polls(self, tmp_path):
+        log = tmp_path / "log.jsonl"
+        append(log, delta_event(1))
+        stream = ReplicationStream(log)
+        assert [r.batch for r in stream.poll()] == [1]
+        append(log, delta_event(1))
+        with pytest.raises(ReproError, match="reordered"):
+            stream.poll()
+
+    def test_non_integer_batch_is_refused(self, tmp_path):
+        log = tmp_path / "log.jsonl"
+        for bogus in ("2", None, True):
+            log.write_text(
+                json.dumps(
+                    {"type": "delta", "batch": bogus, "payload": {}}
+                )
+                + "\n"
+            )
+            with pytest.raises(ReproError, match="non-integer batch"):
+                ReplicationStream(log).poll()
+
+    def test_missing_payload_is_refused(self, tmp_path):
+        log = tmp_path / "log.jsonl"
+        append(log, {"type": "delta", "batch": 1})
+        with pytest.raises(ReproError, match="no payload"):
+            ReplicationStream(log).poll()
+
+    def test_partial_tail_does_not_advance_the_sequence(self, tmp_path):
+        log = tmp_path / "log.jsonl"
+        append(log, delta_event(1), delta_event(2), newline=False)
+        stream = ReplicationStream(log)
+        assert [r.batch for r in stream.poll()] == [1]
+        # Complete record 2 exactly where the partial write stopped.
+        full = json.dumps(delta_event(2))
+        written = len(full) // 2 if len(full) // 2 >= 1 else 1
+        with open(log, "a", encoding="utf-8") as fh:
+            fh.write(full[written:] + "\n")
+        assert [r.batch for r in stream.poll()] == [2]
